@@ -1,0 +1,80 @@
+//! Property-based cross-engine agreement: for arbitrary graphs, every
+//! baseline must produce exactly the GLP engine's labels (the guarantee
+//! the benchmark comparisons rest on), across multiple variants.
+
+use glp_baselines::{CpuLp, CpuLpConfig, GHashLp, GSortLp};
+use glp_core::engine::GpuEngine;
+use glp_core::{ClassicLp, Llp, LpProgram};
+use glp_graph::{Graph, GraphBuilder};
+use proptest::prelude::*;
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (4usize..48, prop::collection::vec((0u32..48, 0u32..48), 1..250)).prop_map(|(n, es)| {
+        let mut b = GraphBuilder::new(n);
+        for (s, d) in es {
+            b.add_edge(s % n as u32, d % n as u32);
+        }
+        b.symmetrize(true).dedup(true);
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_baselines_agree_on_classic(g in arbitrary_graph()) {
+        let n = g.num_vertices();
+        let mut reference = ClassicLp::with_max_iterations(n, 8);
+        GpuEngine::titan_v().run(&g, &mut reference);
+        let want = reference.labels();
+
+        let mut p = ClassicLp::with_max_iterations(n, 8);
+        CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p);
+        prop_assert_eq!(p.labels(), want);
+
+        let mut p = ClassicLp::with_max_iterations(n, 8);
+        CpuLp::ligra(CpuLpConfig::default()).run(&g, &mut p);
+        prop_assert_eq!(p.labels(), want);
+
+        let mut p = ClassicLp::with_max_iterations(n, 8);
+        CpuLp::tigergraph(CpuLpConfig::default()).run(&g, &mut p);
+        prop_assert_eq!(p.labels(), want);
+
+        let mut p = ClassicLp::with_max_iterations(n, 8);
+        GSortLp::titan_v().run(&g, &mut p);
+        prop_assert_eq!(p.labels(), want);
+
+        let mut p = ClassicLp::with_max_iterations(n, 8);
+        GHashLp::titan_v().run(&g, &mut p);
+        prop_assert_eq!(p.labels(), want);
+    }
+
+    #[test]
+    fn gsort_and_ghash_agree_on_llp(g in arbitrary_graph(), gamma in 0.0f64..8.0) {
+        let n = g.num_vertices();
+        let mut reference = Llp::with_max_iterations(n, gamma, 6);
+        GpuEngine::titan_v().run(&g, &mut reference);
+        let mut p = Llp::with_max_iterations(n, gamma, 6);
+        GSortLp::titan_v().run(&g, &mut p);
+        prop_assert_eq!(p.labels(), reference.labels());
+        let mut p = Llp::with_max_iterations(n, gamma, 6);
+        GHashLp::titan_v().run(&g, &mut p);
+        prop_assert_eq!(p.labels(), reference.labels());
+    }
+
+    /// Modeled times are always positive and finite, whatever the graph.
+    #[test]
+    fn modeled_times_sane(g in arbitrary_graph()) {
+        let n = g.num_vertices();
+        for report in [
+            CpuLp::omp(CpuLpConfig::default()).run(&g, &mut ClassicLp::with_max_iterations(n, 3)),
+            GSortLp::titan_v().run(&g, &mut ClassicLp::with_max_iterations(n, 3)),
+            GHashLp::titan_v().run(&g, &mut ClassicLp::with_max_iterations(n, 3)),
+        ] {
+            prop_assert!(report.modeled_seconds.is_finite());
+            prop_assert!(report.modeled_seconds > 0.0);
+            prop_assert!(report.iterations >= 1);
+        }
+    }
+}

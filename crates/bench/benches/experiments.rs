@@ -1,0 +1,122 @@
+//! Criterion benches mirroring every paper experiment at reduced scale, so
+//! `cargo bench --workspace` exercises each table/figure end to end. The
+//! experiment binaries (`cargo run -p glp-bench --bin ...`) produce the
+//! full tables; these track the harness's own performance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glp_bench::workloads::table4_stream;
+use glp_bench::{run_algo, Algo, Approach};
+use glp_core::engine::{GpuEngine, GpuEngineConfig, HybridEngine, MflStrategy, MultiGpuEngine};
+use glp_core::ClassicLp;
+use glp_fraud::{FraudPipeline, InHouseLp, PipelineConfig, WindowWorkload};
+use glp_graph::datasets::by_name;
+use glp_graph::Graph;
+use glp_gpusim::{Device, DeviceConfig};
+
+fn small_graph() -> Graph {
+    by_name("dblp").expect("registry").generate_scaled(32)
+}
+
+fn bench_table2_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_generation");
+    group.sample_size(10);
+    for name in ["dblp", "roadNet", "aligraph", "uk-2002"] {
+        let spec = by_name(name).expect("registry");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| spec.generate_scaled(spec.default_scale * 32));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig4_approaches(c: &mut Criterion) {
+    let g = small_graph();
+    let mut group = c.benchmark_group("fig4_classic");
+    group.sample_size(10);
+    for a in Approach::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(a.name()), &a, |b, &a| {
+            b.iter(|| run_algo(a, &g, Algo::Classic, 5));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig5_fig6_variants(c: &mut Criterion) {
+    let g = small_graph();
+    let mut group = c.benchmark_group("fig5_fig6_variants");
+    group.sample_size(10);
+    group.bench_function("llp_glp", |b| b.iter(|| run_algo(Approach::Glp, &g, Algo::Llp(16.0), 5)));
+    group.bench_function("slp_glp", |b| b.iter(|| run_algo(Approach::Glp, &g, Algo::Slp(9), 5)));
+    group.finish();
+}
+
+fn bench_table3_strategies(c: &mut Criterion) {
+    let g = small_graph();
+    let mut group = c.benchmark_group("table3_strategies");
+    group.sample_size(10);
+    for (name, s) in [
+        ("global", MflStrategy::Global),
+        ("smem", MflStrategy::Smem),
+        ("smem_warp", MflStrategy::SmemWarp),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, &s| {
+            b.iter(|| {
+                let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 5);
+                GpuEngine::with_strategy(s).run(&g, &mut prog)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table4_fig7_windows(c: &mut Criterion) {
+    let stream = table4_stream(64);
+    let mut group = c.benchmark_group("table4_fig7");
+    group.sample_size(10);
+    group.bench_function("window_build_30d", |b| {
+        b.iter(|| WindowWorkload::build(&stream, 30));
+    });
+    let w = WindowWorkload::build(&stream, 30);
+    group.bench_function("glp_hybrid", |b| {
+        b.iter(|| {
+            let dev = Device::new(DeviceConfig::tiny(1 << 20));
+            let mut e = HybridEngine::new(dev, GpuEngineConfig::default());
+            let mut p = ClassicLp::with_max_iterations(w.graph.num_vertices(), 5);
+            e.run(&w.graph, &mut p)
+        });
+    });
+    group.bench_function("glp_2gpu", |b| {
+        b.iter(|| {
+            let mut e = MultiGpuEngine::titan_v(2);
+            let mut p = ClassicLp::with_max_iterations(w.graph.num_vertices(), 5);
+            e.run(&w.graph, &mut p)
+        });
+    });
+    group.bench_function("inhouse", |b| {
+        b.iter(|| {
+            let mut p = ClassicLp::with_max_iterations(w.graph.num_vertices(), 5);
+            InHouseLp::taobao().run(&w.graph, &mut p)
+        });
+    });
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| {
+            let pipe = FraudPipeline::new(PipelineConfig {
+                window_days: 30,
+                lp_iterations: 5,
+                ..Default::default()
+            });
+            pipe.run(&stream, |g, p| GpuEngine::titan_v().run(g, p))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_table2_generation,
+    bench_fig4_approaches,
+    bench_fig5_fig6_variants,
+    bench_table3_strategies,
+    bench_table4_fig7_windows
+);
+criterion_main!(experiments);

@@ -1,0 +1,63 @@
+//! Micro-benches of the substrate primitives behind the kernels: the
+//! shared-memory structures of §4.1 and the warp intrinsics of §4.2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glp_gpusim::warp::{ballot_sync, match_any_sync, popc, WARP_SIZE};
+use glp_sketch::{BoundedHashTable, CountMinSketch};
+use std::hint::black_box;
+
+fn bench_sketches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketches");
+    group.bench_function("cms_add", |b| {
+        let mut cms = CountMinSketch::new(4, 2048);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9e37);
+            black_box(cms.add(k % 512, 1.0))
+        });
+    });
+    group.bench_function("ht_insert_add", |b| {
+        let mut ht = BoundedHashTable::new(1024, 32);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let r = ht.insert_add(k % 700, 1.0);
+            if k.is_multiple_of(700) {
+                ht.clear();
+            }
+            black_box(r)
+        });
+    });
+    group.bench_function("ht_clear_touched", |b| {
+        let mut ht = BoundedHashTable::new(4096, 64);
+        b.iter(|| {
+            for k in 0..256u64 {
+                ht.insert_add(k, 1.0);
+            }
+            ht.clear();
+        });
+    });
+    group.finish();
+}
+
+fn bench_warp_intrinsics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warp_intrinsics");
+    let mut vals = [0u64; WARP_SIZE];
+    for (i, v) in vals.iter_mut().enumerate() {
+        *v = (i % 7) as u64;
+    }
+    let preds = [true; WARP_SIZE];
+    group.bench_function("ballot_sync", |b| {
+        b.iter(|| black_box(ballot_sync(u32::MAX, black_box(&preds))));
+    });
+    group.bench_function("match_any_sync", |b| {
+        b.iter(|| black_box(match_any_sync(u32::MAX, black_box(&vals))));
+    });
+    group.bench_function("popc", |b| {
+        b.iter(|| black_box(popc(black_box(0xdead_beef))));
+    });
+    group.finish();
+}
+
+criterion_group!(kernels, bench_sketches, bench_warp_intrinsics);
+criterion_main!(kernels);

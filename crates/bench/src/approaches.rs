@@ -1,0 +1,131 @@
+//! Unified dispatch over the six compared approaches and three LP
+//! algorithms of §5.1–5.2.
+
+use glp_baselines::{CpuLp, CpuLpConfig, GHashLp, GSortLp};
+use glp_core::engine::GpuEngine;
+use glp_core::{ClassicLp, Llp, LpProgram, LpRunReport, Slp};
+use glp_graph::Graph;
+
+/// The compared approaches of §5.1 in the paper's order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Approach {
+    /// TigerGraph on multicore CPUs (classic LP only).
+    Tg,
+    /// Ligra on multicore CPUs.
+    Ligra,
+    /// OpenMP parallel-for LP (the speedup baseline of Figures 4–6).
+    Omp,
+    /// Segmented-sort GPU LP.
+    GSort,
+    /// Per-vertex global-hash GPU LP.
+    GHash,
+    /// This paper's system.
+    Glp,
+}
+
+impl Approach {
+    /// All six, in the paper's presentation order.
+    pub fn all() -> [Approach; 6] {
+        [
+            Approach::Tg,
+            Approach::Ligra,
+            Approach::Omp,
+            Approach::GSort,
+            Approach::GHash,
+            Approach::Glp,
+        ]
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Approach::Tg => "TG",
+            Approach::Ligra => "Ligra",
+            Approach::Omp => "OMP",
+            Approach::GSort => "G-Sort",
+            Approach::GHash => "G-Hash",
+            Approach::Glp => "GLP",
+        }
+    }
+
+    /// Whether the approach supports non-classic variants (§5.1: "TG only
+    /// supports the classic LP").
+    pub fn supports(&self, algo: Algo) -> bool {
+        !matches!((self, algo), (Approach::Tg, Algo::Llp(_) | Algo::Slp(_)))
+    }
+}
+
+/// The evaluated LP algorithms with their benchmark parameters (§5.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algo {
+    /// Classic LP, 20 iterations.
+    Classic,
+    /// LLP with resolution γ, 20 iterations per γ.
+    Llp(f64),
+    /// SLP, ≤5 labels per vertex, 20 iterations, given draw seed.
+    Slp(u64),
+}
+
+fn run_with<P: LpProgram>(approach: Approach, g: &Graph, prog: &mut P) -> LpRunReport {
+    match approach {
+        Approach::Tg => CpuLp::tigergraph(CpuLpConfig::default()).run(g, prog),
+        Approach::Ligra => CpuLp::ligra(CpuLpConfig::default()).run(g, prog),
+        Approach::Omp => CpuLp::omp(CpuLpConfig::default()).run(g, prog),
+        Approach::GSort => GSortLp::titan_v().run(g, prog),
+        Approach::GHash => GHashLp::titan_v().run(g, prog),
+        Approach::Glp => GpuEngine::titan_v().run(g, prog),
+    }
+}
+
+/// Runs `algo` on `g` with `approach` for up to `iterations` rounds.
+///
+/// # Panics
+/// Panics if the approach does not support the algorithm (TG + LLP/SLP).
+pub fn run_algo(approach: Approach, g: &Graph, algo: Algo, iterations: u32) -> LpRunReport {
+    assert!(
+        approach.supports(algo),
+        "{} does not support {algo:?}",
+        approach.name()
+    );
+    let n = g.num_vertices();
+    match algo {
+        Algo::Classic => run_with(approach, g, &mut ClassicLp::with_max_iterations(n, iterations)),
+        Algo::Llp(gamma) => run_with(
+            approach,
+            g,
+            &mut Llp::with_max_iterations(n, gamma, iterations),
+        ),
+        Algo::Slp(seed) => run_with(
+            approach,
+            g,
+            &mut Slp::with_params(n, 5, 0.2, iterations, seed),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glp_graph::gen::caveman;
+
+    #[test]
+    fn every_supported_pair_runs() {
+        let g = caveman(4, 6);
+        for a in Approach::all() {
+            for algo in [Algo::Classic, Algo::Llp(2.0), Algo::Slp(7)] {
+                if a.supports(algo) {
+                    let r = run_algo(a, &g, algo, 3);
+                    assert!(r.iterations >= 1, "{} {algo:?}", a.name());
+                    assert!(r.modeled_seconds > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tg_rejects_variants() {
+        assert!(!Approach::Tg.supports(Algo::Llp(1.0)));
+        assert!(!Approach::Tg.supports(Algo::Slp(1)));
+        assert!(Approach::Tg.supports(Algo::Classic));
+    }
+}

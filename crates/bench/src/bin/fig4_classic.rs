@@ -1,0 +1,17 @@
+//! Regenerates **Figure 4** — speedup of all compared approaches over the
+//! OMP baseline for classic LP (20 iterations).
+//!
+//! Usage: `cargo run -p glp-bench --release --bin fig4_classic
+//!         [--scale-mul K] [--datasets a,b] [--iters N]`
+
+use glp_bench::figures::run_speedup_figure;
+use glp_bench::{Algo, Args};
+
+fn main() {
+    let args = Args::parse();
+    run_speedup_figure(
+        "Figure 4: speedup over OMP, classic LP",
+        &[Algo::Classic],
+        &args,
+    );
+}

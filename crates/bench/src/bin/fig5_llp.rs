@@ -1,0 +1,28 @@
+//! Regenerates **Figure 5** — speedup of all compared approaches over the
+//! OMP baseline for LLP.
+//!
+//! The paper sweeps γ = 2^i for i = 0..=9, 20 iterations per γ. The
+//! default here runs a 3-point subset of the sweep (γ = 1, 16, 256) to
+//! stay quick; pass `--full` for all ten values. TG is omitted, as in the
+//! paper (it only supports classic LP).
+//!
+//! Usage: `cargo run -p glp-bench --release --bin fig5_llp
+//!         [--scale-mul K] [--datasets a,b] [--iters N] [--full]`
+
+use glp_bench::figures::run_speedup_figure;
+use glp_bench::{Algo, Args};
+
+fn main() {
+    let args = Args::parse();
+    let gammas: Vec<f64> = if args.has("full") {
+        (0..10).map(|i| f64::from(1 << i)).collect()
+    } else {
+        vec![1.0, 16.0, 256.0]
+    };
+    let algos: Vec<Algo> = gammas.iter().map(|&g| Algo::Llp(g)).collect();
+    run_speedup_figure(
+        &format!("Figure 5: speedup over OMP, LLP (γ sweep over {gammas:?})"),
+        &algos,
+        &args,
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerates **Figure 6** — speedup of all compared approaches over the
+//! OMP baseline for SLP (≤5 labels per vertex, 20 iterations). TG is
+//! omitted, as in the paper.
+//!
+//! Usage: `cargo run -p glp-bench --release --bin fig6_slp
+//!         [--scale-mul K] [--datasets a,b] [--iters N]`
+
+use glp_bench::figures::run_speedup_figure;
+use glp_bench::{Algo, Args};
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed", 0x519);
+    run_speedup_figure("Figure 6: speedup over OMP, SLP", &[Algo::Slp(seed)], &args);
+}

@@ -1,0 +1,190 @@
+//! `glp` — command-line front end to the whole workspace.
+//!
+//! ```text
+//! glp generate --dataset dblp --scale-mul 8 --out dblp.glpg
+//! glp run --dataset youtube --algo classic --engine glp --iters 20
+//! glp run --graph dblp.glpg --algo llp --gamma 16
+//! glp profile --dataset aligraph --scale-mul 8
+//! glp info --graph dblp.glpg
+//! ```
+//!
+//! Subcommands:
+//! * `generate` — synthesize a Table 2 dataset and save it (`.glpg`
+//!   binary snapshot or `.el` edge list, chosen by extension).
+//! * `run` — run an LP algorithm (`classic|llp|slp|seeded`) on a dataset
+//!   or graph file with any engine
+//!   (`glp|global|smem|omp|ligra|tg|gsort|ghash|inhouse`).
+//! * `profile` — run GLP and print the per-kernel profiler table.
+//! * `info` — print a graph's degree statistics.
+
+use glp_baselines::{CpuLp, CpuLpConfig, GHashLp, GSortLp};
+use glp_bench::table::fmt_seconds;
+use glp_bench::Args;
+use glp_core::community::{modularity, num_communities};
+use glp_core::engine::{GpuEngine, MflStrategy};
+use glp_core::{ClassicLp, Llp, LpProgram, LpRunReport, SeededLp, Slp};
+use glp_fraud::InHouseLp;
+use glp_graph::datasets::by_name;
+use glp_graph::io;
+use glp_graph::stats::degree_stats;
+use glp_graph::Graph;
+use glp_gpusim::DeviceProfile;
+
+/// Clean CLI error: message to stderr, exit 2 (no panic backtrace).
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn load_graph(args: &Args) -> Graph {
+    if let Some(path) = args.get_str("graph") {
+        if path.ends_with(".el") {
+            io::read_edge_list_file(path, io::EdgeListOptions::default())
+                .unwrap_or_else(|e| die(&format!("reading {path}: {e}")))
+        } else {
+            io::read_binary_file(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")))
+        }
+    } else if let Some(name) = args.get_str("dataset") {
+        let spec =
+            by_name(name).unwrap_or_else(|| die(&format!("unknown dataset {name:?} (see Table 2 names)")));
+        let scale_mul: u64 = args.get("scale-mul", 4);
+        eprintln!("generating {name} at scale 1/{}", spec.default_scale * scale_mul);
+        spec.generate_scaled(spec.default_scale * scale_mul)
+    } else {
+        die("pass --graph <file> or --dataset <table2 name>");
+    }
+}
+
+fn run_program<P: LpProgram>(engine: &str, g: &Graph, prog: &mut P) -> LpRunReport {
+    match engine {
+        "glp" => GpuEngine::titan_v().run(g, prog),
+        "global" => GpuEngine::with_strategy(MflStrategy::Global).run(g, prog),
+        "smem" => GpuEngine::with_strategy(MflStrategy::Smem).run(g, prog),
+        "omp" => CpuLp::omp(CpuLpConfig::default()).run(g, prog),
+        "ligra" => CpuLp::ligra(CpuLpConfig::default()).run(g, prog),
+        "tg" => CpuLp::tigergraph(CpuLpConfig::default()).run(g, prog),
+        "gsort" => GSortLp::titan_v().run(g, prog),
+        "ghash" => GHashLp::titan_v().run(g, prog),
+        "inhouse" => InHouseLp::taobao().run(g, prog),
+        other => die(&format!(
+            "unknown engine {other:?} (glp|global|smem|omp|ligra|tg|gsort|ghash|inhouse)"
+        )),
+    }
+}
+
+fn cmd_generate(args: &Args) {
+    let g = load_graph(args);
+    let Some(out) = args.get_str("out") else {
+        die("--out <path> required");
+    };
+    let result = if out.ends_with(".el") {
+        std::fs::File::create(out)
+            .map_err(io::IoError::from)
+            .and_then(|f| io::write_edge_list(&g, f))
+    } else {
+        io::write_binary_file(&g, out)
+    };
+    if let Err(e) = result {
+        die(&format!("writing {out}: {e}"));
+    }
+    println!("wrote {} vertices / {} edges to {out}", g.num_vertices(), g.num_edges());
+}
+
+fn cmd_run(args: &Args) {
+    let g = load_graph(args);
+    let iters: u32 = args.get("iters", 20);
+    let engine = args.get_str("engine").unwrap_or("glp").to_string();
+    let algo = args.get_str("algo").unwrap_or("classic").to_string();
+    let n = g.num_vertices();
+    let (report, labels): (LpRunReport, Vec<u32>) = match algo.as_str() {
+        "classic" => {
+            let mut p = ClassicLp::with_max_iterations(n, iters);
+            let r = run_program(&engine, &g, &mut p);
+            (r, p.labels().to_vec())
+        }
+        "llp" => {
+            let gamma: f64 = args.get("gamma", 1.0);
+            let mut p = Llp::with_max_iterations(n, gamma, iters);
+            let r = run_program(&engine, &g, &mut p);
+            (r, p.labels().to_vec())
+        }
+        "slp" => {
+            let seed: u64 = args.get("seed", 0x519);
+            let mut p = Slp::with_params(n, 5, 0.2, iters, seed);
+            let r = run_program(&engine, &g, &mut p);
+            (r, p.labels().to_vec())
+        }
+        "seeded" => {
+            let every: usize = args.get("seed-every", 100);
+            let seeds: Vec<u32> = (0..n as u32).step_by(every.max(1)).collect();
+            let mut p = SeededLp::with_max_iterations(n, &seeds, iters);
+            let r = run_program(&engine, &g, &mut p);
+            (r, p.labels().to_vec())
+        }
+        other => die(&format!("unknown algo {other:?} (classic|llp|slp|seeded)")),
+    };
+    println!(
+        "{algo} on {} vertices / {} edges with {engine}:",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    println!("  iterations       : {}", report.iterations);
+    println!("  modeled time     : {}", fmt_seconds(report.modeled_seconds));
+    println!("  per iteration    : {}", fmt_seconds(report.seconds_per_iteration()));
+    println!("  wall clock (sim) : {}", fmt_seconds(report.wall_seconds));
+    println!("  communities      : {}", num_communities(&labels));
+    if g.is_undirected() {
+        println!("  modularity       : {:.4}", modularity(&g, &labels));
+    }
+    if report.smem_vertices > 0 {
+        println!("  CMS+HT fallbacks : {:.3}%", 100.0 * report.fallback_rate());
+    }
+}
+
+fn cmd_profile(args: &Args) {
+    let g = load_graph(args);
+    let iters: u32 = args.get("iters", 20);
+    let mut engine = GpuEngine::titan_v();
+    let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
+    let report = engine.run(&g, &mut prog);
+    println!(
+        "classic LP, {} iterations, {} modeled\n",
+        report.iterations,
+        fmt_seconds(report.modeled_seconds)
+    );
+    print!("{}", DeviceProfile::of(engine.device()));
+}
+
+fn cmd_info(args: &Args) {
+    let g = load_graph(args);
+    let s = degree_stats(&g);
+    println!("vertices      : {}", s.num_vertices);
+    println!("edges         : {}", s.num_edges);
+    println!("avg degree    : {:.2}", s.avg_degree);
+    println!("median degree : {}", s.median_degree);
+    println!("max degree    : {}", s.max_degree);
+    println!("deg < 32      : {:.1}% (warp-packed bucket)", 100.0 * s.frac_low_degree);
+    println!("deg > 128     : {:.1}% (CMS+HT bucket)", 100.0 * s.frac_high_degree);
+    println!("weighted      : {}", g.incoming().is_weighted());
+    println!("undirected    : {}", g.is_undirected());
+}
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("usage: glp <generate|run|profile|info> [--flags]");
+        std::process::exit(2);
+    }
+    let cmd = argv.remove(0);
+    let args = Args::from_iter(argv);
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "run" => cmd_run(&args),
+        "profile" => cmd_profile(&args),
+        "info" => cmd_info(&args),
+        other => {
+            eprintln!("unknown command {other:?}; try generate|run|profile|info");
+            std::process::exit(2);
+        }
+    }
+}

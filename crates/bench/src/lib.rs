@@ -1,0 +1,32 @@
+//! # glp-bench — harness regenerating every table and figure of the paper
+//!
+//! One binary per experiment (see `DESIGN.md`'s experiment index):
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table2_datasets` | Table 2 — dataset statistics |
+//! | `fig4_classic`    | Figure 4 — classic-LP speedups over OMP |
+//! | `fig5_llp`        | Figure 5 — LLP speedups over OMP |
+//! | `fig6_slp`        | Figure 6 — SLP speedups over OMP |
+//! | `table3_ablation` | Table 3 — smem / smem+warp speedups over global |
+//! | `table4_windows`  | Table 4 — sliding-window workload sizes |
+//! | `fig7_pipeline`   | Figure 7 — GLP (1 & 2 GPUs) vs the in-house cluster |
+//! | `ablation_sketch` | extra: HT/CMS geometry sweep (Theorem 1 in practice) |
+//! | `ablation_thresholds` | extra: degree-dispatch threshold sweep |
+//! | `quality_sweep`   | extra: detection quality (NMI/purity/modularity) vs mixing; LLP resolution effect |
+//! | `glp`             | the CLI: generate / run / profile / info |
+//!
+//! Every time printed is **modeled time** from the workspace cost models
+//! (GPU, CPU, cluster) — deterministic and unit-consistent across
+//! approaches; see `DESIGN.md` for the calibration story. Host wall-clock
+//! of the simulation itself is reported separately where useful.
+
+pub mod approaches;
+pub mod cli;
+pub mod figures;
+pub mod table;
+pub mod workloads;
+
+pub use approaches::{run_algo, Algo, Approach};
+pub use cli::Args;
+pub use table::print_table;

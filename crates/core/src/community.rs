@@ -1,0 +1,244 @@
+//! Community extraction and quality measures over a label assignment.
+//!
+//! The fraud pipeline (paper Figure 1) consumes LP's output as *clusters*:
+//! groups of vertices sharing a label. These helpers materialize them and
+//! score how well an assignment matches a planted ground truth (used by the
+//! correctness tests on generated community graphs).
+
+use glp_graph::{Graph, Label, VertexId, INVALID_LABEL};
+use std::collections::HashMap;
+
+/// Groups vertices by label. Vertices labeled [`INVALID_LABEL`] (possible
+/// under seeded LP) are skipped.
+pub fn communities(labels: &[Label]) -> HashMap<Label, Vec<VertexId>> {
+    let mut map: HashMap<Label, Vec<VertexId>> = HashMap::new();
+    for (v, &l) in labels.iter().enumerate() {
+        if l != INVALID_LABEL {
+            map.entry(l).or_default().push(v as VertexId);
+        }
+    }
+    map
+}
+
+/// Community sizes, descending.
+pub fn community_sizes(labels: &[Label]) -> Vec<usize> {
+    let mut sizes: Vec<usize> = communities(labels).into_values().map(|v| v.len()).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// Number of distinct labels in use.
+pub fn num_communities(labels: &[Label]) -> usize {
+    let mut seen: Vec<Label> = labels.iter().copied().filter(|&l| l != INVALID_LABEL).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Fraction of edges whose endpoints share a label — high for a good
+/// clustering of a community graph (related to coverage in community
+/// detection).
+pub fn intra_edge_fraction(g: &Graph, labels: &[Label]) -> f64 {
+    let mut intra = 0u64;
+    let mut total = 0u64;
+    for v in 0..g.num_vertices() as VertexId {
+        for &u in g.neighbors(v) {
+            total += 1;
+            if labels[v as usize] == labels[u as usize] && labels[v as usize] != INVALID_LABEL {
+                intra += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        intra as f64 / total as f64
+    }
+}
+
+/// Newman modularity of a label assignment on an undirected graph:
+/// `Q = Σ_c (e_c/m − (d_c/2m)²)` where `e_c` is the number of undirected
+/// intra-community edges, `d_c` the community's total degree and `m` the
+/// number of undirected edges. In [-0.5, 1]; higher is better. Vertices
+/// labeled [`INVALID_LABEL`] form no community (their edges only hurt).
+pub fn modularity(g: &Graph, labels: &[Label]) -> f64 {
+    assert_eq!(labels.len(), g.num_vertices(), "assignment/graph mismatch");
+    let m2 = g.num_edges() as f64; // 2m: directed edge count of a symmetric graph
+    if m2 == 0.0 {
+        return 0.0;
+    }
+    let mut intra2: HashMap<Label, f64> = HashMap::new(); // 2*e_c
+    let mut degree: HashMap<Label, f64> = HashMap::new(); // d_c
+    for v in 0..g.num_vertices() as VertexId {
+        let lv = labels[v as usize];
+        if lv == INVALID_LABEL {
+            continue;
+        }
+        *degree.entry(lv).or_default() += f64::from(g.degree(v));
+        for &u in g.neighbors(v) {
+            if labels[u as usize] == lv {
+                *intra2.entry(lv).or_default() += 1.0;
+            }
+        }
+    }
+    let mut q = 0.0;
+    for (l, &d) in &degree {
+        let e2 = intra2.get(l).copied().unwrap_or(0.0);
+        q += e2 / m2 - (d / m2) * (d / m2);
+    }
+    q
+}
+
+/// Normalized mutual information between a label assignment and a
+/// ground-truth partition, in [0, 1] (1 = identical partitions up to
+/// renaming). The standard community-detection quality measure.
+pub fn nmi(labels: &[Label], truth: &[u32]) -> f64 {
+    assert_eq!(labels.len(), truth.len(), "assignment/truth length mismatch");
+    let n = labels.len() as f64;
+    if labels.is_empty() {
+        return 1.0;
+    }
+    let mut joint: HashMap<(Label, u32), f64> = HashMap::new();
+    let mut pa: HashMap<Label, f64> = HashMap::new();
+    let mut pb: HashMap<u32, f64> = HashMap::new();
+    for (&l, &t) in labels.iter().zip(truth) {
+        *joint.entry((l, t)).or_default() += 1.0;
+        *pa.entry(l).or_default() += 1.0;
+        *pb.entry(t).or_default() += 1.0;
+    }
+    let h = |counts: &HashMap<_, f64>| -> f64 {
+        counts
+            .values()
+            .map(|&c| {
+                let p = c / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha: f64 = h(&pa);
+    let hb: f64 = h(&pb);
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0; // both partitions trivial and identical
+    }
+    let mut mi = 0.0;
+    for (&(l, t), &c) in &joint {
+        let pxy = c / n;
+        let px = pa[&l] / n;
+        let py = pb[&t] / n;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    // Arithmetic-mean normalization.
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+/// Purity of the assignment against a ground-truth partition: for each
+/// found community, the fraction of members sharing its majority truth
+/// class, averaged weighted by community size.
+pub fn purity(labels: &[Label], truth: &[u32]) -> f64 {
+    assert_eq!(labels.len(), truth.len(), "assignment/truth length mismatch");
+    let found = communities(labels);
+    let mut weighted = 0.0;
+    let mut covered = 0usize;
+    for members in found.values() {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &v in members {
+            *counts.entry(truth[v as usize]).or_default() += 1;
+        }
+        let majority = counts.values().copied().max().unwrap_or(0);
+        weighted += majority as f64;
+        covered += members.len();
+    }
+    if covered == 0 {
+        0.0
+    } else {
+        weighted / covered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glp_graph::gen::two_cliques_bridge;
+
+    #[test]
+    fn groups_by_label() {
+        let labels = vec![5, 5, 9, INVALID_LABEL];
+        let c = communities(&labels);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[&5], vec![0, 1]);
+        assert_eq!(c[&9], vec![2]);
+        assert_eq!(num_communities(&labels), 2);
+        assert_eq!(community_sizes(&labels), vec![2, 1]);
+    }
+
+    #[test]
+    fn intra_fraction_perfect_split() {
+        let g = two_cliques_bridge(4);
+        let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let f = intra_edge_fraction(&g, &labels);
+        // 26 directed edges total (2*12 clique + 2 bridge); 24 intra.
+        assert!((f - 24.0 / 26.0).abs() < 1e-12, "{f}");
+    }
+
+    #[test]
+    fn purity_perfect_and_mixed() {
+        let truth = vec![0, 0, 1, 1];
+        assert_eq!(purity(&[7, 7, 8, 8], &truth), 1.0);
+        assert_eq!(purity(&[7, 7, 7, 7], &truth), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn purity_checks_lengths() {
+        purity(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn modularity_perfect_split_beats_merged() {
+        let g = two_cliques_bridge(5);
+        let split = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let merged = vec![0; 10];
+        let qs = modularity(&g, &split);
+        let qm = modularity(&g, &merged);
+        assert!(qs > 0.3, "split modularity {qs}");
+        assert!((qm - 0.0).abs() < 1e-12, "one community has Q=0, got {qm}");
+        assert!(qs > qm);
+    }
+
+    #[test]
+    fn modularity_singletons_negative() {
+        let g = two_cliques_bridge(4);
+        let singletons: Vec<u32> = (0..8).collect();
+        assert!(modularity(&g, &singletons) < 0.0);
+    }
+
+    #[test]
+    fn nmi_identical_up_to_renaming_is_one() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let relabeled = vec![9, 9, 4, 4, 7, 7];
+        assert!((nmi(&relabeled, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_orderings() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let perfect = vec![5, 5, 5, 6, 6, 6];
+        let partial = vec![5, 5, 6, 6, 6, 6];
+        let trivial = vec![1, 1, 1, 1, 1, 1];
+        let p = nmi(&perfect, &truth);
+        let q = nmi(&partial, &truth);
+        let t = nmi(&trivial, &truth);
+        assert!(p > q, "{p} !> {q}");
+        assert!(q > t, "{q} !> {t}");
+        assert!((t - 0.0).abs() < 1e-12, "trivial partition carries no info");
+    }
+
+    #[test]
+    fn nmi_symmetric() {
+        let a = vec![0, 0, 1, 1, 2, 2, 2];
+        let b = vec![4u32, 4, 4, 1, 1, 2, 2];
+        let ab = nmi(&a, &b);
+        let ba = nmi(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+}

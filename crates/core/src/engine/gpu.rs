@@ -1,0 +1,492 @@
+//! The single-GPU GLP engine: the paper's BSP workflow (Figure 2) with
+//! degree-bucketed MFL kernels (§4).
+
+use super::dispatch::{split_by_degree, Buckets, DegreeThresholds};
+use super::kernels::{
+    self, block_cms_ht_kernel, global_hash_kernel, warp_packed_kernel, warp_per_vertex_kernel,
+    ShardStats, SmemGeometry,
+};
+use super::{Decision, MflStrategy};
+use crate::api::LpProgram;
+use crate::report::LpRunReport;
+use glp_graph::{Graph, Label, VertexId};
+use glp_gpusim::{Device, KernelCtx};
+use std::time::Instant;
+
+/// Engine configuration: strategy, dispatch thresholds, and the
+/// shared-memory geometry of §4.1 (defaults follow the paper's settings
+/// and the Titan V's 48 KiB shared-memory budget).
+#[derive(Clone, Debug)]
+pub struct GpuEngineConfig {
+    /// MFL strategy (the Table 3 ablation axis).
+    pub strategy: MflStrategy,
+    /// Degree thresholds for kernel dispatch (§5.3: low 32, high 128).
+    pub thresholds: DegreeThresholds,
+    /// Shared HT slots of the one-warp-one-vertex kernel. Must be at least
+    /// `thresholds.high` so mid-degree tables never overflow.
+    pub mid_ht_slots: usize,
+    /// Shared HT slots `h` of the CMS+HT kernel.
+    pub ht_slots: usize,
+    /// HT probe budget before a label overflows to the CMS.
+    pub ht_probe_limit: u32,
+    /// CMS rows `d`.
+    pub cms_depth: usize,
+    /// CMS buckets per row `w`.
+    pub cms_width: usize,
+    /// Harness OS threads per kernel (0 = number of available cores, capped
+    /// at 16). Has no effect on modeled time.
+    pub shards: usize,
+    /// Hard iteration cap regardless of the program's own termination.
+    pub max_iterations: u32,
+    /// Skip vertices none of whose in-neighbors changed (sound only for
+    /// programs with [`sparse_activation`](crate::LpProgram::sparse_activation)).
+    /// §2.2 criticizes baselines for repeatedly reloading labels "but only
+    /// a subset of them have their labels updated" — this is GLP's answer,
+    /// so it defaults on; the G-Hash baseline disables it.
+    pub use_frontier: bool,
+}
+
+impl Default for GpuEngineConfig {
+    fn default() -> Self {
+        Self {
+            strategy: MflStrategy::SmemWarp,
+            thresholds: DegreeThresholds::default(),
+            mid_ht_slots: 256,
+            ht_slots: 1024,
+            ht_probe_limit: 32,
+            cms_depth: 4,
+            cms_width: 2048,
+            shards: 0,
+            max_iterations: 10_000,
+            use_frontier: true,
+        }
+    }
+}
+
+impl GpuEngineConfig {
+    /// Default configuration with a different strategy.
+    pub fn with_strategy(strategy: MflStrategy) -> Self {
+        Self {
+            strategy,
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn smem_geometry(&self) -> SmemGeometry {
+        SmemGeometry {
+            ht_slots: self.ht_slots,
+            ht_probe_limit: self.ht_probe_limit,
+            cms_depth: self.cms_depth,
+            cms_width: self.cms_width,
+        }
+    }
+
+    pub(crate) fn resolve_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16)
+        }
+    }
+}
+
+/// Simulated address bases for the engine-owned arrays (distinct from the
+/// kernel-internal ones in [`kernels::layout`]).
+const SPOKEN_OUT: u64 = 0x6_0000_0000;
+const LABEL_STATE: u64 = 0x7_0000_0000;
+
+/// The single-GPU engine. Owns the device so modeled time accumulates
+/// across phases and can be inspected afterwards via [`GpuEngine::device`].
+#[derive(Debug)]
+pub struct GpuEngine {
+    device: Device,
+    cfg: GpuEngineConfig,
+}
+
+impl GpuEngine {
+    /// Engine on the given device.
+    pub fn new(device: Device, cfg: GpuEngineConfig) -> Self {
+        assert!(
+            cfg.mid_ht_slots >= cfg.thresholds.high as usize,
+            "mid HT ({}) must hold every distinct label of a mid-degree vertex (<= {})",
+            cfg.mid_ht_slots,
+            cfg.thresholds.high
+        );
+        cfg.smem_geometry().validate(device.config().shared_mem_per_block);
+        Self { device, cfg }
+    }
+
+    /// Engine on a modeled Titan V with the default configuration.
+    pub fn titan_v() -> Self {
+        Self::new(Device::titan_v(), GpuEngineConfig::default())
+    }
+
+    /// Engine on a modeled Titan V with a chosen strategy.
+    pub fn with_strategy(strategy: MflStrategy) -> Self {
+        Self::new(Device::titan_v(), GpuEngineConfig::with_strategy(strategy))
+    }
+
+    /// The underlying simulated device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuEngineConfig {
+        &self.cfg
+    }
+
+    /// Runs `prog` on `g` to termination, returning the run report. The
+    /// graph must fit in device memory (use
+    /// [`HybridEngine`](super::HybridEngine) otherwise).
+    pub fn run<P: LpProgram>(&mut self, g: &Graph, prog: &mut P) -> LpRunReport {
+        assert_eq!(
+            prog.num_vertices(),
+            g.num_vertices(),
+            "program sized for a different graph"
+        );
+        let wall_start = Instant::now();
+        let n = g.num_vertices();
+        let shards = self.cfg.resolve_shards();
+        let buckets = Buckets::build(g, self.cfg.strategy, self.cfg.thresholds);
+
+        // Upload: CSR + label state + spoken array + decision array.
+        let footprint = g.size_bytes() + (n as u64) * (4 + 4 + 12);
+        let t0 = self.device.elapsed_seconds();
+        self.device.upload(footprint);
+        let mut transfer_s = self.device.elapsed_seconds() - t0;
+
+        let mut spoken: Vec<Label> = vec![0; n];
+        let mut decisions: Vec<Decision> = vec![None; n];
+        let mut active = vec![true; n];
+        let sparse = self.cfg.use_frontier && prog.sparse_activation();
+        let mut report = LpRunReport::default();
+        let start_elapsed = t0;
+
+        for iteration in 0..self.cfg.max_iterations {
+            let iter_start = self.device.elapsed_seconds();
+            prog.begin_iteration(iteration);
+            pick_labels(&mut self.device, &mut spoken, 0, &*prog, shards);
+            decisions.iter_mut().for_each(|d| *d = None);
+            let all_active = !sparse || active.iter().all(|&a| a);
+            let filtered: std::borrow::Cow<'_, Buckets> = if all_active {
+                std::borrow::Cow::Borrowed(&buckets)
+            } else {
+                std::borrow::Cow::Owned(filter_buckets(&buckets, &active))
+            };
+            let stats = propagate(
+                &mut self.device,
+                g,
+                &spoken,
+                &*prog,
+                &filtered,
+                &self.cfg,
+                shards,
+                &mut decisions,
+            );
+            report.smem_fallbacks += stats.fallbacks;
+            report.smem_vertices += stats.smem_vertices;
+            let changed = apply_updates(&mut self.device, &decisions, prog);
+            if sparse {
+                refresh_active(&mut self.device, g, &spoken, &decisions, &mut active);
+            }
+            prog.end_iteration(iteration);
+            report.changed_per_iteration.push(changed);
+            report
+                .iteration_seconds
+                .push(self.device.elapsed_seconds() - iter_start);
+            report.iterations = iteration + 1;
+            if prog.finished(iteration, changed) {
+                break;
+            }
+        }
+
+        // Download the final labels.
+        let t1 = self.device.elapsed_seconds();
+        self.device.download(n as u64 * 4);
+        transfer_s += self.device.elapsed_seconds() - t1;
+        self.device.free(footprint);
+
+        report.modeled_seconds = self.device.elapsed_seconds() - start_elapsed;
+        report.transfer_seconds = transfer_s;
+        report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        report.gpu_counters = *self.device.totals();
+        report
+    }
+
+}
+
+/// Restricts every bucket to the active vertices (frontier filtering).
+pub(crate) fn filter_buckets(buckets: &Buckets, active: &[bool]) -> Buckets {
+    let keep = |vs: &[VertexId]| -> Vec<VertexId> {
+        vs.iter().copied().filter(|&v| active[v as usize]).collect()
+    };
+    Buckets {
+        isolated: Vec::new(),
+        warp_packed: keep(&buckets.warp_packed),
+        warp_per_vertex: keep(&buckets.warp_per_vertex),
+        block_per_vertex: keep(&buckets.block_per_vertex),
+        global_hash: keep(&buckets.global_hash),
+    }
+}
+
+/// Recomputes the active set — out-neighbors of every vertex whose spoken
+/// label changed — returning the number of marks written (host side; every
+/// engine shares this so the frontier semantics cannot diverge).
+pub(crate) fn recompute_active(
+    g: &Graph,
+    spoken: &[Label],
+    decisions: &[Decision],
+    active: &mut [bool],
+) -> u64 {
+    active.iter_mut().for_each(|a| *a = false);
+    let out = g.outgoing();
+    let mut touched = 0u64;
+    for (v, &d) in decisions.iter().enumerate() {
+        if let Some((l, _)) = d {
+            if l != spoken[v] {
+                for &u in out.neighbors(v as VertexId) {
+                    active[u as usize] = true;
+                }
+                touched += u64::from(out.degree(v as VertexId));
+            }
+        }
+    }
+    touched
+}
+
+/// Charges the frontier-maintenance kernel for `n` vertices with `touched`
+/// bitmap marks (a coalesced pass over the change flags plus scattered
+/// bitmap writes).
+pub(crate) fn charge_frontier(device: &mut Device, n: u64, touched: u64) {
+    device.launch("frontier_update", |ctx| {
+        ctx.global_read_seq(LABEL_STATE, n, 4);
+        // The frontier is a bitmap: one sector covers 256 vertices, so the
+        // scattered bit-set traffic is bounded by the bitmap's size no
+        // matter how many marks land on it.
+        ctx.global_write_scattered(touched.min(n.div_ceil(256)));
+        ctx.warps_launched(n.div_ceil(32));
+        ctx.lanes_active(n);
+        ctx.alu(2 * n.div_ceil(32) + touched / 32);
+    });
+}
+
+/// GPU-side frontier refresh: shared recompute plus the kernel charge.
+pub(crate) fn refresh_active(
+    device: &mut Device,
+    g: &Graph,
+    spoken: &[Label],
+    decisions: &[Decision],
+    active: &mut [bool],
+) {
+    let touched = recompute_active(g, spoken, decisions, active);
+    charge_frontier(device, decisions.len() as u64, touched);
+}
+
+/// PickLabel (Figure 2): a trivially parallel kernel writing the
+/// spoken-label array, coalesced. `spoken` covers vertices
+/// `base .. base + spoken.len()` (multi-GPU engines pass per-device
+/// sub-slices).
+pub(crate) fn pick_labels<P: LpProgram>(
+    device: &mut Device,
+    spoken: &mut [Label],
+    base: VertexId,
+    prog: &P,
+    shards: usize,
+) {
+    let n = spoken.len();
+    let per = n.div_ceil(shards).max(1);
+    let outs = device.launch_parallel("pick_label", shards, |i, ctx: &mut KernelCtx| {
+        let start = (i * per).min(n);
+        let end = ((i + 1) * per).min(n);
+        let m = (end - start) as u64;
+        ctx.global_read_seq(LABEL_STATE + (base as usize + start) as u64 * 4, m, 4);
+        ctx.global_write_seq(SPOKEN_OUT + (base as usize + start) as u64 * 4, m, 4);
+        ctx.warps_launched(m.div_ceil(32));
+        ctx.lanes_active(m);
+        ctx.alu(2 * m.div_ceil(32));
+        let mut out = Vec::with_capacity(end - start);
+        for v in start..end {
+            out.push(prog.pick_label(base + v as VertexId));
+        }
+        (start, out)
+    });
+    for (start, chunk) in outs {
+        spoken[start..start + chunk.len()].copy_from_slice(&chunk);
+    }
+}
+
+/// LabelPropagation (Figure 2): degree-bucketed kernels over the vertices
+/// named in `buckets`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn propagate<P: LpProgram>(
+    device: &mut Device,
+    g: &Graph,
+    spoken: &[Label],
+    prog: &P,
+    buckets: &Buckets,
+    cfg: &GpuEngineConfig,
+    shards: usize,
+    decisions: &mut [Decision],
+) -> ShardStats {
+    let csr = g.incoming();
+    let geom = cfg.smem_geometry();
+    let mid_slots = cfg.mid_ht_slots;
+    let mut stats = ShardStats::default();
+
+        let scatter = |outs: Vec<(Vec<(VertexId, Decision)>, ShardStats)>,
+                       decisions: &mut [Decision],
+                       stats: &mut ShardStats| {
+            for (out, st) in outs {
+                stats.merge(&st);
+                for (v, d) in out {
+                    decisions[v as usize] = d;
+                }
+            }
+        };
+
+        if !buckets.warp_packed.is_empty() {
+            let parts = split_by_degree(g, &buckets.warp_packed, shards);
+            let outs =
+                device
+                    .launch_parallel("lp_warp_packed", parts.len(), |i, ctx: &mut KernelCtx| {
+                        let mut out = Vec::with_capacity(parts[i].len());
+                        warp_packed_kernel(ctx, csr, spoken, prog, parts[i], &mut out);
+                        (out, ShardStats::default())
+                    });
+            scatter(outs, decisions, &mut stats);
+        }
+        if !buckets.warp_per_vertex.is_empty() {
+            let parts = split_by_degree(g, &buckets.warp_per_vertex, shards);
+            let outs = device.launch_parallel(
+                "lp_warp_per_vertex",
+                parts.len(),
+                |i, ctx: &mut KernelCtx| {
+                    let mut out = Vec::with_capacity(parts[i].len());
+                    warp_per_vertex_kernel(ctx, csr, spoken, prog, parts[i], mid_slots, &mut out);
+                    (out, ShardStats::default())
+                },
+            );
+            scatter(outs, decisions, &mut stats);
+        }
+        if !buckets.block_per_vertex.is_empty() {
+            let parts = split_by_degree(g, &buckets.block_per_vertex, shards);
+            let outs = device.launch_parallel(
+                "lp_block_cms_ht",
+                parts.len(),
+                |i, ctx: &mut KernelCtx| {
+                    let mut out = Vec::with_capacity(parts[i].len());
+                    let mut st = ShardStats::default();
+                    block_cms_ht_kernel(ctx, csr, spoken, prog, parts[i], geom, &mut st, &mut out);
+                    (out, st)
+                },
+            );
+            scatter(outs, decisions, &mut stats);
+        }
+        if !buckets.global_hash.is_empty() {
+            let parts = split_by_degree(g, &buckets.global_hash, shards);
+            let outs = device.launch_parallel(
+                "lp_global_hash",
+                parts.len(),
+                |i, ctx: &mut KernelCtx| {
+                    let mut out = Vec::with_capacity(parts[i].len());
+                    global_hash_kernel(ctx, csr, spoken, prog, parts[i], &mut out);
+                    (out, ShardStats::default())
+                },
+            );
+            scatter(outs, decisions, &mut stats);
+        }
+        stats
+}
+
+/// UpdateVertex (Figure 2): host-driven state updates plus the modeled
+/// coalesced read/write kernel.
+pub(crate) fn apply_updates<P: LpProgram>(
+    device: &mut Device,
+    decisions: &[Decision],
+    prog: &mut P,
+) -> u64 {
+    let n = decisions.len() as u64;
+    device.launch("update_vertex", |ctx| {
+        ctx.global_read_seq(kernels::layout::DECISIONS, n, 12);
+        ctx.global_write_seq(LABEL_STATE, n, 4);
+        ctx.warps_launched(n.div_ceil(32));
+        ctx.lanes_active(n);
+        ctx.alu(2 * n.div_ceil(32));
+    });
+    let mut changed = 0u64;
+    for (v, &d) in decisions.iter().enumerate() {
+        if prog.update_vertex(v as VertexId, d) {
+            changed += 1;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::ClassicLp;
+    use glp_graph::gen::{caveman, two_cliques_bridge};
+
+    fn labels_after(strategy: MflStrategy, g: &Graph) -> (Vec<Label>, LpRunReport) {
+        let mut engine = GpuEngine::with_strategy(strategy);
+        let mut prog = ClassicLp::new(g.num_vertices());
+        let report = engine.run(g, &mut prog);
+        (prog.labels().to_vec(), report)
+    }
+
+    #[test]
+    fn two_cliques_find_two_communities() {
+        let g = two_cliques_bridge(8);
+        let (labels, report) = labels_after(MflStrategy::SmemWarp, &g);
+        // Every clique converges to one label.
+        assert!(labels[..8].iter().all(|&l| l == labels[0]));
+        assert!(labels[8..].iter().all(|&l| l == labels[8]));
+        assert!(report.iterations >= 2);
+        assert!(report.modeled_seconds > 0.0);
+    }
+
+    #[test]
+    fn strategies_agree_bitwise() {
+        let g = caveman(6, 9);
+        let (a, _) = labels_after(MflStrategy::Global, &g);
+        let (b, _) = labels_after(MflStrategy::Smem, &g);
+        let (c, _) = labels_after(MflStrategy::SmemWarp, &g);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn optimized_strategy_is_modeled_faster() {
+        let g = caveman(40, 12);
+        let (_, global) = labels_after(MflStrategy::Global, &g);
+        let (_, smem_warp) = labels_after(MflStrategy::SmemWarp, &g);
+        assert!(
+            smem_warp.modeled_seconds < global.modeled_seconds,
+            "smem+warp {} !< global {}",
+            smem_warp.modeled_seconds,
+            global.modeled_seconds
+        );
+    }
+
+    #[test]
+    fn convergence_trace_recorded() {
+        let g = two_cliques_bridge(5);
+        let (_, report) = labels_after(MflStrategy::SmemWarp, &g);
+        assert_eq!(report.changed_per_iteration.len(), report.iterations as usize);
+        assert_eq!(*report.changed_per_iteration.last().unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for a different graph")]
+    fn mismatched_program_rejected() {
+        let g = two_cliques_bridge(4);
+        let mut engine = GpuEngine::titan_v();
+        let mut prog = ClassicLp::new(3);
+        engine.run(&g, &mut prog);
+    }
+}

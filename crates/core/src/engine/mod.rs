@@ -1,0 +1,128 @@
+//! Execution engines.
+//!
+//! * [`GpuEngine`] — single-GPU in-memory execution with the paper's
+//!   degree-bucketed MFL kernels (§4).
+//! * [`HybridEngine`] — CPU–GPU streaming for graphs that exceed device
+//!   memory (§3.1): labels stay resident, CSR chunks stream over PCIe,
+//!   transfers overlap compute.
+//! * [`MultiGpuEngine`] — vertex-partitioned execution across several
+//!   devices with per-iteration label exchange (§5.4).
+
+mod dispatch;
+mod gpu;
+mod hybrid;
+mod kernels;
+mod multi;
+mod sequential;
+
+pub use dispatch::{Buckets, DegreeThresholds};
+pub use gpu::{GpuEngine, GpuEngineConfig};
+pub use hybrid::HybridEngine;
+pub use multi::MultiGpuEngine;
+pub use sequential::{SequentialEngine, SweepOrder};
+
+use glp_graph::Label;
+
+/// Per-vertex outcome of the LabelPropagation phase: the winning label and
+/// its score, or `None` for vertices with no speaking neighbors.
+pub type Decision = Option<(Label, f64)>;
+
+/// Running argmax under the workspace-wide deterministic tie rule:
+/// highest score wins; on ties the vertex's *current* label is preferred
+/// (classic LPA's stabilizer — without it synchronous LP two-cycles on
+/// bipartite graphs and never converges), then the smaller label.
+///
+/// Every engine and baseline in the workspace funnels its winner selection
+/// through this type, which is what makes their outputs bit-identical.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BestLabel {
+    /// Winning label so far.
+    pub label: Label,
+    /// Its score.
+    pub score: f64,
+}
+
+impl BestLabel {
+    /// Offers a candidate to the running argmax. `current` is the vertex's
+    /// own spoken label this round.
+    #[inline]
+    pub fn offer(slot: &mut Option<BestLabel>, label: Label, score: f64, current: Label) {
+        let wins = match slot {
+            None => true,
+            Some(b) => {
+                score > b.score
+                    || (score == b.score
+                        && b.label != current
+                        && (label == current || label < b.label))
+            }
+        };
+        if wins {
+            *slot = Some(BestLabel { label, score });
+        }
+    }
+
+    /// Converts the slot into a [`Decision`].
+    #[inline]
+    pub fn into_decision(slot: Option<BestLabel>) -> Decision {
+        slot.map(|b| (b.label, b.score))
+    }
+}
+
+#[cfg(test)]
+mod best_tests {
+    use super::*;
+
+    #[test]
+    fn higher_score_wins() {
+        let mut s = None;
+        BestLabel::offer(&mut s, 5, 1.0, 99);
+        BestLabel::offer(&mut s, 9, 2.0, 99);
+        assert_eq!(s.unwrap().label, 9);
+    }
+
+    #[test]
+    fn tie_prefers_current_label() {
+        let mut s = None;
+        BestLabel::offer(&mut s, 5, 2.0, 7);
+        BestLabel::offer(&mut s, 7, 2.0, 7);
+        assert_eq!(s.unwrap().label, 7);
+        // ...and the current label is not displaced by a smaller one.
+        BestLabel::offer(&mut s, 3, 2.0, 7);
+        assert_eq!(s.unwrap().label, 7);
+    }
+
+    #[test]
+    fn tie_without_current_prefers_smaller() {
+        let mut s = None;
+        BestLabel::offer(&mut s, 9, 2.0, 99);
+        BestLabel::offer(&mut s, 5, 2.0, 99);
+        BestLabel::offer(&mut s, 6, 2.0, 99);
+        assert_eq!(s.unwrap().label, 5);
+    }
+
+    #[test]
+    fn order_independent() {
+        for perm in [[7u32, 5, 3], [3, 5, 7], [5, 7, 3], [3, 7, 5]] {
+            let mut s = None;
+            for l in perm {
+                BestLabel::offer(&mut s, l, 2.0, 5);
+            }
+            assert_eq!(s.unwrap().label, 5, "{perm:?}");
+        }
+    }
+}
+
+/// How the LabelPropagation kernels compute the MFL — the axis of the
+/// Table 3 ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MflStrategy {
+    /// Per-vertex hash tables in global memory (the `global` baseline of
+    /// §5.3, the strategy of G-Hash).
+    Global,
+    /// Shared-memory CMS+HT for high-degree vertices (§4.1); every other
+    /// vertex gets one warp with a shared hash table (`smem` in Table 3).
+    Smem,
+    /// `Smem` plus the one-warp-multi-vertices intrinsic schedule for
+    /// low-degree vertices (§4.2; `smem+warp` in Table 3). The default.
+    SmemWarp,
+}

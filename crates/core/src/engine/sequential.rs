@@ -1,0 +1,183 @@
+//! Sequential (asynchronous) reference engine.
+//!
+//! Raghavan et al.'s original LPA updates vertices **asynchronously** — a
+//! vertex's new label is visible to later vertices in the same sweep —
+//! precisely because synchronous updates can oscillate (on bipartite
+//! graphs they provably 2-cycle; see the tie-rule discussion in
+//! [`super::BestLabel`]). The GPU engines are synchronous (BSP is what a
+//! GPU can do); this engine is the asynchronous gold standard used to
+//! study the difference, and a convenient single-threaded oracle for
+//! debugging programs.
+//!
+//! Not part of the paper's evaluation — no cost model is attached; only
+//! wall-clock is reported.
+
+use super::{BestLabel, Decision};
+use crate::api::LpProgram;
+use crate::report::LpRunReport;
+use glp_graph::{Graph, Label, VertexId};
+use glp_sketch::{BoundedHashTable, InsertOutcome};
+use std::time::Instant;
+
+/// Vertex visit order for the asynchronous sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepOrder {
+    /// Ascending vertex id every sweep (deterministic, cache friendly).
+    Ascending,
+    /// Alternate ascending/descending sweeps (reduces order bias).
+    Alternating,
+}
+
+/// The asynchronous engine.
+#[derive(Clone, Debug)]
+pub struct SequentialEngine {
+    order: SweepOrder,
+    max_iterations: u32,
+}
+
+impl SequentialEngine {
+    /// Ascending-order sweeps.
+    pub fn new() -> Self {
+        Self {
+            order: SweepOrder::Ascending,
+            max_iterations: 10_000,
+        }
+    }
+
+    /// Chooses the sweep order.
+    pub fn with_order(order: SweepOrder) -> Self {
+        Self {
+            order,
+            ..Self::new()
+        }
+    }
+
+    /// Runs `prog` on `g` with asynchronous sweeps: `pick_label` is
+    /// re-read per edge, so updates from earlier vertices in the sweep are
+    /// visible immediately.
+    pub fn run<P: LpProgram>(&self, g: &Graph, prog: &mut P) -> LpRunReport {
+        assert_eq!(
+            prog.num_vertices(),
+            g.num_vertices(),
+            "program sized for a different graph"
+        );
+        let wall_start = Instant::now();
+        let n = g.num_vertices();
+        let csr = g.incoming();
+        let max_deg = (0..n as VertexId).map(|v| csr.degree(v) as usize).max().unwrap_or(0);
+        let mut ht = BoundedHashTable::new((2 * max_deg).max(16), u32::MAX);
+        let mut report = LpRunReport::default();
+
+        for iteration in 0..self.max_iterations {
+            prog.begin_iteration(iteration);
+            let mut changed = 0u64;
+            let visit = |v: VertexId, prog: &mut P, ht: &mut BoundedHashTable| {
+                if csr.degree(v) == 0 {
+                    return 0u64;
+                }
+                ht.clear();
+                let off = csr.offset(v);
+                // Asynchronous: read each neighbor's *current* spoken label.
+                for (j, &u) in csr.neighbors(v).iter().enumerate() {
+                    let spoken_u: Label = prog.pick_label(u);
+                    let c = prog.load_neighbor(v, u, off + j as u64, spoken_u);
+                    match ht.insert_add(u64::from(c.label), c.weight) {
+                        InsertOutcome::Added { .. } => {}
+                        InsertOutcome::Full { .. } => unreachable!("scratch sized to 2x degree"),
+                    }
+                }
+                let current = prog.pick_label(v);
+                let mut best: Option<BestLabel> = None;
+                for (l, freq) in ht.iter() {
+                    let label = l as Label;
+                    BestLabel::offer(&mut best, label, prog.label_score(v, label, freq), current);
+                }
+                let d: Decision = BestLabel::into_decision(best);
+                u64::from(prog.update_vertex(v, d))
+            };
+            let descending =
+                self.order == SweepOrder::Alternating && iteration % 2 == 1;
+            if descending {
+                for v in (0..n as VertexId).rev() {
+                    changed += visit(v, prog, &mut ht);
+                }
+            } else {
+                for v in 0..n as VertexId {
+                    changed += visit(v, prog, &mut ht);
+                }
+            }
+            prog.end_iteration(iteration);
+            report.changed_per_iteration.push(changed);
+            report.iterations = iteration + 1;
+            if prog.finished(iteration, changed) {
+                break;
+            }
+        }
+        report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        report
+    }
+}
+
+impl Default for SequentialEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::ClassicLp;
+    use glp_graph::gen::{path, two_cliques_bridge};
+    use glp_graph::GraphBuilder;
+
+    #[test]
+    fn finds_communities_like_sync_engine() {
+        let g = two_cliques_bridge(8);
+        let mut prog = ClassicLp::new(g.num_vertices());
+        SequentialEngine::new().run(&g, &mut prog);
+        let labels = prog.labels();
+        assert!(labels[..8].iter().all(|&l| l == labels[0]));
+        assert!(labels[8..].iter().all(|&l| l == labels[8]));
+    }
+
+    #[test]
+    fn converges_on_bipartite_pair_where_sync_oscillates() {
+        // A single edge: synchronous LP swaps the two labels forever; the
+        // asynchronous sweep settles in one pass.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).symmetrize(true);
+        let g = b.build();
+        let mut prog = ClassicLp::with_max_iterations(2, 50);
+        let report = SequentialEngine::new().run(&g, &mut prog);
+        assert!(
+            report.iterations < 50,
+            "async LPA should converge, ran {} iterations",
+            report.iterations
+        );
+        assert_eq!(prog.labels()[0], prog.labels()[1]);
+    }
+
+    #[test]
+    fn async_propagates_faster_than_one_hop_per_sweep() {
+        // On a path, an ascending sweep carries low labels all the way to
+        // the right end within a single iteration.
+        let g = path(64);
+        let mut prog = ClassicLp::with_max_iterations(64, 100);
+        let report = SequentialEngine::new().run(&g, &mut prog);
+        assert!(
+            report.iterations < 30,
+            "async sweeps should converge quickly, took {}",
+            report.iterations
+        );
+    }
+
+    #[test]
+    fn alternating_order_still_converges() {
+        let g = two_cliques_bridge(6);
+        let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 50);
+        let report =
+            SequentialEngine::with_order(SweepOrder::Alternating).run(&g, &mut prog);
+        assert_eq!(*report.changed_per_iteration.last().unwrap(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Run reports: what an engine hands back besides the labels themselves.
+
+use glp_gpusim::KernelCounters;
+
+/// Summary of one LP run on any engine.
+#[derive(Clone, Debug, Default)]
+pub struct LpRunReport {
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Modeled elapsed seconds (cost-model time; comparable across all
+    /// engines in this workspace).
+    pub modeled_seconds: f64,
+    /// Modeled seconds spent on host↔device transfers (hybrid/multi-GPU).
+    pub transfer_seconds: f64,
+    /// Host wall-clock seconds the simulation itself took (secondary
+    /// metric; not comparable to `modeled_seconds`).
+    pub wall_seconds: f64,
+    /// Label changes per iteration (convergence trace).
+    pub changed_per_iteration: Vec<u64>,
+    /// Modeled seconds spent in each iteration (cost-decay trace: under
+    /// the frontier optimization, converging runs get cheaper per round).
+    pub iteration_seconds: Vec<f64>,
+    /// GPU event totals (zeroed for CPU engines).
+    pub gpu_counters: KernelCounters,
+    /// High-degree vertices that needed the global-memory fallback
+    /// (the quantity Theorem 1 bounds), summed over iterations.
+    pub smem_fallbacks: u64,
+    /// High-degree vertices processed by the CMS+HT kernel, summed over
+    /// iterations (denominator for the fallback rate).
+    pub smem_vertices: u64,
+}
+
+impl LpRunReport {
+    /// Modeled seconds per iteration (what Figure 7 reports).
+    pub fn seconds_per_iteration(&self) -> f64 {
+        self.modeled_seconds / f64::from(self.iterations.max(1))
+    }
+
+    /// Fraction of high-degree vertices that fell back to global memory.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.smem_vertices == 0 {
+            0.0
+        } else {
+            self.smem_fallbacks as f64 / self.smem_vertices as f64
+        }
+    }
+
+    /// Transfer share of total modeled time (the paper's "<10%" claim).
+    pub fn transfer_fraction(&self) -> f64 {
+        if self.modeled_seconds == 0.0 {
+            0.0
+        } else {
+            self.transfer_seconds / self.modeled_seconds
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_trace_roundtrip() {
+        let r = LpRunReport {
+            iterations: 2,
+            iteration_seconds: vec![0.5, 0.25],
+            ..Default::default()
+        };
+        assert_eq!(r.iteration_seconds.len(), r.iterations as usize);
+        assert!(r.iteration_seconds[1] < r.iteration_seconds[0]);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let r = LpRunReport {
+            iterations: 4,
+            modeled_seconds: 2.0,
+            transfer_seconds: 0.1,
+            smem_fallbacks: 5,
+            smem_vertices: 100,
+            ..Default::default()
+        };
+        assert_eq!(r.seconds_per_iteration(), 0.5);
+        assert_eq!(r.fallback_rate(), 0.05);
+        assert_eq!(r.transfer_fraction(), 0.05);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let r = LpRunReport::default();
+        assert_eq!(r.seconds_per_iteration(), 0.0);
+        assert_eq!(r.fallback_rate(), 0.0);
+        assert_eq!(r.transfer_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Ready-made LP programs (§3.1's examples plus the fraud-pipeline
+//! variants).
+//!
+//! * [`ClassicLp`] — Raghavan et al.'s near-linear community detection:
+//!   every vertex adopts its neighbors' most frequent label.
+//! * [`Llp`] — Boldi et al.'s layered LP: score `k − γ(v − k)` penalizes
+//!   over-large communities.
+//! * [`Slp`] — the speaker–listener process (SLPA) for overlapping
+//!   communities: bounded per-vertex label memories.
+//! * [`SeededLp`] — the fraud-pipeline variant: only labels seeded from the
+//!   blacklist propagate, carving out suspicious clusters.
+//! * [`WeightedLp`] — classic LP weighted by edge weights (transaction
+//!   counts/amounts).
+//! * [`CapacityLp`] — balanced LP in the spirit of the partitioning
+//!   variants the paper cites [34, 35]: labels have a hard membership cap.
+//! * [`RiskWeightedLp`] — seeded LP where blacklist entries carry
+//!   confidence multipliers.
+
+mod capacity;
+mod classic;
+mod llp;
+mod risk;
+mod seeded;
+mod slp;
+mod weighted;
+
+pub use capacity::CapacityLp;
+pub use classic::ClassicLp;
+pub use llp::Llp;
+pub use risk::RiskWeightedLp;
+pub use seeded::SeededLp;
+pub use slp::Slp;
+pub use weighted::WeightedLp;

@@ -1,0 +1,188 @@
+//! Incremental sliding-window maintenance.
+//!
+//! The production pipeline (Figure 1) does not rebuild each window from
+//! scratch: every day the newest day's transactions enter and the oldest
+//! day's expire. This maintainer keeps the pair-weight multiset
+//! incrementally — O(transactions of the two boundary days) per advance —
+//! and materializes a fresh CSR on demand. Materialization equals a
+//! from-scratch [`WindowWorkload::build`] bit for bit, which the tests
+//! pin.
+
+use crate::transactions::TxStream;
+use crate::window::WindowWorkload;
+use glp_graph::{Graph, GraphBuilder, VertexId};
+use std::collections::HashMap;
+
+/// Maintains one sliding window over a transaction stream.
+#[derive(Clone, Debug)]
+pub struct IncrementalWindow {
+    /// Window length in days.
+    days: u32,
+    /// Exclusive end day of the current window.
+    end: u32,
+    /// Current (buyer, item) → transaction count.
+    counts: HashMap<(u32, u32), f32>,
+}
+
+impl IncrementalWindow {
+    /// A window of `days` days ending (exclusively) at `end`, initialized
+    /// by one pass over the stream.
+    pub fn new(stream: &TxStream, days: u32, end: u32) -> Self {
+        assert!(days >= 1, "window needs at least one day");
+        let mut w = Self {
+            days,
+            end,
+            counts: HashMap::new(),
+        };
+        for t in stream.window(end.saturating_sub(days), end) {
+            *w.counts.entry((t.buyer, t.item)).or_default() += 1.0;
+        }
+        w
+    }
+
+    /// Window length in days.
+    pub fn days(&self) -> u32 {
+        self.days
+    }
+
+    /// Exclusive end day.
+    pub fn end(&self) -> u32 {
+        self.end
+    }
+
+    /// Distinct (buyer, item) pairs currently in the window.
+    pub fn num_pairs(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Slides the window forward one day: day `end` enters, day
+    /// `end - days` expires.
+    pub fn advance(&mut self, stream: &TxStream) {
+        let entering = self.end;
+        let expiring = self.end.saturating_sub(self.days);
+        for t in stream.window(entering, entering + 1) {
+            *self.counts.entry((t.buyer, t.item)).or_default() += 1.0;
+        }
+        if self.end >= self.days {
+            for t in stream.window(expiring, expiring + 1) {
+                let key = (t.buyer, t.item);
+                match self.counts.get_mut(&key) {
+                    Some(c) if *c > 1.0 => *c -= 1.0,
+                    Some(_) => {
+                        self.counts.remove(&key);
+                    }
+                    None => unreachable!("expiring a transaction never added"),
+                }
+            }
+        }
+        self.end += 1;
+    }
+
+    /// Materializes the current window as a [`WindowWorkload`], with the
+    /// same dense-id assignment as a from-scratch build: vertex ids in
+    /// first-appearance order of the window's *transactions*.
+    pub fn materialize(&self, stream: &TxStream) -> WindowWorkload {
+        // Recover first-appearance order by replaying the window's
+        // transaction order (cheap: one filtered pass, no counting).
+        let start = self.end.saturating_sub(self.days);
+        let mut user_vertex: HashMap<u32, VertexId> = HashMap::new();
+        let mut item_slot: HashMap<u32, u32> = HashMap::new();
+        for t in stream.window(start, self.end) {
+            let next = user_vertex.len() as VertexId;
+            user_vertex.entry(t.buyer).or_insert(next);
+            let next_item = item_slot.len() as u32;
+            item_slot.entry(t.item).or_insert(next_item);
+        }
+        let num_users = user_vertex.len();
+        let n = num_users + item_slot.len();
+        let mut b = GraphBuilder::with_capacity(n, self.counts.len());
+        for (&(buyer, item), &w) in &self.counts {
+            let u = user_vertex[&buyer];
+            let i = num_users as VertexId + item_slot[&item];
+            b.add_weighted_edge(u, i, w);
+        }
+        b.symmetrize(true).dedup(true);
+        WindowWorkload {
+            days: self.days,
+            graph: b.build(),
+            user_vertex,
+            num_user_vertices: num_users,
+        }
+    }
+
+    /// The current window's graph alone (see [`Self::materialize`]).
+    pub fn graph(&self, stream: &TxStream) -> Graph {
+        self.materialize(stream).graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transactions::TxConfig;
+
+    fn stream() -> TxStream {
+        TxStream::generate(&TxConfig {
+            num_users: 1_500,
+            num_items: 600,
+            days: 30,
+            tx_per_day: 900,
+            num_rings: 3,
+            ring_size: 10,
+            ring_tx_per_day: 25,
+            ..Default::default()
+        })
+    }
+
+    fn graphs_equal(a: &Graph, b: &Graph) -> bool {
+        a.incoming().offsets() == b.incoming().offsets()
+            && a.incoming().targets() == b.incoming().targets()
+            && a.incoming().weights() == b.incoming().weights()
+    }
+
+    #[test]
+    fn initial_build_matches_from_scratch() {
+        let s = stream();
+        let inc = IncrementalWindow::new(&s, 10, s.config.days);
+        let scratch = WindowWorkload::build(&s, 10);
+        assert!(graphs_equal(&inc.graph(&s), &scratch.graph));
+    }
+
+    #[test]
+    fn advancing_matches_rebuilds_every_day() {
+        let s = stream();
+        // Start with the window ending at day 12 and slide to the end.
+        let mut inc = IncrementalWindow::new(&s, 7, 12);
+        for end in 13..=s.config.days {
+            inc.advance(&s);
+            assert_eq!(inc.end(), end);
+            // From-scratch reference for the same [end-7, end) window:
+            let mut reference = IncrementalWindow::new(&s, 7, end);
+            assert_eq!(inc.num_pairs(), reference.num_pairs());
+            assert!(
+                graphs_equal(&inc.graph(&s), &reference.graph(&s)),
+                "divergence at end day {end}"
+            );
+            reference.counts.clear();
+        }
+    }
+
+    #[test]
+    fn expiry_removes_old_days_completely() {
+        let s = stream();
+        let mut inc = IncrementalWindow::new(&s, 1, 1); // exactly day 0
+        let day0_pairs = inc.num_pairs();
+        assert!(day0_pairs > 0);
+        inc.advance(&s); // now exactly day 1
+        let reference = IncrementalWindow::new(&s, 1, 2);
+        assert_eq!(inc.num_pairs(), reference.num_pairs());
+    }
+
+    #[test]
+    fn seeds_survive_materialization() {
+        let s = stream();
+        let inc = IncrementalWindow::new(&s, 20, s.config.days);
+        let w = inc.materialize(&s);
+        assert_eq!(w.seeds(&s).len(), s.blacklist.len());
+    }
+}

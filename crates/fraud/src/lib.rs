@@ -1,0 +1,32 @@
+//! # glp-fraud — the TaoBao fraud-detection pipeline (paper §1, §5.4)
+//!
+//! The paper's motivating deployment: sliding windows over recent
+//! transactions form user–product graphs; seeded label propagation from a
+//! blacklist carves out suspicious clusters; downstream models score them.
+//! LP is 75% of the pipeline's runtime, which is what GLP attacks.
+//!
+//! This crate builds the whole pipeline against synthetic data:
+//!
+//! * [`transactions`] — a seeded e-commerce transaction generator with
+//!   injected fraud rings (the ground truth) and a partial blacklist (the
+//!   seeds).
+//! * [`window`] — sliding-window graph construction matching Table 4's
+//!   V/E growth shape at a configurable scale.
+//! * [`pipeline`] — the end-to-end pipeline with per-stage timing and
+//!   precision/recall against the injected rings.
+//! * [`inhouse`] — the simulated 32-machine in-house distributed LP
+//!   solution Figure 7 compares against.
+//! * [`incremental`] — day-by-day sliding-window maintenance, the way the
+//!   production pipeline actually advances windows.
+
+pub mod incremental;
+pub mod inhouse;
+pub mod pipeline;
+pub mod transactions;
+pub mod window;
+
+pub use incremental::IncrementalWindow;
+pub use inhouse::InHouseLp;
+pub use pipeline::{FraudPipeline, PipelineConfig, PipelineReport};
+pub use transactions::{Transaction, TxConfig, TxStream};
+pub use window::{WindowSpec, WindowWorkload};

@@ -1,0 +1,269 @@
+//! Synthetic e-commerce transaction stream with injected fraud rings.
+//!
+//! Substitutes for TaoBao's production purchase/click stream (Figure 1).
+//! Honest traffic: a Zipf-active user population buying Zipf-popular
+//! items, a fixed expected volume per day. Fraud traffic: rings of
+//! colluding accounts hammering a small set of target items (the classic
+//! rank-inflation pattern LP clusters catch). A fraction of each ring is
+//! already black-listed — those are the LP seeds.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One purchase event.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Buyer account (0-based user id).
+    pub buyer: u32,
+    /// Item bought (0-based item id).
+    pub item: u32,
+    /// Day index from stream start.
+    pub day: u32,
+    /// Paid amount.
+    pub amount: f32,
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct TxConfig {
+    /// Total user population (unique users saturate toward this).
+    pub num_users: u32,
+    /// Total item catalog.
+    pub num_items: u32,
+    /// Days of history to generate.
+    pub days: u32,
+    /// Honest transactions per day.
+    pub tx_per_day: u32,
+    /// Zipf skew of user activity and item popularity.
+    pub skew: f64,
+    /// Number of injected fraud rings.
+    pub num_rings: u32,
+    /// Colluding accounts per ring.
+    pub ring_size: u32,
+    /// Ring transactions per ring per day.
+    pub ring_tx_per_day: u32,
+    /// Fraction of each ring already on the blacklist (the LP seeds).
+    pub blacklist_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TxConfig {
+    fn default() -> Self {
+        Self {
+            num_users: 50_000,
+            num_items: 20_000,
+            days: 100,
+            tx_per_day: 20_000,
+            skew: 0.7,
+            num_rings: 20,
+            ring_size: 25,
+            ring_tx_per_day: 60,
+            blacklist_fraction: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+/// The generated stream plus ground truth.
+#[derive(Clone, Debug)]
+pub struct TxStream {
+    /// All transactions, sorted by day.
+    pub transactions: Vec<Transaction>,
+    /// Ring membership ground truth: `ring_of[user] = Some(ring index)`.
+    pub ring_of: Vec<Option<u32>>,
+    /// Black-listed users (subset of ring members), ascending.
+    pub blacklist: Vec<u32>,
+    /// The configuration that produced this stream.
+    pub config: TxConfig,
+}
+
+impl TxStream {
+    /// Generates the stream for `cfg`.
+    pub fn generate(cfg: &TxConfig) -> Self {
+        assert!(cfg.num_users > 0 && cfg.num_items > 0, "need users and items");
+        assert!(
+            u64::from(cfg.num_rings) * u64::from(cfg.ring_size) <= u64::from(cfg.num_users),
+            "rings cannot exceed the user population"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.blacklist_fraction),
+            "blacklist fraction is a probability"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+        // Ring membership: the first num_rings*ring_size users, shuffled so
+        // ring members are scattered across the id space like real
+        // accounts.
+        let mut ids: Vec<u32> = (0..cfg.num_users).collect();
+        for i in (1..ids.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            ids.swap(i, j);
+        }
+        let mut ring_of = vec![None; cfg.num_users as usize];
+        let mut blacklist = Vec::new();
+        for r in 0..cfg.num_rings {
+            for k in 0..cfg.ring_size {
+                let u = ids[(r * cfg.ring_size + k) as usize];
+                ring_of[u as usize] = Some(r);
+                if f64::from(k) < cfg.blacklist_fraction * f64::from(cfg.ring_size) {
+                    blacklist.push(u);
+                }
+            }
+        }
+        blacklist.sort_unstable();
+
+        // Zipf cumulative samplers over users and items.
+        let user_cum = zipf_prefix(cfg.num_users, cfg.skew);
+        let item_cum = zipf_prefix(cfg.num_items, cfg.skew);
+
+        // Ring target items: each ring pushes a small disjoint item set
+        // drawn from the popularity *tail* — rank-inflation targets are
+        // obscure listings, not already-popular ones.
+        let items_per_ring = 4u32;
+        let ring_items: Vec<Vec<u32>> = (0..cfg.num_rings)
+            .map(|r| {
+                (0..items_per_ring)
+                    .map(|k| cfg.num_items - 1 - ((r * items_per_ring + k) % cfg.num_items))
+                    .collect()
+            })
+            .collect();
+
+        let total = (u64::from(cfg.days)
+            * (u64::from(cfg.tx_per_day)
+                + u64::from(cfg.num_rings) * u64::from(cfg.ring_tx_per_day)))
+            as usize;
+        let mut transactions = Vec::with_capacity(total);
+        for day in 0..cfg.days {
+            for _ in 0..cfg.tx_per_day {
+                transactions.push(Transaction {
+                    buyer: sample_cum(&user_cum, &mut rng),
+                    item: sample_cum(&item_cum, &mut rng),
+                    day,
+                    amount: rng.gen_range(1.0..500.0),
+                });
+            }
+            for (r, items) in ring_items.iter().enumerate() {
+                for _ in 0..cfg.ring_tx_per_day {
+                    let member = rng.gen_range(0..cfg.ring_size);
+                    let buyer = ids[(r as u32 * cfg.ring_size + member) as usize];
+                    let item = items[rng.gen_range(0..items.len())];
+                    transactions.push(Transaction {
+                        buyer,
+                        item,
+                        day,
+                        amount: rng.gen_range(1.0..20.0), // small wash trades
+                    });
+                }
+            }
+        }
+        Self {
+            transactions,
+            ring_of,
+            blacklist,
+            config: cfg.clone(),
+        }
+    }
+
+    /// Transactions with `day` in `[from, to)`.
+    pub fn window(&self, from: u32, to: u32) -> impl Iterator<Item = &Transaction> {
+        self.transactions
+            .iter()
+            .filter(move |t| t.day >= from && t.day < to)
+    }
+
+    /// Users in any ring (ground truth positives).
+    pub fn fraudulent_users(&self) -> Vec<u32> {
+        self.ring_of
+            .iter()
+            .enumerate()
+            .filter_map(|(u, r)| r.map(|_| u as u32))
+            .collect()
+    }
+}
+
+/// Prefix sums of Zipf weights `1/(i+1)^skew`.
+fn zipf_prefix(n: u32, skew: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    (0..n)
+        .map(|i| {
+            acc += 1.0 / f64::from(i + 1).powf(skew);
+            acc
+        })
+        .collect()
+}
+
+fn sample_cum(prefix: &[f64], rng: &mut impl Rng) -> u32 {
+    let x: f64 = rng.gen::<f64>() * prefix.last().copied().unwrap_or(1.0);
+    prefix.partition_point(|&p| p < x).min(prefix.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TxConfig {
+        TxConfig {
+            num_users: 1_000,
+            num_items: 400,
+            days: 10,
+            tx_per_day: 500,
+            num_rings: 3,
+            ring_size: 10,
+            ring_tx_per_day: 20,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a = TxStream::generate(&small());
+        let b = TxStream::generate(&small());
+        assert_eq!(a.transactions, b.transactions);
+        assert_eq!(a.blacklist, b.blacklist);
+    }
+
+    #[test]
+    fn ring_membership_and_blacklist_consistent() {
+        let s = TxStream::generate(&small());
+        assert_eq!(s.fraudulent_users().len(), 30);
+        assert_eq!(s.blacklist.len(), 6); // 20% of 3 rings of 10
+        for &u in &s.blacklist {
+            assert!(s.ring_of[u as usize].is_some(), "blacklisted user not in a ring");
+        }
+    }
+
+    #[test]
+    fn volume_matches_config() {
+        let cfg = small();
+        let s = TxStream::generate(&cfg);
+        let expect = (cfg.days * (cfg.tx_per_day + cfg.num_rings * cfg.ring_tx_per_day)) as usize;
+        assert_eq!(s.transactions.len(), expect);
+        assert!(s.transactions.windows(2).all(|w| w[0].day <= w[1].day));
+    }
+
+    #[test]
+    fn window_filters_days() {
+        let s = TxStream::generate(&small());
+        assert!(s.window(2, 5).all(|t| (2..5).contains(&t.day)));
+        let w: usize = s.window(0, 10).count();
+        assert_eq!(w, s.transactions.len());
+    }
+
+    #[test]
+    fn ring_members_hammer_their_items() {
+        let s = TxStream::generate(&small());
+        let ring0: Vec<u32> = (0..1_000u32)
+            .filter(|&u| s.ring_of[u as usize] == Some(0))
+            .collect();
+        let ring_tx = s
+            .transactions
+            .iter()
+            .filter(|t| ring0.contains(&t.buyer))
+            .count();
+        // 10 members get 20 ring tx/day for 10 days plus whatever honest
+        // traffic they happen to produce.
+        assert!(ring_tx >= 200, "{ring_tx}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Sliding-window transaction graphs (Table 4).
+//!
+//! The pipeline "maintains sliding windows containing the transactions in
+//! the past 10–100 days" and builds a graph per window (§5.4). Vertices
+//! are users and items (users first, then items, like the aligraph
+//! substitute); repeated purchases between the same pair merge into one
+//! weighted edge. Because users and items recur across days, |V| grows
+//! sublinearly with window length while |E| grows near-linearly — exactly
+//! Table 4's shape (V: 460M→1010M, ×2.2; E: 1.7B→10.2B, ×6).
+
+use crate::transactions::TxStream;
+use glp_graph::{Graph, GraphBuilder, VertexId};
+use std::collections::HashMap;
+
+/// One sliding-window workload: the graph plus id mappings.
+#[derive(Clone, Debug)]
+pub struct WindowWorkload {
+    /// Window length in days.
+    pub days: u32,
+    /// The symmetrized, weighted user–item graph.
+    pub graph: Graph,
+    /// Graph vertex id of each participating user: `user_vertex[u]`.
+    pub user_vertex: HashMap<u32, VertexId>,
+    /// Number of user vertices (items follow them in the id space).
+    pub num_user_vertices: usize,
+}
+
+impl WindowWorkload {
+    /// Builds the graph over the last `days` days of `stream` (the window
+    /// ending at the stream's final day).
+    pub fn build(stream: &TxStream, days: u32) -> Self {
+        let end = stream.config.days;
+        let start = end.saturating_sub(days);
+        // First pass: assign dense vertex ids to participating users/items.
+        let mut user_vertex: HashMap<u32, VertexId> = HashMap::new();
+        let mut item_slot: HashMap<u32, u32> = HashMap::new();
+        for t in stream.window(start, end) {
+            let next = user_vertex.len() as VertexId;
+            user_vertex.entry(t.buyer).or_insert(next);
+            let next_item = item_slot.len() as u32;
+            item_slot.entry(t.item).or_insert(next_item);
+        }
+        let num_users = user_vertex.len();
+        let n = num_users + item_slot.len();
+        // Second pass: weighted edges, duplicates merged.
+        let mut b = GraphBuilder::with_capacity(n, stream.transactions.len());
+        for t in stream.window(start, end) {
+            let u = user_vertex[&t.buyer];
+            let i = num_users as VertexId + item_slot[&t.item];
+            b.add_weighted_edge(u, i, 1.0);
+        }
+        b.symmetrize(true).dedup(true);
+        Self {
+            days,
+            graph: b.build(),
+            user_vertex,
+            num_user_vertices: num_users,
+        }
+    }
+
+    /// Seed vertex ids: black-listed users present in this window.
+    pub fn seeds(&self, stream: &TxStream) -> Vec<VertexId> {
+        let mut seeds: Vec<VertexId> = stream
+            .blacklist
+            .iter()
+            .filter_map(|u| self.user_vertex.get(u).copied())
+            .collect();
+        seeds.sort_unstable();
+        seeds
+    }
+
+    /// Whether a graph vertex is a user (vs an item).
+    pub fn is_user(&self, v: VertexId) -> bool {
+        (v as usize) < self.num_user_vertices
+    }
+}
+
+/// The Table 4 sweep: window lengths 10, 20, …, 100 days.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowSpec {
+    /// Window length in days.
+    pub days: u32,
+    /// |V| in millions as Table 4 reports it (for the comparison printout).
+    pub paper_vertices_m: u32,
+    /// |E| in billions as Table 4 reports it.
+    pub paper_edges_b: f64,
+}
+
+/// Table 4's ten sliding-window workloads.
+pub fn table4() -> Vec<WindowSpec> {
+    let v = [460u32, 630, 700, 770, 820, 880, 920, 970, 990, 1010];
+    let e = [1.7, 3.0, 4.3, 5.5, 6.7, 7.8, 8.7, 9.3, 9.8, 10.2];
+    (0..10)
+        .map(|i| WindowSpec {
+            days: 10 * (i as u32 + 1),
+            paper_vertices_m: v[i],
+            paper_edges_b: e[i],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transactions::TxConfig;
+
+    fn stream() -> TxStream {
+        TxStream::generate(&TxConfig {
+            num_users: 3_000,
+            num_items: 1_000,
+            days: 100,
+            tx_per_day: 1_500,
+            num_rings: 4,
+            ring_size: 12,
+            ring_tx_per_day: 30,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn vertices_grow_sublinearly_edges_nearly_linearly() {
+        let s = stream();
+        let w10 = WindowWorkload::build(&s, 10);
+        let w100 = WindowWorkload::build(&s, 100);
+        let v_ratio = w100.graph.num_vertices() as f64 / w10.graph.num_vertices() as f64;
+        let e_ratio = w100.graph.num_edges() as f64 / w10.graph.num_edges() as f64;
+        assert!(v_ratio < e_ratio, "V ratio {v_ratio} !< E ratio {e_ratio}");
+        assert!(v_ratio > 1.0 && v_ratio < 3.5, "V ratio {v_ratio}");
+        assert!(e_ratio > 2.5, "E ratio {e_ratio}");
+    }
+
+    #[test]
+    fn graph_is_bipartite_and_weighted() {
+        let s = stream();
+        let w = WindowWorkload::build(&s, 20);
+        assert!(w.graph.incoming().is_weighted());
+        for v in 0..w.graph.num_vertices() as VertexId {
+            let user = w.is_user(v);
+            for &u in w.graph.neighbors(v) {
+                assert_ne!(w.is_user(u), user, "edge within one side");
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_window_participants() {
+        let s = stream();
+        let w = WindowWorkload::build(&s, 100);
+        let seeds = w.seeds(&s);
+        // Ring members transact daily, so every black-listed user appears
+        // in the full window.
+        assert_eq!(seeds.len(), s.blacklist.len());
+        for &v in &seeds {
+            assert!(w.is_user(v));
+        }
+    }
+
+    #[test]
+    fn table4_specs_shape() {
+        let t = table4();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t[0].days, 10);
+        assert_eq!(t[9].days, 100);
+        assert!(t.windows(2).all(|w| w[0].paper_vertices_m < w[1].paper_vertices_m));
+        assert!(t.windows(2).all(|w| w[0].paper_edges_b < w[1].paper_edges_b));
+    }
+}

@@ -1,0 +1,152 @@
+//! Device configuration.
+//!
+//! Defaults model the NVIDIA Titan V used in the paper's experiments (§5.1):
+//! Volta GV100, 80 SMs, 12 GiB HBM2, 652.8 GB/s, up to 96 KiB shared memory
+//! per SM (48 KiB per block by default), PCIe 3.0 x16 host link.
+
+use serde::{Deserialize, Serialize};
+
+/// Static hardware description of one simulated GPU.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Core clock in GHz (sustained, not peak boost).
+    pub clock_ghz: f64,
+    /// Warp instructions issued per SM per cycle, sustained. Volta has four
+    /// schedulers per SM but memory-bound graph kernels sustain ~1.
+    pub issue_per_sm_cycle: f64,
+    /// Shared memory available to one thread block, in bytes.
+    pub shared_mem_per_block: usize,
+    /// Threads per block used by LP kernels (the paper's kernels use one
+    /// block per high-degree vertex).
+    pub threads_per_block: u32,
+    /// Global memory capacity in bytes (12 GiB on Titan V). Graphs larger
+    /// than this trigger the CPU–GPU hybrid mode.
+    pub global_mem_bytes: u64,
+    /// Global memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Modeled L2 capacity in bytes — only used by the G-Hash baseline's
+    /// cache-hit model (§4.1: "relies on the built-in caching mechanism").
+    pub l2_bytes: u64,
+    /// Host link (PCIe 3.0 x16) sustained bandwidth in GB/s.
+    pub pcie_gbps: f64,
+    /// Fixed kernel launch overhead in microseconds.
+    pub kernel_launch_us: f64,
+}
+
+impl DeviceConfig {
+    /// The paper's GPU: NVIDIA Titan V (Volta GV100).
+    pub fn titan_v() -> Self {
+        Self {
+            name: "NVIDIA Titan V (modeled)".to_string(),
+            num_sms: 80,
+            clock_ghz: 1.2,
+            issue_per_sm_cycle: 1.0,
+            shared_mem_per_block: 48 * 1024,
+            threads_per_block: 256,
+            global_mem_bytes: 12 * (1 << 30),
+            mem_bandwidth_gbps: 652.8,
+            l2_bytes: 4608 * 1024,
+            pcie_gbps: 12.0,
+            kernel_launch_us: 4.0,
+        }
+    }
+
+    /// Tesla V100 (SXM2): the datacenter sibling of the Titan V — same
+    /// GV100 silicon, higher bandwidth bin, 16 GiB, NVLink-class host
+    /// numbers folded into PCIe for this model.
+    pub fn v100() -> Self {
+        Self {
+            name: "NVIDIA Tesla V100 (modeled)".to_string(),
+            num_sms: 80,
+            clock_ghz: 1.38,
+            global_mem_bytes: 16 * (1 << 30),
+            mem_bandwidth_gbps: 900.0,
+            l2_bytes: 6 * 1024 * 1024,
+            ..Self::titan_v()
+        }
+    }
+
+    /// A100 (SXM4, 40 GiB): the next-generation part — more SMs, HBM2e.
+    pub fn a100() -> Self {
+        Self {
+            name: "NVIDIA A100 (modeled)".to_string(),
+            num_sms: 108,
+            clock_ghz: 1.27,
+            shared_mem_per_block: 96 * 1024,
+            global_mem_bytes: 40 * (1 << 30),
+            mem_bandwidth_gbps: 1555.0,
+            l2_bytes: 40 * 1024 * 1024,
+            pcie_gbps: 24.0, // PCIe 4.0 x16
+            ..Self::titan_v()
+        }
+    }
+
+    /// GeForce RTX 2080 Ti: the consumer part a smaller shop would buy.
+    pub fn rtx2080ti() -> Self {
+        Self {
+            name: "NVIDIA RTX 2080 Ti (modeled)".to_string(),
+            num_sms: 68,
+            clock_ghz: 1.545,
+            global_mem_bytes: 11 * (1 << 30),
+            mem_bandwidth_gbps: 616.0,
+            l2_bytes: 5632 * 1024,
+            ..Self::titan_v()
+        }
+    }
+
+    /// A deliberately tiny device for out-of-core tests: graphs overflow its
+    /// memory at laughably small sizes so hybrid-mode paths get exercised.
+    pub fn tiny(global_mem_bytes: u64) -> Self {
+        Self {
+            name: "tiny test device".to_string(),
+            global_mem_bytes,
+            ..Self::titan_v()
+        }
+    }
+
+    /// Warps per thread block.
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block.div_ceil(crate::warp::WARP_SIZE as u32)
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::titan_v()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_v_datasheet_shape() {
+        let c = DeviceConfig::titan_v();
+        assert_eq!(c.num_sms, 80);
+        assert_eq!(c.global_mem_bytes, 12 << 30);
+        assert_eq!(c.warps_per_block(), 8);
+    }
+
+    #[test]
+    fn presets_scale_sensibly() {
+        let titan = DeviceConfig::titan_v();
+        let a100 = DeviceConfig::a100();
+        let v100 = DeviceConfig::v100();
+        assert!(a100.mem_bandwidth_gbps > v100.mem_bandwidth_gbps);
+        assert!(v100.mem_bandwidth_gbps > titan.mem_bandwidth_gbps);
+        assert!(a100.num_sms > titan.num_sms);
+        assert!(DeviceConfig::rtx2080ti().global_mem_bytes < titan.global_mem_bytes);
+    }
+
+    #[test]
+    fn tiny_device_overrides_memory_only() {
+        let c = DeviceConfig::tiny(1024);
+        assert_eq!(c.global_mem_bytes, 1024);
+        assert_eq!(c.num_sms, DeviceConfig::titan_v().num_sms);
+    }
+}

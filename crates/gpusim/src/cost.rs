@@ -1,0 +1,152 @@
+//! Roofline cost model: event counts → modeled seconds.
+//!
+//! `kernel_time = max(compute_time, memory_time) + launch_overhead`
+//!
+//! * compute_time — total warp-instruction cycles divided by the machine's
+//!   sustained issue rate (`num_sms × issue_per_sm_cycle × clock`).
+//! * memory_time — total 32-byte sectors moved divided by bandwidth.
+//!   Coalescing was already applied when sectors were counted, so scattered
+//!   access patterns show up here as extra sectors.
+//!
+//! Per-event cycle weights follow published Volta microbenchmarks
+//! (Jia et al., "Dissecting the NVIDIA Volta GPU Architecture via
+//! Microbenchmarking", 2018): shared-memory latency ~19 cycles but fully
+//! pipelined (≈1 cycle/issue sustained, +1 per conflicting bank), shared
+//! atomics ~4 cycles sustained, global atomics ~30 cycles plus
+//! serialization on address conflicts, warp intrinsics 2 cycles.
+
+use crate::config::DeviceConfig;
+use crate::counters::KernelCounters;
+use serde::{Deserialize, Serialize};
+
+/// Cycle weights for each counted event class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cycles per plain warp instruction.
+    pub alu_cycles: f64,
+    /// Cycles per warp-wide shared-memory access (sustained, pipelined).
+    pub shared_cycles: f64,
+    /// Extra cycles per bank-conflict serialization step.
+    pub bank_conflict_cycles: f64,
+    /// Cycles per shared-memory atomic.
+    pub shared_atomic_cycles: f64,
+    /// Cycles per global atomic (beyond its memory sector).
+    pub global_atomic_cycles: f64,
+    /// Extra cycles per same-address conflict step within a warp.
+    pub atomic_conflict_cycles: f64,
+    /// Cycles per warp intrinsic.
+    pub intrinsic_cycles: f64,
+    /// Intrinsic steps per block reduction = log2(threads_per_block); the
+    /// weight here multiplies that step count.
+    pub reduction_step_cycles: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            alu_cycles: 1.0,
+            shared_cycles: 1.0,
+            bank_conflict_cycles: 1.0,
+            shared_atomic_cycles: 4.0,
+            // Read-modify-write round trip: ~36 cycles for L2-resident
+            // atomics (Jia et al.), roughly double once the line misses to
+            // DRAM — graph-scale per-vertex tables mostly miss.
+            global_atomic_cycles: 60.0,
+            atomic_conflict_cycles: 10.0,
+            intrinsic_cycles: 2.0,
+            reduction_step_cycles: 2.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total compute cycles implied by `c` on a device with
+    /// `threads_per_block` threads per block.
+    pub fn compute_cycles(&self, c: &KernelCounters, threads_per_block: u32) -> f64 {
+        let reduce_steps = f64::from(32 - (threads_per_block.max(2) - 1).leading_zeros());
+        c.alu_instructions as f64 * self.alu_cycles
+            + c.shared_accesses as f64 * self.shared_cycles
+            + c.shared_bank_conflicts as f64 * self.bank_conflict_cycles
+            + c.shared_atomics as f64 * self.shared_atomic_cycles
+            + c.global_atomics as f64 * self.global_atomic_cycles
+            + c.global_atomic_conflicts as f64 * self.atomic_conflict_cycles
+            + c.warp_intrinsics as f64 * self.intrinsic_cycles
+            + c.block_reductions as f64 * reduce_steps * self.reduction_step_cycles
+    }
+
+    /// Modeled elapsed seconds for counters `c` on device `cfg`.
+    pub fn kernel_seconds(&self, cfg: &DeviceConfig, c: &KernelCounters) -> f64 {
+        let compute_cycles = self.compute_cycles(c, cfg.threads_per_block);
+        let issue_rate = f64::from(cfg.num_sms) * cfg.issue_per_sm_cycle * cfg.clock_ghz * 1e9;
+        let compute_s = compute_cycles / issue_rate;
+        let mem_s = c.global_bytes() as f64 / (cfg.mem_bandwidth_gbps * 1e9);
+        compute_s.max(mem_s) + c.kernel_launches as f64 * cfg.kernel_launch_us * 1e-6
+    }
+
+    /// Modeled seconds to move `bytes` across the host link (PCIe).
+    pub fn transfer_seconds(&self, cfg: &DeviceConfig, bytes: u64) -> f64 {
+        bytes as f64 / (cfg.pcie_gbps * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::titan_v()
+    }
+
+    #[test]
+    fn empty_counters_cost_only_launch_overhead() {
+        let m = CostModel::default();
+        let c = KernelCounters {
+            kernel_launches: 1,
+            ..Default::default()
+        };
+        let s = m.kernel_seconds(&cfg(), &c);
+        assert!((s - 4e-6).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn memory_bound_kernel_times_by_bandwidth() {
+        let m = CostModel::default();
+        // 1 GB of sectors, negligible compute.
+        let c = KernelCounters {
+            global_read_sectors: (1u64 << 30) / 32,
+            ..Default::default()
+        };
+        let s = m.kernel_seconds(&cfg(), &c);
+        let expect = (1u64 << 30) as f64 / (652.8e9);
+        assert!((s - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_kernel_times_by_issue_rate() {
+        let m = CostModel::default();
+        let c = KernelCounters {
+            alu_instructions: 96_000_000_000, // 96G instructions
+            ..Default::default()
+        };
+        let s = m.kernel_seconds(&cfg(), &c);
+        // 96e9 cycles / (80 SMs * 1.2e9) = 1.0 s
+        assert!((s - 1.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn uncoalesced_traffic_costs_more_time() {
+        let m = CostModel::default();
+        // Same logical reads: 32 lanes x 4 bytes. Coalesced = 4 sectors;
+        // fully scattered = 32 sectors.
+        let co = KernelCounters { global_read_sectors: 4_000_000, ..Default::default() };
+        let sc = KernelCounters { global_read_sectors: 32_000_000, ..Default::default() };
+        assert!(m.kernel_seconds(&cfg(), &sc) > 7.0 * m.kernel_seconds(&cfg(), &co));
+    }
+
+    #[test]
+    fn transfer_seconds_matches_pcie_rate() {
+        let m = CostModel::default();
+        let s = m.transfer_seconds(&cfg(), 12_000_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

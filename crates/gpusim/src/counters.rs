@@ -1,0 +1,116 @@
+//! Architectural event counters.
+//!
+//! Every kernel accumulates one [`KernelCounters`]; the cost model converts
+//! the counts into modeled time. Counters are plain `u64`s updated
+//! single-threaded inside a kernel launch (kernels may shard work across OS
+//! threads, each with its own counters, merged at the end).
+
+use serde::{Deserialize, Serialize};
+
+/// Event counts for one kernel launch (or an aggregation of launches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelCounters {
+    /// 32-byte global read sectors moved (after coalescing).
+    pub global_read_sectors: u64,
+    /// 32-byte global write sectors moved (after coalescing).
+    pub global_write_sectors: u64,
+    /// Global atomic operations issued.
+    pub global_atomics: u64,
+    /// Extra serialization steps from same-address atomics within a warp.
+    pub global_atomic_conflicts: u64,
+    /// Warp-wide shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Extra shared-memory cycles from bank conflicts.
+    pub shared_bank_conflicts: u64,
+    /// Shared-memory atomic operations.
+    pub shared_atomics: u64,
+    /// Plain warp ALU/control instructions issued.
+    pub alu_instructions: u64,
+    /// Warp-intrinsic operations (`ballot`, `match_any`, `popc`, shuffles).
+    pub warp_intrinsics: u64,
+    /// Block-wide reductions (each costs log2(block threads) intrinsic steps).
+    pub block_reductions: u64,
+    /// Warps that executed (utilization denominator in reports).
+    pub warps_launched: u64,
+    /// Useful lane-units of work performed (utilization numerator: a warp
+    /// with 3 active lanes contributes 3 against a capacity of 32).
+    pub lanes_active: u64,
+    /// Kernel launches (fixed overhead each).
+    pub kernel_launches: u64,
+}
+
+impl KernelCounters {
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &KernelCounters) {
+        self.global_read_sectors += other.global_read_sectors;
+        self.global_write_sectors += other.global_write_sectors;
+        self.global_atomics += other.global_atomics;
+        self.global_atomic_conflicts += other.global_atomic_conflicts;
+        self.shared_accesses += other.shared_accesses;
+        self.shared_bank_conflicts += other.shared_bank_conflicts;
+        self.shared_atomics += other.shared_atomics;
+        self.alu_instructions += other.alu_instructions;
+        self.warp_intrinsics += other.warp_intrinsics;
+        self.block_reductions += other.block_reductions;
+        self.warps_launched += other.warps_launched;
+        self.lanes_active += other.lanes_active;
+        self.kernel_launches += other.kernel_launches;
+    }
+
+    /// Mean active lanes per warp-capacity unit: `lanes_active /
+    /// (32 × warps_launched)`. The §4.2 utilization story in one number —
+    /// one-warp-one-vertex on a road network sits near 0.09, the packed
+    /// schedule near 1.0.
+    pub fn warp_utilization(&self) -> f64 {
+        if self.warps_launched == 0 {
+            return 0.0;
+        }
+        self.lanes_active as f64 / (32.0 * self.warps_launched as f64)
+    }
+
+    /// Total 32-byte sectors moved through global memory (reads + writes +
+    /// one sector per atomic).
+    pub fn global_sectors(&self) -> u64 {
+        self.global_read_sectors + self.global_write_sectors + self.global_atomics
+    }
+
+    /// Total bytes moved through global memory.
+    pub fn global_bytes(&self) -> u64 {
+        self.global_sectors() * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = KernelCounters {
+            global_read_sectors: 3,
+            alu_instructions: 10,
+            ..Default::default()
+        };
+        let b = KernelCounters {
+            global_read_sectors: 5,
+            warps_launched: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.global_read_sectors, 8);
+        assert_eq!(a.alu_instructions, 10);
+        assert_eq!(a.warps_launched, 2);
+    }
+
+    #[test]
+    fn global_bytes_counts_all_traffic() {
+        let c = KernelCounters {
+            global_read_sectors: 2,
+            global_write_sectors: 1,
+            global_atomics: 1,
+            ..Default::default()
+        };
+        assert_eq!(c.global_sectors(), 4);
+        assert_eq!(c.global_bytes(), 128);
+    }
+}

@@ -1,0 +1,290 @@
+//! One simulated GPU: kernel launches, transfers, and the modeled clock.
+
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::counters::KernelCounters;
+use crate::kernel::KernelCtx;
+
+/// A simulated GPU accumulating modeled time and event totals.
+///
+/// ```
+/// use glp_gpusim::Device;
+/// let mut device = Device::titan_v();
+/// let sum = device.launch("reduce", |ctx| {
+///     ctx.global_read_seq(0, 1 << 20, 4); // stream 4 MiB
+///     ctx.alu(1 << 15);
+///     42u64
+/// });
+/// assert_eq!(sum, 42);
+/// assert!(device.elapsed_seconds() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    cfg: DeviceConfig,
+    cost: CostModel,
+    totals: KernelCounters,
+    elapsed_s: f64,
+    transfer_s: f64,
+    resident_bytes: u64,
+    kernel_log: Vec<KernelRecord>,
+}
+
+/// One entry of the per-device kernel log.
+#[derive(Clone, Debug)]
+pub struct KernelRecord {
+    /// Kernel name as passed to [`Device::launch`].
+    pub name: &'static str,
+    /// Modeled seconds this launch took.
+    pub seconds: f64,
+    /// Event counts of this launch.
+    pub counters: KernelCounters,
+}
+
+impl Device {
+    /// A device with the given configuration and the default cost model.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Self {
+            cfg,
+            cost: CostModel::default(),
+            totals: KernelCounters::default(),
+            elapsed_s: 0.0,
+            transfer_s: 0.0,
+            resident_bytes: 0,
+            kernel_log: Vec::new(),
+        }
+    }
+
+    /// The paper's device: a modeled Titan V.
+    pub fn titan_v() -> Self {
+        Self::new(DeviceConfig::titan_v())
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Replaces the cost model (for calibration experiments).
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Runs one kernel: `f` executes immediately on the calling thread with
+    /// a fresh [`KernelCtx`]; its counters are charged to this device's
+    /// modeled clock.
+    pub fn launch<R>(&mut self, name: &'static str, f: impl FnOnce(&mut KernelCtx) -> R) -> R {
+        let mut ctx = KernelCtx::new(&self.cfg);
+        let r = f(&mut ctx);
+        self.commit(name, ctx.counters);
+        r
+    }
+
+    /// Runs one kernel sharded across `shards` OS threads (harness-side
+    /// parallelism only — the modeled time is identical to a serial launch).
+    /// `f(shard_index, ctx)` must partition work by shard index; the
+    /// per-shard return values come back in shard order.
+    pub fn launch_parallel<R, F>(&mut self, name: &'static str, shards: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut KernelCtx) -> R + Sync,
+    {
+        assert!(shards >= 1, "need at least one shard");
+        if shards == 1 {
+            let mut ctx = KernelCtx::new(&self.cfg);
+            let r = f(0, &mut ctx);
+            self.commit(name, ctx.counters);
+            return vec![r];
+        }
+        let cfg = &self.cfg;
+        let mut merged = KernelCounters {
+            kernel_launches: 1,
+            ..Default::default()
+        };
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|i| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut ctx = KernelCtx::shard(cfg);
+                        let r = f(i, &mut ctx);
+                        (ctx.counters, r)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("kernel shard panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for (c, r) in results {
+            merged.merge(&c);
+            out.push(r);
+        }
+        self.commit(name, merged);
+        out
+    }
+
+    fn commit(&mut self, name: &'static str, counters: KernelCounters) {
+        let seconds = self.cost.kernel_seconds(&self.cfg, &counters);
+        self.totals.merge(&counters);
+        self.elapsed_s += seconds;
+        self.kernel_log.push(KernelRecord {
+            name,
+            seconds,
+            counters,
+        });
+    }
+
+    /// Models a host→device copy: charges PCIe time and tracks residency.
+    ///
+    /// # Panics
+    /// Panics if the copy would exceed device memory — callers must use the
+    /// hybrid out-of-core mode instead (that is the paper's own rule).
+    pub fn upload(&mut self, bytes: u64) {
+        assert!(
+            self.resident_bytes + bytes <= self.cfg.global_mem_bytes,
+            "device memory overflow: {} + {bytes} > {}; use hybrid mode",
+            self.resident_bytes,
+            self.cfg.global_mem_bytes
+        );
+        self.resident_bytes += bytes;
+        let s = self.cost.transfer_seconds(&self.cfg, bytes);
+        self.elapsed_s += s;
+        self.transfer_s += s;
+    }
+
+    /// Models a device→host copy (no residency change).
+    pub fn download(&mut self, bytes: u64) {
+        let s = self.cost.transfer_seconds(&self.cfg, bytes);
+        self.elapsed_s += s;
+        self.transfer_s += s;
+    }
+
+    /// Frees `bytes` of device residency (chunk eviction in hybrid mode).
+    pub fn free(&mut self, bytes: u64) {
+        assert!(bytes <= self.resident_bytes, "freeing more than resident");
+        self.resident_bytes -= bytes;
+    }
+
+    /// Whether `bytes` more would still fit in device memory.
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.resident_bytes + bytes <= self.cfg.global_mem_bytes
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Total modeled elapsed seconds (kernels + transfers).
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Modeled seconds spent on PCIe transfers alone (the paper reports
+    /// transfer overhead is <10% of hybrid-mode runtime — we verify that).
+    pub fn transfer_seconds(&self) -> f64 {
+        self.transfer_s
+    }
+
+    /// Aggregated event counts across all launches.
+    pub fn totals(&self) -> &KernelCounters {
+        &self.totals
+    }
+
+    /// Per-launch log.
+    pub fn kernel_log(&self) -> &[KernelRecord] {
+        &self.kernel_log
+    }
+
+    /// Advances the modeled clock without events (used by multi-GPU sync).
+    pub fn advance_clock(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "cannot rewind the modeled clock");
+        self.elapsed_s += seconds;
+    }
+
+    /// Clears clock, counters, log, and residency.
+    pub fn reset(&mut self) {
+        self.totals = KernelCounters::default();
+        self.elapsed_s = 0.0;
+        self.transfer_s = 0.0;
+        self.resident_bytes = 0;
+        self.kernel_log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    #[test]
+    fn launch_accumulates_time_and_counters() {
+        let mut d = Device::titan_v();
+        let out = d.launch("k", |ctx| {
+            ctx.alu(1000);
+            ctx.global_read_seq(0, 1 << 20, 4);
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(d.elapsed_seconds() > 0.0);
+        assert_eq!(d.totals().kernel_launches, 1);
+        assert_eq!(d.kernel_log().len(), 1);
+        assert_eq!(d.kernel_log()[0].name, "k");
+    }
+
+    #[test]
+    fn parallel_launch_counts_once() {
+        let mut serial = Device::titan_v();
+        serial.launch("k", |ctx| {
+            for i in 0..8u64 {
+                ctx.alu(100);
+                ctx.global_read_seq(i * 4096, 64, 4);
+            }
+        });
+        let mut par = Device::titan_v();
+        par.launch_parallel("k", 4, |shard, ctx| {
+            for i in (shard as u64..8).step_by(4) {
+                ctx.alu(100);
+                ctx.global_read_seq(i * 4096, 64, 4);
+            }
+        });
+        assert_eq!(serial.totals(), par.totals());
+        assert!((serial.elapsed_seconds() - par.elapsed_seconds()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn upload_charges_pcie_and_residency() {
+        let mut d = Device::new(DeviceConfig::tiny(1000));
+        d.upload(600);
+        assert!(!d.fits(600));
+        assert!(d.fits(400));
+        assert!(d.transfer_seconds() > 0.0);
+        d.free(600);
+        assert!(d.fits(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "device memory overflow")]
+    fn oversized_upload_panics() {
+        let mut d = Device::new(DeviceConfig::tiny(100));
+        d.upload(101);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut d = Device::titan_v();
+        d.launch("k", |ctx| ctx.alu(5));
+        d.upload(100);
+        d.reset();
+        assert_eq!(d.elapsed_seconds(), 0.0);
+        assert_eq!(d.resident_bytes(), 0);
+        assert!(d.kernel_log().is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! Host-side hardware models: CPUs and the distributed cluster.
+//!
+//! Figures 4–6 compare GPU approaches against multicore CPU baselines, and
+//! Figure 7 against a 32-machine cluster. To keep every reported time in
+//! the same modeled unit as the GPU times, CPU baselines are also charged
+//! through a cost model (a CPU roofline: instruction throughput vs random
+//! access vs sequential bandwidth), and the in-house distributed solution
+//! adds a BSP network model on top.
+//!
+//! Calibration sources: Intel ARK datasheets for the two CPUs the paper
+//! names (§5.1), standard DDR4 channel bandwidths, ~80 ns DRAM random
+//! access latency with ~10-deep memory-level parallelism per core.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of one CPU (all sockets of one machine combined).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Physical cores (all sockets).
+    pub cores: u32,
+    /// Sustained clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained instructions per cycle per core on pointer-heavy graph
+    /// code (not peak width).
+    pub ipc: f64,
+    /// Sustained memory bandwidth in GB/s (all channels).
+    pub mem_bandwidth_gbps: f64,
+    /// DRAM random-access latency in nanoseconds.
+    pub random_access_ns: f64,
+    /// Outstanding misses per core (memory-level parallelism).
+    pub mlp: f64,
+}
+
+impl CpuConfig {
+    /// Intel Xeon W-2133 — the workstation CPU of the single-machine setup
+    /// (§5.1): 6 cores, 3.6 GHz, 4-channel DDR4-2666.
+    pub fn xeon_w2133() -> Self {
+        Self {
+            name: "Intel Xeon W-2133".to_string(),
+            cores: 6,
+            clock_ghz: 3.6,
+            ipc: 1.5,
+            mem_bandwidth_gbps: 60.0,
+            random_access_ns: 80.0,
+            mlp: 10.0,
+        }
+    }
+
+    /// 4× Intel Xeon Platinum 8168 — one machine of the in-house cluster
+    /// (§5.4): 4 sockets × 24 cores, 2.7 GHz, 6-channel DDR4 each.
+    pub fn quad_xeon_8168() -> Self {
+        Self {
+            name: "4x Intel Xeon Platinum 8168".to_string(),
+            cores: 96,
+            clock_ghz: 2.7,
+            ipc: 1.5,
+            mem_bandwidth_gbps: 400.0,
+            random_access_ns: 90.0, // NUMA hops raise the average
+            mlp: 10.0,
+        }
+    }
+}
+
+/// Work performed by a CPU execution (the CPU-side analogue of
+/// [`crate::KernelCounters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuCounters {
+    /// Retired instructions (approximate, counted by the baseline code).
+    pub instructions: u64,
+    /// Cache-missing random memory accesses.
+    pub random_accesses: u64,
+    /// Sequentially streamed bytes.
+    pub seq_bytes: u64,
+}
+
+impl CpuCounters {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &CpuCounters) {
+        self.instructions += other.instructions;
+        self.random_accesses += other.random_accesses;
+        self.seq_bytes += other.seq_bytes;
+    }
+}
+
+impl CpuConfig {
+    /// Modeled seconds for `c` using up to `threads` software threads
+    /// (capped at physical cores — hyperthread gains are folded into `ipc`).
+    pub fn seconds(&self, c: &CpuCounters, threads: u32) -> f64 {
+        let par = f64::from(threads.clamp(1, self.cores));
+        let compute = c.instructions as f64 / (par * self.ipc * self.clock_ghz * 1e9);
+        let random = c.random_accesses as f64 * self.random_access_ns * 1e-9 / (par * self.mlp);
+        let seq = c.seq_bytes as f64 / (self.mem_bandwidth_gbps * 1e9);
+        compute.max(random).max(seq)
+    }
+}
+
+/// The in-house distributed deployment: machines, interconnect, and BSP
+/// coordination overheads.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of machines.
+    pub machines: u32,
+    /// CPU complement of each machine.
+    pub machine_cpu: CpuConfig,
+    /// Per-machine network bandwidth in Gb/s (bits!).
+    pub network_gbits: f64,
+    /// Fixed per-superstep coordination latency in seconds (barrier, task
+    /// (re)scheduling, heartbeat — what production BSP frameworks pay).
+    pub superstep_latency_s: f64,
+    /// Straggler multiplier on the slowest machine's compute (skewed
+    /// partitions and multi-tenant noise).
+    pub straggler_factor: f64,
+    /// Per cross-machine message framework overhead in nanoseconds:
+    /// serialization, shuffle buffering and spill that production
+    /// MapReduce/BSP stacks pay per record. This — not raw FLOPs or NIC
+    /// bandwidth — is why a 3072-core cluster can lose 8.2x to one GPU
+    /// (§5.4): on paper specs the cluster's aggregate compute and network
+    /// would win easily.
+    pub message_overhead_ns: f64,
+    /// Serialized on-the-wire size of one label message in bytes. Legacy
+    /// frameworks ship framed key-value records (ids, job/epoch headers,
+    /// object envelopes), not raw 8-byte tuples.
+    pub message_bytes: u64,
+    /// Fraction of NIC line rate a production all-to-all shuffle actually
+    /// sustains (TCP incast, skew, disk-backed spill).
+    pub network_efficiency: f64,
+}
+
+impl ClusterConfig {
+    /// The paper's in-house setup (§5.1/§5.4): 32 machines, each with
+    /// 4× Xeon Platinum 8168 and 512 GB RAM, datacenter 10 GbE.
+    pub fn taobao_inhouse() -> Self {
+        Self {
+            machines: 32,
+            machine_cpu: CpuConfig::quad_xeon_8168(),
+            network_gbits: 10.0,
+            superstep_latency_s: 0.25,
+            straggler_factor: 1.4,
+            message_overhead_ns: 2_000.0,
+            message_bytes: 32,
+            network_efficiency: 0.3,
+        }
+    }
+
+    /// Modeled seconds for one BSP superstep in which the slowest machine
+    /// performs `max_machine_work`, every machine exchanges
+    /// `bytes_per_machine` of messages, and `messages_per_machine` records
+    /// pass through the framework's shuffle.
+    pub fn superstep_seconds(
+        &self,
+        max_machine_work: &CpuCounters,
+        bytes_per_machine: u64,
+        messages_per_machine: u64,
+    ) -> f64 {
+        let compute = self
+            .machine_cpu
+            .seconds(max_machine_work, self.machine_cpu.cores)
+            * self.straggler_factor;
+        let network = bytes_per_machine as f64 * 8.0
+            / (self.network_gbits * self.network_efficiency * 1e9);
+        // Shuffle/serialization parallelizes across the machine's cores.
+        let shuffle = messages_per_machine as f64 * self.message_overhead_ns * 1e-9
+            / f64::from(self.machine_cpu.cores);
+        // Compute and communication overlap poorly in practice; charge the
+        // max plus the fixed coordination latency.
+        compute.max(network).max(shuffle) + self.superstep_latency_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_scales_with_threads() {
+        let cpu = CpuConfig::xeon_w2133();
+        let c = CpuCounters {
+            instructions: 10_000_000_000,
+            ..Default::default()
+        };
+        let t1 = cpu.seconds(&c, 1);
+        let t6 = cpu.seconds(&c, 6);
+        assert!((t1 / t6 - 6.0).abs() < 1e-9);
+        // More threads than cores does not help further.
+        assert_eq!(t6, cpu.seconds(&c, 64));
+    }
+
+    #[test]
+    fn random_access_dominates_pointer_chasing() {
+        let cpu = CpuConfig::xeon_w2133();
+        let c = CpuCounters {
+            instructions: 1_000_000,
+            random_accesses: 100_000_000,
+            ..Default::default()
+        };
+        let s = cpu.seconds(&c, 6);
+        let expect = 1e8 * 80e-9 / (6.0 * 10.0);
+        assert!((s - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_bound_ignores_thread_count() {
+        let cpu = CpuConfig::xeon_w2133();
+        let c = CpuCounters {
+            seq_bytes: 60_000_000_000,
+            ..Default::default()
+        };
+        assert!((cpu.seconds(&c, 1) - 1.0).abs() < 1e-9);
+        assert!((cpu.seconds(&c, 6) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn superstep_includes_fixed_latency() {
+        let cluster = ClusterConfig::taobao_inhouse();
+        let s = cluster.superstep_seconds(&CpuCounters::default(), 0, 0);
+        assert!((s - cluster.superstep_latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superstep_network_term() {
+        let mut cluster = ClusterConfig::taobao_inhouse();
+        cluster.network_efficiency = 1.0;
+        // 10 Gbit/s => 1.25 GB/s; 1.25 GB of messages => 1 s + latency.
+        let s = cluster.superstep_seconds(&CpuCounters::default(), 1_250_000_000, 0);
+        assert!((s - (1.0 + cluster.superstep_latency_s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_efficiency_slows_shuffle() {
+        let cluster = ClusterConfig::taobao_inhouse();
+        let s = cluster.superstep_seconds(&CpuCounters::default(), 1_250_000_000, 0);
+        let expect = 1.0 / cluster.network_efficiency + cluster.superstep_latency_s;
+        assert!((s - expect).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn superstep_shuffle_term() {
+        let cluster = ClusterConfig::taobao_inhouse();
+        // 96e6 messages x 2000 ns / 96 cores = 2 s, dominating.
+        let s = cluster.superstep_seconds(&CpuCounters::default(), 0, 96_000_000);
+        assert!((s - (2.0 + cluster.superstep_latency_s)).abs() < 1e-9, "{s}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Multiple simulated GPUs in one machine (§5.4's two-Titan-V setup).
+//!
+//! Devices execute independently; at iteration barriers the modeled clocks
+//! align to the slowest device plus a synchronization overhead (peer label
+//! exchange goes over PCIe and is charged explicitly by the engine).
+
+use crate::config::DeviceConfig;
+use crate::device::Device;
+
+/// A set of simulated GPUs with barrier-style synchronization.
+#[derive(Debug)]
+pub struct MultiGpu {
+    devices: Vec<Device>,
+    /// Fixed per-barrier overhead in seconds (driver + event sync).
+    pub sync_overhead_s: f64,
+}
+
+impl MultiGpu {
+    /// `n` identical devices.
+    pub fn new(n: usize, cfg: DeviceConfig) -> Self {
+        assert!(n >= 1, "need at least one device");
+        Self {
+            devices: (0..n).map(|_| Device::new(cfg.clone())).collect(),
+            sync_overhead_s: 10e-6,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when no devices are present (never for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Mutable access to device `i`.
+    pub fn device_mut(&mut self, i: usize) -> &mut Device {
+        &mut self.devices[i]
+    }
+
+    /// Shared access to device `i`.
+    pub fn device(&self, i: usize) -> &Device {
+        &self.devices[i]
+    }
+
+    /// Iterates over devices.
+    pub fn iter(&self) -> impl Iterator<Item = &Device> {
+        self.devices.iter()
+    }
+
+    /// Mutable iteration over devices.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Device> {
+        self.devices.iter_mut()
+    }
+
+    /// Barrier: every device's modeled clock advances to the slowest
+    /// device's clock plus the sync overhead.
+    pub fn sync(&mut self) {
+        let max = self.elapsed_seconds();
+        for d in &mut self.devices {
+            let behind = max - d.elapsed_seconds();
+            d.advance_clock(behind + self.sync_overhead_s);
+        }
+    }
+
+    /// The set's modeled elapsed time: the slowest device.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(Device::elapsed_seconds)
+            .fold(0.0, f64::max)
+    }
+
+    /// Resets all devices.
+    pub fn reset(&mut self) {
+        for d in &mut self.devices {
+            d.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_aligns_clocks_to_slowest() {
+        let mut m = MultiGpu::new(2, DeviceConfig::titan_v());
+        m.device_mut(0).launch("big", |ctx| ctx.alu(1_000_000_000));
+        m.device_mut(1).launch("small", |ctx| ctx.alu(1_000));
+        let slow = m.device(0).elapsed_seconds();
+        m.sync();
+        let expect = slow + m.sync_overhead_s;
+        assert!((m.device(0).elapsed_seconds() - expect).abs() < 1e-12);
+        assert!((m.device(1).elapsed_seconds() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elapsed_is_max_over_devices() {
+        let mut m = MultiGpu::new(3, DeviceConfig::titan_v());
+        m.device_mut(2).launch("k", |ctx| ctx.alu(5_000_000));
+        assert_eq!(m.elapsed_seconds(), m.device(2).elapsed_seconds());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        MultiGpu::new(0, DeviceConfig::titan_v());
+    }
+}

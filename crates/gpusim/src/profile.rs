@@ -1,0 +1,165 @@
+//! Profiler-style reporting: aggregate a device's kernel log into the
+//! per-kernel table an `nvprof`/`nsys` run would show — the tool one uses
+//! to see *where* an LP iteration's modeled time goes (gather vs count vs
+//! update, §5.3's discussion).
+
+use crate::counters::KernelCounters;
+use crate::device::Device;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Aggregated statistics for one kernel name.
+#[derive(Clone, Debug, Default)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub name: String,
+    /// Number of launches.
+    pub launches: u64,
+    /// Total modeled seconds.
+    pub seconds: f64,
+    /// Summed event counts.
+    pub counters: KernelCounters,
+}
+
+impl KernelProfile {
+    /// Average modeled time per launch.
+    pub fn seconds_per_launch(&self) -> f64 {
+        self.seconds / (self.launches.max(1) as f64)
+    }
+}
+
+/// A whole device's profile: per-kernel aggregates, sorted by total time.
+#[derive(Clone, Debug)]
+pub struct DeviceProfile {
+    /// Per-kernel rows, descending by time.
+    pub kernels: Vec<KernelProfile>,
+    /// Total modeled kernel seconds (excludes transfers).
+    pub kernel_seconds: f64,
+    /// Modeled transfer seconds.
+    pub transfer_seconds: f64,
+}
+
+impl DeviceProfile {
+    /// Builds the profile from a device's kernel log.
+    pub fn of(device: &Device) -> Self {
+        let mut by_name: HashMap<&'static str, KernelProfile> = HashMap::new();
+        let mut kernel_seconds = 0.0;
+        for rec in device.kernel_log() {
+            let e = by_name.entry(rec.name).or_insert_with(|| KernelProfile {
+                name: rec.name.to_string(),
+                ..Default::default()
+            });
+            e.launches += 1;
+            e.seconds += rec.seconds;
+            e.counters.merge(&rec.counters);
+            kernel_seconds += rec.seconds;
+        }
+        let mut kernels: Vec<KernelProfile> = by_name.into_values().collect();
+        kernels.sort_by(|a, b| b.seconds.partial_cmp(&a.seconds).expect("finite times"));
+        Self {
+            kernels,
+            kernel_seconds,
+            transfer_seconds: device.transfer_seconds(),
+        }
+    }
+
+    /// Share of kernel time spent in `name` (0 when never launched).
+    pub fn time_share(&self, name: &str) -> f64 {
+        if self.kernel_seconds == 0.0 {
+            return 0.0;
+        }
+        self.kernels
+            .iter()
+            .find(|k| k.name == name)
+            .map_or(0.0, |k| k.seconds / self.kernel_seconds)
+    }
+}
+
+impl fmt::Display for DeviceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<22} {:>9} {:>12} {:>8} {:>12} {:>12} {:>6}",
+            "kernel", "launches", "time", "share", "GB moved", "warps", "util"
+        )?;
+        for k in &self.kernels {
+            let util = k.counters.warp_utilization();
+            writeln!(
+                f,
+                "{:<22} {:>9} {:>9.3} ms {:>7.1}% {:>12.4} {:>12} {:>5.0}%",
+                k.name,
+                k.launches,
+                k.seconds * 1e3,
+                100.0 * k.seconds / self.kernel_seconds.max(f64::MIN_POSITIVE),
+                k.counters.global_bytes() as f64 / 1e9,
+                k.counters.warps_launched,
+                100.0 * util,
+            )?;
+        }
+        writeln!(
+            f,
+            "kernels {:.3} ms + transfers {:.3} ms",
+            self.kernel_seconds * 1e3,
+            self.transfer_seconds * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_device() -> Device {
+        let mut d = Device::titan_v();
+        d.launch("gather", |ctx| {
+            ctx.global_read_seq(0, 1 << 20, 4);
+            ctx.warps_launched(100);
+        });
+        d.launch("gather", |ctx| {
+            ctx.global_read_seq(0, 1 << 20, 4);
+            ctx.warps_launched(100);
+        });
+        d.launch("update", |ctx| {
+            ctx.alu(1000);
+        });
+        d.upload(1 << 20);
+        d
+    }
+
+    #[test]
+    fn aggregates_by_name() {
+        let d = sample_device();
+        let p = DeviceProfile::of(&d);
+        assert_eq!(p.kernels.len(), 2);
+        let gather = p.kernels.iter().find(|k| k.name == "gather").unwrap();
+        assert_eq!(gather.launches, 2);
+        assert_eq!(gather.counters.warps_launched, 200);
+        assert!(gather.seconds_per_launch() > 0.0);
+    }
+
+    #[test]
+    fn sorted_by_time_and_shares_sum() {
+        let d = sample_device();
+        let p = DeviceProfile::of(&d);
+        assert!(p.kernels[0].seconds >= p.kernels[1].seconds);
+        let total: f64 = p.kernels.iter().map(|k| p.time_share(&k.name)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(p.time_share("nonexistent"), 0.0);
+    }
+
+    #[test]
+    fn display_renders_every_kernel() {
+        let d = sample_device();
+        let text = DeviceProfile::of(&d).to_string();
+        assert!(text.contains("gather"));
+        assert!(text.contains("update"));
+        assert!(text.contains("transfers"));
+    }
+
+    #[test]
+    fn transfer_time_captured() {
+        let d = sample_device();
+        let p = DeviceProfile::of(&d);
+        assert!(p.transfer_seconds > 0.0);
+    }
+}

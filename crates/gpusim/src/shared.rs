@@ -1,0 +1,106 @@
+//! Per-block shared-memory arena.
+//!
+//! Shared memory is the scarce resource the paper's high-degree optimization
+//! (§4.1) is built around: the CMS and the bounded HT must *together* fit in
+//! one block's allocation (48 KiB on the modeled Titan V). This arena hands
+//! out capacity and panics on overflow, so a kernel that silently assumes
+//! more shared memory than the hardware has fails loudly in tests.
+//!
+//! The arena tracks *bytes*, not values — the actual data structures live in
+//! ordinary Rust types owned by the kernel; they call [`SharedMem::alloc`]
+//! to declare their footprint.
+
+/// Tracks one thread block's shared-memory budget.
+#[derive(Debug)]
+pub struct SharedMem {
+    capacity: usize,
+    used: usize,
+}
+
+impl SharedMem {
+    /// A fresh arena of `capacity` bytes (use
+    /// [`DeviceConfig::shared_mem_per_block`](crate::DeviceConfig::shared_mem_per_block)).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, used: 0 }
+    }
+
+    /// Declares an allocation of `bytes`. Returns the offset (for
+    /// bank-conflict math) or `None` if the block budget is exhausted.
+    pub fn try_alloc(&mut self, bytes: usize) -> Option<usize> {
+        if self.used + bytes > self.capacity {
+            return None;
+        }
+        let off = self.used;
+        self.used += bytes;
+        Some(off)
+    }
+
+    /// Declares an allocation that must fit.
+    ///
+    /// # Panics
+    /// Panics if the block budget would be exceeded — a kernel
+    /// configuration bug.
+    pub fn alloc(&mut self, bytes: usize) -> usize {
+        self.try_alloc(bytes).unwrap_or_else(|| {
+            panic!(
+                "shared memory overflow: requested {bytes} B with {} of {} B used",
+                self.used, self.capacity
+            )
+        })
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Releases everything (block retirement).
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_tracks_offsets() {
+        let mut s = SharedMem::new(100);
+        assert_eq!(s.alloc(40), 0);
+        assert_eq!(s.alloc(60), 40);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn try_alloc_returns_none_on_overflow() {
+        let mut s = SharedMem::new(10);
+        assert!(s.try_alloc(11).is_none());
+        assert_eq!(s.try_alloc(10), Some(0));
+        assert!(s.try_alloc(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory overflow")]
+    fn alloc_panics_on_overflow() {
+        SharedMem::new(8).alloc(9);
+    }
+
+    #[test]
+    fn reset_reclaims() {
+        let mut s = SharedMem::new(8);
+        s.alloc(8);
+        s.reset();
+        assert_eq!(s.alloc(8), 0);
+    }
+}

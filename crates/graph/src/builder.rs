@@ -1,0 +1,247 @@
+//! Edge-list ingestion: deduplication, self-loop policy, symmetrization.
+//!
+//! The pipeline's graphs arrive as transaction edge lists (paper Figure 1);
+//! this builder is the single path from raw edges to the CSR layout every
+//! engine consumes.
+
+use crate::csr::{Csr, Graph};
+use crate::types::{EdgeId, VertexId};
+
+/// Accumulates edges and produces a [`Graph`].
+///
+/// ```
+/// use glp_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1).add_edge(1, 2).symmetrize(true);
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 4); // both directions stored
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Option<Vec<f32>>,
+    symmetrize: bool,
+    dedup: bool,
+    keep_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph over vertices `0..num_vertices`.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+            weights: None,
+            symmetrize: false,
+            dedup: false,
+            keep_self_loops: false,
+        }
+    }
+
+    /// Pre-allocates edge capacity.
+    pub fn with_capacity(num_vertices: usize, edges: usize) -> Self {
+        let mut b = Self::new(num_vertices);
+        b.edges.reserve(edges);
+        b
+    }
+
+    /// Adds a directed edge `src -> dst`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range, or if the builder already
+    /// holds weighted edges (mixing weighted and unweighted is rejected).
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) -> &mut Self {
+        assert!(
+            (src as usize) < self.num_vertices && (dst as usize) < self.num_vertices,
+            "edge ({src},{dst}) out of range for {} vertices",
+            self.num_vertices
+        );
+        assert!(self.weights.is_none(), "builder already holds weighted edges");
+        self.edges.push((src, dst));
+        self
+    }
+
+    /// Adds a weighted directed edge.
+    pub fn add_weighted_edge(&mut self, src: VertexId, dst: VertexId, w: f32) -> &mut Self {
+        assert!(
+            (src as usize) < self.num_vertices && (dst as usize) < self.num_vertices,
+            "edge ({src},{dst}) out of range for {} vertices",
+            self.num_vertices
+        );
+        let weights = self.weights.get_or_insert_with(Vec::new);
+        assert_eq!(
+            weights.len(),
+            self.edges.len(),
+            "cannot mix weighted and unweighted edges"
+        );
+        self.edges.push((src, dst));
+        weights.push(w);
+        self
+    }
+
+    /// Bulk-adds unweighted edges.
+    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> &mut Self {
+        assert!(self.weights.is_none(), "builder already holds weighted edges");
+        self.edges.extend(it);
+        self
+    }
+
+    /// Store each edge in both directions (Table 2's graphs are symmetrized;
+    /// |E| counts both directions).
+    pub fn symmetrize(&mut self, yes: bool) -> &mut Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// Collapse duplicate (src,dst) pairs. Duplicate weighted edges sum
+    /// their weights (multiple transactions between the same pair become one
+    /// heavier edge, as the fraud pipeline does).
+    pub fn dedup(&mut self, yes: bool) -> &mut Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Keep self loops (dropped by default — LP over a self loop is a no-op
+    /// that only inflates the vertex's own label count).
+    pub fn keep_self_loops(&mut self, yes: bool) -> &mut Self {
+        self.keep_self_loops = yes;
+        self
+    }
+
+    /// Number of edges currently staged (before symmetrize/dedup).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds the graph. Undirected output shares one CSR for both views;
+    /// directed output derives the outgoing view by transposition.
+    pub fn build(self) -> Graph {
+        let n = self.num_vertices;
+        let weighted = self.weights.is_some();
+        // Materialize (dst, src, w) triples for the *incoming* CSR: the CSR is
+        // indexed by the vertex whose neighbors LP scans, i.e. edge src->dst
+        // contributes src to N(dst).
+        let mut triples: Vec<(VertexId, VertexId, f32)> = Vec::with_capacity(
+            self.edges.len() * if self.symmetrize { 2 } else { 1 },
+        );
+        for (i, &(s, d)) in self.edges.iter().enumerate() {
+            if s == d && !self.keep_self_loops {
+                continue;
+            }
+            let w = self.weights.as_ref().map_or(1.0, |ws| ws[i]);
+            triples.push((d, s, w));
+            if self.symmetrize && s != d {
+                triples.push((s, d, w));
+            }
+        }
+        triples.sort_unstable_by_key(|a| (a.0, a.1));
+        if self.dedup {
+            let mut out: Vec<(VertexId, VertexId, f32)> = Vec::with_capacity(triples.len());
+            for t in triples {
+                match out.last_mut() {
+                    Some(last) if last.0 == t.0 && last.1 == t.1 => last.2 += t.2,
+                    _ => out.push(t),
+                }
+            }
+            triples = out;
+        }
+        let mut offsets = vec![0 as EdgeId; n + 1];
+        for &(v, _, _) in &triples {
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<VertexId> = triples.iter().map(|t| t.1).collect();
+        let weights = weighted.then(|| triples.iter().map(|t| t.2).collect());
+        let incoming = Csr::from_parts(offsets, targets, weights);
+        if self.symmetrize {
+            Graph::undirected(incoming)
+        } else {
+            Graph::directed_from_incoming(incoming)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incoming_orientation() {
+        // edge 0->1 means 0 ∈ N(1)
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(2, 1);
+        let g = b.build();
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(0), &[] as &[VertexId]);
+        // outgoing view has 1 ∈ N'(0)
+        assert_eq!(g.outgoing().neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2).symmetrize(true);
+        let g = b.build();
+        assert!(g.is_undirected());
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn dedup_sums_weights() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(0, 1, 1.0)
+            .add_weighted_edge(0, 1, 2.5)
+            .dedup(true);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.incoming().neighbor_weights(1).unwrap(), &[3.5]);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0).add_edge(0, 1);
+        assert_eq!(b.staged_edges(), 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0).add_edge(0, 1).keep_self_loops(true);
+        assert_eq!(b.build().num_edges(), 2);
+    }
+
+    #[test]
+    fn dedup_unweighted_collapses() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).add_edge(0, 1).add_edge(0, 1).dedup(true);
+        assert_eq!(b.build().num_edges(), 1);
+    }
+
+    #[test]
+    fn symmetrized_self_loop_kept_once_when_enabled() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1).symmetrize(true).keep_self_loops(true);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(1), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        GraphBuilder::new(2).add_edge(0, 5);
+    }
+
+    #[test]
+    fn neighbors_sorted_after_build() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(3, 0).add_edge(1, 0).add_edge(2, 0);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+}

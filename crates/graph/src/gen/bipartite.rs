@@ -1,0 +1,116 @@
+//! Bipartite interaction-graph generator.
+//!
+//! Substitutes for aligraph (Table 2: 14,933 vertices, 29.8M edges, average
+//! degree 3991.8 — by far the densest dataset) and for the user–product
+//! transaction graphs of the fraud pipeline. Vertices split into two sides
+//! (users / items); every edge connects a Zipf-drawn user to a Zipf-drawn
+//! item, producing the extreme-average-degree regime where the shared-memory
+//! CMS+HT optimization shines (7.4x on aligraph, Table 3).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::gen::powerlaw::CumSampler;
+use crate::types::VertexId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for [`bipartite_interaction`].
+#[derive(Clone, Debug)]
+pub struct BipartiteConfig {
+    /// Number of "user"-side vertices (ids `0..num_users`).
+    pub num_users: usize,
+    /// Number of "item"-side vertices (ids `num_users..num_users+num_items`).
+    pub num_items: usize,
+    /// Number of interactions (undirected pairs before symmetrization).
+    pub num_interactions: usize,
+    /// Zipf skew on both sides (0 = uniform; 1 ≈ classic Zipf).
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BipartiteConfig {
+    fn default() -> Self {
+        Self {
+            num_users: 10_000,
+            num_items: 5_000,
+            num_interactions: 100_000,
+            skew: 0.8,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a symmetrized bipartite interaction graph.
+pub fn bipartite_interaction(cfg: &BipartiteConfig) -> Graph {
+    assert!(cfg.num_users >= 1 && cfg.num_items >= 1, "both sides must be non-empty");
+    let n = cfg.num_users + cfg.num_items;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let users = CumSampler::new((0..cfg.num_users).map(|i| 1.0 / ((i + 1) as f64).powf(cfg.skew)));
+    let items = CumSampler::new((0..cfg.num_items).map(|i| 1.0 / ((i + 1) as f64).powf(cfg.skew)));
+    let mut b = GraphBuilder::with_capacity(n, cfg.num_interactions);
+    for _ in 0..cfg.num_interactions {
+        let u = users.sample(&mut rng) as VertexId;
+        let i = (cfg.num_users + items.sample(&mut rng)) as VertexId;
+        b.add_edge(u, i);
+    }
+    // Parallel edges are kept deliberately: repeated user–item interactions
+    // are real transaction multiplicity, and the dense aligraph regime
+    // saturates the unique-pair space at reproduction scale.
+    b.symmetrize(true);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_bipartite() {
+        let cfg = BipartiteConfig {
+            num_users: 100,
+            num_items: 50,
+            num_interactions: 2_000,
+            ..Default::default()
+        };
+        let g = bipartite_interaction(&cfg);
+        // Users only connect to items and vice versa.
+        for u in 0..100u32 {
+            assert!(g.neighbors(u).iter().all(|&x| x >= 100));
+        }
+        for i in 100..150u32 {
+            assert!(g.neighbors(i).iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn dense_config_yields_high_average_degree() {
+        let cfg = BipartiteConfig {
+            num_users: 500,
+            num_items: 250,
+            num_interactions: 60_000,
+            skew: 0.4,
+            ..Default::default()
+        };
+        let g = bipartite_interaction(&cfg);
+        assert!(g.avg_degree() > 50.0, "avg degree {}", g.avg_degree());
+    }
+
+    #[test]
+    fn skew_concentrates_popular_items() {
+        let cfg = BipartiteConfig {
+            num_users: 1_000,
+            num_items: 1_000,
+            num_interactions: 20_000,
+            skew: 1.0,
+            ..Default::default()
+        };
+        let g = bipartite_interaction(&cfg);
+        // Item 0 (most popular) should far exceed the median item degree.
+        let first = g.degree(1_000);
+        let mut degs: Vec<u32> = (1_000..2_000).map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        let median = degs[500];
+        assert!(first > 5 * median.max(1), "first {first}, median {median}");
+    }
+}

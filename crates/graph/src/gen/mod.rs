@@ -1,0 +1,26 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper evaluates on eight public graphs plus TaoBao production
+//! workloads (Tables 2 and 4). This reproduction cannot ship those datasets,
+//! so each is substituted by a generator matching its *structural signature*
+//! — the properties the evaluation's effects actually depend on:
+//!
+//! * degree distribution family (power-law exponent / constant degree /
+//!   extreme density), which drives the low-degree warp optimization and the
+//!   high-degree shared-memory optimization;
+//! * community structure, which drives LP convergence and the
+//!   "neighbors share labels" property behind the CMS+HT design (§4.1).
+//!
+//! All generators are deterministic given their seed.
+
+pub mod bipartite;
+pub mod powerlaw;
+pub mod rmat;
+pub mod road;
+pub mod simple;
+
+pub use bipartite::{BipartiteConfig, bipartite_interaction};
+pub use powerlaw::{community_powerlaw, community_powerlaw_with_truth, CommunityPowerLawConfig};
+pub use rmat::{RmatConfig, rmat};
+pub use road::{RoadConfig, road_network};
+pub use simple::{caveman, complete, cycle, path, star, two_cliques_bridge};

@@ -1,0 +1,269 @@
+//! Community-structured power-law generator (Chung–Lu with planted
+//! communities).
+//!
+//! Substitutes for the social-network datasets (dblp, youtube, ljournal,
+//! twitter): power-law degree distribution with exponent ~2–3 plus planted
+//! community structure so that label propagation converges the way it does
+//! on real social graphs — which is exactly the property (§4.1) that makes
+//! the CMS+HT shared-memory design effective ("two neighbors of a vertex
+//! often share the same label").
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::types::VertexId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for [`community_powerlaw`].
+#[derive(Clone, Debug)]
+pub struct CommunityPowerLawConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Target average degree counted as |E|/|V| with |E| symmetrized-directed
+    /// (the convention of Table 2).
+    pub avg_degree: f64,
+    /// Degree power-law exponent γ (weight of vertex i ∝ (i+1)^(-1/(γ-1))).
+    /// Social networks sit around 2.1–2.6.
+    pub gamma: f64,
+    /// Number of planted communities. Community sizes follow a Zipf
+    /// distribution, like real community-size distributions.
+    pub num_communities: usize,
+    /// Probability that an edge endpoint ignores community structure and is
+    /// drawn globally (the "mixing" parameter; lower = crisper communities).
+    pub mixing: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CommunityPowerLawConfig {
+    fn default() -> Self {
+        Self {
+            num_vertices: 10_000,
+            avg_degree: 8.0,
+            gamma: 2.3,
+            num_communities: 100,
+            mixing: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// Cumulative-weight sampler: O(log n) weighted draws over a fixed weight
+/// vector via binary search on the prefix-sum array.
+pub(crate) struct CumSampler {
+    prefix: Vec<f64>,
+}
+
+impl CumSampler {
+    pub(crate) fn new(weights: impl Iterator<Item = f64>) -> Self {
+        let mut prefix = Vec::new();
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w;
+            prefix.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        Self { prefix }
+    }
+
+    pub(crate) fn total(&self) -> f64 {
+        *self.prefix.last().unwrap()
+    }
+
+    pub(crate) fn sample(&self, rng: &mut impl Rng) -> usize {
+        let x: f64 = rng.gen::<f64>() * self.total();
+        self.prefix.partition_point(|&p| p < x).min(self.prefix.len() - 1)
+    }
+}
+
+/// Generates a symmetrized community power-law graph.
+///
+/// Vertices are assigned to communities with Zipf-distributed sizes; each
+/// undirected edge draws its source degree-weighted globally, and its
+/// destination degree-weighted within the source's community with
+/// probability `1 - mixing` (globally otherwise).
+pub fn community_powerlaw(cfg: &CommunityPowerLawConfig) -> Graph {
+    community_powerlaw_with_truth(cfg).0
+}
+
+/// Like [`community_powerlaw`], additionally returning the planted
+/// community of every vertex — the ground truth for detection-quality
+/// measurements (NMI/purity against LP's output).
+pub fn community_powerlaw_with_truth(cfg: &CommunityPowerLawConfig) -> (Graph, Vec<u32>) {
+    assert!(cfg.num_vertices >= 2, "need at least 2 vertices");
+    assert!(cfg.gamma > 1.0, "power-law exponent must exceed 1");
+    assert!((0.0..=1.0).contains(&cfg.mixing), "mixing must be in [0,1]");
+    let n = cfg.num_vertices;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // Chung–Lu weights: w_i ∝ (i+1)^(-1/(γ-1)), shuffled so vertex id does
+    // not correlate with degree.
+    let expo = -1.0 / (cfg.gamma - 1.0);
+    let mut weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(expo)).collect();
+    // Fisher–Yates shuffle of weights.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        weights.swap(i, j);
+    }
+
+    // Community assignment: Zipf community sizes via weighted community draw.
+    let ncomm = cfg.num_communities.clamp(1, n);
+    let comm_sampler = CumSampler::new((0..ncomm).map(|c| 1.0 / (c + 1) as f64));
+    let community: Vec<u32> = (0..n).map(|_| comm_sampler.sample(&mut rng) as u32).collect();
+
+    // Per-community member lists with their own cumulative samplers.
+    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); ncomm];
+    for (v, &c) in community.iter().enumerate() {
+        members[c as usize].push(v as VertexId);
+    }
+    let comm_samplers: Vec<Option<CumSampler>> = members
+        .iter()
+        .map(|ms| {
+            (!ms.is_empty()).then(|| CumSampler::new(ms.iter().map(|&v| weights[v as usize])))
+        })
+        .collect();
+    let global = CumSampler::new(weights.iter().copied());
+
+    // Undirected pair count: |E| = avg_degree * n counts both directions.
+    // Degree-weighted sampling repeatedly hits hubs, so duplicates are
+    // common; resample until the *unique* pair count reaches the target
+    // (bounded rounds — heavy skew can make the target unreachable).
+    let target_pairs = ((cfg.avg_degree * n as f64) / 2.0).round() as usize;
+    let mut keys: Vec<u64> = Vec::with_capacity(target_pairs + target_pairs / 4);
+    for _ in 0..6 {
+        let deficit = target_pairs.saturating_sub(keys.len());
+        if deficit == 0 {
+            break;
+        }
+        // Oversample slightly; later rounds shrink geometrically.
+        for _ in 0..(deficit + deficit / 8 + 16) {
+            let src = global.sample(&mut rng) as VertexId;
+            let dst = if rng.gen::<f64>() < cfg.mixing {
+                global.sample(&mut rng) as VertexId
+            } else {
+                let c = community[src as usize] as usize;
+                match &comm_samplers[c] {
+                    Some(s) => members[c][s.sample(&mut rng)],
+                    None => global.sample(&mut rng) as VertexId,
+                }
+            };
+            if src != dst {
+                let (a, z) = if src < dst { (src, dst) } else { (dst, src) };
+                keys.push(u64::from(a) << 32 | u64::from(z));
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+    }
+    // Truncate the overshoot *after shuffling*: the keys are sorted (for
+    // dedup), so truncating in place would drop only the highest-id edges
+    // and bias the degree distribution against high-id vertices.
+    if keys.len() > target_pairs {
+        for i in (1..keys.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            keys.swap(i, j);
+        }
+        keys.truncate(target_pairs);
+    }
+    let mut b = GraphBuilder::with_capacity(n, keys.len());
+    for key in keys {
+        b.add_edge((key >> 32) as VertexId, key as VertexId);
+    }
+    b.symmetrize(true);
+    (b.build(), community)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = CommunityPowerLawConfig {
+            num_vertices: 500,
+            avg_degree: 6.0,
+            ..Default::default()
+        };
+        let g1 = community_powerlaw(&cfg);
+        let g2 = community_powerlaw(&cfg);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_eq!(g1.incoming().targets(), g2.incoming().targets());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = CommunityPowerLawConfig {
+            num_vertices: 500,
+            avg_degree: 6.0,
+            ..Default::default()
+        };
+        let other = CommunityPowerLawConfig { seed: 7, ..base.clone() };
+        let g1 = community_powerlaw(&base);
+        let g2 = community_powerlaw(&other);
+        assert_ne!(g1.incoming().targets(), g2.incoming().targets());
+    }
+
+    #[test]
+    fn hits_target_density_approximately() {
+        let cfg = CommunityPowerLawConfig {
+            num_vertices: 5_000,
+            avg_degree: 10.0,
+            ..Default::default()
+        };
+        let g = community_powerlaw(&cfg);
+        // Dedup and self-loop removal lose a few edges; expect within 25%.
+        let avg = g.avg_degree();
+        assert!(avg > 7.0 && avg < 10.5, "avg degree {avg}");
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let cfg = CommunityPowerLawConfig {
+            num_vertices: 5_000,
+            avg_degree: 10.0,
+            gamma: 2.2,
+            ..Default::default()
+        };
+        let g = community_powerlaw(&cfg);
+        let max_deg = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            f64::from(max_deg) > 10.0 * g.avg_degree(),
+            "power-law graphs should have hubs; max {max_deg}, avg {}",
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    fn truth_matches_config() {
+        let cfg = CommunityPowerLawConfig {
+            num_vertices: 800,
+            num_communities: 10,
+            ..Default::default()
+        };
+        let (g, truth) = community_powerlaw_with_truth(&cfg);
+        assert_eq!(truth.len(), g.num_vertices());
+        assert!(truth.iter().all(|&c| c < 10));
+        // Low mixing means most edges stay inside their community.
+        let intra = (0..g.num_vertices() as VertexId)
+            .flat_map(|v| g.neighbors(v).iter().map(move |&u| (v, u)))
+            .filter(|&(v, u)| truth[v as usize] == truth[u as usize])
+            .count();
+        assert!(
+            intra as f64 > 0.6 * g.num_edges() as f64,
+            "{intra} intra of {}",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn cum_sampler_respects_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = CumSampler::new([1.0, 0.0, 9.0].into_iter());
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > 8 * counts[0]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Small deterministic topologies used throughout the test suites.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::types::VertexId;
+
+/// Path 0-1-2-...-(n-1).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId);
+    }
+    b.symmetrize(true);
+    b.build()
+}
+
+/// Cycle over n vertices (n >= 3).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId);
+    }
+    b.add_edge((n - 1) as VertexId, 0);
+    b.symmetrize(true);
+    b.build()
+}
+
+/// Star: hub 0 connected to spokes 1..n-1. The canonical high-degree vertex.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least 2 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..n {
+        b.add_edge(0, v as VertexId);
+    }
+    b.symmetrize(true);
+    b.build()
+}
+
+/// Complete graph K_n.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.symmetrize(true);
+    b.build()
+}
+
+/// Two cliques of size `k` joined by a single bridge edge between vertex
+/// `k-1` and vertex `k`. Classic LP must discover exactly two communities.
+pub fn two_cliques_bridge(k: usize) -> Graph {
+    assert!(k >= 2, "cliques need at least 2 vertices");
+    let n = 2 * k;
+    let mut b = GraphBuilder::with_capacity(n, k * (k - 1) + 1);
+    for base in [0, k] {
+        for u in 0..k {
+            for v in (u + 1)..k {
+                b.add_edge((base + u) as VertexId, (base + v) as VertexId);
+            }
+        }
+    }
+    b.add_edge((k - 1) as VertexId, k as VertexId);
+    b.symmetrize(true);
+    b.build()
+}
+
+/// Connected caveman graph: `num_caves` cliques of size `cave_size`, with one
+/// edge of each clique rewired to the next clique, forming a ring of caves.
+/// LP should recover (approximately) one community per cave.
+pub fn caveman(num_caves: usize, cave_size: usize) -> Graph {
+    assert!(num_caves >= 2 && cave_size >= 3, "need >=2 caves of size >=3");
+    let n = num_caves * cave_size;
+    let mut b = GraphBuilder::with_capacity(n, num_caves * cave_size * cave_size / 2);
+    for c in 0..num_caves {
+        let base = c * cave_size;
+        for u in 0..cave_size {
+            for v in (u + 1)..cave_size {
+                // Rewire the (0,1) edge of each cave to bridge to the next cave.
+                if u == 0 && v == 1 {
+                    let next = ((c + 1) % num_caves) * cave_size;
+                    b.add_edge((base + u) as VertexId, next as VertexId);
+                } else {
+                    b.add_edge((base + u) as VertexId, (base + v) as VertexId);
+                }
+            }
+        }
+    }
+    b.symmetrize(true).dedup(true);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_degrees() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn cycle_every_degree_two() {
+        let g = cycle(7);
+        assert!((0..7).all(|v| g.degree(v) == 2));
+        assert_eq!(g.num_edges(), 14);
+    }
+
+    #[test]
+    fn star_hub_degree() {
+        let g = star(33);
+        assert_eq!(g.degree(0), 32);
+        assert!((1..33).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_degrees() {
+        let g = complete(6);
+        assert!((0..6).all(|v| g.degree(v) == 5));
+        assert_eq!(g.num_edges(), 30);
+    }
+
+    #[test]
+    fn two_cliques_structure() {
+        let g = two_cliques_bridge(4);
+        assert_eq!(g.num_vertices(), 8);
+        // bridge endpoints have degree k-1+1
+        assert_eq!(g.degree(3), 4);
+        assert_eq!(g.degree(4), 4);
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn caveman_is_connected_ring() {
+        let g = caveman(4, 5);
+        assert_eq!(g.num_vertices(), 20);
+        // BFS reaches everything
+        let mut seen = [false; 20];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,128 @@
+//! Degree statistics.
+//!
+//! Used by the engines to size kernel-dispatch buckets (low/mid/high degree,
+//! paper §5.3) and by the benchmark harness to print Table 2.
+
+use crate::csr::Graph;
+use crate::types::VertexId;
+
+/// Summary degree statistics of a graph's incoming view.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of stored directed edges.
+    pub num_edges: u64,
+    /// |E|/|V|.
+    pub avg_degree: f64,
+    /// Maximum in-degree.
+    pub max_degree: u32,
+    /// Median in-degree.
+    pub median_degree: u32,
+    /// Fraction of vertices with degree < 32 (the paper's low-degree
+    /// threshold for the warp optimization).
+    pub frac_low_degree: f64,
+    /// Fraction of vertices with degree > 128 (the paper's high-degree
+    /// threshold for the shared-memory optimization).
+    pub frac_high_degree: f64,
+}
+
+/// Computes [`DegreeStats`] for `g`.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.num_vertices();
+    let mut degs: Vec<u32> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+    let max_degree = degs.iter().copied().max().unwrap_or(0);
+    let low = degs.iter().filter(|&&d| d < 32).count();
+    let high = degs.iter().filter(|&&d| d > 128).count();
+    let mid = n / 2;
+    let median_degree = if n == 0 {
+        0
+    } else {
+        *degs.select_nth_unstable(mid).1
+    };
+    DegreeStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        avg_degree: g.avg_degree(),
+        max_degree,
+        median_degree,
+        frac_low_degree: low as f64 / n.max(1) as f64,
+        frac_high_degree: high as f64 / n.max(1) as f64,
+    }
+}
+
+/// Log2-bucketed degree histogram: `hist[k]` counts vertices with degree in
+/// `[2^k, 2^(k+1))`; `hist[0]` also includes degree-0 vertices.
+pub fn degree_histogram(g: &Graph) -> Vec<u64> {
+    let mut hist = vec![0u64; 33];
+    for v in 0..g.num_vertices() as VertexId {
+        let d = g.degree(v);
+        let bucket = if d <= 1 { 0 } else { 32 - (d - 1).leading_zeros() as usize };
+        hist[bucket] += 1;
+    }
+    while hist.len() > 1 && *hist.last().unwrap() == 0 {
+        hist.pop();
+    }
+    hist
+}
+
+/// Rough maximum-likelihood estimate of the power-law exponent over degrees
+/// >= `dmin` (Clauset-style continuous approximation). Returns `None` when
+/// > fewer than 10 vertices qualify.
+pub fn powerlaw_alpha(g: &Graph, dmin: u32) -> Option<f64> {
+    let dmin = dmin.max(1);
+    let mut count = 0usize;
+    let mut logsum = 0.0f64;
+    for v in 0..g.num_vertices() as VertexId {
+        let d = g.degree(v);
+        if d >= dmin {
+            count += 1;
+            logsum += (f64::from(d) / f64::from(dmin)).ln();
+        }
+    }
+    (count >= 10).then(|| 1.0 + count as f64 / logsum.max(f64::EPSILON))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{community_powerlaw, star, CommunityPowerLawConfig};
+
+    #[test]
+    fn stats_on_star() {
+        let g = star(100);
+        let s = degree_stats(&g);
+        assert_eq!(s.num_vertices, 100);
+        assert_eq!(s.max_degree, 99);
+        assert_eq!(s.median_degree, 1);
+        assert!((s.frac_low_degree - 0.99).abs() < 1e-9);
+        assert!((s.frac_high_degree - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let g = star(100); // hub degree 99 -> bucket 7 ([64,128)); spokes deg 1 -> bucket 0
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 99);
+        assert_eq!(h[7], 1);
+        assert_eq!(h.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn alpha_estimate_in_plausible_range() {
+        let g = community_powerlaw(&CommunityPowerLawConfig {
+            num_vertices: 20_000,
+            avg_degree: 10.0,
+            gamma: 2.3,
+            ..Default::default()
+        });
+        let alpha = powerlaw_alpha(&g, 8).expect("enough tail vertices");
+        assert!(alpha > 1.5 && alpha < 4.5, "alpha {alpha}");
+    }
+
+    #[test]
+    fn alpha_none_on_tiny_graph() {
+        let g = star(5);
+        assert!(powerlaw_alpha(&g, 10).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! Fundamental identifier types shared across the workspace.
+//!
+//! The paper runs on graphs up to ~1 billion vertices and ~10 billion edges.
+//! Vertex identifiers fit in `u32` at the scales this reproduction runs
+//! (every dataset is generated scaled-down; see `DESIGN.md`), while edge
+//! offsets use `u64` so the CSR layout itself is billion-edge capable — the
+//! same choice CUDA implementations make to halve adjacency memory traffic.
+
+/// Vertex identifier. 32 bits: adjacency arrays dominate graph memory and
+/// GPU global-memory traffic, so the narrowest sufficient type wins.
+pub type VertexId = u32;
+
+/// Community label carried by each vertex. Labels start out equal to the
+/// vertex id (classic LP initialization) so they share the width.
+pub type Label = u32;
+
+/// Edge index / CSR offset. 64 bits so the format itself supports graphs
+/// beyond 4B edges even though `VertexId` is 32 bits.
+pub type EdgeId = u64;
+
+/// Sentinel for "no vertex" (e.g. padding lanes in a warp).
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// Sentinel for "no label" (e.g. unlabeled vertices in seeded LP).
+pub const INVALID_LABEL: Label = Label::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels_are_distinct_from_small_ids() {
+        assert_ne!(INVALID_VERTEX, 0);
+        assert_ne!(INVALID_LABEL, 0);
+        assert_eq!(INVALID_VERTEX, u32::MAX);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based invariants of the graph substrate.
+
+use glp_graph::{Csr, Graph, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+/// Arbitrary edge list over up to 64 vertices.
+fn edges(max_v: u32) -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
+    prop::collection::vec((0..max_v, 0..max_v), 0..200)
+}
+
+proptest! {
+    /// Any edge list builds a structurally valid CSR: offsets monotone,
+    /// every edge accounted for, neighbors sorted.
+    #[test]
+    fn builder_produces_wellformed_csr(es in edges(64)) {
+        let mut b = GraphBuilder::new(64);
+        let self_loops = es.iter().filter(|(s, d)| s == d).count();
+        for &(s, d) in &es {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        prop_assert_eq!(g.num_edges() as usize, es.len() - self_loops);
+        let mut total = 0u64;
+        for v in 0..64u32 {
+            let nbrs = g.neighbors(v);
+            total += nbrs.len() as u64;
+            prop_assert!(nbrs.windows(2).all(|w| w[0] <= w[1]), "unsorted neighbors");
+        }
+        prop_assert_eq!(total, g.num_edges());
+    }
+
+    /// Symmetrize gives every stored edge a reverse twin.
+    #[test]
+    fn symmetrize_is_symmetric(es in edges(48)) {
+        let mut b = GraphBuilder::new(48);
+        for &(s, d) in &es {
+            b.add_edge(s, d);
+        }
+        b.symmetrize(true).dedup(true);
+        let g = b.build();
+        for v in 0..48u32 {
+            for &u in g.neighbors(v) {
+                prop_assert!(
+                    g.neighbors(u).binary_search(&v).is_ok(),
+                    "edge {v}->{u} missing reverse"
+                );
+            }
+        }
+    }
+
+    /// Transposition is an involution on well-formed CSRs.
+    #[test]
+    fn transpose_involution(es in edges(48)) {
+        let mut b = GraphBuilder::new(48);
+        for &(s, d) in &es {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        let t: &Csr = g.incoming();
+        let back = t.transpose().transpose();
+        prop_assert_eq!(back.offsets(), t.offsets());
+        prop_assert_eq!(back.targets(), t.targets());
+    }
+
+    /// Dedup with weights preserves total edge weight exactly (weights are
+    /// small integers so f32 summation is exact).
+    #[test]
+    fn dedup_preserves_total_weight(es in edges(32)) {
+        let mut b = GraphBuilder::new(32);
+        let mut expected = 0.0f64;
+        for &(s, d) in &es {
+            if s != d {
+                b.add_weighted_edge(s, d, 2.0);
+                expected += 2.0;
+            }
+        }
+        if es.iter().all(|(s, d)| s == d) {
+            return Ok(());
+        }
+        b.dedup(true);
+        let g = b.build();
+        let total: f64 = (0..32u32)
+            .filter_map(|v| g.incoming().neighbor_weights(v))
+            .flat_map(|ws| ws.iter().map(|&w| f64::from(w)))
+            .sum();
+        prop_assert_eq!(total, expected);
+    }
+
+    /// Even partitioning covers all edges exactly once, for any shape.
+    #[test]
+    fn partition_even_covers(es in edges(64), k in 1usize..9) {
+        let mut b = GraphBuilder::new(64);
+        for &(s, d) in &es {
+            b.add_edge(s, d);
+        }
+        let g: Graph = b.build();
+        let parts = glp_graph::partition::partition_even(&g, k);
+        prop_assert_eq!(parts.len(), k);
+        let covered: u64 = parts.iter().map(|r| r.num_edges()).sum();
+        prop_assert_eq!(covered, g.num_edges());
+        let vertices: usize = parts.iter().map(|r| r.num_vertices()).sum();
+        prop_assert_eq!(vertices, 64);
+    }
+}

@@ -1,0 +1,194 @@
+//! Count-Min Sketch (Cormode & Muthukrishnan, 2005).
+//!
+//! `d` rows of `w` counters; a label hashes to one counter per row and
+//! increments all of them; its estimate is the minimum over its counters,
+//! which can only *over*estimate the true count — the property Lemma 2
+//! builds on (with `w = 2s`, the over-by-more-than-1/s·s probability per
+//! row is ≤ 1/2, so `P[g(l) > f_max] ≤ 2^-d`).
+//!
+//! Counters are `f64` because the GLP APIs allow weighted neighbor
+//! contributions ([`LoadNeighbor` returns a frequency], Table 1).
+
+/// A d×w count-min sketch.
+///
+/// ```
+/// use glp_sketch::CountMinSketch;
+/// let mut cms = CountMinSketch::new(4, 256);
+/// for _ in 0..5 { cms.add(42, 1.0); }
+/// assert!(cms.estimate(42) >= 5.0); // never underestimates
+/// ```
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    depth: usize,
+    width: usize,
+    counts: Vec<f64>,
+    touched: Vec<u32>,
+}
+
+/// Per-row multiply-shift hash multipliers (distinct large odd constants).
+const ROW_MULTIPLIERS: [u64; 8] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xc2b2_ae3d_27d4_eb4f,
+    0x1656_67b1_9e37_79f9,
+    0x27d4_eb2f_1656_67c5,
+    0x8538_ecb5_bd45_6ea3,
+    0xff51_afd7_ed55_8ccd,
+    0xc4ce_b9fe_1a85_ec53,
+    0x2545_f491_4f6c_dd1d,
+];
+
+impl CountMinSketch {
+    /// A sketch with `depth` rows (1..=8) and `width` buckets per row.
+    ///
+    /// # Panics
+    /// Panics if `depth` is outside 1..=8 or `width` is 0.
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!((1..=8).contains(&depth), "depth must be in 1..=8");
+        assert!(width > 0, "width must be positive");
+        Self {
+            depth,
+            width,
+            counts: vec![0.0; depth * width],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Buckets per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Bucket index of `key` in `row`.
+    #[inline]
+    fn bucket(&self, row: usize, key: u64) -> usize {
+        let h = key
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_mul(ROW_MULTIPLIERS[row]);
+        ((h >> 33) as usize) % self.width
+    }
+
+    /// Adds `weight` to `key`'s counters and returns the updated estimate
+    /// (minimum over rows) — the single-pass use in `SharedMemBigNodes`.
+    pub fn add(&mut self, key: u64, weight: f64) -> f64 {
+        let mut est = f64::INFINITY;
+        for row in 0..self.depth {
+            let b = row * self.width + self.bucket(row, key);
+            if self.counts[b] == 0.0 {
+                self.touched.push(b as u32);
+            }
+            self.counts[b] += weight;
+            est = est.min(self.counts[b]);
+        }
+        est
+    }
+
+    /// Current estimate for `key` (an upper bound on its true count).
+    pub fn estimate(&self, key: u64) -> f64 {
+        let mut est = f64::INFINITY;
+        for row in 0..self.depth {
+            est = est.min(self.counts[row * self.width + self.bucket(row, key)]);
+        }
+        est
+    }
+
+    /// Largest counter value anywhere (an upper bound on the maximum
+    /// estimate; cheap block-reduce analogue for s(CMS)).
+    pub fn max_count(&self) -> f64 {
+        self.counts.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Zeroes all counters in O(touched buckets) — cheap per-vertex reset
+    /// when one scratch sketch is recycled across many vertices.
+    pub fn clear(&mut self) {
+        for &b in &self.touched {
+            self.counts[b as usize] = 0.0;
+        }
+        self.touched.clear();
+    }
+
+    /// Shared-memory footprint: the GPU layout uses 32-bit counters.
+    pub fn size_bytes(&self) -> usize {
+        self.depth * self.width * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cms = CountMinSketch::new(4, 64);
+        for k in 0..200u64 {
+            for _ in 0..(k % 7 + 1) {
+                cms.add(k, 1.0);
+            }
+        }
+        for k in 0..200u64 {
+            let truth = (k % 7 + 1) as f64;
+            assert!(cms.estimate(k) >= truth, "key {k}");
+        }
+    }
+
+    #[test]
+    fn exact_when_no_collisions() {
+        let mut cms = CountMinSketch::new(4, 4096);
+        cms.add(42, 3.0);
+        cms.add(42, 2.0);
+        assert_eq!(cms.estimate(42), 5.0);
+    }
+
+    #[test]
+    fn add_returns_running_estimate() {
+        let mut cms = CountMinSketch::new(2, 1024);
+        assert_eq!(cms.add(7, 1.5), 1.5);
+        assert!(cms.add(7, 1.0) >= 2.5);
+    }
+
+    #[test]
+    fn unknown_key_estimate_is_bounded_by_collisions() {
+        let mut cms = CountMinSketch::new(4, 1024);
+        for k in 0..50u64 {
+            cms.add(k, 1.0);
+        }
+        // A key never added can only pick up collision mass.
+        assert!(cms.estimate(999_999) <= 50.0);
+    }
+
+    #[test]
+    fn max_count_bounds_estimates() {
+        let mut cms = CountMinSketch::new(3, 128);
+        for k in 0..500u64 {
+            cms.add(k % 17, 1.0);
+        }
+        let max = cms.max_count();
+        for k in 0..17u64 {
+            assert!(cms.estimate(k) <= max);
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cms = CountMinSketch::new(2, 32);
+        cms.add(1, 10.0);
+        cms.clear();
+        assert_eq!(cms.estimate(1), 0.0);
+        assert_eq!(cms.max_count(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be in 1..=8")]
+    fn zero_depth_rejected() {
+        CountMinSketch::new(0, 8);
+    }
+
+    #[test]
+    fn size_is_gpu_layout() {
+        assert_eq!(CountMinSketch::new(4, 256).size_bytes(), 4 * 256 * 4);
+    }
+}

@@ -1,0 +1,283 @@
+//! Bounded open-addressing hash table — the shared-memory HT of Procedure
+//! `SharedMemBigNodes` and, with a large capacity, the global-memory GHT.
+//!
+//! Semantics match the GPU structure: fixed capacity, linear probing with a
+//! bounded probe budget, `atomicAdd`-style insert-or-accumulate. An insert
+//! is *unsuccessful* (label overflows to the CMS) when the probe budget is
+//! exhausted without finding the key or an empty slot.
+
+/// Result of [`BoundedHashTable::insert_add`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InsertOutcome {
+    /// Key present (inserted or already there); carries the updated count
+    /// and the number of probes used (for bank-conflict/cost accounting).
+    Added { count: f64, probes: u32 },
+    /// Probe budget exhausted; key must overflow to the CMS.
+    Full { probes: u32 },
+}
+
+/// Sentinel for an empty slot.
+const EMPTY: u64 = u64::MAX;
+
+/// Fixed-capacity open-addressing hash table with accumulate-on-insert.
+///
+/// ```
+/// use glp_sketch::{BoundedHashTable, InsertOutcome};
+/// let mut ht = BoundedHashTable::new(64, 8);
+/// assert!(matches!(ht.insert_add(7, 2.0), InsertOutcome::Added { .. }));
+/// ht.insert_add(7, 3.0);
+/// assert_eq!(ht.get(7), Some(5.0));
+/// assert_eq!(ht.max_entry(), Some((7, 5.0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoundedHashTable {
+    keys: Vec<u64>,
+    counts: Vec<f64>,
+    mask: usize,
+    probe_limit: u32,
+    occupied: usize,
+    touched: Vec<usize>,
+}
+
+impl BoundedHashTable {
+    /// A table with `capacity` slots (rounded up to a power of two) and a
+    /// probe budget of `probe_limit` slots per operation.
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `probe_limit` is 0.
+    pub fn new(capacity: usize, probe_limit: u32) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(probe_limit > 0, "probe limit must be positive");
+        let cap = capacity.next_power_of_two();
+        Self {
+            keys: vec![EMPTY; cap],
+            counts: vec![0.0; cap],
+            mask: cap - 1,
+            probe_limit: probe_limit.min(cap as u32),
+            occupied: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Occupied slot count.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Probe budget per operation.
+    pub fn probe_limit(&self) -> u32 {
+        self.probe_limit
+    }
+
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        // Fibonacci multiply-shift; the low bits index the table.
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 17) as usize & self.mask
+    }
+
+    /// Inserts `key` with `weight` or accumulates onto its existing count.
+    pub fn insert_add(&mut self, key: u64, weight: f64) -> InsertOutcome {
+        debug_assert_ne!(key, EMPTY, "sentinel key");
+        let mut slot = self.home(key);
+        for probe in 1..=self.probe_limit {
+            if self.keys[slot] == key {
+                self.counts[slot] += weight;
+                return InsertOutcome::Added {
+                    count: self.counts[slot],
+                    probes: probe,
+                };
+            }
+            if self.keys[slot] == EMPTY {
+                self.keys[slot] = key;
+                self.counts[slot] = weight;
+                self.occupied += 1;
+                self.touched.push(slot);
+                return InsertOutcome::Added {
+                    count: weight,
+                    probes: probe,
+                };
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        InsertOutcome::Full {
+            probes: self.probe_limit,
+        }
+    }
+
+    /// Current count for `key`, if present within the probe budget.
+    pub fn get(&self, key: u64) -> Option<f64> {
+        let mut slot = self.home(key);
+        for _ in 0..self.probe_limit {
+            if self.keys[slot] == key {
+                return Some(self.counts[slot]);
+            }
+            if self.keys[slot] == EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates occupied `(key, count)` entries in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.counts)
+            .filter(|(&k, _)| k != EMPTY)
+            .map(|(&k, &c)| (k, c))
+    }
+
+    /// The entry with the maximum count; ties break toward the smaller key
+    /// (the workspace-wide deterministic tie rule). `None` when empty.
+    pub fn max_entry(&self) -> Option<(u64, f64)> {
+        let mut best: Option<(u64, f64)> = None;
+        for (k, c) in self.iter() {
+            best = match best {
+                None => Some((k, c)),
+                Some((bk, bc)) if c > bc || (c == bc && k < bk) => Some((k, c)),
+                keep => keep,
+            };
+        }
+        best
+    }
+
+    /// Empties the table in O(occupied) — the per-vertex reset the engines
+    /// use when recycling one scratch table across millions of vertices.
+    pub fn clear(&mut self) {
+        for &slot in &self.touched {
+            self.keys[slot] = EMPTY;
+            self.counts[slot] = 0.0;
+        }
+        self.touched.clear();
+        self.occupied = 0;
+    }
+
+    /// Shared-memory footprint: the GPU layout packs a 32-bit label and a
+    /// 32-bit count per slot.
+    pub fn size_bytes(&self) -> usize {
+        self.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_accumulate() {
+        let mut ht = BoundedHashTable::new(8, 8);
+        match ht.insert_add(5, 1.0) {
+            InsertOutcome::Added { count, .. } => assert_eq!(count, 1.0),
+            full => panic!("{full:?}"),
+        }
+        match ht.insert_add(5, 2.0) {
+            InsertOutcome::Added { count, .. } => assert_eq!(count, 3.0),
+            full => panic!("{full:?}"),
+        }
+        assert_eq!(ht.occupied(), 1);
+        assert_eq!(ht.get(5), Some(3.0));
+    }
+
+    #[test]
+    fn fills_up_then_rejects() {
+        let mut ht = BoundedHashTable::new(4, 4);
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for k in 0..64u64 {
+            match ht.insert_add(k, 1.0) {
+                InsertOutcome::Added { .. } => accepted += 1,
+                InsertOutcome::Full { .. } => rejected += 1,
+            }
+        }
+        assert_eq!(accepted, 4, "table has 4 slots");
+        assert_eq!(rejected, 60);
+        assert_eq!(ht.occupied(), 4);
+        // Accumulating onto a resident key still works when full.
+        let resident = ht.iter().next().unwrap().0;
+        assert!(matches!(
+            ht.insert_add(resident, 1.0),
+            InsertOutcome::Added { .. }
+        ));
+    }
+
+    #[test]
+    fn probe_limit_can_reject_before_full() {
+        let mut ht = BoundedHashTable::new(64, 1);
+        // With a probe budget of 1, a key whose home slot is taken by
+        // another key is rejected even though the table has room.
+        let mut home_taken = None;
+        for k in 0..1000u64 {
+            match ht.insert_add(k, 1.0) {
+                InsertOutcome::Full { probes } => {
+                    assert_eq!(probes, 1);
+                    home_taken = Some(k);
+                    break;
+                }
+                InsertOutcome::Added { .. } => {}
+            }
+        }
+        assert!(home_taken.is_some(), "some collision must occur in 1000 keys");
+        assert!(ht.occupied() < 64);
+    }
+
+    #[test]
+    fn max_entry_breaks_ties_to_smaller_key() {
+        let mut ht = BoundedHashTable::new(16, 16);
+        ht.insert_add(9, 5.0);
+        ht.insert_add(3, 5.0);
+        ht.insert_add(7, 1.0);
+        assert_eq!(ht.max_entry(), Some((3, 5.0)));
+    }
+
+    #[test]
+    fn max_entry_none_when_empty() {
+        assert!(BoundedHashTable::new(4, 4).max_entry().is_none());
+    }
+
+    #[test]
+    fn get_absent_key() {
+        let mut ht = BoundedHashTable::new(8, 8);
+        ht.insert_add(1, 1.0);
+        assert_eq!(ht.get(2), None);
+        assert!(!ht.contains(2));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut ht = BoundedHashTable::new(8, 8);
+        ht.insert_add(1, 1.0);
+        ht.clear();
+        assert_eq!(ht.occupied(), 0);
+        assert_eq!(ht.get(1), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(BoundedHashTable::new(100, 8).capacity(), 128);
+        assert_eq!(BoundedHashTable::new(100, 8).size_bytes(), 1024);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut ht = BoundedHashTable::new(32, 32);
+        for k in 10..20u64 {
+            ht.insert_add(k, k as f64);
+        }
+        let mut entries: Vec<_> = ht.iter().collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        assert_eq!(entries.len(), 10);
+        assert_eq!(entries[0], (10, 10.0));
+        assert_eq!(entries[9], (19, 19.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! The paper's probabilistic guarantees (§4.1, Lemmas 1–2, Theorem 1).
+//!
+//! These bound the probability that `SharedMemBigNodes` must fall back to
+//! global memory for a vertex whose neighborhood has `m` distinct labels,
+//! maximum label frequency `f_max`, an HT with `h` slots and a CMS with `d`
+//! rows. The test suite validates each bound by Monte-Carlo simulation of
+//! the exact random processes the proofs analyze.
+
+/// Lemma 1: probability that the most frequent label `l*` is **not**
+/// captured by the HT after inserting all labels in random order,
+/// `P[l* ∉ HT] ≤ (1 − h/(m+k))^{2k}` with `k = (f_max − 1)/2`.
+///
+/// The analysis assumes all labels other than `l*` appear once. Returns 0
+/// when every distinct label fits (`m ≤ h`).
+pub fn lemma1_bound(m: u64, h: u64, f_max: u64) -> f64 {
+    assert!(f_max >= 1, "the MFL appears at least once");
+    if m <= h {
+        return 0.0;
+    }
+    let k = (f_max as f64 - 1.0) / 2.0;
+    let base = 1.0 - h as f64 / (m as f64 + k);
+    base.max(0.0).powf(2.0 * k)
+}
+
+/// Lemma 2: probability that the CMS-estimated maximum exceeds the true
+/// maximum frequency, `P[max_l g(l) > f_max] ≤ m · 2^{-d}` (with the CMS
+/// width set to twice the overflow count, as the engine does). Capped at 1.
+pub fn lemma2_bound(m: u64, d: u32) -> f64 {
+    (m as f64 * 2f64.powi(-(d as i32))).min(1.0)
+}
+
+/// Theorem 1: the probability of needing global memory accesses for a
+/// vertex, bounded by `m·2^{-d} + e^{-h}` in the regime `m ≤ (f_max−1)/2`
+/// with large `f_max` (communities already formed). Capped at 1.
+pub fn theorem1_bound(m: u64, h: u64, d: u32) -> f64 {
+    (lemma2_bound(m, d) + (-(h as f64)).exp()).min(1.0)
+}
+
+/// The exact (non-asymptotic) combination: Lemma 1 at finite `f_max` plus
+/// Lemma 2. This is the quantity the engine's instrumentation is compared
+/// against in integration tests.
+pub fn global_access_bound(m: u64, h: u64, f_max: u64, d: u32) -> f64 {
+    (lemma1_bound(m, h, f_max) + lemma2_bound(m, d)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BoundedHashTable, CountMinSketch, InsertOutcome};
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn lemma1_zero_when_labels_fit() {
+        assert_eq!(lemma1_bound(10, 16, 100), 0.0);
+        assert_eq!(lemma1_bound(16, 16, 2), 0.0);
+    }
+
+    #[test]
+    fn lemma1_decreases_with_h_and_fmax() {
+        let base = lemma1_bound(1000, 64, 33);
+        assert!(lemma1_bound(1000, 128, 33) < base);
+        assert!(lemma1_bound(1000, 64, 129) < base);
+        assert!(base > 0.0 && base < 1.0);
+    }
+
+    #[test]
+    fn lemma2_shape() {
+        assert_eq!(lemma2_bound(16, 4), 1.0);
+        assert_eq!(lemma2_bound(16, 8), 16.0 / 256.0);
+        assert!(lemma2_bound(1, 20) < 1e-6);
+    }
+
+    #[test]
+    fn theorem1_small_in_practical_regime() {
+        // After a few LP iterations on a community graph: few distinct
+        // labels, large f_max, h = 1024, d = 8.
+        let p = theorem1_bound(64, 1024, 8);
+        assert!(p < 0.26, "{p}");
+        let p = theorem1_bound(8, 1024, 10);
+        assert!(p < 0.01, "{p}");
+    }
+
+    /// Monte-Carlo check of Lemma 1's random process: m distinct labels,
+    /// the MFL repeated f_max times, inserted in random order into an HT
+    /// with h slots (first-come-first-kept). The empirical miss rate must
+    /// not exceed the bound (within sampling noise).
+    #[test]
+    fn lemma1_monte_carlo() {
+        let (m, h, f_max) = (256u64, 32u64, 17u64);
+        let bound = lemma1_bound(m, h, f_max);
+        assert!(bound > 0.0 && bound < 1.0, "pick a nondegenerate regime");
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let trials = 3000;
+        let mut misses = 0usize;
+        for _ in 0..trials {
+            // Stream: label 0 appears f_max times, labels 1..m once each.
+            let mut stream: Vec<u64> = (1..m).collect();
+            stream.extend(std::iter::repeat_n(0, f_max as usize));
+            stream.shuffle(&mut rng);
+            // First h distinct labels occupy the HT.
+            let mut ht = BoundedHashTable::new(h as usize * 4, 64);
+            let mut captured = std::collections::HashSet::new();
+            for &l in &stream {
+                if captured.len() < h as usize || captured.contains(&l) {
+                    captured.insert(l);
+                    ht.insert_add(l, 1.0);
+                }
+            }
+            if !captured.contains(&0) {
+                misses += 1;
+            }
+        }
+        let rate = misses as f64 / trials as f64;
+        // Allow 3 sigma of binomial noise above the bound.
+        let sigma = (bound * (1.0 - bound) / trials as f64).sqrt();
+        assert!(
+            rate <= bound + 3.0 * sigma + 0.01,
+            "empirical {rate} vs bound {bound}"
+        );
+    }
+
+    /// Monte-Carlo check of Lemma 2: overflow labels go into a CMS with
+    /// width = 2 × overflow count; the estimated max must rarely exceed the
+    /// true maximum frequency.
+    #[test]
+    fn lemma2_monte_carlo() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let d = 4u32;
+        let m = 64u64;
+        let f_max = 50.0;
+        let trials = 1000;
+        let mut violations = 0usize;
+        for t in 0..trials {
+            // Overflow stream: m singleton labels (the HT kept the heavy one).
+            let s = m as usize;
+            let mut cms = CountMinSketch::new(d as usize, 2 * s);
+            let mut overflow: Vec<u64> = (1..=m).map(|x| x * 7919 + t).collect();
+            overflow.shuffle(&mut rng);
+            for &l in &overflow {
+                cms.add(l, 1.0);
+            }
+            let est_max = overflow.iter().map(|&l| cms.estimate(l)).fold(0.0, f64::max);
+            if est_max > f_max {
+                violations += 1;
+            }
+        }
+        let rate = violations as f64 / trials as f64;
+        let bound = lemma2_bound(m, d);
+        assert!(rate <= bound + 0.02, "empirical {rate} vs bound {bound}");
+    }
+
+    /// End-to-end: run the actual HT+CMS combination of SharedMemBigNodes
+    /// on community-like neighborhoods and check the fallback frequency
+    /// against `global_access_bound`.
+    #[test]
+    fn combined_fallback_rate_within_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let h = 64usize;
+        let d = 4usize;
+        // Neighborhood: 8 communities of 40 + 120 singleton labels.
+        let mut neighborhood: Vec<u64> = Vec::new();
+        for c in 0..8u64 {
+            neighborhood.extend(std::iter::repeat_n(c, 40));
+        }
+        neighborhood.extend(1000..1120u64);
+        let m = 8 + 120;
+        let f_max = 40u64;
+        let trials = 500;
+        let mut fallbacks = 0usize;
+        for _ in 0..trials {
+            neighborhood.shuffle(&mut rng);
+            let mut ht = BoundedHashTable::new(h, 32);
+            let overflow_guess = neighborhood.len();
+            let mut cms = CountMinSketch::new(d, 2 * overflow_guess);
+            let mut s_cms = 0.0f64;
+            for &l in &neighborhood {
+                match ht.insert_add(l, 1.0) {
+                    InsertOutcome::Added { .. } => {}
+                    InsertOutcome::Full { .. } => {
+                        s_cms = s_cms.max(cms.add(l, 1.0));
+                    }
+                }
+            }
+            let s_ht = ht.max_entry().map_or(0.0, |e| e.1);
+            if s_ht < s_cms {
+                fallbacks += 1;
+            }
+        }
+        let rate = fallbacks as f64 / trials as f64;
+        let bound = global_access_bound(m, h as u64, f_max, d as u32);
+        assert!(rate <= bound + 0.05, "empirical {rate} vs bound {bound}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based invariants of the frequency-estimation structures — the
+//! guarantees the §4.1 pruning correctness rests on.
+
+use glp_sketch::{BoundedHashTable, CountMinSketch, InsertOutcome};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn streams() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..100, 0..400)
+}
+
+proptest! {
+    /// The CMS never underestimates any key's true count — the property
+    /// that makes s(CMS) a sound pruning ceiling.
+    #[test]
+    fn cms_never_underestimates(stream in streams(), depth in 1usize..6, width in 1usize..128) {
+        let mut cms = CountMinSketch::new(depth, width);
+        let mut truth: HashMap<u64, f64> = HashMap::new();
+        for &k in &stream {
+            cms.add(k, 1.0);
+            *truth.entry(k).or_default() += 1.0;
+        }
+        for (&k, &t) in &truth {
+            prop_assert!(cms.estimate(k) >= t, "key {k}: est {} < true {t}", cms.estimate(k));
+        }
+    }
+
+    /// max_count dominates every estimate (the block-reduce analogue).
+    #[test]
+    fn cms_max_dominates(stream in streams()) {
+        let mut cms = CountMinSketch::new(4, 64);
+        for &k in &stream {
+            cms.add(k, 1.0);
+        }
+        let max = cms.max_count();
+        for &k in &stream {
+            prop_assert!(cms.estimate(k) <= max);
+        }
+    }
+
+    /// Accepted keys in the bounded HT carry *exact* counts, and the HT +
+    /// overflow partition of the stream is lossless — together these give
+    /// §4.1's exactness ("not an approximated solution").
+    #[test]
+    fn ht_partition_is_exact(stream in streams(), cap in 1usize..64) {
+        let mut ht = BoundedHashTable::new(cap, cap as u32);
+        let mut overflow: HashMap<u64, f64> = HashMap::new();
+        let mut truth: HashMap<u64, f64> = HashMap::new();
+        for &k in &stream {
+            *truth.entry(k).or_default() += 1.0;
+            match ht.insert_add(k, 1.0) {
+                InsertOutcome::Added { .. } => {}
+                InsertOutcome::Full { .. } => {
+                    *overflow.entry(k).or_default() += 1.0;
+                }
+            }
+        }
+        for (&k, &t) in &truth {
+            let in_ht = ht.get(k).unwrap_or(0.0);
+            let in_of = overflow.get(&k).copied().unwrap_or(0.0);
+            prop_assert_eq!(in_ht + in_of, t, "key {} split {}+{} != {}", k, in_ht, in_of, t);
+            // A key never straddles both homes.
+            prop_assert!(in_ht == 0.0 || in_of == 0.0, "key {} in both", k);
+        }
+    }
+
+    /// max_entry returns the true maximum (ties to the smaller key).
+    #[test]
+    fn ht_max_entry_correct(stream in streams()) {
+        let mut ht = BoundedHashTable::new(256, 256);
+        let mut truth: HashMap<u64, f64> = HashMap::new();
+        for &k in &stream {
+            ht.insert_add(k, 1.0);
+            *truth.entry(k).or_default() += 1.0;
+        }
+        let expect = truth
+            .iter()
+            .map(|(&k, &c)| (k, c))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)));
+        prop_assert_eq!(ht.max_entry(), expect);
+    }
+
+    /// clear() really resets state (the recycled-scratch correctness the
+    /// engines depend on).
+    #[test]
+    fn ht_clear_resets(stream in streams()) {
+        let mut ht = BoundedHashTable::new(64, 64);
+        for &k in &stream {
+            ht.insert_add(k, 1.0);
+        }
+        ht.clear();
+        prop_assert_eq!(ht.occupied(), 0);
+        for &k in &stream {
+            prop_assert_eq!(ht.get(k), None);
+        }
+        // And it is fully usable afterwards.
+        ht.insert_add(7, 3.0);
+        prop_assert_eq!(ht.get(7), Some(3.0));
+    }
+}

@@ -1,0 +1,142 @@
+//! Writing a custom LP variant with the Table 1 APIs.
+//!
+//! ```text
+//! cargo run --release --example custom_variant
+//! ```
+//!
+//! The paper's pitch is programmability: data engineers deploy new LP
+//! strategies against evolving fraud patterns without touching GPU code.
+//! This example implements **hop-capped LP** — a containment variant where
+//! a vertex may adopt a label only within `max_hops` propagation rounds of
+//! its source seed, keeping clusters tight — purely through the
+//! `LpProgram` trait. The engine's kernels (warp packing, CMS+HT, the
+//! dispatch machinery) are reused untouched.
+
+use glp_suite::core::api::{LpProgram, NeighborContribution};
+use glp_suite::core::engine::GpuEngine;
+use glp_suite::graph::gen::caveman;
+use glp_suite::graph::{EdgeId, Label, VertexId, INVALID_LABEL};
+
+/// Hop-capped seeded propagation: labels carry a hop budget; a vertex
+/// adopting a label at distance `d` from its seed re-broadcasts it only
+/// while `d < max_hops`.
+struct HopCappedLp {
+    labels: Vec<Label>,
+    hops: Vec<u32>,
+    max_hops: u32,
+    max_iterations: u32,
+    /// Hop distance assigned to vertices labeled this round: the BSP
+    /// schedule guarantees a vertex first adopts a label at hop
+    /// `iteration + 1`.
+    current_hop: u32,
+}
+
+impl HopCappedLp {
+    fn new(num_vertices: usize, seeds: &[VertexId], max_hops: u32) -> Self {
+        let mut labels = vec![INVALID_LABEL; num_vertices];
+        let mut hops = vec![u32::MAX; num_vertices];
+        for &s in seeds {
+            labels[s as usize] = s;
+            hops[s as usize] = 0;
+        }
+        Self {
+            labels,
+            hops,
+            max_hops,
+            max_iterations: 20,
+            current_hop: 1,
+        }
+    }
+}
+
+impl LpProgram for HopCappedLp {
+    fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    // PickLabel: speak only while the hop budget lasts.
+    fn pick_label(&self, v: VertexId) -> Label {
+        if self.hops[v as usize] < self.max_hops {
+            self.labels[v as usize]
+        } else {
+            INVALID_LABEL
+        }
+    }
+
+    // LoadNeighbor: silent vertices contribute nothing.
+    fn load_neighbor(
+        &self,
+        _v: VertexId,
+        _u: VertexId,
+        _edge: EdgeId,
+        label: Label,
+    ) -> NeighborContribution {
+        let weight = if label == INVALID_LABEL { 0.0 } else { 1.0 };
+        NeighborContribution { label, weight }
+    }
+
+    // LabelScore: plain frequency; the invalid label can never win.
+    fn label_score(&self, _v: VertexId, l: Label, freq: f64) -> f64 {
+        if l == INVALID_LABEL {
+            f64::MIN
+        } else {
+            freq
+        }
+    }
+
+    // UpdateVertex: adopt and extend the hop distance.
+    fn update_vertex(&mut self, v: VertexId, winner: Option<(Label, f64)>) -> bool {
+        match winner {
+            Some((l, score)) if l != INVALID_LABEL && score > 0.0 => {
+                let vi = v as usize;
+                if self.labels[vi] == INVALID_LABEL {
+                    self.labels[vi] = l;
+                    self.hops[vi] = self.current_hop;
+                    true
+                } else {
+                    false // containment: never relabel
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn begin_iteration(&mut self, iteration: u32) {
+        self.current_hop = iteration + 1;
+    }
+
+    fn finished(&self, iteration: u32, changed: u64) -> bool {
+        changed == 0 || iteration + 1 >= self.max_iterations
+    }
+
+    fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    fn sparse_activation(&self) -> bool {
+        true
+    }
+}
+
+fn main() {
+    // A ring of 12 caves; seed one vertex in cave 0 and one in cave 6.
+    let graph = caveman(12, 10);
+    let seeds = [0u32, 60];
+
+    for max_hops in [1, 2, 4] {
+        let mut prog = HopCappedLp::new(graph.num_vertices(), &seeds, max_hops);
+        let report = GpuEngine::titan_v().run(&graph, &mut prog);
+        let labeled = prog
+            .labels()
+            .iter()
+            .filter(|&&l| l != INVALID_LABEL)
+            .count();
+        println!(
+            "max_hops {max_hops}: {labeled}/{} vertices captured in {} iterations ({:.1} µs modeled)",
+            graph.num_vertices(),
+            report.iterations,
+            report.modeled_seconds * 1e6
+        );
+    }
+    println!("\nsame kernels, different strategy — no GPU code touched.");
+}

@@ -1,0 +1,85 @@
+//! The TaoBao-style fraud-detection pipeline end to end (paper Figure 1).
+//!
+//! ```text
+//! cargo run --release --example fraud_pipeline
+//! ```
+//!
+//! Generates an e-commerce transaction stream with injected wash-trading
+//! rings, runs the pipeline (window graph → LP clustering → cluster
+//! scoring) twice — once with the simulated in-house distributed LP and
+//! once with GLP — and shows both the detection quality and how the LP
+//! stage's share of the pipeline collapses (the paper's whole motivation:
+//! LP was 75% of pipeline time).
+
+use glp_suite::core::engine::GpuEngine;
+use glp_suite::fraud::{FraudPipeline, InHouseLp, PipelineConfig, TxConfig, TxStream};
+
+fn main() {
+    // 1. Thirty days of transactions: 10k users, 8 fraud rings of 20
+    //    accounts each hammering their target items; 20% of each ring is
+    //    already black-listed.
+    let stream = TxStream::generate(&TxConfig {
+        num_users: 10_000,
+        num_items: 4_000,
+        days: 40,
+        tx_per_day: 5_000,
+        skew: 0.7,
+        num_rings: 8,
+        ring_size: 20,
+        ring_tx_per_day: 50,
+        blacklist_fraction: 0.2,
+        seed: 99,
+    });
+    println!(
+        "stream: {} transactions, {} ring accounts, {} black-listed seeds",
+        stream.transactions.len(),
+        stream.fraudulent_users().len(),
+        stream.blacklist.len()
+    );
+
+    let pipe = FraudPipeline::new(PipelineConfig {
+        window_days: 30,
+        ..Default::default()
+    });
+
+    // 2. The pipeline with the legacy in-house distributed LP.
+    let legacy = pipe.run(&stream, |g, p| InHouseLp::taobao_scaled(1_000.0).run(g, p));
+    // 3. The same pipeline with GLP.
+    let glp = pipe.run(&stream, |g, p| GpuEngine::titan_v().run(g, p));
+
+    println!(
+        "\nwindow graph: {} vertices, {} edges, {} seeds present",
+        glp.graph_vertices, glp.graph_edges, glp.num_seeds
+    );
+    println!(
+        "\ndetection quality (identical for both LP engines):\n  {} clusters flagged, precision {:.0}%, recall {:.0}%",
+        glp.flagged.len(),
+        100.0 * glp.precision,
+        100.0 * glp.recall
+    );
+    for c in glp.flagged.iter().take(3) {
+        println!(
+            "  e.g. cluster {}: {} accounts + {} items, score {:.2}",
+            c.label,
+            c.users.len(),
+            c.items.len(),
+            c.score
+        );
+    }
+
+    println!("\npipeline stage breakdown (modeled):");
+    for (name, r) in [("in-house LP", &legacy), ("GLP", &glp)] {
+        let s = r.stages;
+        println!(
+            "  {name:<12} build {:.2} ms | LP {:.2} ms | score {:.2} ms | LP share {:.0}%",
+            s.construction * 1e3,
+            s.lp * 1e3,
+            s.scoring * 1e3,
+            100.0 * s.lp_fraction()
+        );
+    }
+    println!(
+        "\nswapping in GLP cuts the LP stage {:.1}x (the paper reports 8.2x at production scale)",
+        legacy.stages.lp / glp.stages.lp
+    );
+}

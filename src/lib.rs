@@ -1,0 +1,12 @@
+//! # glp-suite — umbrella crate for the GLP reproduction
+//!
+//! Re-exports every crate of the workspace so examples and integration
+//! tests can use one dependency. See `README.md` for the tour and
+//! `DESIGN.md` for the system inventory.
+
+pub use glp_baselines as baselines;
+pub use glp_core as core;
+pub use glp_fraud as fraud;
+pub use glp_gpusim as gpusim;
+pub use glp_graph as graph;
+pub use glp_sketch as sketch;

@@ -1,0 +1,134 @@
+//! Cross-engine equivalence: every execution engine in the workspace must
+//! produce bit-identical labels for the same program on the same graph —
+//! the property that makes the benchmark comparisons meaningful.
+
+use glp_suite::baselines::{CpuLp, CpuLpConfig, GHashLp, GSortLp};
+use glp_suite::core::engine::{
+    GpuEngine, GpuEngineConfig, HybridEngine, MflStrategy, MultiGpuEngine,
+};
+use glp_suite::core::{ClassicLp, Llp, LpProgram, SeededLp, Slp};
+use glp_suite::fraud::InHouseLp;
+use glp_suite::gpusim::{Device, DeviceConfig};
+use glp_suite::graph::datasets::by_name;
+use glp_suite::graph::gen::{caveman, community_powerlaw, CommunityPowerLawConfig};
+use glp_suite::graph::Graph;
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("caveman", caveman(9, 7)),
+        (
+            "powerlaw",
+            community_powerlaw(&CommunityPowerLawConfig {
+                num_vertices: 2_500,
+                avg_degree: 11.0,
+                ..Default::default()
+            }),
+        ),
+        ("dblp_small", by_name("dblp").unwrap().generate_scaled(64)),
+    ]
+}
+
+/// Runs `proto` through every engine and asserts identical labels.
+fn assert_all_engines_agree<P: LpProgram + Clone>(name: &str, g: &Graph, proto: &P) {
+    let reference = {
+        let mut p = proto.clone();
+        GpuEngine::titan_v().run(g, &mut p);
+        p.labels().to_vec()
+    };
+    let check = |engine_name: &str, labels: &[u32]| {
+        assert_eq!(
+            labels, &reference[..],
+            "{engine_name} disagrees with GLP on {name}"
+        );
+    };
+
+    for strategy in [MflStrategy::Global, MflStrategy::Smem] {
+        let mut p = proto.clone();
+        GpuEngine::with_strategy(strategy).run(g, &mut p);
+        check(&format!("GpuEngine({strategy:?})"), p.labels());
+    }
+    {
+        // A device too small for the graph: streaming path.
+        let mem = (g.num_vertices() as u64) * 20 + g.size_bytes() / 3;
+        let mut p = proto.clone();
+        HybridEngine::new(Device::new(DeviceConfig::tiny(mem)), GpuEngineConfig::default())
+            .run(g, &mut p);
+        check("HybridEngine(streamed)", p.labels());
+    }
+    for devices in [2, 3] {
+        let mut p = proto.clone();
+        MultiGpuEngine::titan_v(devices).run(g, &mut p);
+        check(&format!("MultiGpuEngine({devices})"), p.labels());
+    }
+    {
+        let mut p = proto.clone();
+        CpuLp::omp(CpuLpConfig::default()).run(g, &mut p);
+        check("OMP", p.labels());
+    }
+    {
+        let mut p = proto.clone();
+        CpuLp::ligra(CpuLpConfig::default()).run(g, &mut p);
+        check("Ligra", p.labels());
+    }
+    {
+        let mut p = proto.clone();
+        GSortLp::titan_v().run(g, &mut p);
+        check("G-Sort", p.labels());
+    }
+    {
+        let mut p = proto.clone();
+        GHashLp::titan_v().run(g, &mut p);
+        check("G-Hash", p.labels());
+    }
+    {
+        let mut p = proto.clone();
+        InHouseLp::taobao().run(g, &mut p);
+        check("InHouse", p.labels());
+    }
+}
+
+#[test]
+fn classic_lp_agrees_everywhere() {
+    for (name, g) in graphs() {
+        let proto = ClassicLp::with_max_iterations(g.num_vertices(), 15);
+        assert_all_engines_agree(name, &g, &proto);
+    }
+}
+
+#[test]
+fn llp_agrees_everywhere() {
+    for (name, g) in graphs() {
+        for gamma in [1.0, 16.0] {
+            let proto = Llp::with_max_iterations(g.num_vertices(), gamma, 10);
+            assert_all_engines_agree(name, &g, &proto);
+        }
+    }
+}
+
+#[test]
+fn slp_agrees_everywhere() {
+    for (name, g) in graphs() {
+        let proto = Slp::with_params(g.num_vertices(), 5, 0.2, 10, 0x5EED);
+        assert_all_engines_agree(name, &g, &proto);
+    }
+}
+
+#[test]
+fn seeded_lp_agrees_everywhere() {
+    for (name, g) in graphs() {
+        let seeds: Vec<u32> = (0..g.num_vertices() as u32).step_by(97).collect();
+        let proto = SeededLp::with_max_iterations(g.num_vertices(), &seeds, 10);
+        assert_all_engines_agree(name, &g, &proto);
+    }
+}
+
+#[test]
+fn tigergraph_agrees_on_classic() {
+    for (name, g) in graphs() {
+        let mut reference = ClassicLp::with_max_iterations(g.num_vertices(), 15);
+        GpuEngine::titan_v().run(&g, &mut reference);
+        let mut p = ClassicLp::with_max_iterations(g.num_vertices(), 15);
+        CpuLp::tigergraph(CpuLpConfig::default()).run(&g, &mut p);
+        assert_eq!(p.labels(), reference.labels(), "TG disagrees on {name}");
+    }
+}

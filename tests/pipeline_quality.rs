@@ -1,0 +1,84 @@
+//! End-to-end fraud-pipeline quality and performance-shape checks
+//! (the claims of §1 and §5.4 at integration level).
+
+use glp_suite::core::engine::GpuEngine;
+use glp_suite::fraud::{FraudPipeline, InHouseLp, PipelineConfig, TxConfig, TxStream};
+
+fn stream() -> TxStream {
+    TxStream::generate(&TxConfig {
+        num_users: 5_000,
+        num_items: 2_000,
+        days: 40,
+        tx_per_day: 2_500,
+        num_rings: 6,
+        ring_size: 18,
+        ring_tx_per_day: 45,
+        blacklist_fraction: 0.2,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn pipeline_detects_rings_with_high_quality() {
+    let report = FraudPipeline::new(PipelineConfig::default())
+        .run(&stream(), |g, p| GpuEngine::titan_v().run(g, p));
+    assert!(report.precision > 0.8, "precision {}", report.precision);
+    assert!(report.recall > 0.8, "recall {}", report.recall);
+    assert!(report.flagged.len() >= 4, "flagged {}", report.flagged.len());
+}
+
+#[test]
+fn detection_is_engine_independent() {
+    let s = stream();
+    let pipe = FraudPipeline::new(PipelineConfig::default());
+    let a = pipe.run(&s, |g, p| GpuEngine::titan_v().run(g, p));
+    let b = pipe.run(&s, |g, p| InHouseLp::taobao().run(g, p));
+    let users =
+        |r: &glp_suite::fraud::PipelineReport| -> Vec<Vec<u32>> {
+            r.flagged.iter().map(|c| c.users.clone()).collect()
+        };
+    assert_eq!(users(&a), users(&b), "flagged clusters differ by engine");
+    assert_eq!(a.precision, b.precision);
+}
+
+#[test]
+fn lp_dominates_with_inhouse_but_not_with_glp() {
+    // The paper's motivation: LP is 75% of the pipeline with the legacy
+    // solution; GLP collapses that share.
+    let s = stream();
+    let pipe = FraudPipeline::new(PipelineConfig::default());
+    let legacy = pipe.run(&s, |g, p| InHouseLp::taobao_scaled(1_000.0).run(g, p));
+    let glp = pipe.run(&s, |g, p| GpuEngine::titan_v().run(g, p));
+    assert!(
+        legacy.stages.lp_fraction() > 0.6,
+        "legacy LP share {}",
+        legacy.stages.lp_fraction()
+    );
+    assert!(
+        glp.stages.lp_fraction() < legacy.stages.lp_fraction(),
+        "GLP share {} !< legacy share {}",
+        glp.stages.lp_fraction(),
+        legacy.stages.lp_fraction()
+    );
+    assert!(
+        legacy.stages.lp > 2.0 * glp.stages.lp,
+        "GLP should cut LP time substantially: {} vs {}",
+        legacy.stages.lp,
+        glp.stages.lp
+    );
+}
+
+#[test]
+fn flagged_clusters_are_rings_not_giants() {
+    let s = stream();
+    let report = FraudPipeline::new(PipelineConfig::default())
+        .run(&s, |g, p| GpuEngine::titan_v().run(g, p));
+    for c in &report.flagged {
+        assert!(
+            c.users.len() <= 3 * 18,
+            "flagged cluster of {} users looks like a flooded component",
+            c.users.len()
+        );
+        assert!(c.score >= 0.5 && c.score <= 1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Behavioural integration tests of the LP variants — each variant's
+//! *reason to exist*, demonstrated end-to-end on the GPU engine.
+
+use glp_suite::core::community::{community_sizes, nmi};
+use glp_suite::core::engine::GpuEngine;
+use glp_suite::core::ordering::{avg_log_gap, llp_ordering};
+use glp_suite::core::{CapacityLp, ClassicLp, Llp, LpProgram, RiskWeightedLp, Slp};
+use glp_suite::graph::gen::{
+    community_powerlaw_with_truth, two_cliques_bridge, CommunityPowerLawConfig,
+};
+use glp_suite::graph::{GraphBuilder, VertexId};
+
+#[test]
+fn classic_lp_recovers_planted_communities() {
+    let (g, truth) = community_powerlaw_with_truth(&CommunityPowerLawConfig {
+        num_vertices: 8_000,
+        avg_degree: 10.0,
+        num_communities: 64,
+        mixing: 0.05,
+        ..Default::default()
+    });
+    let mut prog = ClassicLp::new(g.num_vertices());
+    GpuEngine::titan_v().run(&g, &mut prog);
+    let score = nmi(prog.labels(), &truth);
+    assert!(score > 0.9, "NMI {score}");
+}
+
+#[test]
+fn llp_gamma_controls_resolution() {
+    let (g, _) = community_powerlaw_with_truth(&CommunityPowerLawConfig {
+        num_vertices: 6_000,
+        avg_degree: 10.0,
+        num_communities: 50,
+        mixing: 0.1,
+        ..Default::default()
+    });
+    let count_at = |gamma: f64| {
+        let mut p = Llp::new(g.num_vertices(), gamma);
+        GpuEngine::titan_v().run(&g, &mut p);
+        glp_suite::core::community::num_communities(p.labels())
+    };
+    let coarse = count_at(0.0);
+    let fine = count_at(4.0);
+    assert!(
+        fine > 2 * coarse,
+        "higher gamma should fragment: γ=0 gives {coarse}, γ=4 gives {fine}"
+    );
+}
+
+#[test]
+fn slp_detects_overlapping_membership() {
+    // Two 8-cliques sharing a 2-vertex bridge region: the bridge endpoints
+    // hear both communities' labels round after round, so their SLPA
+    // memories should retain labels from both sides.
+    let g = two_cliques_bridge(8);
+    let bridge = [7u32, 8u32];
+    let mut found_overlap = false;
+    for seed in [1u64, 2, 3, 4, 5] {
+        let mut prog = Slp::with_params(g.num_vertices(), 5, 0.05, 40, seed);
+        GpuEngine::titan_v().run(&g, &mut prog);
+        if bridge.iter().any(|&v| prog.overlapping_labels(v).len() >= 2) {
+            found_overlap = true;
+            break;
+        }
+    }
+    assert!(
+        found_overlap,
+        "bridge vertices should accumulate labels from both cliques"
+    );
+}
+
+#[test]
+fn capacity_lp_balances_where_classic_collapses() {
+    let (g, _) = community_powerlaw_with_truth(&CommunityPowerLawConfig {
+        num_vertices: 4_000,
+        avg_degree: 12.0,
+        num_communities: 8,
+        mixing: 0.05,
+        ..Default::default()
+    });
+    let mut classic = ClassicLp::new(g.num_vertices());
+    GpuEngine::titan_v().run(&g, &mut classic);
+    let classic_max = community_sizes(classic.labels())[0];
+
+    let cap = 256;
+    let mut balanced = CapacityLp::new(g.num_vertices(), cap);
+    GpuEngine::titan_v().run(&g, &mut balanced);
+    assert!(balanced.max_volume() <= cap);
+    assert!(
+        (balanced.max_volume() as usize) < classic_max,
+        "cap {cap} should beat classic's largest community {classic_max}"
+    );
+}
+
+#[test]
+fn risk_weighting_reassigns_contested_territory() {
+    // A 3x3 grid of vertices between two seeds; risk decides the border.
+    let n = 11;
+    let mut b = GraphBuilder::new(n);
+    // seed A = 0, seed B = 10; a path 0-1-2-...-10 between them.
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId);
+    }
+    b.symmetrize(true);
+    let g = b.build();
+
+    let run = |risk_a: f32, risk_b: f32| -> usize {
+        let mut p = RiskWeightedLp::new(n, &[(0, risk_a), (10, risk_b)], 30);
+        GpuEngine::titan_v().run(&g, &mut p);
+        p.labels().iter().filter(|&&l| l == 0).count()
+    };
+    let balanced = run(1.0, 1.0);
+    let a_heavy = run(10.0, 1.0);
+    assert!(
+        a_heavy >= balanced,
+        "raising A's risk must not shrink A's territory ({a_heavy} vs {balanced})"
+    );
+    assert!(a_heavy > n / 2, "high-risk seed should claim the majority");
+}
+
+#[test]
+fn llp_ordering_localizes_neighbors() {
+    let (g, _) = community_powerlaw_with_truth(&CommunityPowerLawConfig {
+        num_vertices: 5_000,
+        avg_degree: 10.0,
+        num_communities: 50,
+        mixing: 0.05,
+        ..Default::default()
+    });
+    let order = llp_ordering(&g, &[1.0, 8.0], 10);
+    let identity: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    // The generator shuffles community membership over ids, so identity
+    // order scatters neighbors; LLP must do strictly better.
+    assert!(avg_log_gap(&g, &order) < avg_log_gap(&g, &identity));
+}
+
+#[test]
+fn iteration_time_trace_is_consistent_and_decays() {
+    // Cliques settle fast while the attached path keeps a small frontier
+    // alive: per-iteration modeled time must never rise after settling,
+    // and the trace must tile the run.
+    let cliques = 5_000usize;
+    let k = 8usize;
+    let path_len = 1_000usize;
+    let n = cliques * k + path_len;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..cliques {
+        let base = c * k;
+        for a in 0..k {
+            for z in (a + 1)..k {
+                b.add_edge((base + a) as VertexId, (base + z) as VertexId);
+            }
+        }
+    }
+    for i in 0..path_len {
+        let v = (cliques * k + i) as VertexId;
+        b.add_edge(v - 1, v);
+    }
+    b.symmetrize(true);
+    let g = b.build();
+
+    let mut prog = ClassicLp::with_max_iterations(n, 30);
+    let report = GpuEngine::titan_v().run(&g, &mut prog);
+    assert_eq!(report.iteration_seconds.len(), report.iterations as usize);
+    let sum: f64 = report.iteration_seconds.iter().sum();
+    assert!(
+        sum <= report.modeled_seconds + 1e-12,
+        "trace ({sum}) cannot exceed the total ({})",
+        report.modeled_seconds
+    );
+    let first = report.iteration_seconds[0];
+    let last = *report.iteration_seconds.last().unwrap();
+    assert!(
+        last < first,
+        "settled iterations must be cheaper than the first: {first} -> {last}"
+    );
+    assert!(report.iteration_seconds.iter().all(|&s| s > 0.0));
+}
