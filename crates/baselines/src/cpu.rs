@@ -165,8 +165,7 @@ impl CpuLp {
                                     .map(|v| csr.degree(v as VertexId) as usize)
                                     .max()
                                     .unwrap_or(0);
-                                let mut ht =
-                                    BoundedHashTable::new((2 * max_deg).max(16), u32::MAX);
+                                let mut ht = BoundedHashTable::new((2 * max_deg).max(16), u32::MAX);
                                 for v in lo..hi {
                                     let v = v as VertexId;
                                     if !active_ref[v as usize] || csr.degree(v) == 0 {

@@ -18,8 +18,8 @@
 
 use glp_core::engine::{BestLabel, Decision};
 use glp_core::{LpProgram, LpRunReport};
-use glp_graph::{Graph, Label, VertexId};
 use glp_gpusim::{Device, KernelCtx, WARP_SIZE};
+use glp_graph::{Graph, Label, VertexId};
 use std::time::Instant;
 
 /// Segments at most this long sort in one block-local pass; longer ones
@@ -137,8 +137,9 @@ impl GSortLp {
                         }
                         let _ = spoken_ref; // labels actually read below
                     }
-                    ctx.warps_launched((csr.offset(hi as VertexId) - csr.offset(lo as VertexId))
-                        .div_ceil(32));
+                    ctx.warps_launched(
+                        (csr.offset(hi as VertexId) - csr.offset(lo as VertexId)).div_ceil(32),
+                    );
                 });
 
             // 2+3. Segmented sort + run-scan count, per vertex.
@@ -163,8 +164,12 @@ impl GSortLp {
                         scratch.clear();
                         scratch.reserve(deg);
                         for (j, &u) in nbrs.iter().enumerate() {
-                            let contrib =
-                                prog_ref.load_neighbor(v, u, off + j as u64, spoken_ref[u as usize]);
+                            let contrib = prog_ref.load_neighbor(
+                                v,
+                                u,
+                                off + j as u64,
+                                spoken_ref[u as usize],
+                            );
                             scratch.push((contrib.label, contrib.weight));
                         }
                         scratch.sort_unstable_by_key(|&(l, _)| l);

@@ -9,14 +9,18 @@ use glp_graph::{Graph, GraphBuilder};
 use proptest::prelude::*;
 
 fn arbitrary_graph() -> impl Strategy<Value = Graph> {
-    (4usize..48, prop::collection::vec((0u32..48, 0u32..48), 1..250)).prop_map(|(n, es)| {
-        let mut b = GraphBuilder::new(n);
-        for (s, d) in es {
-            b.add_edge(s % n as u32, d % n as u32);
-        }
-        b.symmetrize(true).dedup(true);
-        b.build()
-    })
+    (
+        4usize..48,
+        prop::collection::vec((0u32..48, 0u32..48), 1..250),
+    )
+        .prop_map(|(n, es)| {
+            let mut b = GraphBuilder::new(n);
+            for (s, d) in es {
+                b.add_edge(s % n as u32, d % n as u32);
+            }
+            b.symmetrize(true).dedup(true);
+            b.build()
+        })
 }
 
 proptest! {

@@ -9,9 +9,9 @@ use glp_bench::{run_algo, Algo, Approach};
 use glp_core::engine::{GpuEngine, GpuEngineConfig, HybridEngine, MflStrategy, MultiGpuEngine};
 use glp_core::ClassicLp;
 use glp_fraud::{FraudPipeline, InHouseLp, PipelineConfig, WindowWorkload};
+use glp_gpusim::{Device, DeviceConfig};
 use glp_graph::datasets::by_name;
 use glp_graph::Graph;
-use glp_gpusim::{Device, DeviceConfig};
 
 fn small_graph() -> Graph {
     by_name("dblp").expect("registry").generate_scaled(32)
@@ -45,8 +45,12 @@ fn bench_fig5_fig6_variants(c: &mut Criterion) {
     let g = small_graph();
     let mut group = c.benchmark_group("fig5_fig6_variants");
     group.sample_size(10);
-    group.bench_function("llp_glp", |b| b.iter(|| run_algo(Approach::Glp, &g, Algo::Llp(16.0), 5)));
-    group.bench_function("slp_glp", |b| b.iter(|| run_algo(Approach::Glp, &g, Algo::Slp(9), 5)));
+    group.bench_function("llp_glp", |b| {
+        b.iter(|| run_algo(Approach::Glp, &g, Algo::Llp(16.0), 5))
+    });
+    group.bench_function("slp_glp", |b| {
+        b.iter(|| run_algo(Approach::Glp, &g, Algo::Slp(9), 5))
+    });
     group.finish();
 }
 

@@ -89,7 +89,11 @@ pub fn run_algo(approach: Approach, g: &Graph, algo: Algo, iterations: u32) -> L
     );
     let n = g.num_vertices();
     match algo {
-        Algo::Classic => run_with(approach, g, &mut ClassicLp::with_max_iterations(n, iterations)),
+        Algo::Classic => run_with(
+            approach,
+            g,
+            &mut ClassicLp::with_max_iterations(n, iterations),
+        ),
         Algo::Llp(gamma) => run_with(
             approach,
             g,

@@ -48,7 +48,14 @@ fn main() {
     }
     println!("Frontier-optimization ablation (classic LP, {iters} iterations)");
     print_table(
-        &["dataset", "dense", "frontier", "speedup", "iters", "still churning"],
+        &[
+            "dataset",
+            "dense",
+            "frontier",
+            "speedup",
+            "iters",
+            "still churning",
+        ],
         &rows,
     );
     println!("\n(converging graphs settle and the frontier collapses; graphs with");

@@ -12,8 +12,8 @@ use glp_bench::table::{fmt_seconds, print_table};
 use glp_bench::Args;
 use glp_core::engine::{GpuEngine, GpuEngineConfig};
 use glp_core::ClassicLp;
-use glp_graph::datasets::by_name;
 use glp_gpusim::{Device, DeviceConfig};
+use glp_graph::datasets::by_name;
 
 fn main() {
     let args = Args::parse();
@@ -21,7 +21,11 @@ fn main() {
     let scale_mul: u64 = args.get("scale-mul", 4);
     let spec = by_name("twitter").expect("registry");
     let g = spec.generate_scaled(spec.default_scale * scale_mul);
-    eprintln!("twitter substitute: |V|={} |E|={}", g.num_vertices(), g.num_edges());
+    eprintln!(
+        "twitter substitute: |V|={} |E|={}",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let mut rows = Vec::new();
     let mut baseline = None;
@@ -45,5 +49,8 @@ fn main() {
         ]);
     }
     println!("Hardware sweep (classic LP, twitter substitute, {iters} iterations)");
-    print_table(&["device", "bandwidth", "modeled time", "vs 2080 Ti"], &rows);
+    print_table(
+        &["device", "bandwidth", "modeled time", "vs 2080 Ti"],
+        &rows,
+    );
 }

@@ -12,8 +12,8 @@ use glp_bench::table::{fmt_seconds, print_table};
 use glp_bench::Args;
 use glp_core::engine::{GpuEngine, GpuEngineConfig, MflStrategy};
 use glp_core::ClassicLp;
-use glp_graph::datasets::by_name;
 use glp_gpusim::Device;
+use glp_graph::datasets::by_name;
 
 fn main() {
     let args = Args::parse();
@@ -56,7 +56,16 @@ fn main() {
         ]);
     }
     println!("Sketch-geometry ablation (classic LP on the aligraph substitute)");
-    print_table(&["HT slots h", "CMS depth d", "CMS width w", "fallback rate", "modeled time"], &rows);
+    print_table(
+        &[
+            "HT slots h",
+            "CMS depth d",
+            "CMS width w",
+            "fallback rate",
+            "modeled time",
+        ],
+        &rows,
+    );
     println!("\n(Theorem 1: P[global access] <= m*2^-d + e^-h; shrinking h or d");
     println!("raises the measured fallback rate, which drags modeled time with it)");
 }

@@ -11,8 +11,8 @@ use glp_bench::table::{fmt_seconds, print_table};
 use glp_bench::Args;
 use glp_core::engine::{DegreeThresholds, GpuEngine, GpuEngineConfig, MflStrategy};
 use glp_core::ClassicLp;
-use glp_graph::datasets::by_name;
 use glp_gpusim::Device;
+use glp_graph::datasets::by_name;
 
 fn main() {
     let args = Args::parse();
@@ -20,7 +20,11 @@ fn main() {
     let scale_mul: u64 = args.get("scale-mul", 4);
     let spec = by_name("ljournal").expect("registry");
     let g = spec.generate_scaled(spec.default_scale * scale_mul);
-    eprintln!("ljournal substitute: |V|={} |E|={}", g.num_vertices(), g.num_edges());
+    eprintln!(
+        "ljournal substitute: |V|={} |E|={}",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let mut rows = Vec::new();
     for (low, high) in [
@@ -42,7 +46,11 @@ fn main() {
         let mut engine = GpuEngine::new(Device::titan_v(), cfg);
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
         let report = engine.run(&g, &mut prog);
-        let marker = if (low, high) == (32, 128) { " <- paper" } else { "" };
+        let marker = if (low, high) == (32, 128) {
+            " <- paper"
+        } else {
+            ""
+        };
         rows.push(vec![
             format!("{low}"),
             format!("{high}"),
@@ -51,5 +59,8 @@ fn main() {
         ]);
     }
     println!("Degree-threshold ablation (classic LP, ljournal substitute)");
-    print_table(&["low (<)", "high (>)", "modeled time", "fallback rate"], &rows);
+    print_table(
+        &["low (<)", "high (>)", "modeled time", "fallback rate"],
+        &rows,
+    );
 }

@@ -65,8 +65,7 @@ fn main() {
         // The in-house 32-machine distributed solution, its fixed
         // per-superstep latency scaled by how much smaller this window is
         // than the production one (proportional costs scale on their own).
-        let workload_ratio =
-            (f64::from(spec.paper_vertices_m) * 1e6 / n as f64).max(1.0);
+        let workload_ratio = (f64::from(spec.paper_vertices_m) * 1e6 / n as f64).max(1.0);
         let mut p = ClassicLp::with_max_iterations(n, iters);
         let r_in = InHouseLp::taobao_scaled(workload_ratio).run(g, &mut p);
 
@@ -83,7 +82,10 @@ fn main() {
             format!("{speedup:.1}x"),
             format!("{gain2:.1}x"),
             if chunks > 1 {
-                format!("hybrid ({chunks} chunks, {:.1}% transfer)", 100.0 * r1.transfer_fraction())
+                format!(
+                    "hybrid ({chunks} chunks, {:.1}% transfer)",
+                    100.0 * r1.transfer_fraction()
+                )
             } else {
                 "in-core".to_string()
             },

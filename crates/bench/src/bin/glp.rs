@@ -24,11 +24,11 @@ use glp_core::community::{modularity, num_communities};
 use glp_core::engine::{GpuEngine, MflStrategy};
 use glp_core::{ClassicLp, Llp, LpProgram, LpRunReport, SeededLp, Slp};
 use glp_fraud::InHouseLp;
+use glp_gpusim::DeviceProfile;
 use glp_graph::datasets::by_name;
 use glp_graph::io;
 use glp_graph::stats::degree_stats;
 use glp_graph::Graph;
-use glp_gpusim::DeviceProfile;
 
 /// Clean CLI error: message to stderr, exit 2 (no panic backtrace).
 fn die(msg: &str) -> ! {
@@ -45,10 +45,13 @@ fn load_graph(args: &Args) -> Graph {
             io::read_binary_file(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")))
         }
     } else if let Some(name) = args.get_str("dataset") {
-        let spec =
-            by_name(name).unwrap_or_else(|| die(&format!("unknown dataset {name:?} (see Table 2 names)")));
+        let spec = by_name(name)
+            .unwrap_or_else(|| die(&format!("unknown dataset {name:?} (see Table 2 names)")));
         let scale_mul: u64 = args.get("scale-mul", 4);
-        eprintln!("generating {name} at scale 1/{}", spec.default_scale * scale_mul);
+        eprintln!(
+            "generating {name} at scale 1/{}",
+            spec.default_scale * scale_mul
+        );
         spec.generate_scaled(spec.default_scale * scale_mul)
     } else {
         die("pass --graph <file> or --dataset <table2 name>");
@@ -87,7 +90,11 @@ fn cmd_generate(args: &Args) {
     if let Err(e) = result {
         die(&format!("writing {out}: {e}"));
     }
-    println!("wrote {} vertices / {} edges to {out}", g.num_vertices(), g.num_edges());
+    println!(
+        "wrote {} vertices / {} edges to {out}",
+        g.num_vertices(),
+        g.num_edges()
+    );
 }
 
 fn cmd_run(args: &Args) {
@@ -129,15 +136,24 @@ fn cmd_run(args: &Args) {
         g.num_edges()
     );
     println!("  iterations       : {}", report.iterations);
-    println!("  modeled time     : {}", fmt_seconds(report.modeled_seconds));
-    println!("  per iteration    : {}", fmt_seconds(report.seconds_per_iteration()));
+    println!(
+        "  modeled time     : {}",
+        fmt_seconds(report.modeled_seconds)
+    );
+    println!(
+        "  per iteration    : {}",
+        fmt_seconds(report.seconds_per_iteration())
+    );
     println!("  wall clock (sim) : {}", fmt_seconds(report.wall_seconds));
     println!("  communities      : {}", num_communities(&labels));
     if g.is_undirected() {
         println!("  modularity       : {:.4}", modularity(&g, &labels));
     }
     if report.smem_vertices > 0 {
-        println!("  CMS+HT fallbacks : {:.3}%", 100.0 * report.fallback_rate());
+        println!(
+            "  CMS+HT fallbacks : {:.3}%",
+            100.0 * report.fallback_rate()
+        );
     }
 }
 
@@ -163,8 +179,14 @@ fn cmd_info(args: &Args) {
     println!("avg degree    : {:.2}", s.avg_degree);
     println!("median degree : {}", s.median_degree);
     println!("max degree    : {}", s.max_degree);
-    println!("deg < 32      : {:.1}% (warp-packed bucket)", 100.0 * s.frac_low_degree);
-    println!("deg > 128     : {:.1}% (CMS+HT bucket)", 100.0 * s.frac_high_degree);
+    println!(
+        "deg < 32      : {:.1}% (warp-packed bucket)",
+        100.0 * s.frac_low_degree
+    );
+    println!(
+        "deg > 128     : {:.1}% (CMS+HT bucket)",
+        100.0 * s.frac_high_degree
+    );
     println!("weighted      : {}", g.incoming().is_weighted());
     println!("undirected    : {}", g.is_undirected());
 }

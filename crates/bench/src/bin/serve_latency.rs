@@ -1,0 +1,251 @@
+//! serve_latency — offered-load sweep against the always-on scoring
+//! service (`glp-serve`).
+//!
+//! Calibrates the *sustainable* throughput by driving the scoring core
+//! synchronously end to end (batch apply + recluster at the configured
+//! cadence), then runs the threaded service at a sweep of offered loads
+//! (default 0.5×, 1×, and 2× sustainable). Each stage paces a bursty
+//! producer against the ingest gate while a query thread hammers the
+//! verdict snapshot, and reports ingest lag, query p50/p95/p99, shed
+//! counts, and recluster statistics. Overload must shed — counted, never
+//! silent — while query latency stays bounded; that is the service's
+//! contract and this binary is how it is checked.
+//!
+//! Usage: `cargo run -p glp-bench --release --bin serve_latency
+//!         [--loads 0.5,1,2] [--stage-ms 400] [--json BENCH_serve.json]
+//!         [--users N] [--days N] [--tx-per-day N] [--window-days N]
+//!         [--queue N] [--max-batch N] [--recluster-every N] [--burst-ms N]`
+
+use glp_bench::table::print_table;
+use glp_bench::Args;
+use glp_fraud::{Transaction, TxConfig, TxStream};
+use glp_serve::{FraudScorer, FraudService, ServeConfig, ServiceCore, Verdict};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args = Args::parse();
+    let loads: Vec<f64> = args
+        .get_str("loads")
+        .unwrap_or("0.5,1,2")
+        .split(',')
+        .map(|s| s.trim().parse().expect("--loads takes numbers"))
+        .collect();
+    let stage_ms: u64 = args.get("stage-ms", 400);
+    let burst_ms: u64 = args.get("burst-ms", 5);
+    let json_path = args.get_str("json").unwrap_or("BENCH_serve.json");
+
+    let cfg = ServeConfig {
+        queue_capacity: args.get("queue", 2_048),
+        max_batch: args.get("max-batch", 512),
+        batch_budget: Duration::from_millis(args.get("budget-ms", 2)),
+        recluster_every_batches: args.get("recluster-every", 8),
+        max_staleness_batches: args.get("max-staleness", 32),
+        engine_shards: args.get("shards", 0),
+        ..ServeConfig::default()
+    }
+    .with_window_days(args.get("window-days", 10));
+
+    let tx_cfg = TxConfig {
+        num_users: args.get("users", 4_000),
+        num_items: args.get("items", 1_500),
+        days: args.get("days", 60),
+        tx_per_day: args.get("tx-per-day", 4_000),
+        num_rings: 5,
+        ring_size: 12,
+        ring_tx_per_day: 40,
+        blacklist_fraction: 0.25,
+        ..Default::default()
+    };
+    eprintln!("... generating transaction stream ({} days)", tx_cfg.days);
+    let stream = TxStream::generate(&tx_cfg);
+    let all: Vec<Transaction> = stream.window(0, tx_cfg.days).copied().collect();
+    eprintln!(
+        "... {} transactions, {} black-listed seeds",
+        all.len(),
+        stream.blacklist.len()
+    );
+
+    eprintln!("... calibrating sustainable throughput (synchronous drive)");
+    let sustainable = calibrate(&cfg, &stream, &all);
+    eprintln!("... sustainable ≈ {:.0} tx/s", sustainable);
+
+    let mut rows = Vec::new();
+    let mut json_rows: Vec<serde_json::Value> = Vec::new();
+    for &m in &loads {
+        let offered = m * sustainable;
+        eprintln!("... load {m}x ({offered:.0} tx/s offered, {stage_ms} ms)");
+        let (row, json) = run_stage(&cfg, &stream, &all, m, offered, stage_ms, burst_ms);
+        rows.push(row);
+        json_rows.push(json);
+    }
+
+    println!(
+        "serve_latency: offered-load sweep (sustainable {:.0} tx/s)",
+        sustainable
+    );
+    print_table(
+        &[
+            "load",
+            "offered/s",
+            "achieved/s",
+            "accepted",
+            "shed",
+            "lag p95",
+            "query p50",
+            "query p99",
+            "reclusters",
+            "staleness",
+        ],
+        &rows,
+    );
+
+    let doc = serde_json::json!({
+        "bench": "serve_latency",
+        "transactions": all.len() as u64,
+        "sustainable_tx_per_s": sustainable,
+        "stage_ms": stage_ms,
+        "config": serde_json::json!({
+            "queue_capacity": cfg.queue_capacity as u64,
+            "max_batch": cfg.max_batch as u64,
+            "recluster_every_batches": cfg.recluster_every_batches,
+            "window_days": cfg.window_days,
+        }),
+        "rows": json_rows,
+    });
+    std::fs::write(
+        json_path,
+        serde_json::to_string_pretty(&doc).expect("serializable"),
+    )
+    .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+    eprintln!("wrote {json_path}");
+}
+
+/// End-to-end synchronous throughput: batch apply plus reclusters at the
+/// service cadence, no threading — the conservative baseline the offered
+/// loads are multiples of.
+fn calibrate(cfg: &ServeConfig, stream: &TxStream, all: &[Transaction]) -> f64 {
+    let core = ServiceCore::new(cfg.clone(), stream.blacklist.clone());
+    let t0 = Instant::now();
+    let mut batches = 0u64;
+    for chunk in all.chunks(cfg.max_batch) {
+        core.apply_transactions(chunk);
+        batches += 1;
+        if batches.is_multiple_of(cfg.recluster_every_batches) {
+            core.recluster_now();
+        }
+    }
+    core.recluster_now();
+    all.len() as f64 / t0.elapsed().as_secs_f64()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_stage(
+    cfg: &ServeConfig,
+    stream: &TxStream,
+    all: &[Transaction],
+    multiplier: f64,
+    offered: f64,
+    stage_ms: u64,
+    burst_ms: u64,
+) -> (Vec<String>, serde_json::Value) {
+    let service = FraudService::start(cfg.clone(), stream.blacklist.clone());
+    let handle = service.handle();
+    let stop = Arc::new(AtomicBool::new(false));
+    let num_users = stream.config.num_users;
+
+    // Query hammer: continuous lookups across the user space while the
+    // producer runs, with a tiny periodic yield so it does not own a core.
+    let query_worker = {
+        let stop = Arc::clone(&stop);
+        let handle = handle.clone();
+        thread::spawn(move || {
+            let mut i = 0u32;
+            let mut counts = [0u64; 3]; // flagged, clean, unknown
+            while !stop.load(Ordering::Relaxed) {
+                match handle.score(i % num_users) {
+                    Verdict::Flagged { .. } => counts[0] += 1,
+                    Verdict::Clean => counts[1] += 1,
+                    Verdict::Unknown => counts[2] += 1,
+                }
+                i = i.wrapping_add(1);
+                if i.is_multiple_of(512) {
+                    thread::sleep(Duration::from_micros(100));
+                }
+            }
+            counts
+        })
+    };
+
+    // Bursty producer: traffic arrives in `burst_ms`-sized clumps whose
+    // long-run average matches the offered rate (real traffic is bursty;
+    // a perfectly smooth producer would understate queue pressure).
+    let burst = ((offered * burst_ms as f64 / 1_000.0).ceil() as usize).max(1);
+    let started = Instant::now();
+    let deadline = started + Duration::from_millis(stage_ms);
+    let mut submitted = 0u64;
+    let mut accepted = 0u64;
+    for chunk in all.chunks(burst) {
+        let target = started + Duration::from_secs_f64(submitted as f64 / offered);
+        let now = Instant::now();
+        if target > now {
+            thread::sleep(target - now);
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        for &t in chunk {
+            submitted += 1;
+            if service.submit(t).is_ok() {
+                accepted += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let staleness = service.core().staleness_batches();
+    stop.store(true, Ordering::Relaxed);
+    let verdict_counts = query_worker.join().expect("query worker panicked");
+    let core = service.shutdown();
+    let t = core.telemetry();
+
+    let achieved = submitted as f64 / elapsed;
+    let shed = t.shed_total();
+    let row = vec![
+        format!("{multiplier}x"),
+        format!("{offered:.0}"),
+        format!("{achieved:.0}"),
+        format!("{accepted}"),
+        format!("{shed}"),
+        format!("{:.1}us", t.ingest_lag.quantile(0.95) as f64 / 1_000.0),
+        format!("{:.1}us", t.query_latency.quantile(0.50) as f64 / 1_000.0),
+        format!("{:.1}us", t.query_latency.quantile(0.99) as f64 / 1_000.0),
+        format!("{}", t.reclusters.load(Ordering::Relaxed)),
+        format!("{staleness}"),
+    ];
+    let json = serde_json::json!({
+        "load_multiplier": multiplier,
+        "offered_tx_per_s": offered,
+        "achieved_tx_per_s": achieved,
+        "elapsed_s": elapsed,
+        "submitted": submitted,
+        "accepted": accepted,
+        "shed_dropped_oldest": t.shed_dropped_oldest.load(Ordering::Relaxed),
+        "shed_rejected_new": t.shed_rejected_new.load(Ordering::Relaxed),
+        "batches": t.batches.load(Ordering::Relaxed),
+        "reclusters": t.reclusters.load(Ordering::Relaxed),
+        "reclusters_coalesced": t.reclusters_coalesced.load(Ordering::Relaxed),
+        "staleness_batches_at_end": staleness,
+        "queries": serde_json::json!({
+            "flagged": verdict_counts[0],
+            "clean": verdict_counts[1],
+            "unknown": verdict_counts[2],
+        }),
+        "ingest_lag_ns": t.ingest_lag.to_json(),
+        "batch_size": t.batch_size.to_json(),
+        "recluster_wall_ns": t.recluster_wall.to_json(),
+        "query_latency_ns": t.query_latency.to_json(),
+    });
+    (row, json)
+}

@@ -47,7 +47,13 @@ fn main() {
     println!("Table 3: effectiveness of the proposed optimizations");
     println!("(speedup over the `global` strategy, classic LP, {iters} iterations)");
     print_table(
-        &["dataset", "global time", "smem", "smem+warp", "CMS+HT fallback rate"],
+        &[
+            "dataset",
+            "global time",
+            "smem",
+            "smem+warp",
+            "CMS+HT fallback rate",
+        ],
         &rows,
     );
     println!("\n(paper: smem 1.2x-7.4x, smem+warp 3.3x-13.2x; biggest smem win on");

@@ -33,7 +33,14 @@ fn main() {
     }
     println!("Table 4: sliding-window workloads (paper vs generated)");
     print_table(
-        &["window", "paper |V|", "paper |E|", "gen |V|", "gen |E|", "gen avg-deg"],
+        &[
+            "window",
+            "paper |V|",
+            "paper |E|",
+            "gen |V|",
+            "gen |E|",
+            "gen avg-deg",
+        ],
         &rows,
     );
     println!("\n(paper: V grows 2.2x from 10 to 100 days while E grows 6.0x —");

@@ -83,10 +83,13 @@ pub fn run_speedup_figure(title: &str, algos: &[Algo], args: &Args) {
             "title": title,
             "iterations": iterations,
             "headers": headers,
-            "rows": rows,
+            "rows": rows.clone(),
         });
-        std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serializable"))
-            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&doc).expect("serializable"),
+        )
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote {path}");
     }
 

@@ -60,7 +60,15 @@ mod probe {
         let mut e = HybridEngine::new(dev, GpuEngineConfig::default());
         let mut p = ClassicLp::with_max_iterations(w.graph.num_vertices(), 20);
         let r = e.run(&w.graph, &mut p);
-        eprintln!("V={} E={} changed={:?}", w.graph.num_vertices(), w.graph.num_edges(), r.changed_per_iteration);
-        eprintln!("transfer={} modeled={}", r.transfer_seconds, r.modeled_seconds);
+        eprintln!(
+            "V={} E={} changed={:?}",
+            w.graph.num_vertices(),
+            w.graph.num_edges(),
+            r.changed_per_iteration
+        );
+        eprintln!(
+            "transfer={} modeled={}",
+            r.transfer_seconds, r.modeled_seconds
+        );
     }
 }

@@ -138,7 +138,13 @@ mod tests {
     fn default_load_neighbor_weight_is_one() {
         let p = Fixed { labels: vec![7, 8] };
         let c = p.load_neighbor(0, 1, 0, 8);
-        assert_eq!(c, NeighborContribution { label: 8, weight: 1.0 });
+        assert_eq!(
+            c,
+            NeighborContribution {
+                label: 8,
+                weight: 1.0
+            }
+        );
     }
 
     #[test]

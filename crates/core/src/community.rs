@@ -29,7 +29,11 @@ pub fn community_sizes(labels: &[Label]) -> Vec<usize> {
 
 /// Number of distinct labels in use.
 pub fn num_communities(labels: &[Label]) -> usize {
-    let mut seen: Vec<Label> = labels.iter().copied().filter(|&l| l != INVALID_LABEL).collect();
+    let mut seen: Vec<Label> = labels
+        .iter()
+        .copied()
+        .filter(|&l| l != INVALID_LABEL)
+        .collect();
     seen.sort_unstable();
     seen.dedup();
     seen.len()
@@ -93,7 +97,11 @@ pub fn modularity(g: &Graph, labels: &[Label]) -> f64 {
 /// ground-truth partition, in [0, 1] (1 = identical partitions up to
 /// renaming). The standard community-detection quality measure.
 pub fn nmi(labels: &[Label], truth: &[u32]) -> f64 {
-    assert_eq!(labels.len(), truth.len(), "assignment/truth length mismatch");
+    assert_eq!(
+        labels.len(),
+        truth.len(),
+        "assignment/truth length mismatch"
+    );
     let n = labels.len() as f64;
     if labels.is_empty() {
         return 1.0;
@@ -135,7 +143,11 @@ pub fn nmi(labels: &[Label], truth: &[u32]) -> f64 {
 /// found community, the fraction of members sharing its majority truth
 /// class, averaged weighted by community size.
 pub fn purity(labels: &[Label], truth: &[u32]) -> f64 {
-    assert_eq!(labels.len(), truth.len(), "assignment/truth length mismatch");
+    assert_eq!(
+        labels.len(),
+        truth.len(),
+        "assignment/truth length mismatch"
+    );
     let found = communities(labels);
     let mut weighted = 0.0;
     let mut covered = 0usize;

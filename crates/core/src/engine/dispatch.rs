@@ -122,7 +122,7 @@ pub fn split_by_degree<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glp_graph::gen::{star, community_powerlaw, CommunityPowerLawConfig};
+    use glp_graph::gen::{community_powerlaw, star, CommunityPowerLawConfig};
 
     fn sample() -> Graph {
         community_powerlaw(&CommunityPowerLawConfig {
@@ -136,7 +136,11 @@ mod tests {
     #[test]
     fn buckets_cover_all_vertices() {
         let g = sample();
-        for s in [MflStrategy::Global, MflStrategy::Smem, MflStrategy::SmemWarp] {
+        for s in [
+            MflStrategy::Global,
+            MflStrategy::Smem,
+            MflStrategy::SmemWarp,
+        ] {
             let b = Buckets::build(&g, s, DegreeThresholds::default());
             assert_eq!(b.total(), g.num_vertices(), "{s:?}");
         }
@@ -156,7 +160,10 @@ mod tests {
         let g = sample();
         let t = DegreeThresholds::default();
         let b = Buckets::build(&g, MflStrategy::SmemWarp, t);
-        assert!(b.warp_packed.iter().all(|&v| g.degree(v) < t.low && g.degree(v) > 0));
+        assert!(b
+            .warp_packed
+            .iter()
+            .all(|&v| g.degree(v) < t.low && g.degree(v) > 0));
         assert!(b
             .warp_per_vertex
             .iter()

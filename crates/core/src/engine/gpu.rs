@@ -9,8 +9,8 @@ use super::kernels::{
 use super::{Decision, MflStrategy};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
-use glp_graph::{Graph, Label, VertexId};
 use glp_gpusim::{Device, KernelCtx};
+use glp_graph::{Graph, Label, VertexId};
 use std::time::Instant;
 
 /// Engine configuration: strategy, dispatch thresholds, and the
@@ -115,7 +115,8 @@ impl GpuEngine {
             cfg.mid_ht_slots,
             cfg.thresholds.high
         );
-        cfg.smem_geometry().validate(device.config().shared_mem_per_block);
+        cfg.smem_geometry()
+            .validate(device.config().shared_mem_per_block);
         Self { device, cfg }
     }
 
@@ -216,7 +217,6 @@ impl GpuEngine {
         report.gpu_counters = *self.device.totals();
         report
     }
-
 }
 
 /// Restricts every bucket to the active vertices (frontier filtering).
@@ -337,69 +337,62 @@ pub(crate) fn propagate<P: LpProgram>(
     let mid_slots = cfg.mid_ht_slots;
     let mut stats = ShardStats::default();
 
-        let scatter = |outs: Vec<(Vec<(VertexId, Decision)>, ShardStats)>,
-                       decisions: &mut [Decision],
-                       stats: &mut ShardStats| {
-            for (out, st) in outs {
-                stats.merge(&st);
-                for (v, d) in out {
-                    decisions[v as usize] = d;
-                }
+    let scatter = |outs: Vec<(Vec<(VertexId, Decision)>, ShardStats)>,
+                   decisions: &mut [Decision],
+                   stats: &mut ShardStats| {
+        for (out, st) in outs {
+            stats.merge(&st);
+            for (v, d) in out {
+                decisions[v as usize] = d;
             }
-        };
+        }
+    };
 
-        if !buckets.warp_packed.is_empty() {
-            let parts = split_by_degree(g, &buckets.warp_packed, shards);
-            let outs =
-                device
-                    .launch_parallel("lp_warp_packed", parts.len(), |i, ctx: &mut KernelCtx| {
-                        let mut out = Vec::with_capacity(parts[i].len());
-                        warp_packed_kernel(ctx, csr, spoken, prog, parts[i], &mut out);
-                        (out, ShardStats::default())
-                    });
-            scatter(outs, decisions, &mut stats);
-        }
-        if !buckets.warp_per_vertex.is_empty() {
-            let parts = split_by_degree(g, &buckets.warp_per_vertex, shards);
-            let outs = device.launch_parallel(
-                "lp_warp_per_vertex",
-                parts.len(),
-                |i, ctx: &mut KernelCtx| {
-                    let mut out = Vec::with_capacity(parts[i].len());
-                    warp_per_vertex_kernel(ctx, csr, spoken, prog, parts[i], mid_slots, &mut out);
-                    (out, ShardStats::default())
-                },
-            );
-            scatter(outs, decisions, &mut stats);
-        }
-        if !buckets.block_per_vertex.is_empty() {
-            let parts = split_by_degree(g, &buckets.block_per_vertex, shards);
-            let outs = device.launch_parallel(
-                "lp_block_cms_ht",
-                parts.len(),
-                |i, ctx: &mut KernelCtx| {
-                    let mut out = Vec::with_capacity(parts[i].len());
-                    let mut st = ShardStats::default();
-                    block_cms_ht_kernel(ctx, csr, spoken, prog, parts[i], geom, &mut st, &mut out);
-                    (out, st)
-                },
-            );
-            scatter(outs, decisions, &mut stats);
-        }
-        if !buckets.global_hash.is_empty() {
-            let parts = split_by_degree(g, &buckets.global_hash, shards);
-            let outs = device.launch_parallel(
-                "lp_global_hash",
-                parts.len(),
-                |i, ctx: &mut KernelCtx| {
-                    let mut out = Vec::with_capacity(parts[i].len());
-                    global_hash_kernel(ctx, csr, spoken, prog, parts[i], &mut out);
-                    (out, ShardStats::default())
-                },
-            );
-            scatter(outs, decisions, &mut stats);
-        }
-        stats
+    if !buckets.warp_packed.is_empty() {
+        let parts = split_by_degree(g, &buckets.warp_packed, shards);
+        let outs =
+            device.launch_parallel("lp_warp_packed", parts.len(), |i, ctx: &mut KernelCtx| {
+                let mut out = Vec::with_capacity(parts[i].len());
+                warp_packed_kernel(ctx, csr, spoken, prog, parts[i], &mut out);
+                (out, ShardStats::default())
+            });
+        scatter(outs, decisions, &mut stats);
+    }
+    if !buckets.warp_per_vertex.is_empty() {
+        let parts = split_by_degree(g, &buckets.warp_per_vertex, shards);
+        let outs = device.launch_parallel(
+            "lp_warp_per_vertex",
+            parts.len(),
+            |i, ctx: &mut KernelCtx| {
+                let mut out = Vec::with_capacity(parts[i].len());
+                warp_per_vertex_kernel(ctx, csr, spoken, prog, parts[i], mid_slots, &mut out);
+                (out, ShardStats::default())
+            },
+        );
+        scatter(outs, decisions, &mut stats);
+    }
+    if !buckets.block_per_vertex.is_empty() {
+        let parts = split_by_degree(g, &buckets.block_per_vertex, shards);
+        let outs =
+            device.launch_parallel("lp_block_cms_ht", parts.len(), |i, ctx: &mut KernelCtx| {
+                let mut out = Vec::with_capacity(parts[i].len());
+                let mut st = ShardStats::default();
+                block_cms_ht_kernel(ctx, csr, spoken, prog, parts[i], geom, &mut st, &mut out);
+                (out, st)
+            });
+        scatter(outs, decisions, &mut stats);
+    }
+    if !buckets.global_hash.is_empty() {
+        let parts = split_by_degree(g, &buckets.global_hash, shards);
+        let outs =
+            device.launch_parallel("lp_global_hash", parts.len(), |i, ctx: &mut KernelCtx| {
+                let mut out = Vec::with_capacity(parts[i].len());
+                global_hash_kernel(ctx, csr, spoken, prog, parts[i], &mut out);
+                (out, ShardStats::default())
+            });
+        scatter(outs, decisions, &mut stats);
+    }
+    stats
 }
 
 /// UpdateVertex (Figure 2): host-driven state updates plus the modeled
@@ -477,7 +470,10 @@ mod tests {
     fn convergence_trace_recorded() {
         let g = two_cliques_bridge(5);
         let (_, report) = labels_after(MflStrategy::SmemWarp, &g);
-        assert_eq!(report.changed_per_iteration.len(), report.iterations as usize);
+        assert_eq!(
+            report.changed_per_iteration.len(),
+            report.iterations as usize
+        );
         assert_eq!(*report.changed_per_iteration.last().unwrap(), 0);
     }
 

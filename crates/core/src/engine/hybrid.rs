@@ -11,13 +11,15 @@
 //! (double buffering), so an iteration pays `max(compute, transfer)`.
 
 use super::dispatch::Buckets;
-use super::gpu::{apply_updates, filter_buckets, pick_labels, propagate, recompute_active, GpuEngineConfig};
+use super::gpu::{
+    apply_updates, filter_buckets, pick_labels, propagate, recompute_active, GpuEngineConfig,
+};
 use super::Decision;
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
+use glp_gpusim::Device;
 use glp_graph::partition::partition_by_edges;
 use glp_graph::{Graph, Label};
-use glp_gpusim::Device;
 use std::time::Instant;
 
 /// Adjacency streams in a delta-compressed layout (neighbor-id gaps,
@@ -73,8 +75,11 @@ impl HybridEngine {
         let sparse = prog.sparse_activation();
 
         let t0 = self.device.elapsed_seconds();
-        self.device
-            .upload(if in_core { resident + g.size_bytes() } else { resident });
+        self.device.upload(if in_core {
+            resident + g.size_bytes()
+        } else {
+            resident
+        });
         let mut transfer_s = self.device.elapsed_seconds() - t0;
         let start_elapsed = t0;
 
@@ -132,13 +137,10 @@ impl HybridEngine {
                 // Streaming overlaps the kernels; only the non-hidden
                 // remainder extends the modeled clock. Adjacency moves in
                 // the compressed layout.
-                let stream = self
-                    .device
-                    .cost_model()
-                    .transfer_seconds(
-                        self.device.config(),
-                        (stream_bytes as f64 * STREAM_COMPRESSION) as u64,
-                    );
+                let stream = self.device.cost_model().transfer_seconds(
+                    self.device.config(),
+                    (stream_bytes as f64 * STREAM_COMPRESSION) as u64,
+                );
                 transfer_s += stream;
                 if stream > compute {
                     self.device.advance_clock(stream - compute);
@@ -168,7 +170,11 @@ impl HybridEngine {
         let t1 = self.device.elapsed_seconds();
         self.device.download(n as u64 * 4);
         transfer_s += self.device.elapsed_seconds() - t1;
-        self.device.free(if in_core { resident + g.size_bytes() } else { resident });
+        self.device.free(if in_core {
+            resident + g.size_bytes()
+        } else {
+            resident
+        });
 
         report.modeled_seconds = self.device.elapsed_seconds() - start_elapsed;
         report.transfer_seconds = transfer_s;
@@ -200,8 +206,8 @@ mod tests {
     use super::*;
     use crate::engine::GpuEngine;
     use crate::variants::ClassicLp;
-    use glp_graph::gen::caveman;
     use glp_gpusim::DeviceConfig;
+    use glp_graph::gen::caveman;
 
     #[test]
     fn hybrid_matches_in_memory_labels() {
@@ -254,8 +260,10 @@ mod tests {
     #[should_panic(expected = "label state")]
     fn label_state_overflow_rejected() {
         let g = caveman(4, 5);
-        let mut hybrid =
-            HybridEngine::new(Device::new(DeviceConfig::tiny(64)), GpuEngineConfig::default());
+        let mut hybrid = HybridEngine::new(
+            Device::new(DeviceConfig::tiny(64)),
+            GpuEngineConfig::default(),
+        );
         let mut prog = ClassicLp::new(g.num_vertices());
         hybrid.run(&g, &mut prog);
     }

@@ -17,9 +17,9 @@
 
 use super::{BestLabel, Decision};
 use crate::api::LpProgram;
-use glp_graph::{Csr, Label, VertexId, INVALID_VERTEX};
 use glp_gpusim::warp::{ballot_sync, match_any_sync, popc};
 use glp_gpusim::{KernelCtx, SharedMem, WARP_SIZE};
+use glp_graph::{Csr, Label, VertexId, INVALID_VERTEX};
 use glp_sketch::{BoundedHashTable, CountMinSketch, InsertOutcome};
 
 /// Simulated global-memory address bases (for coalescing accounting only;
@@ -94,10 +94,10 @@ pub(crate) fn warp_packed_kernel<P: LpProgram>(
     let mut used = 0usize;
 
     let flush = |ctx: &mut KernelCtx,
-                     lane_vertex: &[VertexId; WARP_SIZE],
-                     lane_edge: &[u64; WARP_SIZE],
-                     used: usize,
-                     out: &mut Vec<(VertexId, Decision)>| {
+                 lane_vertex: &[VertexId; WARP_SIZE],
+                 lane_edge: &[u64; WARP_SIZE],
+                 used: usize,
+                 out: &mut Vec<(VertexId, Decision)>| {
         if used == 0 {
             return;
         }
@@ -509,15 +509,10 @@ pub(crate) fn global_hash_kernel<P: LpProgram>(
 mod tests {
     use super::*;
     use crate::variants::ClassicLp;
-    use glp_graph::gen::{star, two_cliques_bridge};
     use glp_gpusim::DeviceConfig;
+    use glp_graph::gen::{star, two_cliques_bridge};
 
-    fn exact_reference(
-        csr: &Csr,
-        spoken: &[Label],
-        prog: &ClassicLp,
-        v: VertexId,
-    ) -> Decision {
+    fn exact_reference(csr: &Csr, spoken: &[Label], prog: &ClassicLp, v: VertexId) -> Decision {
         let mut counts = std::collections::HashMap::<Label, f64>::new();
         let off = csr.offset(v);
         for (j, &u) in csr.neighbors(v).iter().enumerate() {
@@ -594,7 +589,9 @@ mod tests {
         let mut ctx = KernelCtx::new(&cfg);
         let mut got = Vec::new();
         let mut stats = ShardStats::default();
-        block_cms_ht_kernel(&mut ctx, csr, &spoken, &prog, &all, geom, &mut stats, &mut got);
+        block_cms_ht_kernel(
+            &mut ctx, csr, &spoken, &prog, &all, geom, &mut stats, &mut got,
+        );
         sort(&mut got);
         assert_eq!(got, expected, "{gname}: block kernel");
         assert_eq!(stats.smem_vertices, all.len() as u64);
@@ -676,7 +673,14 @@ mod tests {
         warp_packed_kernel(&mut packed, g.incoming(), &spoken, &prog, &all, &mut out);
         let mut per_vertex = KernelCtx::new(&cfg);
         let mut out2 = Vec::new();
-        global_hash_kernel(&mut per_vertex, g.incoming(), &spoken, &prog, &all, &mut out2);
+        global_hash_kernel(
+            &mut per_vertex,
+            g.incoming(),
+            &spoken,
+            &prog,
+            &all,
+            &mut out2,
+        );
 
         let u_packed = packed.counters.warp_utilization();
         let u_single = per_vertex.counters.warp_utilization();
@@ -700,7 +704,15 @@ mod tests {
 
         let mut ctx_m = KernelCtx::new(&cfg);
         let mut out2 = Vec::new();
-        warp_per_vertex_kernel(&mut ctx_m, g.incoming(), &spoken, &prog, &all, 256, &mut out2);
+        warp_per_vertex_kernel(
+            &mut ctx_m,
+            g.incoming(),
+            &spoken,
+            &prog,
+            &all,
+            256,
+            &mut out2,
+        );
 
         assert!(
             ctx_g.counters.global_sectors() > 2 * ctx_m.counters.global_sectors(),

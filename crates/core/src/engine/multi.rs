@@ -8,13 +8,15 @@
 //! synchronize, which is what keeps the two-GPU speedup below 2x.
 
 use super::dispatch::Buckets;
-use super::gpu::{charge_frontier, filter_buckets, pick_labels, propagate, recompute_active, GpuEngineConfig};
+use super::gpu::{
+    charge_frontier, filter_buckets, pick_labels, propagate, recompute_active, GpuEngineConfig,
+};
 use super::Decision;
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
+use glp_gpusim::{DeviceConfig, MultiGpu};
 use glp_graph::partition::partition_even;
 use glp_graph::{Graph, Label, VertexId};
-use glp_gpusim::{DeviceConfig, MultiGpu};
 use std::time::Instant;
 
 /// The multi-GPU engine.
@@ -35,7 +37,11 @@ impl MultiGpuEngine {
 
     /// `n` modeled Titan Vs with the default engine configuration.
     pub fn titan_v(num_devices: usize) -> Self {
-        Self::new(num_devices, DeviceConfig::titan_v(), GpuEngineConfig::default())
+        Self::new(
+            num_devices,
+            DeviceConfig::titan_v(),
+            GpuEngineConfig::default(),
+        )
     }
 
     /// The device set.
@@ -59,7 +65,10 @@ impl MultiGpuEngine {
         // Per-device buckets restricted to its range.
         let full = Buckets::build(g, self.cfg.strategy, self.cfg.thresholds);
         let keep = |vs: &[VertexId], lo: VertexId, hi: VertexId| {
-            vs.iter().copied().filter(|&v| v >= lo && v < hi).collect::<Vec<_>>()
+            vs.iter()
+                .copied()
+                .filter(|&v| v >= lo && v < hi)
+                .collect::<Vec<_>>()
         };
         let dev_buckets: Vec<Buckets> = ranges
             .iter()
@@ -79,9 +88,8 @@ impl MultiGpuEngine {
         let bytes_per_edge: u64 = if g.incoming().is_weighted() { 8 } else { 4 };
         for (d, r) in ranges.iter().enumerate() {
             let dev = self.gpus.device_mut(d);
-            let bytes = r.num_edges() * bytes_per_edge
-                + (r.num_vertices() as u64) * 8
-                + (n as u64) * 8;
+            let bytes =
+                r.num_edges() * bytes_per_edge + (r.num_vertices() as u64) * 8 + (n as u64) * 8;
             let before = dev.elapsed_seconds();
             dev.upload(bytes);
             transfer_s += dev.elapsed_seconds() - before;

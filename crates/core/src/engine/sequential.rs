@@ -64,7 +64,10 @@ impl SequentialEngine {
         let wall_start = Instant::now();
         let n = g.num_vertices();
         let csr = g.incoming();
-        let max_deg = (0..n as VertexId).map(|v| csr.degree(v) as usize).max().unwrap_or(0);
+        let max_deg = (0..n as VertexId)
+            .map(|v| csr.degree(v) as usize)
+            .max()
+            .unwrap_or(0);
         let mut ht = BoundedHashTable::new((2 * max_deg).max(16), u32::MAX);
         let mut report = LpRunReport::default();
 
@@ -95,8 +98,7 @@ impl SequentialEngine {
                 let d: Decision = BestLabel::into_decision(best);
                 u64::from(prog.update_vertex(v, d))
             };
-            let descending =
-                self.order == SweepOrder::Alternating && iteration % 2 == 1;
+            let descending = self.order == SweepOrder::Alternating && iteration % 2 == 1;
             if descending {
                 for v in (0..n as VertexId).rev() {
                     changed += visit(v, prog, &mut ht);
@@ -176,8 +178,7 @@ mod tests {
     fn alternating_order_still_converges() {
         let g = two_cliques_bridge(6);
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 50);
-        let report =
-            SequentialEngine::with_order(SweepOrder::Alternating).run(&g, &mut prog);
+        let report = SequentialEngine::with_order(SweepOrder::Alternating).run(&g, &mut prog);
         assert_eq!(*report.changed_per_iteration.last().unwrap(), 0);
     }
 }

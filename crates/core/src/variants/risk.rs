@@ -76,13 +76,11 @@ impl LpProgram for RiskWeightedLp {
 
     fn update_vertex(&mut self, v: VertexId, winner: Option<(Label, f64)>) -> bool {
         match winner {
-            Some((l, score)) if l != INVALID_LABEL && score > 0.0 => {
-                if l != self.labels[v as usize] {
-                    self.labels[v as usize] = l;
-                    true
-                } else {
-                    false
-                }
+            Some((l, score))
+                if l != INVALID_LABEL && score > 0.0 && l != self.labels[v as usize] =>
+            {
+                self.labels[v as usize] = l;
+                true
             }
             _ => false,
         }

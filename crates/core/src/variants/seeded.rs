@@ -173,7 +173,10 @@ mod tests {
     #[test]
     fn seeds_initialized_rest_unlabeled() {
         let p = SeededLp::new(5, &[1, 3]);
-        assert_eq!(p.labels(), &[INVALID_LABEL, 1, INVALID_LABEL, 3, INVALID_LABEL]);
+        assert_eq!(
+            p.labels(),
+            &[INVALID_LABEL, 1, INVALID_LABEL, 3, INVALID_LABEL]
+        );
         assert_eq!(p.labeled_count(), 2);
     }
 

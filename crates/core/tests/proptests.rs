@@ -9,15 +9,19 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn arbitrary_graph() -> impl Strategy<Value = Graph> {
-    (2usize..40, prop::collection::vec((0u32..40, 0u32..40), 1..300)).prop_map(|(n, es)| {
-        let n = n.max(2);
-        let mut b = GraphBuilder::new(n);
-        for (s, d) in es {
-            b.add_edge(s % n as u32, d % n as u32);
-        }
-        b.symmetrize(true).dedup(true);
-        b.build()
-    })
+    (
+        2usize..40,
+        prop::collection::vec((0u32..40, 0u32..40), 1..300),
+    )
+        .prop_map(|(n, es)| {
+            let n = n.max(2);
+            let mut b = GraphBuilder::new(n);
+            for (s, d) in es {
+                b.add_edge(s % n as u32, d % n as u32);
+            }
+            b.symmetrize(true).dedup(true);
+            b.build()
+        })
 }
 
 /// One synchronous reference iteration of classic LP with the shared tie
@@ -34,9 +38,7 @@ fn reference_step(g: &Graph, labels: &[Label]) -> Vec<Label> {
         for (&l, &c) in &counts {
             let wins = match best {
                 None => true,
-                Some((bl, bc)) => {
-                    c > bc || (c == bc && bl != current && (l == current || l < bl))
-                }
+                Some((bl, bc)) => c > bc || (c == bc && bl != current && (l == current || l < bl)),
             };
             if wins {
                 best = Some((l, c));

@@ -2,16 +2,25 @@
 //!
 //! The production pipeline (Figure 1) does not rebuild each window from
 //! scratch: every day the newest day's transactions enter and the oldest
-//! day's expire. This maintainer keeps the pair-weight multiset
-//! incrementally — O(transactions of the two boundary days) per advance —
-//! and materializes a fresh CSR on demand. Materialization equals a
-//! from-scratch [`WindowWorkload::build`] bit for bit, which the tests
-//! pin.
+//! day's expire. This maintainer keeps the live transactions in an
+//! arrival-order log plus a pair-count index — O(transactions of the two
+//! boundary days) per advance — and materializes a fresh CSR on demand by
+//! replaying the log through the same single-pass construction as
+//! [`WindowWorkload::build`], so materialization equals a from-scratch
+//! build bit for bit (pinned by the tests).
+//!
+//! Two maintenance entry points cover the two callers: [`advance`] slides
+//! by whole days from a [`TxStream`] (the offline Table 4 path), and
+//! [`apply_batch`] appends arbitrary micro-batches (the serving ingest
+//! path, which has no stream to re-read — hence the log).
+//!
+//! [`advance`]: IncrementalWindow::advance
+//! [`apply_batch`]: IncrementalWindow::apply_batch
 
-use crate::transactions::TxStream;
+use crate::transactions::{Transaction, TxStream};
 use crate::window::WindowWorkload;
-use glp_graph::{Graph, GraphBuilder, VertexId};
-use std::collections::HashMap;
+use glp_graph::Graph;
+use std::collections::{HashMap, VecDeque};
 
 /// Maintains one sliding window over a transaction stream.
 #[derive(Clone, Debug)]
@@ -22,6 +31,8 @@ pub struct IncrementalWindow {
     end: u32,
     /// Current (buyer, item) → transaction count.
     counts: HashMap<(u32, u32), f32>,
+    /// Live transactions in arrival order (day-sorted by construction).
+    log: VecDeque<Transaction>,
 }
 
 impl IncrementalWindow {
@@ -33,11 +44,24 @@ impl IncrementalWindow {
             days,
             end,
             counts: HashMap::new(),
+            log: VecDeque::new(),
         };
         for t in stream.window(end.saturating_sub(days), end) {
-            *w.counts.entry((t.buyer, t.item)).or_default() += 1.0;
+            w.push(*t);
         }
         w
+    }
+
+    /// An empty window of `days` days ending (exclusively) at day 0 —
+    /// the serving path's starting state before any batch arrives.
+    pub fn empty(days: u32) -> Self {
+        assert!(days >= 1, "window needs at least one day");
+        Self {
+            days,
+            end: 0,
+            counts: HashMap::new(),
+            log: VecDeque::new(),
+        }
     }
 
     /// Window length in days.
@@ -55,64 +79,85 @@ impl IncrementalWindow {
         self.counts.len()
     }
 
+    /// Live transactions currently in the window.
+    pub fn num_transactions(&self) -> usize {
+        self.log.len()
+    }
+
+    fn push(&mut self, t: Transaction) {
+        *self.counts.entry((t.buyer, t.item)).or_default() += 1.0;
+        self.log.push_back(t);
+    }
+
+    /// Drops transactions that have slid out of `[end - days, end)`.
+    fn expire(&mut self) {
+        let start = self.end.saturating_sub(self.days);
+        while self.log.front().is_some_and(|t| t.day < start) {
+            let t = self.log.pop_front().expect("front checked");
+            let key = (t.buyer, t.item);
+            match self.counts.get_mut(&key) {
+                Some(c) if *c > 1.0 => *c -= 1.0,
+                Some(_) => {
+                    self.counts.remove(&key);
+                }
+                None => unreachable!("expiring a transaction never added"),
+            }
+        }
+    }
+
     /// Slides the window forward one day: day `end` enters, day
     /// `end - days` expires.
     pub fn advance(&mut self, stream: &TxStream) {
         let entering = self.end;
-        let expiring = self.end.saturating_sub(self.days);
         for t in stream.window(entering, entering + 1) {
-            *self.counts.entry((t.buyer, t.item)).or_default() += 1.0;
-        }
-        if self.end >= self.days {
-            for t in stream.window(expiring, expiring + 1) {
-                let key = (t.buyer, t.item);
-                match self.counts.get_mut(&key) {
-                    Some(c) if *c > 1.0 => *c -= 1.0,
-                    Some(_) => {
-                        self.counts.remove(&key);
-                    }
-                    None => unreachable!("expiring a transaction never added"),
-                }
-            }
+            self.push(*t);
         }
         self.end += 1;
+        self.expire();
     }
 
-    /// Materializes the current window as a [`WindowWorkload`], with the
-    /// same dense-id assignment as a from-scratch build: vertex ids in
-    /// first-appearance order of the window's *transactions*.
-    pub fn materialize(&self, stream: &TxStream) -> WindowWorkload {
-        // Recover first-appearance order by replaying the window's
-        // transaction order (cheap: one filtered pass, no counting).
-        let start = self.end.saturating_sub(self.days);
-        let mut user_vertex: HashMap<u32, VertexId> = HashMap::new();
-        let mut item_slot: HashMap<u32, u32> = HashMap::new();
-        for t in stream.window(start, self.end) {
-            let next = user_vertex.len() as VertexId;
-            user_vertex.entry(t.buyer).or_insert(next);
-            let next_item = item_slot.len() as u32;
-            item_slot.entry(t.item).or_insert(next_item);
+    /// Appends a micro-batch of transactions — the serving ingest entry
+    /// point, equivalent to day-wise [`Self::advance`] at day boundaries
+    /// but callable at any batch granularity. Transactions must be for
+    /// the window's current last day or later (day-ordered arrival, as a
+    /// live stream delivers); the window end slides to cover the newest
+    /// day and older days expire exactly as under `advance`.
+    pub fn apply_batch(&mut self, batch: &[Transaction]) {
+        for t in batch {
+            assert!(
+                t.day + 1 >= self.end,
+                "batch transaction for closed day {} (window end {})",
+                t.day,
+                self.end
+            );
+            self.end = self.end.max(t.day + 1);
+            self.push(*t);
         }
-        let num_users = user_vertex.len();
-        let n = num_users + item_slot.len();
-        let mut b = GraphBuilder::with_capacity(n, self.counts.len());
-        for (&(buyer, item), &w) in &self.counts {
-            let u = user_vertex[&buyer];
-            let i = num_users as VertexId + item_slot[&item];
-            b.add_weighted_edge(u, i, w);
+        self.expire();
+    }
+
+    /// Advances the window clock to `end` (exclusive) without adding
+    /// transactions — the batch-path analogue of advancing over an empty
+    /// day. No-op unless `end` is ahead of the current end.
+    pub fn advance_to(&mut self, end: u32) {
+        if end > self.end {
+            self.end = end;
+            self.expire();
         }
-        b.symmetrize(true).dedup(true);
-        WindowWorkload {
-            days: self.days,
-            graph: b.build(),
-            user_vertex,
-            num_user_vertices: num_users,
-        }
+    }
+
+    /// Materializes the current window as a [`WindowWorkload`] by
+    /// replaying the live-transaction log through the shared single-pass
+    /// construction — bit-identical to a from-scratch build of the same
+    /// window, and independent of any stream (the serving path's
+    /// requirement).
+    pub fn materialize(&self) -> WindowWorkload {
+        WindowWorkload::from_transactions(self.days, self.log.iter())
     }
 
     /// The current window's graph alone (see [`Self::materialize`]).
-    pub fn graph(&self, stream: &TxStream) -> Graph {
-        self.materialize(stream).graph
+    pub fn graph(&self) -> Graph {
+        self.materialize().graph
     }
 }
 
@@ -145,7 +190,7 @@ mod tests {
         let s = stream();
         let inc = IncrementalWindow::new(&s, 10, s.config.days);
         let scratch = WindowWorkload::build(&s, 10);
-        assert!(graphs_equal(&inc.graph(&s), &scratch.graph));
+        assert!(graphs_equal(&inc.graph(), &scratch.graph));
     }
 
     #[test]
@@ -160,11 +205,55 @@ mod tests {
             let mut reference = IncrementalWindow::new(&s, 7, end);
             assert_eq!(inc.num_pairs(), reference.num_pairs());
             assert!(
-                graphs_equal(&inc.graph(&s), &reference.graph(&s)),
+                graphs_equal(&inc.graph(), &reference.graph()),
                 "divergence at end day {end}"
             );
             reference.counts.clear();
         }
+    }
+
+    #[test]
+    fn batch_apply_equals_advance_equals_scratch() {
+        let s = stream();
+        let days = 7;
+        let mut by_day = IncrementalWindow::new(&s, days, 12);
+        let mut by_batch = by_day.clone();
+        for end in 13..=s.config.days {
+            by_day.advance(&s);
+            // Feed the entering day as two partial micro-batches:
+            // batch boundaries need not align with day boundaries.
+            let txs: Vec<Transaction> = s.window(end - 1, end).copied().collect();
+            let (first, second) = txs.split_at(txs.len() / 2);
+            by_batch.apply_batch(first);
+            by_batch.apply_batch(second);
+            by_batch.advance_to(end); // covers an empty entering day
+            assert_eq!(by_batch.end(), end);
+            assert_eq!(by_batch.num_pairs(), by_day.num_pairs());
+            assert_eq!(by_batch.num_transactions(), by_day.num_transactions());
+            let scratch = IncrementalWindow::new(&s, days, end);
+            assert!(
+                graphs_equal(&by_batch.graph(), &by_day.graph()),
+                "batch vs advance diverged at end day {end}"
+            );
+            assert!(
+                graphs_equal(&by_batch.graph(), &scratch.graph()),
+                "batch vs scratch diverged at end day {end}"
+            );
+        }
+        // At the stream's final day the window also equals the offline
+        // from-scratch workload build.
+        let offline = WindowWorkload::build(&s, days);
+        assert!(graphs_equal(&by_batch.graph(), &offline.graph));
+    }
+
+    #[test]
+    #[should_panic(expected = "closed day")]
+    fn batch_for_closed_day_rejected() {
+        let s = stream();
+        let mut inc = IncrementalWindow::new(&s, 7, 12);
+        let stale: Vec<Transaction> = s.window(9, 10).copied().collect();
+        assert!(!stale.is_empty());
+        inc.apply_batch(&stale);
     }
 
     #[test]
@@ -182,7 +271,7 @@ mod tests {
     fn seeds_survive_materialization() {
         let s = stream();
         let inc = IncrementalWindow::new(&s, 20, s.config.days);
-        let w = inc.materialize(&s);
+        let w = inc.materialize();
         assert_eq!(w.seeds(&s).len(), s.blacklist.len());
     }
 }

@@ -74,7 +74,10 @@ impl InHouseLp {
 
         let mut spoken: Vec<Label> = vec![0; n];
         let mut decisions: Vec<Decision> = vec![None; n];
-        let max_deg = (0..n as VertexId).map(|v| csr.degree(v) as usize).max().unwrap_or(0);
+        let max_deg = (0..n as VertexId)
+            .map(|v| csr.degree(v) as usize)
+            .max()
+            .unwrap_or(0);
         let mut ht = BoundedHashTable::new((2 * max_deg).max(16), u32::MAX);
 
         for iteration in 0..self.max_iterations {
@@ -126,8 +129,7 @@ impl InHouseLp {
                     ca.partial_cmp(&cb).expect("finite times")
                 })
                 .unwrap_or_default();
-            let bytes_per_machine =
-                crossing_edges * self.cluster.message_bytes / machines as u64;
+            let bytes_per_machine = crossing_edges * self.cluster.message_bytes / machines as u64;
             let messages_per_machine = crossing_edges / machines as u64;
             modeled +=
                 self.cluster
@@ -177,7 +179,10 @@ mod tests {
         let r = InHouseLp::taobao().run(&g, &mut p);
         let floor = f64::from(r.iterations) * ClusterConfig::taobao_inhouse().superstep_latency_s;
         assert!(r.modeled_seconds >= floor);
-        assert!(r.modeled_seconds < floor * 1.5, "tiny graph should be latency-bound");
+        assert!(
+            r.modeled_seconds < floor * 1.5,
+            "tiny graph should be latency-bound"
+        );
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod window;
 
 pub use incremental::IncrementalWindow;
 pub use inhouse::InHouseLp;
-pub use pipeline::{FraudPipeline, PipelineConfig, PipelineReport};
+pub use pipeline::{FlaggedCluster, FraudPipeline, PipelineConfig, PipelineReport};
 pub use transactions::{Transaction, TxConfig, TxStream};
 pub use window::{WindowSpec, WindowWorkload};

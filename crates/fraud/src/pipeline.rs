@@ -207,6 +207,20 @@ impl FraudPipeline {
         }
     }
 
+    /// Scores the clusters of an already-run LP program over `window` —
+    /// the reusable stage-3 entry point. The serving path reclusters
+    /// out-of-band on a window snapshot and needs scoring without
+    /// re-running construction or LP (see `score_clusters` for the
+    /// scoring model).
+    pub fn score(
+        &self,
+        window: &WindowWorkload,
+        prog: &WeightedLp,
+        seeds: &[VertexId],
+    ) -> Vec<FlaggedCluster> {
+        self.score_clusters(window, prog, seeds).0
+    }
+
     /// Clusters the *user side* by LP label (synchronous LP on bipartite
     /// graphs oscillates labels between the sides, so user and item labels
     /// never unify; projecting from one side is the standard remedy), then
@@ -236,8 +250,7 @@ impl FraudPipeline {
             ..Default::default()
         };
         // Total incoming weight per item (for dominance tests).
-        let item_total: HashMap<VertexId, f64> = (window.num_user_vertices
-            ..g.num_vertices())
+        let item_total: HashMap<VertexId, f64> = (window.num_user_vertices..g.num_vertices())
             .map(|i| {
                 let i = i as VertexId;
                 let w: f64 = g
@@ -255,7 +268,10 @@ impl FraudPipeline {
             if users.len() < self.cfg.min_cluster_size {
                 continue;
             }
-            let seed_count = users.iter().filter(|v| seeds.binary_search(v).is_ok()).count();
+            let seed_count = users
+                .iter()
+                .filter(|v| seeds.binary_search(v).is_ok())
+                .count();
             work.instructions += 8 * users.len() as u64;
             if seed_count < self.cfg.min_seeds {
                 continue; // no known-bad members: not suspicious
@@ -350,11 +366,7 @@ mod tests {
             report.recall,
             report.flagged.len()
         );
-        assert!(
-            report.precision > 0.6,
-            "precision {}",
-            report.precision
-        );
+        assert!(report.precision > 0.6, "precision {}", report.precision);
     }
 
     #[test]
@@ -404,7 +416,10 @@ mod debug_tests {
             blacklist_fraction: 0.2,
             ..Default::default()
         });
-        let pipe = FraudPipeline::new(PipelineConfig { window_days: 30, ..Default::default() });
+        let pipe = FraudPipeline::new(PipelineConfig {
+            window_days: 30,
+            ..Default::default()
+        });
         let window = WindowWorkload::build(&s, 30);
         let seeds = window.seeds(&s);
         let mut prog = WeightedLp::from_graph(&window.graph, 20).with_retention(3.0);
@@ -412,13 +427,25 @@ mod debug_tests {
         let (flagged, _) = pipe.score_clusters(&window, &prog, &seeds);
         eprintln!("seeds {} flagged {}", seeds.len(), flagged.len());
         for f in flagged.iter().take(10) {
-            eprintln!("cluster label {} users {} items {} score {:.2}", f.label, f.users.len(), f.items.len(), f.score);
+            eprintln!(
+                "cluster label {} users {} items {} score {:.2}",
+                f.label,
+                f.users.len(),
+                f.items.len(),
+                f.score
+            );
         }
         use std::collections::HashMap;
         let mut m: HashMap<u32, usize> = HashMap::new();
-        for &l in prog.labels() { *m.entry(l).or_default() += 1; }
+        for &l in prog.labels() {
+            *m.entry(l).or_default() += 1;
+        }
         let mut sizes: Vec<usize> = m.values().copied().collect();
-        sizes.sort_unstable_by(|a,b| b.cmp(a));
-        eprintln!("clusters {} sizes(top10) {:?}", sizes.len(), &sizes[..sizes.len().min(10)]);
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        eprintln!(
+            "clusters {} sizes(top10) {:?}",
+            sizes.len(),
+            &sizes[..sizes.len().min(10)]
+        );
     }
 }

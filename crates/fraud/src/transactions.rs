@@ -82,7 +82,10 @@ pub struct TxStream {
 impl TxStream {
     /// Generates the stream for `cfg`.
     pub fn generate(cfg: &TxConfig) -> Self {
-        assert!(cfg.num_users > 0 && cfg.num_items > 0, "need users and items");
+        assert!(
+            cfg.num_users > 0 && cfg.num_items > 0,
+            "need users and items"
+        );
         assert!(
             u64::from(cfg.num_rings) * u64::from(cfg.ring_size) <= u64::from(cfg.num_users),
             "rings cannot exceed the user population"
@@ -230,7 +233,10 @@ mod tests {
         assert_eq!(s.fraudulent_users().len(), 30);
         assert_eq!(s.blacklist.len(), 6); // 20% of 3 rings of 10
         for &u in &s.blacklist {
-            assert!(s.ring_of[u as usize].is_some(), "blacklisted user not in a ring");
+            assert!(
+                s.ring_of[u as usize].is_some(),
+                "blacklisted user not in a ring"
+            );
         }
     }
 

@@ -8,7 +8,7 @@
 //! sublinearly with window length while |E| grows near-linearly — exactly
 //! Table 4's shape (V: 460M→1010M, ×2.2; E: 1.7B→10.2B, ×6).
 
-use crate::transactions::TxStream;
+use crate::transactions::{Transaction, TxStream};
 use glp_graph::{Graph, GraphBuilder, VertexId};
 use std::collections::HashMap;
 
@@ -31,23 +31,35 @@ impl WindowWorkload {
     pub fn build(stream: &TxStream, days: u32) -> Self {
         let end = stream.config.days;
         let start = end.saturating_sub(days);
-        // First pass: assign dense vertex ids to participating users/items.
+        Self::from_transactions(days, stream.window(start, end))
+    }
+
+    /// Builds from a single in-order pass over a window's transactions —
+    /// the construction path shared by [`Self::build`], incremental
+    /// materialization, and the serving ingest path. Dense vertex ids are
+    /// assigned in first-appearance order, so any source replaying the
+    /// same transaction sequence produces a bit-identical graph.
+    pub fn from_transactions<'a, I>(days: u32, txs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Transaction>,
+    {
+        // One pass: assign ids as pairs first appear, remembering each
+        // transaction's (user, item-slot) for the edge list.
         let mut user_vertex: HashMap<u32, VertexId> = HashMap::new();
         let mut item_slot: HashMap<u32, u32> = HashMap::new();
-        for t in stream.window(start, end) {
+        let mut pairs: Vec<(VertexId, u32)> = Vec::new();
+        for t in txs {
             let next = user_vertex.len() as VertexId;
-            user_vertex.entry(t.buyer).or_insert(next);
+            let u = *user_vertex.entry(t.buyer).or_insert(next);
             let next_item = item_slot.len() as u32;
-            item_slot.entry(t.item).or_insert(next_item);
+            let i = *item_slot.entry(t.item).or_insert(next_item);
+            pairs.push((u, i));
         }
         let num_users = user_vertex.len();
         let n = num_users + item_slot.len();
-        // Second pass: weighted edges, duplicates merged.
-        let mut b = GraphBuilder::with_capacity(n, stream.transactions.len());
-        for t in stream.window(start, end) {
-            let u = user_vertex[&t.buyer];
-            let i = num_users as VertexId + item_slot[&t.item];
-            b.add_weighted_edge(u, i, 1.0);
+        let mut b = GraphBuilder::with_capacity(n, pairs.len());
+        for (u, i) in pairs {
+            b.add_weighted_edge(u, num_users as VertexId + i, 1.0);
         }
         b.symmetrize(true).dedup(true);
         Self {
@@ -161,7 +173,11 @@ mod tests {
         assert_eq!(t.len(), 10);
         assert_eq!(t[0].days, 10);
         assert_eq!(t[9].days, 100);
-        assert!(t.windows(2).all(|w| w[0].paper_vertices_m < w[1].paper_vertices_m));
-        assert!(t.windows(2).all(|w| w[0].paper_edges_b < w[1].paper_edges_b));
+        assert!(t
+            .windows(2)
+            .all(|w| w[0].paper_vertices_m < w[1].paper_vertices_m));
+        assert!(t
+            .windows(2)
+            .all(|w| w[0].paper_edges_b < w[1].paper_edges_b));
     }
 }

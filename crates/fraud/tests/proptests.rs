@@ -6,12 +6,12 @@ use proptest::prelude::*;
 
 fn arbitrary_stream() -> impl Strategy<Value = TxStream> {
     (
-        50u32..400,   // users
-        20u32..150,   // items
-        3u32..15,     // days
-        20u32..200,   // tx/day
-        0u32..3,      // rings
-        any::<u8>(),  // seed
+        50u32..400,  // users
+        20u32..150,  // items
+        3u32..15,    // days
+        20u32..200,  // tx/day
+        0u32..3,     // rings
+        any::<u8>(), // seed
     )
         .prop_map(|(users, items, days, tx, rings, seed)| {
             TxStream::generate(&TxConfig {
@@ -58,8 +58,8 @@ proptest! {
         }
         let reference = IncrementalWindow::new(&stream, days, inc.end());
         prop_assert_eq!(inc.num_pairs(), reference.num_pairs());
-        let a = inc.graph(&stream);
-        let b = reference.graph(&stream);
+        let a = inc.graph();
+        let b = reference.graph();
         prop_assert_eq!(a.incoming().offsets(), b.incoming().offsets());
         prop_assert_eq!(a.incoming().targets(), b.incoming().targets());
         prop_assert_eq!(a.incoming().weights(), b.incoming().weights());

@@ -110,7 +110,8 @@ impl DeviceConfig {
 
     /// Warps per thread block.
     pub fn warps_per_block(&self) -> u32 {
-        self.threads_per_block.div_ceil(crate::warp::WARP_SIZE as u32)
+        self.threads_per_block
+            .div_ceil(crate::warp::WARP_SIZE as u32)
     }
 }
 

@@ -138,8 +138,14 @@ mod tests {
         let m = CostModel::default();
         // Same logical reads: 32 lanes x 4 bytes. Coalesced = 4 sectors;
         // fully scattered = 32 sectors.
-        let co = KernelCounters { global_read_sectors: 4_000_000, ..Default::default() };
-        let sc = KernelCounters { global_read_sectors: 32_000_000, ..Default::default() };
+        let co = KernelCounters {
+            global_read_sectors: 4_000_000,
+            ..Default::default()
+        };
+        let sc = KernelCounters {
+            global_read_sectors: 32_000_000,
+            ..Default::default()
+        };
         assert!(m.kernel_seconds(&cfg(), &sc) > 7.0 * m.kernel_seconds(&cfg(), &co));
     }
 

@@ -158,8 +158,8 @@ impl ClusterConfig {
             .machine_cpu
             .seconds(max_machine_work, self.machine_cpu.cores)
             * self.straggler_factor;
-        let network = bytes_per_machine as f64 * 8.0
-            / (self.network_gbits * self.network_efficiency * 1e9);
+        let network =
+            bytes_per_machine as f64 * 8.0 / (self.network_gbits * self.network_efficiency * 1e9);
         // Shuffle/serialization parallelizes across the machine's cores.
         let shuffle = messages_per_machine as f64 * self.message_overhead_ns * 1e-9
             / f64::from(self.machine_cpu.cores);
@@ -240,6 +240,9 @@ mod tests {
         let cluster = ClusterConfig::taobao_inhouse();
         // 96e6 messages x 2000 ns / 96 cores = 2 s, dominating.
         let s = cluster.superstep_seconds(&CpuCounters::default(), 0, 96_000_000);
-        assert!((s - (2.0 + cluster.superstep_latency_s)).abs() < 1e-9, "{s}");
+        assert!(
+            (s - (2.0 + cluster.superstep_latency_s)).abs() < 1e-9,
+            "{s}"
+        );
     }
 }

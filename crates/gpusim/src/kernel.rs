@@ -120,8 +120,7 @@ impl<'a> KernelCtx<'a> {
             return;
         }
         let end = base + count * elem_bytes;
-        self.counters.global_read_sectors +=
-            end.div_ceil(SECTOR_BYTES) - base / SECTOR_BYTES;
+        self.counters.global_read_sectors += end.div_ceil(SECTOR_BYTES) - base / SECTOR_BYTES;
     }
 
     /// Bulk sequential global write (see [`Self::global_read_seq`]).
@@ -131,8 +130,7 @@ impl<'a> KernelCtx<'a> {
             return;
         }
         let end = base + count * elem_bytes;
-        self.counters.global_write_sectors +=
-            end.div_ceil(SECTOR_BYTES) - base / SECTOR_BYTES;
+        self.counters.global_write_sectors += end.div_ceil(SECTOR_BYTES) - base / SECTOR_BYTES;
     }
 
     /// One warp-wide *random* global read where each active lane touches its

@@ -58,7 +58,10 @@ impl GraphBuilder {
             "edge ({src},{dst}) out of range for {} vertices",
             self.num_vertices
         );
-        assert!(self.weights.is_none(), "builder already holds weighted edges");
+        assert!(
+            self.weights.is_none(),
+            "builder already holds weighted edges"
+        );
         self.edges.push((src, dst));
         self
     }
@@ -82,8 +85,14 @@ impl GraphBuilder {
     }
 
     /// Bulk-adds unweighted edges.
-    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> &mut Self {
-        assert!(self.weights.is_none(), "builder already holds weighted edges");
+    pub fn extend_edges(
+        &mut self,
+        it: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> &mut Self {
+        assert!(
+            self.weights.is_none(),
+            "builder already holds weighted edges"
+        );
         self.edges.extend(it);
         self
     }
@@ -123,9 +132,8 @@ impl GraphBuilder {
         // Materialize (dst, src, w) triples for the *incoming* CSR: the CSR is
         // indexed by the vertex whose neighbors LP scans, i.e. edge src->dst
         // contributes src to N(dst).
-        let mut triples: Vec<(VertexId, VertexId, f32)> = Vec::with_capacity(
-            self.edges.len() * if self.symmetrize { 2 } else { 1 },
-        );
+        let mut triples: Vec<(VertexId, VertexId, f32)> =
+            Vec::with_capacity(self.edges.len() * if self.symmetrize { 2 } else { 1 });
         for (i, &(s, d)) in self.edges.iter().enumerate() {
             if s == d && !self.keep_self_loops {
                 continue;

@@ -138,7 +138,10 @@ impl Csr {
         let offsets = counts.clone();
         let mut cursor = counts;
         let mut targets = vec![0 as VertexId; self.targets.len()];
-        let mut weights = self.weights.as_ref().map(|_| vec![0f32; self.targets.len()]);
+        let mut weights = self
+            .weights
+            .as_ref()
+            .map(|_| vec![0f32; self.targets.len()]);
         for v in 0..n {
             let lo = self.offsets[v] as usize;
             let hi = self.offsets[v + 1] as usize;

@@ -148,14 +148,78 @@ pub fn table2() -> Vec<DatasetSpec> {
     use DatasetId::*;
     use GraphFamily::*;
     vec![
-        DatasetSpec { id: Dblp, name: "dblp", paper_vertices: 317_080, paper_edges: 1_049_866, directed: false, family: Social, default_scale: 1 },
-        DatasetSpec { id: RoadNet, name: "roadNet", paper_vertices: 1_965_206, paper_edges: 2_766_607, directed: false, family: Road, default_scale: 1 },
-        DatasetSpec { id: Youtube, name: "youtube", paper_vertices: 1_134_890, paper_edges: 2_987_624, directed: false, family: Social, default_scale: 1 },
-        DatasetSpec { id: Aligraph, name: "aligraph", paper_vertices: 14_933, paper_edges: 29_804_566, directed: false, family: Interaction, default_scale: 8 },
-        DatasetSpec { id: Ljournal, name: "ljournal", paper_vertices: 3_997_962, paper_edges: 34_681_189, directed: false, family: Social, default_scale: 8 },
-        DatasetSpec { id: Uk2002, name: "uk-2002", paper_vertices: 18_520_486, paper_edges: 298_113_762, directed: true, family: Web, default_scale: 64 },
-        DatasetSpec { id: WikiEn, name: "wiki-en", paper_vertices: 15_150_976, paper_edges: 378_142_420, directed: true, family: Web, default_scale: 64 },
-        DatasetSpec { id: Twitter, name: "twitter", paper_vertices: 41_652_230, paper_edges: 1_468_365_182, directed: true, family: Social, default_scale: 128 },
+        DatasetSpec {
+            id: Dblp,
+            name: "dblp",
+            paper_vertices: 317_080,
+            paper_edges: 1_049_866,
+            directed: false,
+            family: Social,
+            default_scale: 1,
+        },
+        DatasetSpec {
+            id: RoadNet,
+            name: "roadNet",
+            paper_vertices: 1_965_206,
+            paper_edges: 2_766_607,
+            directed: false,
+            family: Road,
+            default_scale: 1,
+        },
+        DatasetSpec {
+            id: Youtube,
+            name: "youtube",
+            paper_vertices: 1_134_890,
+            paper_edges: 2_987_624,
+            directed: false,
+            family: Social,
+            default_scale: 1,
+        },
+        DatasetSpec {
+            id: Aligraph,
+            name: "aligraph",
+            paper_vertices: 14_933,
+            paper_edges: 29_804_566,
+            directed: false,
+            family: Interaction,
+            default_scale: 8,
+        },
+        DatasetSpec {
+            id: Ljournal,
+            name: "ljournal",
+            paper_vertices: 3_997_962,
+            paper_edges: 34_681_189,
+            directed: false,
+            family: Social,
+            default_scale: 8,
+        },
+        DatasetSpec {
+            id: Uk2002,
+            name: "uk-2002",
+            paper_vertices: 18_520_486,
+            paper_edges: 298_113_762,
+            directed: true,
+            family: Web,
+            default_scale: 64,
+        },
+        DatasetSpec {
+            id: WikiEn,
+            name: "wiki-en",
+            paper_vertices: 15_150_976,
+            paper_edges: 378_142_420,
+            directed: true,
+            family: Web,
+            default_scale: 64,
+        },
+        DatasetSpec {
+            id: Twitter,
+            name: "twitter",
+            paper_vertices: 41_652_230,
+            paper_edges: 1_468_365_182,
+            directed: true,
+            family: Social,
+            default_scale: 128,
+        },
     ]
 }
 
@@ -193,7 +257,11 @@ mod tests {
         // Use heavier scaling so the test stays fast.
         let road = by_name("roadNet").unwrap().generate_scaled(16);
         let s = degree_stats(&road);
-        assert!((s.avg_degree - 2.8).abs() < 0.4, "roadNet avg {}", s.avg_degree);
+        assert!(
+            (s.avg_degree - 2.8).abs() < 0.4,
+            "roadNet avg {}",
+            s.avg_degree
+        );
         assert!(s.max_degree <= 4);
 
         let ali = by_name("aligraph").unwrap().generate_scaled(64);

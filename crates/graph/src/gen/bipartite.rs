@@ -43,7 +43,10 @@ impl Default for BipartiteConfig {
 
 /// Generates a symmetrized bipartite interaction graph.
 pub fn bipartite_interaction(cfg: &BipartiteConfig) -> Graph {
-    assert!(cfg.num_users >= 1 && cfg.num_items >= 1, "both sides must be non-empty");
+    assert!(
+        cfg.num_users >= 1 && cfg.num_items >= 1,
+        "both sides must be non-empty"
+    );
     let n = cfg.num_users + cfg.num_items;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let users = CumSampler::new((0..cfg.num_users).map(|i| 1.0 / ((i + 1) as f64).powf(cfg.skew)));

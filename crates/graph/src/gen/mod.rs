@@ -19,8 +19,8 @@ pub mod rmat;
 pub mod road;
 pub mod simple;
 
-pub use bipartite::{BipartiteConfig, bipartite_interaction};
+pub use bipartite::{bipartite_interaction, BipartiteConfig};
 pub use powerlaw::{community_powerlaw, community_powerlaw_with_truth, CommunityPowerLawConfig};
-pub use rmat::{RmatConfig, rmat};
-pub use road::{RoadConfig, road_network};
+pub use rmat::{rmat, RmatConfig};
+pub use road::{road_network, RoadConfig};
 pub use simple::{caveman, complete, cycle, path, star, two_cliques_bridge};

@@ -72,7 +72,9 @@ impl CumSampler {
 
     pub(crate) fn sample(&self, rng: &mut impl Rng) -> usize {
         let x: f64 = rng.gen::<f64>() * self.total();
-        self.prefix.partition_point(|&p| p < x).min(self.prefix.len() - 1)
+        self.prefix
+            .partition_point(|&p| p < x)
+            .min(self.prefix.len() - 1)
     }
 }
 
@@ -109,7 +111,9 @@ pub fn community_powerlaw_with_truth(cfg: &CommunityPowerLawConfig) -> (Graph, V
     // Community assignment: Zipf community sizes via weighted community draw.
     let ncomm = cfg.num_communities.clamp(1, n);
     let comm_sampler = CumSampler::new((0..ncomm).map(|c| 1.0 / (c + 1) as f64));
-    let community: Vec<u32> = (0..n).map(|_| comm_sampler.sample(&mut rng) as u32).collect();
+    let community: Vec<u32> = (0..n)
+        .map(|_| comm_sampler.sample(&mut rng) as u32)
+        .collect();
 
     // Per-community member lists with their own cumulative samplers.
     let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); ncomm];
@@ -197,7 +201,10 @@ mod tests {
             avg_degree: 6.0,
             ..Default::default()
         };
-        let other = CommunityPowerLawConfig { seed: 7, ..base.clone() };
+        let other = CommunityPowerLawConfig {
+            seed: 7,
+            ..base.clone()
+        };
         let g1 = community_powerlaw(&base);
         let g2 = community_powerlaw(&other);
         assert_ne!(g1.incoming().targets(), g2.incoming().targets());
@@ -225,7 +232,10 @@ mod tests {
             ..Default::default()
         };
         let g = community_powerlaw(&cfg);
-        let max_deg = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).max().unwrap();
+        let max_deg = (0..g.num_vertices() as VertexId)
+            .map(|v| g.degree(v))
+            .max()
+            .unwrap();
         assert!(
             f64::from(max_deg) > 10.0 * g.avg_degree(),
             "power-law graphs should have hubs; max {max_deg}, avg {}",

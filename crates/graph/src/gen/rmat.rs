@@ -95,13 +95,23 @@ mod tests {
             num_edges: 40_000,
             ..Default::default()
         });
-        let max = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).max().unwrap();
+        let max = (0..g.num_vertices() as VertexId)
+            .map(|v| g.degree(v))
+            .max()
+            .unwrap();
         assert!(f64::from(max) > 20.0 * g.avg_degree(), "max {max}");
     }
 
     #[test]
     fn deterministic() {
-        let cfg = RmatConfig { scale: 10, num_edges: 3_000, ..Default::default() };
-        assert_eq!(rmat(&cfg).incoming().targets(), rmat(&cfg).incoming().targets());
+        let cfg = RmatConfig {
+            scale: 10,
+            num_edges: 3_000,
+            ..Default::default()
+        };
+        assert_eq!(
+            rmat(&cfg).incoming().targets(),
+            rmat(&cfg).incoming().targets()
+        );
     }
 }

@@ -39,8 +39,14 @@ impl Default for RoadConfig {
 
 /// Generates a symmetrized partial grid.
 pub fn road_network(cfg: &RoadConfig) -> Graph {
-    assert!(cfg.width >= 2 && cfg.height >= 2, "grid must be at least 2x2");
-    assert!((0.0..=1.0).contains(&cfg.keep), "keep must be a probability");
+    assert!(
+        cfg.width >= 2 && cfg.height >= 2,
+        "grid must be at least 2x2"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.keep),
+        "keep must be a probability"
+    );
     let n = cfg.width * cfg.height;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut b = GraphBuilder::with_capacity(n, (2.0 * n as f64 * cfg.keep) as usize);
@@ -79,13 +85,20 @@ mod tests {
     #[test]
     fn max_degree_bounded_by_four() {
         let g = road_network(&RoadConfig::default());
-        let max = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).max().unwrap();
+        let max = (0..g.num_vertices() as VertexId)
+            .map(|v| g.degree(v))
+            .max()
+            .unwrap();
         assert!(max <= 4);
     }
 
     #[test]
     fn deterministic() {
-        let cfg = RoadConfig { width: 50, height: 50, ..Default::default() };
+        let cfg = RoadConfig {
+            width: 50,
+            height: 50,
+            ..Default::default()
+        };
         let g1 = road_network(&cfg);
         let g2 = road_network(&cfg);
         assert_eq!(g1.incoming().targets(), g2.incoming().targets());

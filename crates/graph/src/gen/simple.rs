@@ -71,7 +71,10 @@ pub fn two_cliques_bridge(k: usize) -> Graph {
 /// edge of each clique rewired to the next clique, forming a ring of caves.
 /// LP should recover (approximately) one community per cave.
 pub fn caveman(num_caves: usize, cave_size: usize) -> Graph {
-    assert!(num_caves >= 2 && cave_size >= 3, "need >=2 caves of size >=3");
+    assert!(
+        num_caves >= 2 && cave_size >= 3,
+        "need >=2 caves of size >=3"
+    );
     let n = num_caves * cave_size;
     let mut b = GraphBuilder::with_capacity(n, num_caves * cave_size * cave_size / 2);
     for c in 0..num_caves {

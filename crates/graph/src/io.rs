@@ -113,7 +113,10 @@ pub fn read_edge_list(r: impl Read, opts: EdgeListOptions) -> Result<Graph, IoEr
 }
 
 /// Reads an edge list from a file path.
-pub fn read_edge_list_file(path: impl AsRef<Path>, opts: EdgeListOptions) -> Result<Graph, IoError> {
+pub fn read_edge_list_file(
+    path: impl AsRef<Path>,
+    opts: EdgeListOptions,
+) -> Result<Graph, IoError> {
     read_edge_list(std::fs::File::open(path)?, opts)
 }
 

@@ -126,7 +126,7 @@ pub fn hash_partition(num_vertices: usize, k: usize) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::{star, community_powerlaw, CommunityPowerLawConfig};
+    use crate::gen::{community_powerlaw, star, CommunityPowerLawConfig};
 
     #[test]
     fn ranges_cover_all_vertices_and_edges() {

@@ -1,0 +1,104 @@
+//! Service configuration.
+
+use glp_fraud::PipelineConfig;
+use std::time::Duration;
+
+/// What to do when a transaction arrives and the ingest queue is full.
+///
+/// Shedding is always **counted** (see
+/// [`Telemetry`](crate::telemetry::Telemetry)); the service never drops
+/// load silently and never blocks the producer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Evict the oldest queued transaction to make room for the new one.
+    /// Keeps the window maximally fresh under overload at the cost of a
+    /// gap in the oldest unprocessed data.
+    DropOldest,
+    /// Refuse the new transaction and tell the caller. Keeps the queue's
+    /// contents intact; the producer decides whether to retry.
+    RejectNew,
+}
+
+/// Tuning knobs for [`FraudService`](crate::FraudService).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bound of the ingest queue (transactions). When full, the
+    /// [`ShedPolicy`] applies — this is the service's backpressure.
+    pub queue_capacity: usize,
+    /// Micro-batch size cap: the ingest stage drains at most this many
+    /// transactions per batch.
+    pub max_batch: usize,
+    /// Micro-batch time budget: after the first transaction of a batch
+    /// arrives, the batcher waits at most this long for more before
+    /// applying what it has.
+    pub batch_budget: Duration,
+    /// Overload behaviour of the ingest queue.
+    pub shed_policy: ShedPolicy,
+    /// Sliding-window length in days (mirrors
+    /// [`PipelineConfig::window_days`], which is kept in sync).
+    pub window_days: u32,
+    /// Recluster after this many applied batches (the freshness cadence).
+    pub recluster_every_batches: u64,
+    /// Hard staleness bound, in batches: when the published snapshot
+    /// falls this far behind the window, the batcher stops applying and
+    /// waits for the recluster to catch up. The queue then absorbs the
+    /// offered load until the [`ShedPolicy`] kicks in — overload turns
+    /// into *counted shedding with fresh-enough verdicts*, never into
+    /// unboundedly stale verdicts.
+    pub max_staleness_batches: u64,
+    /// LP + scoring parameters, reusing the offline pipeline's stage 2–3
+    /// configuration verbatim so online and offline verdicts agree.
+    pub pipeline: PipelineConfig,
+    /// Harness OS threads per LP kernel (0 = auto). Engine results are
+    /// bit-deterministic across shard counts, which the determinism test
+    /// pins end to end.
+    pub engine_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let pipeline = PipelineConfig::default();
+        Self {
+            queue_capacity: 4_096,
+            max_batch: 512,
+            batch_budget: Duration::from_millis(5),
+            shed_policy: ShedPolicy::DropOldest,
+            window_days: pipeline.window_days,
+            recluster_every_batches: 8,
+            max_staleness_batches: 32,
+            pipeline,
+            engine_shards: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the window length on both the service and the embedded
+    /// pipeline configuration (they must agree).
+    pub fn with_window_days(mut self, days: u32) -> Self {
+        self.window_days = days;
+        self.pipeline.window_days = days;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.window_days, cfg.pipeline.window_days);
+        assert!(cfg.queue_capacity >= cfg.max_batch);
+        assert!(cfg.recluster_every_batches >= 1);
+        assert!(cfg.max_staleness_batches >= cfg.recluster_every_batches);
+    }
+
+    #[test]
+    fn with_window_days_keeps_pipeline_in_sync() {
+        let cfg = ServeConfig::default().with_window_days(10);
+        assert_eq!(cfg.window_days, 10);
+        assert_eq!(cfg.pipeline.window_days, 10);
+    }
+}

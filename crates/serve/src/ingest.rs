@@ -1,0 +1,228 @@
+//! The ingest stage: a bounded queue with explicit backpressure in front
+//! of a micro-batcher.
+//!
+//! Producers submit transactions through [`IngestGate`]; the queue bound
+//! is the service's only buffer, so overload is confronted immediately at
+//! the door and handled by the configured [`ShedPolicy`] — **counted**,
+//! never silent, and never by blocking the producer. The batch loop
+//! drains the queue into micro-batches shaped by both a size cap and a
+//! time budget: under load batches fill to `max_batch` (amortizing the
+//! window lock), when traffic is thin the budget bounds how long a lone
+//! transaction waits before it is applied.
+
+use crate::config::ShedPolicy;
+use crate::telemetry::Telemetry;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use glp_fraud::Transaction;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A transaction stamped at submission, so the batcher can charge the
+/// full queue wait to the ingest-lag histogram.
+#[derive(Clone, Copy, Debug)]
+pub struct Submitted {
+    /// The transaction itself.
+    pub tx: Transaction,
+    /// When the producer handed it over.
+    pub at: Instant,
+}
+
+/// Creates the ingest pair: the producer-facing gate and the
+/// batcher-facing drain.
+pub fn ingest_pair(
+    capacity: usize,
+    policy: ShedPolicy,
+    telemetry: Arc<Telemetry>,
+) -> (IngestGate, Receiver<Submitted>) {
+    let (tx, rx) = bounded(capacity);
+    (
+        IngestGate {
+            tx,
+            evict: rx.clone(),
+            policy,
+            telemetry,
+        },
+        rx,
+    )
+}
+
+/// Producer-facing submission point. Cloneable; one per producer thread.
+#[derive(Clone)]
+pub struct IngestGate {
+    tx: Sender<Submitted>,
+    /// Second receiver on the same queue, used only to evict under
+    /// [`ShedPolicy::DropOldest`] (the queue is MPMC, so eviction is just
+    /// a competing consumer).
+    evict: Receiver<Submitted>,
+    policy: ShedPolicy,
+    telemetry: Arc<Telemetry>,
+}
+
+impl IngestGate {
+    /// Submits one transaction. Never blocks. `Err` returns the
+    /// transaction when it was rejected ([`ShedPolicy::RejectNew`] with a
+    /// full queue, or the service is shut down).
+    pub fn submit(&self, tx: Transaction) -> Result<(), Transaction> {
+        let mut item = Submitted {
+            tx,
+            at: Instant::now(),
+        };
+        loop {
+            match self.tx.try_send(item) {
+                Ok(()) => {
+                    self.telemetry.ingested.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(TrySendError::Disconnected(s)) => return Err(s.tx),
+                Err(TrySendError::Full(s)) => match self.policy {
+                    ShedPolicy::RejectNew => {
+                        self.telemetry
+                            .shed_rejected_new
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(s.tx);
+                    }
+                    ShedPolicy::DropOldest => {
+                        // Evict the head to make room; if the batcher
+                        // raced us and drained it already, just retry.
+                        if self.evict.try_recv().is_ok() {
+                            self.telemetry
+                                .shed_dropped_oldest
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        item = s;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Transactions currently queued (diagnostic).
+    pub fn queued(&self) -> usize {
+        self.tx.len()
+    }
+}
+
+/// Drains a receiver into micro-batches.
+pub struct Batcher {
+    rx: Receiver<Submitted>,
+    max_batch: usize,
+    budget: Duration,
+}
+
+/// The ingest channel closed: every gate is gone and the queue drained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Closed;
+
+impl Batcher {
+    /// A batcher over `rx` with the given size cap and time budget.
+    pub fn new(rx: Receiver<Submitted>, max_batch: usize, budget: Duration) -> Self {
+        assert!(max_batch >= 1, "batches need at least one transaction");
+        Self {
+            rx,
+            max_batch,
+            budget,
+        }
+    }
+
+    /// The next micro-batch: waits up to the budget for a first
+    /// transaction (an empty batch means an idle tick — callers loop),
+    /// then drains greedily until the size cap or until the budget from
+    /// the first arrival elapses with the queue empty.
+    pub fn next_batch(&self) -> Result<Vec<Submitted>, Closed> {
+        let first = match self.rx.recv_timeout(self.budget) {
+            Ok(s) => s,
+            Err(RecvTimeoutError::Timeout) => return Ok(Vec::new()),
+            Err(RecvTimeoutError::Disconnected) => return Err(Closed),
+        };
+        let deadline = Instant::now() + self.budget;
+        let mut batch = Vec::with_capacity(self.max_batch.min(64));
+        batch.push(first);
+        while batch.len() < self.max_batch {
+            match self.rx.try_recv() {
+                Ok(s) => batch.push(s),
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match self.rx.recv_timeout(deadline - now) {
+                        Ok(s) => batch.push(s),
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        Ok(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(day: u32) -> Transaction {
+        Transaction {
+            buyer: 1,
+            item: 2,
+            day,
+            amount: 1.0,
+        }
+    }
+
+    fn pair(
+        capacity: usize,
+        policy: ShedPolicy,
+    ) -> (IngestGate, Receiver<Submitted>, Arc<Telemetry>) {
+        let t = Arc::new(Telemetry::new());
+        let (gate, rx) = ingest_pair(capacity, policy, Arc::clone(&t));
+        (gate, rx, t)
+    }
+
+    #[test]
+    fn reject_new_counts_and_returns_the_transaction() {
+        let (gate, _rx, t) = pair(2, ShedPolicy::RejectNew);
+        gate.submit(tx(0)).unwrap();
+        gate.submit(tx(1)).unwrap();
+        let rejected = gate.submit(tx(2)).unwrap_err();
+        assert_eq!(rejected.day, 2);
+        assert_eq!(t.shed_rejected_new.load(Ordering::Relaxed), 1);
+        assert_eq!(t.ingested.load(Ordering::Relaxed), 2);
+        assert_eq!(gate.queued(), 2);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_freshest_and_counts() {
+        let (gate, rx, t) = pair(2, ShedPolicy::DropOldest);
+        gate.submit(tx(0)).unwrap();
+        gate.submit(tx(1)).unwrap();
+        gate.submit(tx(2)).unwrap(); // evicts day 0
+        assert_eq!(t.shed_dropped_oldest.load(Ordering::Relaxed), 1);
+        assert_eq!(t.ingested.load(Ordering::Relaxed), 3);
+        let days: Vec<u32> = (0..2).map(|_| rx.try_recv().unwrap().tx.day).collect();
+        assert_eq!(days, vec![1, 2]);
+    }
+
+    #[test]
+    fn batcher_caps_by_count() {
+        let (gate, rx, _t) = pair(16, ShedPolicy::RejectNew);
+        for d in 0..10 {
+            gate.submit(tx(d)).unwrap();
+        }
+        let b = Batcher::new(rx, 4, Duration::from_millis(50));
+        let batch = b.next_batch().unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(b.next_batch().unwrap().len(), 4);
+        assert_eq!(b.next_batch().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn batcher_idle_tick_is_empty_and_closure_is_reported() {
+        let (gate, rx, _t) = pair(4, ShedPolicy::RejectNew);
+        let b = Batcher::new(rx, 4, Duration::from_millis(5));
+        assert!(b.next_batch().unwrap().is_empty());
+        drop(gate);
+        assert!(matches!(b.next_batch(), Err(Closed)));
+    }
+}

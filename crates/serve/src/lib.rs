@@ -1,0 +1,59 @@
+//! # glp-serve — the always-on fraud-scoring service
+//!
+//! The paper's deployment story (§1, §5.4) is a *pipeline*: sliding
+//! windows are rebuilt, LP reclusters them, downstream models read the
+//! verdicts. This crate packages that pipeline as a real-time service —
+//! the shape the production system at the paper's partner actually runs —
+//! on top of the workspace's existing pieces:
+//!
+//! ```text
+//!  producers ──▶ [bounded queue] ──▶ batcher ──▶ IncrementalWindow
+//!      │  shed (counted:              │ micro-batches        │ materialize
+//!      │  drop-oldest / reject-new)   │                      ▼ (short lock)
+//!      ▼                              │             recluster thread
+//!   Err(tx) back to producer         poke ─────────▶  LP + scoring
+//!                                                          │ publish
+//!  queries ◀── QueryHandle ◀── EpochCell<VerdictSnapshot> ◀┘ (Arc swap)
+//! ```
+//!
+//! Three stages, three guarantees:
+//!
+//! * **Ingest** ([`ingest`]) — a bounded crossbeam channel drained into
+//!   micro-batches by size cap and time budget, applied to an
+//!   [`IncrementalWindow`](glp_fraud::IncrementalWindow) via
+//!   `apply_batch`. Overload is explicit: the [`ShedPolicy`] either
+//!   drops the oldest queued transaction or rejects the new one, always
+//!   counted in [`Telemetry`], never silent, never blocking producers.
+//! * **Recluster** ([`recluster`]) — seeded/weighted LP through the
+//!   existing [`GpuEngine`](glp_core::engine::GpuEngine) dispatch on a
+//!   materialized snapshot, publishing verdicts through an epoch-swapped
+//!   double buffer ([`swap::EpochCell`]). Queries observe LP results;
+//!   they never wait on LP.
+//! * **Query** ([`query`]) — a plain in-process trait ([`FraudScorer`])
+//!   over immutable [`VerdictSnapshot`]s; no network, no async runtime,
+//!   just threads and channels.
+//!
+//! [`telemetry`] keeps monotonic counters and HDR-style log-bucketed
+//! latency histograms (ingest lag, batch size, recluster wall time,
+//! query p50/p95/p99, shed counts) exportable as JSON, plus the GPU
+//! [`KernelCounters`](glp_gpusim::KernelCounters) of every recluster.
+//!
+//! The bit-determinism of the underlying engine carries through: the
+//! same transaction stream at the same batch boundaries produces
+//! byte-identical verdict snapshots regardless of engine shard count
+//! (pinned in `tests/determinism.rs`).
+
+pub mod config;
+pub mod ingest;
+pub mod query;
+pub mod recluster;
+pub mod service;
+pub mod swap;
+pub mod telemetry;
+
+pub use config::{ServeConfig, ShedPolicy};
+pub use ingest::{Batcher, IngestGate, Submitted};
+pub use query::{FraudScorer, Verdict, VerdictSnapshot};
+pub use recluster::recluster;
+pub use service::{FraudService, QueryHandle, ServiceCore};
+pub use telemetry::{Histogram, Telemetry};

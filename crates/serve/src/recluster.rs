@@ -1,0 +1,137 @@
+//! The recluster stage: snapshot → seeded/weighted LP → scored verdicts.
+//!
+//! Runs entirely on a private, immutable [`WindowWorkload`] materialized
+//! from the live window (the only shared-state touch is the short lock
+//! that materializes it — see [`service`](crate::service)). LP and
+//! scoring reuse the offline pipeline's stages 2–3 verbatim via
+//! [`FraudPipeline::score`], so a verdict served online is the same
+//! verdict the nightly batch job would have produced for the same window.
+
+use crate::config::ServeConfig;
+use crate::query::VerdictSnapshot;
+use glp_core::engine::{GpuEngine, GpuEngineConfig};
+use glp_core::{LpRunReport, WeightedLp};
+use glp_fraud::{FraudPipeline, WindowWorkload};
+use glp_gpusim::Device;
+use glp_graph::VertexId;
+use std::collections::HashMap;
+
+/// Scores `workload` from the blacklist seeds and resolves everything to
+/// plain user ids. `as_of_batch` is bookkeeping stamped into the
+/// snapshot (how many micro-batches the window had absorbed when it was
+/// materialized).
+pub fn recluster(
+    workload: &WindowWorkload,
+    blacklist: &[u32],
+    cfg: &ServeConfig,
+    as_of_batch: u64,
+    window_end: u32,
+) -> (VerdictSnapshot, LpRunReport) {
+    // Seeds: black-listed users actually present in this window.
+    let mut seeds: Vec<VertexId> = blacklist
+        .iter()
+        .filter_map(|u| workload.user_vertex.get(u).copied())
+        .collect();
+    seeds.sort_unstable();
+
+    let mut prog = WeightedLp::from_graph(&workload.graph, cfg.pipeline.lp_iterations)
+        .with_retention(cfg.pipeline.retention);
+    let mut engine = GpuEngine::new(
+        Device::titan_v(),
+        GpuEngineConfig {
+            shards: cfg.engine_shards,
+            ..GpuEngineConfig::default()
+        },
+    );
+    let report = engine.run(&workload.graph, &mut prog);
+
+    let pipe = FraudPipeline::new(cfg.pipeline.clone());
+    let clusters = pipe.score(workload, &prog, &seeds);
+
+    let vertex_user: HashMap<VertexId, u32> =
+        workload.user_vertex.iter().map(|(&u, &v)| (v, u)).collect();
+    let mut flagged: Vec<(u32, u32, f64)> = clusters
+        .iter()
+        .flat_map(|c| {
+            c.users
+                .iter()
+                .filter_map(|v| vertex_user.get(v).map(|&u| (u, c.label, c.score)))
+        })
+        .collect();
+    // Clusters partition users by label, so users are unique; sorting by
+    // user id makes the snapshot canonical regardless of cluster
+    // iteration order.
+    flagged.sort_unstable_by_key(|a| a.0);
+    let mut known_users: Vec<u32> = workload.user_vertex.keys().copied().collect();
+    known_users.sort_unstable();
+
+    let snapshot = VerdictSnapshot {
+        window_end,
+        as_of_batch,
+        known_users,
+        flagged,
+        graph_vertices: workload.graph.num_vertices(),
+        graph_edges: workload.graph.num_edges(),
+        lp_iterations: report.iterations,
+        gpu_counters: report.gpu_counters,
+    };
+    (snapshot, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Verdict;
+    use glp_fraud::{TxConfig, TxStream};
+
+    fn stream() -> TxStream {
+        TxStream::generate(&TxConfig {
+            num_users: 1_500,
+            num_items: 600,
+            days: 30,
+            tx_per_day: 900,
+            num_rings: 3,
+            ring_size: 12,
+            ring_tx_per_day: 40,
+            blacklist_fraction: 0.25,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn recluster_flags_ring_members() {
+        let s = stream();
+        let cfg = ServeConfig::default().with_window_days(20);
+        let workload = WindowWorkload::build(&s, 20);
+        let (snap, report) = recluster(&workload, &s.blacklist, &cfg, 3, s.config.days);
+        assert_eq!(snap.as_of_batch, 3);
+        assert_eq!(snap.window_end, s.config.days);
+        assert!(report.iterations > 0);
+        assert!(snap.num_flagged() > 0, "rings should be flagged");
+        // Flagged users are real ring members far more often than not.
+        let hits = snap
+            .flagged
+            .iter()
+            .filter(|&&(u, _, _)| s.ring_of[u as usize].is_some())
+            .count();
+        assert!(
+            hits * 2 > snap.num_flagged(),
+            "{hits}/{} flagged users in rings",
+            snap.num_flagged()
+        );
+        // And every flagged user gets a Flagged verdict back.
+        for &(u, _, _) in &snap.flagged {
+            assert!(matches!(snap.verdict(u), Verdict::Flagged { .. }));
+        }
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_for_a_fixed_window() {
+        let s = stream();
+        let cfg = ServeConfig::default().with_window_days(15);
+        let workload = WindowWorkload::build(&s, 15);
+        let (a, _) = recluster(&workload, &s.blacklist, &cfg, 0, s.config.days);
+        let (b, _) = recluster(&workload, &s.blacklist, &cfg, 7, s.config.days);
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+    }
+}

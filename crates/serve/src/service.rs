@@ -1,0 +1,484 @@
+//! The always-on service: ingest → window → recluster → verdicts, wired
+//! together with plain threads and channels.
+//!
+//! Two layers:
+//!
+//! * [`ServiceCore`] — the synchronous heart: apply a micro-batch, run a
+//!   recluster, look up a verdict. No threads of its own; tests and the
+//!   determinism suite drive it step by step.
+//! * [`FraudService`] — the threaded shell: a **batcher** thread drains
+//!   the ingest queue into micro-batches and applies them, and a
+//!   **recluster** thread rebuilds verdicts when poked. Requests to
+//!   recluster travel over a capacity-1 channel: if one is already in
+//!   flight the request coalesces (counted), so recluster work can never
+//!   queue up behind itself.
+//!
+//! Shared state is exactly two cells: the window behind a `Mutex` (held
+//! only to apply a batch or clone out a materialization) and the verdict
+//! snapshot behind an [`EpochCell`] (pointer swap). Queries touch only
+//! the latter — a query observes LP results, it never waits on LP.
+
+use crate::config::ServeConfig;
+use crate::ingest::{ingest_pair, Batcher, Closed, IngestGate, Submitted};
+use crate::query::{FraudScorer, Verdict, VerdictSnapshot};
+use crate::recluster::recluster;
+use crate::swap::EpochCell;
+use crate::telemetry::Telemetry;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use glp_fraud::{IncrementalWindow, Transaction};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// The synchronous scoring core shared by the service threads, the
+/// tests, and the bench harness's calibration phase.
+pub struct ServiceCore {
+    cfg: ServeConfig,
+    window: Mutex<IncrementalWindow>,
+    blacklist: Vec<u32>,
+    verdicts: EpochCell<VerdictSnapshot>,
+    telemetry: Arc<Telemetry>,
+    batches_applied: AtomicU64,
+}
+
+impl ServiceCore {
+    /// A core with an empty window and the given blacklist seeds.
+    pub fn new(cfg: ServeConfig, blacklist: Vec<u32>) -> Self {
+        Self {
+            window: Mutex::new(IncrementalWindow::empty(cfg.window_days)),
+            cfg,
+            blacklist,
+            verdicts: EpochCell::new(VerdictSnapshot::default()),
+            telemetry: Arc::new(Telemetry::new()),
+            batches_applied: AtomicU64::new(0),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The telemetry block.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Micro-batches applied so far.
+    pub fn batches_applied(&self) -> u64 {
+        self.batches_applied.load(Ordering::Relaxed)
+    }
+
+    /// Batches applied since the current snapshot was materialized — the
+    /// live staleness, bounded by `recluster_every_batches` plus one
+    /// in-flight recluster whenever the recluster thread keeps up.
+    pub fn staleness_batches(&self) -> u64 {
+        self.batches_applied()
+            .saturating_sub(self.verdicts.load().as_of_batch)
+    }
+
+    /// Applies one stamped micro-batch to the window and records ingest
+    /// telemetry. Returns the new applied-batch count.
+    pub fn apply(&self, batch: &[Submitted]) -> u64 {
+        if batch.is_empty() {
+            return self.batches_applied();
+        }
+        let txs: Vec<Transaction> = batch.iter().map(|s| s.tx).collect();
+        {
+            let mut w = self.window.lock().expect("window poisoned");
+            w.apply_batch(&txs);
+        }
+        let applied = Instant::now();
+        for s in batch {
+            let lag = applied.duration_since(s.at).as_nanos() as u64;
+            self.telemetry.ingest_lag.record(lag);
+        }
+        self.telemetry.batch_size.record(batch.len() as u64);
+        self.telemetry.batches.fetch_add(1, Ordering::Relaxed);
+        self.batches_applied.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Convenience for synchronous callers: stamps and applies raw
+    /// transactions as one micro-batch.
+    pub fn apply_transactions(&self, txs: &[Transaction]) -> u64 {
+        let now = Instant::now();
+        let batch: Vec<Submitted> = txs.iter().map(|&tx| Submitted { tx, at: now }).collect();
+        self.apply(&batch)
+    }
+
+    /// Materializes the current window, reclusters it, and publishes the
+    /// verdict snapshot. The window lock is held only for the
+    /// materialization (a replay of the live log); LP and scoring run on
+    /// the private copy.
+    pub fn recluster_now(&self) {
+        let started = Instant::now();
+        let (workload, window_end, as_of) = {
+            let w = self.window.lock().expect("window poisoned");
+            (
+                w.materialize(),
+                w.end(),
+                self.batches_applied.load(Ordering::Relaxed),
+            )
+        };
+        let snapshot = if workload.graph.num_vertices() == 0 {
+            // Nothing to cluster yet: publish the empty scoring.
+            VerdictSnapshot {
+                window_end,
+                as_of_batch: as_of,
+                ..VerdictSnapshot::default()
+            }
+        } else {
+            let (snapshot, report) =
+                recluster(&workload, &self.blacklist, &self.cfg, as_of, window_end);
+            self.telemetry.merge_gpu(&report.gpu_counters);
+            snapshot
+        };
+        self.verdicts.publish(snapshot);
+        self.telemetry.reclusters.fetch_add(1, Ordering::Relaxed);
+        self.telemetry
+            .recluster_wall
+            .record(started.elapsed().as_nanos() as u64);
+    }
+
+    /// The freshest published snapshot.
+    pub fn snapshot(&self) -> Arc<VerdictSnapshot> {
+        self.verdicts.load()
+    }
+
+    /// Snapshots published so far.
+    pub fn epoch(&self) -> u64 {
+        self.verdicts.epoch()
+    }
+}
+
+/// A cloneable, read-only scoring handle: the in-process query
+/// front-end. Lookups are two binary searches against an immutable
+/// snapshot — they never contend with ingest or reclustering beyond a
+/// pointer-clone.
+#[derive(Clone)]
+pub struct QueryHandle {
+    core: Arc<ServiceCore>,
+}
+
+impl FraudScorer for QueryHandle {
+    fn score(&self, user: u32) -> Verdict {
+        let t0 = Instant::now();
+        let v = self.core.verdicts.load().verdict(user);
+        self.core
+            .telemetry
+            .query_latency
+            .record(t0.elapsed().as_nanos() as u64);
+        self.core.telemetry.queries.fetch_add(1, Ordering::Relaxed);
+        v
+    }
+
+    fn snapshot(&self) -> Arc<VerdictSnapshot> {
+        self.core.verdicts.load()
+    }
+}
+
+/// The threaded always-on service.
+pub struct FraudService {
+    core: Arc<ServiceCore>,
+    gate: IngestGate,
+    recluster_tx: Sender<()>,
+    batcher: Option<JoinHandle<()>>,
+    recluster_worker: Option<JoinHandle<()>>,
+}
+
+impl FraudService {
+    /// Starts the service: spawns the batcher and recluster threads.
+    pub fn start(cfg: ServeConfig, blacklist: Vec<u32>) -> Self {
+        let core = Arc::new(ServiceCore::new(cfg.clone(), blacklist));
+        let (gate, batch_rx) = ingest_pair(
+            cfg.queue_capacity,
+            cfg.shed_policy,
+            Arc::clone(core.telemetry()),
+        );
+        // Capacity 1: at most one recluster pending beyond the one in
+        // flight; further requests coalesce.
+        let (recluster_tx, recluster_rx): (Sender<()>, Receiver<()>) = bounded(1);
+
+        let batcher = {
+            let core = Arc::clone(&core);
+            let recluster_tx = recluster_tx.clone();
+            let batcher = Batcher::new(batch_rx, cfg.max_batch, cfg.batch_budget);
+            thread::spawn(move || batch_loop(&core, &batcher, &recluster_tx))
+        };
+        let recluster_worker = {
+            let core = Arc::clone(&core);
+            thread::spawn(move || {
+                while recluster_rx.recv().is_ok() {
+                    core.recluster_now();
+                }
+            })
+        };
+        Self {
+            core,
+            gate,
+            recluster_tx,
+            batcher: Some(batcher),
+            recluster_worker: Some(recluster_worker),
+        }
+    }
+
+    /// A producer-side submission gate (cloneable).
+    pub fn gate(&self) -> IngestGate {
+        self.gate.clone()
+    }
+
+    /// Submits one transaction through the service's own gate.
+    pub fn submit(&self, tx: Transaction) -> Result<(), Transaction> {
+        self.gate.submit(tx)
+    }
+
+    /// A query handle (cloneable).
+    pub fn handle(&self) -> QueryHandle {
+        QueryHandle {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// The synchronous core (telemetry, staleness, snapshots).
+    pub fn core(&self) -> &Arc<ServiceCore> {
+        &self.core
+    }
+
+    /// Asks the recluster thread for a fresh snapshot now. Coalesces
+    /// (counted) if one is already pending.
+    pub fn force_recluster(&self) {
+        match self.recluster_tx.try_send(()) {
+            Ok(()) | Err(TrySendError::Disconnected(())) => {}
+            Err(TrySendError::Full(())) => {
+                self.core
+                    .telemetry
+                    .reclusters_coalesced
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Stops the service: closes the ingest queue, lets the batcher
+    /// drain what is already queued, runs one final recluster so the
+    /// last batches are scored, and joins both threads. Any gates cloned
+    /// out of the service must be dropped first, or the queue never
+    /// reads as closed.
+    pub fn shutdown(mut self) -> Arc<ServiceCore> {
+        drop(self.gate);
+        if let Some(h) = self.batcher.take() {
+            h.join().expect("batcher panicked");
+        }
+        drop(self.recluster_tx);
+        if let Some(h) = self.recluster_worker.take() {
+            h.join().expect("recluster worker panicked");
+        }
+        self.core.recluster_now();
+        Arc::clone(&self.core)
+    }
+}
+
+fn request_recluster(core: &ServiceCore, recluster_tx: &Sender<()>) {
+    match recluster_tx.try_send(()) {
+        Ok(()) | Err(TrySendError::Disconnected(())) => {}
+        Err(TrySendError::Full(())) => {
+            core.telemetry
+                .reclusters_coalesced
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn batch_loop(core: &ServiceCore, batcher: &Batcher, recluster_tx: &Sender<()>) {
+    loop {
+        // Staleness gate: if verdicts have fallen max_staleness_batches
+        // behind the window, stop applying until the recluster thread
+        // catches up. The queue keeps absorbing traffic meanwhile and
+        // sheds (counted) once full — bounded staleness turns overload
+        // into backpressure instead of ever-staler answers.
+        while core.staleness_batches() >= core.cfg.max_staleness_batches {
+            request_recluster(core, recluster_tx);
+            thread::sleep(std::time::Duration::from_micros(200));
+        }
+        match batcher.next_batch() {
+            Err(Closed) => return,
+            Ok(batch) => {
+                if batch.is_empty() {
+                    continue; // idle tick
+                }
+                let applied = core.apply(&batch);
+                if applied.is_multiple_of(core.cfg.recluster_every_batches) {
+                    request_recluster(core, recluster_tx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShedPolicy;
+    use glp_fraud::{TxConfig, TxStream};
+    use std::time::Duration;
+
+    fn stream() -> TxStream {
+        TxStream::generate(&TxConfig {
+            num_users: 1_000,
+            num_items: 400,
+            days: 20,
+            tx_per_day: 600,
+            num_rings: 3,
+            ring_size: 10,
+            ring_tx_per_day: 30,
+            blacklist_fraction: 0.25,
+            ..Default::default()
+        })
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 8_192,
+            max_batch: 256,
+            batch_budget: Duration::from_millis(2),
+            shed_policy: ShedPolicy::DropOldest,
+            recluster_every_batches: 4,
+            engine_shards: 2,
+            ..ServeConfig::default()
+        }
+        .with_window_days(10)
+    }
+
+    #[test]
+    fn core_scores_like_the_offline_pipeline_would() {
+        let s = stream();
+        let core = ServiceCore::new(cfg(), s.blacklist.clone());
+        for day in 0..s.config.days {
+            let txs: Vec<Transaction> = s.window(day, day + 1).copied().collect();
+            core.apply_transactions(&txs);
+        }
+        core.recluster_now();
+        let snap = core.snapshot();
+        assert_eq!(snap.window_end, s.config.days);
+        assert!(snap.num_flagged() > 0, "rings should be flagged");
+        assert_eq!(core.epoch(), 1);
+        assert_eq!(core.staleness_batches(), 0);
+    }
+
+    #[test]
+    fn threaded_service_end_to_end() {
+        let s = stream();
+        let service = FraudService::start(cfg(), s.blacklist.clone());
+        let handle = service.handle();
+        for t in s.window(0, s.config.days) {
+            service.submit(*t).expect("service accepts while running");
+        }
+        let core = service.shutdown();
+        // Shutdown drains the queue and reclusters once more, so every
+        // submitted transaction is scored.
+        let snap = core.snapshot();
+        assert_eq!(snap.window_end, s.config.days);
+        assert!(snap.num_flagged() > 0);
+        let flagged_user = snap.flagged[0].0;
+        assert!(matches!(
+            handle.score(flagged_user),
+            Verdict::Flagged { .. }
+        ));
+        let t = core.telemetry();
+        assert!(t.batches.load(Ordering::Relaxed) > 0);
+        assert!(t.ingest_lag.count() > 0);
+        assert_eq!(
+            t.ingest_lag.count(),
+            t.ingested.load(Ordering::Relaxed) - t.shed_total()
+        );
+    }
+
+    #[test]
+    fn reject_new_backpressure_is_counted_and_nonblocking() {
+        // A tiny queue and a batcher that cannot keep up: submissions
+        // must return (not block) and shed must be counted.
+        let s = stream();
+        let mut c = cfg();
+        c.queue_capacity = 64;
+        c.shed_policy = ShedPolicy::RejectNew;
+        let service = FraudService::start(c, s.blacklist.clone());
+        let mut rejected = 0u64;
+        for t in s.window(0, s.config.days) {
+            if service.submit(*t).is_err() {
+                rejected += 1;
+            }
+        }
+        let core = service.shutdown();
+        let t = core.telemetry();
+        assert_eq!(t.shed_rejected_new.load(Ordering::Relaxed), rejected);
+        assert_eq!(t.shed_dropped_oldest.load(Ordering::Relaxed), 0);
+        // Accepted = submitted - rejected, and all accepted were applied.
+        assert_eq!(
+            t.ingested.load(Ordering::Relaxed) + rejected,
+            s.window(0, s.config.days).count() as u64
+        );
+        assert_eq!(t.ingest_lag.count(), t.ingested.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn staleness_gate_bounds_staleness_and_sheds_under_overload() {
+        // Cadence of 1 and a staleness bound of 1: every batch must be
+        // reclustered before the next applies. The batcher is therefore
+        // slower than the producer, the tiny queue fills, and overload
+        // surfaces as counted rejections — not as stale verdicts.
+        let s = stream();
+        let mut c = cfg();
+        c.queue_capacity = 64;
+        c.max_batch = 64;
+        c.shed_policy = ShedPolicy::RejectNew;
+        c.recluster_every_batches = 1;
+        c.max_staleness_batches = 1;
+        let service = FraudService::start(c, s.blacklist.clone());
+        let mut rejected = 0u64;
+        for t in s.window(0, s.config.days) {
+            if service.submit(*t).is_err() {
+                rejected += 1;
+            }
+        }
+        let core = service.shutdown();
+        let t = core.telemetry();
+        assert!(rejected > 0, "overload should shed");
+        assert_eq!(t.shed_rejected_new.load(Ordering::Relaxed), rejected);
+        assert!(t.reclusters.load(Ordering::Relaxed) > 0);
+        assert_eq!(core.staleness_batches(), 0, "shutdown reclusters last");
+    }
+
+    #[test]
+    fn queries_never_block_on_reclustering() {
+        let s = stream();
+        let core = ServiceCore::new(cfg(), s.blacklist.clone());
+        let all: Vec<Transaction> = s.window(0, s.config.days).copied().collect();
+        core.apply_transactions(&all);
+        core.recluster_now();
+        let core = Arc::new(core);
+        let handle = QueryHandle {
+            core: Arc::clone(&core),
+        };
+        // Hammer queries from this thread while a recluster runs in
+        // another; every query must complete well inside the recluster's
+        // wall time.
+        let reclusterer = {
+            let core = Arc::clone(&core);
+            thread::spawn(move || {
+                for _ in 0..3 {
+                    core.recluster_now();
+                }
+            })
+        };
+        for i in 0..50_000u32 {
+            let _ = handle.score(i % 1_000);
+        }
+        reclusterer.join().unwrap();
+        let t = core.telemetry();
+        assert_eq!(t.queries.load(Ordering::Relaxed), 50_000);
+        // p99 query latency stays microseconds even with reclusters
+        // running: pointer-clone + two binary searches.
+        let p99 = t.query_latency.quantile(0.99);
+        assert!(p99 < 1_000_000, "p99 query latency {p99} ns");
+    }
+}

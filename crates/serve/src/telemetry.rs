@@ -1,0 +1,270 @@
+//! Service telemetry: monotonic counters and log-bucketed latency
+//! histograms, cheap enough to record on every event and exportable as
+//! JSON for dashboards and the bench harness.
+//!
+//! Histograms are HDR-style: 64 power-of-two buckets indexed by
+//! `floor(log2(value))`, so recording is one atomic increment and
+//! quantiles are exact to within a factor of two (reported at the
+//! geometric midpoint of the winning bucket). That resolution is the
+//! right trade for a hot path — recording must never contend, and
+//! latency SLOs care about orders of magnitude, not microseconds.
+
+use glp_gpusim::KernelCounters;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const BUCKETS: usize = 64;
+
+/// Lock-free log₂-bucketed histogram of `u64` samples (typically
+/// nanoseconds; the batch-size histogram records counts).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        // 0 and 1 share bucket 0; otherwise floor(log2(value)).
+        (63 - value.max(1).leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest sample recorded (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), reported at the geometric
+    /// midpoint of the bucket containing it; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Bucket i spans [2^i, 2^(i+1)): report 1.5 * 2^i,
+                // clamped by the true maximum.
+                let mid = (1u64 << i) + (1u64 << i) / 2;
+                return mid.min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// `{count, mean, p50, p95, p99, max}` as JSON.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "count": self.count(),
+            "mean": self.mean(),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": self.max(),
+        })
+    }
+}
+
+/// All counters and histograms of one [`FraudService`](crate::FraudService).
+///
+/// Every field is updated with relaxed atomics (or a short mutex for the
+/// GPU counter merge, which happens once per recluster, off the query
+/// path). Readers see a consistent-enough view for monitoring; nothing
+/// here synchronizes the data path.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Transactions accepted into the ingest queue.
+    pub ingested: AtomicU64,
+    /// Transactions evicted under [`ShedPolicy::DropOldest`](crate::ShedPolicy).
+    pub shed_dropped_oldest: AtomicU64,
+    /// Transactions refused under [`ShedPolicy::RejectNew`](crate::ShedPolicy).
+    pub shed_rejected_new: AtomicU64,
+    /// Micro-batches applied to the window.
+    pub batches: AtomicU64,
+    /// Reclusters completed (= verdict snapshots published).
+    pub reclusters: AtomicU64,
+    /// Recluster requests coalesced because one was already in flight.
+    pub reclusters_coalesced: AtomicU64,
+    /// Queries served.
+    pub queries: AtomicU64,
+    /// Submit → batch-apply latency per transaction (ns).
+    pub ingest_lag: Histogram,
+    /// Applied micro-batch sizes (transactions).
+    pub batch_size: Histogram,
+    /// Wall time per recluster (ns).
+    pub recluster_wall: Histogram,
+    /// Query latency (ns).
+    pub query_latency: Histogram,
+    /// GPU event totals summed over every recluster's LP run.
+    pub gpu_totals: Mutex<KernelCounters>,
+}
+
+impl Telemetry {
+    /// A fresh, zeroed telemetry block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one recluster's kernel counters into the running totals.
+    pub fn merge_gpu(&self, counters: &KernelCounters) {
+        self.gpu_totals
+            .lock()
+            .expect("telemetry poisoned")
+            .merge(counters);
+    }
+
+    /// Total transactions shed under either policy.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_dropped_oldest.load(Ordering::Relaxed)
+            + self.shed_rejected_new.load(Ordering::Relaxed)
+    }
+
+    /// The full telemetry block as JSON (histogram values in ns unless
+    /// noted; `batch_size` in transactions).
+    pub fn to_json(&self) -> serde_json::Value {
+        let gpu = self.gpu_totals.lock().expect("telemetry poisoned");
+        serde_json::json!({
+            "ingested": self.ingested.load(Ordering::Relaxed),
+            "shed_dropped_oldest": self.shed_dropped_oldest.load(Ordering::Relaxed),
+            "shed_rejected_new": self.shed_rejected_new.load(Ordering::Relaxed),
+            "batches": self.batches.load(Ordering::Relaxed),
+            "reclusters": self.reclusters.load(Ordering::Relaxed),
+            "reclusters_coalesced": self.reclusters_coalesced.load(Ordering::Relaxed),
+            "queries": self.queries.load(Ordering::Relaxed),
+            "ingest_lag_ns": self.ingest_lag.to_json(),
+            "batch_size": self.batch_size.to_json(),
+            "recluster_wall_ns": self.recluster_wall.to_json(),
+            "query_latency_ns": self.query_latency.to_json(),
+            "gpu": serde_json::json!({
+                "global_read_sectors": gpu.global_read_sectors,
+                "global_write_sectors": gpu.global_write_sectors,
+                "global_atomics": gpu.global_atomics,
+                "shared_accesses": gpu.shared_accesses,
+                "warp_intrinsics": gpu.warp_intrinsics,
+                "kernel_launches": gpu.kernel_launches,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1_000); // bucket 9 (512..1024)
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // bucket 19
+        }
+        let p50 = h.quantile(0.50);
+        assert!((512..2048).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= 524_288, "p99 {p99}");
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let h = Histogram::new();
+        for v in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+            for _ in 0..20 {
+                h.record(v);
+            }
+        }
+        let mut prev = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile not monotone at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn zero_and_one_share_the_first_bucket() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) <= 1);
+    }
+
+    #[test]
+    fn telemetry_json_has_all_sections() {
+        let t = Telemetry::new();
+        t.ingested.fetch_add(3, Ordering::Relaxed);
+        t.query_latency.record(5_000);
+        let j = t.to_json();
+        for key in [
+            "ingested",
+            "shed_dropped_oldest",
+            "shed_rejected_new",
+            "batches",
+            "reclusters",
+            "queries",
+            "ingest_lag_ns",
+            "batch_size",
+            "recluster_wall_ns",
+            "query_latency_ns",
+            "gpu",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+}

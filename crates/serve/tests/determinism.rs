@@ -1,0 +1,64 @@
+//! Serving determinism: the same seeded stream, fed at the same
+//! micro-batch boundaries, must publish byte-identical verdict snapshots
+//! no matter how many worker threads the LP engine shards across. This
+//! lifts the engine's per-run bit-determinism guarantee up through the
+//! whole serving stack — window maintenance, materialization, LP,
+//! scoring, and snapshot encoding.
+
+use glp_fraud::{Transaction, TxConfig, TxStream};
+use glp_serve::{ServeConfig, ServiceCore};
+
+fn stream() -> TxStream {
+    TxStream::generate(&TxConfig {
+        num_users: 1_200,
+        num_items: 500,
+        days: 24,
+        tx_per_day: 700,
+        num_rings: 3,
+        ring_size: 10,
+        ring_tx_per_day: 30,
+        blacklist_fraction: 0.25,
+        ..Default::default()
+    })
+}
+
+/// Drives one core through the stream at fixed batch boundaries
+/// (`batch` transactions per apply), reclustering every 4 batches plus
+/// once at the end, and returns every published snapshot's canonical
+/// bytes.
+fn run(shards: usize, batch: usize) -> Vec<Vec<u8>> {
+    let s = stream();
+    let cfg = ServeConfig {
+        engine_shards: shards,
+        ..ServeConfig::default()
+    }
+    .with_window_days(10);
+    let core = ServiceCore::new(cfg, s.blacklist.clone());
+    let all: Vec<Transaction> = s.window(0, s.config.days).copied().collect();
+    let mut snapshots = Vec::new();
+    for (i, chunk) in all.chunks(batch).enumerate() {
+        core.apply_transactions(chunk);
+        if (i + 1) % 4 == 0 {
+            core.recluster_now();
+            snapshots.push(core.snapshot().canonical_bytes());
+        }
+    }
+    core.recluster_now();
+    snapshots.push(core.snapshot().canonical_bytes());
+    snapshots
+}
+
+#[test]
+fn verdicts_identical_across_1_2_4_worker_threads() {
+    let one = run(1, 500);
+    let two = run(2, 500);
+    let four = run(4, 500);
+    assert!(one.len() > 3, "expected several published snapshots");
+    assert_eq!(one, two, "1-thread vs 2-thread snapshots differ");
+    assert_eq!(one, four, "1-thread vs 4-thread snapshots differ");
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    assert_eq!(run(2, 500), run(2, 500));
+}

@@ -227,7 +227,10 @@ mod tests {
                 InsertOutcome::Added { .. } => {}
             }
         }
-        assert!(home_taken.is_some(), "some collision must occur in 1000 keys");
+        assert!(
+            home_taken.is_some(),
+            "some collision must occur in 1000 keys"
+        );
         assert!(ht.occupied() < 64);
     }
 

@@ -141,7 +141,10 @@ mod tests {
             for &l in &overflow {
                 cms.add(l, 1.0);
             }
-            let est_max = overflow.iter().map(|&l| cms.estimate(l)).fold(0.0, f64::max);
+            let est_max = overflow
+                .iter()
+                .map(|&l| cms.estimate(l))
+                .fold(0.0, f64::max);
             if est_max > f_max {
                 violations += 1;
             }

@@ -12,9 +12,9 @@
 use glp_suite::core::ordering::{avg_log_gap, llp_ordering};
 use glp_suite::graph::gen::{community_powerlaw, CommunityPowerLawConfig};
 use glp_suite::graph::VertexId;
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rand::rngs::StdRng;
 
 fn main() {
     let graph = community_powerlaw(&CommunityPowerLawConfig {

@@ -11,8 +11,8 @@
 
 use glp_suite::core::engine::{GpuEngineConfig, HybridEngine, MultiGpuEngine};
 use glp_suite::core::{ClassicLp, LpProgram};
-use glp_suite::graph::gen::{community_powerlaw, CommunityPowerLawConfig};
 use glp_suite::gpusim::{Device, DeviceConfig};
+use glp_suite::graph::gen::{community_powerlaw, CommunityPowerLawConfig};
 
 fn main() {
     let graph = community_powerlaw(&CommunityPowerLawConfig {

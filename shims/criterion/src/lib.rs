@@ -1,0 +1,195 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each registered benchmark for a short, fixed wall-clock budget and
+//! prints mean time per iteration. No statistics, no HTML reports, no
+//! baseline comparison — just enough to keep `cargo bench` compiling and
+//! producing a sanity-check timing line per benchmark.
+
+// Vendored stand-in for an external crate: exempt from workspace lints.
+#![allow(clippy::all)]
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (the real crate's is a
+/// compiler fence; the std hint is equivalent for our purposes).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Wall-clock budget per benchmark.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one("", name, self.budget, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility (the real crate tunes its sampling
+    /// plan; the shim's budget is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&self.name, &id.to_string(), self.budget, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.0, self.budget, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (`from_parameter` only).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl Display) -> Self {
+        Self(p.to_string())
+    }
+
+    pub fn new(function: impl Display, p: impl Display) -> Self {
+        Self(format!("{function}/{p}"))
+    }
+}
+
+/// Passed to the benchmark closure; `iter` measures the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm up once, then measure batches until the budget is spent.
+        black_box(routine());
+        let start = Instant::now();
+        let mut batch = 1u64;
+        while start.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += t.elapsed();
+            self.iterations += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, name: &str, budget: Duration, mut f: F) {
+    let mut b = Bencher {
+        budget,
+        ..Default::default()
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if b.iterations == 0 {
+        println!("bench {label}: routine never ran");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iterations as f64;
+    println!(
+        "bench {label}: {:.3} µs/iter ({} iters)",
+        per_iter * 1e6,
+        b.iterations
+    );
+}
+
+/// Collects benchmark functions under a group name, like the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut count = 0u64;
+        group.bench_function("noop", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+    }
+}

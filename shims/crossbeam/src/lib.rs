@@ -1,0 +1,352 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides [`channel`]: bounded MPMC channels with the crossbeam API
+//! surface the serving layer uses (`bounded`, blocking/non-blocking send
+//! and receive, receive with timeout, cloneable senders *and* receivers,
+//! disconnection semantics). Implemented over `Mutex` + `Condvar` rather
+//! than a lock-free ring — correctness and API fidelity matter here, peak
+//! throughput does not (the serving loop batches, so channel ops are not
+//! the hot path).
+
+// Vendored stand-in for an external crate: exempt from workspace lints.
+#![allow(clippy::all)]
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        capacity: usize,
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Creates a bounded MPMC channel of the given capacity (≥ 1).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity >= 1, "bounded channel needs capacity >= 1");
+        let shared = Arc::new(Shared {
+            capacity,
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (MPMC, like crossbeam).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The message could not be delivered.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Outcome of [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// All senders are gone and the queue is drained.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Outcome of [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room (or every receiver is dropped).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.queue.len() < self.shared.capacity {
+                    state.queue.push_back(value);
+                    drop(state);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.shared.not_full.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking send.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.queue.len() >= self.shared.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives (or every sender is dropped and
+        /// the queue drains).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _result) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel poisoned");
+                state = guard;
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn fifo_order() {
+            let (tx, rx) = bounded(8);
+            for i in 0..8 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..8 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        }
+
+        #[test]
+        fn try_send_full_and_drop_oldest_idiom() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            // Drop-oldest: pop one from a cloned receiver, retry.
+            let helper = rx.clone();
+            assert_eq!(helper.try_recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn recv_after_senders_gone_drains_then_disconnects() {
+            let (tx, rx) = bounded(4);
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = bounded(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            let handle = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                tx.send(9).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+            handle.join().unwrap();
+        }
+
+        #[test]
+        fn blocking_send_unblocks_on_recv() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let handle = thread::spawn(move || tx.send(2));
+            thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert!(handle.join().unwrap().is_ok());
+        }
+
+        #[test]
+        fn mpmc_distributes_all_messages() {
+            let (tx, rx) = bounded(16);
+            let mut handles = Vec::new();
+            for w in 0..4 {
+                let rx = rx.clone();
+                handles.push(thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    (w, got)
+                }));
+            }
+            drop(rx);
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut all: Vec<i32> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap().1)
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

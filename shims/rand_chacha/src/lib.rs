@@ -1,0 +1,154 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 keystream behind
+//! the [`rand::RngCore`] / [`rand::SeedableRng`] traits.
+//!
+//! Deterministic per seed (the workspace's generators and tests rely on
+//! that), but not bit-compatible with the real crate's word order — only
+//! self-consistency is pinned anywhere in the workspace.
+
+// Vendored stand-in for an external crate: exempt from workspace lints.
+#![allow(clippy::all)]
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+/// "expand 32-byte k" — the ChaCha constant words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+/// ChaCha8 keystream generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, key, block counter, nonce.
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next unread word of `block` (16 = exhausted).
+    cursor: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.block[i] = w[i].wrapping_add(self.state[i]);
+        }
+        self.cursor = 0;
+        // 64-bit block counter in words 12–13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    /// Expands the 64-bit seed into a 256-bit key with SplitMix64 (the
+    /// same construction `rand_core` uses for `seed_from_u64`).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut st = [0u32; 16];
+        st[..4].copy_from_slice(&SIGMA);
+        for k in 0..4 {
+            let w = next();
+            st[4 + 2 * k] = w as u32;
+            st[5 + 2 * k] = (w >> 32) as u32;
+        }
+        // Counter and nonce start at zero.
+        Self {
+            state: st,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn words_are_well_spread() {
+        // Crude uniformity check: bit population over many words sits near
+        // half, and no word repeats in a short stream.
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let words: Vec<u32> = (0..4096).map(|_| r.next_u32()).collect();
+        let ones: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+        let total = 32 * words.len() as u64;
+        let frac = ones as f64 / total as f64;
+        assert!((0.49..0.51).contains(&frac), "bit fraction {frac}");
+        let mut uniq = words.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() > words.len() - 4, "too many repeated words");
+    }
+
+    #[test]
+    fn blocks_advance() {
+        // Crossing the 16-word block boundary keeps producing new data.
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let first: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+}

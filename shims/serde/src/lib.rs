@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! [`Serialize`] and [`Deserialize`] are marker traits here: the workspace
+//! derives them on plain-old-data config/counter structs but never drives
+//! serde's data model (JSON output goes through the `serde_json` shim's
+//! [`Value`](../serde_json/enum.Value.html) type directly). The derive
+//! macros are re-exported from the `serde_derive` shim, mirroring the real
+//! crate's `derive` feature.
+
+// Vendored stand-in for an external crate: exempt from workspace lints.
+#![allow(clippy::all)]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type opted into serialization support.
+pub trait Serialize {}
+
+/// Marker: the type opted into deserialization support.
+pub trait Deserialize {}

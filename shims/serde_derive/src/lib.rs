@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! marker (nothing serializes through serde's data model offline —
+//! structured output goes through the `serde_json` shim's `Value`). The
+//! derives therefore emit empty impls of the shim's marker traits, using
+//! only the built-in `proc_macro` API — no `syn`/`quote`.
+
+// Vendored stand-in for an external crate: exempt from workspace lints.
+#![allow(clippy::all)]
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the derived type's name and emits `impl <trait> for <name> {}`.
+/// Generic types get no impl (none exist in this workspace); if one
+/// appears, the compile error at the use site will point here.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut iter = input.into_iter();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let Some(name) = name else {
+        return TokenStream::new();
+    };
+    if let Some(TokenTree::Punct(p)) = iter.next() {
+        if p.as_char() == '<' {
+            return TokenStream::new(); // generic type: skip the impl
+        }
+    }
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}

@@ -1,0 +1,269 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the output-side subset the workspace uses: a [`Value`] tree,
+//! the [`json!`] constructor macro, and [`to_string`] /
+//! [`to_string_pretty`] serializers. Object key order is insertion order,
+//! so emitted documents are deterministic.
+//!
+//! Interpolated expressions in `json!` go through `Into<Value>`; nested
+//! maps/arrays must be written as nested `json!` calls (the workspace's
+//! call sites all interpolate plain values).
+
+// Vendored stand-in for an external crate: exempt from workspace lints.
+#![allow(clippy::all)]
+/// A JSON document tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Signed integers (serialized without a decimal point).
+    I64(i64),
+    /// Unsigned integers beyond `i64::MAX`.
+    U64(u64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects (`None` elsewhere) — handy in tests.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::F64(x)
+    }
+}
+impl From<f32> for Value {
+    fn from(x: f32) -> Self {
+        Value::F64(f64::from(x))
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+impl From<&String> for Value {
+    fn from(s: &String) -> Self {
+        Value::String(s.clone())
+    }
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Self { Value::I64(x as i64) }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Self {
+                let wide = x as u64;
+                if wide <= i64::MAX as u64 {
+                    Value::I64(wide as i64)
+                } else {
+                    Value::U64(wide)
+                }
+            }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Constructs a [`Value`]. Supports `null`, object literals with string
+/// keys, array literals, and any `Into<Value>` expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::Value::from($val)) ),*
+        ])
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Serialization never fails for [`Value`] trees; the `Result` shape
+/// matches the real crate so call sites keep their `.expect(..)`.
+pub type Error = std::convert::Infallible;
+
+/// Compact serialization.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    Ok(out)
+}
+
+/// Pretty serialization: two-space indent, like the real crate.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x}"));
+            } else {
+                out.push_str("null"); // JSON has no NaN/inf
+            }
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip_shape() {
+        let doc = json!({
+            "name": "glp",
+            "n": 3u32,
+            "ratio": 0.5f64,
+            "tags": vec!["a", "b"],
+            "none": Option::<u32>::None,
+        });
+        let s = to_string(&doc).unwrap();
+        assert_eq!(
+            s,
+            r#"{"name":"glp","n":3,"ratio":0.5,"tags":["a","b"],"none":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_indents_and_escapes() {
+        let doc = json!({ "k\n": "v\"q" });
+        let s = to_string_pretty(&doc).unwrap();
+        assert!(s.contains("\n  "), "{s}");
+        assert!(s.contains("\\n"), "{s}");
+        assert!(s.contains("\\\"q"), "{s}");
+    }
+
+    #[test]
+    fn key_order_is_insertion_order() {
+        let doc = json!({ "z": 1u32, "a": 2u32 });
+        let s = to_string(&doc).unwrap();
+        assert!(s.find("\"z\"").unwrap() < s.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn get_navigates_objects() {
+        let doc = json!({ "a": 7u32 });
+        assert_eq!(doc.get("a"), Some(&Value::I64(7)));
+        assert_eq!(doc.get("b"), None);
+    }
+}

@@ -9,4 +9,5 @@ pub use glp_core as core;
 pub use glp_fraud as fraud;
 pub use glp_gpusim as gpusim;
 pub use glp_graph as graph;
+pub use glp_serve as serve;
 pub use glp_sketch as sketch;

@@ -37,7 +37,8 @@ fn assert_all_engines_agree<P: LpProgram + Clone>(name: &str, g: &Graph, proto: 
     };
     let check = |engine_name: &str, labels: &[u32]| {
         assert_eq!(
-            labels, &reference[..],
+            labels,
+            &reference[..],
             "{engine_name} disagrees with GLP on {name}"
         );
     };
@@ -51,8 +52,11 @@ fn assert_all_engines_agree<P: LpProgram + Clone>(name: &str, g: &Graph, proto: 
         // A device too small for the graph: streaming path.
         let mem = (g.num_vertices() as u64) * 20 + g.size_bytes() / 3;
         let mut p = proto.clone();
-        HybridEngine::new(Device::new(DeviceConfig::tiny(mem)), GpuEngineConfig::default())
-            .run(g, &mut p);
+        HybridEngine::new(
+            Device::new(DeviceConfig::tiny(mem)),
+            GpuEngineConfig::default(),
+        )
+        .run(g, &mut p);
         check("HybridEngine(streamed)", p.labels());
     }
     for devices in [2, 3] {

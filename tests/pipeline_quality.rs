@@ -24,7 +24,11 @@ fn pipeline_detects_rings_with_high_quality() {
         .run(&stream(), |g, p| GpuEngine::titan_v().run(g, p));
     assert!(report.precision > 0.8, "precision {}", report.precision);
     assert!(report.recall > 0.8, "recall {}", report.recall);
-    assert!(report.flagged.len() >= 4, "flagged {}", report.flagged.len());
+    assert!(
+        report.flagged.len() >= 4,
+        "flagged {}",
+        report.flagged.len()
+    );
 }
 
 #[test]
@@ -33,10 +37,9 @@ fn detection_is_engine_independent() {
     let pipe = FraudPipeline::new(PipelineConfig::default());
     let a = pipe.run(&s, |g, p| GpuEngine::titan_v().run(g, p));
     let b = pipe.run(&s, |g, p| InHouseLp::taobao().run(g, p));
-    let users =
-        |r: &glp_suite::fraud::PipelineReport| -> Vec<Vec<u32>> {
-            r.flagged.iter().map(|c| c.users.clone()).collect()
-        };
+    let users = |r: &glp_suite::fraud::PipelineReport| -> Vec<Vec<u32>> {
+        r.flagged.iter().map(|c| c.users.clone()).collect()
+    };
     assert_eq!(users(&a), users(&b), "flagged clusters differ by engine");
     assert_eq!(a.precision, b.precision);
 }

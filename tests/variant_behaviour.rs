@@ -58,7 +58,10 @@ fn slp_detects_overlapping_membership() {
     for seed in [1u64, 2, 3, 4, 5] {
         let mut prog = Slp::with_params(g.num_vertices(), 5, 0.05, 40, seed);
         GpuEngine::titan_v().run(&g, &mut prog);
-        if bridge.iter().any(|&v| prog.overlapping_labels(v).len() >= 2) {
+        if bridge
+            .iter()
+            .any(|&v| prog.overlapping_labels(v).len() >= 2)
+        {
             found_overlap = true;
             break;
         }
