@@ -207,7 +207,7 @@ fn run_stage(
     let staleness = service.core().staleness_batches();
     stop.store(true, Ordering::Relaxed);
     let verdict_counts = query_worker.join().expect("query worker panicked");
-    let core = service.shutdown();
+    let core = service.shutdown().core;
     let t = core.telemetry();
 
     let achieved = submitted as f64 / elapsed;

@@ -84,6 +84,48 @@ impl IncrementalWindow {
         self.log.len()
     }
 
+    /// The live-transaction log in arrival order — the window's complete
+    /// recoverable state (see [`crate::checkpoint`]).
+    pub fn transactions(&self) -> impl Iterator<Item = &Transaction> {
+        self.log.iter()
+    }
+
+    /// Reconstructs a window from its serialized parts: length, exclusive
+    /// end day, and the live log in arrival order. The pair-count index
+    /// is rebuilt by replay, so a reconstructed window is byte-equivalent
+    /// to the one that was captured (same log ⇒ same materialization).
+    ///
+    /// Returns `Err` with a static reason if the parts violate the
+    /// window invariants (unordered log, transactions outside
+    /// `[end - days, end)`) — a checkpoint that decodes but describes an
+    /// impossible window must be rejected, not loaded.
+    pub fn from_parts(days: u32, end: u32, log: Vec<Transaction>) -> Result<Self, &'static str> {
+        if days == 0 {
+            return Err("window needs at least one day");
+        }
+        let start = end.saturating_sub(days);
+        let mut prev_day = start;
+        for t in &log {
+            if t.day < prev_day {
+                return Err("log not in arrival (day) order");
+            }
+            if t.day >= end {
+                return Err("transaction beyond the window end");
+            }
+            prev_day = t.day;
+        }
+        let mut w = Self {
+            days,
+            end,
+            counts: HashMap::new(),
+            log: VecDeque::new(),
+        };
+        for t in log {
+            w.push(t);
+        }
+        Ok(w)
+    }
+
     fn push(&mut self, t: Transaction) {
         *self.counts.entry((t.buyer, t.item)).or_default() += 1.0;
         self.log.push_back(t);

@@ -18,13 +18,18 @@
 //!   solution Figure 7 compares against.
 //! * [`incremental`] — day-by-day sliding-window maintenance, the way the
 //!   production pipeline actually advances windows.
+//! * [`checkpoint`] — versioned, CRC-checked on-disk snapshots of a
+//!   window (plus serving clocks), so a restarted service resumes from
+//!   its last checkpoint instead of an empty window.
 
+pub mod checkpoint;
 pub mod incremental;
 pub mod inhouse;
 pub mod pipeline;
 pub mod transactions;
 pub mod window;
 
+pub use checkpoint::{CheckpointError, WindowCheckpoint, CHECKPOINT_VERSION};
 pub use incremental::IncrementalWindow;
 pub use inhouse::InHouseLp;
 pub use pipeline::{FlaggedCluster, FraudPipeline, PipelineConfig, PipelineReport};

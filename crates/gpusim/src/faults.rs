@@ -1,0 +1,97 @@
+//! Deterministic fault injection for the simulated device (feature
+//! `fault-injection` only).
+//!
+//! The serving stack needs to rehearse *slow hardware*: a recluster whose
+//! LP kernels suddenly take orders of magnitude longer (a thermally
+//! throttled card, a congested PCIe link, a noisy neighbour on a shared
+//! GPU). Rather than sleeping somewhere in the serving layer — which
+//! would test nothing below it — the stall is injected here, at the
+//! kernel-launch boundary every engine in the workspace funnels through
+//! ([`KernelCtx::new`](crate::KernelCtx::new)), so the whole path above
+//! (engine sharding, recluster worker, staleness gate, health reporting)
+//! experiences it exactly as it would experience a real slow device.
+//!
+//! The injector is a pair of process-global atomics: arm it with
+//! [`inject_kernel_stall`] and the next `launches` kernel launches each
+//! sleep for `micros` microseconds. Stalls perturb *time only* — counters
+//! and results are untouched, so determinism assertions hold across
+//! stalled and unstalled runs. Always [`clear`] in tests that arm it.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
+
+static STALL_LAUNCHES: AtomicU32 = AtomicU32::new(0);
+static STALL_MICROS: AtomicU64 = AtomicU64::new(0);
+static STALLS_SERVED: AtomicU64 = AtomicU64::new(0);
+
+/// Arms the injector: the next `launches` kernel launches each sleep for
+/// `micros` microseconds before executing.
+pub fn inject_kernel_stall(launches: u32, micros: u64) {
+    STALL_MICROS.store(micros, Ordering::Release);
+    STALL_LAUNCHES.store(launches, Ordering::Release);
+}
+
+/// Disarms the injector.
+pub fn clear() {
+    STALL_LAUNCHES.store(0, Ordering::Release);
+    STALL_MICROS.store(0, Ordering::Release);
+}
+
+/// Stalls served since process start (diagnostic; lets tests assert the
+/// hook actually fired).
+pub fn stalls_served() -> u64 {
+    STALLS_SERVED.load(Ordering::Acquire)
+}
+
+/// Called by [`KernelCtx::new`](crate::KernelCtx::new) on every kernel
+/// launch; sleeps if a stall is armed.
+pub(crate) fn on_kernel_launch() {
+    // Decrement-if-positive without underflow: lost races just mean a
+    // stall fewer, which only ever shortens the injected delay.
+    let mut left = STALL_LAUNCHES.load(Ordering::Acquire);
+    while left > 0 {
+        match STALL_LAUNCHES.compare_exchange_weak(
+            left,
+            left - 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                let micros = STALL_MICROS.load(Ordering::Acquire);
+                if micros > 0 {
+                    std::thread::sleep(Duration::from_micros(micros));
+                }
+                STALLS_SERVED.fetch_add(1, Ordering::AcqRel);
+                return;
+            }
+            Err(now) => left = now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::KernelCtx;
+    use std::time::Instant;
+
+    #[test]
+    fn armed_stall_delays_exactly_n_launches() {
+        clear();
+        let cfg = DeviceConfig::default();
+        inject_kernel_stall(2, 20_000);
+        let before = stalls_served();
+        let t0 = Instant::now();
+        let _a = KernelCtx::new(&cfg);
+        let _b = KernelCtx::new(&cfg);
+        let stalled = t0.elapsed();
+        assert!(stalled >= Duration::from_millis(30), "stalls not served");
+        assert_eq!(stalls_served() - before, 2);
+        // Disarmed now: further launches are unaffected.
+        let t1 = Instant::now();
+        let _c = KernelCtx::new(&cfg);
+        assert!(t1.elapsed() < Duration::from_millis(15));
+        clear();
+    }
+}

@@ -67,6 +67,8 @@ fn conflict_steps(addrs: &[u64]) -> u64 {
 impl<'a> KernelCtx<'a> {
     /// A fresh context for one kernel launch on `cfg`.
     pub fn new(cfg: &'a DeviceConfig) -> Self {
+        #[cfg(feature = "fault-injection")]
+        crate::faults::on_kernel_launch();
         Self {
             cfg,
             counters: KernelCounters {

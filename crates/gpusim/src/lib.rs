@@ -35,6 +35,8 @@ pub mod config;
 pub mod cost;
 pub mod counters;
 pub mod device;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod host;
 pub mod kernel;
 pub mod multi;

@@ -1,6 +1,7 @@
 //! Service configuration.
 
 use glp_fraud::PipelineConfig;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// What to do when a transaction arrives and the ingest queue is full.
@@ -53,6 +54,27 @@ pub struct ServeConfig {
     /// bit-deterministic across shard counts, which the determinism test
     /// pins end to end.
     pub engine_shards: usize,
+    /// Consecutive worker crashes at which the service enters
+    /// [`HealthState::Shedding`](crate::HealthState::Shedding) (the
+    /// ingest gate refuses new transactions, counted, while supervision
+    /// keeps restarting). Any successful batch or recluster resets the
+    /// streak.
+    pub shedding_after_crashes: u32,
+    /// Consecutive worker crashes at which supervision gives up and the
+    /// service goes [`HealthState::Down`](crate::HealthState::Down)
+    /// (queries keep answering from the last good snapshot; ingest stays
+    /// closed). Must exceed `shedding_after_crashes`.
+    pub down_after_crashes: u32,
+    /// First-restart backoff after a caught worker panic; doubles per
+    /// consecutive crash.
+    pub restart_backoff: Duration,
+    /// Ceiling on the restart backoff.
+    pub restart_backoff_cap: Duration,
+    /// Where to write periodic window checkpoints (None = checkpointing
+    /// off). See [`FraudService::recover`](crate::FraudService::recover).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Write a checkpoint after every this many applied batches.
+    pub checkpoint_every_batches: u64,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +90,12 @@ impl Default for ServeConfig {
             max_staleness_batches: 32,
             pipeline,
             engine_shards: 0,
+            shedding_after_crashes: 3,
+            down_after_crashes: 6,
+            restart_backoff: Duration::from_millis(20),
+            restart_backoff_cap: Duration::from_secs(2),
+            checkpoint_path: None,
+            checkpoint_every_batches: 64,
         }
     }
 }
@@ -93,6 +121,11 @@ mod tests {
         assert!(cfg.queue_capacity >= cfg.max_batch);
         assert!(cfg.recluster_every_batches >= 1);
         assert!(cfg.max_staleness_batches >= cfg.recluster_every_batches);
+        assert!(cfg.shedding_after_crashes >= 1);
+        assert!(cfg.down_after_crashes > cfg.shedding_after_crashes);
+        assert!(cfg.restart_backoff <= cfg.restart_backoff_cap);
+        assert!(cfg.checkpoint_every_batches >= 1);
+        assert!(cfg.checkpoint_path.is_none(), "checkpointing is opt-in");
     }
 
     #[test]

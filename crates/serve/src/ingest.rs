@@ -11,10 +11,11 @@
 //! transaction waits before it is applied.
 
 use crate::config::ShedPolicy;
+use crate::health::{HealthMonitor, HealthState};
 use crate::telemetry::Telemetry;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use glp_fraud::Transaction;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,10 +30,16 @@ pub struct Submitted {
 }
 
 /// Creates the ingest pair: the producer-facing gate and the
-/// batcher-facing drain.
+/// batcher-facing drain. `window_days` and the `window_end` watermark
+/// (maintained by the apply path) bound the day-regression check; the
+/// health monitor closes the gate while the service is
+/// [`Shedding`](HealthState::Shedding) or worse.
 pub fn ingest_pair(
     capacity: usize,
     policy: ShedPolicy,
+    window_days: u32,
+    window_end: Arc<AtomicU32>,
+    health: Arc<HealthMonitor>,
     telemetry: Arc<Telemetry>,
 ) -> (IngestGate, Receiver<Submitted>) {
     let (tx, rx) = bounded(capacity);
@@ -41,6 +48,9 @@ pub fn ingest_pair(
             tx,
             evict: rx.clone(),
             policy,
+            window_days,
+            window_end,
+            health,
             telemetry,
         },
         rx,
@@ -56,14 +66,50 @@ pub struct IngestGate {
     /// a competing consumer).
     evict: Receiver<Submitted>,
     policy: ShedPolicy,
+    window_days: u32,
+    /// Watermark of the window's exclusive end day, maintained by the
+    /// apply path. Only ever increases, so a slightly stale read makes
+    /// the gate's day check *more permissive* — the apply-side validation
+    /// remains authoritative.
+    window_end: Arc<AtomicU32>,
+    health: Arc<HealthMonitor>,
     telemetry: Arc<Telemetry>,
 }
 
 impl IngestGate {
+    /// Whether `tx` is obviously malformed: a non-finite amount, or a
+    /// day regression beyond the live window (it could only corrupt
+    /// history that has already expired). Note that `buyer == item` is
+    /// *not* malformed — buyer and item ids live in disjoint namespaces
+    /// (the bipartite build assigns them separate vertex ranges), so a
+    /// numeric collision cannot create a self-edge.
+    fn invalid(&self, tx: &Transaction) -> bool {
+        !tx.amount.is_finite()
+            || tx.day
+                < self
+                    .window_end
+                    .load(Ordering::Acquire)
+                    .saturating_sub(self.window_days)
+    }
+
     /// Submits one transaction. Never blocks. `Err` returns the
-    /// transaction when it was rejected ([`ShedPolicy::RejectNew`] with a
-    /// full queue, or the service is shut down).
+    /// transaction when it was shed: invalid (counted
+    /// `rejected_invalid`), service unhealthy (counted `shed_unhealthy`),
+    /// a full queue under [`ShedPolicy::RejectNew`] (counted), or the
+    /// service shut down.
     pub fn submit(&self, tx: Transaction) -> Result<(), Transaction> {
+        if self.invalid(&tx) {
+            self.telemetry
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(tx);
+        }
+        if self.health.state() >= HealthState::Shedding {
+            self.telemetry
+                .shed_unhealthy
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(tx);
+        }
         let mut item = Submitted {
             tx,
             at: Instant::now(),
@@ -161,6 +207,7 @@ impl Batcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::health::HealthThresholds;
 
     fn tx(day: u32) -> Transaction {
         Transaction {
@@ -176,8 +223,72 @@ mod tests {
         policy: ShedPolicy,
     ) -> (IngestGate, Receiver<Submitted>, Arc<Telemetry>) {
         let t = Arc::new(Telemetry::new());
-        let (gate, rx) = ingest_pair(capacity, policy, Arc::clone(&t));
+        let health = Arc::new(HealthMonitor::new(HealthThresholds {
+            shedding_after: 2,
+            down_after: 4,
+        }));
+        let (gate, rx) = ingest_pair(
+            capacity,
+            policy,
+            10,
+            Arc::new(AtomicU32::new(0)),
+            health,
+            Arc::clone(&t),
+        );
         (gate, rx, t)
+    }
+
+    #[test]
+    fn invalid_transactions_are_shed_and_counted() {
+        let (gate, _rx, t) = pair(16, ShedPolicy::RejectNew);
+        let nan = Transaction {
+            amount: f32::NAN,
+            ..tx(0)
+        };
+        let inf = Transaction {
+            amount: f32::INFINITY,
+            ..tx(0)
+        };
+        assert!(gate.submit(nan).is_err());
+        assert!(gate.submit(inf).is_err());
+        assert_eq!(t.rejected_invalid.load(Ordering::Relaxed), 2);
+        assert_eq!(t.ingested.load(Ordering::Relaxed), 0);
+        // Valid traffic still flows — including buyer == item, which is
+        // a namespace collision, not a self-edge (ids are bipartite).
+        assert!(gate.submit(tx(0)).is_ok());
+        let collision = Transaction {
+            buyer: 7,
+            item: 7,
+            day: 0,
+            amount: 1.0,
+        };
+        assert!(gate.submit(collision).is_ok());
+    }
+
+    #[test]
+    fn day_regressions_beyond_the_window_are_shed() {
+        let (gate, _rx, t) = pair(16, ShedPolicy::RejectNew);
+        // Window [15, 25): a day-10 transaction could only corrupt
+        // already-expired history.
+        gate.window_end.store(25, Ordering::Release);
+        assert!(gate.submit(tx(10)).is_err());
+        assert_eq!(t.rejected_invalid.load(Ordering::Relaxed), 1);
+        // In-window (even if for a closed batch day) passes the gate —
+        // the apply-side validation is authoritative for those.
+        assert!(gate.submit(tx(20)).is_ok());
+        assert!(gate.submit(tx(24)).is_ok());
+    }
+
+    #[test]
+    fn unhealthy_gate_sheds_counted() {
+        let (gate, _rx, t) = pair(16, ShedPolicy::RejectNew);
+        gate.health.record_crash("w", "p1");
+        assert!(gate.submit(tx(0)).is_ok(), "Degraded still ingests");
+        gate.health.record_crash("w", "p2");
+        assert!(gate.submit(tx(0)).is_err(), "Shedding refuses");
+        assert_eq!(t.shed_unhealthy.load(Ordering::Relaxed), 1);
+        gate.health.record_progress("w");
+        assert!(gate.submit(tx(0)).is_ok(), "recovery reopens the gate");
     }
 
     #[test]

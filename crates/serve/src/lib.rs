@@ -42,18 +42,47 @@
 //! same transaction stream at the same batch boundaries produces
 //! byte-identical verdict snapshots regardless of engine shard count
 //! (pinned in `tests/determinism.rs`).
+//!
+//! ## Fault tolerance
+//!
+//! The service is supervised and durable:
+//!
+//! * **Supervision** ([`supervisor`]) — both worker threads run under
+//!   supervisors that catch panics, count them, and restart with capped
+//!   exponential backoff. A crash streak walks the [`health`] state
+//!   machine `Healthy → Degraded → Shedding → Down`; the ingest gate
+//!   sheds (counted) from `Shedding`, and queries keep answering from
+//!   the last good snapshot in every state.
+//! * **Checkpoint/restore** — with [`ServeConfig::checkpoint_path`] set,
+//!   the window is periodically persisted through
+//!   [`glp_fraud::checkpoint`] and [`FraudService::recover`] resumes
+//!   from it with byte-identical LP output (pinned in
+//!   `tests/checkpoint_restore.rs`).
+//! * **Fault injection** (feature `fault-injection`, module [`faults`])
+//!   — a deterministic, seeded [`FaultPlan`](faults::FaultPlan) drives
+//!   worker panics, kernel stalls, corrupt transactions, and checkpoint
+//!   failures at chosen batch indices, for the chaos tests and the
+//!   `chaos_serve` bench bin.
 
 pub mod config;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
+pub mod health;
 pub mod ingest;
 pub mod query;
 pub mod recluster;
 pub mod service;
+pub mod supervisor;
 pub mod swap;
 pub mod telemetry;
 
 pub use config::{ServeConfig, ShedPolicy};
+#[cfg(feature = "fault-injection")]
+pub use faults::{Fault, FaultPlan, FaultSpec, FiredFault};
+pub use health::{HealthMonitor, HealthReport, HealthState, HealthThresholds};
 pub use ingest::{Batcher, IngestGate, Submitted};
 pub use query::{FraudScorer, Verdict, VerdictSnapshot};
 pub use recluster::recluster;
-pub use service::{FraudService, QueryHandle, ServiceCore};
+pub use service::{FraudService, QueryHandle, ServiceCore, ShutdownReport};
+pub use supervisor::{RestartPolicy, WorkerOutcome, WorkerStatus};
 pub use telemetry::{Histogram, Telemetry};

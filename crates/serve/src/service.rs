@@ -1,11 +1,12 @@
 //! The always-on service: ingest → window → recluster → verdicts, wired
-//! together with plain threads and channels.
+//! together with plain threads and channels — and supervised, so it
+//! *stays* always-on under partial failure.
 //!
 //! Two layers:
 //!
 //! * [`ServiceCore`] — the synchronous heart: apply a micro-batch, run a
-//!   recluster, look up a verdict. No threads of its own; tests and the
-//!   determinism suite drive it step by step.
+//!   recluster, look up a verdict, write/restore a checkpoint. No threads
+//!   of its own; tests and the determinism suite drive it step by step.
 //! * [`FraudService`] — the threaded shell: a **batcher** thread drains
 //!   the ingest queue into micro-batches and applies them, and a
 //!   **recluster** thread rebuilds verdicts when poked. Requests to
@@ -13,20 +14,39 @@
 //!   flight the request coalesces (counted), so recluster work can never
 //!   queue up behind itself.
 //!
+//! Both workers run under [`supervisor`](crate::supervisor) threads: a
+//! panic is caught, counted, recorded in the [`HealthMonitor`], and
+//! answered with a capped-exponential-backoff restart until the health
+//! machine says [`Down`](HealthState::Down). Queries keep being served
+//! from the last good snapshot throughout — every lock on the query and
+//! telemetry paths recovers from poisoning instead of propagating it.
+//!
 //! Shared state is exactly two cells: the window behind a `Mutex` (held
 //! only to apply a batch or clone out a materialization) and the verdict
 //! snapshot behind an [`EpochCell`] (pointer swap). Queries touch only
 //! the latter — a query observes LP results, it never waits on LP.
+//!
+//! Durability is the window itself: with `checkpoint_path` set, the
+//! batcher periodically persists the window (plus clocks and counters)
+//! through [`glp_fraud::checkpoint`], and [`FraudService::recover`]
+//! resumes from the last checkpoint with LP output byte-identical to an
+//! uninterrupted run (pinned in `tests/checkpoint_restore.rs`).
 
 use crate::config::ServeConfig;
+#[cfg(feature = "fault-injection")]
+use crate::faults::FaultPlan;
+use crate::health::{HealthMonitor, HealthReport, HealthState, HealthThresholds};
 use crate::ingest::{ingest_pair, Batcher, Closed, IngestGate, Submitted};
 use crate::query::{FraudScorer, Verdict, VerdictSnapshot};
 use crate::recluster::recluster;
+use crate::supervisor::{supervise, RestartPolicy, WorkerExit, WorkerOutcome, WorkerStatus};
 use crate::swap::EpochCell;
 use crate::telemetry::Telemetry;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use glp_fraud::checkpoint::{CheckpointError, WindowCheckpoint};
 use glp_fraud::{IncrementalWindow, Transaction};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
@@ -40,19 +60,95 @@ pub struct ServiceCore {
     verdicts: EpochCell<VerdictSnapshot>,
     telemetry: Arc<Telemetry>,
     batches_applied: AtomicU64,
+    /// Watermark of the window's exclusive end day, mirrored out of the
+    /// lock so the ingest gate can run its day-regression check without
+    /// contending with apply.
+    window_end: Arc<AtomicU32>,
+    health: Arc<HealthMonitor>,
+    #[cfg(feature = "fault-injection")]
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ServiceCore {
     /// A core with an empty window and the given blacklist seeds.
     pub fn new(cfg: ServeConfig, blacklist: Vec<u32>) -> Self {
-        Self {
-            window: Mutex::new(IncrementalWindow::empty(cfg.window_days)),
+        let window = IncrementalWindow::empty(cfg.window_days);
+        Self::from_state(cfg, blacklist, window, 0, 0, &[])
+    }
+
+    /// A core resuming from a decoded checkpoint: the window, batch
+    /// clock, snapshot epoch, and monotonic telemetry counters all
+    /// continue where the checkpoint left them. Fails if the checkpoint
+    /// violates window invariants or disagrees with `cfg.window_days`.
+    pub fn restore(
+        cfg: ServeConfig,
+        blacklist: Vec<u32>,
+        ckpt: &WindowCheckpoint,
+    ) -> Result<Self, CheckpointError> {
+        if ckpt.days != cfg.window_days {
+            return Err(CheckpointError::Invalid(
+                "checkpoint window length disagrees with the configuration",
+            ));
+        }
+        let window = ckpt.restore_window()?;
+        let core = Self::from_state(
             cfg,
             blacklist,
-            verdicts: EpochCell::new(VerdictSnapshot::default()),
-            telemetry: Arc::new(Telemetry::new()),
-            batches_applied: AtomicU64::new(0),
+            window,
+            ckpt.batches_applied,
+            ckpt.snapshot_epoch,
+            &ckpt.counters,
+        );
+        // Rebuild verdicts from the restored window before anything is
+        // served: staleness reads 0 and queries see real answers, not the
+        // default-empty snapshot.
+        core.recluster_now();
+        Ok(core)
+    }
+
+    fn from_state(
+        cfg: ServeConfig,
+        blacklist: Vec<u32>,
+        window: IncrementalWindow,
+        batches_applied: u64,
+        snapshot_epoch: u64,
+        counters: &[u64],
+    ) -> Self {
+        let telemetry = Arc::new(Telemetry::new());
+        telemetry.restore_counters(counters);
+        let health = Arc::new(HealthMonitor::new(HealthThresholds {
+            shedding_after: cfg.shedding_after_crashes,
+            down_after: cfg.down_after_crashes,
+        }));
+        let initial = VerdictSnapshot {
+            as_of_batch: batches_applied,
+            ..VerdictSnapshot::default()
+        };
+        Self {
+            window_end: Arc::new(AtomicU32::new(window.end())),
+            window: Mutex::new(window),
+            cfg,
+            blacklist,
+            verdicts: EpochCell::with_epoch(initial, snapshot_epoch),
+            telemetry,
+            batches_applied: AtomicU64::new(batches_applied),
+            health,
+            #[cfg(feature = "fault-injection")]
+            faults: None,
         }
+    }
+
+    /// Attaches a fault plan; every hook in the worker loops consults it.
+    #[cfg(feature = "fault-injection")]
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    #[cfg(feature = "fault-injection")]
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// The service configuration.
@@ -63,6 +159,30 @@ impl ServiceCore {
     /// The telemetry block.
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// The health monitor (crash streaks and the state machine).
+    pub fn health_monitor(&self) -> &Arc<HealthMonitor> {
+        &self.health
+    }
+
+    /// One consistent health observation: the crash-driven state, raised
+    /// to at least [`Degraded`](HealthState::Degraded) while the served
+    /// snapshot is staler than `max_staleness_batches`, plus the numbers
+    /// needed to interpret it (staleness, streak, last panic).
+    pub fn health(&self) -> HealthReport {
+        let staleness = self.staleness_batches();
+        let mut state = self.health.state();
+        if staleness >= self.cfg.max_staleness_batches {
+            state = state.max(HealthState::Degraded);
+        }
+        HealthReport {
+            state,
+            consecutive_crashes: self.health.consecutive_crashes(),
+            staleness_batches: staleness,
+            snapshot_epoch: self.verdicts.epoch(),
+            last_panic: self.health.last_panic(),
+        }
     }
 
     /// Micro-batches applied so far.
@@ -79,15 +199,43 @@ impl ServiceCore {
     }
 
     /// Applies one stamped micro-batch to the window and records ingest
-    /// telemetry. Returns the new applied-batch count.
+    /// telemetry. Invalid transactions that slipped past the gate (or
+    /// were corrupted after it) are shed here — counted as
+    /// `rejected_invalid` — instead of being allowed to corrupt the
+    /// window or panic the apply. Returns the new applied-batch count.
     pub fn apply(&self, batch: &[Submitted]) -> u64 {
         if batch.is_empty() {
             return self.batches_applied();
         }
-        let txs: Vec<Transaction> = batch.iter().map(|s| s.tx).collect();
+        let mut invalid = 0u64;
         {
-            let mut w = self.window.lock().expect("window poisoned");
+            let mut w = self.window.lock().unwrap_or_else(|e| e.into_inner());
+            #[cfg(feature = "fault-injection")]
+            if let Some(plan) = &self.faults {
+                // Fires while the window mutex is held: poisons the lock.
+                plan.maybe_panic_in_apply(self.batches_applied());
+            }
+            // Validate against the *running* end: apply_batch's
+            // invariant is t.day + 1 >= end with end advancing per
+            // transaction, so the filter must advance the same way.
+            let mut end = w.end();
+            let mut txs: Vec<Transaction> = Vec::with_capacity(batch.len());
+            for s in batch {
+                let t = s.tx;
+                if t.amount.is_finite() && t.day + 1 >= end {
+                    end = end.max(t.day + 1);
+                    txs.push(t);
+                } else {
+                    invalid += 1;
+                }
+            }
             w.apply_batch(&txs);
+            self.window_end.store(w.end(), Ordering::Release);
+        }
+        if invalid > 0 {
+            self.telemetry
+                .rejected_invalid
+                .fetch_add(invalid, Ordering::Relaxed);
         }
         let applied = Instant::now();
         for s in batch {
@@ -114,7 +262,7 @@ impl ServiceCore {
     pub fn recluster_now(&self) {
         let started = Instant::now();
         let (workload, window_end, as_of) = {
-            let w = self.window.lock().expect("window poisoned");
+            let w = self.window.lock().unwrap_or_else(|e| e.into_inner());
             (
                 w.materialize(),
                 w.end(),
@@ -141,6 +289,37 @@ impl ServiceCore {
             .record(started.elapsed().as_nanos() as u64);
     }
 
+    /// Persists the current window (plus batch clock, snapshot epoch,
+    /// and monotonic counters) to `path` via an atomic temp-file write.
+    /// Failures are counted (`checkpoint_failures`) and returned; the
+    /// previous checkpoint on disk is never damaged by a failed write.
+    pub fn checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
+        let ckpt = {
+            let w = self.window.lock().unwrap_or_else(|e| e.into_inner());
+            WindowCheckpoint::capture(
+                &w,
+                self.batches_applied.load(Ordering::Relaxed),
+                self.verdicts.epoch(),
+                self.telemetry.counters_snapshot(),
+            )
+        };
+        // The write itself runs outside the window lock.
+        match ckpt.write_atomic(path) {
+            Ok(()) => {
+                self.telemetry
+                    .checkpoints_written
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.telemetry
+                    .checkpoint_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
     /// The freshest published snapshot.
     pub fn snapshot(&self) -> Arc<VerdictSnapshot> {
         self.verdicts.load()
@@ -150,15 +329,30 @@ impl ServiceCore {
     pub fn epoch(&self) -> u64 {
         self.verdicts.epoch()
     }
+
+    fn restart_policy(&self) -> RestartPolicy {
+        RestartPolicy {
+            backoff_base: self.cfg.restart_backoff,
+            backoff_cap: self.cfg.restart_backoff_cap,
+        }
+    }
 }
 
 /// A cloneable, read-only scoring handle: the in-process query
 /// front-end. Lookups are two binary searches against an immutable
 /// snapshot — they never contend with ingest or reclustering beyond a
-/// pointer-clone.
+/// pointer-clone, and they keep answering (from the last good snapshot)
+/// whatever state the write side is in.
 #[derive(Clone)]
 pub struct QueryHandle {
     core: Arc<ServiceCore>,
+}
+
+impl QueryHandle {
+    /// The current health observation (state, staleness, crash streak).
+    pub fn health(&self) -> HealthReport {
+        self.core.health()
+    }
 }
 
 impl FraudScorer for QueryHandle {
@@ -178,6 +372,30 @@ impl FraudScorer for QueryHandle {
     }
 }
 
+/// How [`FraudService::shutdown`] went: the core for final inspection
+/// plus each supervised worker's outcome. Replaces the PR-1 behaviour of
+/// re-panicking on `join()` when a worker had died.
+#[derive(Clone)]
+pub struct ShutdownReport {
+    /// The service core (snapshots, telemetry, health) after the final
+    /// recluster.
+    pub core: Arc<ServiceCore>,
+    /// How the batcher worker ended.
+    pub batcher: WorkerOutcome,
+    /// How the recluster worker ended.
+    pub recluster: WorkerOutcome,
+    /// Health state at shutdown (staleness overlay included).
+    pub state: HealthState,
+}
+
+impl ShutdownReport {
+    /// Whether both workers exited cleanly without ever panicking.
+    pub fn clean(&self) -> bool {
+        self.batcher == WorkerOutcome::Clean { panics: 0 }
+            && self.recluster == WorkerOutcome::Clean { panics: 0 }
+    }
+}
+
 /// The threaded always-on service.
 pub struct FraudService {
     core: Arc<ServiceCore>,
@@ -185,33 +403,74 @@ pub struct FraudService {
     recluster_tx: Sender<()>,
     batcher: Option<JoinHandle<()>>,
     recluster_worker: Option<JoinHandle<()>>,
+    batcher_status: Arc<WorkerStatus>,
+    recluster_status: Arc<WorkerStatus>,
 }
 
 impl FraudService {
-    /// Starts the service: spawns the batcher and recluster threads.
+    /// Starts the service: spawns the supervised batcher and recluster
+    /// workers.
     pub fn start(cfg: ServeConfig, blacklist: Vec<u32>) -> Self {
-        let core = Arc::new(ServiceCore::new(cfg.clone(), blacklist));
+        Self::start_on(Arc::new(ServiceCore::new(cfg, blacklist)))
+    }
+
+    /// Starts the service with a fault plan attached (feature
+    /// `fault-injection`): every hook in the worker loops consults the
+    /// plan, so the scheduled faults fire at their batch/recluster
+    /// indices.
+    #[cfg(feature = "fault-injection")]
+    pub fn start_with_faults(cfg: ServeConfig, blacklist: Vec<u32>, plan: Arc<FaultPlan>) -> Self {
+        Self::start_on(Arc::new(ServiceCore::new(cfg, blacklist).with_faults(plan)))
+    }
+
+    /// Resumes a service from the checkpoint at `path`: the window,
+    /// batch clock, snapshot epoch, and monotonic counters continue
+    /// where the checkpoint left them, verdicts are rebuilt before the
+    /// first query, and ingest picks up at the restored window end.
+    /// The configuration and blacklist are not checkpointed (they are
+    /// deployment inputs, not stream state) and must be supplied again.
+    pub fn recover(
+        cfg: ServeConfig,
+        blacklist: Vec<u32>,
+        path: &Path,
+    ) -> Result<Self, CheckpointError> {
+        let ckpt = WindowCheckpoint::read(path)?;
+        let core = ServiceCore::restore(cfg, blacklist, &ckpt)?;
+        Ok(Self::start_on(Arc::new(core)))
+    }
+
+    fn start_on(core: Arc<ServiceCore>) -> Self {
+        let cfg = core.cfg.clone();
         let (gate, batch_rx) = ingest_pair(
             cfg.queue_capacity,
             cfg.shed_policy,
+            cfg.window_days,
+            Arc::clone(&core.window_end),
+            Arc::clone(&core.health),
             Arc::clone(core.telemetry()),
         );
         // Capacity 1: at most one recluster pending beyond the one in
         // flight; further requests coalesce.
         let (recluster_tx, recluster_rx): (Sender<()>, Receiver<()>) = bounded(1);
 
-        let batcher = {
+        let (batcher, batcher_status) = {
             let core = Arc::clone(&core);
             let recluster_tx = recluster_tx.clone();
-            let batcher = Batcher::new(batch_rx, cfg.max_batch, cfg.batch_budget);
-            thread::spawn(move || batch_loop(&core, &batcher, &recluster_tx))
+            let policy = core.restart_policy();
+            let health = Arc::clone(&core.health);
+            let telemetry = Arc::clone(core.telemetry());
+            supervise("batcher", health, telemetry, policy, move || {
+                let batcher = Batcher::new(batch_rx.clone(), cfg.max_batch, cfg.batch_budget);
+                batch_loop(&core, &batcher, &recluster_tx)
+            })
         };
-        let recluster_worker = {
+        let (recluster_worker, recluster_status) = {
             let core = Arc::clone(&core);
-            thread::spawn(move || {
-                while recluster_rx.recv().is_ok() {
-                    core.recluster_now();
-                }
+            let policy = core.restart_policy();
+            let health = Arc::clone(&core.health);
+            let telemetry = Arc::clone(core.telemetry());
+            supervise("recluster", health, telemetry, policy, move || {
+                recluster_loop(&core, &recluster_rx)
             })
         };
         Self {
@@ -220,6 +479,8 @@ impl FraudService {
             recluster_tx,
             batcher: Some(batcher),
             recluster_worker: Some(recluster_worker),
+            batcher_status,
+            recluster_status,
         }
     }
 
@@ -245,36 +506,45 @@ impl FraudService {
         &self.core
     }
 
+    /// The current health observation.
+    pub fn health(&self) -> HealthReport {
+        self.core.health()
+    }
+
     /// Asks the recluster thread for a fresh snapshot now. Coalesces
     /// (counted) if one is already pending.
     pub fn force_recluster(&self) {
-        match self.recluster_tx.try_send(()) {
-            Ok(()) | Err(TrySendError::Disconnected(())) => {}
-            Err(TrySendError::Full(())) => {
-                self.core
-                    .telemetry
-                    .reclusters_coalesced
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        request_recluster(&self.core, &self.recluster_tx);
     }
 
     /// Stops the service: closes the ingest queue, lets the batcher
     /// drain what is already queued, runs one final recluster so the
-    /// last batches are scored, and joins both threads. Any gates cloned
+    /// last batches are scored, and joins both supervisors. Worker
+    /// panics along the way are *reported*, not re-thrown — a service
+    /// that lost a worker still shuts down in order. Any gates cloned
     /// out of the service must be dropped first, or the queue never
     /// reads as closed.
-    pub fn shutdown(mut self) -> Arc<ServiceCore> {
+    pub fn shutdown(mut self) -> ShutdownReport {
         drop(self.gate);
         if let Some(h) = self.batcher.take() {
-            h.join().expect("batcher panicked");
+            h.join().expect("supervisor threads do not panic");
         }
         drop(self.recluster_tx);
         if let Some(h) = self.recluster_worker.take() {
-            h.join().expect("recluster worker panicked");
+            h.join().expect("supervisor threads do not panic");
         }
         self.core.recluster_now();
-        Arc::clone(&self.core)
+        // A final checkpoint so a clean shutdown leaves the freshest
+        // possible resume point.
+        if let Some(path) = &self.core.cfg.checkpoint_path {
+            let _ = self.core.checkpoint(path);
+        }
+        ShutdownReport {
+            state: self.core.health().state,
+            batcher: self.batcher_status.outcome(),
+            recluster: self.recluster_status.outcome(),
+            core: Arc::clone(&self.core),
+        }
     }
 }
 
@@ -289,30 +559,91 @@ fn request_recluster(core: &ServiceCore, recluster_tx: &Sender<()>) {
     }
 }
 
-fn batch_loop(core: &ServiceCore, batcher: &Batcher, recluster_tx: &Sender<()>) {
+fn batch_loop(core: &ServiceCore, batcher: &Batcher, recluster_tx: &Sender<()>) -> WorkerExit {
     loop {
         // Staleness gate: if verdicts have fallen max_staleness_batches
         // behind the window, stop applying until the recluster thread
         // catches up. The queue keeps absorbing traffic meanwhile and
         // sheds (counted) once full — bounded staleness turns overload
-        // into backpressure instead of ever-staler answers.
+        // into backpressure instead of ever-staler answers. A Down
+        // service can never catch up, so the wait aborts instead of
+        // spinning forever.
         while core.staleness_batches() >= core.cfg.max_staleness_batches {
+            if core.health.is_down() {
+                return WorkerExit::Finished;
+            }
             request_recluster(core, recluster_tx);
             thread::sleep(std::time::Duration::from_micros(200));
         }
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = core.faults() {
+            // Fires *before* the batch is drained: the queued
+            // transactions survive the panic and the restarted worker
+            // applies them — recovery is lossless by construction.
+            plan.maybe_panic_batcher(core.batches_applied());
+        }
         match batcher.next_batch() {
-            Err(Closed) => return,
+            Err(Closed) => return WorkerExit::Finished,
             Ok(batch) => {
                 if batch.is_empty() {
                     continue; // idle tick
                 }
+                #[cfg(feature = "fault-injection")]
+                let batch = corrupt_if_due(core, batch);
                 let applied = core.apply(&batch);
+                core.health.record_progress("batcher");
                 if applied.is_multiple_of(core.cfg.recluster_every_batches) {
                     request_recluster(core, recluster_tx);
+                }
+                if let Some(path) = &core.cfg.checkpoint_path {
+                    if applied.is_multiple_of(core.cfg.checkpoint_every_batches) {
+                        #[cfg(feature = "fault-injection")]
+                        if let Some(plan) = core.faults() {
+                            if plan.checkpoint_fail_due(applied) {
+                                glp_fraud::checkpoint::faults::fail_next_writes(1);
+                            }
+                        }
+                        // Failure is counted inside and does not stop
+                        // the service; the previous checkpoint survives.
+                        let _ = core.checkpoint(path);
+                    }
                 }
             }
         }
     }
+}
+
+#[cfg(feature = "fault-injection")]
+fn corrupt_if_due(core: &ServiceCore, mut batch: Vec<Submitted>) -> Vec<Submitted> {
+    if let Some(plan) = core.faults() {
+        if plan.corrupt_due(core.batches_applied()) {
+            // A corrupt record materializing inside the pipeline, after
+            // the gate: the apply-side validation must shed it.
+            batch[0].tx.amount = f32::NAN;
+        }
+    }
+    batch
+}
+
+fn recluster_loop(core: &ServiceCore, recluster_rx: &Receiver<()>) -> WorkerExit {
+    while recluster_rx.recv().is_ok() {
+        if core.health.is_down() {
+            return WorkerExit::Finished;
+        }
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = core.faults() {
+            let next = core.telemetry.reclusters.load(Ordering::Relaxed);
+            if let Some(millis) = plan.stall_due(next) {
+                // The stall is injected at the device layer: the whole
+                // stack above gpusim experiences a slow card.
+                glp_gpusim::faults::inject_kernel_stall(1, millis * 1_000);
+            }
+            plan.maybe_panic_recluster(next);
+        }
+        core.recluster_now();
+        core.health.record_progress("recluster");
+    }
+    WorkerExit::Finished
 }
 
 #[cfg(test)]
@@ -363,6 +694,9 @@ mod tests {
         assert!(snap.num_flagged() > 0, "rings should be flagged");
         assert_eq!(core.epoch(), 1);
         assert_eq!(core.staleness_batches(), 0);
+        let h = core.health();
+        assert_eq!(h.state, HealthState::Healthy);
+        assert_eq!(h.consecutive_crashes, 0);
     }
 
     #[test]
@@ -373,7 +707,10 @@ mod tests {
         for t in s.window(0, s.config.days) {
             service.submit(*t).expect("service accepts while running");
         }
-        let core = service.shutdown();
+        let report = service.shutdown();
+        assert!(report.clean(), "no faults injected: clean outcomes");
+        assert_eq!(report.state, HealthState::Healthy);
+        let core = report.core;
         // Shutdown drains the queue and reclusters once more, so every
         // submitted transaction is scored.
         let snap = core.snapshot();
@@ -391,6 +728,66 @@ mod tests {
             t.ingest_lag.count(),
             t.ingested.load(Ordering::Relaxed) - t.shed_total()
         );
+        assert_eq!(t.worker_panics.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn invalid_submissions_are_shed_not_applied() {
+        let s = stream();
+        let service = FraudService::start(cfg(), s.blacklist.clone());
+        let valid: Vec<Transaction> = s.window(0, 3).copied().collect();
+        for t in &valid {
+            service.submit(*t).expect("valid traffic flows");
+        }
+        // Gate-level garbage: non-finite amounts.
+        let nan = Transaction {
+            buyer: 1,
+            item: 2,
+            day: 2,
+            amount: f32::NAN,
+        };
+        let inf = Transaction {
+            buyer: 9,
+            item: 4,
+            day: 2,
+            amount: f32::NEG_INFINITY,
+        };
+        assert!(service.submit(nan).is_err());
+        assert!(service.submit(inf).is_err());
+        let report = service.shutdown();
+        let t = report.core.telemetry();
+        assert_eq!(t.rejected_invalid.load(Ordering::Relaxed), 2);
+        assert_eq!(t.ingested.load(Ordering::Relaxed), valid.len() as u64);
+        // The window absorbed exactly the valid traffic.
+        assert_eq!(report.core.snapshot().window_end, 3);
+    }
+
+    #[test]
+    fn day_regression_is_filtered_at_apply() {
+        // A day regression *within* the gate's tolerance must be shed by
+        // the authoritative apply-side filter rather than panicking the
+        // window's apply_batch.
+        let s = stream();
+        let core = ServiceCore::new(cfg(), s.blacklist.clone());
+        let day5: Vec<Transaction> = s.window(5, 6).copied().collect();
+        core.apply_transactions(&day5); // window end = 6
+        let stale = Transaction {
+            buyer: 1,
+            item: 2,
+            day: 2, // closed day, still inside the 10-day window
+            amount: 1.0,
+        };
+        core.apply_transactions(&[stale]);
+        assert_eq!(core.telemetry().rejected_invalid.load(Ordering::Relaxed), 1);
+        assert_eq!(core.batches_applied(), 2, "batch still counted");
+        // Mixed batch: the regression is dropped, the rest applies.
+        let day6: Vec<Transaction> = s.window(6, 7).copied().collect();
+        let mut mixed = vec![stale];
+        mixed.extend_from_slice(&day6);
+        core.apply_transactions(&mixed);
+        assert_eq!(core.telemetry().rejected_invalid.load(Ordering::Relaxed), 2);
+        core.recluster_now();
+        assert_eq!(core.snapshot().window_end, 7);
     }
 
     #[test]
@@ -408,7 +805,7 @@ mod tests {
                 rejected += 1;
             }
         }
-        let core = service.shutdown();
+        let core = service.shutdown().core;
         let t = core.telemetry();
         assert_eq!(t.shed_rejected_new.load(Ordering::Relaxed), rejected);
         assert_eq!(t.shed_dropped_oldest.load(Ordering::Relaxed), 0);
@@ -440,7 +837,7 @@ mod tests {
                 rejected += 1;
             }
         }
-        let core = service.shutdown();
+        let core = service.shutdown().core;
         let t = core.telemetry();
         assert!(rejected > 0, "overload should shed");
         assert_eq!(t.shed_rejected_new.load(Ordering::Relaxed), rejected);

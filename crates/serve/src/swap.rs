@@ -22,24 +22,34 @@ pub struct EpochCell<T> {
 impl<T> EpochCell<T> {
     /// A cell holding `initial` at epoch 0.
     pub fn new(initial: T) -> Self {
+        Self::with_epoch(initial, 0)
+    }
+
+    /// A cell holding `initial` at a given starting epoch — used by
+    /// checkpoint restore so epoch numbering continues across a restart
+    /// instead of resetting (staleness comparisons stay monotone).
+    pub fn with_epoch(initial: T, epoch: u64) -> Self {
         Self {
             current: RwLock::new(Arc::new(initial)),
-            epoch: AtomicU64::new(0),
+            epoch: AtomicU64::new(epoch),
         }
     }
 
     /// The current snapshot. The read lock is held only for the `Arc`
     /// clone — wait time is bounded by other pointer-sized critical
-    /// sections, never by a recluster.
+    /// sections, never by a recluster. Poisoning is recovered, not
+    /// propagated: the critical section only moves a pointer, so a
+    /// poisoned cell still holds a fully valid `Arc` and readers must
+    /// keep serving it (the last good snapshot) rather than panic.
     pub fn load(&self) -> Arc<T> {
-        Arc::clone(&self.current.read().expect("cell poisoned"))
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Installs a new snapshot and returns the new epoch (monotonically
-    /// increasing from 1).
+    /// increasing from the starting epoch plus one).
     pub fn publish(&self, value: T) -> u64 {
         let arc = Arc::new(value);
-        *self.current.write().expect("cell poisoned") = arc;
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = arc;
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 

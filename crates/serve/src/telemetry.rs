@@ -123,6 +123,13 @@ pub struct Telemetry {
     pub shed_dropped_oldest: AtomicU64,
     /// Transactions refused under [`ShedPolicy::RejectNew`](crate::ShedPolicy).
     pub shed_rejected_new: AtomicU64,
+    /// Transactions shed as invalid (non-finite amount or a day
+    /// regression), at the gate or at the apply-side validation.
+    pub rejected_invalid: AtomicU64,
+    /// Transactions refused because the service was
+    /// [`Shedding`](crate::HealthState::Shedding) or
+    /// [`Down`](crate::HealthState::Down).
+    pub shed_unhealthy: AtomicU64,
     /// Micro-batches applied to the window.
     pub batches: AtomicU64,
     /// Reclusters completed (= verdict snapshots published).
@@ -131,6 +138,16 @@ pub struct Telemetry {
     pub reclusters_coalesced: AtomicU64,
     /// Queries served.
     pub queries: AtomicU64,
+    /// Worker panics caught by the supervisor.
+    pub worker_panics: AtomicU64,
+    /// Worker restarts the supervisor performed (a final, abandoned
+    /// panic is counted in `worker_panics` but not here).
+    pub worker_restarts: AtomicU64,
+    /// Checkpoints written successfully.
+    pub checkpoints_written: AtomicU64,
+    /// Checkpoint writes that failed (the service keeps serving; the
+    /// previous checkpoint on disk stays intact).
+    pub checkpoint_failures: AtomicU64,
     /// Submit → batch-apply latency per transaction (ns).
     pub ingest_lag: Histogram,
     /// Applied micro-batch sizes (transactions).
@@ -150,31 +167,79 @@ impl Telemetry {
     }
 
     /// Folds one recluster's kernel counters into the running totals.
+    /// Recovers from poisoning: a panicked recluster must not take down
+    /// every later telemetry reader.
     pub fn merge_gpu(&self, counters: &KernelCounters) {
         self.gpu_totals
             .lock()
-            .expect("telemetry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .merge(counters);
     }
 
-    /// Total transactions shed under either policy.
+    /// Total transactions shed under either queue policy (validation and
+    /// health shedding are counted separately — see
+    /// [`Self::rejected_invalid`] and [`Self::shed_unhealthy`]).
     pub fn shed_total(&self) -> u64 {
         self.shed_dropped_oldest.load(Ordering::Relaxed)
             + self.shed_rejected_new.load(Ordering::Relaxed)
     }
 
+    /// The monotonic counters in checkpoint order (see
+    /// [`Self::restore_counters`]). Histograms are deliberately not
+    /// checkpointed: latency distributions describe a process lifetime,
+    /// not the logical stream, and restart from empty.
+    pub fn counters_snapshot(&self) -> Vec<u64> {
+        self.counter_cells()
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Restores the monotonic counters from a checkpoint. Tolerates a
+    /// shorter vector (older checkpoint: missing counters stay 0) and a
+    /// longer one (newer: extras are ignored).
+    pub fn restore_counters(&self, counters: &[u64]) {
+        for (cell, &v) in self.counter_cells().iter().zip(counters) {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Checkpoint counter order. Append-only: new counters go at the
+    /// end so old checkpoints keep restoring.
+    fn counter_cells(&self) -> [&AtomicU64; 11] {
+        [
+            &self.ingested,
+            &self.shed_dropped_oldest,
+            &self.shed_rejected_new,
+            &self.rejected_invalid,
+            &self.shed_unhealthy,
+            &self.batches,
+            &self.reclusters,
+            &self.reclusters_coalesced,
+            &self.queries,
+            &self.checkpoints_written,
+            &self.checkpoint_failures,
+        ]
+    }
+
     /// The full telemetry block as JSON (histogram values in ns unless
     /// noted; `batch_size` in transactions).
     pub fn to_json(&self) -> serde_json::Value {
-        let gpu = self.gpu_totals.lock().expect("telemetry poisoned");
+        let gpu = self.gpu_totals.lock().unwrap_or_else(|e| e.into_inner());
         serde_json::json!({
             "ingested": self.ingested.load(Ordering::Relaxed),
             "shed_dropped_oldest": self.shed_dropped_oldest.load(Ordering::Relaxed),
             "shed_rejected_new": self.shed_rejected_new.load(Ordering::Relaxed),
+            "rejected_invalid": self.rejected_invalid.load(Ordering::Relaxed),
+            "shed_unhealthy": self.shed_unhealthy.load(Ordering::Relaxed),
             "batches": self.batches.load(Ordering::Relaxed),
             "reclusters": self.reclusters.load(Ordering::Relaxed),
             "reclusters_coalesced": self.reclusters_coalesced.load(Ordering::Relaxed),
             "queries": self.queries.load(Ordering::Relaxed),
+            "worker_panics": self.worker_panics.load(Ordering::Relaxed),
+            "worker_restarts": self.worker_restarts.load(Ordering::Relaxed),
+            "checkpoints_written": self.checkpoints_written.load(Ordering::Relaxed),
+            "checkpoint_failures": self.checkpoint_failures.load(Ordering::Relaxed),
             "ingest_lag_ns": self.ingest_lag.to_json(),
             "batch_size": self.batch_size.to_json(),
             "recluster_wall_ns": self.recluster_wall.to_json(),
@@ -246,6 +311,23 @@ mod tests {
     }
 
     #[test]
+    fn counters_roundtrip_through_checkpoint_order() {
+        let t = Telemetry::new();
+        t.ingested.fetch_add(11, Ordering::Relaxed);
+        t.rejected_invalid.fetch_add(3, Ordering::Relaxed);
+        t.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+        let snap = t.counters_snapshot();
+        let back = Telemetry::new();
+        back.restore_counters(&snap);
+        assert_eq!(back.counters_snapshot(), snap);
+        // A shorter (older-format) vector restores what it has.
+        let partial = Telemetry::new();
+        partial.restore_counters(&snap[..3]);
+        assert_eq!(partial.ingested.load(Ordering::Relaxed), 11);
+        assert_eq!(partial.batches.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
     fn telemetry_json_has_all_sections() {
         let t = Telemetry::new();
         t.ingested.fetch_add(3, Ordering::Relaxed);
@@ -255,6 +337,12 @@ mod tests {
             "ingested",
             "shed_dropped_oldest",
             "shed_rejected_new",
+            "rejected_invalid",
+            "shed_unhealthy",
+            "worker_panics",
+            "worker_restarts",
+            "checkpoints_written",
+            "checkpoint_failures",
             "batches",
             "reclusters",
             "queries",

@@ -1,0 +1,94 @@
+//! Recluster-stall injection (feature `fault-injection`), isolated in
+//! its own test binary because the injected kernel stall is armed
+//! through `glp-gpusim`'s process-global hook — the whole stack above
+//! the simulated device experiences a slow card.
+//!
+//! Pins the staleness gate's contract under a slow recluster: verdict
+//! staleness is *bounded* (the batcher stops applying), overload turns
+//! into counted shedding at the full queue, and `health()` reports
+//! `Degraded` while the served snapshot is stale — then everything
+//! recovers once the stalled recluster completes.
+
+#![cfg(feature = "fault-injection")]
+
+use glp_serve::{Fault, FaultPlan, FraudService, HealthState, ServeConfig, ShedPolicy};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn recluster_stall_degrades_health_and_sheds_bounded() {
+    let s = glp_fraud::TxStream::generate(&glp_fraud::TxConfig {
+        num_users: 1_000,
+        num_items: 400,
+        days: 20,
+        tx_per_day: 600,
+        num_rings: 2,
+        ring_size: 8,
+        ring_tx_per_day: 20,
+        blacklist_fraction: 0.25,
+        ..Default::default()
+    });
+    let cfg = ServeConfig {
+        // Tiny queue + tight staleness bound: a stalled recluster must
+        // visibly stop the batcher and fill the queue.
+        queue_capacity: 64,
+        max_batch: 64,
+        batch_budget: Duration::from_millis(1),
+        shed_policy: ShedPolicy::RejectNew,
+        recluster_every_batches: 1,
+        max_staleness_batches: 2,
+        engine_shards: 1,
+        ..ServeConfig::default()
+    }
+    .with_window_days(10);
+
+    // Stall the *second* recluster for 400 ms at the device layer.
+    let plan = Arc::new(FaultPlan::new([Fault::ReclusterStall {
+        at_recluster: 1,
+        millis: 400,
+    }]));
+    let service = FraudService::start_with_faults(cfg, s.blacklist.clone(), Arc::clone(&plan));
+
+    // Pump traffic until the stall bites: we must observe Degraded
+    // health (stale snapshot) and counted shedding (full queue) while
+    // the stalled recluster is in flight.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut saw_degraded = false;
+    let mut rejected = 0u64;
+    'outer: loop {
+        for t in s.window(0, s.config.days) {
+            if service.submit(*t).is_err() {
+                rejected += 1;
+            }
+            let h = service.health();
+            if h.state >= HealthState::Degraded && h.staleness_batches >= 2 {
+                saw_degraded = true;
+            }
+            if saw_degraded && rejected > 0 {
+                break 'outer;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "never observed Degraded + shedding under a 400ms stall \
+                 (fired: {:?})",
+                plan.fired()
+            );
+        }
+    }
+
+    let report = service.shutdown();
+    assert!(plan.all_fired(), "the scheduled stall must have fired");
+    assert!(
+        glp_gpusim::faults::stalls_served() >= 1,
+        "the stall was served at the device layer"
+    );
+    assert!(report.clean(), "a slow recluster is not a crash");
+    let t = report.core.telemetry();
+    assert_eq!(t.shed_rejected_new.load(Ordering::Relaxed), rejected);
+    assert_eq!(t.worker_panics.load(Ordering::Relaxed), 0);
+    // Shutdown ran a final recluster, so the service recovered to
+    // freshness after the stall.
+    assert_eq!(report.core.staleness_batches(), 0);
+    assert_eq!(report.core.health().state, HealthState::Healthy);
+}

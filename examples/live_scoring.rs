@@ -71,7 +71,9 @@ fn main() {
     }
 
     // 4. Shut down: drains the queue, runs a final recluster, joins.
-    let core = service.shutdown();
+    let report = service.shutdown();
+    assert!(report.clean(), "no faults expected in this example");
+    let core = report.core;
     let snap = core.snapshot();
     println!(
         "\nfinal snapshot: window [{}..{}), {} users, {} flagged",
