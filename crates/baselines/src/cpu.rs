@@ -6,19 +6,22 @@
 //!
 //! * **OMP** — dense parallel-for every iteration.
 //! * **Ligra** — frontier-based: after iteration `t`, only vertices with an
-//!   in-neighbor that changed at `t` recompute at `t+1` (sound only when
-//!   the program declares
-//!   [`sparse_activation`](glp_core::LpProgram::sparse_activation); dense
-//!   fallback otherwise, which matches how Ligra LP handles LLP/SLP).
+//!   in-neighbor that changed at `t` recompute at `t+1`.
 //! * **TigerGraph** — accumulator-style: messages (src label per edge) are
 //!   materialized to a buffer before aggregation, and every instruction
 //!   pays an interpreter overhead factor; classic LP only, like the
 //!   original (§5.1: "TG only supports the classic LP").
 //!
+//! Scheduling is controlled by [`RunOptions::frontier`] like everywhere
+//! else: [`FrontierMode::Auto`](glp_core::FrontierMode) engages the
+//! frontier for sparse-activation programs (dense fallback otherwise,
+//! which matches how Ligra LP handles LLP/SLP); the benchmark harness
+//! pins OMP and TigerGraph to `Dense` — their historical personalities.
+//!
 //! Modeled time comes from [`CpuConfig`]'s roofline so it is comparable
 //! with the GPU engines' modeled time.
 
-use glp_core::engine::{BestLabel, Decision};
+use glp_core::engine::{BestLabel, Decision, Engine, RunOptions};
 use glp_core::{LpProgram, LpRunReport};
 use glp_gpusim::host::{CpuConfig, CpuCounters};
 use glp_graph::{Graph, Label, VertexId};
@@ -33,15 +36,14 @@ enum Flavor {
     TigerGraph,
 }
 
-/// Configuration of a CPU baseline run.
+/// Configuration of a CPU baseline's *machine* (run-level knobs like the
+/// iteration cap and frontier mode live in [`RunOptions`]).
 #[derive(Clone, Debug)]
 pub struct CpuLpConfig {
     /// The machine (defaults to the paper's Xeon W-2133).
     pub cpu: CpuConfig,
     /// Software threads (capped at physical cores by the cost model).
     pub threads: u32,
-    /// Hard iteration cap.
-    pub max_iterations: u32,
 }
 
 impl Default for CpuLpConfig {
@@ -49,7 +51,6 @@ impl Default for CpuLpConfig {
         Self {
             cpu: CpuConfig::xeon_w2133(),
             threads: 12,
-            max_iterations: 10_000,
         }
     }
 }
@@ -112,9 +113,20 @@ impl CpuLp {
     pub fn totals(&self) -> &CpuCounters {
         &self.totals
     }
+}
+
+impl Engine for CpuLp {
+    fn name(&self) -> &'static str {
+        match self.flavor {
+            Flavor::Omp => "OMP",
+            Flavor::Ligra => "Ligra",
+            // "TG", as the paper's figure legends abbreviate it.
+            Flavor::TigerGraph => "TG",
+        }
+    }
 
     /// Runs `prog` on `g`; modeled seconds come from the CPU roofline.
-    pub fn run<P: LpProgram>(&mut self, g: &Graph, prog: &mut P) -> LpRunReport {
+    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
@@ -125,7 +137,7 @@ impl CpuLp {
         let csr = g.incoming();
         let threads = self.cfg.threads.max(1);
         let shards = (threads as usize).clamp(1, 16);
-        let use_frontier = self.flavor == Flavor::Ligra && prog.sparse_activation();
+        let use_frontier = opts.frontier.sparse(prog.sparse_activation());
 
         let mut spoken: Vec<Label> = vec![0; n];
         let mut decisions: Vec<Decision> = vec![None; n];
@@ -134,7 +146,7 @@ impl CpuLp {
         let mut report = LpRunReport::default();
         let mut totals = CpuCounters::default();
 
-        for iteration in 0..self.cfg.max_iterations {
+        for iteration in 0..opts.max_iterations {
             prog.begin_iteration(iteration);
             // PickLabel: sequential streaming pass.
             for (v, slot) in spoken.iter_mut().enumerate() {
@@ -150,7 +162,7 @@ impl CpuLp {
                     .map(|i| ((i * per).min(n), ((i + 1) * per).min(n)))
                     .collect()
             };
-            let prog_ref: &P = prog;
+            let prog_ref: &dyn LpProgram = prog;
             let active_ref: &[bool] = &active;
             let spoken_ref: &[Label] = &spoken;
             let shard_results: Vec<(Vec<(VertexId, Decision)>, CpuCounters)> =
@@ -187,12 +199,15 @@ impl CpuLp {
                 });
 
             decisions.iter_mut().for_each(|d| *d = None);
+            let mut scheduled = 0u64;
             for (out, c) in shard_results {
                 totals.merge(&c);
+                scheduled += out.len() as u64;
                 for (v, d) in out {
                     decisions[v as usize] = d;
                 }
             }
+            report.active_per_iteration.push(scheduled);
             if self.materialize_messages {
                 // TigerGraph materializes (dst, label) messages per edge:
                 // one write + one read of 8 bytes each before aggregation.
@@ -251,7 +266,7 @@ impl CpuLp {
 /// Exact per-vertex aggregation with the workspace tie rule, charging CPU
 /// work: one random access per neighbor label, hash-scratch instructions,
 /// streaming bytes for the CSR slice.
-fn decide<P: LpProgram>(
+fn decide<P: LpProgram + ?Sized>(
     prog: &P,
     csr: &glp_graph::Csr,
     spoken: &[Label],
@@ -286,6 +301,7 @@ fn decide<P: LpProgram>(
 mod tests {
     use super::*;
     use glp_core::engine::GpuEngine;
+    use glp_core::FrontierMode;
     use glp_core::{ClassicLp, Llp, Slp};
     use glp_graph::gen::{caveman, community_powerlaw, CommunityPowerLawConfig};
 
@@ -297,9 +313,13 @@ mod tests {
         })
     }
 
+    fn dense() -> RunOptions {
+        RunOptions::default().with_frontier(FrontierMode::Dense)
+    }
+
     fn gpu_reference<P: LpProgram + Clone>(g: &Graph, prog: &P) -> Vec<Label> {
         let mut p = prog.clone();
-        GpuEngine::titan_v().run(g, &mut p);
+        GpuEngine::titan_v().run(g, &mut p, &RunOptions::default());
         p.labels().to_vec()
     }
 
@@ -309,7 +329,7 @@ mod tests {
         let proto = ClassicLp::new(g.num_vertices());
         let want = gpu_reference(&g, &proto);
         let mut p = proto.clone();
-        let report = CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p);
+        let report = CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p, &dense());
         assert_eq!(p.labels(), &want[..]);
         assert!(report.modeled_seconds > 0.0);
     }
@@ -320,7 +340,7 @@ mod tests {
         let proto = ClassicLp::new(g.num_vertices());
         let want = gpu_reference(&g, &proto);
         let mut p = proto.clone();
-        let report = CpuLp::ligra(CpuLpConfig::default()).run(&g, &mut p);
+        let report = CpuLp::ligra(CpuLpConfig::default()).run(&g, &mut p, &RunOptions::default());
         assert_eq!(p.labels(), &want[..]);
         assert_eq!(report.changed_per_iteration.last(), Some(&0));
     }
@@ -331,7 +351,7 @@ mod tests {
         let proto = Llp::new(g.num_vertices(), 2.0);
         let want = gpu_reference(&g, &proto);
         let mut p = proto.clone();
-        CpuLp::ligra(CpuLpConfig::default()).run(&g, &mut p);
+        CpuLp::ligra(CpuLpConfig::default()).run(&g, &mut p, &RunOptions::default());
         assert_eq!(p.labels(), &want[..]);
     }
 
@@ -341,7 +361,7 @@ mod tests {
         let proto = Slp::new(g.num_vertices(), 77);
         let want = gpu_reference(&g, &proto);
         let mut p = proto.clone();
-        CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p);
+        CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p, &dense());
         assert_eq!(p.labels(), &want[..]);
     }
 
@@ -349,9 +369,9 @@ mod tests {
     fn tigergraph_models_slower_than_omp() {
         let g = sample();
         let mut p1 = ClassicLp::new(g.num_vertices());
-        let r_omp = CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p1);
+        let r_omp = CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p1, &dense());
         let mut p2 = ClassicLp::new(g.num_vertices());
-        let r_tg = CpuLp::tigergraph(CpuLpConfig::default()).run(&g, &mut p2);
+        let r_tg = CpuLp::tigergraph(CpuLpConfig::default()).run(&g, &mut p2, &dense());
         assert_eq!(p1.labels(), p2.labels());
         assert!(
             r_tg.modeled_seconds > r_omp.modeled_seconds,
@@ -386,12 +406,17 @@ mod tests {
         b.symmetrize(true);
         let g = b.build();
 
+        let opts = RunOptions::default().with_max_iterations(40);
         let mut p1 = ClassicLp::with_max_iterations(n, 40);
         let mut omp = CpuLp::omp(CpuLpConfig::default());
-        omp.run(&g, &mut p1);
+        omp.run(
+            &g,
+            &mut p1,
+            &opts.clone().with_frontier(FrontierMode::Dense),
+        );
         let mut p2 = ClassicLp::with_max_iterations(n, 40);
         let mut ligra = CpuLp::ligra(CpuLpConfig::default());
-        ligra.run(&g, &mut p2);
+        ligra.run(&g, &mut p2, &opts);
         assert_eq!(p1.labels(), p2.labels());
         assert!(
             2 * ligra.totals().random_accesses < omp.totals().random_accesses,

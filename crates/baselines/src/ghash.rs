@@ -8,12 +8,15 @@
 //! Unlike G-Sort it needs no |E|-sized auxiliary array and no sort passes,
 //! which is why it catches up on the largest graphs (§5.2).
 
-use glp_core::engine::{GpuEngine, GpuEngineConfig, MflStrategy};
-use glp_core::{LpProgram, LpRunReport};
+use glp_core::engine::{Engine, GpuEngine, MflStrategy, RunOptions};
+use glp_core::{FrontierMode, LpProgram, LpRunReport};
 use glp_gpusim::Device;
 use glp_graph::Graph;
 
-/// The G-Hash engine: a thin preset over the GLP engine.
+/// The G-Hash engine: a thin preset over the GLP engine that pins the
+/// global-memory strategy and dense scheduling (G-Hash recomputes every
+/// vertex every iteration — exactly the waste §2.2 attributes to the
+/// existing approaches). All other [`RunOptions`] fields pass through.
 #[derive(Debug)]
 pub struct GHashLp {
     inner: GpuEngine,
@@ -22,14 +25,8 @@ pub struct GHashLp {
 impl GHashLp {
     /// G-Hash on the given device.
     pub fn new(device: Device) -> Self {
-        let cfg = GpuEngineConfig {
-            // G-Hash recomputes every vertex every iteration — exactly the
-            // waste §2.2 attributes to the existing approaches.
-            use_frontier: false,
-            ..GpuEngineConfig::with_strategy(MflStrategy::Global)
-        };
         Self {
-            inner: GpuEngine::new(device, cfg),
+            inner: GpuEngine::new(device),
         }
     }
 
@@ -42,10 +39,20 @@ impl GHashLp {
     pub fn device(&self) -> &Device {
         self.inner.device()
     }
+}
 
-    /// Runs `prog` on `g`.
-    pub fn run<P: LpProgram>(&mut self, g: &Graph, prog: &mut P) -> LpRunReport {
-        self.inner.run(g, prog)
+impl Engine for GHashLp {
+    fn name(&self) -> &'static str {
+        "G-Hash"
+    }
+
+    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
+        let opts = RunOptions {
+            strategy: MflStrategy::Global,
+            frontier: FrontierMode::Dense,
+            ..opts.clone()
+        };
+        self.inner.run(g, prog, &opts)
     }
 }
 
@@ -64,10 +71,11 @@ mod tests {
             avg_degree: 9.0,
             ..Default::default()
         });
+        let opts = RunOptions::default();
         let mut reference = ClassicLp::new(g.num_vertices());
-        GpuEngine::titan_v().run(&g, &mut reference);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts);
         let mut p = ClassicLp::new(g.num_vertices());
-        GHashLp::titan_v().run(&g, &mut p);
+        GHashLp::titan_v().run(&g, &mut p, &opts);
         assert_eq!(p.labels(), reference.labels());
     }
 
@@ -78,12 +86,13 @@ mod tests {
             avg_degree: 16.0,
             ..Default::default()
         });
+        let opts = RunOptions::default();
         let mut p = ClassicLp::new(g.num_vertices());
-        let glp = GpuEngine::titan_v().run(&g, &mut p);
+        let glp = GpuEngine::titan_v().run(&g, &mut p, &opts);
         let mut p = ClassicLp::new(g.num_vertices());
-        let gsort = GSortLp::titan_v().run(&g, &mut p);
+        let gsort = GSortLp::titan_v().run(&g, &mut p, &opts);
         let mut p = ClassicLp::new(g.num_vertices());
-        let ghash = GHashLp::titan_v().run(&g, &mut p);
+        let ghash = GHashLp::titan_v().run(&g, &mut p, &opts);
         assert!(
             glp.modeled_seconds < gsort.modeled_seconds,
             "GLP {} !< G-Sort {}",

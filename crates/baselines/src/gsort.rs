@@ -16,7 +16,7 @@
 //! the workspace tie rule); the cost model charges the extra traffic that
 //! makes this approach lose to GLP.
 
-use glp_core::engine::{BestLabel, Decision};
+use glp_core::engine::{BestLabel, Decision, Engine, RunOptions};
 use glp_core::{LpProgram, LpRunReport};
 use glp_gpusim::{Device, KernelCtx, WARP_SIZE};
 use glp_graph::{Graph, Label, VertexId};
@@ -38,25 +38,18 @@ const TARGETS: u64 = 0x2_0000_0000;
 const DECISIONS: u64 = 0x4_0000_0000;
 const LABEL_STATE: u64 = 0x7_0000_0000;
 
-/// The G-Sort engine.
+/// The G-Sort engine. Always dense: the original has no frontier, so the
+/// [`RunOptions::frontier`] knob is ignored (every vertex re-sorts every
+/// iteration — part of what GLP beats).
 #[derive(Debug)]
 pub struct GSortLp {
     device: Device,
-    max_iterations: u32,
-    shards: usize,
 }
 
 impl GSortLp {
     /// G-Sort on the given device.
     pub fn new(device: Device) -> Self {
-        Self {
-            device,
-            max_iterations: 10_000,
-            shards: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(16),
-        }
+        Self { device }
     }
 
     /// G-Sort on a modeled Titan V.
@@ -68,9 +61,15 @@ impl GSortLp {
     pub fn device(&self) -> &Device {
         &self.device
     }
+}
+
+impl Engine for GSortLp {
+    fn name(&self) -> &'static str {
+        "G-Sort"
+    }
 
     /// Runs `prog` on `g`.
-    pub fn run<P: LpProgram>(&mut self, g: &Graph, prog: &mut P) -> LpRunReport {
+    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
@@ -80,7 +79,7 @@ impl GSortLp {
         let n = g.num_vertices();
         let csr = g.incoming();
         let e = csr.num_edges();
-        let shards = self.shards;
+        let shards = opts.resolve_shards();
 
         // G-Sort needs graph + labels + the |E|-sized NL and weight arrays.
         let footprint = g.size_bytes() + (n as u64) * 20 + e * 12;
@@ -98,7 +97,8 @@ impl GSortLp {
                 .collect()
         };
 
-        for iteration in 0..self.max_iterations {
+        let scheduled = (0..n as VertexId).filter(|&v| csr.degree(v) > 0).count() as u64;
+        for iteration in 0..opts.max_iterations {
             prog.begin_iteration(iteration);
             for (v, slot) in spoken.iter_mut().enumerate() {
                 *slot = prog.pick_label(v as VertexId);
@@ -143,7 +143,7 @@ impl GSortLp {
                 });
 
             // 2+3. Segmented sort + run-scan count, per vertex.
-            let prog_ref: &P = prog;
+            let prog_ref: &dyn LpProgram = prog;
             let outs = self.device.launch_parallel(
                 "gsort_sort_count",
                 shards,
@@ -239,6 +239,7 @@ impl GSortLp {
             }
             prog.end_iteration(iteration);
             report.changed_per_iteration.push(changed);
+            report.active_per_iteration.push(scheduled);
             report.iterations = iteration + 1;
             if prog.finished(iteration, changed) {
                 break;
@@ -272,10 +273,11 @@ mod tests {
             avg_degree: 8.0,
             ..Default::default()
         });
+        let opts = RunOptions::default();
         let mut reference = ClassicLp::new(g.num_vertices());
-        GpuEngine::titan_v().run(&g, &mut reference);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts);
         let mut p = ClassicLp::new(g.num_vertices());
-        GSortLp::titan_v().run(&g, &mut p);
+        GSortLp::titan_v().run(&g, &mut p, &opts);
         assert_eq!(p.labels(), reference.labels());
     }
 
@@ -286,10 +288,11 @@ mod tests {
             avg_degree: 6.0,
             ..Default::default()
         });
+        let opts = RunOptions::default();
         let mut reference = Llp::new(g.num_vertices(), 4.0);
-        GpuEngine::titan_v().run(&g, &mut reference);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts);
         let mut p = Llp::new(g.num_vertices(), 4.0);
-        GSortLp::titan_v().run(&g, &mut p);
+        GSortLp::titan_v().run(&g, &mut p, &opts);
         assert_eq!(p.labels(), reference.labels());
     }
 
@@ -300,7 +303,7 @@ mod tests {
         let hub = star(5_000);
         let mut p = ClassicLp::with_max_iterations(hub.num_vertices(), 1);
         let mut eng = GSortLp::titan_v();
-        eng.run(&hub, &mut p);
+        eng.run(&hub, &mut p, &RunOptions::default());
         let sectors = eng.device().totals().global_sectors();
         // gather(2 dirs) + 4x2 radix + scan over ~10k directed edges.
         assert!(

@@ -3,8 +3,8 @@
 //! the benchmark comparisons rest on), across multiple variants.
 
 use glp_baselines::{CpuLp, CpuLpConfig, GHashLp, GSortLp};
-use glp_core::engine::GpuEngine;
-use glp_core::{ClassicLp, Llp, LpProgram};
+use glp_core::engine::{Engine, GpuEngine, RunOptions};
+use glp_core::{ClassicLp, FrontierMode, Llp, LpProgram};
 use glp_graph::{Graph, GraphBuilder};
 use proptest::prelude::*;
 
@@ -29,41 +29,44 @@ proptest! {
     #[test]
     fn all_baselines_agree_on_classic(g in arbitrary_graph()) {
         let n = g.num_vertices();
+        let opts = RunOptions::default();
+        let dense = RunOptions::default().with_frontier(FrontierMode::Dense);
         let mut reference = ClassicLp::with_max_iterations(n, 8);
-        GpuEngine::titan_v().run(&g, &mut reference);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts);
         let want = reference.labels();
 
         let mut p = ClassicLp::with_max_iterations(n, 8);
-        CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p);
+        CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p, &dense);
         prop_assert_eq!(p.labels(), want);
 
         let mut p = ClassicLp::with_max_iterations(n, 8);
-        CpuLp::ligra(CpuLpConfig::default()).run(&g, &mut p);
+        CpuLp::ligra(CpuLpConfig::default()).run(&g, &mut p, &opts);
         prop_assert_eq!(p.labels(), want);
 
         let mut p = ClassicLp::with_max_iterations(n, 8);
-        CpuLp::tigergraph(CpuLpConfig::default()).run(&g, &mut p);
+        CpuLp::tigergraph(CpuLpConfig::default()).run(&g, &mut p, &dense);
         prop_assert_eq!(p.labels(), want);
 
         let mut p = ClassicLp::with_max_iterations(n, 8);
-        GSortLp::titan_v().run(&g, &mut p);
+        GSortLp::titan_v().run(&g, &mut p, &opts);
         prop_assert_eq!(p.labels(), want);
 
         let mut p = ClassicLp::with_max_iterations(n, 8);
-        GHashLp::titan_v().run(&g, &mut p);
+        GHashLp::titan_v().run(&g, &mut p, &opts);
         prop_assert_eq!(p.labels(), want);
     }
 
     #[test]
     fn gsort_and_ghash_agree_on_llp(g in arbitrary_graph(), gamma in 0.0f64..8.0) {
         let n = g.num_vertices();
+        let opts = RunOptions::default();
         let mut reference = Llp::with_max_iterations(n, gamma, 6);
-        GpuEngine::titan_v().run(&g, &mut reference);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts);
         let mut p = Llp::with_max_iterations(n, gamma, 6);
-        GSortLp::titan_v().run(&g, &mut p);
+        GSortLp::titan_v().run(&g, &mut p, &opts);
         prop_assert_eq!(p.labels(), reference.labels());
         let mut p = Llp::with_max_iterations(n, gamma, 6);
-        GHashLp::titan_v().run(&g, &mut p);
+        GHashLp::titan_v().run(&g, &mut p, &opts);
         prop_assert_eq!(p.labels(), reference.labels());
     }
 
@@ -71,10 +74,11 @@ proptest! {
     #[test]
     fn modeled_times_sane(g in arbitrary_graph()) {
         let n = g.num_vertices();
+        let opts = RunOptions::default();
         for report in [
-            CpuLp::omp(CpuLpConfig::default()).run(&g, &mut ClassicLp::with_max_iterations(n, 3)),
-            GSortLp::titan_v().run(&g, &mut ClassicLp::with_max_iterations(n, 3)),
-            GHashLp::titan_v().run(&g, &mut ClassicLp::with_max_iterations(n, 3)),
+            CpuLp::omp(CpuLpConfig::default()).run(&g, &mut ClassicLp::with_max_iterations(n, 3), &opts),
+            GSortLp::titan_v().run(&g, &mut ClassicLp::with_max_iterations(n, 3), &opts),
+            GHashLp::titan_v().run(&g, &mut ClassicLp::with_max_iterations(n, 3), &opts),
         ] {
             prop_assert!(report.modeled_seconds.is_finite());
             prop_assert!(report.modeled_seconds > 0.0);

@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use glp_bench::workloads::table4_stream;
 use glp_bench::{run_algo, Algo, Approach};
-use glp_core::engine::{GpuEngine, GpuEngineConfig, HybridEngine, MflStrategy, MultiGpuEngine};
-use glp_core::ClassicLp;
+use glp_core::engine::{GpuEngine, HybridEngine, MflStrategy, MultiGpuEngine};
+use glp_core::{ClassicLp, Engine, RunOptions};
 use glp_fraud::{FraudPipeline, InHouseLp, PipelineConfig, WindowWorkload};
 use glp_gpusim::{Device, DeviceConfig};
 use glp_graph::datasets::by_name;
@@ -66,7 +66,8 @@ fn bench_table3_strategies(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, &s| {
             b.iter(|| {
                 let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 5);
-                GpuEngine::with_strategy(s).run(&g, &mut prog)
+                let opts = RunOptions::default().with_strategy(s);
+                GpuEngine::titan_v().run(&g, &mut prog, &opts)
             });
         });
     }
@@ -84,22 +85,22 @@ fn bench_table4_fig7_windows(c: &mut Criterion) {
     group.bench_function("glp_hybrid", |b| {
         b.iter(|| {
             let dev = Device::new(DeviceConfig::tiny(1 << 20));
-            let mut e = HybridEngine::new(dev, GpuEngineConfig::default());
+            let mut e = HybridEngine::new(dev);
             let mut p = ClassicLp::with_max_iterations(w.graph.num_vertices(), 5);
-            e.run(&w.graph, &mut p)
+            e.run(&w.graph, &mut p, &RunOptions::default())
         });
     });
     group.bench_function("glp_2gpu", |b| {
         b.iter(|| {
             let mut e = MultiGpuEngine::titan_v(2);
             let mut p = ClassicLp::with_max_iterations(w.graph.num_vertices(), 5);
-            e.run(&w.graph, &mut p)
+            e.run(&w.graph, &mut p, &RunOptions::default())
         });
     });
     group.bench_function("inhouse", |b| {
         b.iter(|| {
             let mut p = ClassicLp::with_max_iterations(w.graph.num_vertices(), 5);
-            InHouseLp::taobao().run(&w.graph, &mut p)
+            InHouseLp::taobao().run(&w.graph, &mut p, &RunOptions::default())
         });
     });
     group.bench_function("full_pipeline", |b| {
@@ -109,7 +110,7 @@ fn bench_table4_fig7_windows(c: &mut Criterion) {
                 lp_iterations: 5,
                 ..Default::default()
             });
-            pipe.run(&stream, |g, p| GpuEngine::titan_v().run(g, p))
+            pipe.run(&stream, &mut GpuEngine::titan_v(), &RunOptions::default())
         });
     });
     group.finish();

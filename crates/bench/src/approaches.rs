@@ -1,9 +1,9 @@
 //! Unified dispatch over the six compared approaches and three LP
-//! algorithms of §5.1–5.2.
+//! algorithms of §5.1–5.2, all driven through the [`Engine`] trait.
 
 use glp_baselines::{CpuLp, CpuLpConfig, GHashLp, GSortLp};
 use glp_core::engine::GpuEngine;
-use glp_core::{ClassicLp, Llp, LpProgram, LpRunReport, Slp};
+use glp_core::{ClassicLp, Engine, FrontierMode, Llp, LpRunReport, RunOptions, Slp};
 use glp_graph::Graph;
 
 /// The compared approaches of §5.1 in the paper's order.
@@ -53,6 +53,37 @@ impl Approach {
     pub fn supports(&self, algo: Algo) -> bool {
         !matches!((self, algo), (Approach::Tg, Algo::Llp(_) | Algo::Slp(_)))
     }
+
+    /// A freshly constructed engine for this approach — the only place in
+    /// the benchmark suite that names a concrete engine type.
+    pub fn engine(&self) -> Box<dyn Engine> {
+        match self {
+            Approach::Tg => Box::new(CpuLp::tigergraph(CpuLpConfig::default())),
+            Approach::Ligra => Box::new(CpuLp::ligra(CpuLpConfig::default())),
+            Approach::Omp => Box::new(CpuLp::omp(CpuLpConfig::default())),
+            Approach::GSort => Box::new(GSortLp::titan_v()),
+            Approach::GHash => Box::new(GHashLp::titan_v()),
+            Approach::Glp => Box::new(GpuEngine::titan_v()),
+        }
+    }
+
+    /// The approach's historical scheduling personality: only Ligra and
+    /// GLP are frontier systems; everyone else rescans every vertex every
+    /// iteration (§2.2).
+    pub fn frontier(&self) -> FrontierMode {
+        match self {
+            Approach::Ligra | Approach::Glp => FrontierMode::Auto,
+            _ => FrontierMode::Dense,
+        }
+    }
+
+    /// Run options matching the approach's personality with the given
+    /// iteration cap.
+    pub fn options(&self, iterations: u32) -> RunOptions {
+        RunOptions::default()
+            .with_max_iterations(iterations)
+            .with_frontier(self.frontier())
+    }
 }
 
 /// The evaluated LP algorithms with their benchmark parameters (§5.1).
@@ -66,17 +97,6 @@ pub enum Algo {
     Slp(u64),
 }
 
-fn run_with<P: LpProgram>(approach: Approach, g: &Graph, prog: &mut P) -> LpRunReport {
-    match approach {
-        Approach::Tg => CpuLp::tigergraph(CpuLpConfig::default()).run(g, prog),
-        Approach::Ligra => CpuLp::ligra(CpuLpConfig::default()).run(g, prog),
-        Approach::Omp => CpuLp::omp(CpuLpConfig::default()).run(g, prog),
-        Approach::GSort => GSortLp::titan_v().run(g, prog),
-        Approach::GHash => GHashLp::titan_v().run(g, prog),
-        Approach::Glp => GpuEngine::titan_v().run(g, prog),
-    }
-}
-
 /// Runs `algo` on `g` with `approach` for up to `iterations` rounds.
 ///
 /// # Panics
@@ -88,22 +108,16 @@ pub fn run_algo(approach: Approach, g: &Graph, algo: Algo, iterations: u32) -> L
         approach.name()
     );
     let n = g.num_vertices();
+    let mut engine = approach.engine();
+    let opts = approach.options(iterations);
     match algo {
-        Algo::Classic => run_with(
-            approach,
-            g,
-            &mut ClassicLp::with_max_iterations(n, iterations),
-        ),
-        Algo::Llp(gamma) => run_with(
-            approach,
+        Algo::Classic => engine.run(g, &mut ClassicLp::with_max_iterations(n, iterations), &opts),
+        Algo::Llp(gamma) => engine.run(
             g,
             &mut Llp::with_max_iterations(n, gamma, iterations),
+            &opts,
         ),
-        Algo::Slp(seed) => run_with(
-            approach,
-            g,
-            &mut Slp::with_params(n, 5, 0.2, iterations, seed),
-        ),
+        Algo::Slp(seed) => engine.run(g, &mut Slp::with_params(n, 5, 0.2, iterations, seed), &opts),
     }
 }
 
@@ -131,5 +145,12 @@ mod tests {
         assert!(!Approach::Tg.supports(Algo::Llp(1.0)));
         assert!(!Approach::Tg.supports(Algo::Slp(1)));
         assert!(Approach::Tg.supports(Algo::Classic));
+    }
+
+    #[test]
+    fn engine_names_match_legend_names() {
+        for a in Approach::all() {
+            assert_eq!(a.engine().name(), a.name());
+        }
     }
 }

@@ -11,9 +11,8 @@
 use glp_bench::figures::selected_datasets;
 use glp_bench::table::{fmt_seconds, print_table};
 use glp_bench::Args;
-use glp_core::engine::{GpuEngine, GpuEngineConfig};
-use glp_core::ClassicLp;
-use glp_gpusim::Device;
+use glp_core::engine::GpuEngine;
+use glp_core::{ClassicLp, Engine, FrontierMode, RunOptions};
 
 fn main() {
     let args = Args::parse();
@@ -22,17 +21,16 @@ fn main() {
     for (spec, scale) in selected_datasets(&args) {
         eprintln!("... {} (scale 1/{scale})", spec.name);
         let g = spec.generate_scaled(scale);
-        let run = |use_frontier: bool| {
-            let cfg = GpuEngineConfig {
-                use_frontier,
-                ..Default::default()
-            };
-            let mut engine = GpuEngine::new(Device::titan_v(), cfg);
+        let run = |frontier: FrontierMode| {
+            let opts = RunOptions::default()
+                .with_max_iterations(iters)
+                .with_frontier(frontier);
+            let mut engine = GpuEngine::titan_v();
             let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-            engine.run(&g, &mut prog)
+            engine.run(&g, &mut prog, &opts)
         };
-        let dense = run(false);
-        let frontier = run(true);
+        let dense = run(FrontierMode::Dense);
+        let frontier = run(FrontierMode::Auto);
         let last_changed = *frontier.changed_per_iteration.last().unwrap_or(&0);
         rows.push(vec![
             spec.name.to_string(),

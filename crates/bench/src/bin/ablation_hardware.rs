@@ -10,8 +10,8 @@
 
 use glp_bench::table::{fmt_seconds, print_table};
 use glp_bench::Args;
-use glp_core::engine::{GpuEngine, GpuEngineConfig};
-use glp_core::ClassicLp;
+use glp_core::engine::GpuEngine;
+use glp_core::{ClassicLp, Engine, RunOptions};
 use glp_gpusim::{Device, DeviceConfig};
 use glp_graph::datasets::by_name;
 
@@ -37,9 +37,13 @@ fn main() {
     ] {
         let name = cfg.name.clone();
         let bw = cfg.mem_bandwidth_gbps;
-        let mut engine = GpuEngine::new(Device::new(cfg), GpuEngineConfig::default());
+        let mut engine = GpuEngine::new(Device::new(cfg));
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-        let r = engine.run(&g, &mut prog);
+        let r = engine.run(
+            &g,
+            &mut prog,
+            &RunOptions::default().with_max_iterations(iters),
+        );
         let base = *baseline.get_or_insert(r.modeled_seconds);
         rows.push(vec![
             name,

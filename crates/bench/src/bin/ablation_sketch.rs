@@ -10,9 +10,8 @@
 
 use glp_bench::table::{fmt_seconds, print_table};
 use glp_bench::Args;
-use glp_core::engine::{GpuEngine, GpuEngineConfig, MflStrategy};
-use glp_core::ClassicLp;
-use glp_gpusim::Device;
+use glp_core::engine::{GpuEngine, MflStrategy};
+use glp_core::{ClassicLp, Engine, RunOptions};
 use glp_graph::datasets::by_name;
 
 fn main() {
@@ -37,16 +36,17 @@ fn main() {
         (1024, 1, 2048),
         (64, 1, 256),
     ] {
-        let cfg = GpuEngineConfig {
+        let opts = RunOptions {
+            max_iterations: iters,
             strategy: MflStrategy::SmemWarp,
             ht_slots,
             cms_depth,
             cms_width,
             ..Default::default()
         };
-        let mut engine = GpuEngine::new(Device::titan_v(), cfg);
+        let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-        let report = engine.run(&g, &mut prog);
+        let report = engine.run(&g, &mut prog, &opts);
         rows.push(vec![
             format!("{ht_slots}"),
             format!("{cms_depth}"),

@@ -9,9 +9,8 @@
 
 use glp_bench::table::{fmt_seconds, print_table};
 use glp_bench::Args;
-use glp_core::engine::{DegreeThresholds, GpuEngine, GpuEngineConfig, MflStrategy};
-use glp_core::ClassicLp;
-use glp_gpusim::Device;
+use glp_core::engine::{DegreeThresholds, GpuEngine, MflStrategy};
+use glp_core::{ClassicLp, Engine, RunOptions};
 use glp_graph::datasets::by_name;
 
 fn main() {
@@ -37,15 +36,16 @@ fn main() {
         (32, 512),
         (8, 512),
     ] {
-        let cfg = GpuEngineConfig {
+        let opts = RunOptions {
+            max_iterations: iters,
             strategy: MflStrategy::SmemWarp,
             thresholds: DegreeThresholds { low, high },
             mid_ht_slots: (high as usize).next_power_of_two().max(256),
             ..Default::default()
         };
-        let mut engine = GpuEngine::new(Device::titan_v(), cfg);
+        let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-        let report = engine.run(&g, &mut prog);
+        let report = engine.run(&g, &mut prog, &opts);
         let marker = if (low, high) == (32, 128) {
             " <- paper"
         } else {

@@ -15,8 +15,8 @@
 use glp_bench::table::{fmt_seconds, print_table};
 use glp_bench::workloads::table4_stream;
 use glp_bench::Args;
-use glp_core::engine::{GpuEngineConfig, HybridEngine, MultiGpuEngine};
-use glp_core::ClassicLp;
+use glp_core::engine::{HybridEngine, MultiGpuEngine};
+use glp_core::{ClassicLp, Engine, RunOptions};
 use glp_fraud::window::{table4, WindowWorkload};
 use glp_fraud::InHouseLp;
 use glp_gpusim::{Device, DeviceConfig};
@@ -45,29 +45,26 @@ fn main() {
 
         // GLP, one (scaled) GPU; hybrid mode engages when the CSR
         // overflows.
+        let opts = RunOptions::default().with_max_iterations(iters);
         let dev_cfg = DeviceConfig::tiny(device_mem_mb * (1 << 20));
-        let mut glp1 = HybridEngine::new(Device::new(dev_cfg.clone()), GpuEngineConfig::default());
+        let mut glp1 = HybridEngine::new(Device::new(dev_cfg.clone()));
         let chunks = glp1.plan_chunks(g);
         let mut p = ClassicLp::with_max_iterations(n, iters);
-        let r1 = glp1.run(g, &mut p);
+        let r1 = glp1.run(g, &mut p, &opts);
 
         // GLP, two GPUs of the same scaled size — their combined memory
         // holds every window, mirroring how the paper's second Titan V
         // relieves the memory pressure.
-        let mut glp2 = MultiGpuEngine::new(
-            2,
-            DeviceConfig::tiny(2 * device_mem_mb * (1 << 20)),
-            GpuEngineConfig::default(),
-        );
+        let mut glp2 = MultiGpuEngine::new(2, DeviceConfig::tiny(2 * device_mem_mb * (1 << 20)));
         let mut p = ClassicLp::with_max_iterations(n, iters);
-        let r2 = glp2.run(g, &mut p);
+        let r2 = glp2.run(g, &mut p, &opts);
 
         // The in-house 32-machine distributed solution, its fixed
         // per-superstep latency scaled by how much smaller this window is
         // than the production one (proportional costs scale on their own).
         let workload_ratio = (f64::from(spec.paper_vertices_m) * 1e6 / n as f64).max(1.0);
         let mut p = ClassicLp::with_max_iterations(n, iters);
-        let r_in = InHouseLp::taobao_scaled(workload_ratio).run(g, &mut p);
+        let r_in = InHouseLp::taobao_scaled(workload_ratio).run(g, &mut p, &opts);
 
         let speedup = r_in.seconds_per_iteration() / r1.seconds_per_iteration();
         let gain2 = r1.seconds_per_iteration() / r2.seconds_per_iteration();

@@ -22,7 +22,9 @@ use glp_bench::table::fmt_seconds;
 use glp_bench::Args;
 use glp_core::community::{modularity, num_communities};
 use glp_core::engine::{GpuEngine, MflStrategy};
-use glp_core::{ClassicLp, Llp, LpProgram, LpRunReport, SeededLp, Slp};
+use glp_core::{
+    ClassicLp, Engine, FrontierMode, Llp, LpProgram, LpRunReport, RunOptions, SeededLp, Slp,
+};
 use glp_fraud::InHouseLp;
 use glp_gpusim::DeviceProfile;
 use glp_graph::datasets::by_name;
@@ -58,21 +60,43 @@ fn load_graph(args: &Args) -> Graph {
     }
 }
 
-fn run_program<P: LpProgram>(engine: &str, g: &Graph, prog: &mut P) -> LpRunReport {
-    match engine {
-        "glp" => GpuEngine::titan_v().run(g, prog),
-        "global" => GpuEngine::with_strategy(MflStrategy::Global).run(g, prog),
-        "smem" => GpuEngine::with_strategy(MflStrategy::Smem).run(g, prog),
-        "omp" => CpuLp::omp(CpuLpConfig::default()).run(g, prog),
-        "ligra" => CpuLp::ligra(CpuLpConfig::default()).run(g, prog),
-        "tg" => CpuLp::tigergraph(CpuLpConfig::default()).run(g, prog),
-        "gsort" => GSortLp::titan_v().run(g, prog),
-        "ghash" => GHashLp::titan_v().run(g, prog),
-        "inhouse" => InHouseLp::taobao().run(g, prog),
+fn run_options(args: &Args) -> RunOptions {
+    let opts = RunOptions::default().with_max_iterations(args.get("iters", 20));
+    match args.get_str("frontier") {
+        None | Some("auto") => opts,
+        Some("dense") => opts.with_frontier(FrontierMode::Dense),
+        Some(other) => die(&format!("unknown frontier mode {other:?} (auto|dense)")),
+    }
+}
+
+fn run_program(
+    engine: &str,
+    g: &Graph,
+    prog: &mut dyn LpProgram,
+    opts: &RunOptions,
+) -> LpRunReport {
+    let mut opts = opts.clone();
+    let mut e: Box<dyn Engine> = match engine {
+        "glp" => Box::new(GpuEngine::titan_v()),
+        "global" => {
+            opts.strategy = MflStrategy::Global;
+            Box::new(GpuEngine::titan_v())
+        }
+        "smem" => {
+            opts.strategy = MflStrategy::Smem;
+            Box::new(GpuEngine::titan_v())
+        }
+        "omp" => Box::new(CpuLp::omp(CpuLpConfig::default())),
+        "ligra" => Box::new(CpuLp::ligra(CpuLpConfig::default())),
+        "tg" => Box::new(CpuLp::tigergraph(CpuLpConfig::default())),
+        "gsort" => Box::new(GSortLp::titan_v()),
+        "ghash" => Box::new(GHashLp::titan_v()),
+        "inhouse" => Box::new(InHouseLp::taobao()),
         other => die(&format!(
             "unknown engine {other:?} (glp|global|smem|omp|ligra|tg|gsort|ghash|inhouse)"
         )),
-    }
+    };
+    e.run(g, prog, &opts)
 }
 
 fn cmd_generate(args: &Args) {
@@ -102,30 +126,31 @@ fn cmd_run(args: &Args) {
     let iters: u32 = args.get("iters", 20);
     let engine = args.get_str("engine").unwrap_or("glp").to_string();
     let algo = args.get_str("algo").unwrap_or("classic").to_string();
+    let opts = run_options(args);
     let n = g.num_vertices();
     let (report, labels): (LpRunReport, Vec<u32>) = match algo.as_str() {
         "classic" => {
             let mut p = ClassicLp::with_max_iterations(n, iters);
-            let r = run_program(&engine, &g, &mut p);
+            let r = run_program(&engine, &g, &mut p, &opts);
             (r, p.labels().to_vec())
         }
         "llp" => {
             let gamma: f64 = args.get("gamma", 1.0);
             let mut p = Llp::with_max_iterations(n, gamma, iters);
-            let r = run_program(&engine, &g, &mut p);
+            let r = run_program(&engine, &g, &mut p, &opts);
             (r, p.labels().to_vec())
         }
         "slp" => {
             let seed: u64 = args.get("seed", 0x519);
             let mut p = Slp::with_params(n, 5, 0.2, iters, seed);
-            let r = run_program(&engine, &g, &mut p);
+            let r = run_program(&engine, &g, &mut p, &opts);
             (r, p.labels().to_vec())
         }
         "seeded" => {
             let every: usize = args.get("seed-every", 100);
             let seeds: Vec<u32> = (0..n as u32).step_by(every.max(1)).collect();
             let mut p = SeededLp::with_max_iterations(n, &seeds, iters);
-            let r = run_program(&engine, &g, &mut p);
+            let r = run_program(&engine, &g, &mut p, &opts);
             (r, p.labels().to_vec())
         }
         other => die(&format!("unknown algo {other:?} (classic|llp|slp|seeded)")),
@@ -162,7 +187,11 @@ fn cmd_profile(args: &Args) {
     let iters: u32 = args.get("iters", 20);
     let mut engine = GpuEngine::titan_v();
     let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-    let report = engine.run(&g, &mut prog);
+    let report = engine.run(
+        &g,
+        &mut prog,
+        &RunOptions::default().with_max_iterations(iters),
+    );
     println!(
         "classic LP, {} iterations, {} modeled\n",
         report.iterations,

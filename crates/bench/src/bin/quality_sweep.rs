@@ -14,7 +14,7 @@ use glp_bench::table::print_table;
 use glp_bench::Args;
 use glp_core::community::{modularity, nmi, num_communities, purity};
 use glp_core::engine::GpuEngine;
-use glp_core::{ClassicLp, Llp, LpProgram};
+use glp_core::{ClassicLp, Engine, Llp, LpProgram, RunOptions};
 use glp_graph::gen::{community_powerlaw_with_truth, CommunityPowerLawConfig};
 
 fn main() {
@@ -33,7 +33,7 @@ fn main() {
             ..Default::default()
         });
         let mut prog = ClassicLp::with_max_iterations(n, iters);
-        GpuEngine::titan_v().run(&g, &mut prog);
+        GpuEngine::titan_v().run(&g, &mut prog, &RunOptions::default());
         let labels = prog.labels();
         rows.push(vec![
             format!("{mixing:.2}"),
@@ -56,7 +56,7 @@ fn main() {
     let mut rows = Vec::new();
     for gamma in [0.0, 0.5, 1.0, 2.0, 4.0, 16.0] {
         let mut prog = Llp::with_max_iterations(n, gamma, iters);
-        GpuEngine::titan_v().run(&g, &mut prog);
+        GpuEngine::titan_v().run(&g, &mut prog, &RunOptions::default());
         let labels = prog.labels();
         rows.push(vec![
             format!("{gamma}"),

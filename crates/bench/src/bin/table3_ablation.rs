@@ -17,13 +17,16 @@ use glp_bench::figures::selected_datasets;
 use glp_bench::table::{fmt_seconds, print_table};
 use glp_bench::Args;
 use glp_core::engine::{GpuEngine, MflStrategy};
-use glp_core::{ClassicLp, LpRunReport};
+use glp_core::{ClassicLp, Engine, LpRunReport, RunOptions};
 use glp_graph::Graph;
 
 fn run(strategy: MflStrategy, g: &Graph, iters: u32) -> LpRunReport {
-    let mut engine = GpuEngine::with_strategy(strategy);
+    let opts = RunOptions::default()
+        .with_max_iterations(iters)
+        .with_strategy(strategy);
+    let mut engine = GpuEngine::titan_v();
     let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-    engine.run(g, &mut prog)
+    engine.run(g, &mut prog, &opts)
 }
 
 fn main() {

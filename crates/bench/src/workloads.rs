@@ -46,8 +46,8 @@ mod tests {
 #[cfg(test)]
 mod probe {
     use super::*;
-    use glp_core::engine::{GpuEngineConfig, HybridEngine};
-    use glp_core::ClassicLp;
+    use glp_core::engine::HybridEngine;
+    use glp_core::{ClassicLp, Engine, RunOptions};
     use glp_fraud::WindowWorkload;
     use glp_gpusim::{Device, DeviceConfig};
 
@@ -57,9 +57,9 @@ mod probe {
         let s = table4_stream(16);
         let w = WindowWorkload::build(&s, 50);
         let dev = Device::new(DeviceConfig::tiny(4 << 20));
-        let mut e = HybridEngine::new(dev, GpuEngineConfig::default());
+        let mut e = HybridEngine::new(dev);
         let mut p = ClassicLp::with_max_iterations(w.graph.num_vertices(), 20);
-        let r = e.run(&w.graph, &mut p);
+        let r = e.run(&w.graph, &mut p, &RunOptions::default());
         eprintln!(
             "V={} E={} changed={:?}",
             w.graph.num_vertices(),

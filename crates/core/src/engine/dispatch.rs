@@ -87,6 +87,32 @@ impl Buckets {
             + self.block_per_vertex.len()
             + self.global_hash.len()
     }
+
+    /// Vertices the propagation kernels will actually process (everything
+    /// but the isolated bucket) — the per-iteration *active* count.
+    pub fn scheduled(&self) -> usize {
+        self.warp_packed.len()
+            + self.warp_per_vertex.len()
+            + self.block_per_vertex.len()
+            + self.global_hash.len()
+    }
+
+    /// Rebuilds the dispatch for one frontier iteration: every bucket
+    /// restricted to the active vertices. Filtering preserves ascending
+    /// vertex order and degree classes, so high/low-degree kernel
+    /// selection is unchanged — only the work shrinks.
+    pub fn filtered(&self, active: &[bool]) -> Buckets {
+        let keep = |vs: &[VertexId]| -> Vec<VertexId> {
+            vs.iter().copied().filter(|&v| active[v as usize]).collect()
+        };
+        Buckets {
+            isolated: Vec::new(),
+            warp_packed: keep(&self.warp_packed),
+            warp_per_vertex: keep(&self.warp_per_vertex),
+            block_per_vertex: keep(&self.block_per_vertex),
+            global_hash: keep(&self.global_hash),
+        }
+    }
 }
 
 /// Splits `vertices` into at most `shards` contiguous slices with

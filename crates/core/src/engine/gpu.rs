@@ -1,158 +1,71 @@
 //! The single-GPU GLP engine: the paper's BSP workflow (Figure 2) with
-//! degree-bucketed MFL kernels (§4).
+//! degree-bucketed MFL kernels (§4) and active-frontier scheduling.
 
-use super::dispatch::{split_by_degree, Buckets, DegreeThresholds};
+use super::dispatch::{split_by_degree, Buckets};
 use super::kernels::{
     self, block_cms_ht_kernel, global_hash_kernel, warp_packed_kernel, warp_per_vertex_kernel,
-    ShardStats, SmemGeometry,
+    ShardStats,
 };
-use super::{Decision, MflStrategy};
+use super::{Decision, Engine, RunOptions};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
 use glp_gpusim::{Device, KernelCtx};
 use glp_graph::{Graph, Label, VertexId};
+use std::borrow::Cow;
 use std::time::Instant;
-
-/// Engine configuration: strategy, dispatch thresholds, and the
-/// shared-memory geometry of §4.1 (defaults follow the paper's settings
-/// and the Titan V's 48 KiB shared-memory budget).
-#[derive(Clone, Debug)]
-pub struct GpuEngineConfig {
-    /// MFL strategy (the Table 3 ablation axis).
-    pub strategy: MflStrategy,
-    /// Degree thresholds for kernel dispatch (§5.3: low 32, high 128).
-    pub thresholds: DegreeThresholds,
-    /// Shared HT slots of the one-warp-one-vertex kernel. Must be at least
-    /// `thresholds.high` so mid-degree tables never overflow.
-    pub mid_ht_slots: usize,
-    /// Shared HT slots `h` of the CMS+HT kernel.
-    pub ht_slots: usize,
-    /// HT probe budget before a label overflows to the CMS.
-    pub ht_probe_limit: u32,
-    /// CMS rows `d`.
-    pub cms_depth: usize,
-    /// CMS buckets per row `w`.
-    pub cms_width: usize,
-    /// Harness OS threads per kernel (0 = number of available cores, capped
-    /// at 16). Has no effect on modeled time.
-    pub shards: usize,
-    /// Hard iteration cap regardless of the program's own termination.
-    pub max_iterations: u32,
-    /// Skip vertices none of whose in-neighbors changed (sound only for
-    /// programs with [`sparse_activation`](crate::LpProgram::sparse_activation)).
-    /// §2.2 criticizes baselines for repeatedly reloading labels "but only
-    /// a subset of them have their labels updated" — this is GLP's answer,
-    /// so it defaults on; the G-Hash baseline disables it.
-    pub use_frontier: bool,
-}
-
-impl Default for GpuEngineConfig {
-    fn default() -> Self {
-        Self {
-            strategy: MflStrategy::SmemWarp,
-            thresholds: DegreeThresholds::default(),
-            mid_ht_slots: 256,
-            ht_slots: 1024,
-            ht_probe_limit: 32,
-            cms_depth: 4,
-            cms_width: 2048,
-            shards: 0,
-            max_iterations: 10_000,
-            use_frontier: true,
-        }
-    }
-}
-
-impl GpuEngineConfig {
-    /// Default configuration with a different strategy.
-    pub fn with_strategy(strategy: MflStrategy) -> Self {
-        Self {
-            strategy,
-            ..Self::default()
-        }
-    }
-
-    pub(crate) fn smem_geometry(&self) -> SmemGeometry {
-        SmemGeometry {
-            ht_slots: self.ht_slots,
-            ht_probe_limit: self.ht_probe_limit,
-            cms_depth: self.cms_depth,
-            cms_width: self.cms_width,
-        }
-    }
-
-    pub(crate) fn resolve_shards(&self) -> usize {
-        if self.shards > 0 {
-            self.shards
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(16)
-        }
-    }
-}
 
 /// Simulated address bases for the engine-owned arrays (distinct from the
 /// kernel-internal ones in [`kernels::layout`]).
 const SPOKEN_OUT: u64 = 0x6_0000_0000;
 const LABEL_STATE: u64 = 0x7_0000_0000;
+/// Frontier bitmap (1 bit per vertex) and the compacted active-vertex
+/// lists the next iteration's dispatch consumes.
+const FRONTIER_BITMAP: u64 = 0x9_0000_0000;
+const FRONTIER_LISTS: u64 = 0x9_8000_0000;
 
 /// The single-GPU engine. Owns the device so modeled time accumulates
-/// across phases and can be inspected afterwards via [`GpuEngine::device`].
+/// across phases and can be inspected afterwards via [`GpuEngine::device`];
+/// all per-run configuration comes from [`RunOptions`].
 #[derive(Debug)]
 pub struct GpuEngine {
     device: Device,
-    cfg: GpuEngineConfig,
 }
 
 impl GpuEngine {
     /// Engine on the given device.
-    pub fn new(device: Device, cfg: GpuEngineConfig) -> Self {
-        assert!(
-            cfg.mid_ht_slots >= cfg.thresholds.high as usize,
-            "mid HT ({}) must hold every distinct label of a mid-degree vertex (<= {})",
-            cfg.mid_ht_slots,
-            cfg.thresholds.high
-        );
-        cfg.smem_geometry()
-            .validate(device.config().shared_mem_per_block);
-        Self { device, cfg }
+    pub fn new(device: Device) -> Self {
+        Self { device }
     }
 
-    /// Engine on a modeled Titan V with the default configuration.
+    /// Engine on a modeled Titan V (the paper's primary card).
     pub fn titan_v() -> Self {
-        Self::new(Device::titan_v(), GpuEngineConfig::default())
-    }
-
-    /// Engine on a modeled Titan V with a chosen strategy.
-    pub fn with_strategy(strategy: MflStrategy) -> Self {
-        Self::new(Device::titan_v(), GpuEngineConfig::with_strategy(strategy))
+        Self::new(Device::titan_v())
     }
 
     /// The underlying simulated device.
     pub fn device(&self) -> &Device {
         &self.device
     }
+}
 
-    /// The configuration.
-    pub fn config(&self) -> &GpuEngineConfig {
-        &self.cfg
+impl Engine for GpuEngine {
+    fn name(&self) -> &'static str {
+        "GLP"
     }
 
-    /// Runs `prog` on `g` to termination, returning the run report. The
-    /// graph must fit in device memory (use
-    /// [`HybridEngine`](super::HybridEngine) otherwise).
-    pub fn run<P: LpProgram>(&mut self, g: &Graph, prog: &mut P) -> LpRunReport {
+    /// Runs `prog` on `g` to termination. The graph must fit in device
+    /// memory (use [`HybridEngine`](super::HybridEngine) otherwise).
+    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
             "program sized for a different graph"
         );
+        opts.validate_for_device(self.device.config().shared_mem_per_block);
         let wall_start = Instant::now();
         let n = g.num_vertices();
-        let shards = self.cfg.resolve_shards();
-        let buckets = Buckets::build(g, self.cfg.strategy, self.cfg.thresholds);
+        let shards = opts.resolve_shards();
+        let buckets = Buckets::build(g, opts.strategy, opts.thresholds);
 
         // Upload: CSR + label state + spoken array + decision array.
         let footprint = g.size_bytes() + (n as u64) * (4 + 4 + 12);
@@ -163,28 +76,34 @@ impl GpuEngine {
         let mut spoken: Vec<Label> = vec![0; n];
         let mut decisions: Vec<Decision> = vec![None; n];
         let mut active = vec![true; n];
-        let sparse = self.cfg.use_frontier && prog.sparse_activation();
+        let sparse = opts.frontier.sparse(prog.sparse_activation());
         let mut report = LpRunReport::default();
         let start_elapsed = t0;
 
-        for iteration in 0..self.cfg.max_iterations {
+        for iteration in 0..opts.max_iterations {
             let iter_start = self.device.elapsed_seconds();
             prog.begin_iteration(iteration);
-            pick_labels(&mut self.device, &mut spoken, 0, &*prog, shards);
+            pick_labels(&mut self.device, &mut spoken, 0, prog, shards);
             decisions.iter_mut().for_each(|d| *d = None);
+            // Rebuild the degree-bucketed dispatch over this iteration's
+            // frontier; the full-vertex bucketing is reused whenever the
+            // frontier is (still) saturated.
             let all_active = !sparse || active.iter().all(|&a| a);
-            let filtered: std::borrow::Cow<'_, Buckets> = if all_active {
-                std::borrow::Cow::Borrowed(&buckets)
+            let filtered: Cow<'_, Buckets> = if all_active {
+                Cow::Borrowed(&buckets)
             } else {
-                std::borrow::Cow::Owned(filter_buckets(&buckets, &active))
+                Cow::Owned(buckets.filtered(&active))
             };
+            report
+                .active_per_iteration
+                .push(filtered.scheduled() as u64);
             let stats = propagate(
                 &mut self.device,
                 g,
                 &spoken,
-                &*prog,
+                prog,
                 &filtered,
-                &self.cfg,
+                opts,
                 shards,
                 &mut decisions,
             );
@@ -219,20 +138,6 @@ impl GpuEngine {
     }
 }
 
-/// Restricts every bucket to the active vertices (frontier filtering).
-pub(crate) fn filter_buckets(buckets: &Buckets, active: &[bool]) -> Buckets {
-    let keep = |vs: &[VertexId]| -> Vec<VertexId> {
-        vs.iter().copied().filter(|&v| active[v as usize]).collect()
-    };
-    Buckets {
-        isolated: Vec::new(),
-        warp_packed: keep(&buckets.warp_packed),
-        warp_per_vertex: keep(&buckets.warp_per_vertex),
-        block_per_vertex: keep(&buckets.block_per_vertex),
-        global_hash: keep(&buckets.global_hash),
-    }
-}
-
 /// Recomputes the active set — out-neighbors of every vertex whose spoken
 /// label changed — returning the number of marks written (host side; every
 /// engine shares this so the frontier semantics cannot diverge).
@@ -259,9 +164,11 @@ pub(crate) fn recompute_active(
 }
 
 /// Charges the frontier-maintenance kernel for `n` vertices with `touched`
-/// bitmap marks (a coalesced pass over the change flags plus scattered
-/// bitmap writes).
-pub(crate) fn charge_frontier(device: &mut Device, n: u64, touched: u64) {
+/// bitmap marks and `next_active` survivors: a coalesced pass over the
+/// change flags plus scattered bitmap writes, then the stream compaction
+/// that rebuilds the per-bucket vertex lists the next iteration's
+/// dispatch consumes.
+pub(crate) fn charge_frontier(device: &mut Device, n: u64, touched: u64, next_active: u64) {
     device.launch("frontier_update", |ctx| {
         ctx.global_read_seq(LABEL_STATE, n, 4);
         // The frontier is a bitmap: one sector covers 256 vertices, so the
@@ -272,9 +179,17 @@ pub(crate) fn charge_frontier(device: &mut Device, n: u64, touched: u64) {
         ctx.lanes_active(n);
         ctx.alu(2 * n.div_ceil(32) + touched / 32);
     });
+    device.launch("frontier_compact", |ctx| {
+        // Bitmap scan + prefix-sum compaction into dense vertex lists.
+        ctx.global_read_seq(FRONTIER_BITMAP, n.div_ceil(8), 1);
+        ctx.global_write_seq(FRONTIER_LISTS, next_active, 4);
+        ctx.warps_launched(n.div_ceil(32));
+        ctx.lanes_active(n);
+        ctx.alu(3 * n.div_ceil(32) + next_active / 32);
+    });
 }
 
-/// GPU-side frontier refresh: shared recompute plus the kernel charge.
+/// GPU-side frontier refresh: shared recompute plus the kernel charges.
 pub(crate) fn refresh_active(
     device: &mut Device,
     g: &Graph,
@@ -283,18 +198,19 @@ pub(crate) fn refresh_active(
     active: &mut [bool],
 ) {
     let touched = recompute_active(g, spoken, decisions, active);
-    charge_frontier(device, decisions.len() as u64, touched);
+    let next_active = active.iter().filter(|&&a| a).count() as u64;
+    charge_frontier(device, decisions.len() as u64, touched, next_active);
 }
 
 /// PickLabel (Figure 2): a trivially parallel kernel writing the
 /// spoken-label array, coalesced. `spoken` covers vertices
 /// `base .. base + spoken.len()` (multi-GPU engines pass per-device
 /// sub-slices).
-pub(crate) fn pick_labels<P: LpProgram>(
+pub(crate) fn pick_labels(
     device: &mut Device,
     spoken: &mut [Label],
     base: VertexId,
-    prog: &P,
+    prog: &dyn LpProgram,
     shards: usize,
 ) {
     let n = spoken.len();
@@ -322,19 +238,19 @@ pub(crate) fn pick_labels<P: LpProgram>(
 /// LabelPropagation (Figure 2): degree-bucketed kernels over the vertices
 /// named in `buckets`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn propagate<P: LpProgram>(
+pub(crate) fn propagate(
     device: &mut Device,
     g: &Graph,
     spoken: &[Label],
-    prog: &P,
+    prog: &dyn LpProgram,
     buckets: &Buckets,
-    cfg: &GpuEngineConfig,
+    opts: &RunOptions,
     shards: usize,
     decisions: &mut [Decision],
 ) -> ShardStats {
     let csr = g.incoming();
-    let geom = cfg.smem_geometry();
-    let mid_slots = cfg.mid_ht_slots;
+    let geom = opts.smem_geometry();
+    let mid_slots = opts.mid_ht_slots;
     let mut stats = ShardStats::default();
 
     let scatter = |outs: Vec<(Vec<(VertexId, Decision)>, ShardStats)>,
@@ -396,11 +312,13 @@ pub(crate) fn propagate<P: LpProgram>(
 }
 
 /// UpdateVertex (Figure 2): host-driven state updates plus the modeled
-/// coalesced read/write kernel.
-pub(crate) fn apply_updates<P: LpProgram>(
+/// coalesced read/write kernel. Every vertex is visited in ascending
+/// order; under frontier scheduling skipped vertices carry a `None`
+/// decision, which sparse-activation programs treat as "keep state".
+pub(crate) fn apply_updates(
     device: &mut Device,
     decisions: &[Decision],
-    prog: &mut P,
+    prog: &mut dyn LpProgram,
 ) -> u64 {
     let n = decisions.len() as u64;
     device.launch("update_vertex", |ctx| {
@@ -421,14 +339,15 @@ pub(crate) fn apply_updates<P: LpProgram>(
 
 #[cfg(test)]
 mod tests {
+    use super::super::{FrontierMode, MflStrategy};
     use super::*;
     use crate::variants::ClassicLp;
     use glp_graph::gen::{caveman, two_cliques_bridge};
 
     fn labels_after(strategy: MflStrategy, g: &Graph) -> (Vec<Label>, LpRunReport) {
-        let mut engine = GpuEngine::with_strategy(strategy);
+        let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::new(g.num_vertices());
-        let report = engine.run(g, &mut prog);
+        let report = engine.run(g, &mut prog, &RunOptions::default().with_strategy(strategy));
         (prog.labels().to_vec(), report)
     }
 
@@ -474,7 +393,38 @@ mod tests {
             report.changed_per_iteration.len(),
             report.iterations as usize
         );
+        assert_eq!(
+            report.active_per_iteration.len(),
+            report.iterations as usize
+        );
         assert_eq!(*report.changed_per_iteration.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn frontier_shrinks_active_set_and_matches_dense() {
+        let g = caveman(12, 8);
+        let run = |mode: FrontierMode| {
+            let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 30);
+            let report =
+                GpuEngine::titan_v().run(&g, &mut prog, &RunOptions::default().with_frontier(mode));
+            (prog.labels().to_vec(), report)
+        };
+        let (dense_labels, dense) = run(FrontierMode::Dense);
+        let (frontier_labels, frontier) = run(FrontierMode::Auto);
+        assert_eq!(dense_labels, frontier_labels);
+        assert_eq!(dense.changed_per_iteration, frontier.changed_per_iteration);
+        // Dense recomputes every vertex every iteration; the frontier run
+        // must do strictly less total work on a converging graph.
+        assert!(dense
+            .active_per_iteration
+            .iter()
+            .all(|&a| a == g.num_vertices() as u64));
+        assert!(
+            frontier.active_per_iteration.iter().sum::<u64>()
+                < dense.active_per_iteration.iter().sum::<u64>(),
+            "frontier {:?}",
+            frontier.active_per_iteration
+        );
     }
 
     #[test]
@@ -483,6 +433,6 @@ mod tests {
         let g = two_cliques_bridge(4);
         let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::new(3);
-        engine.run(&g, &mut prog);
+        engine.run(&g, &mut prog, &RunOptions::default());
     }
 }

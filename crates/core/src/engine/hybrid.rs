@@ -3,18 +3,16 @@
 //! Label state stays resident on the device; adjacency streams over PCIe.
 //! The host CPUs coordinate the movement (§3.1: "the CPUs can coordinate
 //! the CPU-GPU graph data movement as well as handle PickLabel and
-//! UpdateVertex"): for programs whose decisions depend only on neighbor
-//! labels, only *active* vertices — those with a changed in-neighbor —
-//! have their adjacency shipped and recomputed each iteration. As LP
-//! converges the active set collapses, which is what keeps the paper's
-//! transfer overhead small (§5.4). Streaming overlaps kernel execution
-//! (double buffering), so an iteration pays `max(compute, transfer)`.
+//! UpdateVertex"): under [`FrontierMode::Auto`](super::FrontierMode), only
+//! *active* vertices — those with a changed in-neighbor — have their
+//! adjacency shipped and recomputed each iteration. As LP converges the
+//! active set collapses, which is what keeps the paper's transfer overhead
+//! small (§5.4). Streaming overlaps kernel execution (double buffering),
+//! so an iteration pays `max(compute, transfer)`.
 
 use super::dispatch::Buckets;
-use super::gpu::{
-    apply_updates, filter_buckets, pick_labels, propagate, recompute_active, GpuEngineConfig,
-};
-use super::Decision;
+use super::gpu::{apply_updates, pick_labels, propagate, recompute_active};
+use super::{Decision, Engine, RunOptions};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
 use glp_gpusim::Device;
@@ -32,13 +30,17 @@ const STREAM_COMPRESSION: f64 = 0.4;
 #[derive(Debug)]
 pub struct HybridEngine {
     device: Device,
-    cfg: GpuEngineConfig,
 }
 
 impl HybridEngine {
     /// Engine on the given device.
-    pub fn new(device: Device, cfg: GpuEngineConfig) -> Self {
-        Self { device, cfg }
+    pub fn new(device: Device) -> Self {
+        Self { device }
+    }
+
+    /// Engine on a modeled Titan V.
+    pub fn titan_v() -> Self {
+        Self::new(Device::titan_v())
     }
 
     /// The underlying simulated device.
@@ -46,20 +48,44 @@ impl HybridEngine {
         &self.device
     }
 
+    /// Number of chunks a dense full-graph stream would need (diagnostic:
+    /// 1 = the graph fits in core).
+    pub fn plan_chunks(&self, g: &Graph) -> usize {
+        let n = g.num_vertices() as u64;
+        let mem = self.device.config().global_mem_bytes;
+        let resident = n * (4 + 4 + 12);
+        if resident >= mem {
+            return 0;
+        }
+        if resident + g.size_bytes() <= mem {
+            return 1;
+        }
+        let bytes_per_edge = if g.incoming().is_weighted() { 8 } else { 4 };
+        let budget_edges = (((mem - resident) / 2) / (bytes_per_edge + 1)).max(1);
+        partition_by_edges(g, budget_edges).len()
+    }
+}
+
+impl Engine for HybridEngine {
+    fn name(&self) -> &'static str {
+        "GLP-hybrid"
+    }
+
     /// Runs `prog` on `g`, streaming adjacency when the graph does not fit
     /// next to the resident label state.
     ///
     /// # Panics
     /// Panics if even the label state alone exceeds device memory.
-    pub fn run<P: LpProgram>(&mut self, g: &Graph, prog: &mut P) -> LpRunReport {
+    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
             "program sized for a different graph"
         );
+        opts.validate_for_device(self.device.config().shared_mem_per_block);
         let wall_start = Instant::now();
         let n = g.num_vertices();
-        let shards = self.cfg.resolve_shards();
+        let shards = opts.resolve_shards();
         let mem = self.device.config().global_mem_bytes;
 
         // Resident: label state + spoken + decisions.
@@ -71,8 +97,8 @@ impl HybridEngine {
         let in_core = resident + g.size_bytes() <= mem;
         let bytes_per_edge: u64 = if g.incoming().is_weighted() { 8 } else { 4 };
 
-        let full = Buckets::build(g, self.cfg.strategy, self.cfg.thresholds);
-        let sparse = prog.sparse_activation();
+        let full = Buckets::build(g, opts.strategy, opts.thresholds);
+        let sparse = opts.frontier.sparse(prog.sparse_activation());
 
         let t0 = self.device.elapsed_seconds();
         self.device.upload(if in_core {
@@ -88,10 +114,10 @@ impl HybridEngine {
         let mut active = vec![true; n];
         let mut report = LpRunReport::default();
 
-        for iteration in 0..self.cfg.max_iterations {
+        for iteration in 0..opts.max_iterations {
             let iter_start = self.device.elapsed_seconds();
             prog.begin_iteration(iteration);
-            pick_labels(&mut self.device, &mut spoken, 0, &*prog, shards);
+            pick_labels(&mut self.device, &mut spoken, 0, prog, shards);
             decisions.iter_mut().for_each(|d| *d = None);
 
             // Restrict work (and streaming) to the active set.
@@ -100,7 +126,7 @@ impl HybridEngine {
                 let bytes = g.num_edges() * bytes_per_edge + (n as u64) * 8;
                 (std::borrow::Cow::Borrowed(&full), bytes)
             } else {
-                let b = filter_buckets(&full, &active);
+                let b = full.filtered(&active);
                 let active_edges: u64 = [
                     &b.warp_packed,
                     &b.warp_per_vertex,
@@ -111,22 +137,19 @@ impl HybridEngine {
                 .flat_map(|vs| vs.iter())
                 .map(|&v| u64::from(g.degree(v)))
                 .sum();
-                let count = b.warp_packed.len()
-                    + b.warp_per_vertex.len()
-                    + b.block_per_vertex.len()
-                    + b.global_hash.len();
-                let bytes = active_edges * bytes_per_edge + (count as u64) * 8;
+                let bytes = active_edges * bytes_per_edge + (b.scheduled() as u64) * 8;
                 (std::borrow::Cow::Owned(b), bytes)
             };
+            report.active_per_iteration.push(buckets.scheduled() as u64);
 
             let before = self.device.elapsed_seconds();
             let stats = propagate(
                 &mut self.device,
                 g,
                 &spoken,
-                &*prog,
+                prog,
                 &buckets,
-                &self.cfg,
+                opts,
                 shards,
                 &mut decisions,
             );
@@ -182,23 +205,6 @@ impl HybridEngine {
         report.gpu_counters = *self.device.totals();
         report
     }
-
-    /// Number of chunks a dense full-graph stream would need (diagnostic:
-    /// 1 = the graph fits in core).
-    pub fn plan_chunks(&self, g: &Graph) -> usize {
-        let n = g.num_vertices() as u64;
-        let mem = self.device.config().global_mem_bytes;
-        let resident = n * (4 + 4 + 12);
-        if resident >= mem {
-            return 0;
-        }
-        if resident + g.size_bytes() <= mem {
-            return 1;
-        }
-        let bytes_per_edge = if g.incoming().is_weighted() { 8 } else { 4 };
-        let budget_edges = (((mem - resident) / 2) / (bytes_per_edge + 1)).max(1);
-        partition_by_edges(g, budget_edges).len()
-    }
 }
 
 #[cfg(test)]
@@ -212,16 +218,17 @@ mod tests {
     #[test]
     fn hybrid_matches_in_memory_labels() {
         let g = caveman(10, 8);
+        let opts = RunOptions::default();
         let mut reference = ClassicLp::new(g.num_vertices());
-        GpuEngine::titan_v().run(&g, &mut reference);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts);
 
         // A device so small the CSR must stream.
         let resident = (g.num_vertices() as u64) * 20;
         let tiny = DeviceConfig::tiny(resident + 1024);
-        let mut hybrid = HybridEngine::new(Device::new(tiny), GpuEngineConfig::default());
+        let mut hybrid = HybridEngine::new(Device::new(tiny));
         assert!(hybrid.plan_chunks(&g) > 1, "graph should need streaming");
         let mut prog = ClassicLp::new(g.num_vertices());
-        let report = hybrid.run(&g, &mut prog);
+        let report = hybrid.run(&g, &mut prog, &opts);
         assert_eq!(prog.labels(), reference.labels());
         assert!(report.transfer_seconds > 0.0);
     }
@@ -234,9 +241,9 @@ mod tests {
         let g = caveman(12, 8);
         let resident = (g.num_vertices() as u64) * 20;
         let tiny = DeviceConfig::tiny(resident + 2048);
-        let mut hybrid = HybridEngine::new(Device::new(tiny.clone()), GpuEngineConfig::default());
+        let mut hybrid = HybridEngine::new(Device::new(tiny.clone()));
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 20);
-        let report = hybrid.run(&g, &mut prog);
+        let report = hybrid.run(&g, &mut prog, &RunOptions::default());
         let full_stream = hybrid
             .device()
             .cost_model()
@@ -252,7 +259,7 @@ mod tests {
     #[test]
     fn fits_entirely_one_chunk() {
         let g = caveman(4, 5);
-        let hybrid = HybridEngine::new(Device::titan_v(), GpuEngineConfig::default());
+        let hybrid = HybridEngine::titan_v();
         assert_eq!(hybrid.plan_chunks(&g), 1);
     }
 
@@ -260,11 +267,8 @@ mod tests {
     #[should_panic(expected = "label state")]
     fn label_state_overflow_rejected() {
         let g = caveman(4, 5);
-        let mut hybrid = HybridEngine::new(
-            Device::new(DeviceConfig::tiny(64)),
-            GpuEngineConfig::default(),
-        );
+        let mut hybrid = HybridEngine::new(Device::new(DeviceConfig::tiny(64)));
         let mut prog = ClassicLp::new(g.num_vertices());
-        hybrid.run(&g, &mut prog);
+        hybrid.run(&g, &mut prog, &RunOptions::default());
     }
 }

@@ -81,7 +81,7 @@ fn charge_label_gather(ctx: &mut KernelCtx, nbrs: &[VertexId]) {
 ///
 /// Vertices must each have degree in `1..=WARP_SIZE` so a full neighbor
 /// list always fits in one warp.
-pub(crate) fn warp_packed_kernel<P: LpProgram>(
+pub(crate) fn warp_packed_kernel<P: LpProgram + ?Sized>(
     ctx: &mut KernelCtx,
     csr: &Csr,
     spoken: &[Label],
@@ -225,7 +225,7 @@ pub(crate) fn warp_packed_kernel<P: LpProgram>(
 /// accumulating counts in a per-warp shared-memory hash table sized to hold
 /// every possible distinct label of a mid-degree vertex (so it never
 /// overflows), then scans the table for the best final score.
-pub(crate) fn warp_per_vertex_kernel<P: LpProgram>(
+pub(crate) fn warp_per_vertex_kernel<P: LpProgram + ?Sized>(
     ctx: &mut KernelCtx,
     csr: &Csr,
     spoken: &[Label],
@@ -319,7 +319,7 @@ impl SmemGeometry {
 /// hold a better label does the block fall back to a global-memory hash
 /// table (exactly recounting the overflow labels). Returns exact winners.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn block_cms_ht_kernel<P: LpProgram>(
+pub(crate) fn block_cms_ht_kernel<P: LpProgram + ?Sized>(
     ctx: &mut KernelCtx,
     csr: &Csr,
     spoken: &[Label],
@@ -445,7 +445,7 @@ pub(crate) fn block_cms_ht_kernel<P: LpProgram>(
 /// region is scanned for the winner. This is the strategy §4.1 criticizes:
 /// it cannot avoid random global accesses once neighbor lists exceed the
 /// cache.
-pub(crate) fn global_hash_kernel<P: LpProgram>(
+pub(crate) fn global_hash_kernel<P: LpProgram + ?Sized>(
     ctx: &mut KernelCtx,
     csr: &Csr,
     spoken: &[Label],

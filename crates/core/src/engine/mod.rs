@@ -7,21 +7,59 @@
 //!   transfers overlap compute.
 //! * [`MultiGpuEngine`] — vertex-partitioned execution across several
 //!   devices with per-iteration label exchange (§5.4).
+//! * [`SequentialEngine`] — the asynchronous single-threaded oracle.
+//!
+//! All of them (plus the baselines in `glp-baselines` and the simulated
+//! in-house cluster in `glp-fraud`) are driven through the [`Engine`]
+//! trait with a shared [`RunOptions`], so callers swap engines without
+//! touching per-engine config types.
 
 mod dispatch;
 mod gpu;
 mod hybrid;
 mod kernels;
 mod multi;
+mod options;
 mod sequential;
 
 pub use dispatch::{Buckets, DegreeThresholds};
-pub use gpu::{GpuEngine, GpuEngineConfig};
+pub use gpu::GpuEngine;
 pub use hybrid::HybridEngine;
 pub use multi::MultiGpuEngine;
-pub use sequential::{SequentialEngine, SweepOrder};
+pub use options::{FrontierMode, RunOptions, SweepOrder};
+pub use sequential::SequentialEngine;
 
-use glp_graph::Label;
+use crate::api::LpProgram;
+use crate::report::LpRunReport;
+use glp_graph::{Graph, Label};
+
+/// The unified execution interface: one `run` entry point shared by every
+/// engine and baseline in the workspace.
+///
+/// The program is taken as `&mut dyn LpProgram` so engines are
+/// dyn-compatible themselves — benchmark harnesses hold a
+/// `Box<dyn Engine>` and swap approaches at runtime. Concrete programs
+/// coerce at the call site (`engine.run(&g, &mut prog, &opts)`).
+///
+/// Contracts every implementation upholds:
+///
+/// * results are **bit-identical** across engines and across
+///   [`FrontierMode`]s for the same program and graph (the workspace tie
+///   rule in [`BestLabel`] plus the dense fallback for programs without
+///   [`sparse_activation`](crate::LpProgram::sparse_activation));
+/// * `update_vertex` is invoked in ascending vertex order within an
+///   iteration (BSP engines; the sequential engine follows its sweep
+///   order);
+/// * the returned report carries per-iteration `changed` and `active`
+///   counts.
+pub trait Engine {
+    /// Engine display name (for reports and benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Runs `prog` on `g` under `opts` until the program reports
+    /// termination or `opts.max_iterations` is hit.
+    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport;
+}
 
 /// Per-vertex outcome of the LabelPropagation phase: the winning label and
 /// its score, or `None` for vertices with no speaking neighbors.

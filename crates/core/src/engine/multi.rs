@@ -8,10 +8,8 @@
 //! synchronize, which is what keeps the two-GPU speedup below 2x.
 
 use super::dispatch::Buckets;
-use super::gpu::{
-    charge_frontier, filter_buckets, pick_labels, propagate, recompute_active, GpuEngineConfig,
-};
-use super::Decision;
+use super::gpu::{charge_frontier, pick_labels, propagate, recompute_active};
+use super::{Decision, Engine, RunOptions};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
 use glp_gpusim::{DeviceConfig, MultiGpu};
@@ -23,47 +21,48 @@ use std::time::Instant;
 #[derive(Debug)]
 pub struct MultiGpuEngine {
     gpus: MultiGpu,
-    cfg: GpuEngineConfig,
 }
 
 impl MultiGpuEngine {
     /// `n` identical devices.
-    pub fn new(num_devices: usize, device_cfg: DeviceConfig, cfg: GpuEngineConfig) -> Self {
+    pub fn new(num_devices: usize, device_cfg: DeviceConfig) -> Self {
         Self {
             gpus: MultiGpu::new(num_devices, device_cfg),
-            cfg,
         }
     }
 
-    /// `n` modeled Titan Vs with the default engine configuration.
+    /// `n` modeled Titan Vs.
     pub fn titan_v(num_devices: usize) -> Self {
-        Self::new(
-            num_devices,
-            DeviceConfig::titan_v(),
-            GpuEngineConfig::default(),
-        )
+        Self::new(num_devices, DeviceConfig::titan_v())
     }
 
     /// The device set.
     pub fn gpus(&self) -> &MultiGpu {
         &self.gpus
     }
+}
+
+impl Engine for MultiGpuEngine {
+    fn name(&self) -> &'static str {
+        "GLP-multi"
+    }
 
     /// Runs `prog` on `g` split across the devices.
-    pub fn run<P: LpProgram>(&mut self, g: &Graph, prog: &mut P) -> LpRunReport {
+    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
             "program sized for a different graph"
         );
+        opts.validate_for_device(self.gpus.device(0).config().shared_mem_per_block);
         let wall_start = Instant::now();
         let n = g.num_vertices();
         let ndev = self.gpus.len();
-        let shards = self.cfg.resolve_shards().div_ceil(ndev).max(1);
+        let shards = opts.resolve_shards().div_ceil(ndev).max(1);
         let ranges = partition_even(g, ndev);
 
         // Per-device buckets restricted to its range.
-        let full = Buckets::build(g, self.cfg.strategy, self.cfg.thresholds);
+        let full = Buckets::build(g, opts.strategy, opts.thresholds);
         let keep = |vs: &[VertexId], lo: VertexId, hi: VertexId| {
             vs.iter()
                 .copied()
@@ -99,10 +98,10 @@ impl MultiGpuEngine {
         let mut spoken: Vec<Label> = vec![0; n];
         let mut decisions: Vec<Decision> = vec![None; n];
         let mut active = vec![true; n];
-        let sparse = prog.sparse_activation();
+        let sparse = opts.frontier.sparse(prog.sparse_activation());
         let mut report = LpRunReport::default();
 
-        for iteration in 0..self.cfg.max_iterations {
+        for iteration in 0..opts.max_iterations {
             let iter_start = self.gpus.elapsed_seconds();
             prog.begin_iteration(iteration);
             // PickLabel runs on device 0's clock for its range, etc.; each
@@ -112,33 +111,37 @@ impl MultiGpuEngine {
                 let lo = r.start as usize;
                 let hi = r.end as usize;
                 if lo < hi {
-                    pick_labels(dev, &mut spoken[lo..hi], r.start, &*prog, shards);
+                    pick_labels(dev, &mut spoken[lo..hi], r.start, prog, shards);
                 }
             }
             decisions.iter_mut().for_each(|d| *d = None);
             let all_active = !sparse || active.iter().all(|&a| a);
+            let mut scheduled = 0u64;
             for (d, buckets) in dev_buckets.iter().enumerate() {
-                // Frontier filtering: skip settled vertices, like the
-                // hybrid engine (sound only for sparse-activation programs).
+                // Per-iteration dispatch rebuild over the frontier, like
+                // the single-GPU engine (dense fallback for programs
+                // without sparse activation).
                 let filtered: std::borrow::Cow<'_, Buckets> = if all_active {
                     std::borrow::Cow::Borrowed(buckets)
                 } else {
-                    std::borrow::Cow::Owned(filter_buckets(buckets, &active))
+                    std::borrow::Cow::Owned(buckets.filtered(&active))
                 };
+                scheduled += filtered.scheduled() as u64;
                 let dev = self.gpus.device_mut(d);
                 let stats = propagate(
                     dev,
                     g,
                     &spoken,
-                    &*prog,
+                    prog,
                     &filtered,
-                    &self.cfg,
+                    opts,
                     shards,
                     &mut decisions,
                 );
                 report.smem_fallbacks += stats.fallbacks;
                 report.smem_vertices += stats.smem_vertices;
             }
+            report.active_per_iteration.push(scheduled);
             // UpdateVertex: each device writes back its own range (the
             // modeled kernel); program state is applied once on the host.
             for (d, r) in ranges.iter().enumerate() {
@@ -158,12 +161,21 @@ impl MultiGpuEngine {
             }
             if sparse {
                 // Shared host recompute; each device pays the maintenance
-                // kernel for its own vertex range (same modeled cost per
+                // kernels for its own vertex range (same modeled cost per
                 // vertex as the single-GPU engine).
                 let touched = recompute_active(g, &spoken, &decisions, &mut active);
                 for (d, r) in ranges.iter().enumerate() {
                     let share = touched / ndev as u64;
-                    charge_frontier(self.gpus.device_mut(d), r.num_vertices() as u64, share);
+                    let range_active = active[r.start as usize..r.end as usize]
+                        .iter()
+                        .filter(|&&a| a)
+                        .count() as u64;
+                    charge_frontier(
+                        self.gpus.device_mut(d),
+                        r.num_vertices() as u64,
+                        share,
+                        range_active,
+                    );
                 }
             }
             // Label exchange: each device ships its range's fresh labels to
@@ -207,11 +219,12 @@ mod tests {
     #[test]
     fn multi_gpu_matches_single_gpu_labels() {
         let g = caveman(8, 7);
+        let opts = RunOptions::default();
         let mut reference = ClassicLp::new(g.num_vertices());
-        GpuEngine::titan_v().run(&g, &mut reference);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts);
         let mut prog = ClassicLp::new(g.num_vertices());
         let mut engine = MultiGpuEngine::titan_v(2);
-        engine.run(&g, &mut prog);
+        engine.run(&g, &mut prog, &opts);
         assert_eq!(prog.labels(), reference.labels());
     }
 
@@ -224,10 +237,11 @@ mod tests {
             avg_degree: 32.0,
             ..Default::default()
         });
+        let opts = RunOptions::default().with_max_iterations(10);
         let mut p1 = ClassicLp::with_max_iterations(g.num_vertices(), 10);
-        let r1 = GpuEngine::titan_v().run(&g, &mut p1);
+        let r1 = GpuEngine::titan_v().run(&g, &mut p1, &opts);
         let mut p2 = ClassicLp::with_max_iterations(g.num_vertices(), 10);
-        let r2 = MultiGpuEngine::titan_v(2).run(&g, &mut p2);
+        let r2 = MultiGpuEngine::titan_v(2).run(&g, &mut p2, &opts);
         let speedup = r1.modeled_seconds / r2.modeled_seconds;
         assert!(speedup > 1.2, "speedup {speedup}");
         assert!(speedup < 2.0, "speedup {speedup}");

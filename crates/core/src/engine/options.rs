@@ -1,0 +1,211 @@
+//! The unified run-configuration API: [`RunOptions`] + [`FrontierMode`].
+//!
+//! Every engine in the workspace — the four GLP engines here, the CPU and
+//! GPU baselines in `glp-baselines`, and the simulated in-house cluster in
+//! `glp-fraud` — consumes the same options struct through the
+//! [`Engine`](super::Engine) trait. Engine constructors own only
+//! *resources* (a device, a device set, a cluster model); everything that
+//! describes *one run* lives here, so the ablation binaries toggle a
+//! single knob instead of reaching into per-engine config structs.
+
+use super::dispatch::DegreeThresholds;
+use super::kernels::SmemGeometry;
+use super::MflStrategy;
+
+/// How an engine schedules vertices across iterations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FrontierMode {
+    /// Recompute every vertex every iteration — the waste §2.2 attributes
+    /// to prior GPU LP systems ("label values ... are repeatedly loaded
+    /// ... but only a subset of them have their labels updated").
+    Dense,
+    /// Active-frontier scheduling: after iteration `t`, only vertices with
+    /// at least one in-neighbor whose spoken label changed at `t` are
+    /// recomputed at `t+1`. Sound only for programs that declare
+    /// [`sparse_activation`](crate::LpProgram::sparse_activation); every
+    /// other program silently gets the dense schedule — the same fallback
+    /// rule the Ligra baseline applies to LLP/SLP. The default.
+    #[default]
+    Auto,
+}
+
+impl FrontierMode {
+    /// Whether a run over a program with the given `sparse_activation`
+    /// declaration actually schedules sparsely.
+    #[inline]
+    pub fn sparse(self, program_sparse: bool) -> bool {
+        self == FrontierMode::Auto && program_sparse
+    }
+}
+
+/// Per-run configuration consumed by every [`Engine`](super::Engine).
+///
+/// Construct with [`RunOptions::default`] and chain the `with_*` builders,
+/// or use struct-update syntax — all fields are public. Fields an engine
+/// has no use for are ignored (e.g. the CPU baselines never read the
+/// shared-memory geometry; the GPU engines never read `sweep_order`).
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Hard iteration cap regardless of the program's own termination.
+    pub max_iterations: u32,
+    /// Vertex scheduling across iterations (dense vs. active frontier).
+    pub frontier: FrontierMode,
+    /// MFL strategy of the GPU kernels (the Table 3 ablation axis).
+    pub strategy: MflStrategy,
+    /// Degree thresholds for kernel dispatch (§5.3: low 32, high 128).
+    pub thresholds: DegreeThresholds,
+    /// Shared HT slots of the one-warp-one-vertex kernel. Must be at least
+    /// `thresholds.high` so mid-degree tables never overflow.
+    pub mid_ht_slots: usize,
+    /// Shared HT slots `h` of the CMS+HT kernel (§4.1).
+    pub ht_slots: usize,
+    /// HT probe budget before a label overflows to the CMS.
+    pub ht_probe_limit: u32,
+    /// CMS rows `d`.
+    pub cms_depth: usize,
+    /// CMS buckets per row `w`.
+    pub cms_width: usize,
+    /// Harness OS threads per kernel (0 = number of available cores,
+    /// capped at 16). Has no effect on modeled time or results.
+    pub shards: usize,
+    /// Vertex visit order of the asynchronous sequential engine; ignored
+    /// by the BSP engines.
+    pub sweep_order: SweepOrder,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 10_000,
+            frontier: FrontierMode::Auto,
+            strategy: MflStrategy::SmemWarp,
+            thresholds: DegreeThresholds::default(),
+            mid_ht_slots: 256,
+            ht_slots: 1024,
+            ht_probe_limit: 32,
+            cms_depth: 4,
+            cms_width: 2048,
+            shards: 0,
+            sweep_order: SweepOrder::Ascending,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Caps the iteration count.
+    pub fn with_max_iterations(mut self, max_iterations: u32) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Chooses the scheduling mode.
+    pub fn with_frontier(mut self, frontier: FrontierMode) -> Self {
+        self.frontier = frontier;
+        self
+    }
+
+    /// Chooses the MFL strategy.
+    pub fn with_strategy(mut self, strategy: MflStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Chooses the dispatch thresholds.
+    pub fn with_thresholds(mut self, thresholds: DegreeThresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Sets the harness OS-thread count (0 = auto).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Chooses the sequential engine's sweep order.
+    pub fn with_sweep_order(mut self, sweep_order: SweepOrder) -> Self {
+        self.sweep_order = sweep_order;
+        self
+    }
+
+    pub(crate) fn smem_geometry(&self) -> SmemGeometry {
+        SmemGeometry {
+            ht_slots: self.ht_slots,
+            ht_probe_limit: self.ht_probe_limit,
+            cms_depth: self.cms_depth,
+            cms_width: self.cms_width,
+        }
+    }
+
+    /// Effective harness thread count: `shards` if set, otherwise the
+    /// available cores capped at 16. Used by every engine and baseline.
+    pub fn resolve_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16)
+        }
+    }
+
+    /// Checks the GPU-facing invariants against a device's shared-memory
+    /// budget. Every GPU engine calls this at the top of `run`.
+    pub(crate) fn validate_for_device(&self, shared_mem_per_block: usize) {
+        assert!(
+            self.mid_ht_slots >= self.thresholds.high as usize,
+            "mid HT ({}) must hold every distinct label of a mid-degree vertex (<= {})",
+            self.mid_ht_slots,
+            self.thresholds.high
+        );
+        self.smem_geometry().validate(shared_mem_per_block);
+    }
+}
+
+/// Vertex visit order for the sequential engine's asynchronous sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SweepOrder {
+    /// Ascending vertex id every sweep (deterministic, cache friendly).
+    #[default]
+    Ascending,
+    /// Alternate ascending/descending sweeps (reduces order bias).
+    Alternating,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_respects_program_declaration() {
+        assert!(FrontierMode::Auto.sparse(true));
+        assert!(!FrontierMode::Auto.sparse(false));
+        assert!(!FrontierMode::Dense.sparse(true));
+        assert!(!FrontierMode::Dense.sparse(false));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let o = RunOptions::default()
+            .with_max_iterations(7)
+            .with_frontier(FrontierMode::Dense)
+            .with_strategy(MflStrategy::Global)
+            .with_shards(3);
+        assert_eq!(o.max_iterations, 7);
+        assert_eq!(o.frontier, FrontierMode::Dense);
+        assert_eq!(o.strategy, MflStrategy::Global);
+        assert_eq!(o.shards, 3);
+        assert_eq!(o.sweep_order, SweepOrder::Ascending);
+    }
+
+    #[test]
+    #[should_panic(expected = "mid HT")]
+    fn mid_ht_must_cover_high_threshold() {
+        let o = RunOptions {
+            mid_ht_slots: 8,
+            ..Default::default()
+        };
+        o.validate_for_device(48 * 1024);
+    }
+}

@@ -9,53 +9,43 @@
 //! study the difference, and a convenient single-threaded oracle for
 //! debugging programs.
 //!
+//! Frontier scheduling composes with the asynchronous sweep: a vertex is
+//! revisited only while some in-neighbor changed since its last visit.
+//! Marks are set *during* the sweep, so a vertex downstream of a change is
+//! picked up in the same pass — exactly the set of visits on which a dense
+//! sweep could make progress, hence bit-identical labels.
+//!
 //! Not part of the paper's evaluation — no cost model is attached; only
 //! wall-clock is reported.
 
-use super::{BestLabel, Decision};
+use super::{BestLabel, Decision, Engine, RunOptions, SweepOrder};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
 use glp_graph::{Graph, Label, VertexId};
 use glp_sketch::{BoundedHashTable, InsertOutcome};
 use std::time::Instant;
 
-/// Vertex visit order for the asynchronous sweeps.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SweepOrder {
-    /// Ascending vertex id every sweep (deterministic, cache friendly).
-    Ascending,
-    /// Alternate ascending/descending sweeps (reduces order bias).
-    Alternating,
-}
-
-/// The asynchronous engine.
-#[derive(Clone, Debug)]
-pub struct SequentialEngine {
-    order: SweepOrder,
-    max_iterations: u32,
-}
+/// The asynchronous engine. Stateless — sweep order and iteration cap come
+/// from [`RunOptions`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequentialEngine;
 
 impl SequentialEngine {
-    /// Ascending-order sweeps.
+    /// The engine (no resources to own).
     pub fn new() -> Self {
-        Self {
-            order: SweepOrder::Ascending,
-            max_iterations: 10_000,
-        }
+        Self
     }
+}
 
-    /// Chooses the sweep order.
-    pub fn with_order(order: SweepOrder) -> Self {
-        Self {
-            order,
-            ..Self::new()
-        }
+impl Engine for SequentialEngine {
+    fn name(&self) -> &'static str {
+        "Sequential"
     }
 
     /// Runs `prog` on `g` with asynchronous sweeps: `pick_label` is
     /// re-read per edge, so updates from earlier vertices in the sweep are
     /// visible immediately.
-    pub fn run<P: LpProgram>(&self, g: &Graph, prog: &mut P) -> LpRunReport {
+    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
@@ -64,20 +54,35 @@ impl SequentialEngine {
         let wall_start = Instant::now();
         let n = g.num_vertices();
         let csr = g.incoming();
+        let out = g.outgoing();
         let max_deg = (0..n as VertexId)
             .map(|v| csr.degree(v) as usize)
             .max()
             .unwrap_or(0);
         let mut ht = BoundedHashTable::new((2 * max_deg).max(16), u32::MAX);
+        let sparse = opts.frontier.sparse(prog.sparse_activation());
+        let mut active = vec![true; n];
         let mut report = LpRunReport::default();
 
-        for iteration in 0..self.max_iterations {
+        for iteration in 0..opts.max_iterations {
             prog.begin_iteration(iteration);
             let mut changed = 0u64;
-            let visit = |v: VertexId, prog: &mut P, ht: &mut BoundedHashTable| {
+            let mut visited = 0u64;
+            let visit = |v: VertexId,
+                         prog: &mut dyn LpProgram,
+                         ht: &mut BoundedHashTable,
+                         active: &mut [bool],
+                         visited: &mut u64| {
                 if csr.degree(v) == 0 {
                     return 0u64;
                 }
+                if sparse && !active[v as usize] {
+                    return 0u64;
+                }
+                // Consume the mark before recomputing: a same-sweep change
+                // in an in-neighbor re-arms it.
+                active[v as usize] = false;
+                *visited += 1;
                 ht.clear();
                 let off = csr.offset(v);
                 // Asynchronous: read each neighbor's *current* spoken label.
@@ -96,20 +101,27 @@ impl SequentialEngine {
                     BestLabel::offer(&mut best, label, prog.label_score(v, label, freq), current);
                 }
                 let d: Decision = BestLabel::into_decision(best);
-                u64::from(prog.update_vertex(v, d))
+                let did_change = prog.update_vertex(v, d);
+                if did_change && sparse {
+                    for &w in out.neighbors(v) {
+                        active[w as usize] = true;
+                    }
+                }
+                u64::from(did_change)
             };
-            let descending = self.order == SweepOrder::Alternating && iteration % 2 == 1;
+            let descending = opts.sweep_order == SweepOrder::Alternating && iteration % 2 == 1;
             if descending {
                 for v in (0..n as VertexId).rev() {
-                    changed += visit(v, prog, &mut ht);
+                    changed += visit(v, prog, &mut ht, &mut active, &mut visited);
                 }
             } else {
                 for v in 0..n as VertexId {
-                    changed += visit(v, prog, &mut ht);
+                    changed += visit(v, prog, &mut ht, &mut active, &mut visited);
                 }
             }
             prog.end_iteration(iteration);
             report.changed_per_iteration.push(changed);
+            report.active_per_iteration.push(visited);
             report.iterations = iteration + 1;
             if prog.finished(iteration, changed) {
                 break;
@@ -120,24 +132,23 @@ impl SequentialEngine {
     }
 }
 
-impl Default for SequentialEngine {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 #[cfg(test)]
 mod tests {
+    use super::super::FrontierMode;
     use super::*;
     use crate::variants::ClassicLp;
     use glp_graph::gen::{path, two_cliques_bridge};
     use glp_graph::GraphBuilder;
 
+    fn run(g: &Graph, prog: &mut ClassicLp, opts: &RunOptions) -> LpRunReport {
+        SequentialEngine::new().run(g, prog, opts)
+    }
+
     #[test]
     fn finds_communities_like_sync_engine() {
         let g = two_cliques_bridge(8);
         let mut prog = ClassicLp::new(g.num_vertices());
-        SequentialEngine::new().run(&g, &mut prog);
+        run(&g, &mut prog, &RunOptions::default());
         let labels = prog.labels();
         assert!(labels[..8].iter().all(|&l| l == labels[0]));
         assert!(labels[8..].iter().all(|&l| l == labels[8]));
@@ -151,7 +162,7 @@ mod tests {
         b.add_edge(0, 1).symmetrize(true);
         let g = b.build();
         let mut prog = ClassicLp::with_max_iterations(2, 50);
-        let report = SequentialEngine::new().run(&g, &mut prog);
+        let report = run(&g, &mut prog, &RunOptions::default());
         assert!(
             report.iterations < 50,
             "async LPA should converge, ran {} iterations",
@@ -166,7 +177,7 @@ mod tests {
         // the right end within a single iteration.
         let g = path(64);
         let mut prog = ClassicLp::with_max_iterations(64, 100);
-        let report = SequentialEngine::new().run(&g, &mut prog);
+        let report = run(&g, &mut prog, &RunOptions::default());
         assert!(
             report.iterations < 30,
             "async sweeps should converge quickly, took {}",
@@ -178,7 +189,30 @@ mod tests {
     fn alternating_order_still_converges() {
         let g = two_cliques_bridge(6);
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 50);
-        let report = SequentialEngine::with_order(SweepOrder::Alternating).run(&g, &mut prog);
+        let opts = RunOptions::default().with_sweep_order(SweepOrder::Alternating);
+        let report = run(&g, &mut prog, &opts);
         assert_eq!(*report.changed_per_iteration.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn frontier_sweep_matches_dense_and_visits_less() {
+        let g = two_cliques_bridge(9);
+        let mut dense_prog = ClassicLp::with_max_iterations(g.num_vertices(), 50);
+        let dense = run(
+            &g,
+            &mut dense_prog,
+            &RunOptions::default().with_frontier(FrontierMode::Dense),
+        );
+        let mut frontier_prog = ClassicLp::with_max_iterations(g.num_vertices(), 50);
+        let frontier = run(&g, &mut frontier_prog, &RunOptions::default());
+        assert_eq!(dense_prog.labels(), frontier_prog.labels());
+        assert_eq!(dense.changed_per_iteration, frontier.changed_per_iteration);
+        assert!(
+            frontier.active_per_iteration.iter().sum::<u64>()
+                < dense.active_per_iteration.iter().sum::<u64>(),
+            "frontier {:?} dense {:?}",
+            frontier.active_per_iteration,
+            dense.active_per_iteration
+        );
     }
 }

@@ -25,16 +25,21 @@
 //! (§5.4). Ready-made programs for classic LP, LLP, SLP, and the
 //! fraud-pipeline variants live in [`variants`].
 //!
+//! Every engine (and every baseline elsewhere in the workspace) is driven
+//! through the [`Engine`] trait with a shared [`RunOptions`]; active-
+//! frontier scheduling ([`FrontierMode`]) is on by default for programs
+//! that declare [`LpProgram::sparse_activation`].
+//!
 //! # Example
 //!
 //! ```
 //! use glp_core::engine::GpuEngine;
-//! use glp_core::{ClassicLp, LpProgram};
+//! use glp_core::{ClassicLp, Engine, LpProgram, RunOptions};
 //! use glp_graph::gen::two_cliques_bridge;
 //!
 //! let graph = two_cliques_bridge(6); // two 6-cliques joined by one edge
 //! let mut program = ClassicLp::new(graph.num_vertices());
-//! let report = GpuEngine::titan_v().run(&graph, &mut program);
+//! let report = GpuEngine::titan_v().run(&graph, &mut program, &RunOptions::default());
 //!
 //! // Classic LP finds the two cliques as two communities.
 //! let labels = program.labels();
@@ -51,6 +56,9 @@ pub mod report;
 pub mod variants;
 
 pub use api::{LpProgram, NeighborContribution};
-pub use engine::{GpuEngine, GpuEngineConfig, HybridEngine, MflStrategy, MultiGpuEngine};
+pub use engine::{
+    Engine, FrontierMode, GpuEngine, HybridEngine, MflStrategy, MultiGpuEngine, RunOptions,
+    SequentialEngine, SweepOrder,
+};
 pub use report::LpRunReport;
 pub use variants::{CapacityLp, ClassicLp, Llp, RiskWeightedLp, SeededLp, Slp, WeightedLp};

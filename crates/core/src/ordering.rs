@@ -9,7 +9,7 @@
 //! log₂ gap of neighbor ids) to judge it.
 
 use crate::api::LpProgram;
-use crate::engine::GpuEngine;
+use crate::engine::{Engine, GpuEngine, RunOptions};
 use crate::variants::Llp;
 use glp_graph::{Graph, Label, VertexId};
 
@@ -22,7 +22,7 @@ pub fn llp_ordering(g: &Graph, gammas: &[f64], iterations: u32) -> Vec<VertexId>
     let mut layers: Vec<Vec<Label>> = Vec::with_capacity(gammas.len());
     for &gamma in gammas {
         let mut prog = Llp::with_max_iterations(n, gamma, iterations);
-        GpuEngine::titan_v().run(g, &mut prog);
+        GpuEngine::titan_v().run(g, &mut prog, &RunOptions::default());
         layers.push(prog.labels().to_vec());
     }
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();

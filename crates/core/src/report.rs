@@ -17,6 +17,11 @@ pub struct LpRunReport {
     pub wall_seconds: f64,
     /// Label changes per iteration (convergence trace).
     pub changed_per_iteration: Vec<u64>,
+    /// Vertices recomputed per iteration: the non-isolated vertex count
+    /// when dense, the shrinking frontier under
+    /// [`FrontierMode::Auto`](crate::FrontierMode) with a
+    /// sparse-activation program (active-set decay trace).
+    pub active_per_iteration: Vec<u64>,
     /// Modeled seconds spent in each iteration (cost-decay trace: under
     /// the frontier optimization, converging runs get cheaper per round).
     pub iteration_seconds: Vec<f64>,

@@ -120,7 +120,7 @@ impl LpProgram for CapacityLp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::GpuEngine;
+    use crate::engine::{Engine, GpuEngine, RunOptions};
     use glp_graph::gen::{caveman, complete};
 
     #[test]
@@ -139,7 +139,7 @@ mod tests {
         // must keep every community at (close to) 8.
         let g = complete(24);
         let mut capped = CapacityLp::with_max_iterations(24, 8, 30);
-        GpuEngine::titan_v().run(&g, &mut capped);
+        GpuEngine::titan_v().run(&g, &mut capped, &RunOptions::default());
         assert!(
             capped.max_volume() <= 8,
             "largest community {} exceeds the hard cap",
@@ -147,7 +147,7 @@ mod tests {
         );
 
         let mut classic = crate::ClassicLp::with_max_iterations(24, 30);
-        GpuEngine::titan_v().run(&g, &mut classic);
+        GpuEngine::titan_v().run(&g, &mut classic, &RunOptions::default());
         let uniform = classic.labels().iter().all(|&l| l == classic.labels()[0]);
         assert!(uniform, "classic LP should collapse the clique");
     }
@@ -156,9 +156,9 @@ mod tests {
     fn generous_cap_behaves_like_classic() {
         let g = caveman(5, 6);
         let mut capped = CapacityLp::with_max_iterations(30, 1_000, 20);
-        GpuEngine::titan_v().run(&g, &mut capped);
+        GpuEngine::titan_v().run(&g, &mut capped, &RunOptions::default());
         let mut classic = crate::ClassicLp::with_max_iterations(30, 20);
-        GpuEngine::titan_v().run(&g, &mut classic);
+        GpuEngine::titan_v().run(&g, &mut classic, &RunOptions::default());
         assert_eq!(capped.labels(), classic.labels());
     }
 

@@ -102,7 +102,7 @@ impl LpProgram for RiskWeightedLp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::GpuEngine;
+    use crate::engine::{Engine, GpuEngine, RunOptions};
     use glp_graph::GraphBuilder;
 
     /// A vertex pulled equally by two seeds joins the higher-risk one.
@@ -113,12 +113,12 @@ mod tests {
         b.add_edge(0, 1).add_edge(2, 1).symmetrize(true);
         let g = b.build();
         let mut p = RiskWeightedLp::new(3, &[(0, 1.0), (2, 5.0)], 10);
-        GpuEngine::titan_v().run(&g, &mut p);
+        GpuEngine::titan_v().run(&g, &mut p, &RunOptions::default());
         assert_eq!(p.labels()[1], 2, "vertex 1 should join the risky seed");
 
         // Flip the risks; the outcome flips.
         let mut p = RiskWeightedLp::new(3, &[(0, 5.0), (2, 1.0)], 10);
-        GpuEngine::titan_v().run(&g, &mut p);
+        GpuEngine::titan_v().run(&g, &mut p, &RunOptions::default());
         assert_eq!(p.labels()[1], 0);
     }
 
@@ -128,7 +128,7 @@ mod tests {
         b.add_edge(0, 1).add_edge(2, 1).symmetrize(true);
         let g = b.build();
         let mut p = RiskWeightedLp::new(3, &[(0, 2.0), (2, 2.0)], 10);
-        GpuEngine::titan_v().run(&g, &mut p);
+        GpuEngine::titan_v().run(&g, &mut p, &RunOptions::default());
         assert_eq!(p.labels()[1], 0, "tie breaks toward the smaller label");
     }
 

@@ -2,7 +2,9 @@
 //! graphs, every kernel path must agree with a brute-force MFL reference
 //! under the workspace tie rule, across strategies and variants.
 
-use glp_core::engine::{GpuEngine, GpuEngineConfig, MflStrategy};
+use glp_core::engine::{
+    Engine, FrontierMode, GpuEngine, MflStrategy, RunOptions, SequentialEngine,
+};
 use glp_core::{ClassicLp, Llp, LpProgram};
 use glp_graph::{Graph, GraphBuilder, Label, VertexId, INVALID_LABEL};
 use proptest::prelude::*;
@@ -59,9 +61,9 @@ proptest! {
     fn engine_matches_reference_step(g in arbitrary_graph()) {
         let expected = reference_step(&g, &(0..g.num_vertices() as Label).collect::<Vec<_>>());
         for strategy in [MflStrategy::Global, MflStrategy::Smem, MflStrategy::SmemWarp] {
-            let mut engine = GpuEngine::with_strategy(strategy);
+            let mut engine = GpuEngine::titan_v();
             let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 1);
-            engine.run(&g, &mut prog);
+            engine.run(&g, &mut prog, &RunOptions::default().with_strategy(strategy));
             prop_assert_eq!(prog.labels(), &expected[..], "{:?}", strategy);
         }
     }
@@ -71,7 +73,7 @@ proptest! {
     #[test]
     fn tiny_smem_geometry_still_exact(g in arbitrary_graph()) {
         let expected = reference_step(&g, &(0..g.num_vertices() as Label).collect::<Vec<_>>());
-        let cfg = GpuEngineConfig {
+        let opts = RunOptions {
             strategy: MflStrategy::SmemWarp,
             ht_slots: 2,
             ht_probe_limit: 1,
@@ -81,9 +83,9 @@ proptest! {
             mid_ht_slots: 256,
             ..Default::default()
         };
-        let mut engine = GpuEngine::new(glp_gpusim::Device::titan_v(), cfg);
+        let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 1);
-        engine.run(&g, &mut prog);
+        engine.run(&g, &mut prog, &opts);
         prop_assert_eq!(prog.labels(), &expected[..]);
     }
 
@@ -94,7 +96,7 @@ proptest! {
         let n = g.num_vertices();
         let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::with_max_iterations(n, 8);
-        engine.run(&g, &mut prog);
+        engine.run(&g, &mut prog, &RunOptions::default());
         for (v, &l) in prog.labels().iter().enumerate() {
             prop_assert!(l != INVALID_LABEL);
             prop_assert!((l as usize) < n, "vertex {v} got out-of-domain label {l}");
@@ -106,9 +108,39 @@ proptest! {
     fn llp_gamma_zero_is_classic(g in arbitrary_graph()) {
         let n = g.num_vertices();
         let mut classic = ClassicLp::with_max_iterations(n, 6);
-        GpuEngine::titan_v().run(&g, &mut classic);
+        GpuEngine::titan_v().run(&g, &mut classic, &RunOptions::default());
         let mut llp = Llp::with_max_iterations(n, 0.0, 6);
-        GpuEngine::titan_v().run(&g, &mut llp);
+        GpuEngine::titan_v().run(&g, &mut llp, &RunOptions::default());
         prop_assert_eq!(classic.labels(), llp.labels());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Frontier scheduling is invisible in the results: labels, changed
+    /// counts, and iteration counts all match dense execution, for any
+    /// graph, on both the BSP and the asynchronous engine.
+    #[test]
+    fn frontier_is_bit_identical_to_dense(g in arbitrary_graph()) {
+        let n = g.num_vertices();
+        let dense_opts = RunOptions::default()
+            .with_max_iterations(12)
+            .with_frontier(FrontierMode::Dense);
+        let auto_opts = RunOptions::default().with_max_iterations(12);
+
+        let mut dense = ClassicLp::with_max_iterations(n, 12);
+        let rd = GpuEngine::titan_v().run(&g, &mut dense, &dense_opts);
+        let mut auto = ClassicLp::with_max_iterations(n, 12);
+        let ra = GpuEngine::titan_v().run(&g, &mut auto, &auto_opts);
+        prop_assert_eq!(dense.labels(), auto.labels());
+        prop_assert_eq!(&rd.changed_per_iteration, &ra.changed_per_iteration);
+
+        let mut seq_dense = ClassicLp::with_max_iterations(n, 12);
+        let sd = SequentialEngine::new().run(&g, &mut seq_dense, &dense_opts);
+        let mut seq_auto = ClassicLp::with_max_iterations(n, 12);
+        let sa = SequentialEngine::new().run(&g, &mut seq_auto, &auto_opts);
+        prop_assert_eq!(seq_dense.labels(), seq_auto.labels());
+        prop_assert_eq!(&sd.changed_per_iteration, &sa.changed_per_iteration);
     }
 }

@@ -12,27 +12,25 @@
 //! The simulation computes real labels (same tie rule as every other
 //! engine) and charges the cluster cost model per superstep.
 
-use glp_core::engine::{BestLabel, Decision};
+use glp_core::engine::{BestLabel, Decision, Engine, RunOptions};
 use glp_core::{LpProgram, LpRunReport};
 use glp_gpusim::host::{ClusterConfig, CpuCounters};
 use glp_graph::{Graph, Label, VertexId};
 use glp_sketch::{BoundedHashTable, InsertOutcome};
 use std::time::Instant;
 
-/// The distributed baseline.
+/// The distributed baseline. Always dense: the production system has no
+/// frontier (every superstep rescans all vertices), so the
+/// [`RunOptions::frontier`] knob is ignored.
 #[derive(Clone, Debug)]
 pub struct InHouseLp {
     cluster: ClusterConfig,
-    max_iterations: u32,
 }
 
 impl InHouseLp {
     /// On the given cluster.
     pub fn new(cluster: ClusterConfig) -> Self {
-        Self {
-            cluster,
-            max_iterations: 10_000,
-        }
+        Self { cluster }
     }
 
     /// The paper's deployment: 32 machines × 4 Xeon Platinum 8168.
@@ -57,9 +55,15 @@ impl InHouseLp {
     pub fn cluster(&self) -> &ClusterConfig {
         &self.cluster
     }
+}
+
+impl Engine for InHouseLp {
+    fn name(&self) -> &'static str {
+        "InHouse"
+    }
 
     /// Runs `prog` on `g`, modeling a BSP superstep per LP iteration.
-    pub fn run<P: LpProgram>(&mut self, g: &Graph, prog: &mut P) -> LpRunReport {
+    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
@@ -79,8 +83,9 @@ impl InHouseLp {
             .max()
             .unwrap_or(0);
         let mut ht = BoundedHashTable::new((2 * max_deg).max(16), u32::MAX);
+        let scheduled = (0..n as VertexId).filter(|&v| csr.degree(v) > 0).count() as u64;
 
-        for iteration in 0..self.max_iterations {
+        for iteration in 0..opts.max_iterations {
             prog.begin_iteration(iteration);
             for (v, slot) in spoken.iter_mut().enumerate() {
                 *slot = prog.pick_label(v as VertexId);
@@ -143,6 +148,7 @@ impl InHouseLp {
             }
             prog.end_iteration(iteration);
             report.changed_per_iteration.push(changed);
+            report.active_per_iteration.push(scheduled);
             report.iterations = iteration + 1;
             if prog.finished(iteration, changed) {
                 break;
@@ -160,15 +166,19 @@ mod tests {
     use super::*;
     use glp_core::engine::GpuEngine;
     use glp_core::ClassicLp;
+
+    fn opts() -> RunOptions {
+        RunOptions::default()
+    }
     use glp_graph::gen::{caveman, community_powerlaw, CommunityPowerLawConfig};
 
     #[test]
     fn inhouse_matches_glp_labels() {
         let g = caveman(7, 6);
         let mut reference = ClassicLp::new(g.num_vertices());
-        GpuEngine::titan_v().run(&g, &mut reference);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts());
         let mut p = ClassicLp::new(g.num_vertices());
-        InHouseLp::taobao().run(&g, &mut p);
+        InHouseLp::taobao().run(&g, &mut p, &opts());
         assert_eq!(p.labels(), reference.labels());
     }
 
@@ -176,7 +186,7 @@ mod tests {
     fn superstep_latency_dominates_small_graphs() {
         let g = caveman(7, 6);
         let mut p = ClassicLp::new(g.num_vertices());
-        let r = InHouseLp::taobao().run(&g, &mut p);
+        let r = InHouseLp::taobao().run(&g, &mut p, &opts());
         let floor = f64::from(r.iterations) * ClusterConfig::taobao_inhouse().superstep_latency_s;
         assert!(r.modeled_seconds >= floor);
         assert!(
@@ -193,9 +203,9 @@ mod tests {
             ..Default::default()
         });
         let mut p1 = ClassicLp::new(g.num_vertices());
-        let glp = GpuEngine::titan_v().run(&g, &mut p1);
+        let glp = GpuEngine::titan_v().run(&g, &mut p1, &opts());
         let mut p2 = ClassicLp::new(g.num_vertices());
-        let inhouse = InHouseLp::taobao().run(&g, &mut p2);
+        let inhouse = InHouseLp::taobao().run(&g, &mut p2, &opts());
         assert_eq!(p1.labels(), p2.labels());
         let speedup = inhouse.modeled_seconds / glp.modeled_seconds;
         assert!(speedup > 2.0, "speedup {speedup}");

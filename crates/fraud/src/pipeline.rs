@@ -17,9 +17,9 @@
 
 use crate::transactions::TxStream;
 use crate::window::WindowWorkload;
-use glp_core::{LpProgram, LpRunReport, WeightedLp};
+use glp_core::{Engine, LpProgram, LpRunReport, RunOptions, WeightedLp};
 use glp_gpusim::host::{CpuConfig, CpuCounters};
-use glp_graph::{Graph, VertexId};
+use glp_graph::VertexId;
 use std::collections::HashMap;
 
 /// Pipeline parameters.
@@ -133,13 +133,16 @@ impl FraudPipeline {
         }
     }
 
-    /// Runs the pipeline over `stream` with a pluggable LP stage: `lp_run`
-    /// receives the window graph and the weighted-LP program and must run
-    /// it to completion (e.g. `|g, p| GpuEngine::titan_v().run(g, p)`).
-    pub fn run<F>(&self, stream: &TxStream, lp_run: F) -> PipelineReport
-    where
-        F: FnOnce(&Graph, &mut WeightedLp) -> LpRunReport,
-    {
+    /// Runs the pipeline over `stream` with a pluggable LP stage: any
+    /// [`Engine`] — GLP, a baseline, or the in-house cluster simulation —
+    /// driven under `opts` (the iteration cap is overridden by
+    /// [`PipelineConfig::lp_iterations`], everything else passes through).
+    pub fn run(
+        &self,
+        stream: &TxStream,
+        engine: &mut dyn Engine,
+        opts: &RunOptions,
+    ) -> PipelineReport {
         // Stage 1: window graph construction (two streaming passes over
         // the window's transactions plus the CSR sort).
         let window = WindowWorkload::build(stream, self.cfg.window_days);
@@ -161,7 +164,11 @@ impl FraudPipeline {
         let seeds = window.seeds(stream);
         let mut prog = WeightedLp::from_graph(&window.graph, self.cfg.lp_iterations)
             .with_retention(self.cfg.retention);
-        let lp_report = lp_run(&window.graph, &mut prog);
+        let lp_opts = RunOptions {
+            max_iterations: self.cfg.lp_iterations,
+            ..opts.clone()
+        };
+        let lp_report = engine.run(&window.graph, &mut prog, &lp_opts);
 
         // Stage 3: cluster extraction + scoring.
         let (flagged, scoring_work) = self.score_clusters(&window, &prog, &seeds);
@@ -358,7 +365,7 @@ mod tests {
             window_days: 30,
             ..Default::default()
         });
-        let report = pipe.run(&s, |g, p| GpuEngine::titan_v().run(g, p));
+        let report = pipe.run(&s, &mut GpuEngine::titan_v(), &RunOptions::default());
         assert!(!report.flagged.is_empty(), "rings should be flagged");
         assert!(
             report.recall > 0.6,
@@ -373,7 +380,7 @@ mod tests {
     fn stage_breakdown_sums() {
         let s = stream();
         let pipe = FraudPipeline::new(PipelineConfig::default());
-        let report = pipe.run(&s, |g, p| GpuEngine::titan_v().run(g, p));
+        let report = pipe.run(&s, &mut GpuEngine::titan_v(), &RunOptions::default());
         let st = report.stages;
         assert!(st.construction > 0.0 && st.lp > 0.0 && st.scoring > 0.0);
         assert!((st.total() - (st.construction + st.lp + st.scoring)).abs() < 1e-15);
@@ -386,7 +393,7 @@ mod tests {
         // large majority of pipeline time (the paper's 75% observation).
         let s = stream();
         let pipe = FraudPipeline::new(PipelineConfig::default());
-        let report = pipe.run(&s, |g, p| crate::InHouseLp::taobao().run(g, p));
+        let report = pipe.run(&s, &mut crate::InHouseLp::taobao(), &RunOptions::default());
         assert!(
             report.stages.lp_fraction() > 0.6,
             "in-house LP share {}",
@@ -423,7 +430,7 @@ mod debug_tests {
         let window = WindowWorkload::build(&s, 30);
         let seeds = window.seeds(&s);
         let mut prog = WeightedLp::from_graph(&window.graph, 20).with_retention(3.0);
-        GpuEngine::titan_v().run(&window.graph, &mut prog);
+        GpuEngine::titan_v().run(&window.graph, &mut prog, &RunOptions::default());
         let (flagged, _) = pipe.score_clusters(&window, &prog, &seeds);
         eprintln!("seeds {} flagged {}", seeds.len(), flagged.len());
         for f in flagged.iter().take(10) {

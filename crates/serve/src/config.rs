@@ -1,5 +1,6 @@
 //! Service configuration.
 
+use glp_core::FrontierMode;
 use glp_fraud::PipelineConfig;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -54,6 +55,12 @@ pub struct ServeConfig {
     /// bit-deterministic across shard counts, which the determinism test
     /// pins end to end.
     pub engine_shards: usize,
+    /// Scheduling mode of the recluster LP runs. The default
+    /// ([`FrontierMode::Auto`]) engages active-frontier execution — the
+    /// weighted pipeline program declares sparse activation, so converging
+    /// reclusters do sharply less work per iteration while producing
+    /// bit-identical verdicts (pinned by the determinism test).
+    pub frontier: FrontierMode,
     /// Consecutive worker crashes at which the service enters
     /// [`HealthState::Shedding`](crate::HealthState::Shedding) (the
     /// ingest gate refuses new transactions, counted, while supervision
@@ -90,6 +97,7 @@ impl Default for ServeConfig {
             max_staleness_batches: 32,
             pipeline,
             engine_shards: 0,
+            frontier: FrontierMode::Auto,
             shedding_after_crashes: 3,
             down_after_crashes: 6,
             restart_backoff: Duration::from_millis(20),

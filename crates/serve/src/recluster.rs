@@ -9,10 +9,9 @@
 
 use crate::config::ServeConfig;
 use crate::query::VerdictSnapshot;
-use glp_core::engine::{GpuEngine, GpuEngineConfig};
-use glp_core::{LpRunReport, WeightedLp};
+use glp_core::engine::GpuEngine;
+use glp_core::{Engine, LpRunReport, RunOptions, WeightedLp};
 use glp_fraud::{FraudPipeline, WindowWorkload};
-use glp_gpusim::Device;
 use glp_graph::VertexId;
 use std::collections::HashMap;
 
@@ -36,14 +35,12 @@ pub fn recluster(
 
     let mut prog = WeightedLp::from_graph(&workload.graph, cfg.pipeline.lp_iterations)
         .with_retention(cfg.pipeline.retention);
-    let mut engine = GpuEngine::new(
-        Device::titan_v(),
-        GpuEngineConfig {
-            shards: cfg.engine_shards,
-            ..GpuEngineConfig::default()
-        },
-    );
-    let report = engine.run(&workload.graph, &mut prog);
+    let mut engine = GpuEngine::titan_v();
+    let opts = RunOptions::default()
+        .with_max_iterations(cfg.pipeline.lp_iterations)
+        .with_frontier(cfg.frontier)
+        .with_shards(cfg.engine_shards);
+    let report = engine.run(&workload.graph, &mut prog, &opts);
 
     let pipe = FraudPipeline::new(cfg.pipeline.clone());
     let clusters = pipe.score(workload, &prog, &seeds);

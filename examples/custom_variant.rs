@@ -14,6 +14,7 @@
 
 use glp_suite::core::api::{LpProgram, NeighborContribution};
 use glp_suite::core::engine::GpuEngine;
+use glp_suite::core::{Engine, RunOptions};
 use glp_suite::graph::gen::caveman;
 use glp_suite::graph::{EdgeId, Label, VertexId, INVALID_LABEL};
 
@@ -125,7 +126,7 @@ fn main() {
 
     for max_hops in [1, 2, 4] {
         let mut prog = HopCappedLp::new(graph.num_vertices(), &seeds, max_hops);
-        let report = GpuEngine::titan_v().run(&graph, &mut prog);
+        let report = GpuEngine::titan_v().run(&graph, &mut prog, &RunOptions::default());
         let labeled = prog
             .labels()
             .iter()

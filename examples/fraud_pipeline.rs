@@ -12,6 +12,7 @@
 //! LP was 75% of pipeline time).
 
 use glp_suite::core::engine::GpuEngine;
+use glp_suite::core::RunOptions;
 use glp_suite::fraud::{FraudPipeline, InHouseLp, PipelineConfig, TxConfig, TxStream};
 
 fn main() {
@@ -43,9 +44,13 @@ fn main() {
     });
 
     // 2. The pipeline with the legacy in-house distributed LP.
-    let legacy = pipe.run(&stream, |g, p| InHouseLp::taobao_scaled(1_000.0).run(g, p));
+    let legacy = pipe.run(
+        &stream,
+        &mut InHouseLp::taobao_scaled(1_000.0),
+        &RunOptions::default(),
+    );
     // 3. The same pipeline with GLP.
-    let glp = pipe.run(&stream, |g, p| GpuEngine::titan_v().run(g, p));
+    let glp = pipe.run(&stream, &mut GpuEngine::titan_v(), &RunOptions::default());
 
     println!(
         "\nwindow graph: {} vertices, {} edges, {} seeds present",

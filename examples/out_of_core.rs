@@ -9,8 +9,8 @@
 //! over the (modeled) PCIe link with identical results — plus the
 //! multi-GPU engine splitting the same work across two devices (§5.4).
 
-use glp_suite::core::engine::{GpuEngineConfig, HybridEngine, MultiGpuEngine};
-use glp_suite::core::{ClassicLp, LpProgram};
+use glp_suite::core::engine::{HybridEngine, MultiGpuEngine};
+use glp_suite::core::{ClassicLp, Engine, LpProgram, RunOptions};
 use glp_suite::gpusim::{Device, DeviceConfig};
 use glp_suite::graph::gen::{community_powerlaw, CommunityPowerLawConfig};
 
@@ -29,9 +29,10 @@ fn main() {
     );
 
     // 1. Roomy device: everything resident.
-    let mut roomy = HybridEngine::new(Device::titan_v(), GpuEngineConfig::default());
+    let opts = RunOptions::default();
+    let mut roomy = HybridEngine::new(Device::titan_v());
     let mut p1 = ClassicLp::new(graph.num_vertices());
-    let r1 = roomy.run(&graph, &mut p1);
+    let r1 = roomy.run(&graph, &mut p1, &opts);
     println!(
         "\nroomy device   : in-core, {:.3} ms modeled, transfer share {:.1}%",
         r1.modeled_seconds * 1e3,
@@ -40,14 +41,14 @@ fn main() {
 
     // 2. Tiny device: one quarter of the graph fits; the rest streams.
     let tiny_cfg = DeviceConfig::tiny(graph.size_bytes() / 4);
-    let mut tiny = HybridEngine::new(Device::new(tiny_cfg), GpuEngineConfig::default());
+    let mut tiny = HybridEngine::new(Device::new(tiny_cfg));
     println!(
         "tiny device    : {:.1} MB memory, dense plan would need {} chunks",
         (graph.size_bytes() / 4) as f64 / 1e6,
         tiny.plan_chunks(&graph)
     );
     let mut p2 = ClassicLp::new(graph.num_vertices());
-    let r2 = tiny.run(&graph, &mut p2);
+    let r2 = tiny.run(&graph, &mut p2, &opts);
     println!(
         "                 streamed, {:.3} ms modeled, transfer share {:.1}%",
         r2.modeled_seconds * 1e3,
@@ -59,7 +60,7 @@ fn main() {
     // 3. Two GPUs.
     let mut multi = MultiGpuEngine::titan_v(2);
     let mut p3 = ClassicLp::new(graph.num_vertices());
-    let r3 = multi.run(&graph, &mut p3);
+    let r3 = multi.run(&graph, &mut p3, &opts);
     assert_eq!(p1.labels(), p3.labels());
     println!(
         "two GPUs       : {:.3} ms modeled ({:.2}x vs one roomy GPU)",

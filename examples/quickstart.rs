@@ -10,7 +10,7 @@
 
 use glp_suite::core::community::{community_sizes, intra_edge_fraction, num_communities};
 use glp_suite::core::engine::GpuEngine;
-use glp_suite::core::{ClassicLp, LpProgram};
+use glp_suite::core::{ClassicLp, Engine, LpProgram, RunOptions};
 use glp_suite::graph::gen::{community_powerlaw, CommunityPowerLawConfig};
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
     //    neighbor label) on a modeled Titan V.
     let mut engine = GpuEngine::titan_v();
     let mut program = ClassicLp::new(graph.num_vertices());
-    let report = engine.run(&graph, &mut program);
+    let report = engine.run(&graph, &mut program, &RunOptions::default());
 
     // 3. What it found.
     let labels = program.labels();

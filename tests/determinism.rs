@@ -1,10 +1,9 @@
 //! Determinism guarantees: results must not depend on harness thread
 //! counts, repeated runs, or engine choice — only on the seeds.
 
-use glp_suite::core::engine::{GpuEngine, GpuEngineConfig};
-use glp_suite::core::{ClassicLp, LpProgram, Slp};
+use glp_suite::core::engine::GpuEngine;
+use glp_suite::core::{ClassicLp, Engine, LpProgram, RunOptions, Slp};
 use glp_suite::fraud::{TxConfig, TxStream};
-use glp_suite::gpusim::Device;
 use glp_suite::graph::datasets::table2;
 use glp_suite::graph::gen::{community_powerlaw, CommunityPowerLawConfig};
 
@@ -17,13 +16,10 @@ fn shard_count_does_not_change_results_or_modeled_time() {
     });
     let mut outcomes = Vec::new();
     for shards in [1, 2, 7] {
-        let cfg = GpuEngineConfig {
-            shards,
-            ..Default::default()
-        };
-        let mut engine = GpuEngine::new(Device::titan_v(), cfg);
+        let opts = RunOptions::default().with_shards(shards);
+        let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 12);
-        let report = engine.run(&g, &mut prog);
+        let report = engine.run(&g, &mut prog, &opts);
         outcomes.push((prog.labels().to_vec(), report.modeled_seconds));
     }
     for w in outcomes.windows(2) {
@@ -51,7 +47,7 @@ fn repeated_runs_are_bit_identical() {
     let run = || {
         let mut engine = GpuEngine::titan_v();
         let mut prog = Slp::new(g.num_vertices(), 0xABCD);
-        let report = engine.run(&g, &mut prog);
+        let report = engine.run(&g, &mut prog, &RunOptions::default());
         (prog.labels().to_vec(), report.modeled_seconds)
     };
     let (l1, t1) = run();

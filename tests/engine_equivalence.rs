@@ -3,10 +3,8 @@
 //! the property that makes the benchmark comparisons meaningful.
 
 use glp_suite::baselines::{CpuLp, CpuLpConfig, GHashLp, GSortLp};
-use glp_suite::core::engine::{
-    GpuEngine, GpuEngineConfig, HybridEngine, MflStrategy, MultiGpuEngine,
-};
-use glp_suite::core::{ClassicLp, Llp, LpProgram, SeededLp, Slp};
+use glp_suite::core::engine::{GpuEngine, HybridEngine, MflStrategy, MultiGpuEngine};
+use glp_suite::core::{ClassicLp, Engine, Llp, LpProgram, RunOptions, SeededLp, Slp};
 use glp_suite::fraud::InHouseLp;
 use glp_suite::gpusim::{Device, DeviceConfig};
 use glp_suite::graph::datasets::by_name;
@@ -30,9 +28,10 @@ fn graphs() -> Vec<(&'static str, Graph)> {
 
 /// Runs `proto` through every engine and asserts identical labels.
 fn assert_all_engines_agree<P: LpProgram + Clone>(name: &str, g: &Graph, proto: &P) {
+    let opts = RunOptions::default();
     let reference = {
         let mut p = proto.clone();
-        GpuEngine::titan_v().run(g, &mut p);
+        GpuEngine::titan_v().run(g, &mut p, &opts);
         p.labels().to_vec()
     };
     let check = |engine_name: &str, labels: &[u32]| {
@@ -45,48 +44,44 @@ fn assert_all_engines_agree<P: LpProgram + Clone>(name: &str, g: &Graph, proto: 
 
     for strategy in [MflStrategy::Global, MflStrategy::Smem] {
         let mut p = proto.clone();
-        GpuEngine::with_strategy(strategy).run(g, &mut p);
+        GpuEngine::titan_v().run(g, &mut p, &opts.clone().with_strategy(strategy));
         check(&format!("GpuEngine({strategy:?})"), p.labels());
     }
     {
         // A device too small for the graph: streaming path.
         let mem = (g.num_vertices() as u64) * 20 + g.size_bytes() / 3;
         let mut p = proto.clone();
-        HybridEngine::new(
-            Device::new(DeviceConfig::tiny(mem)),
-            GpuEngineConfig::default(),
-        )
-        .run(g, &mut p);
+        HybridEngine::new(Device::new(DeviceConfig::tiny(mem))).run(g, &mut p, &opts);
         check("HybridEngine(streamed)", p.labels());
     }
     for devices in [2, 3] {
         let mut p = proto.clone();
-        MultiGpuEngine::titan_v(devices).run(g, &mut p);
+        MultiGpuEngine::titan_v(devices).run(g, &mut p, &opts);
         check(&format!("MultiGpuEngine({devices})"), p.labels());
     }
     {
         let mut p = proto.clone();
-        CpuLp::omp(CpuLpConfig::default()).run(g, &mut p);
+        CpuLp::omp(CpuLpConfig::default()).run(g, &mut p, &opts);
         check("OMP", p.labels());
     }
     {
         let mut p = proto.clone();
-        CpuLp::ligra(CpuLpConfig::default()).run(g, &mut p);
+        CpuLp::ligra(CpuLpConfig::default()).run(g, &mut p, &opts);
         check("Ligra", p.labels());
     }
     {
         let mut p = proto.clone();
-        GSortLp::titan_v().run(g, &mut p);
+        GSortLp::titan_v().run(g, &mut p, &opts);
         check("G-Sort", p.labels());
     }
     {
         let mut p = proto.clone();
-        GHashLp::titan_v().run(g, &mut p);
+        GHashLp::titan_v().run(g, &mut p, &opts);
         check("G-Hash", p.labels());
     }
     {
         let mut p = proto.clone();
-        InHouseLp::taobao().run(g, &mut p);
+        InHouseLp::taobao().run(g, &mut p, &opts);
         check("InHouse", p.labels());
     }
 }
@@ -130,9 +125,9 @@ fn seeded_lp_agrees_everywhere() {
 fn tigergraph_agrees_on_classic() {
     for (name, g) in graphs() {
         let mut reference = ClassicLp::with_max_iterations(g.num_vertices(), 15);
-        GpuEngine::titan_v().run(&g, &mut reference);
+        GpuEngine::titan_v().run(&g, &mut reference, &RunOptions::default());
         let mut p = ClassicLp::with_max_iterations(g.num_vertices(), 15);
-        CpuLp::tigergraph(CpuLpConfig::default()).run(&g, &mut p);
+        CpuLp::tigergraph(CpuLpConfig::default()).run(&g, &mut p, &RunOptions::default());
         assert_eq!(p.labels(), reference.labels(), "TG disagrees on {name}");
     }
 }

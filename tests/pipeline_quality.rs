@@ -2,6 +2,7 @@
 //! (the claims of §1 and §5.4 at integration level).
 
 use glp_suite::core::engine::GpuEngine;
+use glp_suite::core::RunOptions;
 use glp_suite::fraud::{FraudPipeline, InHouseLp, PipelineConfig, TxConfig, TxStream};
 
 fn stream() -> TxStream {
@@ -20,8 +21,11 @@ fn stream() -> TxStream {
 
 #[test]
 fn pipeline_detects_rings_with_high_quality() {
-    let report = FraudPipeline::new(PipelineConfig::default())
-        .run(&stream(), |g, p| GpuEngine::titan_v().run(g, p));
+    let report = FraudPipeline::new(PipelineConfig::default()).run(
+        &stream(),
+        &mut GpuEngine::titan_v(),
+        &RunOptions::default(),
+    );
     assert!(report.precision > 0.8, "precision {}", report.precision);
     assert!(report.recall > 0.8, "recall {}", report.recall);
     assert!(
@@ -35,8 +39,8 @@ fn pipeline_detects_rings_with_high_quality() {
 fn detection_is_engine_independent() {
     let s = stream();
     let pipe = FraudPipeline::new(PipelineConfig::default());
-    let a = pipe.run(&s, |g, p| GpuEngine::titan_v().run(g, p));
-    let b = pipe.run(&s, |g, p| InHouseLp::taobao().run(g, p));
+    let a = pipe.run(&s, &mut GpuEngine::titan_v(), &RunOptions::default());
+    let b = pipe.run(&s, &mut InHouseLp::taobao(), &RunOptions::default());
     let users = |r: &glp_suite::fraud::PipelineReport| -> Vec<Vec<u32>> {
         r.flagged.iter().map(|c| c.users.clone()).collect()
     };
@@ -50,8 +54,12 @@ fn lp_dominates_with_inhouse_but_not_with_glp() {
     // solution; GLP collapses that share.
     let s = stream();
     let pipe = FraudPipeline::new(PipelineConfig::default());
-    let legacy = pipe.run(&s, |g, p| InHouseLp::taobao_scaled(1_000.0).run(g, p));
-    let glp = pipe.run(&s, |g, p| GpuEngine::titan_v().run(g, p));
+    let legacy = pipe.run(
+        &s,
+        &mut InHouseLp::taobao_scaled(1_000.0),
+        &RunOptions::default(),
+    );
+    let glp = pipe.run(&s, &mut GpuEngine::titan_v(), &RunOptions::default());
     assert!(
         legacy.stages.lp_fraction() > 0.6,
         "legacy LP share {}",
@@ -74,8 +82,11 @@ fn lp_dominates_with_inhouse_but_not_with_glp() {
 #[test]
 fn flagged_clusters_are_rings_not_giants() {
     let s = stream();
-    let report = FraudPipeline::new(PipelineConfig::default())
-        .run(&s, |g, p| GpuEngine::titan_v().run(g, p));
+    let report = FraudPipeline::new(PipelineConfig::default()).run(
+        &s,
+        &mut GpuEngine::titan_v(),
+        &RunOptions::default(),
+    );
     for c in &report.flagged {
         assert!(
             c.users.len() <= 3 * 18,

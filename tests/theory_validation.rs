@@ -3,8 +3,8 @@
 //! regime Theorem 1 describes, and shrinking the structures must increase
 //! (never decrease) fallbacks.
 
-use glp_suite::core::engine::{GpuEngine, GpuEngineConfig, MflStrategy};
-use glp_suite::core::{ClassicLp, LpProgram, LpRunReport};
+use glp_suite::core::engine::{GpuEngine, MflStrategy};
+use glp_suite::core::{ClassicLp, Engine, LpProgram, LpRunReport, RunOptions};
 use glp_suite::graph::gen::{bipartite_interaction, BipartiteConfig};
 use glp_suite::graph::Graph;
 use glp_suite::sketch::theory;
@@ -22,16 +22,16 @@ fn dense_graph() -> Graph {
 }
 
 fn run_with_geometry(g: &Graph, ht_slots: usize, cms_depth: usize) -> LpRunReport {
-    let cfg = GpuEngineConfig {
+    let opts = RunOptions {
         strategy: MflStrategy::SmemWarp,
         ht_slots,
         cms_depth,
         cms_width: 2048,
         ..Default::default()
     };
-    let mut engine = GpuEngine::new(glp_suite::gpusim::Device::titan_v(), cfg);
+    let mut engine = GpuEngine::titan_v();
     let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 10);
-    engine.run(g, &mut prog)
+    engine.run(g, &mut prog, &opts)
 }
 
 #[test]
@@ -80,7 +80,7 @@ fn later_iterations_stop_falling_back() {
     let g = dense_graph();
     let mut engine = GpuEngine::titan_v();
     let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 30);
-    let report = engine.run(&g, &mut prog);
+    let report = engine.run(&g, &mut prog, &RunOptions::default());
     assert!(
         report.fallback_rate() < 0.10,
         "rate {} across {} high-degree vertex-iterations",
