@@ -21,7 +21,7 @@
 //! Modeled time comes from [`CpuConfig`]'s roofline so it is comparable
 //! with the GPU engines' modeled time.
 
-use glp_core::engine::{BestLabel, Decision, Engine, RunOptions};
+use glp_core::engine::{BestLabel, Decision, Engine, EngineError, RunOptions};
 use glp_core::{LpProgram, LpRunReport};
 use glp_gpusim::host::{CpuConfig, CpuCounters};
 use glp_graph::{Graph, Label, VertexId};
@@ -126,7 +126,14 @@ impl Engine for CpuLp {
     }
 
     /// Runs `prog` on `g`; modeled seconds come from the CPU roofline.
-    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
+    /// A shard thread that panics surfaces as
+    /// [`EngineError::ShardPanicked`] instead of poisoning the caller.
+    fn run(
+        &mut self,
+        g: &Graph,
+        prog: &mut dyn LpProgram,
+        opts: &RunOptions,
+    ) -> Result<LpRunReport, EngineError> {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
@@ -165,7 +172,8 @@ impl Engine for CpuLp {
             let prog_ref: &dyn LpProgram = prog;
             let active_ref: &[bool] = &active;
             let spoken_ref: &[Label] = &spoken;
-            let shard_results: Vec<(Vec<(VertexId, Decision)>, CpuCounters)> =
+            type ShardOutput = (Vec<(VertexId, Decision)>, CpuCounters);
+            let shard_results: Result<Vec<ShardOutput>, EngineError> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = ranges
                         .iter()
@@ -194,9 +202,13 @@ impl Engine for CpuLp {
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("cpu shard panicked"))
+                        .enumerate()
+                        .map(|(shard, h)| {
+                            h.join().map_err(|_| EngineError::ShardPanicked { shard })
+                        })
                         .collect()
                 });
+            let shard_results = shard_results?;
 
             decisions.iter_mut().for_each(|d| *d = None);
             let mut scheduled = 0u64;
@@ -259,7 +271,7 @@ impl Engine for CpuLp {
         report.modeled_seconds = self.cfg.cpu.seconds(&totals, threads)
             + f64::from(report.iterations) * self.superstep_overhead_s;
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
-        report
+        Ok(report)
     }
 }
 
@@ -319,7 +331,9 @@ mod tests {
 
     fn gpu_reference<P: LpProgram + Clone>(g: &Graph, prog: &P) -> Vec<Label> {
         let mut p = prog.clone();
-        GpuEngine::titan_v().run(g, &mut p, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(g, &mut p, &RunOptions::default())
+            .unwrap();
         p.labels().to_vec()
     }
 
@@ -329,7 +343,9 @@ mod tests {
         let proto = ClassicLp::new(g.num_vertices());
         let want = gpu_reference(&g, &proto);
         let mut p = proto.clone();
-        let report = CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p, &dense());
+        let report = CpuLp::omp(CpuLpConfig::default())
+            .run(&g, &mut p, &dense())
+            .unwrap();
         assert_eq!(p.labels(), &want[..]);
         assert!(report.modeled_seconds > 0.0);
     }
@@ -340,7 +356,9 @@ mod tests {
         let proto = ClassicLp::new(g.num_vertices());
         let want = gpu_reference(&g, &proto);
         let mut p = proto.clone();
-        let report = CpuLp::ligra(CpuLpConfig::default()).run(&g, &mut p, &RunOptions::default());
+        let report = CpuLp::ligra(CpuLpConfig::default())
+            .run(&g, &mut p, &RunOptions::default())
+            .unwrap();
         assert_eq!(p.labels(), &want[..]);
         assert_eq!(report.changed_per_iteration.last(), Some(&0));
     }
@@ -351,7 +369,9 @@ mod tests {
         let proto = Llp::new(g.num_vertices(), 2.0);
         let want = gpu_reference(&g, &proto);
         let mut p = proto.clone();
-        CpuLp::ligra(CpuLpConfig::default()).run(&g, &mut p, &RunOptions::default());
+        CpuLp::ligra(CpuLpConfig::default())
+            .run(&g, &mut p, &RunOptions::default())
+            .unwrap();
         assert_eq!(p.labels(), &want[..]);
     }
 
@@ -361,7 +381,9 @@ mod tests {
         let proto = Slp::new(g.num_vertices(), 77);
         let want = gpu_reference(&g, &proto);
         let mut p = proto.clone();
-        CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p, &dense());
+        CpuLp::omp(CpuLpConfig::default())
+            .run(&g, &mut p, &dense())
+            .unwrap();
         assert_eq!(p.labels(), &want[..]);
     }
 
@@ -369,9 +391,13 @@ mod tests {
     fn tigergraph_models_slower_than_omp() {
         let g = sample();
         let mut p1 = ClassicLp::new(g.num_vertices());
-        let r_omp = CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p1, &dense());
+        let r_omp = CpuLp::omp(CpuLpConfig::default())
+            .run(&g, &mut p1, &dense())
+            .unwrap();
         let mut p2 = ClassicLp::new(g.num_vertices());
-        let r_tg = CpuLp::tigergraph(CpuLpConfig::default()).run(&g, &mut p2, &dense());
+        let r_tg = CpuLp::tigergraph(CpuLpConfig::default())
+            .run(&g, &mut p2, &dense())
+            .unwrap();
         assert_eq!(p1.labels(), p2.labels());
         assert!(
             r_tg.modeled_seconds > r_omp.modeled_seconds,
@@ -413,10 +439,11 @@ mod tests {
             &g,
             &mut p1,
             &opts.clone().with_frontier(FrontierMode::Dense),
-        );
+        )
+        .unwrap();
         let mut p2 = ClassicLp::with_max_iterations(n, 40);
         let mut ligra = CpuLp::ligra(CpuLpConfig::default());
-        ligra.run(&g, &mut p2, &opts);
+        ligra.run(&g, &mut p2, &opts).unwrap();
         assert_eq!(p1.labels(), p2.labels());
         assert!(
             2 * ligra.totals().random_accesses < omp.totals().random_accesses,

@@ -8,7 +8,7 @@
 //! Unlike G-Sort it needs no |E|-sized auxiliary array and no sort passes,
 //! which is why it catches up on the largest graphs (§5.2).
 
-use glp_core::engine::{Engine, GpuEngine, MflStrategy, RunOptions};
+use glp_core::engine::{Engine, EngineError, GpuEngine, MflStrategy, RunOptions};
 use glp_core::{FrontierMode, LpProgram, LpRunReport};
 use glp_gpusim::Device;
 use glp_graph::Graph;
@@ -46,7 +46,12 @@ impl Engine for GHashLp {
         "G-Hash"
     }
 
-    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
+    fn run(
+        &mut self,
+        g: &Graph,
+        prog: &mut dyn LpProgram,
+        opts: &RunOptions,
+    ) -> Result<LpRunReport, EngineError> {
         let opts = RunOptions {
             strategy: MflStrategy::Global,
             frontier: FrontierMode::Dense,
@@ -73,9 +78,9 @@ mod tests {
         });
         let opts = RunOptions::default();
         let mut reference = ClassicLp::new(g.num_vertices());
-        GpuEngine::titan_v().run(&g, &mut reference, &opts);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts).unwrap();
         let mut p = ClassicLp::new(g.num_vertices());
-        GHashLp::titan_v().run(&g, &mut p, &opts);
+        GHashLp::titan_v().run(&g, &mut p, &opts).unwrap();
         assert_eq!(p.labels(), reference.labels());
     }
 
@@ -88,11 +93,11 @@ mod tests {
         });
         let opts = RunOptions::default();
         let mut p = ClassicLp::new(g.num_vertices());
-        let glp = GpuEngine::titan_v().run(&g, &mut p, &opts);
+        let glp = GpuEngine::titan_v().run(&g, &mut p, &opts).unwrap();
         let mut p = ClassicLp::new(g.num_vertices());
-        let gsort = GSortLp::titan_v().run(&g, &mut p, &opts);
+        let gsort = GSortLp::titan_v().run(&g, &mut p, &opts).unwrap();
         let mut p = ClassicLp::new(g.num_vertices());
-        let ghash = GHashLp::titan_v().run(&g, &mut p, &opts);
+        let ghash = GHashLp::titan_v().run(&g, &mut p, &opts).unwrap();
         assert!(
             glp.modeled_seconds < gsort.modeled_seconds,
             "GLP {} !< G-Sort {}",

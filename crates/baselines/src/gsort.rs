@@ -16,7 +16,7 @@
 //! the workspace tie rule); the cost model charges the extra traffic that
 //! makes this approach lose to GLP.
 
-use glp_core::engine::{BestLabel, Decision, Engine, RunOptions};
+use glp_core::engine::{BestLabel, Decision, Engine, EngineError, RunOptions};
 use glp_core::{LpProgram, LpRunReport};
 use glp_gpusim::{Device, KernelCtx, WARP_SIZE};
 use glp_graph::{Graph, Label, VertexId};
@@ -68,8 +68,15 @@ impl Engine for GSortLp {
         "G-Sort"
     }
 
-    /// Runs `prog` on `g`.
-    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
+    /// Runs `prog` on `g`. Faults on the modeled device (only possible
+    /// with `glp-gpusim/fault-injection` active) surface as [`EngineError`];
+    /// device memory is released either way.
+    fn run(
+        &mut self,
+        g: &Graph,
+        prog: &mut dyn LpProgram,
+        opts: &RunOptions,
+    ) -> Result<LpRunReport, EngineError> {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
@@ -84,7 +91,7 @@ impl Engine for GSortLp {
         // G-Sort needs graph + labels + the |E|-sized NL and weight arrays.
         let footprint = g.size_bytes() + (n as u64) * 20 + e * 12;
         let t0 = self.device.elapsed_seconds();
-        self.device.upload(footprint);
+        self.device.upload(footprint)?;
         let mut transfer_s = self.device.elapsed_seconds() - t0;
 
         let mut spoken: Vec<Label> = vec![0; n];
@@ -98,22 +105,23 @@ impl Engine for GSortLp {
         };
 
         let scheduled = (0..n as VertexId).filter(|&v| csr.degree(v) > 0).count() as u64;
-        for iteration in 0..opts.max_iterations {
-            prog.begin_iteration(iteration);
-            for (v, slot) in spoken.iter_mut().enumerate() {
-                *slot = prog.pick_label(v as VertexId);
-            }
-            self.device.launch("pick_label", |ctx| {
-                ctx.global_read_seq(LABEL_STATE, n as u64, 4);
-                ctx.global_write_seq(LABELS, n as u64, 4);
-                ctx.warps_launched((n as u64).div_ceil(32));
-                ctx.alu(2 * (n as u64).div_ceil(32));
-            });
+        let device = &mut self.device;
+        let outcome = (|| -> Result<(), EngineError> {
+            for iteration in 0..opts.max_iterations {
+                prog.begin_iteration(iteration);
+                for (v, slot) in spoken.iter_mut().enumerate() {
+                    *slot = prog.pick_label(v as VertexId);
+                }
+                device.launch("pick_label", |ctx| {
+                    ctx.global_read_seq(LABEL_STATE, n as u64, 4);
+                    ctx.global_write_seq(LABELS, n as u64, 4);
+                    ctx.warps_launched((n as u64).div_ceil(32));
+                    ctx.alu(2 * (n as u64).div_ceil(32));
+                })?;
 
-            // 1. Gather kernel: NL[e] = L[target[e]] for every edge.
-            let spoken_ref: &[Label] = &spoken;
-            self.device
-                .launch_parallel("gsort_gather", shards, |i, ctx: &mut KernelCtx| {
+                // 1. Gather kernel: NL[e] = L[target[e]] for every edge.
+                let spoken_ref: &[Label] = &spoken;
+                device.launch_parallel("gsort_gather", shards, |i, ctx: &mut KernelCtx| {
                     let (lo, hi) = vertex_ranges[i];
                     let mut addrs = [0u64; WARP_SIZE];
                     for v in lo..hi {
@@ -140,122 +148,127 @@ impl Engine for GSortLp {
                     ctx.warps_launched(
                         (csr.offset(hi as VertexId) - csr.offset(lo as VertexId)).div_ceil(32),
                     );
-                });
+                })?;
 
-            // 2+3. Segmented sort + run-scan count, per vertex.
-            let prog_ref: &dyn LpProgram = prog;
-            let outs = self.device.launch_parallel(
-                "gsort_sort_count",
-                shards,
-                |i, ctx: &mut KernelCtx| {
-                    let (lo, hi) = vertex_ranges[i];
-                    let mut out: Vec<(VertexId, Decision)> = Vec::with_capacity(hi - lo);
-                    let mut scratch: Vec<(Label, f64)> = Vec::new();
-                    for v in lo..hi {
-                        let v = v as VertexId;
-                        let nbrs = csr.neighbors(v);
-                        if nbrs.is_empty() {
-                            continue;
-                        }
-                        let off = csr.offset(v);
-                        let deg = nbrs.len();
-                        // Materialize this segment of NL with the user's
-                        // per-edge contributions, then sort by label.
-                        scratch.clear();
-                        scratch.reserve(deg);
-                        for (j, &u) in nbrs.iter().enumerate() {
-                            let contrib = prog_ref.load_neighbor(
-                                v,
-                                u,
-                                off + j as u64,
-                                spoken_ref[u as usize],
-                            );
-                            scratch.push((contrib.label, contrib.weight));
-                        }
-                        scratch.sort_unstable_by_key(|&(l, _)| l);
-                        // Sort cost: one block-local pass for small
-                        // segments, RADIX_PASSES read+write sweeps of the
-                        // segment for large ones.
-                        if deg <= BLOCK_SORT_MAX {
-                            // Block-local radix sort: one global read+write
-                            // plus per-key rank/scatter work in shared
-                            // memory (4 digit passes x ~3 ops).
-                            ctx.global_read_seq(NL_BASE + off * 4, deg as u64, 4);
-                            ctx.global_write_seq(NL_BASE + off * 4, deg as u64, 4);
-                            ctx.shared_access_uniform((deg as u64) * RADIX_PASSES / 4);
-                            ctx.alu((deg as u64) * 3 * RADIX_PASSES);
-                        } else {
-                            // Degenerated multi-pass global radix sort:
-                            // every pass streams the segment through global
-                            // memory both ways.
-                            for _ in 0..RADIX_PASSES {
+                // 2+3. Segmented sort + run-scan count, per vertex.
+                let prog_ref: &dyn LpProgram = prog;
+                let outs = device.launch_parallel(
+                    "gsort_sort_count",
+                    shards,
+                    |i, ctx: &mut KernelCtx| {
+                        let (lo, hi) = vertex_ranges[i];
+                        let mut out: Vec<(VertexId, Decision)> = Vec::with_capacity(hi - lo);
+                        let mut scratch: Vec<(Label, f64)> = Vec::new();
+                        for v in lo..hi {
+                            let v = v as VertexId;
+                            let nbrs = csr.neighbors(v);
+                            if nbrs.is_empty() {
+                                continue;
+                            }
+                            let off = csr.offset(v);
+                            let deg = nbrs.len();
+                            // Materialize this segment of NL with the user's
+                            // per-edge contributions, then sort by label.
+                            scratch.clear();
+                            scratch.reserve(deg);
+                            for (j, &u) in nbrs.iter().enumerate() {
+                                let contrib = prog_ref.load_neighbor(
+                                    v,
+                                    u,
+                                    off + j as u64,
+                                    spoken_ref[u as usize],
+                                );
+                                scratch.push((contrib.label, contrib.weight));
+                            }
+                            scratch.sort_unstable_by_key(|&(l, _)| l);
+                            // Sort cost: one block-local pass for small
+                            // segments, RADIX_PASSES read+write sweeps of the
+                            // segment for large ones.
+                            if deg <= BLOCK_SORT_MAX {
+                                // Block-local radix sort: one global read+write
+                                // plus per-key rank/scatter work in shared
+                                // memory (4 digit passes x ~3 ops).
                                 ctx.global_read_seq(NL_BASE + off * 4, deg as u64, 4);
                                 ctx.global_write_seq(NL_BASE + off * 4, deg as u64, 4);
+                                ctx.shared_access_uniform((deg as u64) * RADIX_PASSES / 4);
+                                ctx.alu((deg as u64) * 3 * RADIX_PASSES);
+                            } else {
+                                // Degenerated multi-pass global radix sort:
+                                // every pass streams the segment through global
+                                // memory both ways.
+                                for _ in 0..RADIX_PASSES {
+                                    ctx.global_read_seq(NL_BASE + off * 4, deg as u64, 4);
+                                    ctx.global_write_seq(NL_BASE + off * 4, deg as u64, 4);
+                                }
+                                ctx.alu((deg as u64) * 4 * RADIX_PASSES);
                             }
-                            ctx.alu((deg as u64) * 4 * RADIX_PASSES);
-                        }
-                        // Count kernel: scan sorted runs.
-                        ctx.global_read_seq(NL_BASE + off * 4, deg as u64, 4);
-                        ctx.alu(deg as u64);
-                        let mut best: Option<BestLabel> = None;
-                        let current = spoken_ref[v as usize];
-                        let mut r = 0usize;
-                        while r < scratch.len() {
-                            let label = scratch[r].0;
-                            let mut freq = 0.0;
-                            while r < scratch.len() && scratch[r].0 == label {
-                                freq += scratch[r].1;
-                                r += 1;
+                            // Count kernel: scan sorted runs.
+                            ctx.global_read_seq(NL_BASE + off * 4, deg as u64, 4);
+                            ctx.alu(deg as u64);
+                            let mut best: Option<BestLabel> = None;
+                            let current = spoken_ref[v as usize];
+                            let mut r = 0usize;
+                            while r < scratch.len() {
+                                let label = scratch[r].0;
+                                let mut freq = 0.0;
+                                while r < scratch.len() && scratch[r].0 == label {
+                                    freq += scratch[r].1;
+                                    r += 1;
+                                }
+                                let score = prog_ref.label_score(v, label, freq);
+                                BestLabel::offer(&mut best, label, score, current);
                             }
-                            let score = prog_ref.label_score(v, label, freq);
-                            BestLabel::offer(&mut best, label, score, current);
+                            ctx.global_write_scattered(1);
+                            out.push((v, BestLabel::into_decision(best)));
                         }
-                        ctx.global_write_scattered(1);
-                        out.push((v, BestLabel::into_decision(best)));
+                        ctx.warps_launched((hi - lo) as u64);
+                        out
+                    },
+                )?;
+
+                // UpdateVertex.
+                device.launch("update_vertex", |ctx| {
+                    ctx.global_read_seq(DECISIONS, n as u64, 12);
+                    ctx.global_write_seq(LABEL_STATE, n as u64, 4);
+                    ctx.warps_launched((n as u64).div_ceil(32));
+                    ctx.alu(2 * (n as u64).div_ceil(32));
+                })?;
+                decisions.iter_mut().for_each(|d| *d = None);
+                for out in outs {
+                    for (v, d) in out {
+                        decisions[v as usize] = d;
                     }
-                    ctx.warps_launched((hi - lo) as u64);
-                    out
-                },
-            );
+                }
+                let mut changed = 0u64;
+                for (v, &d) in decisions.iter().enumerate() {
+                    if prog.update_vertex(v as VertexId, d) {
+                        changed += 1;
+                    }
+                }
+                prog.end_iteration(iteration);
+                report.changed_per_iteration.push(changed);
+                report.active_per_iteration.push(scheduled);
+                report.iterations = iteration + 1;
+                if prog.finished(iteration, changed) {
+                    break;
+                }
+            }
+            Ok(())
+        })();
 
-            // UpdateVertex.
-            self.device.launch("update_vertex", |ctx| {
-                ctx.global_read_seq(DECISIONS, n as u64, 12);
-                ctx.global_write_seq(LABEL_STATE, n as u64, 4);
-                ctx.warps_launched((n as u64).div_ceil(32));
-                ctx.alu(2 * (n as u64).div_ceil(32));
-            });
-            decisions.iter_mut().for_each(|d| *d = None);
-            for out in outs {
-                for (v, d) in out {
-                    decisions[v as usize] = d;
-                }
-            }
-            let mut changed = 0u64;
-            for (v, &d) in decisions.iter().enumerate() {
-                if prog.update_vertex(v as VertexId, d) {
-                    changed += 1;
-                }
-            }
-            prog.end_iteration(iteration);
-            report.changed_per_iteration.push(changed);
-            report.active_per_iteration.push(scheduled);
-            report.iterations = iteration + 1;
-            if prog.finished(iteration, changed) {
-                break;
-            }
+        if outcome.is_ok() {
+            let t1 = device.elapsed_seconds();
+            device.download(n as u64 * 4);
+            transfer_s += device.elapsed_seconds() - t1;
         }
-
-        let t1 = self.device.elapsed_seconds();
-        self.device.download(n as u64 * 4);
-        transfer_s += self.device.elapsed_seconds() - t1;
-        self.device.free(footprint);
+        device.free(footprint);
+        outcome?;
 
         report.modeled_seconds = self.device.elapsed_seconds() - t0;
         report.transfer_seconds = transfer_s;
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
         report.gpu_counters = *self.device.totals();
-        report
+        Ok(report)
     }
 }
 
@@ -275,9 +288,9 @@ mod tests {
         });
         let opts = RunOptions::default();
         let mut reference = ClassicLp::new(g.num_vertices());
-        GpuEngine::titan_v().run(&g, &mut reference, &opts);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts).unwrap();
         let mut p = ClassicLp::new(g.num_vertices());
-        GSortLp::titan_v().run(&g, &mut p, &opts);
+        GSortLp::titan_v().run(&g, &mut p, &opts).unwrap();
         assert_eq!(p.labels(), reference.labels());
     }
 
@@ -290,9 +303,9 @@ mod tests {
         });
         let opts = RunOptions::default();
         let mut reference = Llp::new(g.num_vertices(), 4.0);
-        GpuEngine::titan_v().run(&g, &mut reference, &opts);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts).unwrap();
         let mut p = Llp::new(g.num_vertices(), 4.0);
-        GSortLp::titan_v().run(&g, &mut p, &opts);
+        GSortLp::titan_v().run(&g, &mut p, &opts).unwrap();
         assert_eq!(p.labels(), reference.labels());
     }
 
@@ -303,7 +316,7 @@ mod tests {
         let hub = star(5_000);
         let mut p = ClassicLp::with_max_iterations(hub.num_vertices(), 1);
         let mut eng = GSortLp::titan_v();
-        eng.run(&hub, &mut p, &RunOptions::default());
+        eng.run(&hub, &mut p, &RunOptions::default()).unwrap();
         let sectors = eng.device().totals().global_sectors();
         // gather(2 dirs) + 4x2 radix + scan over ~10k directed edges.
         assert!(

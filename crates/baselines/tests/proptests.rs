@@ -32,27 +32,27 @@ proptest! {
         let opts = RunOptions::default();
         let dense = RunOptions::default().with_frontier(FrontierMode::Dense);
         let mut reference = ClassicLp::with_max_iterations(n, 8);
-        GpuEngine::titan_v().run(&g, &mut reference, &opts);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts).unwrap();
         let want = reference.labels();
 
         let mut p = ClassicLp::with_max_iterations(n, 8);
-        CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p, &dense);
+        CpuLp::omp(CpuLpConfig::default()).run(&g, &mut p, &dense).unwrap();
         prop_assert_eq!(p.labels(), want);
 
         let mut p = ClassicLp::with_max_iterations(n, 8);
-        CpuLp::ligra(CpuLpConfig::default()).run(&g, &mut p, &opts);
+        CpuLp::ligra(CpuLpConfig::default()).run(&g, &mut p, &opts).unwrap();
         prop_assert_eq!(p.labels(), want);
 
         let mut p = ClassicLp::with_max_iterations(n, 8);
-        CpuLp::tigergraph(CpuLpConfig::default()).run(&g, &mut p, &dense);
+        CpuLp::tigergraph(CpuLpConfig::default()).run(&g, &mut p, &dense).unwrap();
         prop_assert_eq!(p.labels(), want);
 
         let mut p = ClassicLp::with_max_iterations(n, 8);
-        GSortLp::titan_v().run(&g, &mut p, &opts);
+        GSortLp::titan_v().run(&g, &mut p, &opts).unwrap();
         prop_assert_eq!(p.labels(), want);
 
         let mut p = ClassicLp::with_max_iterations(n, 8);
-        GHashLp::titan_v().run(&g, &mut p, &opts);
+        GHashLp::titan_v().run(&g, &mut p, &opts).unwrap();
         prop_assert_eq!(p.labels(), want);
     }
 
@@ -61,12 +61,12 @@ proptest! {
         let n = g.num_vertices();
         let opts = RunOptions::default();
         let mut reference = Llp::with_max_iterations(n, gamma, 6);
-        GpuEngine::titan_v().run(&g, &mut reference, &opts);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts).unwrap();
         let mut p = Llp::with_max_iterations(n, gamma, 6);
-        GSortLp::titan_v().run(&g, &mut p, &opts);
+        GSortLp::titan_v().run(&g, &mut p, &opts).unwrap();
         prop_assert_eq!(p.labels(), reference.labels());
         let mut p = Llp::with_max_iterations(n, gamma, 6);
-        GHashLp::titan_v().run(&g, &mut p, &opts);
+        GHashLp::titan_v().run(&g, &mut p, &opts).unwrap();
         prop_assert_eq!(p.labels(), reference.labels());
     }
 
@@ -76,9 +76,9 @@ proptest! {
         let n = g.num_vertices();
         let opts = RunOptions::default();
         for report in [
-            CpuLp::omp(CpuLpConfig::default()).run(&g, &mut ClassicLp::with_max_iterations(n, 3), &opts),
-            GSortLp::titan_v().run(&g, &mut ClassicLp::with_max_iterations(n, 3), &opts),
-            GHashLp::titan_v().run(&g, &mut ClassicLp::with_max_iterations(n, 3), &opts),
+            CpuLp::omp(CpuLpConfig::default()).run(&g, &mut ClassicLp::with_max_iterations(n, 3), &opts).unwrap(),
+            GSortLp::titan_v().run(&g, &mut ClassicLp::with_max_iterations(n, 3), &opts).unwrap(),
+            GHashLp::titan_v().run(&g, &mut ClassicLp::with_max_iterations(n, 3), &opts).unwrap(),
         ] {
             prop_assert!(report.modeled_seconds.is_finite());
             prop_assert!(report.modeled_seconds > 0.0);

@@ -110,7 +110,7 @@ pub fn run_algo(approach: Approach, g: &Graph, algo: Algo, iterations: u32) -> L
     let n = g.num_vertices();
     let mut engine = approach.engine();
     let opts = approach.options(iterations);
-    match algo {
+    let outcome = match algo {
         Algo::Classic => engine.run(g, &mut ClassicLp::with_max_iterations(n, iterations), &opts),
         Algo::Llp(gamma) => engine.run(
             g,
@@ -118,7 +118,10 @@ pub fn run_algo(approach: Approach, g: &Graph, algo: Algo, iterations: u32) -> L
             &opts,
         ),
         Algo::Slp(seed) => engine.run(g, &mut Slp::with_params(n, 5, 0.2, iterations, seed), &opts),
-    }
+    };
+    // The benchmark devices are healthy (no fault injection): a fault here
+    // is a harness bug, not a measurement.
+    outcome.unwrap_or_else(|e| panic!("{} faulted on {algo:?}: {e}", approach.name()))
 }
 
 #[cfg(test)]

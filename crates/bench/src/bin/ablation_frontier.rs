@@ -27,7 +27,7 @@ fn main() {
                 .with_frontier(frontier);
             let mut engine = GpuEngine::titan_v();
             let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-            engine.run(&g, &mut prog, &opts)
+            engine.run(&g, &mut prog, &opts).expect("healthy device")
         };
         let dense = run(FrontierMode::Dense);
         let frontier = run(FrontierMode::Auto);

@@ -39,11 +39,13 @@ fn main() {
         let bw = cfg.mem_bandwidth_gbps;
         let mut engine = GpuEngine::new(Device::new(cfg));
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-        let r = engine.run(
-            &g,
-            &mut prog,
-            &RunOptions::default().with_max_iterations(iters),
-        );
+        let r = engine
+            .run(
+                &g,
+                &mut prog,
+                &RunOptions::default().with_max_iterations(iters),
+            )
+            .expect("healthy device");
         let base = *baseline.get_or_insert(r.modeled_seconds);
         rows.push(vec![
             name,

@@ -46,7 +46,7 @@ fn main() {
         };
         let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-        let report = engine.run(&g, &mut prog, &opts);
+        let report = engine.run(&g, &mut prog, &opts).expect("healthy device");
         rows.push(vec![
             format!("{ht_slots}"),
             format!("{cms_depth}"),

@@ -45,7 +45,7 @@ fn main() {
         };
         let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-        let report = engine.run(&g, &mut prog, &opts);
+        let report = engine.run(&g, &mut prog, &opts).expect("healthy device");
         let marker = if (low, high) == (32, 128) {
             " <- paper"
         } else {

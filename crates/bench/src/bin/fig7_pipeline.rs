@@ -50,21 +50,23 @@ fn main() {
         let mut glp1 = HybridEngine::new(Device::new(dev_cfg.clone()));
         let chunks = glp1.plan_chunks(g);
         let mut p = ClassicLp::with_max_iterations(n, iters);
-        let r1 = glp1.run(g, &mut p, &opts);
+        let r1 = glp1.run(g, &mut p, &opts).expect("healthy device");
 
         // GLP, two GPUs of the same scaled size — their combined memory
         // holds every window, mirroring how the paper's second Titan V
         // relieves the memory pressure.
         let mut glp2 = MultiGpuEngine::new(2, DeviceConfig::tiny(2 * device_mem_mb * (1 << 20)));
         let mut p = ClassicLp::with_max_iterations(n, iters);
-        let r2 = glp2.run(g, &mut p, &opts);
+        let r2 = glp2.run(g, &mut p, &opts).expect("healthy device");
 
         // The in-house 32-machine distributed solution, its fixed
         // per-superstep latency scaled by how much smaller this window is
         // than the production one (proportional costs scale on their own).
         let workload_ratio = (f64::from(spec.paper_vertices_m) * 1e6 / n as f64).max(1.0);
         let mut p = ClassicLp::with_max_iterations(n, iters);
-        let r_in = InHouseLp::taobao_scaled(workload_ratio).run(g, &mut p, &opts);
+        let r_in = InHouseLp::taobao_scaled(workload_ratio)
+            .run(g, &mut p, &opts)
+            .expect("healthy cluster");
 
         let speedup = r_in.seconds_per_iteration() / r1.seconds_per_iteration();
         let gain2 = r1.seconds_per_iteration() / r2.seconds_per_iteration();

@@ -52,7 +52,7 @@ fn run(g: &Graph, iters: u32, frontier: FrontierMode) -> (LpRunReport, Vec<u32>)
         .with_frontier(frontier);
     let mut engine = GpuEngine::titan_v();
     let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-    let report = engine.run(g, &mut prog, &opts);
+    let report = engine.run(g, &mut prog, &opts).expect("healthy device");
     (report, prog.labels().to_vec())
 }
 

@@ -96,7 +96,10 @@ fn run_program(
             "unknown engine {other:?} (glp|global|smem|omp|ligra|tg|gsort|ghash|inhouse)"
         )),
     };
-    e.run(g, prog, &opts)
+    e.run(g, prog, &opts).unwrap_or_else(|e| {
+        eprintln!("engine fault: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn cmd_generate(args: &Args) {
@@ -187,11 +190,13 @@ fn cmd_profile(args: &Args) {
     let iters: u32 = args.get("iters", 20);
     let mut engine = GpuEngine::titan_v();
     let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-    let report = engine.run(
-        &g,
-        &mut prog,
-        &RunOptions::default().with_max_iterations(iters),
-    );
+    let report = engine
+        .run(
+            &g,
+            &mut prog,
+            &RunOptions::default().with_max_iterations(iters),
+        )
+        .expect("healthy device");
     println!(
         "classic LP, {} iterations, {} modeled\n",
         report.iterations,

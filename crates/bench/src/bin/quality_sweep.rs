@@ -33,7 +33,9 @@ fn main() {
             ..Default::default()
         });
         let mut prog = ClassicLp::with_max_iterations(n, iters);
-        GpuEngine::titan_v().run(&g, &mut prog, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut prog, &RunOptions::default())
+            .expect("healthy device");
         let labels = prog.labels();
         rows.push(vec![
             format!("{mixing:.2}"),
@@ -56,7 +58,9 @@ fn main() {
     let mut rows = Vec::new();
     for gamma in [0.0, 0.5, 1.0, 2.0, 4.0, 16.0] {
         let mut prog = Llp::with_max_iterations(n, gamma, iters);
-        GpuEngine::titan_v().run(&g, &mut prog, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut prog, &RunOptions::default())
+            .expect("healthy device");
         let labels = prog.labels();
         rows.push(vec![
             format!("{gamma}"),

@@ -26,7 +26,7 @@ fn run(strategy: MflStrategy, g: &Graph, iters: u32) -> LpRunReport {
         .with_strategy(strategy);
     let mut engine = GpuEngine::titan_v();
     let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
-    engine.run(g, &mut prog, &opts)
+    engine.run(g, &mut prog, &opts).expect("healthy device")
 }
 
 fn main() {

@@ -59,7 +59,7 @@ mod probe {
         let dev = Device::new(DeviceConfig::tiny(4 << 20));
         let mut e = HybridEngine::new(dev);
         let mut p = ClassicLp::with_max_iterations(w.graph.num_vertices(), 20);
-        let r = e.run(&w.graph, &mut p, &RunOptions::default());
+        let r = e.run(&w.graph, &mut p, &RunOptions::default()).unwrap();
         eprintln!(
             "V={} E={} changed={:?}",
             w.graph.num_vertices(),

@@ -6,10 +6,11 @@ use super::kernels::{
     self, block_cms_ht_kernel, global_hash_kernel, warp_packed_kernel, warp_per_vertex_kernel,
     ShardStats,
 };
-use super::{Decision, Engine, RunOptions};
+use super::options::BarrierEvent;
+use super::{Decision, Engine, EngineError, RunOptions};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
-use glp_gpusim::{Device, KernelCtx};
+use glp_gpusim::{Device, DeviceError, KernelCtx};
 use glp_graph::{Graph, Label, VertexId};
 use std::borrow::Cow;
 use std::time::Instant;
@@ -55,7 +56,12 @@ impl Engine for GpuEngine {
 
     /// Runs `prog` on `g` to termination. The graph must fit in device
     /// memory (use [`HybridEngine`](super::HybridEngine) otherwise).
-    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
+    fn run(
+        &mut self,
+        g: &Graph,
+        prog: &mut dyn LpProgram,
+        opts: &RunOptions,
+    ) -> Result<LpRunReport, EngineError> {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
@@ -70,72 +76,120 @@ impl Engine for GpuEngine {
         // Upload: CSR + label state + spoken array + decision array.
         let footprint = g.size_bytes() + (n as u64) * (4 + 4 + 12);
         let t0 = self.device.elapsed_seconds();
-        self.device.upload(footprint);
+        self.device.upload(footprint)?;
         let mut transfer_s = self.device.elapsed_seconds() - t0;
 
         let mut spoken: Vec<Label> = vec![0; n];
         let mut decisions: Vec<Decision> = vec![None; n];
-        let mut active = vec![true; n];
         let sparse = opts.frontier.sparse(prog.sparse_activation());
+        let mut active = initial_active(n, sparse, opts);
         let mut report = LpRunReport::default();
         let start_elapsed = t0;
+        let device = &mut self.device;
 
-        for iteration in 0..opts.max_iterations {
-            let iter_start = self.device.elapsed_seconds();
-            prog.begin_iteration(iteration);
-            pick_labels(&mut self.device, &mut spoken, 0, prog, shards);
-            decisions.iter_mut().for_each(|d| *d = None);
-            // Rebuild the degree-bucketed dispatch over this iteration's
-            // frontier; the full-vertex bucketing is reused whenever the
-            // frontier is (still) saturated.
-            let all_active = !sparse || active.iter().all(|&a| a);
-            let filtered: Cow<'_, Buckets> = if all_active {
-                Cow::Borrowed(&buckets)
-            } else {
-                Cow::Owned(buckets.filtered(&active))
-            };
-            report
-                .active_per_iteration
-                .push(filtered.scheduled() as u64);
-            let stats = propagate(
-                &mut self.device,
-                g,
-                &spoken,
-                prog,
-                &filtered,
-                opts,
-                shards,
-                &mut decisions,
-            );
-            report.smem_fallbacks += stats.fallbacks;
-            report.smem_vertices += stats.smem_vertices;
-            let changed = apply_updates(&mut self.device, &decisions, prog);
-            if sparse {
-                refresh_active(&mut self.device, g, &spoken, &decisions, &mut active);
+        // The iteration loop runs in an immediately-invoked closure so the
+        // device footprint is released on the fault path too — a retrying
+        // caller reuses this engine, and leaked residency would turn a
+        // transient fault into a spurious OutOfMemory.
+        let outcome = (|| -> Result<(), EngineError> {
+            for iteration in opts.start_iteration..opts.max_iterations {
+                let iter_start = device.elapsed_seconds();
+                prog.begin_iteration(iteration);
+                pick_labels(device, &mut spoken, 0, prog, shards)?;
+                decisions.iter_mut().for_each(|d| *d = None);
+                // Rebuild the degree-bucketed dispatch over this iteration's
+                // frontier; the full-vertex bucketing is reused whenever the
+                // frontier is (still) saturated.
+                let all_active = !sparse || active.iter().all(|&a| a);
+                let filtered: Cow<'_, Buckets> = if all_active {
+                    Cow::Borrowed(&buckets)
+                } else {
+                    Cow::Owned(buckets.filtered(&active))
+                };
+                let scheduled = filtered.scheduled() as u64;
+                report.active_per_iteration.push(scheduled);
+                let stats = propagate(
+                    device,
+                    g,
+                    &spoken,
+                    prog,
+                    &filtered,
+                    opts,
+                    shards,
+                    &mut decisions,
+                )?;
+                report.smem_fallbacks += stats.fallbacks;
+                report.smem_vertices += stats.smem_vertices;
+                let changed = apply_updates(device, &decisions, prog)?;
+                if sparse {
+                    refresh_active(device, g, &spoken, &decisions, &mut active)?;
+                }
+                prog.end_iteration(iteration);
+                if let Some(hook) = &opts.barrier_hook {
+                    let t = device.elapsed_seconds();
+                    charge_snapshot(device, n as u64)?;
+                    report.snapshot_seconds += device.elapsed_seconds() - t;
+                    report.snapshots_taken += 1;
+                    hook.fire(&BarrierEvent {
+                        iteration,
+                        changed,
+                        scheduled,
+                        active: if sparse { Some(&active) } else { None },
+                        program: &*prog,
+                    });
+                }
+                report.changed_per_iteration.push(changed);
+                report
+                    .iteration_seconds
+                    .push(device.elapsed_seconds() - iter_start);
+                report.iterations = iteration + 1;
+                if prog.finished(iteration, changed) {
+                    break;
+                }
             }
-            prog.end_iteration(iteration);
-            report.changed_per_iteration.push(changed);
-            report
-                .iteration_seconds
-                .push(self.device.elapsed_seconds() - iter_start);
-            report.iterations = iteration + 1;
-            if prog.finished(iteration, changed) {
-                break;
-            }
+            Ok(())
+        })();
+
+        if outcome.is_ok() {
+            // Download the final labels.
+            let t1 = self.device.elapsed_seconds();
+            self.device.download(n as u64 * 4);
+            transfer_s += self.device.elapsed_seconds() - t1;
         }
-
-        // Download the final labels.
-        let t1 = self.device.elapsed_seconds();
-        self.device.download(n as u64 * 4);
-        transfer_s += self.device.elapsed_seconds() - t1;
         self.device.free(footprint);
 
+        outcome?;
         report.modeled_seconds = self.device.elapsed_seconds() - start_elapsed;
         report.transfer_seconds = transfer_s;
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
         report.gpu_counters = *self.device.totals();
-        report
+        Ok(report)
     }
+}
+
+/// The frontier a run starts from: saturated for a fresh run, the caller's
+/// captured bitmap for an iteration-granular resume of a sparse run.
+pub(crate) fn initial_active(n: usize, sparse: bool, opts: &RunOptions) -> Vec<bool> {
+    match &opts.initial_frontier {
+        Some(f) if sparse && opts.start_iteration > 0 => {
+            assert_eq!(f.len(), n, "resume frontier sized for a different graph");
+            f.clone()
+        }
+        _ => vec![true; n],
+    }
+}
+
+/// Charges the `barrier_snapshot` kernel: the coalesced label-state
+/// readback that feeds a [`BarrierHook`](super::BarrierHook) checkpoint.
+/// Only launched when a hook is installed, so hook-free runs are
+/// cost-model-identical to builds without fault tolerance.
+pub(crate) fn charge_snapshot(device: &mut Device, n: u64) -> Result<(), DeviceError> {
+    device.launch("barrier_snapshot", |ctx| {
+        ctx.global_read_seq(LABEL_STATE, n, 4);
+        ctx.warps_launched(n.div_ceil(32));
+        ctx.lanes_active(n);
+        ctx.alu(n.div_ceil(32));
+    })
 }
 
 /// Recomputes the active set — out-neighbors of every vertex whose spoken
@@ -168,7 +222,12 @@ pub(crate) fn recompute_active(
 /// change flags plus scattered bitmap writes, then the stream compaction
 /// that rebuilds the per-bucket vertex lists the next iteration's
 /// dispatch consumes.
-pub(crate) fn charge_frontier(device: &mut Device, n: u64, touched: u64, next_active: u64) {
+pub(crate) fn charge_frontier(
+    device: &mut Device,
+    n: u64,
+    touched: u64,
+    next_active: u64,
+) -> Result<(), DeviceError> {
     device.launch("frontier_update", |ctx| {
         ctx.global_read_seq(LABEL_STATE, n, 4);
         // The frontier is a bitmap: one sector covers 256 vertices, so the
@@ -178,7 +237,7 @@ pub(crate) fn charge_frontier(device: &mut Device, n: u64, touched: u64, next_ac
         ctx.warps_launched(n.div_ceil(32));
         ctx.lanes_active(n);
         ctx.alu(2 * n.div_ceil(32) + touched / 32);
-    });
+    })?;
     device.launch("frontier_compact", |ctx| {
         // Bitmap scan + prefix-sum compaction into dense vertex lists.
         ctx.global_read_seq(FRONTIER_BITMAP, n.div_ceil(8), 1);
@@ -186,7 +245,7 @@ pub(crate) fn charge_frontier(device: &mut Device, n: u64, touched: u64, next_ac
         ctx.warps_launched(n.div_ceil(32));
         ctx.lanes_active(n);
         ctx.alu(3 * n.div_ceil(32) + next_active / 32);
-    });
+    })
 }
 
 /// GPU-side frontier refresh: shared recompute plus the kernel charges.
@@ -196,10 +255,10 @@ pub(crate) fn refresh_active(
     spoken: &[Label],
     decisions: &[Decision],
     active: &mut [bool],
-) {
+) -> Result<(), DeviceError> {
     let touched = recompute_active(g, spoken, decisions, active);
     let next_active = active.iter().filter(|&&a| a).count() as u64;
-    charge_frontier(device, decisions.len() as u64, touched, next_active);
+    charge_frontier(device, decisions.len() as u64, touched, next_active)
 }
 
 /// PickLabel (Figure 2): a trivially parallel kernel writing the
@@ -212,7 +271,7 @@ pub(crate) fn pick_labels(
     base: VertexId,
     prog: &dyn LpProgram,
     shards: usize,
-) {
+) -> Result<(), DeviceError> {
     let n = spoken.len();
     let per = n.div_ceil(shards).max(1);
     let outs = device.launch_parallel("pick_label", shards, |i, ctx: &mut KernelCtx| {
@@ -229,10 +288,11 @@ pub(crate) fn pick_labels(
             out.push(prog.pick_label(base + v as VertexId));
         }
         (start, out)
-    });
+    })?;
     for (start, chunk) in outs {
         spoken[start..start + chunk.len()].copy_from_slice(&chunk);
     }
+    Ok(())
 }
 
 /// LabelPropagation (Figure 2): degree-bucketed kernels over the vertices
@@ -247,7 +307,7 @@ pub(crate) fn propagate(
     opts: &RunOptions,
     shards: usize,
     decisions: &mut [Decision],
-) -> ShardStats {
+) -> Result<ShardStats, DeviceError> {
     let csr = g.incoming();
     let geom = opts.smem_geometry();
     let mid_slots = opts.mid_ht_slots;
@@ -271,7 +331,7 @@ pub(crate) fn propagate(
                 let mut out = Vec::with_capacity(parts[i].len());
                 warp_packed_kernel(ctx, csr, spoken, prog, parts[i], &mut out);
                 (out, ShardStats::default())
-            });
+            })?;
         scatter(outs, decisions, &mut stats);
     }
     if !buckets.warp_per_vertex.is_empty() {
@@ -284,7 +344,7 @@ pub(crate) fn propagate(
                 warp_per_vertex_kernel(ctx, csr, spoken, prog, parts[i], mid_slots, &mut out);
                 (out, ShardStats::default())
             },
-        );
+        )?;
         scatter(outs, decisions, &mut stats);
     }
     if !buckets.block_per_vertex.is_empty() {
@@ -295,7 +355,7 @@ pub(crate) fn propagate(
                 let mut st = ShardStats::default();
                 block_cms_ht_kernel(ctx, csr, spoken, prog, parts[i], geom, &mut st, &mut out);
                 (out, st)
-            });
+            })?;
         scatter(outs, decisions, &mut stats);
     }
     if !buckets.global_hash.is_empty() {
@@ -305,10 +365,10 @@ pub(crate) fn propagate(
                 let mut out = Vec::with_capacity(parts[i].len());
                 global_hash_kernel(ctx, csr, spoken, prog, parts[i], &mut out);
                 (out, ShardStats::default())
-            });
+            })?;
         scatter(outs, decisions, &mut stats);
     }
-    stats
+    Ok(stats)
 }
 
 /// UpdateVertex (Figure 2): host-driven state updates plus the modeled
@@ -319,7 +379,7 @@ pub(crate) fn apply_updates(
     device: &mut Device,
     decisions: &[Decision],
     prog: &mut dyn LpProgram,
-) -> u64 {
+) -> Result<u64, DeviceError> {
     let n = decisions.len() as u64;
     device.launch("update_vertex", |ctx| {
         ctx.global_read_seq(kernels::layout::DECISIONS, n, 12);
@@ -327,14 +387,14 @@ pub(crate) fn apply_updates(
         ctx.warps_launched(n.div_ceil(32));
         ctx.lanes_active(n);
         ctx.alu(2 * n.div_ceil(32));
-    });
+    })?;
     let mut changed = 0u64;
     for (v, &d) in decisions.iter().enumerate() {
         if prog.update_vertex(v as VertexId, d) {
             changed += 1;
         }
     }
-    changed
+    Ok(changed)
 }
 
 #[cfg(test)]
@@ -347,7 +407,9 @@ mod tests {
     fn labels_after(strategy: MflStrategy, g: &Graph) -> (Vec<Label>, LpRunReport) {
         let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::new(g.num_vertices());
-        let report = engine.run(g, &mut prog, &RunOptions::default().with_strategy(strategy));
+        let report = engine
+            .run(g, &mut prog, &RunOptions::default().with_strategy(strategy))
+            .unwrap();
         (prog.labels().to_vec(), report)
     }
 
@@ -405,8 +467,9 @@ mod tests {
         let g = caveman(12, 8);
         let run = |mode: FrontierMode| {
             let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 30);
-            let report =
-                GpuEngine::titan_v().run(&g, &mut prog, &RunOptions::default().with_frontier(mode));
+            let report = GpuEngine::titan_v()
+                .run(&g, &mut prog, &RunOptions::default().with_frontier(mode))
+                .unwrap();
             (prog.labels().to_vec(), report)
         };
         let (dense_labels, dense) = run(FrontierMode::Dense);
@@ -433,6 +496,6 @@ mod tests {
         let g = two_cliques_bridge(4);
         let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::new(3);
-        engine.run(&g, &mut prog, &RunOptions::default());
+        let _ = engine.run(&g, &mut prog, &RunOptions::default());
     }
 }

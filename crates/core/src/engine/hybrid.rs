@@ -11,8 +11,11 @@
 //! so an iteration pays `max(compute, transfer)`.
 
 use super::dispatch::Buckets;
-use super::gpu::{apply_updates, pick_labels, propagate, recompute_active};
-use super::{Decision, Engine, RunOptions};
+use super::gpu::{
+    apply_updates, charge_snapshot, initial_active, pick_labels, propagate, recompute_active,
+};
+use super::options::BarrierEvent;
+use super::{Decision, Engine, EngineError, RunOptions};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
 use glp_gpusim::Device;
@@ -76,7 +79,12 @@ impl Engine for HybridEngine {
     ///
     /// # Panics
     /// Panics if even the label state alone exceeds device memory.
-    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
+    fn run(
+        &mut self,
+        g: &Graph,
+        prog: &mut dyn LpProgram,
+        opts: &RunOptions,
+    ) -> Result<LpRunReport, EngineError> {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
@@ -100,110 +108,132 @@ impl Engine for HybridEngine {
         let full = Buckets::build(g, opts.strategy, opts.thresholds);
         let sparse = opts.frontier.sparse(prog.sparse_activation());
 
-        let t0 = self.device.elapsed_seconds();
-        self.device.upload(if in_core {
+        let footprint = if in_core {
             resident + g.size_bytes()
         } else {
             resident
-        });
+        };
+        let t0 = self.device.elapsed_seconds();
+        self.device.upload(footprint)?;
         let mut transfer_s = self.device.elapsed_seconds() - t0;
         let start_elapsed = t0;
 
         let mut spoken: Vec<Label> = vec![0; n];
         let mut decisions: Vec<Decision> = vec![None; n];
-        let mut active = vec![true; n];
+        let mut active = initial_active(n, sparse, opts);
         let mut report = LpRunReport::default();
+        let device = &mut self.device;
 
-        for iteration in 0..opts.max_iterations {
-            let iter_start = self.device.elapsed_seconds();
-            prog.begin_iteration(iteration);
-            pick_labels(&mut self.device, &mut spoken, 0, prog, shards);
-            decisions.iter_mut().for_each(|d| *d = None);
+        // As in the GPU engine, the loop body runs in an immediately
+        // invoked closure so the footprint is freed on the fault path.
+        let outcome = (|| -> Result<(), EngineError> {
+            for iteration in opts.start_iteration..opts.max_iterations {
+                let iter_start = device.elapsed_seconds();
+                prog.begin_iteration(iteration);
+                pick_labels(device, &mut spoken, 0, prog, shards)?;
+                decisions.iter_mut().for_each(|d| *d = None);
 
-            // Restrict work (and streaming) to the active set.
-            let all_active = !sparse || iteration == 0 || active.iter().all(|&a| a);
-            let (buckets, stream_bytes): (std::borrow::Cow<'_, Buckets>, u64) = if all_active {
-                let bytes = g.num_edges() * bytes_per_edge + (n as u64) * 8;
-                (std::borrow::Cow::Borrowed(&full), bytes)
-            } else {
-                let b = full.filtered(&active);
-                let active_edges: u64 = [
-                    &b.warp_packed,
-                    &b.warp_per_vertex,
-                    &b.block_per_vertex,
-                    &b.global_hash,
-                ]
-                .into_iter()
-                .flat_map(|vs| vs.iter())
-                .map(|&v| u64::from(g.degree(v)))
-                .sum();
-                let bytes = active_edges * bytes_per_edge + (b.scheduled() as u64) * 8;
-                (std::borrow::Cow::Owned(b), bytes)
-            };
-            report.active_per_iteration.push(buckets.scheduled() as u64);
+                // Restrict work (and streaming) to the active set.
+                let all_active = !sparse
+                    || (iteration == 0 && opts.start_iteration == 0)
+                    || active.iter().all(|&a| a);
+                let (buckets, stream_bytes): (std::borrow::Cow<'_, Buckets>, u64) = if all_active {
+                    let bytes = g.num_edges() * bytes_per_edge + (n as u64) * 8;
+                    (std::borrow::Cow::Borrowed(&full), bytes)
+                } else {
+                    let b = full.filtered(&active);
+                    let active_edges: u64 = [
+                        &b.warp_packed,
+                        &b.warp_per_vertex,
+                        &b.block_per_vertex,
+                        &b.global_hash,
+                    ]
+                    .into_iter()
+                    .flat_map(|vs| vs.iter())
+                    .map(|&v| u64::from(g.degree(v)))
+                    .sum();
+                    let bytes = active_edges * bytes_per_edge + (b.scheduled() as u64) * 8;
+                    (std::borrow::Cow::Owned(b), bytes)
+                };
+                let scheduled = buckets.scheduled() as u64;
+                report.active_per_iteration.push(scheduled);
 
-            let before = self.device.elapsed_seconds();
-            let stats = propagate(
-                &mut self.device,
-                g,
-                &spoken,
-                prog,
-                &buckets,
-                opts,
-                shards,
-                &mut decisions,
-            );
-            report.smem_fallbacks += stats.fallbacks;
-            report.smem_vertices += stats.smem_vertices;
-            let compute = self.device.elapsed_seconds() - before;
-            if !in_core {
-                // Streaming overlaps the kernels; only the non-hidden
-                // remainder extends the modeled clock. Adjacency moves in
-                // the compressed layout.
-                let stream = self.device.cost_model().transfer_seconds(
-                    self.device.config(),
-                    (stream_bytes as f64 * STREAM_COMPRESSION) as u64,
-                );
-                transfer_s += stream;
-                if stream > compute {
-                    self.device.advance_clock(stream - compute);
+                let before = device.elapsed_seconds();
+                let stats = propagate(
+                    device,
+                    g,
+                    &spoken,
+                    prog,
+                    &buckets,
+                    opts,
+                    shards,
+                    &mut decisions,
+                )?;
+                report.smem_fallbacks += stats.fallbacks;
+                report.smem_vertices += stats.smem_vertices;
+                let compute = device.elapsed_seconds() - before;
+                if !in_core {
+                    // Streaming overlaps the kernels; only the non-hidden
+                    // remainder extends the modeled clock. Adjacency moves in
+                    // the compressed layout.
+                    let stream = device.cost_model().transfer_seconds(
+                        device.config(),
+                        (stream_bytes as f64 * STREAM_COMPRESSION) as u64,
+                    );
+                    transfer_s += stream;
+                    if stream > compute {
+                        device.advance_clock(stream - compute);
+                    }
+                }
+
+                let changed = apply_updates(device, &decisions, prog)?;
+                if sparse {
+                    // Host-side frontier maintenance (§3.1: the CPUs handle
+                    // UpdateVertex and coordinate data movement in hybrid
+                    // mode), so no device kernel is charged here — the shared
+                    // recompute keeps the semantics identical to the GPU
+                    // engines'.
+                    recompute_active(g, &spoken, &decisions, &mut active);
+                }
+                prog.end_iteration(iteration);
+                if let Some(hook) = &opts.barrier_hook {
+                    let t = device.elapsed_seconds();
+                    charge_snapshot(device, n as u64)?;
+                    report.snapshot_seconds += device.elapsed_seconds() - t;
+                    report.snapshots_taken += 1;
+                    hook.fire(&BarrierEvent {
+                        iteration,
+                        changed,
+                        scheduled,
+                        active: if sparse { Some(&active) } else { None },
+                        program: &*prog,
+                    });
+                }
+                report.changed_per_iteration.push(changed);
+                report
+                    .iteration_seconds
+                    .push(device.elapsed_seconds() - iter_start);
+                report.iterations = iteration + 1;
+                if prog.finished(iteration, changed) {
+                    break;
                 }
             }
+            Ok(())
+        })();
 
-            let changed = apply_updates(&mut self.device, &decisions, prog);
-            if sparse {
-                // Host-side frontier maintenance (§3.1: the CPUs handle
-                // UpdateVertex and coordinate data movement in hybrid
-                // mode), so no device kernel is charged here — the shared
-                // recompute keeps the semantics identical to the GPU
-                // engines'.
-                recompute_active(g, &spoken, &decisions, &mut active);
-            }
-            prog.end_iteration(iteration);
-            report.changed_per_iteration.push(changed);
-            report
-                .iteration_seconds
-                .push(self.device.elapsed_seconds() - iter_start);
-            report.iterations = iteration + 1;
-            if prog.finished(iteration, changed) {
-                break;
-            }
+        if outcome.is_ok() {
+            let t1 = self.device.elapsed_seconds();
+            self.device.download(n as u64 * 4);
+            transfer_s += self.device.elapsed_seconds() - t1;
         }
+        self.device.free(footprint);
 
-        let t1 = self.device.elapsed_seconds();
-        self.device.download(n as u64 * 4);
-        transfer_s += self.device.elapsed_seconds() - t1;
-        self.device.free(if in_core {
-            resident + g.size_bytes()
-        } else {
-            resident
-        });
-
+        outcome?;
         report.modeled_seconds = self.device.elapsed_seconds() - start_elapsed;
         report.transfer_seconds = transfer_s;
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
         report.gpu_counters = *self.device.totals();
-        report
+        Ok(report)
     }
 }
 
@@ -220,7 +250,7 @@ mod tests {
         let g = caveman(10, 8);
         let opts = RunOptions::default();
         let mut reference = ClassicLp::new(g.num_vertices());
-        GpuEngine::titan_v().run(&g, &mut reference, &opts);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts).unwrap();
 
         // A device so small the CSR must stream.
         let resident = (g.num_vertices() as u64) * 20;
@@ -228,7 +258,7 @@ mod tests {
         let mut hybrid = HybridEngine::new(Device::new(tiny));
         assert!(hybrid.plan_chunks(&g) > 1, "graph should need streaming");
         let mut prog = ClassicLp::new(g.num_vertices());
-        let report = hybrid.run(&g, &mut prog, &opts);
+        let report = hybrid.run(&g, &mut prog, &opts).unwrap();
         assert_eq!(prog.labels(), reference.labels());
         assert!(report.transfer_seconds > 0.0);
     }
@@ -243,7 +273,7 @@ mod tests {
         let tiny = DeviceConfig::tiny(resident + 2048);
         let mut hybrid = HybridEngine::new(Device::new(tiny.clone()));
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 20);
-        let report = hybrid.run(&g, &mut prog, &RunOptions::default());
+        let report = hybrid.run(&g, &mut prog, &RunOptions::default()).unwrap();
         let full_stream = hybrid
             .device()
             .cost_model()
@@ -269,6 +299,6 @@ mod tests {
         let g = caveman(4, 5);
         let mut hybrid = HybridEngine::new(Device::new(DeviceConfig::tiny(64)));
         let mut prog = ClassicLp::new(g.num_vertices());
-        hybrid.run(&g, &mut prog, &RunOptions::default());
+        let _ = hybrid.run(&g, &mut prog, &RunOptions::default());
     }
 }

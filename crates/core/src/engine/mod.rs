@@ -15,18 +15,22 @@
 //! touching per-engine config types.
 
 mod dispatch;
+mod error;
 mod gpu;
 mod hybrid;
 mod kernels;
 mod multi;
 mod options;
+mod resilient;
 mod sequential;
 
 pub use dispatch::{Buckets, DegreeThresholds};
+pub use error::EngineError;
 pub use gpu::GpuEngine;
 pub use hybrid::HybridEngine;
 pub use multi::MultiGpuEngine;
-pub use options::{FrontierMode, RunOptions, SweepOrder};
+pub use options::{BarrierEvent, BarrierHook, FrontierMode, RunOptions, SweepOrder};
+pub use resilient::{ResilienceReport, ResilientEngine};
 pub use sequential::SequentialEngine;
 
 use crate::api::LpProgram;
@@ -51,14 +55,25 @@ use glp_graph::{Graph, Label};
 ///   iteration (BSP engines; the sequential engine follows its sweep
 ///   order);
 /// * the returned report carries per-iteration `changed` and `active`
-///   counts.
+///   counts;
+/// * on `Err`, no iteration was partially applied: the program's state is
+///   that of the last *completed* barrier, so a caller holding a matching
+///   checkpoint can resume with
+///   [`RunOptions::resume_from`](RunOptions::resume_from).
 pub trait Engine {
     /// Engine display name (for reports and benchmark tables).
     fn name(&self) -> &'static str;
 
     /// Runs `prog` on `g` under `opts` until the program reports
-    /// termination or `opts.max_iterations` is hit.
-    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport;
+    /// termination or `opts.max_iterations` is hit. Fails when the
+    /// underlying device faults mid-run; see [`EngineError`] for the
+    /// taxonomy and [`ResilientEngine`] for the recovery wrapper.
+    fn run(
+        &mut self,
+        g: &Graph,
+        prog: &mut dyn LpProgram,
+        opts: &RunOptions,
+    ) -> Result<LpRunReport, EngineError>;
 }
 
 /// Per-vertex outcome of the LabelPropagation phase: the winning label and

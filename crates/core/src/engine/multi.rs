@@ -6,14 +6,30 @@
 //! paper's two-GPU Titan V setup has ample memory for labels); after each
 //! iteration the devices exchange their ranges' fresh labels over PCIe and
 //! synchronize, which is what keeps the two-GPU speedup below 2x.
+//!
+//! # Fault handling
+//!
+//! Losing a device mid-run does not fail the job while any device
+//! survives: the engine **repartitions** the graph across the survivors
+//! (re-uploading their new shares, charged as transfer time) and re-drives
+//! the interrupted iteration. The iteration is structured so that every
+//! fallible device operation happens *before* the host applies
+//! `update_vertex` — re-driving the device phase after a loss therefore
+//! never double-applies an update, and the labels stay byte-identical to a
+//! fault-free run. Only when the last device dies does `run` return
+//! [`EngineError::DeviceLost`].
 
 use super::dispatch::Buckets;
-use super::gpu::{charge_frontier, pick_labels, propagate, recompute_active};
-use super::{Decision, Engine, RunOptions};
+use super::gpu::{
+    charge_frontier, charge_snapshot, initial_active, pick_labels, propagate, recompute_active,
+};
+use super::kernels::ShardStats;
+use super::options::BarrierEvent;
+use super::{Decision, Engine, EngineError, RunOptions};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
-use glp_gpusim::{DeviceConfig, MultiGpu};
-use glp_graph::partition::partition_even;
+use glp_gpusim::{DeviceConfig, DeviceError, MultiGpu};
+use glp_graph::partition::{partition_even, VertexRange};
 use glp_graph::{Graph, Label, VertexId};
 use std::time::Instant;
 
@@ -42,27 +58,19 @@ impl MultiGpuEngine {
     }
 }
 
-impl Engine for MultiGpuEngine {
-    fn name(&self) -> &'static str {
-        "GLP-multi"
-    }
+/// One partitioning of the graph over the currently-alive devices:
+/// partition `i` lives on device `assign[i]`.
+struct Layout {
+    assign: Vec<usize>,
+    ranges: Vec<VertexRange>,
+    dev_buckets: Vec<Buckets>,
+    /// Upload bytes per partition (freed before a repartition).
+    footprints: Vec<u64>,
+}
 
-    /// Runs `prog` on `g` split across the devices.
-    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
-        assert_eq!(
-            prog.num_vertices(),
-            g.num_vertices(),
-            "program sized for a different graph"
-        );
-        opts.validate_for_device(self.gpus.device(0).config().shared_mem_per_block);
-        let wall_start = Instant::now();
-        let n = g.num_vertices();
-        let ndev = self.gpus.len();
-        let shards = opts.resolve_shards().div_ceil(ndev).max(1);
-        let ranges = partition_even(g, ndev);
-
-        // Per-device buckets restricted to its range.
-        let full = Buckets::build(g, opts.strategy, opts.thresholds);
+impl Layout {
+    fn build(g: &Graph, full: &Buckets, survivors: Vec<usize>, n: usize) -> Self {
+        let ranges = partition_even(g, survivors.len());
         let keep = |vs: &[VertexId], lo: VertexId, hi: VertexId| {
             vs.iter()
                 .copied()
@@ -79,125 +87,169 @@ impl Engine for MultiGpuEngine {
                 global_hash: keep(&full.global_hash, r.start, r.end),
             })
             .collect();
+        let bytes_per_edge: u64 = if g.incoming().is_weighted() { 8 } else { 4 };
+        let footprints = ranges
+            .iter()
+            .map(|r| {
+                r.num_edges() * bytes_per_edge + (r.num_vertices() as u64) * 8 + (n as u64) * 8
+            })
+            .collect();
+        Self {
+            assign: survivors,
+            ranges,
+            dev_buckets,
+            footprints,
+        }
+    }
 
-        // Upload: every device holds its CSR share plus a full replica of
-        // the two label arrays (decisions are produced on the host side).
+    /// Uploads every partition's share to its device, charging transfer
+    /// time. Fails if a device is lost or out of memory.
+    fn upload(&self, gpus: &mut MultiGpu, transfer_s: &mut f64) -> Result<(), DeviceError> {
+        for (i, &d) in self.assign.iter().enumerate() {
+            let dev = gpus.device_mut(d);
+            let before = dev.elapsed_seconds();
+            dev.upload(self.footprints[i])?;
+            *transfer_s += dev.elapsed_seconds() - before;
+        }
+        gpus.sync();
+        Ok(())
+    }
+
+    /// Releases every surviving partition's footprint.
+    fn free(&self, gpus: &mut MultiGpu) {
+        for (i, &d) in self.assign.iter().enumerate() {
+            if !gpus.device(d).is_lost() {
+                gpus.device_mut(d).free(self.footprints[i]);
+            }
+        }
+    }
+}
+
+/// What the fallible device phase of one iteration produced; committed to
+/// the program/report only after the whole phase succeeded, so a
+/// repartition retry never double-counts.
+struct PhaseOut {
+    scheduled: u64,
+    stats: ShardStats,
+    snapshot_s: f64,
+    snapshots: u64,
+}
+
+impl Engine for MultiGpuEngine {
+    fn name(&self) -> &'static str {
+        "GLP-multi"
+    }
+
+    /// Runs `prog` on `g` split across the devices, repartitioning across
+    /// survivors when a device is lost mid-run.
+    fn run(
+        &mut self,
+        g: &Graph,
+        prog: &mut dyn LpProgram,
+        opts: &RunOptions,
+    ) -> Result<LpRunReport, EngineError> {
+        assert_eq!(
+            prog.num_vertices(),
+            g.num_vertices(),
+            "program sized for a different graph"
+        );
+        opts.validate_for_device(self.gpus.device(0).config().shared_mem_per_block);
+        let wall_start = Instant::now();
+        let n = g.num_vertices();
+        let ndev = self.gpus.len();
+        let shards = opts.resolve_shards().div_ceil(ndev).max(1);
+
+        let full = Buckets::build(g, opts.strategy, opts.thresholds);
         let start_elapsed = self.gpus.elapsed_seconds();
         let mut transfer_s = 0.0;
-        let bytes_per_edge: u64 = if g.incoming().is_weighted() { 8 } else { 4 };
-        for (d, r) in ranges.iter().enumerate() {
-            let dev = self.gpus.device_mut(d);
-            let bytes =
-                r.num_edges() * bytes_per_edge + (r.num_vertices() as u64) * 8 + (n as u64) * 8;
-            let before = dev.elapsed_seconds();
-            dev.upload(bytes);
-            transfer_s += dev.elapsed_seconds() - before;
+
+        let mut layout = Layout::build(g, &full, self.gpus.survivors(), n);
+        if layout.assign.is_empty() {
+            return Err(EngineError::DeviceLost { device: 0 });
         }
-        self.gpus.sync();
+        layout.upload(&mut self.gpus, &mut transfer_s)?;
 
         let mut spoken: Vec<Label> = vec![0; n];
         let mut decisions: Vec<Decision> = vec![None; n];
-        let mut active = vec![true; n];
         let sparse = opts.frontier.sparse(prog.sparse_activation());
+        let mut active = initial_active(n, sparse, opts);
+        let mut next_active = vec![false; n];
         let mut report = LpRunReport::default();
 
-        for iteration in 0..opts.max_iterations {
-            let iter_start = self.gpus.elapsed_seconds();
-            prog.begin_iteration(iteration);
-            // PickLabel runs on device 0's clock for its range, etc.; each
-            // device handles its own range of the spoken array.
-            for (d, r) in ranges.iter().enumerate() {
-                let dev = self.gpus.device_mut(d);
-                let lo = r.start as usize;
-                let hi = r.end as usize;
-                if lo < hi {
-                    pick_labels(dev, &mut spoken[lo..hi], r.start, prog, shards);
-                }
-            }
-            decisions.iter_mut().for_each(|d| *d = None);
-            let all_active = !sparse || active.iter().all(|&a| a);
-            let mut scheduled = 0u64;
-            for (d, buckets) in dev_buckets.iter().enumerate() {
-                // Per-iteration dispatch rebuild over the frontier, like
-                // the single-GPU engine (dense fallback for programs
-                // without sparse activation).
-                let filtered: std::borrow::Cow<'_, Buckets> = if all_active {
-                    std::borrow::Cow::Borrowed(buckets)
-                } else {
-                    std::borrow::Cow::Owned(buckets.filtered(&active))
+        let outcome = (|| -> Result<(), EngineError> {
+            for iteration in opts.start_iteration..opts.max_iterations {
+                let iter_start = self.gpus.elapsed_seconds();
+                prog.begin_iteration(iteration);
+                // Device phase: everything fallible, nothing host-visible
+                // committed. Re-driven in full after a repartition (but
+                // begin_iteration is NOT re-called — the program already
+                // advanced into this iteration).
+                let out = loop {
+                    match device_phase(
+                        &mut self.gpus,
+                        &layout,
+                        g,
+                        prog,
+                        opts,
+                        shards,
+                        &mut spoken,
+                        &mut decisions,
+                        &active,
+                        &mut next_active,
+                        sparse,
+                        &mut transfer_s,
+                    ) {
+                        Ok(out) => break out,
+                        Err(DeviceError::Lost { .. }) if self.gpus.alive() > 0 => {
+                            // Repartition over the survivors and redo the
+                            // iteration's device work from pick_labels.
+                            layout.free(&mut self.gpus);
+                            layout = Layout::build(g, &full, self.gpus.survivors(), n);
+                            layout.upload(&mut self.gpus, &mut transfer_s)?;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
                 };
-                scheduled += filtered.scheduled() as u64;
-                let dev = self.gpus.device_mut(d);
-                let stats = propagate(
-                    dev,
-                    g,
-                    &spoken,
-                    prog,
-                    &filtered,
-                    opts,
-                    shards,
-                    &mut decisions,
-                );
-                report.smem_fallbacks += stats.fallbacks;
-                report.smem_vertices += stats.smem_vertices;
-            }
-            report.active_per_iteration.push(scheduled);
-            // UpdateVertex: each device writes back its own range (the
-            // modeled kernel); program state is applied once on the host.
-            for (d, r) in ranges.iter().enumerate() {
-                let m = r.num_vertices() as u64;
-                self.gpus.device_mut(d).launch("update_vertex", |ctx| {
-                    ctx.global_read_seq(0x4_0000_0000 + u64::from(r.start) * 12, m, 12);
-                    ctx.global_write_seq(0x7_0000_0000 + u64::from(r.start) * 4, m, 4);
-                    ctx.warps_launched(m.div_ceil(32));
-                    ctx.alu(2 * m.div_ceil(32));
-                });
-            }
-            let mut changed = 0u64;
-            for (v, &d) in decisions.iter().enumerate() {
-                if prog.update_vertex(v as VertexId, d) {
-                    changed += 1;
+                // Commit phase: host-side program updates, in ascending
+                // vertex order, exactly once per iteration.
+                let mut changed = 0u64;
+                for (v, &d) in decisions.iter().enumerate() {
+                    if prog.update_vertex(v as VertexId, d) {
+                        changed += 1;
+                    }
+                }
+                if sparse {
+                    active.copy_from_slice(&next_active);
+                }
+                prog.end_iteration(iteration);
+                report.smem_fallbacks += out.stats.fallbacks;
+                report.smem_vertices += out.stats.smem_vertices;
+                report.snapshot_seconds += out.snapshot_s;
+                report.snapshots_taken += out.snapshots;
+                if let Some(hook) = &opts.barrier_hook {
+                    hook.fire(&BarrierEvent {
+                        iteration,
+                        changed,
+                        scheduled: out.scheduled,
+                        active: if sparse { Some(&active) } else { None },
+                        program: &*prog,
+                    });
+                }
+                report.active_per_iteration.push(out.scheduled);
+                report.changed_per_iteration.push(changed);
+                report
+                    .iteration_seconds
+                    .push(self.gpus.elapsed_seconds() - iter_start);
+                report.iterations = iteration + 1;
+                if prog.finished(iteration, changed) {
+                    break;
                 }
             }
-            if sparse {
-                // Shared host recompute; each device pays the maintenance
-                // kernels for its own vertex range (same modeled cost per
-                // vertex as the single-GPU engine).
-                let touched = recompute_active(g, &spoken, &decisions, &mut active);
-                for (d, r) in ranges.iter().enumerate() {
-                    let share = touched / ndev as u64;
-                    let range_active = active[r.start as usize..r.end as usize]
-                        .iter()
-                        .filter(|&&a| a)
-                        .count() as u64;
-                    charge_frontier(
-                        self.gpus.device_mut(d),
-                        r.num_vertices() as u64,
-                        share,
-                        range_active,
-                    );
-                }
-            }
-            // Label exchange: each device ships its range's fresh labels to
-            // every peer over the host link, then everyone synchronizes.
-            for (d, r) in ranges.iter().enumerate() {
-                let bytes = (r.num_vertices() as u64) * 4 * (ndev as u64 - 1);
-                let dev = self.gpus.device_mut(d);
-                let before = dev.elapsed_seconds();
-                dev.download(bytes);
-                transfer_s += dev.elapsed_seconds() - before;
-            }
-            self.gpus.sync();
-            prog.end_iteration(iteration);
-            report.changed_per_iteration.push(changed);
-            report
-                .iteration_seconds
-                .push(self.gpus.elapsed_seconds() - iter_start);
-            report.iterations = iteration + 1;
-            if prog.finished(iteration, changed) {
-                break;
-            }
-        }
+            Ok(())
+        })();
+
+        layout.free(&mut self.gpus);
+        outcome?;
 
         report.modeled_seconds = self.gpus.elapsed_seconds() - start_elapsed;
         report.transfer_seconds = transfer_s;
@@ -205,8 +257,133 @@ impl Engine for MultiGpuEngine {
         for d in self.gpus.iter() {
             report.gpu_counters.merge(d.totals());
         }
-        report
+        Ok(report)
     }
+}
+
+/// The fallible device half of one iteration: pick, propagate, the
+/// modeled update/frontier/snapshot kernels, the peer label exchange, and
+/// the barrier. Reads the program immutably and writes only the scratch
+/// buffers (`spoken`, `decisions`, `next_active`), so it is safe to
+/// re-drive after a repartition.
+#[allow(clippy::too_many_arguments)]
+fn device_phase(
+    gpus: &mut MultiGpu,
+    layout: &Layout,
+    g: &Graph,
+    prog: &dyn LpProgram,
+    opts: &RunOptions,
+    shards: usize,
+    spoken: &mut [Label],
+    decisions: &mut [Decision],
+    active: &[bool],
+    next_active: &mut [bool],
+    sparse: bool,
+    transfer_s: &mut f64,
+) -> Result<PhaseOut, DeviceError> {
+    let ndev = layout.assign.len() as u64;
+    // PickLabel runs on each device's clock for its own range.
+    for (i, &d) in layout.assign.iter().enumerate() {
+        let r = &layout.ranges[i];
+        let lo = r.start as usize;
+        let hi = r.end as usize;
+        if lo < hi {
+            pick_labels(
+                gpus.device_mut(d),
+                &mut spoken[lo..hi],
+                r.start,
+                prog,
+                shards,
+            )?;
+        }
+    }
+    decisions.iter_mut().for_each(|d| *d = None);
+    let all_active = !sparse || active.iter().all(|&a| a);
+    let mut scheduled = 0u64;
+    let mut stats = ShardStats::default();
+    for (i, &d) in layout.assign.iter().enumerate() {
+        let buckets = &layout.dev_buckets[i];
+        // Per-iteration dispatch rebuild over the frontier, like the
+        // single-GPU engine (dense fallback for programs without sparse
+        // activation).
+        let filtered: std::borrow::Cow<'_, Buckets> = if all_active {
+            std::borrow::Cow::Borrowed(buckets)
+        } else {
+            std::borrow::Cow::Owned(buckets.filtered(active))
+        };
+        scheduled += filtered.scheduled() as u64;
+        let st = propagate(
+            gpus.device_mut(d),
+            g,
+            spoken,
+            prog,
+            &filtered,
+            opts,
+            shards,
+            decisions,
+        )?;
+        stats.merge(&st);
+    }
+    // UpdateVertex: each device writes back its own range (the modeled
+    // kernel); the host applies program state only after the whole device
+    // phase succeeded.
+    for (i, &d) in layout.assign.iter().enumerate() {
+        let r = &layout.ranges[i];
+        let m = r.num_vertices() as u64;
+        gpus.device_mut(d).launch("update_vertex", |ctx| {
+            ctx.global_read_seq(0x4_0000_0000 + u64::from(r.start) * 12, m, 12);
+            ctx.global_write_seq(0x7_0000_0000 + u64::from(r.start) * 4, m, 4);
+            ctx.warps_launched(m.div_ceil(32));
+            ctx.alu(2 * m.div_ceil(32));
+        })?;
+    }
+    if sparse {
+        // Shared host recompute into the scratch frontier (the live one
+        // stays untouched until commit); each device pays the maintenance
+        // kernels for its own vertex range.
+        let touched = recompute_active(g, spoken, decisions, next_active);
+        for (i, &d) in layout.assign.iter().enumerate() {
+            let r = &layout.ranges[i];
+            let share = touched / ndev;
+            let range_active = next_active[r.start as usize..r.end as usize]
+                .iter()
+                .filter(|&&a| a)
+                .count() as u64;
+            charge_frontier(
+                gpus.device_mut(d),
+                r.num_vertices() as u64,
+                share,
+                range_active,
+            )?;
+        }
+    }
+    let mut snapshot_s = 0.0;
+    let mut snapshots = 0u64;
+    if opts.barrier_hook.is_some() {
+        // Each device reads back its own range's label state.
+        let before = gpus.elapsed_seconds();
+        for (i, &d) in layout.assign.iter().enumerate() {
+            charge_snapshot(gpus.device_mut(d), layout.ranges[i].num_vertices() as u64)?;
+        }
+        snapshot_s = gpus.elapsed_seconds() - before;
+        snapshots = 1;
+    }
+    // Label exchange: each device ships its range's fresh labels to every
+    // peer over the host link, then everyone synchronizes.
+    for (i, &d) in layout.assign.iter().enumerate() {
+        let bytes = (layout.ranges[i].num_vertices() as u64) * 4 * (ndev - 1);
+        let dev = gpus.device_mut(d);
+        let before = dev.elapsed_seconds();
+        dev.download(bytes);
+        *transfer_s += dev.elapsed_seconds() - before;
+    }
+    gpus.sync();
+    Ok(PhaseOut {
+        scheduled,
+        stats,
+        snapshot_s,
+        snapshots,
+    })
 }
 
 #[cfg(test)]
@@ -221,10 +398,10 @@ mod tests {
         let g = caveman(8, 7);
         let opts = RunOptions::default();
         let mut reference = ClassicLp::new(g.num_vertices());
-        GpuEngine::titan_v().run(&g, &mut reference, &opts);
+        GpuEngine::titan_v().run(&g, &mut reference, &opts).unwrap();
         let mut prog = ClassicLp::new(g.num_vertices());
         let mut engine = MultiGpuEngine::titan_v(2);
-        engine.run(&g, &mut prog, &opts);
+        engine.run(&g, &mut prog, &opts).unwrap();
         assert_eq!(prog.labels(), reference.labels());
     }
 
@@ -239,9 +416,9 @@ mod tests {
         });
         let opts = RunOptions::default().with_max_iterations(10);
         let mut p1 = ClassicLp::with_max_iterations(g.num_vertices(), 10);
-        let r1 = GpuEngine::titan_v().run(&g, &mut p1, &opts);
+        let r1 = GpuEngine::titan_v().run(&g, &mut p1, &opts).unwrap();
         let mut p2 = ClassicLp::with_max_iterations(g.num_vertices(), 10);
-        let r2 = MultiGpuEngine::titan_v(2).run(&g, &mut p2, &opts);
+        let r2 = MultiGpuEngine::titan_v(2).run(&g, &mut p2, &opts).unwrap();
         let speedup = r1.modeled_seconds / r2.modeled_seconds;
         assert!(speedup > 1.2, "speedup {speedup}");
         assert!(speedup < 2.0, "speedup {speedup}");

@@ -11,6 +11,9 @@
 use super::dispatch::DegreeThresholds;
 use super::kernels::SmemGeometry;
 use super::MflStrategy;
+use crate::api::LpProgram;
+use std::fmt;
+use std::sync::Arc;
 
 /// How an engine schedules vertices across iterations.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -35,6 +38,64 @@ impl FrontierMode {
     #[inline]
     pub fn sparse(self, program_sparse: bool) -> bool {
         self == FrontierMode::Auto && program_sparse
+    }
+}
+
+/// What the engine saw at one completed BSP barrier, handed to the
+/// [`BarrierHook`] after `end_iteration` ran. Everything a checkpointing
+/// caller needs to resume from exactly this point: the iteration that just
+/// finished, its trace values, and the frontier that iteration `iteration
+/// + 1` would consume.
+pub struct BarrierEvent<'a> {
+    /// The 0-based iteration that just completed.
+    pub iteration: u32,
+    /// Labels changed during it.
+    pub changed: u64,
+    /// Vertices it scheduled (the `active_per_iteration` value).
+    pub scheduled: u64,
+    /// The next iteration's activation bitmap, when the run schedules
+    /// sparsely; `None` under the dense schedule.
+    pub active: Option<&'a [bool]>,
+    /// The program, for [`save_state`](crate::LpProgram::save_state).
+    pub program: &'a dyn LpProgram,
+}
+
+impl fmt::Debug for BarrierEvent<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BarrierEvent")
+            .field("iteration", &self.iteration)
+            .field("changed", &self.changed)
+            .field("scheduled", &self.scheduled)
+            .field("active", &self.active.map(<[bool]>::len))
+            .finish_non_exhaustive()
+    }
+}
+
+/// A callback fired by the BSP engines after every completed barrier.
+///
+/// Installing one makes the engine charge a `barrier_snapshot` kernel per
+/// barrier (checkpointing is not free — the labels have to be read back),
+/// with the modeled cost surfaced in
+/// [`LpRunReport::snapshot_seconds`](crate::LpRunReport::snapshot_seconds).
+#[derive(Clone)]
+pub struct BarrierHook(Arc<dyn Fn(&BarrierEvent<'_>) + Send + Sync>);
+
+impl BarrierHook {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&BarrierEvent<'_>) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+
+    /// Invokes the callback.
+    #[inline]
+    pub fn fire(&self, ev: &BarrierEvent<'_>) {
+        (self.0)(ev)
+    }
+}
+
+impl fmt::Debug for BarrierHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BarrierHook(..)")
     }
 }
 
@@ -71,6 +132,19 @@ pub struct RunOptions {
     /// Vertex visit order of the asynchronous sequential engine; ignored
     /// by the BSP engines.
     pub sweep_order: SweepOrder,
+    /// First iteration to execute (0 in an ordinary run). A resuming
+    /// caller sets this to the iteration a previous attempt failed in,
+    /// after restoring the program's state from the last completed
+    /// barrier; the engine's iteration counter, traces, and termination
+    /// checks all use the absolute number.
+    pub start_iteration: u32,
+    /// The activation bitmap the resumed iteration should consume, as
+    /// captured by a [`BarrierEvent`]. Ignored when the run schedules
+    /// densely or `start_iteration` is 0.
+    pub initial_frontier: Option<Vec<bool>>,
+    /// Checkpoint callback fired after each completed barrier (BSP
+    /// engines only; the asynchronous sequential sweep has no barrier).
+    pub barrier_hook: Option<BarrierHook>,
 }
 
 impl Default for RunOptions {
@@ -87,6 +161,9 @@ impl Default for RunOptions {
             cms_width: 2048,
             shards: 0,
             sweep_order: SweepOrder::Ascending,
+            start_iteration: 0,
+            initial_frontier: None,
+            barrier_hook: None,
         }
     }
 }
@@ -125,6 +202,20 @@ impl RunOptions {
     /// Chooses the sequential engine's sweep order.
     pub fn with_sweep_order(mut self, sweep_order: SweepOrder) -> Self {
         self.sweep_order = sweep_order;
+        self
+    }
+
+    /// Resumes from `iteration`, optionally restoring the frontier the
+    /// failed iteration was scheduled against.
+    pub fn resume_from(mut self, iteration: u32, frontier: Option<Vec<bool>>) -> Self {
+        self.start_iteration = iteration;
+        self.initial_frontier = frontier;
+        self
+    }
+
+    /// Installs a per-barrier checkpoint callback.
+    pub fn with_barrier_hook(mut self, hook: BarrierHook) -> Self {
+        self.barrier_hook = Some(hook);
         self
     }
 
@@ -197,6 +288,19 @@ mod tests {
         assert_eq!(o.strategy, MflStrategy::Global);
         assert_eq!(o.shards, 3);
         assert_eq!(o.sweep_order, SweepOrder::Ascending);
+    }
+
+    #[test]
+    fn resume_and_hook_builders() {
+        let o = RunOptions::default()
+            .resume_from(4, Some(vec![true, false]))
+            .with_barrier_hook(BarrierHook::new(|_| {}));
+        assert_eq!(o.start_iteration, 4);
+        assert_eq!(o.initial_frontier.as_deref(), Some(&[true, false][..]));
+        assert!(o.barrier_hook.is_some());
+        // RunOptions stays Clone with a hook installed (Arc-backed).
+        let o2 = o.clone();
+        assert!(o2.barrier_hook.is_some());
     }
 
     #[test]

@@ -18,39 +18,78 @@
 //! Not part of the paper's evaluation — no cost model is attached; only
 //! wall-clock is reported.
 
-use super::{BestLabel, Decision, Engine, RunOptions, SweepOrder};
+use super::gpu::{initial_active, recompute_active};
+use super::options::BarrierEvent;
+use super::{BestLabel, Decision, Engine, EngineError, RunOptions, SweepOrder};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
 use glp_graph::{Graph, Label, VertexId};
 use glp_sketch::{BoundedHashTable, InsertOutcome};
 use std::time::Instant;
 
-/// The asynchronous engine. Stateless — sweep order and iteration cap come
-/// from [`RunOptions`].
+/// The sequential host engine. Stateless — sweep order and iteration cap
+/// come from [`RunOptions`]. Two modes:
+///
+/// * [`SequentialEngine::new`] — the **asynchronous** gold standard
+///   described above;
+/// * [`SequentialEngine::bsp`] — a **synchronous** (BSP) host sweep that
+///   reproduces the GPU engines' labels *and* per-iteration traces
+///   byte-for-byte: the bottom rung of
+///   [`ResilientEngine`](super::ResilientEngine)'s degradation ladder,
+///   where a run stranded by dead devices finishes on the host without
+///   changing its answer.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct SequentialEngine;
+pub struct SequentialEngine {
+    bsp: bool,
+}
 
 impl SequentialEngine {
-    /// The engine (no resources to own).
+    /// The asynchronous engine (no resources to own).
     pub fn new() -> Self {
-        Self
+        Self { bsp: false }
+    }
+
+    /// The synchronous (BSP) host engine: bit-identical to the GPU
+    /// engines, iteration for iteration. No cost model is attached — only
+    /// wall-clock is reported.
+    pub fn bsp() -> Self {
+        Self { bsp: true }
+    }
+
+    /// Whether this instance runs synchronous BSP sweeps.
+    pub fn is_bsp(&self) -> bool {
+        self.bsp
     }
 }
 
 impl Engine for SequentialEngine {
     fn name(&self) -> &'static str {
-        "Sequential"
+        if self.bsp {
+            "Sequential-BSP"
+        } else {
+            "Sequential"
+        }
     }
 
-    /// Runs `prog` on `g` with asynchronous sweeps: `pick_label` is
-    /// re-read per edge, so updates from earlier vertices in the sweep are
-    /// visible immediately.
-    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
+    /// Runs `prog` on `g`. Asynchronous mode re-reads `pick_label` per
+    /// edge, so updates from earlier vertices in the sweep are visible
+    /// immediately; BSP mode freezes the spoken labels per iteration like
+    /// the GPU engines. Host execution cannot fault, so this engine never
+    /// returns `Err`.
+    fn run(
+        &mut self,
+        g: &Graph,
+        prog: &mut dyn LpProgram,
+        opts: &RunOptions,
+    ) -> Result<LpRunReport, EngineError> {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
             "program sized for a different graph"
         );
+        if self.bsp {
+            return Ok(run_bsp(g, prog, opts));
+        }
         let wall_start = Instant::now();
         let n = g.num_vertices();
         let csr = g.incoming();
@@ -61,10 +100,10 @@ impl Engine for SequentialEngine {
             .unwrap_or(0);
         let mut ht = BoundedHashTable::new((2 * max_deg).max(16), u32::MAX);
         let sparse = opts.frontier.sparse(prog.sparse_activation());
-        let mut active = vec![true; n];
+        let mut active = initial_active(n, sparse, opts);
         let mut report = LpRunReport::default();
 
-        for iteration in 0..opts.max_iterations {
+        for iteration in opts.start_iteration..opts.max_iterations {
             prog.begin_iteration(iteration);
             let mut changed = 0u64;
             let mut visited = 0u64;
@@ -128,8 +167,91 @@ impl Engine for SequentialEngine {
             }
         }
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
-        report
+        Ok(report)
     }
+}
+
+/// The synchronous host sweep: the same BSP protocol as the GPU engines
+/// (frozen spoken labels, exact per-label aggregation, the shared
+/// [`BestLabel`] tie rule, ascending `update_vertex`, the shared frontier
+/// recompute), minus the device — so its labels, `changed` trace, and
+/// `active` trace are byte-identical to theirs. Supports iteration-granular
+/// resume and the per-barrier hook; checkpoints cost nothing here
+/// (`snapshots_taken` counts, `snapshot_seconds` stays 0 — host memory is
+/// already addressable).
+fn run_bsp(g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
+    let wall_start = Instant::now();
+    let n = g.num_vertices();
+    let csr = g.incoming();
+    let max_deg = (0..n as VertexId)
+        .map(|v| csr.degree(v) as usize)
+        .max()
+        .unwrap_or(0);
+    let mut ht = BoundedHashTable::new((2 * max_deg).max(16), u32::MAX);
+    let sparse = opts.frontier.sparse(prog.sparse_activation());
+    let mut active = initial_active(n, sparse, opts);
+    let mut spoken: Vec<Label> = vec![0; n];
+    let mut decisions: Vec<Decision> = vec![None; n];
+    let mut report = LpRunReport::default();
+
+    for iteration in opts.start_iteration..opts.max_iterations {
+        prog.begin_iteration(iteration);
+        for (v, s) in spoken.iter_mut().enumerate() {
+            *s = prog.pick_label(v as VertexId);
+        }
+        let mut scheduled = 0u64;
+        for v in 0..n as VertexId {
+            decisions[v as usize] = None;
+            if g.degree(v) == 0 || (sparse && !active[v as usize]) {
+                continue;
+            }
+            scheduled += 1;
+            ht.clear();
+            let off = csr.offset(v);
+            for (j, &u) in csr.neighbors(v).iter().enumerate() {
+                let c = prog.load_neighbor(v, u, off + j as u64, spoken[u as usize]);
+                match ht.insert_add(u64::from(c.label), c.weight) {
+                    InsertOutcome::Added { .. } => {}
+                    InsertOutcome::Full { .. } => unreachable!("scratch sized to 2x degree"),
+                }
+            }
+            let current = spoken[v as usize];
+            let mut best: Option<BestLabel> = None;
+            for (l, freq) in ht.iter() {
+                let label = l as Label;
+                BestLabel::offer(&mut best, label, prog.label_score(v, label, freq), current);
+            }
+            decisions[v as usize] = BestLabel::into_decision(best);
+        }
+        let mut changed = 0u64;
+        for (v, &d) in decisions.iter().enumerate() {
+            if prog.update_vertex(v as VertexId, d) {
+                changed += 1;
+            }
+        }
+        if sparse {
+            recompute_active(g, &spoken, &decisions, &mut active);
+        }
+        prog.end_iteration(iteration);
+        if let Some(hook) = &opts.barrier_hook {
+            report.snapshots_taken += 1;
+            hook.fire(&BarrierEvent {
+                iteration,
+                changed,
+                scheduled,
+                active: if sparse { Some(&active) } else { None },
+                program: &*prog,
+            });
+        }
+        report.changed_per_iteration.push(changed);
+        report.active_per_iteration.push(scheduled);
+        report.iterations = iteration + 1;
+        if prog.finished(iteration, changed) {
+            break;
+        }
+    }
+    report.wall_seconds = wall_start.elapsed().as_secs_f64();
+    report
 }
 
 #[cfg(test)]
@@ -141,7 +263,7 @@ mod tests {
     use glp_graph::GraphBuilder;
 
     fn run(g: &Graph, prog: &mut ClassicLp, opts: &RunOptions) -> LpRunReport {
-        SequentialEngine::new().run(g, prog, opts)
+        SequentialEngine::new().run(g, prog, opts).unwrap()
     }
 
     #[test]

@@ -39,7 +39,11 @@
 //!
 //! let graph = two_cliques_bridge(6); // two 6-cliques joined by one edge
 //! let mut program = ClassicLp::new(graph.num_vertices());
-//! let report = GpuEngine::titan_v().run(&graph, &mut program, &RunOptions::default());
+//! // `run` is fallible: the simulated device can fault (see `EngineError`
+//! // and `ResilientEngine` for recovery). A healthy device never errors.
+//! let report = GpuEngine::titan_v()
+//!     .run(&graph, &mut program, &RunOptions::default())
+//!     .expect("healthy device");
 //!
 //! // Classic LP finds the two cliques as two communities.
 //! let labels = program.labels();
@@ -57,8 +61,9 @@ pub mod variants;
 
 pub use api::{LpProgram, NeighborContribution};
 pub use engine::{
-    Engine, FrontierMode, GpuEngine, HybridEngine, MflStrategy, MultiGpuEngine, RunOptions,
-    SequentialEngine, SweepOrder,
+    BarrierEvent, BarrierHook, Engine, EngineError, FrontierMode, GpuEngine, HybridEngine,
+    MflStrategy, MultiGpuEngine, ResilienceReport, ResilientEngine, RunOptions, SequentialEngine,
+    SweepOrder,
 };
 pub use report::LpRunReport;
 pub use variants::{CapacityLp, ClassicLp, Llp, RiskWeightedLp, SeededLp, Slp, WeightedLp};

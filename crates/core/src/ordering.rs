@@ -22,7 +22,9 @@ pub fn llp_ordering(g: &Graph, gammas: &[f64], iterations: u32) -> Vec<VertexId>
     let mut layers: Vec<Vec<Label>> = Vec::with_capacity(gammas.len());
     for &gamma in gammas {
         let mut prog = Llp::with_max_iterations(n, gamma, iterations);
-        GpuEngine::titan_v().run(g, &mut prog, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(g, &mut prog, &RunOptions::default())
+            .expect("fault-free simulated device");
         layers.push(prog.labels().to_vec());
     }
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();

@@ -33,6 +33,14 @@ pub struct LpRunReport {
     /// High-degree vertices processed by the CMS+HT kernel, summed over
     /// iterations (denominator for the fallback rate).
     pub smem_vertices: u64,
+    /// Modeled seconds spent on per-barrier checkpoint snapshots (only
+    /// non-zero when a [`BarrierHook`](crate::BarrierHook) is installed —
+    /// included in `modeled_seconds`, broken out so the overhead of
+    /// fault tolerance is visible).
+    pub snapshot_seconds: f64,
+    /// Barrier snapshots taken (one per completed iteration when a hook
+    /// is installed).
+    pub snapshots_taken: u64,
 }
 
 impl LpRunReport {
@@ -56,6 +64,16 @@ impl LpRunReport {
             0.0
         } else {
             self.transfer_seconds / self.modeled_seconds
+        }
+    }
+
+    /// Share of modeled time spent on checkpoint snapshots — the price of
+    /// iteration-granular resume.
+    pub fn snapshot_fraction(&self) -> f64 {
+        if self.modeled_seconds == 0.0 {
+            0.0
+        } else {
+            self.snapshot_seconds / self.modeled_seconds
         }
     }
 }
@@ -88,6 +106,18 @@ mod tests {
         assert_eq!(r.seconds_per_iteration(), 0.5);
         assert_eq!(r.fallback_rate(), 0.05);
         assert_eq!(r.transfer_fraction(), 0.05);
+    }
+
+    #[test]
+    fn snapshot_overhead_is_a_fraction_of_modeled_time() {
+        let r = LpRunReport {
+            modeled_seconds: 2.0,
+            snapshot_seconds: 0.2,
+            snapshots_taken: 4,
+            ..Default::default()
+        };
+        assert_eq!(r.snapshot_fraction(), 0.1);
+        assert_eq!(LpRunReport::default().snapshot_fraction(), 0.0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! vertices outside it, so growth spills into the next-best label. A
 //! three-callback customization, like everything else in the framework.
 
-use crate::api::LpProgram;
+use crate::api::{blob_to_labels, labels_to_blob, LpProgram};
 use glp_graph::{Label, VertexId};
 
 /// Balanced LP: classic scoring, but a label at its capacity cannot
@@ -115,6 +115,23 @@ impl LpProgram for CapacityLp {
     fn labels(&self) -> &[Label] {
         &self.labels
     }
+
+    // At a barrier the online volumes equal a recount of the labels, so
+    // the labels alone are a complete checkpoint.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(labels_to_blob(&self.labels))
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> bool {
+        match blob_to_labels(blob, self.labels.len()) {
+            Some(labels) => {
+                self.labels = labels;
+                self.recompute_volumes();
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +156,9 @@ mod tests {
         // must keep every community at (close to) 8.
         let g = complete(24);
         let mut capped = CapacityLp::with_max_iterations(24, 8, 30);
-        GpuEngine::titan_v().run(&g, &mut capped, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut capped, &RunOptions::default())
+            .unwrap();
         assert!(
             capped.max_volume() <= 8,
             "largest community {} exceeds the hard cap",
@@ -147,7 +166,9 @@ mod tests {
         );
 
         let mut classic = crate::ClassicLp::with_max_iterations(24, 30);
-        GpuEngine::titan_v().run(&g, &mut classic, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut classic, &RunOptions::default())
+            .unwrap();
         let uniform = classic.labels().iter().all(|&l| l == classic.labels()[0]);
         assert!(uniform, "classic LP should collapse the clique");
     }
@@ -156,9 +177,13 @@ mod tests {
     fn generous_cap_behaves_like_classic() {
         let g = caveman(5, 6);
         let mut capped = CapacityLp::with_max_iterations(30, 1_000, 20);
-        GpuEngine::titan_v().run(&g, &mut capped, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut capped, &RunOptions::default())
+            .unwrap();
         let mut classic = crate::ClassicLp::with_max_iterations(30, 20);
-        GpuEngine::titan_v().run(&g, &mut classic, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut classic, &RunOptions::default())
+            .unwrap();
         assert_eq!(capped.labels(), classic.labels());
     }
 

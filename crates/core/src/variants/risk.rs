@@ -6,7 +6,7 @@
 //! ones when both reach a vertex. It is `SeededLp` plus one overridden
 //! callback — the kind of strategy iteration §3.1's API design exists for.
 
-use crate::api::{LpProgram, NeighborContribution};
+use crate::api::{blob_to_labels, labels_to_blob, LpProgram, NeighborContribution};
 use glp_graph::{EdgeId, Label, VertexId, INVALID_LABEL};
 
 /// Seeded LP where each seed's label carries a risk multiplier.
@@ -97,6 +97,21 @@ impl LpProgram for RiskWeightedLp {
     fn labels(&self) -> &[Label] {
         &self.labels
     }
+
+    // Labels are the only mutable state; the risk table is configuration.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(labels_to_blob(&self.labels))
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> bool {
+        match blob_to_labels(blob, self.labels.len()) {
+            Some(labels) => {
+                self.labels = labels;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -113,12 +128,16 @@ mod tests {
         b.add_edge(0, 1).add_edge(2, 1).symmetrize(true);
         let g = b.build();
         let mut p = RiskWeightedLp::new(3, &[(0, 1.0), (2, 5.0)], 10);
-        GpuEngine::titan_v().run(&g, &mut p, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut p, &RunOptions::default())
+            .unwrap();
         assert_eq!(p.labels()[1], 2, "vertex 1 should join the risky seed");
 
         // Flip the risks; the outcome flips.
         let mut p = RiskWeightedLp::new(3, &[(0, 5.0), (2, 1.0)], 10);
-        GpuEngine::titan_v().run(&g, &mut p, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut p, &RunOptions::default())
+            .unwrap();
         assert_eq!(p.labels()[1], 0);
     }
 
@@ -128,7 +147,9 @@ mod tests {
         b.add_edge(0, 1).add_edge(2, 1).symmetrize(true);
         let g = b.build();
         let mut p = RiskWeightedLp::new(3, &[(0, 2.0), (2, 2.0)], 10);
-        GpuEngine::titan_v().run(&g, &mut p, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut p, &RunOptions::default())
+            .unwrap();
         assert_eq!(p.labels()[1], 0, "tie breaks toward the smaller label");
     }
 

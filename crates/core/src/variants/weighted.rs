@@ -5,7 +5,7 @@
 //! aggregates those instead of plain counts — a one-override customization
 //! showcasing the `LoadNeighbor` API of Table 1.
 
-use crate::api::{LpProgram, NeighborContribution};
+use crate::api::{blob_to_labels, labels_to_blob, LpProgram, NeighborContribution};
 use glp_graph::{EdgeId, Label, VertexId};
 use std::sync::Arc;
 
@@ -110,6 +110,22 @@ impl LpProgram for WeightedLp {
 
     fn labels(&self) -> &[Label] {
         &self.labels
+    }
+
+    // Labels are the only mutable state; the weight arrays and scoring
+    // knobs are immutable run configuration.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(labels_to_blob(&self.labels))
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> bool {
+        match blob_to_labels(blob, self.labels.len()) {
+            Some(labels) => {
+                self.labels = labels;
+                true
+            }
+            None => false,
+        }
     }
 }
 

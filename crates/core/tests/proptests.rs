@@ -63,7 +63,9 @@ proptest! {
         for strategy in [MflStrategy::Global, MflStrategy::Smem, MflStrategy::SmemWarp] {
             let mut engine = GpuEngine::titan_v();
             let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 1);
-            engine.run(&g, &mut prog, &RunOptions::default().with_strategy(strategy));
+            engine
+                .run(&g, &mut prog, &RunOptions::default().with_strategy(strategy))
+                .unwrap();
             prop_assert_eq!(prog.labels(), &expected[..], "{:?}", strategy);
         }
     }
@@ -85,7 +87,7 @@ proptest! {
         };
         let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 1);
-        engine.run(&g, &mut prog, &opts);
+        engine.run(&g, &mut prog, &opts).unwrap();
         prop_assert_eq!(prog.labels(), &expected[..]);
     }
 
@@ -96,7 +98,7 @@ proptest! {
         let n = g.num_vertices();
         let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::with_max_iterations(n, 8);
-        engine.run(&g, &mut prog, &RunOptions::default());
+        engine.run(&g, &mut prog, &RunOptions::default()).unwrap();
         for (v, &l) in prog.labels().iter().enumerate() {
             prop_assert!(l != INVALID_LABEL);
             prop_assert!((l as usize) < n, "vertex {v} got out-of-domain label {l}");
@@ -108,9 +110,13 @@ proptest! {
     fn llp_gamma_zero_is_classic(g in arbitrary_graph()) {
         let n = g.num_vertices();
         let mut classic = ClassicLp::with_max_iterations(n, 6);
-        GpuEngine::titan_v().run(&g, &mut classic, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut classic, &RunOptions::default())
+            .unwrap();
         let mut llp = Llp::with_max_iterations(n, 0.0, 6);
-        GpuEngine::titan_v().run(&g, &mut llp, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut llp, &RunOptions::default())
+            .unwrap();
         prop_assert_eq!(classic.labels(), llp.labels());
     }
 }
@@ -130,16 +136,20 @@ proptest! {
         let auto_opts = RunOptions::default().with_max_iterations(12);
 
         let mut dense = ClassicLp::with_max_iterations(n, 12);
-        let rd = GpuEngine::titan_v().run(&g, &mut dense, &dense_opts);
+        let rd = GpuEngine::titan_v().run(&g, &mut dense, &dense_opts).unwrap();
         let mut auto = ClassicLp::with_max_iterations(n, 12);
-        let ra = GpuEngine::titan_v().run(&g, &mut auto, &auto_opts);
+        let ra = GpuEngine::titan_v().run(&g, &mut auto, &auto_opts).unwrap();
         prop_assert_eq!(dense.labels(), auto.labels());
         prop_assert_eq!(&rd.changed_per_iteration, &ra.changed_per_iteration);
 
         let mut seq_dense = ClassicLp::with_max_iterations(n, 12);
-        let sd = SequentialEngine::new().run(&g, &mut seq_dense, &dense_opts);
+        let sd = SequentialEngine::new()
+            .run(&g, &mut seq_dense, &dense_opts)
+            .unwrap();
         let mut seq_auto = ClassicLp::with_max_iterations(n, 12);
-        let sa = SequentialEngine::new().run(&g, &mut seq_auto, &auto_opts);
+        let sa = SequentialEngine::new()
+            .run(&g, &mut seq_auto, &auto_opts)
+            .unwrap();
         prop_assert_eq!(seq_dense.labels(), seq_auto.labels());
         prop_assert_eq!(&sd.changed_per_iteration, &sa.changed_per_iteration);
     }

@@ -12,7 +12,7 @@
 //! The simulation computes real labels (same tie rule as every other
 //! engine) and charges the cluster cost model per superstep.
 
-use glp_core::engine::{BestLabel, Decision, Engine, RunOptions};
+use glp_core::engine::{BestLabel, Decision, Engine, EngineError, RunOptions};
 use glp_core::{LpProgram, LpRunReport};
 use glp_gpusim::host::{ClusterConfig, CpuCounters};
 use glp_graph::{Graph, Label, VertexId};
@@ -63,7 +63,15 @@ impl Engine for InHouseLp {
     }
 
     /// Runs `prog` on `g`, modeling a BSP superstep per LP iteration.
-    fn run(&mut self, g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunReport {
+    /// The simulated cluster itself never faults (machine failures are out
+    /// of this model's scope), so the only `Err` source is the shared
+    /// [`Engine`] contract.
+    fn run(
+        &mut self,
+        g: &Graph,
+        prog: &mut dyn LpProgram,
+        opts: &RunOptions,
+    ) -> Result<LpRunReport, EngineError> {
         assert_eq!(
             prog.num_vertices(),
             g.num_vertices(),
@@ -157,7 +165,7 @@ impl Engine for InHouseLp {
 
         report.modeled_seconds = modeled;
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
-        report
+        Ok(report)
     }
 }
 
@@ -176,9 +184,11 @@ mod tests {
     fn inhouse_matches_glp_labels() {
         let g = caveman(7, 6);
         let mut reference = ClassicLp::new(g.num_vertices());
-        GpuEngine::titan_v().run(&g, &mut reference, &opts());
+        GpuEngine::titan_v()
+            .run(&g, &mut reference, &opts())
+            .unwrap();
         let mut p = ClassicLp::new(g.num_vertices());
-        InHouseLp::taobao().run(&g, &mut p, &opts());
+        InHouseLp::taobao().run(&g, &mut p, &opts()).unwrap();
         assert_eq!(p.labels(), reference.labels());
     }
 
@@ -186,7 +196,7 @@ mod tests {
     fn superstep_latency_dominates_small_graphs() {
         let g = caveman(7, 6);
         let mut p = ClassicLp::new(g.num_vertices());
-        let r = InHouseLp::taobao().run(&g, &mut p, &opts());
+        let r = InHouseLp::taobao().run(&g, &mut p, &opts()).unwrap();
         let floor = f64::from(r.iterations) * ClusterConfig::taobao_inhouse().superstep_latency_s;
         assert!(r.modeled_seconds >= floor);
         assert!(
@@ -203,9 +213,9 @@ mod tests {
             ..Default::default()
         });
         let mut p1 = ClassicLp::new(g.num_vertices());
-        let glp = GpuEngine::titan_v().run(&g, &mut p1, &opts());
+        let glp = GpuEngine::titan_v().run(&g, &mut p1, &opts()).unwrap();
         let mut p2 = ClassicLp::new(g.num_vertices());
-        let inhouse = InHouseLp::taobao().run(&g, &mut p2, &opts());
+        let inhouse = InHouseLp::taobao().run(&g, &mut p2, &opts()).unwrap();
         assert_eq!(p1.labels(), p2.labels());
         let speedup = inhouse.modeled_seconds / glp.modeled_seconds;
         assert!(speedup > 2.0, "speedup {speedup}");

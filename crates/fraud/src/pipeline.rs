@@ -17,7 +17,7 @@
 
 use crate::transactions::TxStream;
 use crate::window::WindowWorkload;
-use glp_core::{Engine, LpProgram, LpRunReport, RunOptions, WeightedLp};
+use glp_core::{Engine, EngineError, LpProgram, LpRunReport, RunOptions, WeightedLp};
 use glp_gpusim::host::{CpuConfig, CpuCounters};
 use glp_graph::VertexId;
 use std::collections::HashMap;
@@ -137,12 +137,17 @@ impl FraudPipeline {
     /// [`Engine`] — GLP, a baseline, or the in-house cluster simulation —
     /// driven under `opts` (the iteration cap is overridden by
     /// [`PipelineConfig::lp_iterations`], everything else passes through).
+    ///
+    /// An engine fault aborts the window cleanly — no partial
+    /// [`PipelineReport`] is produced. Callers that need the window scored
+    /// despite faults wrap the engine in
+    /// [`ResilientEngine`](glp_core::engine::ResilientEngine).
     pub fn run(
         &self,
         stream: &TxStream,
         engine: &mut dyn Engine,
         opts: &RunOptions,
-    ) -> PipelineReport {
+    ) -> Result<PipelineReport, EngineError> {
         // Stage 1: window graph construction (two streaming passes over
         // the window's transactions plus the CSR sort).
         let window = WindowWorkload::build(stream, self.cfg.window_days);
@@ -168,7 +173,7 @@ impl FraudPipeline {
             max_iterations: self.cfg.lp_iterations,
             ..opts.clone()
         };
-        let lp_report = engine.run(&window.graph, &mut prog, &lp_opts);
+        let lp_report = engine.run(&window.graph, &mut prog, &lp_opts)?;
 
         // Stage 3: cluster extraction + scoring.
         let (flagged, scoring_work) = self.score_clusters(&window, &prog, &seeds);
@@ -197,7 +202,7 @@ impl FraudPipeline {
             true_pos as f64 / total_ring as f64
         };
 
-        PipelineReport {
+        Ok(PipelineReport {
             window_days: self.cfg.window_days,
             graph_vertices: window.graph.num_vertices(),
             graph_edges: e,
@@ -211,7 +216,7 @@ impl FraudPipeline {
             precision,
             recall,
             lp_report,
-        }
+        })
     }
 
     /// Scores the clusters of an already-run LP program over `window` —
@@ -365,7 +370,9 @@ mod tests {
             window_days: 30,
             ..Default::default()
         });
-        let report = pipe.run(&s, &mut GpuEngine::titan_v(), &RunOptions::default());
+        let report = pipe
+            .run(&s, &mut GpuEngine::titan_v(), &RunOptions::default())
+            .unwrap();
         assert!(!report.flagged.is_empty(), "rings should be flagged");
         assert!(
             report.recall > 0.6,
@@ -380,7 +387,9 @@ mod tests {
     fn stage_breakdown_sums() {
         let s = stream();
         let pipe = FraudPipeline::new(PipelineConfig::default());
-        let report = pipe.run(&s, &mut GpuEngine::titan_v(), &RunOptions::default());
+        let report = pipe
+            .run(&s, &mut GpuEngine::titan_v(), &RunOptions::default())
+            .unwrap();
         let st = report.stages;
         assert!(st.construction > 0.0 && st.lp > 0.0 && st.scoring > 0.0);
         assert!((st.total() - (st.construction + st.lp + st.scoring)).abs() < 1e-15);
@@ -393,7 +402,9 @@ mod tests {
         // large majority of pipeline time (the paper's 75% observation).
         let s = stream();
         let pipe = FraudPipeline::new(PipelineConfig::default());
-        let report = pipe.run(&s, &mut crate::InHouseLp::taobao(), &RunOptions::default());
+        let report = pipe
+            .run(&s, &mut crate::InHouseLp::taobao(), &RunOptions::default())
+            .unwrap();
         assert!(
             report.stages.lp_fraction() > 0.6,
             "in-house LP share {}",
@@ -430,7 +441,9 @@ mod debug_tests {
         let window = WindowWorkload::build(&s, 30);
         let seeds = window.seeds(&s);
         let mut prog = WeightedLp::from_graph(&window.graph, 20).with_retention(3.0);
-        GpuEngine::titan_v().run(&window.graph, &mut prog, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&window.graph, &mut prog, &RunOptions::default())
+            .unwrap();
         let (flagged, _) = pipe.score_clusters(&window, &prog, &seeds);
         eprintln!("seeds {} flagged {}", seeds.len(), flagged.len());
         for f in flagged.iter().take(10) {

@@ -3,29 +3,46 @@
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
 use crate::counters::KernelCounters;
+use crate::error::DeviceError;
 use crate::kernel::KernelCtx;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Process-unique device ids, so fault plans and error reports can name a
+/// specific card even when tests construct devices concurrently.
+static NEXT_DEVICE_ID: AtomicU32 = AtomicU32::new(0);
 
 /// A simulated GPU accumulating modeled time and event totals.
+///
+/// Every launch and upload is fallible: faults injected through
+/// [`faults`](crate::faults) (feature `fault-injection`), a natural
+/// device-memory overflow, a panicking kernel shard, or a device already
+/// marked lost all surface as [`DeviceError`]s instead of panics, so the
+/// engine layer above can retry, resume, or degrade.
 ///
 /// ```
 /// use glp_gpusim::Device;
 /// let mut device = Device::titan_v();
-/// let sum = device.launch("reduce", |ctx| {
-///     ctx.global_read_seq(0, 1 << 20, 4); // stream 4 MiB
-///     ctx.alu(1 << 15);
-///     42u64
-/// });
+/// let sum = device
+///     .launch("reduce", |ctx| {
+///         ctx.global_read_seq(0, 1 << 20, 4); // stream 4 MiB
+///         ctx.alu(1 << 15);
+///         42u64
+///     })
+///     .expect("healthy device");
 /// assert_eq!(sum, 42);
 /// assert!(device.elapsed_seconds() > 0.0);
 /// ```
 #[derive(Debug)]
 pub struct Device {
+    id: u32,
     cfg: DeviceConfig,
     cost: CostModel,
     totals: KernelCounters,
     elapsed_s: f64,
     transfer_s: f64,
     resident_bytes: u64,
+    lost: bool,
     kernel_log: Vec<KernelRecord>,
 }
 
@@ -44,12 +61,14 @@ impl Device {
     /// A device with the given configuration and the default cost model.
     pub fn new(cfg: DeviceConfig) -> Self {
         Self {
+            id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
             cfg,
             cost: CostModel::default(),
             totals: KernelCounters::default(),
             elapsed_s: 0.0,
             transfer_s: 0.0,
             resident_bytes: 0,
+            lost: false,
             kernel_log: Vec::new(),
         }
     }
@@ -57,6 +76,24 @@ impl Device {
     /// The paper's device: a modeled Titan V.
     pub fn titan_v() -> Self {
         Self::new(DeviceConfig::titan_v())
+    }
+
+    /// Process-unique device id (what fault plans and errors reference).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Whether the device has fallen off the bus. Sticky: lost devices
+    /// fail every later launch/upload with [`DeviceError::Lost`].
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+
+    /// Marks the device lost (what [`FaultKind::DeviceLost`]
+    /// (crate::faults::FaultKind) does at the launch boundary; exposed so
+    /// tests and simulations can force a loss directly).
+    pub fn mark_lost(&mut self) {
+        self.lost = true;
     }
 
     /// Device configuration.
@@ -74,31 +111,102 @@ impl Device {
         self.cost = cost;
     }
 
+    /// Checks the launch boundary: lost devices and armed failure plans
+    /// turn into errors before any kernel code runs.
+    fn pre_launch(&mut self, kernel: &'static str) -> Result<(), DeviceError> {
+        let _ = kernel;
+        if self.lost {
+            return Err(DeviceError::Lost { device: self.id });
+        }
+        #[cfg(feature = "fault-injection")]
+        if let Some(kind) = crate::faults::take_launch_fault(self.id) {
+            use crate::faults::FaultKind;
+            return Err(match kind {
+                FaultKind::LaunchFail => DeviceError::LaunchFailed {
+                    device: self.id,
+                    kernel,
+                },
+                FaultKind::Timeout => DeviceError::Timeout {
+                    device: self.id,
+                    kernel,
+                },
+                FaultKind::DeviceLost => {
+                    self.lost = true;
+                    DeviceError::Lost { device: self.id }
+                }
+                FaultKind::ShardPanic => DeviceError::ShardPanicked {
+                    device: self.id,
+                    shard: 0,
+                },
+                FaultKind::Oom => unreachable!("OOM plans fire at the upload boundary"),
+            });
+        }
+        Ok(())
+    }
+
     /// Runs one kernel: `f` executes immediately on the calling thread with
     /// a fresh [`KernelCtx`]; its counters are charged to this device's
-    /// modeled clock.
-    pub fn launch<R>(&mut self, name: &'static str, f: impl FnOnce(&mut KernelCtx) -> R) -> R {
-        let mut ctx = KernelCtx::new(&self.cfg);
-        let r = f(&mut ctx);
-        self.commit(name, ctx.counters);
-        r
+    /// modeled clock. A panic inside `f` is captured and surfaced as
+    /// [`DeviceError::ShardPanicked`] — no time is charged for a launch
+    /// that produced no result.
+    pub fn launch<R>(
+        &mut self,
+        name: &'static str,
+        f: impl FnOnce(&mut KernelCtx) -> R,
+    ) -> Result<R, DeviceError> {
+        self.pre_launch(name)?;
+        let cfg = &self.cfg;
+        match catch_unwind(AssertUnwindSafe(move || {
+            let mut ctx = KernelCtx::new(cfg);
+            let r = f(&mut ctx);
+            (ctx.counters, r)
+        })) {
+            Ok((counters, r)) => {
+                self.commit(name, counters);
+                Ok(r)
+            }
+            Err(_) => Err(DeviceError::ShardPanicked {
+                device: self.id,
+                shard: 0,
+            }),
+        }
     }
 
     /// Runs one kernel sharded across `shards` OS threads (harness-side
     /// parallelism only — the modeled time is identical to a serial launch).
     /// `f(shard_index, ctx)` must partition work by shard index; the
-    /// per-shard return values come back in shard order.
-    pub fn launch_parallel<R, F>(&mut self, name: &'static str, shards: usize, f: F) -> Vec<R>
+    /// per-shard return values come back in shard order. A panic in any
+    /// shard is captured at the join boundary and surfaced as
+    /// [`DeviceError::ShardPanicked`] carrying the first panicked shard's
+    /// index; the launch then charges nothing.
+    pub fn launch_parallel<R, F>(
+        &mut self,
+        name: &'static str,
+        shards: usize,
+        f: F,
+    ) -> Result<Vec<R>, DeviceError>
     where
         R: Send,
         F: Fn(usize, &mut KernelCtx) -> R + Sync,
     {
         assert!(shards >= 1, "need at least one shard");
+        self.pre_launch(name)?;
         if shards == 1 {
-            let mut ctx = KernelCtx::new(&self.cfg);
-            let r = f(0, &mut ctx);
-            self.commit(name, ctx.counters);
-            return vec![r];
+            let cfg = &self.cfg;
+            return match catch_unwind(AssertUnwindSafe(|| {
+                let mut ctx = KernelCtx::new(cfg);
+                let r = f(0, &mut ctx);
+                (ctx.counters, r)
+            })) {
+                Ok((counters, r)) => {
+                    self.commit(name, counters);
+                    Ok(vec![r])
+                }
+                Err(_) => Err(DeviceError::ShardPanicked {
+                    device: self.id,
+                    shard: 0,
+                }),
+            };
         }
         let cfg = &self.cfg;
         let mut merged = KernelCounters {
@@ -116,18 +224,31 @@ impl Device {
                     })
                 })
                 .collect();
+            // The join boundary is the panic-capture point: a panicking
+            // shard surfaces as Err here instead of tearing the process
+            // down (the old `.expect("kernel shard panicked")`).
             handles
                 .into_iter()
-                .map(|h| h.join().expect("kernel shard panicked"))
-                .collect::<Vec<_>>()
+                .map(|h| h.join())
+                .collect::<Vec<std::thread::Result<_>>>()
         });
         let mut out = Vec::with_capacity(results.len());
-        for (c, r) in results {
-            merged.merge(&c);
-            out.push(r);
+        for (shard, res) in results.into_iter().enumerate() {
+            match res {
+                Ok((c, r)) => {
+                    merged.merge(&c);
+                    out.push(r);
+                }
+                Err(_) => {
+                    return Err(DeviceError::ShardPanicked {
+                        device: self.id,
+                        shard,
+                    })
+                }
+            }
         }
         self.commit(name, merged);
-        out
+        Ok(out)
     }
 
     fn commit(&mut self, name: &'static str, counters: KernelCounters) {
@@ -143,20 +264,39 @@ impl Device {
 
     /// Models a host→device copy: charges PCIe time and tracks residency.
     ///
-    /// # Panics
-    /// Panics if the copy would exceed device memory — callers must use the
-    /// hybrid out-of-core mode instead (that is the paper's own rule).
-    pub fn upload(&mut self, bytes: u64) {
-        assert!(
-            self.resident_bytes + bytes <= self.cfg.global_mem_bytes,
-            "device memory overflow: {} + {bytes} > {}; use hybrid mode",
-            self.resident_bytes,
-            self.cfg.global_mem_bytes
-        );
+    /// Fails with [`DeviceError::OutOfMemory`] when the copy would exceed
+    /// device memory — callers should fall back to the hybrid out-of-core
+    /// mode (that is the paper's own rule) — and with
+    /// [`DeviceError::Lost`] on a lost device. Under `fault-injection`, an
+    /// armed [`FaultKind::Oom`](crate::faults::FaultKind) plan fails the
+    /// upload even when the bytes would fit (simulated fragmentation /
+    /// exhaustion by a co-tenant).
+    pub fn upload(&mut self, bytes: u64) -> Result<(), DeviceError> {
+        if self.lost {
+            return Err(DeviceError::Lost { device: self.id });
+        }
+        #[cfg(feature = "fault-injection")]
+        if crate::faults::take_upload_fault(self.id).is_some() {
+            return Err(DeviceError::OutOfMemory {
+                device: self.id,
+                requested: bytes,
+                resident: self.resident_bytes,
+                capacity: self.cfg.global_mem_bytes,
+            });
+        }
+        if self.resident_bytes + bytes > self.cfg.global_mem_bytes {
+            return Err(DeviceError::OutOfMemory {
+                device: self.id,
+                requested: bytes,
+                resident: self.resident_bytes,
+                capacity: self.cfg.global_mem_bytes,
+            });
+        }
         self.resident_bytes += bytes;
         let s = self.cost.transfer_seconds(&self.cfg, bytes);
         self.elapsed_s += s;
         self.transfer_s += s;
+        Ok(())
     }
 
     /// Models a device→host copy (no residency change).
@@ -170,6 +310,11 @@ impl Device {
     pub fn free(&mut self, bytes: u64) {
         assert!(bytes <= self.resident_bytes, "freeing more than resident");
         self.resident_bytes -= bytes;
+    }
+
+    /// Frees everything resident (engine cleanup after a failed run).
+    pub fn free_all(&mut self) {
+        self.resident_bytes = 0;
     }
 
     /// Whether `bytes` more would still fit in device memory.
@@ -209,7 +354,8 @@ impl Device {
         self.elapsed_s += seconds;
     }
 
-    /// Clears clock, counters, log, and residency.
+    /// Clears clock, counters, log, and residency. Does *not* revive a
+    /// lost device — a card that fell off the bus stays gone.
     pub fn reset(&mut self) {
         self.totals = KernelCounters::default();
         self.elapsed_s = 0.0;
@@ -227,11 +373,13 @@ mod tests {
     #[test]
     fn launch_accumulates_time_and_counters() {
         let mut d = Device::titan_v();
-        let out = d.launch("k", |ctx| {
-            ctx.alu(1000);
-            ctx.global_read_seq(0, 1 << 20, 4);
-            42
-        });
+        let out = d
+            .launch("k", |ctx| {
+                ctx.alu(1000);
+                ctx.global_read_seq(0, 1 << 20, 4);
+                42
+            })
+            .unwrap();
         assert_eq!(out, 42);
         assert!(d.elapsed_seconds() > 0.0);
         assert_eq!(d.totals().kernel_launches, 1);
@@ -242,27 +390,37 @@ mod tests {
     #[test]
     fn parallel_launch_counts_once() {
         let mut serial = Device::titan_v();
-        serial.launch("k", |ctx| {
-            for i in 0..8u64 {
-                ctx.alu(100);
-                ctx.global_read_seq(i * 4096, 64, 4);
-            }
-        });
+        serial
+            .launch("k", |ctx| {
+                for i in 0..8u64 {
+                    ctx.alu(100);
+                    ctx.global_read_seq(i * 4096, 64, 4);
+                }
+            })
+            .unwrap();
         let mut par = Device::titan_v();
         par.launch_parallel("k", 4, |shard, ctx| {
             for i in (shard as u64..8).step_by(4) {
                 ctx.alu(100);
                 ctx.global_read_seq(i * 4096, 64, 4);
             }
-        });
+        })
+        .unwrap();
         assert_eq!(serial.totals(), par.totals());
         assert!((serial.elapsed_seconds() - par.elapsed_seconds()).abs() < 1e-15);
     }
 
     #[test]
+    fn device_ids_are_unique() {
+        let a = Device::titan_v();
+        let b = Device::titan_v();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
     fn upload_charges_pcie_and_residency() {
         let mut d = Device::new(DeviceConfig::tiny(1000));
-        d.upload(600);
+        d.upload(600).unwrap();
         assert!(!d.fits(600));
         assert!(d.fits(400));
         assert!(d.transfer_seconds() > 0.0);
@@ -271,17 +429,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "device memory overflow")]
-    fn oversized_upload_panics() {
+    fn oversized_upload_is_out_of_memory() {
         let mut d = Device::new(DeviceConfig::tiny(100));
-        d.upload(101);
+        let err = d.upload(101).unwrap_err();
+        match err {
+            DeviceError::OutOfMemory {
+                requested,
+                capacity,
+                ..
+            } => {
+                assert_eq!(requested, 101);
+                assert_eq!(capacity, 100);
+            }
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+        // The failed upload charged nothing and left no residency.
+        assert_eq!(d.resident_bytes(), 0);
+        assert_eq!(d.transfer_seconds(), 0.0);
+    }
+
+    #[test]
+    fn lost_device_fails_everything_and_stays_lost() {
+        let mut d = Device::titan_v();
+        d.mark_lost();
+        assert!(d.is_lost());
+        assert_eq!(
+            d.launch("k", |_| 1).unwrap_err(),
+            DeviceError::Lost { device: d.id() }
+        );
+        assert_eq!(
+            d.upload(4).unwrap_err(),
+            DeviceError::Lost { device: d.id() }
+        );
+        d.reset();
+        assert!(d.is_lost(), "reset must not revive a lost card");
+    }
+
+    #[test]
+    fn panicking_kernel_is_captured_not_fatal() {
+        let mut d = Device::titan_v();
+        let err = d
+            .launch("boom", |_ctx| -> u32 { panic!("injected kernel bug") })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::ShardPanicked {
+                device: d.id(),
+                shard: 0
+            }
+        );
+        // Nothing was charged for the failed launch, and the device is
+        // still usable afterwards.
+        assert_eq!(d.kernel_log().len(), 0);
+        assert_eq!(d.launch("ok", |_| 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn panicking_shard_reports_its_index() {
+        let mut d = Device::titan_v();
+        let err = d
+            .launch_parallel("boom", 4, |shard, ctx| {
+                ctx.alu(10);
+                assert!(shard != 2, "shard 2 panics");
+                shard
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::ShardPanicked {
+                device: d.id(),
+                shard: 2
+            }
+        );
+        assert_eq!(d.kernel_log().len(), 0, "failed launch charges nothing");
     }
 
     #[test]
     fn reset_clears_everything() {
         let mut d = Device::titan_v();
-        d.launch("k", |ctx| ctx.alu(5));
-        d.upload(100);
+        d.launch("k", |ctx| ctx.alu(5)).unwrap();
+        d.upload(100).unwrap();
         d.reset();
         assert_eq!(d.elapsed_seconds(), 0.0);
         assert_eq!(d.resident_bytes(), 0);

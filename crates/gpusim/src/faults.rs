@@ -1,23 +1,31 @@
 //! Deterministic fault injection for the simulated device (feature
 //! `fault-injection` only).
 //!
-//! The serving stack needs to rehearse *slow hardware*: a recluster whose
-//! LP kernels suddenly take orders of magnitude longer (a thermally
-//! throttled card, a congested PCIe link, a noisy neighbour on a shared
-//! GPU). Rather than sleeping somewhere in the serving layer — which
-//! would test nothing below it — the stall is injected here, at the
-//! kernel-launch boundary every engine in the workspace funnels through
-//! ([`KernelCtx::new`](crate::KernelCtx::new)), so the whole path above
-//! (engine sharding, recluster worker, staleness gate, health reporting)
-//! experiences it exactly as it would experience a real slow device.
+//! Two injector families live here:
 //!
-//! The injector is a pair of process-global atomics: arm it with
-//! [`inject_kernel_stall`] and the next `launches` kernel launches each
-//! sleep for `micros` microseconds. Stalls perturb *time only* — counters
-//! and results are untouched, so determinism assertions hold across
-//! stalled and unstalled runs. Always [`clear`] in tests that arm it.
+//! * **Stalls** — kernels get *slow* (a thermally throttled card, a
+//!   congested PCIe link, a noisy neighbour on a shared GPU). Armed with
+//!   [`inject_kernel_stall`]; served at the kernel-launch boundary every
+//!   engine funnels through ([`KernelCtx::new`](crate::KernelCtx::new)).
+//!   Stalls perturb *time only* — counters and results are untouched, so
+//!   determinism assertions hold across stalled and unstalled runs.
+//! * **Failures** — kernels *die* ([`FaultKind`]): a launch is rejected, a
+//!   watchdog fires, a device falls off the bus, an upload exhausts device
+//!   memory, a harness shard panics. Armed per device with
+//!   [`inject_fault`] (or derived from a seed with [`seeded_fault`]);
+//!   consumed by [`Device`](crate::Device) at its fallible launch/upload
+//!   boundaries and surfaced as
+//!   [`DeviceError`](crate::DeviceError) `Result`s, so the whole path
+//!   above (engine retry, degradation ladder, recluster worker, health
+//!   reporting) experiences the fault exactly as it would experience real
+//!   failing hardware.
+//!
+//! Plans target a specific [`Device::id`](crate::Device::id), so
+//! concurrently running tests do not trip each other's faults. Always
+//! [`clear`] (or [`clear_device`]) in tests that arm anything.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 static STALL_LAUNCHES: AtomicU32 = AtomicU32::new(0);
@@ -31,10 +39,11 @@ pub fn inject_kernel_stall(launches: u32, micros: u64) {
     STALL_LAUNCHES.store(launches, Ordering::Release);
 }
 
-/// Disarms the injector.
+/// Disarms every injector: pending stalls and every armed failure plan.
 pub fn clear() {
     STALL_LAUNCHES.store(0, Ordering::Release);
     STALL_MICROS.store(0, Ordering::Release);
+    PLANS.lock().expect("fault registry").clear();
 }
 
 /// Stalls served since process start (diagnostic; lets tests assert the
@@ -69,6 +78,120 @@ pub(crate) fn on_kernel_launch() {
     }
 }
 
+/// The failing-fault taxonomy. `LaunchFail`, `Timeout` and `ShardPanic`
+/// are transient (the next attempt may succeed); `DeviceLost` is sticky on
+/// the targeted device; `Oom` is consumed by the next upload instead of
+/// the next launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The Nth kernel launch is rejected.
+    LaunchFail,
+    /// The Nth kernel launch trips the watchdog timeout.
+    Timeout,
+    /// The Nth kernel launch finds the device gone; the device stays lost.
+    DeviceLost,
+    /// One harness shard of the Nth (parallel) kernel launch panics.
+    ShardPanic,
+    /// The Nth *upload* on the device exceeds simulated device memory.
+    Oom,
+}
+
+/// One armed failure: fires on the `after`-th subsequent launch (or
+/// upload, for [`FaultKind::Oom`]) observed on `device`, 0-based — i.e.
+/// `after` operations succeed first.
+#[derive(Clone, Copy, Debug)]
+struct Plan {
+    device: u32,
+    kind: FaultKind,
+    after: u32,
+}
+
+static PLANS: Mutex<Vec<Plan>> = Mutex::new(Vec::new());
+static FAULTS_SERVED: AtomicU64 = AtomicU64::new(0);
+
+/// Arms one failure against device `device`
+/// ([`Device::id`](crate::Device::id)): `after` launches (uploads for
+/// [`FaultKind::Oom`]) succeed, then the next one fails with `kind`.
+/// One-shot — the plan is removed when it fires.
+pub fn inject_fault(device: u32, kind: FaultKind, after: u32) {
+    PLANS.lock().expect("fault registry").push(Plan {
+        device,
+        kind,
+        after,
+    });
+}
+
+/// Derives a failure deterministically from `seed` — the kind from the
+/// low bits, the launch index uniformly in `0..window` — arms it against
+/// `device`, and returns it so the test can assert against the drawn plan.
+pub fn seeded_fault(device: u32, seed: u64, window: u32) -> (FaultKind, u32) {
+    // splitmix64: the workspace's stateless mixing function of choice.
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let kind = match z % 4 {
+        0 => FaultKind::LaunchFail,
+        1 => FaultKind::Timeout,
+        2 => FaultKind::DeviceLost,
+        _ => FaultKind::ShardPanic,
+    };
+    let after = ((z >> 32) % u64::from(window.max(1))) as u32;
+    inject_fault(device, kind, after);
+    (kind, after)
+}
+
+/// Removes every armed failure against `device` (stalls are global and
+/// unaffected).
+pub fn clear_device(device: u32) {
+    PLANS
+        .lock()
+        .expect("fault registry")
+        .retain(|p| p.device != device);
+}
+
+/// Failures fired since process start (diagnostic; lets tests assert the
+/// injection actually happened).
+pub fn faults_served() -> u64 {
+    FAULTS_SERVED.load(Ordering::Acquire)
+}
+
+/// Consumes the first due launch-boundary failure for `device`, advancing
+/// every other armed launch plan on that device by one observed launch.
+pub(crate) fn take_launch_fault(device: u32) -> Option<FaultKind> {
+    take_fault(device, false)
+}
+
+/// Consumes the first due upload-boundary ([`FaultKind::Oom`]) failure for
+/// `device`, advancing other armed upload plans on that device.
+pub(crate) fn take_upload_fault(device: u32) -> Option<FaultKind> {
+    take_fault(device, true)
+}
+
+fn take_fault(device: u32, upload: bool) -> Option<FaultKind> {
+    let mut plans = PLANS.lock().expect("fault registry");
+    let mut fired: Option<FaultKind> = None;
+    let mut fired_at: Option<usize> = None;
+    for (i, p) in plans.iter_mut().enumerate() {
+        if p.device != device || (p.kind == FaultKind::Oom) != upload {
+            continue;
+        }
+        if p.after == 0 {
+            if fired.is_none() {
+                fired = Some(p.kind);
+                fired_at = Some(i);
+            }
+        } else {
+            p.after -= 1;
+        }
+    }
+    if let Some(i) = fired_at {
+        plans.remove(i);
+        FAULTS_SERVED.fetch_add(1, Ordering::AcqRel);
+    }
+    fired
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +216,47 @@ mod tests {
         let _c = KernelCtx::new(&cfg);
         assert!(t1.elapsed() < Duration::from_millis(15));
         clear();
+    }
+
+    #[test]
+    fn plan_fires_on_the_nth_launch_and_only_there() {
+        // Use an id far outside what Device's counter hands out in any
+        // realistic test run so concurrent tests never observe this plan.
+        let dev = 0xFAB0_0001;
+        inject_fault(dev, FaultKind::LaunchFail, 2);
+        assert_eq!(take_launch_fault(dev), None);
+        assert_eq!(take_launch_fault(dev), None);
+        let before = faults_served();
+        assert_eq!(take_launch_fault(dev), Some(FaultKind::LaunchFail));
+        assert_eq!(faults_served(), before + 1);
+        // One-shot: the plan is gone.
+        assert_eq!(take_launch_fault(dev), None);
+    }
+
+    #[test]
+    fn plans_are_per_device_and_per_boundary() {
+        let a = 0xFAB0_0002;
+        let b = 0xFAB0_0003;
+        inject_fault(a, FaultKind::Oom, 0);
+        inject_fault(b, FaultKind::Timeout, 0);
+        // Launches never consume OOM plans; uploads never consume launch
+        // plans; device a never sees device b's plan.
+        assert_eq!(take_launch_fault(a), None);
+        assert_eq!(take_upload_fault(b), None);
+        assert_eq!(take_upload_fault(a), Some(FaultKind::Oom));
+        assert_eq!(take_launch_fault(b), Some(FaultKind::Timeout));
+    }
+
+    #[test]
+    fn seeded_fault_is_deterministic() {
+        let dev = 0xFAB0_0004;
+        let (k1, n1) = seeded_fault(dev, 42, 10);
+        clear_device(dev);
+        let (k2, n2) = seeded_fault(dev, 42, 10);
+        assert_eq!((k1, n1), (k2, n2));
+        assert!(n1 < 10);
+        clear_device(dev);
+        assert_eq!(take_launch_fault(dev), None);
+        assert_eq!(take_upload_fault(dev), None);
     }
 }

@@ -35,6 +35,7 @@ pub mod config;
 pub mod cost;
 pub mod counters;
 pub mod device;
+pub mod error;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
 pub mod host;
@@ -48,6 +49,7 @@ pub use config::DeviceConfig;
 pub use cost::CostModel;
 pub use counters::KernelCounters;
 pub use device::Device;
+pub use error::DeviceError;
 pub use kernel::KernelCtx;
 pub use multi::MultiGpu;
 pub use profile::DeviceProfile;

@@ -55,22 +55,53 @@ impl MultiGpu {
         self.devices.iter_mut()
     }
 
-    /// Barrier: every device's modeled clock advances to the slowest
-    /// device's clock plus the sync overhead.
+    /// Barrier: every *surviving* device's modeled clock advances to the
+    /// slowest survivor's clock plus the sync overhead. Lost devices are
+    /// skipped — their clocks froze when they fell off the bus, and no
+    /// barrier waits for them.
     pub fn sync(&mut self) {
         let max = self.elapsed_seconds();
         for d in &mut self.devices {
+            if d.is_lost() {
+                continue;
+            }
             let behind = max - d.elapsed_seconds();
             d.advance_clock(behind + self.sync_overhead_s);
         }
     }
 
-    /// The set's modeled elapsed time: the slowest device.
+    /// The set's modeled elapsed time: the slowest device still on the
+    /// bus (all devices, when every one is lost).
     pub fn elapsed_seconds(&self) -> f64 {
+        let alive = self
+            .devices
+            .iter()
+            .filter(|d| !d.is_lost())
+            .map(Device::elapsed_seconds)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if alive.is_finite() {
+            alive
+        } else {
+            self.devices
+                .iter()
+                .map(Device::elapsed_seconds)
+                .fold(0.0, f64::max)
+        }
+    }
+
+    /// Indices of devices still on the bus.
+    pub fn survivors(&self) -> Vec<usize> {
         self.devices
             .iter()
-            .map(Device::elapsed_seconds)
-            .fold(0.0, f64::max)
+            .enumerate()
+            .filter(|(_, d)| !d.is_lost())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of devices still on the bus.
+    pub fn alive(&self) -> usize {
+        self.devices.iter().filter(|d| !d.is_lost()).count()
     }
 
     /// Resets all devices.
@@ -88,8 +119,12 @@ mod tests {
     #[test]
     fn sync_aligns_clocks_to_slowest() {
         let mut m = MultiGpu::new(2, DeviceConfig::titan_v());
-        m.device_mut(0).launch("big", |ctx| ctx.alu(1_000_000_000));
-        m.device_mut(1).launch("small", |ctx| ctx.alu(1_000));
+        m.device_mut(0)
+            .launch("big", |ctx| ctx.alu(1_000_000_000))
+            .unwrap();
+        m.device_mut(1)
+            .launch("small", |ctx| ctx.alu(1_000))
+            .unwrap();
         let slow = m.device(0).elapsed_seconds();
         m.sync();
         let expect = slow + m.sync_overhead_s;
@@ -100,7 +135,9 @@ mod tests {
     #[test]
     fn elapsed_is_max_over_devices() {
         let mut m = MultiGpu::new(3, DeviceConfig::titan_v());
-        m.device_mut(2).launch("k", |ctx| ctx.alu(5_000_000));
+        m.device_mut(2)
+            .launch("k", |ctx| ctx.alu(5_000_000))
+            .unwrap();
         assert_eq!(m.elapsed_seconds(), m.device(2).elapsed_seconds());
     }
 
@@ -108,5 +145,31 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_devices_rejected() {
         MultiGpu::new(0, DeviceConfig::titan_v());
+    }
+
+    #[test]
+    fn sync_and_elapsed_skip_lost_devices() {
+        let mut m = MultiGpu::new(3, DeviceConfig::titan_v());
+        m.device_mut(0)
+            .launch("big", |ctx| ctx.alu(1_000_000_000))
+            .unwrap();
+        let frozen = m.device(0).elapsed_seconds();
+        m.device_mut(0).mark_lost();
+        m.device_mut(1)
+            .launch("small", |ctx| ctx.alu(1_000))
+            .unwrap();
+        assert_eq!(m.survivors(), vec![1, 2]);
+        assert_eq!(m.alive(), 2);
+        // The set's clock follows the slowest survivor, not the (faster)
+        // frozen clock of the lost card... unless everyone is ahead of it.
+        let survivor_max = m
+            .device(1)
+            .elapsed_seconds()
+            .max(m.device(2).elapsed_seconds());
+        assert_eq!(m.elapsed_seconds(), survivor_max);
+        m.sync();
+        // Lost clock untouched; survivors aligned.
+        assert_eq!(m.device(0).elapsed_seconds(), frozen);
+        assert!((m.device(1).elapsed_seconds() - m.device(2).elapsed_seconds()).abs() < 1e-12);
     }
 }

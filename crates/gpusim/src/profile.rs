@@ -55,12 +55,19 @@ impl DeviceProfile {
             kernel_seconds += rec.seconds;
         }
         let mut kernels: Vec<KernelProfile> = by_name.into_values().collect();
-        kernels.sort_by(|a, b| b.seconds.partial_cmp(&a.seconds).expect("finite times"));
+        // total_cmp: a NaN in a cost model (e.g. a corrupted calibration
+        // constant) must not panic the profiler that would diagnose it.
+        kernels.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
         Self {
             kernels,
             kernel_seconds,
             transfer_seconds: device.transfer_seconds(),
         }
+    }
+
+    /// The aggregate row for kernel `name`, if it was ever launched.
+    pub fn kernel(&self, name: &str) -> Option<&KernelProfile> {
+        self.kernels.iter().find(|k| k.name == name)
     }
 
     /// Share of kernel time spent in `name` (0 when never launched).
@@ -114,15 +121,18 @@ mod tests {
         d.launch("gather", |ctx| {
             ctx.global_read_seq(0, 1 << 20, 4);
             ctx.warps_launched(100);
-        });
+        })
+        .unwrap();
         d.launch("gather", |ctx| {
             ctx.global_read_seq(0, 1 << 20, 4);
             ctx.warps_launched(100);
-        });
+        })
+        .unwrap();
         d.launch("update", |ctx| {
             ctx.alu(1000);
-        });
-        d.upload(1 << 20);
+        })
+        .unwrap();
+        d.upload(1 << 20).unwrap();
         d
     }
 
@@ -131,7 +141,12 @@ mod tests {
         let d = sample_device();
         let p = DeviceProfile::of(&d);
         assert_eq!(p.kernels.len(), 2);
-        let gather = p.kernels.iter().find(|k| k.name == "gather").unwrap();
+        // Graceful lookup: a kernel that never launched is None, not a
+        // panic deep in a diagnostics path.
+        assert!(p.kernel("never_launched").is_none());
+        let Some(gather) = p.kernel("gather") else {
+            panic!("gather was launched twice");
+        };
         assert_eq!(gather.launches, 2);
         assert_eq!(gather.counters.warps_launched, 200);
         assert!(gather.seconds_per_launch() > 0.0);

@@ -94,6 +94,7 @@ pub struct HealthMonitor {
     streaks: Mutex<HashMap<&'static str, u32>>,
     thresholds: HealthThresholds,
     last_panic: Mutex<Option<String>>,
+    engine_tier: Mutex<Option<&'static str>>,
 }
 
 impl HealthMonitor {
@@ -108,6 +109,7 @@ impl HealthMonitor {
             streaks: Mutex::new(HashMap::new()),
             thresholds,
             last_panic: Mutex::new(None),
+            engine_tier: Mutex::new(None),
         }
     }
 
@@ -131,6 +133,21 @@ impl HealthMonitor {
             .copied()
             .max()
             .unwrap_or(0)
+    }
+
+    /// Records which engine tier produced the most recent recluster — the
+    /// recluster worker reports it after every LP run, so operators can
+    /// see at a glance whether scoring currently runs on the GPU or has
+    /// degraded down the ladder (see
+    /// [`ResilientEngine`](glp_core::ResilientEngine)).
+    pub fn set_engine_tier(&self, tier: &'static str) {
+        *self.engine_tier.lock().unwrap_or_else(|e| e.into_inner()) = Some(tier);
+    }
+
+    /// The engine tier of the most recent recluster (`None` before the
+    /// first snapshot is published).
+    pub fn engine_tier(&self) -> Option<&'static str> {
+        *self.engine_tier.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The panic message of the most recent worker crash, if any.
@@ -219,6 +236,10 @@ pub struct HealthReport {
     pub snapshot_epoch: u64,
     /// Panic message of the most recent worker crash, if any.
     pub last_panic: Option<String>,
+    /// Engine tier the last recluster ran on (`None` before the first),
+    /// e.g. `"GLP"` when healthy or `"Sequential-BSP"` after the full
+    /// degradation ladder.
+    pub engine_tier: Option<&'static str>,
 }
 
 impl HealthReport {
@@ -230,6 +251,7 @@ impl HealthReport {
             "staleness_batches": self.staleness_batches,
             "snapshot_epoch": self.snapshot_epoch,
             "last_panic": self.last_panic.clone().unwrap_or_default(),
+            "engine_tier": self.engine_tier.unwrap_or(""),
         })
     }
 }
@@ -268,6 +290,16 @@ mod tests {
         assert_eq!(m.consecutive_crashes(), 0);
         // The streak restarts from scratch.
         assert_eq!(m.record_crash("w", "p"), HealthState::Degraded);
+    }
+
+    #[test]
+    fn engine_tier_is_reported_once_set() {
+        let m = monitor();
+        assert_eq!(m.engine_tier(), None);
+        m.set_engine_tier("GLP");
+        assert_eq!(m.engine_tier(), Some("GLP"));
+        m.set_engine_tier("Sequential-BSP");
+        assert_eq!(m.engine_tier(), Some("Sequential-BSP"));
     }
 
     #[test]

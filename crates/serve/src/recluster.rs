@@ -9,8 +9,8 @@
 
 use crate::config::ServeConfig;
 use crate::query::VerdictSnapshot;
-use glp_core::engine::GpuEngine;
-use glp_core::{Engine, LpRunReport, RunOptions, WeightedLp};
+use glp_core::engine::ResilientEngine;
+use glp_core::{Engine, LpRunReport, ResilienceReport, RunOptions, WeightedLp};
 use glp_fraud::{FraudPipeline, WindowWorkload};
 use glp_graph::VertexId;
 use std::collections::HashMap;
@@ -19,13 +19,23 @@ use std::collections::HashMap;
 /// plain user ids. `as_of_batch` is bookkeeping stamped into the
 /// snapshot (how many micro-batches the window had absorbed when it was
 /// materialized).
+///
+/// LP runs behind [`ResilientEngine::gpu_ladder`], so a device fault
+/// mid-recluster retries from the failed iteration and a dead device
+/// degrades to the hybrid or host tier instead of losing the window —
+/// the returned [`ResilienceReport`] says what recovery work was done.
+/// Labels are engine-independent, so a degraded snapshot is byte-
+/// identical to the one the GPU would have published. `WeightedLp`
+/// checkpoints its label state, so every ladder rung is reachable; if
+/// every tier fails the recluster panics and the supervisor's
+/// crash/restart machinery takes over (see [`crate::supervisor`]).
 pub fn recluster(
     workload: &WindowWorkload,
     blacklist: &[u32],
     cfg: &ServeConfig,
     as_of_batch: u64,
     window_end: u32,
-) -> (VerdictSnapshot, LpRunReport) {
+) -> (VerdictSnapshot, LpRunReport, ResilienceReport) {
     // Seeds: black-listed users actually present in this window.
     let mut seeds: Vec<VertexId> = blacklist
         .iter()
@@ -35,12 +45,14 @@ pub fn recluster(
 
     let mut prog = WeightedLp::from_graph(&workload.graph, cfg.pipeline.lp_iterations)
         .with_retention(cfg.pipeline.retention);
-    let mut engine = GpuEngine::titan_v();
+    let mut engine = ResilientEngine::gpu_ladder();
     let opts = RunOptions::default()
         .with_max_iterations(cfg.pipeline.lp_iterations)
         .with_frontier(cfg.frontier)
         .with_shards(cfg.engine_shards);
-    let report = engine.run(&workload.graph, &mut prog, &opts);
+    let report = engine
+        .run(&workload.graph, &mut prog, &opts)
+        .unwrap_or_else(|e| panic!("recluster LP failed on every engine tier: {e}"));
 
     let pipe = FraudPipeline::new(cfg.pipeline.clone());
     let clusters = pipe.score(workload, &prog, &seeds);
@@ -72,7 +84,7 @@ pub fn recluster(
         lp_iterations: report.iterations,
         gpu_counters: report.gpu_counters,
     };
-    (snapshot, report)
+    (snapshot, report, engine.resilience().clone())
 }
 
 #[cfg(test)]
@@ -100,10 +112,14 @@ mod tests {
         let s = stream();
         let cfg = ServeConfig::default().with_window_days(20);
         let workload = WindowWorkload::build(&s, 20);
-        let (snap, report) = recluster(&workload, &s.blacklist, &cfg, 3, s.config.days);
+        let (snap, report, resilience) = recluster(&workload, &s.blacklist, &cfg, 3, s.config.days);
         assert_eq!(snap.as_of_batch, 3);
         assert_eq!(snap.window_end, s.config.days);
         assert!(report.iterations > 0);
+        // No faults injected: the run stays on the GPU tier untouched.
+        assert_eq!(resilience.tier, Some("GLP"));
+        assert_eq!(resilience.retries, 0);
+        assert_eq!(resilience.degradations, 0);
         assert!(snap.num_flagged() > 0, "rings should be flagged");
         // Flagged users are real ring members far more often than not.
         let hits = snap
@@ -127,8 +143,8 @@ mod tests {
         let s = stream();
         let cfg = ServeConfig::default().with_window_days(15);
         let workload = WindowWorkload::build(&s, 15);
-        let (a, _) = recluster(&workload, &s.blacklist, &cfg, 0, s.config.days);
-        let (b, _) = recluster(&workload, &s.blacklist, &cfg, 7, s.config.days);
+        let (a, _, _) = recluster(&workload, &s.blacklist, &cfg, 0, s.config.days);
+        let (b, _, _) = recluster(&workload, &s.blacklist, &cfg, 7, s.config.days);
         assert_eq!(a.canonical_bytes(), b.canonical_bytes());
     }
 }

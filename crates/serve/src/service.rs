@@ -182,6 +182,7 @@ impl ServiceCore {
             staleness_batches: staleness,
             snapshot_epoch: self.verdicts.epoch(),
             last_panic: self.health.last_panic(),
+            engine_tier: self.health.engine_tier(),
         }
     }
 
@@ -277,9 +278,21 @@ impl ServiceCore {
                 ..VerdictSnapshot::default()
             }
         } else {
-            let (snapshot, report) =
+            let (snapshot, report, resilience) =
                 recluster(&workload, &self.blacklist, &self.cfg, as_of, window_end);
             self.telemetry.merge_gpu(&report.gpu_counters);
+            self.telemetry
+                .engine_retries
+                .fetch_add(u64::from(resilience.retries), Ordering::Relaxed);
+            self.telemetry
+                .engine_degradations
+                .fetch_add(u64::from(resilience.degradations), Ordering::Relaxed);
+            self.telemetry
+                .iterations_salvaged
+                .fetch_add(resilience.iterations_salvaged, Ordering::Relaxed);
+            if let Some(tier) = resilience.tier {
+                self.health.set_engine_tier(tier);
+            }
             snapshot
         };
         self.verdicts.publish(snapshot);

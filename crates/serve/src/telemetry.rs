@@ -148,6 +148,15 @@ pub struct Telemetry {
     /// Checkpoint writes that failed (the service keeps serving; the
     /// previous checkpoint on disk stays intact).
     pub checkpoint_failures: AtomicU64,
+    /// Same-tier engine retries after transient device faults, summed
+    /// over every recluster's LP run.
+    pub engine_retries: AtomicU64,
+    /// Degradation-ladder steps the recluster engine took after
+    /// persistent faults (GPU → hybrid → host).
+    pub engine_degradations: AtomicU64,
+    /// Completed LP iterations resumed instead of recomputed after a
+    /// fault (see [`ResilienceReport`](glp_core::ResilienceReport)).
+    pub iterations_salvaged: AtomicU64,
     /// Submit → batch-apply latency per transaction (ns).
     pub ingest_lag: Histogram,
     /// Applied micro-batch sizes (transactions).
@@ -206,7 +215,7 @@ impl Telemetry {
 
     /// Checkpoint counter order. Append-only: new counters go at the
     /// end so old checkpoints keep restoring.
-    fn counter_cells(&self) -> [&AtomicU64; 11] {
+    fn counter_cells(&self) -> [&AtomicU64; 14] {
         [
             &self.ingested,
             &self.shed_dropped_oldest,
@@ -219,6 +228,9 @@ impl Telemetry {
             &self.queries,
             &self.checkpoints_written,
             &self.checkpoint_failures,
+            &self.engine_retries,
+            &self.engine_degradations,
+            &self.iterations_salvaged,
         ]
     }
 
@@ -240,6 +252,9 @@ impl Telemetry {
             "worker_restarts": self.worker_restarts.load(Ordering::Relaxed),
             "checkpoints_written": self.checkpoints_written.load(Ordering::Relaxed),
             "checkpoint_failures": self.checkpoint_failures.load(Ordering::Relaxed),
+            "engine_retries": self.engine_retries.load(Ordering::Relaxed),
+            "engine_degradations": self.engine_degradations.load(Ordering::Relaxed),
+            "iterations_salvaged": self.iterations_salvaged.load(Ordering::Relaxed),
             "ingest_lag_ns": self.ingest_lag.to_json(),
             "batch_size": self.batch_size.to_json(),
             "recluster_wall_ns": self.recluster_wall.to_json(),
@@ -343,6 +358,9 @@ mod tests {
             "worker_restarts",
             "checkpoints_written",
             "checkpoint_failures",
+            "engine_retries",
+            "engine_degradations",
+            "iterations_salvaged",
             "batches",
             "reclusters",
             "queries",

@@ -126,7 +126,9 @@ fn main() {
 
     for max_hops in [1, 2, 4] {
         let mut prog = HopCappedLp::new(graph.num_vertices(), &seeds, max_hops);
-        let report = GpuEngine::titan_v().run(&graph, &mut prog, &RunOptions::default());
+        let report = GpuEngine::titan_v()
+            .run(&graph, &mut prog, &RunOptions::default())
+            .expect("healthy device");
         let labeled = prog
             .labels()
             .iter()

@@ -44,13 +44,17 @@ fn main() {
     });
 
     // 2. The pipeline with the legacy in-house distributed LP.
-    let legacy = pipe.run(
-        &stream,
-        &mut InHouseLp::taobao_scaled(1_000.0),
-        &RunOptions::default(),
-    );
+    let legacy = pipe
+        .run(
+            &stream,
+            &mut InHouseLp::taobao_scaled(1_000.0),
+            &RunOptions::default(),
+        )
+        .expect("healthy device");
     // 3. The same pipeline with GLP.
-    let glp = pipe.run(&stream, &mut GpuEngine::titan_v(), &RunOptions::default());
+    let glp = pipe
+        .run(&stream, &mut GpuEngine::titan_v(), &RunOptions::default())
+        .expect("healthy device");
 
     println!(
         "\nwindow graph: {} vertices, {} edges, {} seeds present",

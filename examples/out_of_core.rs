@@ -32,7 +32,7 @@ fn main() {
     let opts = RunOptions::default();
     let mut roomy = HybridEngine::new(Device::titan_v());
     let mut p1 = ClassicLp::new(graph.num_vertices());
-    let r1 = roomy.run(&graph, &mut p1, &opts);
+    let r1 = roomy.run(&graph, &mut p1, &opts).expect("healthy device");
     println!(
         "\nroomy device   : in-core, {:.3} ms modeled, transfer share {:.1}%",
         r1.modeled_seconds * 1e3,
@@ -48,7 +48,7 @@ fn main() {
         tiny.plan_chunks(&graph)
     );
     let mut p2 = ClassicLp::new(graph.num_vertices());
-    let r2 = tiny.run(&graph, &mut p2, &opts);
+    let r2 = tiny.run(&graph, &mut p2, &opts).expect("healthy device");
     println!(
         "                 streamed, {:.3} ms modeled, transfer share {:.1}%",
         r2.modeled_seconds * 1e3,
@@ -60,7 +60,7 @@ fn main() {
     // 3. Two GPUs.
     let mut multi = MultiGpuEngine::titan_v(2);
     let mut p3 = ClassicLp::new(graph.num_vertices());
-    let r3 = multi.run(&graph, &mut p3, &opts);
+    let r3 = multi.run(&graph, &mut p3, &opts).expect("healthy device");
     assert_eq!(p1.labels(), p3.labels());
     println!(
         "two GPUs       : {:.3} ms modeled ({:.2}x vs one roomy GPU)",

@@ -34,7 +34,9 @@ fn main() {
     //    neighbor label) on a modeled Titan V.
     let mut engine = GpuEngine::titan_v();
     let mut program = ClassicLp::new(graph.num_vertices());
-    let report = engine.run(&graph, &mut program, &RunOptions::default());
+    let report = engine
+        .run(&graph, &mut program, &RunOptions::default())
+        .expect("healthy device");
 
     // 3. What it found.
     let labels = program.labels();

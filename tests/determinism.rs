@@ -19,7 +19,7 @@ fn shard_count_does_not_change_results_or_modeled_time() {
         let opts = RunOptions::default().with_shards(shards);
         let mut engine = GpuEngine::titan_v();
         let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 12);
-        let report = engine.run(&g, &mut prog, &opts);
+        let report = engine.run(&g, &mut prog, &opts).unwrap();
         outcomes.push((prog.labels().to_vec(), report.modeled_seconds));
     }
     for w in outcomes.windows(2) {
@@ -47,7 +47,7 @@ fn repeated_runs_are_bit_identical() {
     let run = || {
         let mut engine = GpuEngine::titan_v();
         let mut prog = Slp::new(g.num_vertices(), 0xABCD);
-        let report = engine.run(&g, &mut prog, &RunOptions::default());
+        let report = engine.run(&g, &mut prog, &RunOptions::default()).unwrap();
         (prog.labels().to_vec(), report.modeled_seconds)
     };
     let (l1, t1) = run();

@@ -31,7 +31,7 @@ fn assert_all_engines_agree<P: LpProgram + Clone>(name: &str, g: &Graph, proto: 
     let opts = RunOptions::default();
     let reference = {
         let mut p = proto.clone();
-        GpuEngine::titan_v().run(g, &mut p, &opts);
+        GpuEngine::titan_v().run(g, &mut p, &opts).unwrap();
         p.labels().to_vec()
     };
     let check = |engine_name: &str, labels: &[u32]| {
@@ -44,44 +44,54 @@ fn assert_all_engines_agree<P: LpProgram + Clone>(name: &str, g: &Graph, proto: 
 
     for strategy in [MflStrategy::Global, MflStrategy::Smem] {
         let mut p = proto.clone();
-        GpuEngine::titan_v().run(g, &mut p, &opts.clone().with_strategy(strategy));
+        GpuEngine::titan_v()
+            .run(g, &mut p, &opts.clone().with_strategy(strategy))
+            .unwrap();
         check(&format!("GpuEngine({strategy:?})"), p.labels());
     }
     {
         // A device too small for the graph: streaming path.
         let mem = (g.num_vertices() as u64) * 20 + g.size_bytes() / 3;
         let mut p = proto.clone();
-        HybridEngine::new(Device::new(DeviceConfig::tiny(mem))).run(g, &mut p, &opts);
+        HybridEngine::new(Device::new(DeviceConfig::tiny(mem)))
+            .run(g, &mut p, &opts)
+            .unwrap();
         check("HybridEngine(streamed)", p.labels());
     }
     for devices in [2, 3] {
         let mut p = proto.clone();
-        MultiGpuEngine::titan_v(devices).run(g, &mut p, &opts);
+        MultiGpuEngine::titan_v(devices)
+            .run(g, &mut p, &opts)
+            .unwrap();
         check(&format!("MultiGpuEngine({devices})"), p.labels());
     }
     {
         let mut p = proto.clone();
-        CpuLp::omp(CpuLpConfig::default()).run(g, &mut p, &opts);
+        CpuLp::omp(CpuLpConfig::default())
+            .run(g, &mut p, &opts)
+            .unwrap();
         check("OMP", p.labels());
     }
     {
         let mut p = proto.clone();
-        CpuLp::ligra(CpuLpConfig::default()).run(g, &mut p, &opts);
+        CpuLp::ligra(CpuLpConfig::default())
+            .run(g, &mut p, &opts)
+            .unwrap();
         check("Ligra", p.labels());
     }
     {
         let mut p = proto.clone();
-        GSortLp::titan_v().run(g, &mut p, &opts);
+        GSortLp::titan_v().run(g, &mut p, &opts).unwrap();
         check("G-Sort", p.labels());
     }
     {
         let mut p = proto.clone();
-        GHashLp::titan_v().run(g, &mut p, &opts);
+        GHashLp::titan_v().run(g, &mut p, &opts).unwrap();
         check("G-Hash", p.labels());
     }
     {
         let mut p = proto.clone();
-        InHouseLp::taobao().run(g, &mut p, &opts);
+        InHouseLp::taobao().run(g, &mut p, &opts).unwrap();
         check("InHouse", p.labels());
     }
 }
@@ -125,9 +135,13 @@ fn seeded_lp_agrees_everywhere() {
 fn tigergraph_agrees_on_classic() {
     for (name, g) in graphs() {
         let mut reference = ClassicLp::with_max_iterations(g.num_vertices(), 15);
-        GpuEngine::titan_v().run(&g, &mut reference, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut reference, &RunOptions::default())
+            .unwrap();
         let mut p = ClassicLp::with_max_iterations(g.num_vertices(), 15);
-        CpuLp::tigergraph(CpuLpConfig::default()).run(&g, &mut p, &RunOptions::default());
+        CpuLp::tigergraph(CpuLpConfig::default())
+            .run(&g, &mut p, &RunOptions::default())
+            .unwrap();
         assert_eq!(p.labels(), reference.labels(), "TG disagrees on {name}");
     }
 }

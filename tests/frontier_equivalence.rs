@@ -102,7 +102,7 @@ fn frontier_is_bit_identical_to_dense_for_every_variant_and_engine() {
                         .find(|(v, _)| *v == vname)
                         .unwrap()
                         .1;
-                    let report = engine.run(&g, prog.as_mut(), &opts);
+                    let report = engine.run(&g, prog.as_mut(), &opts).unwrap();
                     traces.push((
                         prog.labels().to_vec(),
                         report.changed_per_iteration.clone(),
@@ -140,7 +140,7 @@ fn sparse_variants_do_less_work_under_auto() {
                 .find(|(v, _)| *v == vname)
                 .unwrap()
                 .1;
-            let report = GpuEngine::titan_v().run(&g, prog.as_mut(), &opts);
+            let report = GpuEngine::titan_v().run(&g, prog.as_mut(), &opts).unwrap();
             report.active_per_iteration.iter().sum()
         };
         let dense = total_active(FrontierMode::Dense);

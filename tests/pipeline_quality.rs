@@ -21,11 +21,9 @@ fn stream() -> TxStream {
 
 #[test]
 fn pipeline_detects_rings_with_high_quality() {
-    let report = FraudPipeline::new(PipelineConfig::default()).run(
-        &stream(),
-        &mut GpuEngine::titan_v(),
-        &RunOptions::default(),
-    );
+    let report = FraudPipeline::new(PipelineConfig::default())
+        .run(&stream(), &mut GpuEngine::titan_v(), &RunOptions::default())
+        .unwrap();
     assert!(report.precision > 0.8, "precision {}", report.precision);
     assert!(report.recall > 0.8, "recall {}", report.recall);
     assert!(
@@ -39,8 +37,12 @@ fn pipeline_detects_rings_with_high_quality() {
 fn detection_is_engine_independent() {
     let s = stream();
     let pipe = FraudPipeline::new(PipelineConfig::default());
-    let a = pipe.run(&s, &mut GpuEngine::titan_v(), &RunOptions::default());
-    let b = pipe.run(&s, &mut InHouseLp::taobao(), &RunOptions::default());
+    let a = pipe
+        .run(&s, &mut GpuEngine::titan_v(), &RunOptions::default())
+        .unwrap();
+    let b = pipe
+        .run(&s, &mut InHouseLp::taobao(), &RunOptions::default())
+        .unwrap();
     let users = |r: &glp_suite::fraud::PipelineReport| -> Vec<Vec<u32>> {
         r.flagged.iter().map(|c| c.users.clone()).collect()
     };
@@ -54,12 +56,16 @@ fn lp_dominates_with_inhouse_but_not_with_glp() {
     // solution; GLP collapses that share.
     let s = stream();
     let pipe = FraudPipeline::new(PipelineConfig::default());
-    let legacy = pipe.run(
-        &s,
-        &mut InHouseLp::taobao_scaled(1_000.0),
-        &RunOptions::default(),
-    );
-    let glp = pipe.run(&s, &mut GpuEngine::titan_v(), &RunOptions::default());
+    let legacy = pipe
+        .run(
+            &s,
+            &mut InHouseLp::taobao_scaled(1_000.0),
+            &RunOptions::default(),
+        )
+        .unwrap();
+    let glp = pipe
+        .run(&s, &mut GpuEngine::titan_v(), &RunOptions::default())
+        .unwrap();
     assert!(
         legacy.stages.lp_fraction() > 0.6,
         "legacy LP share {}",
@@ -82,11 +88,9 @@ fn lp_dominates_with_inhouse_but_not_with_glp() {
 #[test]
 fn flagged_clusters_are_rings_not_giants() {
     let s = stream();
-    let report = FraudPipeline::new(PipelineConfig::default()).run(
-        &s,
-        &mut GpuEngine::titan_v(),
-        &RunOptions::default(),
-    );
+    let report = FraudPipeline::new(PipelineConfig::default())
+        .run(&s, &mut GpuEngine::titan_v(), &RunOptions::default())
+        .unwrap();
     for c in &report.flagged {
         assert!(
             c.users.len() <= 3 * 18,

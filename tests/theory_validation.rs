@@ -31,7 +31,7 @@ fn run_with_geometry(g: &Graph, ht_slots: usize, cms_depth: usize) -> LpRunRepor
     };
     let mut engine = GpuEngine::titan_v();
     let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 10);
-    engine.run(g, &mut prog, &opts)
+    engine.run(g, &mut prog, &opts).unwrap()
 }
 
 #[test]
@@ -80,7 +80,7 @@ fn later_iterations_stop_falling_back() {
     let g = dense_graph();
     let mut engine = GpuEngine::titan_v();
     let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 30);
-    let report = engine.run(&g, &mut prog, &RunOptions::default());
+    let report = engine.run(&g, &mut prog, &RunOptions::default()).unwrap();
     assert!(
         report.fallback_rate() < 0.10,
         "rate {} across {} high-degree vertex-iterations",

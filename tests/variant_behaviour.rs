@@ -22,7 +22,9 @@ fn classic_lp_recovers_planted_communities() {
         ..Default::default()
     });
     let mut prog = ClassicLp::new(g.num_vertices());
-    GpuEngine::titan_v().run(&g, &mut prog, &RunOptions::default());
+    GpuEngine::titan_v()
+        .run(&g, &mut prog, &RunOptions::default())
+        .unwrap();
     let score = nmi(prog.labels(), &truth);
     assert!(score > 0.9, "NMI {score}");
 }
@@ -38,7 +40,9 @@ fn llp_gamma_controls_resolution() {
     });
     let count_at = |gamma: f64| {
         let mut p = Llp::new(g.num_vertices(), gamma);
-        GpuEngine::titan_v().run(&g, &mut p, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut p, &RunOptions::default())
+            .unwrap();
         glp_suite::core::community::num_communities(p.labels())
     };
     let coarse = count_at(0.0);
@@ -59,7 +63,9 @@ fn slp_detects_overlapping_membership() {
     let mut found_overlap = false;
     for seed in [1u64, 2, 3, 4, 5] {
         let mut prog = Slp::with_params(g.num_vertices(), 5, 0.05, 40, seed);
-        GpuEngine::titan_v().run(&g, &mut prog, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut prog, &RunOptions::default())
+            .unwrap();
         if bridge
             .iter()
             .any(|&v| prog.overlapping_labels(v).len() >= 2)
@@ -84,12 +90,16 @@ fn capacity_lp_balances_where_classic_collapses() {
         ..Default::default()
     });
     let mut classic = ClassicLp::new(g.num_vertices());
-    GpuEngine::titan_v().run(&g, &mut classic, &RunOptions::default());
+    GpuEngine::titan_v()
+        .run(&g, &mut classic, &RunOptions::default())
+        .unwrap();
     let classic_max = community_sizes(classic.labels())[0];
 
     let cap = 256;
     let mut balanced = CapacityLp::new(g.num_vertices(), cap);
-    GpuEngine::titan_v().run(&g, &mut balanced, &RunOptions::default());
+    GpuEngine::titan_v()
+        .run(&g, &mut balanced, &RunOptions::default())
+        .unwrap();
     assert!(balanced.max_volume() <= cap);
     assert!(
         (balanced.max_volume() as usize) < classic_max,
@@ -111,7 +121,9 @@ fn risk_weighting_reassigns_contested_territory() {
 
     let run = |risk_a: f32, risk_b: f32| -> usize {
         let mut p = RiskWeightedLp::new(n, &[(0, risk_a), (10, risk_b)], 30);
-        GpuEngine::titan_v().run(&g, &mut p, &RunOptions::default());
+        GpuEngine::titan_v()
+            .run(&g, &mut p, &RunOptions::default())
+            .unwrap();
         p.labels().iter().filter(|&&l| l == 0).count()
     };
     let balanced = run(1.0, 1.0);
@@ -165,7 +177,9 @@ fn iteration_time_trace_is_consistent_and_decays() {
     let g = b.build();
 
     let mut prog = ClassicLp::with_max_iterations(n, 30);
-    let report = GpuEngine::titan_v().run(&g, &mut prog, &RunOptions::default());
+    let report = GpuEngine::titan_v()
+        .run(&g, &mut prog, &RunOptions::default())
+        .unwrap();
     assert_eq!(report.iteration_seconds.len(), report.iterations as usize);
     let sum: f64 = report.iteration_seconds.iter().sum();
     assert!(
