@@ -57,7 +57,11 @@ impl Engine for GHashLp {
             frontier: FrontierMode::Dense,
             ..opts.clone()
         };
-        self.inner.run(g, prog, &opts)
+        let mut report = self.inner.run(g, prog, &opts)?;
+        // The inner engine logged its launches under "GLP"; this wrapper
+        // reports them under its own name.
+        report.kernel_profile = report.kernel_profile.retagged(self.name());
+        Ok(report)
     }
 }
 

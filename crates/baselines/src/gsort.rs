@@ -20,6 +20,7 @@ use glp_core::engine::{BestLabel, Decision, Engine, EngineError, RunOptions};
 use glp_core::{LpProgram, LpRunReport};
 use glp_gpusim::{Device, KernelCtx, WARP_SIZE};
 use glp_graph::{Graph, Label, VertexId};
+use glp_trace::{Category, Clock, KernelProfile};
 use std::time::Instant;
 
 /// Segments at most this long sort in one block-local pass; longer ones
@@ -90,8 +91,20 @@ impl Engine for GSortLp {
 
         // G-Sort needs graph + labels + the |E|-sized NL and weight arrays.
         let footprint = g.size_bytes() + (n as u64) * 20 + e * 12;
+        self.device.set_tracer(opts.tracer.clone());
+        let log_mark = self.device.kernel_log().len();
         let t0 = self.device.elapsed_seconds();
-        self.device.upload(footprint)?;
+        let trace_mark = opts.tracer.as_ref().map(|t| {
+            let mark = t.open_depth();
+            t.begin(Category::Run, self.name(), Clock::Modeled, t0);
+            mark
+        });
+        if let Err(e) = self.device.upload(footprint) {
+            if let (Some(t), Some(m)) = (&opts.tracer, trace_mark) {
+                t.fail_open_to(m, self.device.elapsed_seconds());
+            }
+            return Err(e.into());
+        }
         let mut transfer_s = self.device.elapsed_seconds() - t0;
 
         let mut spoken: Vec<Label> = vec![0; n];
@@ -108,6 +121,15 @@ impl Engine for GSortLp {
         let device = &mut self.device;
         let outcome = (|| -> Result<(), EngineError> {
             for iteration in 0..opts.max_iterations {
+                if let Some(t) = &opts.tracer {
+                    t.begin_arg(
+                        Category::Iteration,
+                        "iteration",
+                        Clock::Modeled,
+                        device.elapsed_seconds(),
+                        u64::from(iteration),
+                    );
+                }
                 prog.begin_iteration(iteration);
                 for (v, slot) in spoken.iter_mut().enumerate() {
                     *slot = prog.pick_label(v as VertexId);
@@ -249,6 +271,9 @@ impl Engine for GSortLp {
                 report.changed_per_iteration.push(changed);
                 report.active_per_iteration.push(scheduled);
                 report.iterations = iteration + 1;
+                if let Some(t) = &opts.tracer {
+                    t.end(device.elapsed_seconds());
+                }
                 if prog.finished(iteration, changed) {
                     break;
                 }
@@ -262,12 +287,25 @@ impl Engine for GSortLp {
             transfer_s += device.elapsed_seconds() - t1;
         }
         device.free(footprint);
-        outcome?;
+        if let Err(e) = outcome {
+            if let (Some(t), Some(m)) = (&opts.tracer, trace_mark) {
+                t.fail_open_to(m, self.device.elapsed_seconds());
+            }
+            return Err(e);
+        }
+        if let Some(t) = &opts.tracer {
+            t.end(self.device.elapsed_seconds());
+        }
 
         report.modeled_seconds = self.device.elapsed_seconds() - t0;
         report.transfer_seconds = transfer_s;
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
         report.gpu_counters = *self.device.totals();
+        let mut profile = KernelProfile::new();
+        for rec in &self.device.kernel_log()[log_mark..] {
+            profile.record(self.name(), rec.name, rec.seconds);
+        }
+        report.kernel_profile = profile;
         Ok(report)
     }
 }

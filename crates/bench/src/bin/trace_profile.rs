@@ -1,0 +1,164 @@
+//! trace_profile — end-to-end span trace and kernel profile of one run.
+//!
+//! Runs classic LP traced on the single-GPU engine (checkpointing on, so
+//! snapshot kernels appear), exports the Chrome trace-event JSON as
+//! `BENCH_trace.json` (load it in `chrome://tracing` or Perfetto), and
+//! prints the per-kernel aggregation table by engine tier. An untraced
+//! hybrid run of the same workload contributes a second tier to the
+//! table — and doubles as a cross-engine label check.
+//!
+//! The run self-asserts the observability contract:
+//!   1. the trace is structurally well-formed (unique ids, real parents,
+//!      same-clock interval containment) with nothing dropped;
+//!   2. the span timeline reconciles with the cost model to 1e-9 —
+//!      kernel + transfer span seconds sum to `modeled_seconds`,
+//!      `barrier_snapshot` spans to `snapshot_seconds`, transfer spans to
+//!      `transfer_seconds`, and `LpRunReport::kernel_profile` totals to
+//!      the kernel spans (simulated time is the one timeline, recorded
+//!      once);
+//!   3. the written JSON parses back and carries one event per launch.
+//!
+//! Usage: `cargo run -p glp-bench --release --bin trace_profile
+//!         [--smoke] [--vertices N] [--iters N] [--json BENCH_trace.json]`
+//!
+//! `--smoke` shrinks the workload for CI while keeping every assertion.
+
+use glp_bench::table::{fmt_seconds, print_table};
+use glp_bench::Args;
+use glp_core::engine::{BarrierHook, GpuEngine, HybridEngine};
+use glp_core::{ClassicLp, Engine, LpProgram, RunOptions};
+use glp_graph::gen::{community_powerlaw, CommunityPowerLawConfig};
+use glp_trace::{Category, KernelProfile, Tracer};
+
+const EPS: f64 = 1e-9;
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+    let (d_verts, d_iters) = if smoke { (2_000, 12) } else { (20_000, 30) };
+    let n: usize = args.get("vertices", d_verts);
+    let iters: u32 = args.get("iters", d_iters);
+    let json_path = args.get_str("json").unwrap_or("BENCH_trace.json");
+
+    let g = community_powerlaw(&CommunityPowerLawConfig {
+        num_vertices: n,
+        avg_degree: 12.0,
+        ..Default::default()
+    });
+    eprintln!(
+        "... workload: power-law, {} vertices, {} edges, {iters} iterations",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let tracer = Tracer::new();
+    let opts = RunOptions::default()
+        .with_max_iterations(iters)
+        // Checkpointing on: barrier_snapshot kernels must show up as
+        // spans and reconcile against snapshot_seconds.
+        .with_barrier_hook(BarrierHook::new(|_| {}))
+        .with_tracer(tracer.clone());
+    let mut engine = GpuEngine::titan_v();
+    let mut prog = ClassicLp::with_max_iterations(n, iters);
+    let report = engine.run(&g, &mut prog, &opts).expect("healthy device");
+
+    // Contract 1: structurally well-formed, nothing dropped or left open.
+    let trace = tracer.finish();
+    trace
+        .check_well_formed(EPS)
+        .expect("trace must be well-formed");
+    assert_eq!(trace.dropped, 0, "trace overflowed the sink bound");
+    assert_eq!(tracer.open_spans(), 0, "spans left open after the run");
+
+    // Contract 2: the span timeline and the cost model agree to 1e-9.
+    let kernel_s = trace.category_seconds(Category::Kernel);
+    let transfer_s = trace.category_seconds(Category::Transfer);
+    let snapshot_s = trace.total_seconds("barrier_snapshot");
+    assert!(report.snapshots_taken > 0, "checkpointing never engaged");
+    assert!(
+        (kernel_s + transfer_s - report.modeled_seconds).abs() < EPS,
+        "kernel {kernel_s} + transfer {transfer_s} != modeled {}",
+        report.modeled_seconds
+    );
+    assert!(
+        (snapshot_s - report.snapshot_seconds).abs() < EPS,
+        "snapshot spans {snapshot_s} != charged {}",
+        report.snapshot_seconds
+    );
+    assert!(
+        (transfer_s - report.transfer_seconds).abs() < EPS,
+        "transfer spans {transfer_s} != charged {}",
+        report.transfer_seconds
+    );
+    assert!(
+        (report.kernel_profile.total_seconds() - kernel_s).abs() < EPS,
+        "kernel profile disagrees with kernel spans"
+    );
+    eprintln!(
+        "... reconciled: modeled {} = kernels {} + transfers {}",
+        fmt_seconds(report.modeled_seconds),
+        fmt_seconds(kernel_s),
+        fmt_seconds(transfer_s)
+    );
+
+    // Second tier for the table (untraced — the profile is filled from
+    // the kernel log either way) and a cross-engine answer check.
+    let mut hybrid = HybridEngine::titan_v();
+    let mut hybrid_prog = ClassicLp::with_max_iterations(n, iters);
+    let hybrid_report = hybrid
+        .run(
+            &g,
+            &mut hybrid_prog,
+            &RunOptions::default().with_max_iterations(iters),
+        )
+        .expect("healthy hybrid device");
+    assert_eq!(
+        prog.labels(),
+        hybrid_prog.labels(),
+        "hybrid run diverged from the GPU run"
+    );
+
+    let mut profile = KernelProfile::new();
+    profile.merge(&report.kernel_profile);
+    profile.merge(&hybrid_report.kernel_profile);
+
+    // Contract 3: the Chrome export is real JSON with one event per
+    // recorded launch.
+    let json = trace.chrome_json();
+    std::fs::write(json_path, &json).expect("write json");
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(json_path).expect("read json"))
+            .expect("BENCH_trace.json must parse");
+    let events = parsed["traceEvents"].as_array().expect("traceEvents");
+    let kernel_events = events
+        .iter()
+        .filter(|e| e["cat"].as_str() == Some("kernel"))
+        .count() as u64;
+    let launches: u64 = report.kernel_profile.rows().map(|(_, _, r)| r.count).sum();
+    assert_eq!(
+        kernel_events, launches,
+        "one kernel span per launch in the export"
+    );
+    eprintln!("... wrote {json_path} ({} events)", events.len());
+
+    let rows: Vec<Vec<String>> = profile
+        .rows()
+        .map(|(tier, kernel, row)| {
+            vec![
+                tier.to_string(),
+                kernel.to_string(),
+                row.count.to_string(),
+                fmt_seconds(row.total_s),
+                fmt_seconds(row.p50_s()),
+                fmt_seconds(row.max_s),
+            ]
+        })
+        .collect();
+    print_table(&["tier", "kernel", "count", "total", "p50", "max"], &rows);
+    println!(
+        "\ntrace: {} events, {} modeled, snapshots {}",
+        trace.events.len(),
+        fmt_seconds(report.modeled_seconds),
+        report.snapshots_taken
+    );
+}

@@ -10,8 +10,9 @@ use super::options::BarrierEvent;
 use super::{Decision, Engine, EngineError, RunOptions};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
-use glp_gpusim::{Device, DeviceError, KernelCtx};
+use glp_gpusim::{Device, DeviceError, KernelCtx, KernelRecord};
 use glp_graph::{Graph, Label, VertexId};
+use glp_trace::{Category, Clock, KernelProfile, Tracer};
 use std::borrow::Cow;
 use std::time::Instant;
 
@@ -72,11 +73,17 @@ impl Engine for GpuEngine {
         let n = g.num_vertices();
         let shards = opts.resolve_shards();
         let buckets = Buckets::build(g, opts.strategy, opts.thresholds);
+        self.device.set_tracer(opts.tracer.clone());
+        let log_mark = self.device.kernel_log().len();
 
         // Upload: CSR + label state + spoken array + decision array.
         let footprint = g.size_bytes() + (n as u64) * (4 + 4 + 12);
         let t0 = self.device.elapsed_seconds();
-        self.device.upload(footprint)?;
+        let trace_mark = trace_run_begin(&opts.tracer, self.name(), t0);
+        if let Err(e) = self.device.upload(footprint) {
+            trace_fail(&opts.tracer, trace_mark, self.device.elapsed_seconds());
+            return Err(e.into());
+        }
         let mut transfer_s = self.device.elapsed_seconds() - t0;
 
         let mut spoken: Vec<Label> = vec![0; n];
@@ -94,6 +101,15 @@ impl Engine for GpuEngine {
         let outcome = (|| -> Result<(), EngineError> {
             for iteration in opts.start_iteration..opts.max_iterations {
                 let iter_start = device.elapsed_seconds();
+                if let Some(t) = &opts.tracer {
+                    t.begin_arg(
+                        Category::Iteration,
+                        "iteration",
+                        Clock::Modeled,
+                        iter_start,
+                        u64::from(iteration),
+                    );
+                }
                 prog.begin_iteration(iteration);
                 pick_labels(device, &mut spoken, 0, prog, shards)?;
                 decisions.iter_mut().for_each(|d| *d = None);
@@ -108,6 +124,15 @@ impl Engine for GpuEngine {
                 };
                 let scheduled = filtered.scheduled() as u64;
                 report.active_per_iteration.push(scheduled);
+                if let Some(t) = &opts.tracer {
+                    t.begin_arg(
+                        Category::Dispatch,
+                        "dispatch",
+                        Clock::Modeled,
+                        device.elapsed_seconds(),
+                        scheduled,
+                    );
+                }
                 let stats = propagate(
                     device,
                     g,
@@ -118,6 +143,9 @@ impl Engine for GpuEngine {
                     shards,
                     &mut decisions,
                 )?;
+                if let Some(t) = &opts.tracer {
+                    t.end(device.elapsed_seconds());
+                }
                 report.smem_fallbacks += stats.fallbacks;
                 report.smem_vertices += stats.smem_vertices;
                 let changed = apply_updates(device, &decisions, prog)?;
@@ -130,6 +158,14 @@ impl Engine for GpuEngine {
                     charge_snapshot(device, n as u64)?;
                     report.snapshot_seconds += device.elapsed_seconds() - t;
                     report.snapshots_taken += 1;
+                    if let Some(tr) = &opts.tracer {
+                        tr.instant(
+                            Category::Resilience,
+                            "snapshot",
+                            Clock::Modeled,
+                            device.elapsed_seconds(),
+                        );
+                    }
                     hook.fire(&BarrierEvent {
                         iteration,
                         changed,
@@ -143,6 +179,9 @@ impl Engine for GpuEngine {
                     .iteration_seconds
                     .push(device.elapsed_seconds() - iter_start);
                 report.iterations = iteration + 1;
+                if let Some(t) = &opts.tracer {
+                    t.end(device.elapsed_seconds());
+                }
                 if prog.finished(iteration, changed) {
                     break;
                 }
@@ -155,16 +194,57 @@ impl Engine for GpuEngine {
             let t1 = self.device.elapsed_seconds();
             self.device.download(n as u64 * 4);
             transfer_s += self.device.elapsed_seconds() - t1;
+            if let Some(t) = &opts.tracer {
+                t.end(self.device.elapsed_seconds());
+            }
         }
         self.device.free(footprint);
 
-        outcome?;
+        if let Err(e) = outcome {
+            trace_fail(&opts.tracer, trace_mark, self.device.elapsed_seconds());
+            return Err(e);
+        }
+        report.kernel_profile =
+            profile_from_log(self.name(), &self.device.kernel_log()[log_mark..]);
         report.modeled_seconds = self.device.elapsed_seconds() - start_elapsed;
         report.transfer_seconds = transfer_s;
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
         report.gpu_counters = *self.device.totals();
         Ok(report)
     }
+}
+
+/// Opens the run-level span (when tracing) and returns the unwind mark the
+/// error path hands back to [`trace_fail`].
+pub(crate) fn trace_run_begin(
+    tracer: &Option<Tracer>,
+    tier: &'static str,
+    start_s: f64,
+) -> Option<usize> {
+    tracer.as_ref().map(|t| {
+        let mark = t.open_depth();
+        t.begin(Category::Run, tier, Clock::Modeled, start_s);
+        mark
+    })
+}
+
+/// Error-path unwind: closes every span the run opened, innermost-first,
+/// flagged as errors, so a recovery layer above can parent its
+/// retry/degrade events to the failed iteration span.
+pub(crate) fn trace_fail(tracer: &Option<Tracer>, mark: Option<usize>, at_s: f64) {
+    if let (Some(t), Some(m)) = (tracer, mark) {
+        t.fail_open_to(m, at_s);
+    }
+}
+
+/// Aggregates one run's slice of the device kernel log into a
+/// [`KernelProfile`] row set for `tier`.
+pub(crate) fn profile_from_log(tier: &'static str, log: &[KernelRecord]) -> KernelProfile {
+    let mut profile = KernelProfile::new();
+    for rec in log {
+        profile.record(tier, rec.name, rec.seconds);
+    }
+    profile
 }
 
 /// The frontier a run starts from: saturated for a fresh run, the caller's

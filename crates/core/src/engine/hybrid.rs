@@ -12,7 +12,8 @@
 
 use super::dispatch::Buckets;
 use super::gpu::{
-    apply_updates, charge_snapshot, initial_active, pick_labels, propagate, recompute_active,
+    apply_updates, charge_snapshot, initial_active, pick_labels, profile_from_log, propagate,
+    recompute_active, trace_fail, trace_run_begin,
 };
 use super::options::BarrierEvent;
 use super::{Decision, Engine, EngineError, RunOptions};
@@ -21,6 +22,7 @@ use crate::report::LpRunReport;
 use glp_gpusim::Device;
 use glp_graph::partition::partition_by_edges;
 use glp_graph::{Graph, Label};
+use glp_trace::{Category, Clock};
 use std::time::Instant;
 
 /// Adjacency streams in a delta-compressed layout (neighbor-id gaps,
@@ -113,8 +115,14 @@ impl Engine for HybridEngine {
         } else {
             resident
         };
+        self.device.set_tracer(opts.tracer.clone());
+        let log_mark = self.device.kernel_log().len();
         let t0 = self.device.elapsed_seconds();
-        self.device.upload(footprint)?;
+        let trace_mark = trace_run_begin(&opts.tracer, self.name(), t0);
+        if let Err(e) = self.device.upload(footprint) {
+            trace_fail(&opts.tracer, trace_mark, self.device.elapsed_seconds());
+            return Err(e.into());
+        }
         let mut transfer_s = self.device.elapsed_seconds() - t0;
         let start_elapsed = t0;
 
@@ -129,6 +137,15 @@ impl Engine for HybridEngine {
         let outcome = (|| -> Result<(), EngineError> {
             for iteration in opts.start_iteration..opts.max_iterations {
                 let iter_start = device.elapsed_seconds();
+                if let Some(t) = &opts.tracer {
+                    t.begin_arg(
+                        Category::Iteration,
+                        "iteration",
+                        Clock::Modeled,
+                        iter_start,
+                        u64::from(iteration),
+                    );
+                }
                 prog.begin_iteration(iteration);
                 pick_labels(device, &mut spoken, 0, prog, shards)?;
                 decisions.iter_mut().for_each(|d| *d = None);
@@ -159,6 +176,15 @@ impl Engine for HybridEngine {
                 report.active_per_iteration.push(scheduled);
 
                 let before = device.elapsed_seconds();
+                if let Some(t) = &opts.tracer {
+                    t.begin_arg(
+                        Category::Dispatch,
+                        "dispatch",
+                        Clock::Modeled,
+                        before,
+                        scheduled,
+                    );
+                }
                 let stats = propagate(
                     device,
                     g,
@@ -169,6 +195,9 @@ impl Engine for HybridEngine {
                     shards,
                     &mut decisions,
                 )?;
+                if let Some(t) = &opts.tracer {
+                    t.end(device.elapsed_seconds());
+                }
                 report.smem_fallbacks += stats.fallbacks;
                 report.smem_vertices += stats.smem_vertices;
                 let compute = device.elapsed_seconds() - before;
@@ -182,6 +211,17 @@ impl Engine for HybridEngine {
                     );
                     transfer_s += stream;
                     if stream > compute {
+                        // The span covers only the non-hidden remainder —
+                        // that is what actually extends the modeled clock.
+                        if let Some(t) = &opts.tracer {
+                            t.complete(
+                                Category::Transfer,
+                                "stream",
+                                Clock::Modeled,
+                                device.elapsed_seconds(),
+                                stream - compute,
+                            );
+                        }
                         device.advance_clock(stream - compute);
                     }
                 }
@@ -201,6 +241,14 @@ impl Engine for HybridEngine {
                     charge_snapshot(device, n as u64)?;
                     report.snapshot_seconds += device.elapsed_seconds() - t;
                     report.snapshots_taken += 1;
+                    if let Some(tr) = &opts.tracer {
+                        tr.instant(
+                            Category::Resilience,
+                            "snapshot",
+                            Clock::Modeled,
+                            device.elapsed_seconds(),
+                        );
+                    }
                     hook.fire(&BarrierEvent {
                         iteration,
                         changed,
@@ -214,6 +262,9 @@ impl Engine for HybridEngine {
                     .iteration_seconds
                     .push(device.elapsed_seconds() - iter_start);
                 report.iterations = iteration + 1;
+                if let Some(t) = &opts.tracer {
+                    t.end(device.elapsed_seconds());
+                }
                 if prog.finished(iteration, changed) {
                     break;
                 }
@@ -225,10 +276,18 @@ impl Engine for HybridEngine {
             let t1 = self.device.elapsed_seconds();
             self.device.download(n as u64 * 4);
             transfer_s += self.device.elapsed_seconds() - t1;
+            if let Some(t) = &opts.tracer {
+                t.end(self.device.elapsed_seconds());
+            }
         }
         self.device.free(footprint);
 
-        outcome?;
+        if let Err(e) = outcome {
+            trace_fail(&opts.tracer, trace_mark, self.device.elapsed_seconds());
+            return Err(e);
+        }
+        report.kernel_profile =
+            profile_from_log(self.name(), &self.device.kernel_log()[log_mark..]);
         report.modeled_seconds = self.device.elapsed_seconds() - start_elapsed;
         report.transfer_seconds = transfer_s;
         report.wall_seconds = wall_start.elapsed().as_secs_f64();

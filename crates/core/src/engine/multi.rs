@@ -21,7 +21,8 @@
 
 use super::dispatch::Buckets;
 use super::gpu::{
-    charge_frontier, charge_snapshot, initial_active, pick_labels, propagate, recompute_active,
+    charge_frontier, charge_snapshot, initial_active, pick_labels, profile_from_log, propagate,
+    recompute_active, trace_fail, trace_run_begin,
 };
 use super::kernels::ShardStats;
 use super::options::BarrierEvent;
@@ -31,6 +32,7 @@ use crate::report::LpRunReport;
 use glp_gpusim::{DeviceConfig, DeviceError, MultiGpu};
 use glp_graph::partition::{partition_even, VertexRange};
 use glp_graph::{Graph, Label, VertexId};
+use glp_trace::{Category, Clock};
 use std::time::Instant;
 
 /// The multi-GPU engine.
@@ -163,11 +165,23 @@ impl Engine for MultiGpuEngine {
         let start_elapsed = self.gpus.elapsed_seconds();
         let mut transfer_s = 0.0;
 
+        for i in 0..ndev {
+            self.gpus.device_mut(i).set_tracer(opts.tracer.clone());
+        }
+        let log_marks: Vec<usize> = (0..ndev)
+            .map(|i| self.gpus.device(i).kernel_log().len())
+            .collect();
+        let trace_mark = trace_run_begin(&opts.tracer, self.name(), start_elapsed);
+
         let mut layout = Layout::build(g, &full, self.gpus.survivors(), n);
         if layout.assign.is_empty() {
+            trace_fail(&opts.tracer, trace_mark, self.gpus.elapsed_seconds());
             return Err(EngineError::DeviceLost { device: 0 });
         }
-        layout.upload(&mut self.gpus, &mut transfer_s)?;
+        if let Err(e) = layout.upload(&mut self.gpus, &mut transfer_s) {
+            trace_fail(&opts.tracer, trace_mark, self.gpus.elapsed_seconds());
+            return Err(e.into());
+        }
 
         let mut spoken: Vec<Label> = vec![0; n];
         let mut decisions: Vec<Decision> = vec![None; n];
@@ -179,6 +193,15 @@ impl Engine for MultiGpuEngine {
         let outcome = (|| -> Result<(), EngineError> {
             for iteration in opts.start_iteration..opts.max_iterations {
                 let iter_start = self.gpus.elapsed_seconds();
+                if let Some(t) = &opts.tracer {
+                    t.begin_arg(
+                        Category::Iteration,
+                        "iteration",
+                        Clock::Modeled,
+                        iter_start,
+                        u64::from(iteration),
+                    );
+                }
                 prog.begin_iteration(iteration);
                 // Device phase: everything fallible, nothing host-visible
                 // committed. Re-driven in full after a repartition (but
@@ -202,7 +225,17 @@ impl Engine for MultiGpuEngine {
                         Ok(out) => break out,
                         Err(DeviceError::Lost { .. }) if self.gpus.alive() > 0 => {
                             // Repartition over the survivors and redo the
-                            // iteration's device work from pick_labels.
+                            // iteration's device work from pick_labels. The
+                            // instant lands inside the still-open iteration
+                            // span, marking which iteration was re-driven.
+                            if let Some(t) = &opts.tracer {
+                                t.instant(
+                                    Category::Resilience,
+                                    "repartition",
+                                    Clock::Modeled,
+                                    self.gpus.elapsed_seconds(),
+                                );
+                            }
                             layout.free(&mut self.gpus);
                             layout = Layout::build(g, &full, self.gpus.survivors(), n);
                             layout.upload(&mut self.gpus, &mut transfer_s)?;
@@ -241,6 +274,9 @@ impl Engine for MultiGpuEngine {
                     .iteration_seconds
                     .push(self.gpus.elapsed_seconds() - iter_start);
                 report.iterations = iteration + 1;
+                if let Some(t) = &opts.tracer {
+                    t.end(self.gpus.elapsed_seconds());
+                }
                 if prog.finished(iteration, changed) {
                     break;
                 }
@@ -249,13 +285,25 @@ impl Engine for MultiGpuEngine {
         })();
 
         layout.free(&mut self.gpus);
-        outcome?;
+        if let Err(e) = outcome {
+            trace_fail(&opts.tracer, trace_mark, self.gpus.elapsed_seconds());
+            return Err(e);
+        }
+        if let Some(t) = &opts.tracer {
+            t.end(self.gpus.elapsed_seconds());
+        }
 
         report.modeled_seconds = self.gpus.elapsed_seconds() - start_elapsed;
         report.transfer_seconds = transfer_s;
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
         for d in self.gpus.iter() {
             report.gpu_counters.merge(d.totals());
+        }
+        for (i, &mark) in log_marks.iter().enumerate() {
+            report.kernel_profile.merge(&profile_from_log(
+                self.name(),
+                &self.gpus.device(i).kernel_log()[mark..],
+            ));
         }
         Ok(report)
     }
@@ -301,29 +349,51 @@ fn device_phase(
     let all_active = !sparse || active.iter().all(|&a| a);
     let mut scheduled = 0u64;
     let mut stats = ShardStats::default();
-    for (i, &d) in layout.assign.iter().enumerate() {
-        let buckets = &layout.dev_buckets[i];
-        // Per-iteration dispatch rebuild over the frontier, like the
-        // single-GPU engine (dense fallback for programs without sparse
-        // activation).
-        let filtered: std::borrow::Cow<'_, Buckets> = if all_active {
-            std::borrow::Cow::Borrowed(buckets)
-        } else {
-            std::borrow::Cow::Owned(buckets.filtered(active))
-        };
-        scheduled += filtered.scheduled() as u64;
-        let st = propagate(
-            gpus.device_mut(d),
-            g,
-            spoken,
-            prog,
-            &filtered,
-            opts,
-            shards,
-            decisions,
-        )?;
-        stats.merge(&st);
+    if let Some(t) = &opts.tracer {
+        t.begin(
+            Category::Dispatch,
+            "dispatch",
+            Clock::Modeled,
+            gpus.elapsed_seconds(),
+        );
     }
+    // Errors are collected, not `?`-propagated, so the dispatch span is
+    // closed before the repartition retry in `run` re-drives this phase.
+    let propagate_result = (|| -> Result<(), DeviceError> {
+        for (i, &d) in layout.assign.iter().enumerate() {
+            let buckets = &layout.dev_buckets[i];
+            // Per-iteration dispatch rebuild over the frontier, like the
+            // single-GPU engine (dense fallback for programs without sparse
+            // activation).
+            let filtered: std::borrow::Cow<'_, Buckets> = if all_active {
+                std::borrow::Cow::Borrowed(buckets)
+            } else {
+                std::borrow::Cow::Owned(buckets.filtered(active))
+            };
+            scheduled += filtered.scheduled() as u64;
+            let st = propagate(
+                gpus.device_mut(d),
+                g,
+                spoken,
+                prog,
+                &filtered,
+                opts,
+                shards,
+                decisions,
+            )?;
+            stats.merge(&st);
+        }
+        Ok(())
+    })();
+    if let Some(t) = &opts.tracer {
+        let now = gpus.elapsed_seconds();
+        if propagate_result.is_ok() {
+            t.end(now);
+        } else {
+            t.end_err(now);
+        }
+    }
+    propagate_result?;
     // UpdateVertex: each device writes back its own range (the modeled
     // kernel); the host applies program state only after the whole device
     // phase succeeded.

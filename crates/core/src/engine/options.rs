@@ -12,6 +12,7 @@ use super::dispatch::DegreeThresholds;
 use super::kernels::SmemGeometry;
 use super::MflStrategy;
 use crate::api::LpProgram;
+use glp_trace::Tracer;
 use std::fmt;
 use std::sync::Arc;
 
@@ -145,6 +146,13 @@ pub struct RunOptions {
     /// Checkpoint callback fired after each completed barrier (BSP
     /// engines only; the asynchronous sequential sweep has no barrier).
     pub barrier_hook: Option<BarrierHook>,
+    /// Span recorder threaded through the whole run: engines emit
+    /// run/iteration/dispatch spans, the device emits kernel and transfer
+    /// spans on the modeled clock, and the resilience layers emit
+    /// retry/degrade/repartition events. `None` (the default) records
+    /// nothing and changes nothing — results and modeled time are
+    /// byte-identical either way.
+    pub tracer: Option<Tracer>,
 }
 
 impl Default for RunOptions {
@@ -164,6 +172,7 @@ impl Default for RunOptions {
             start_iteration: 0,
             initial_frontier: None,
             barrier_hook: None,
+            tracer: None,
         }
     }
 }
@@ -216,6 +225,12 @@ impl RunOptions {
     /// Installs a per-barrier checkpoint callback.
     pub fn with_barrier_hook(mut self, hook: BarrierHook) -> Self {
         self.barrier_hook = Some(hook);
+        self
+    }
+
+    /// Attaches a span recorder to the run.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -294,13 +309,16 @@ mod tests {
     fn resume_and_hook_builders() {
         let o = RunOptions::default()
             .resume_from(4, Some(vec![true, false]))
-            .with_barrier_hook(BarrierHook::new(|_| {}));
+            .with_barrier_hook(BarrierHook::new(|_| {}))
+            .with_tracer(Tracer::new());
         assert_eq!(o.start_iteration, 4);
         assert_eq!(o.initial_frontier.as_deref(), Some(&[true, false][..]));
         assert!(o.barrier_hook.is_some());
-        // RunOptions stays Clone with a hook installed (Arc-backed).
+        // RunOptions stays Clone with a hook and tracer installed (both
+        // Arc-backed handles).
         let o2 = o.clone();
         assert!(o2.barrier_hook.is_some());
+        assert!(o2.tracer.is_some());
     }
 
     #[test]

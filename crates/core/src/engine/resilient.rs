@@ -24,13 +24,15 @@
 //! draw), so for them the wrapper runs the top tier once and propagates
 //! any fault unchanged.
 
+use super::gpu::trace_fail;
 use super::options::BarrierHook;
 use super::{Engine, EngineError, RunOptions};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
 use glp_graph::Graph;
+use glp_trace::{Category, Clock};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What the recovery machinery did during the last
 /// [`ResilientEngine::run`].
@@ -150,6 +152,15 @@ impl Engine for ResilientEngine {
         opts: &RunOptions,
     ) -> Result<LpRunReport, EngineError> {
         self.last = ResilienceReport::default();
+        // The wrapper's own span runs on the wall clock (its overhead is
+        // host-side: retries, backoff, restores); tier runs nest under it
+        // structurally while keeping their modeled clocks.
+        let wall = Instant::now();
+        let trace_mark = opts.tracer.as_ref().map(|t| {
+            let mark = t.open_depth();
+            t.begin(Category::Run, self.name(), Clock::Wall, 0.0);
+            mark
+        });
         let Some(initial_blob) = prog.save_state() else {
             // No checkpoint support: a failed attempt leaves the program
             // in an unrecoverable mid-iteration state, so retrying or
@@ -159,6 +170,9 @@ impl Engine for ResilientEngine {
             let out = self.tiers[0].run(g, prog, opts);
             if let Err(e) = &out {
                 self.last.faults.push(*e);
+                trace_fail(&opts.tracer, trace_mark, wall.elapsed().as_secs_f64());
+            } else if let Some(t) = &opts.tracer {
+                t.end(wall.elapsed().as_secs_f64());
             }
             return out;
         };
@@ -229,14 +243,31 @@ impl Engine for ResilientEngine {
                         report.iterations = report.iterations.max(start);
                     }
                     self.last.tier = Some(self.tiers[tier].name());
+                    if let Some(t) = &opts.tracer {
+                        t.end(wall.elapsed().as_secs_f64());
+                    }
                     return Ok(report);
                 }
                 Err(e) => {
                     self.last.faults.push(e);
                     let completed = salvage.lock().expect("salvage lock").next;
+                    // The failing tier's `fail_open_to` recorded which span
+                    // was mid-flight when the fault hit (the failed
+                    // iteration); the recovery instant attaches there so a
+                    // trace shows *what* a retry/degrade recovered from.
+                    let fault_span = opts.tracer.as_ref().and_then(|t| t.take_error_span());
                     if e.is_transient() && retries_left > 0 {
                         retries_left -= 1;
                         self.last.retries += 1;
+                        if let Some(t) = &opts.tracer {
+                            t.instant_with_parent(
+                                Category::Resilience,
+                                "retry",
+                                Clock::Wall,
+                                wall.elapsed().as_secs_f64(),
+                                fault_span,
+                            );
+                        }
                         if backoff > Duration::ZERO {
                             std::thread::sleep(backoff);
                         }
@@ -246,8 +277,18 @@ impl Engine for ResilientEngine {
                         self.last.degradations += 1;
                         retries_left = self.max_retries;
                         backoff = self.backoff_base;
+                        if let Some(t) = &opts.tracer {
+                            t.instant_with_parent(
+                                Category::Resilience,
+                                "degrade",
+                                Clock::Wall,
+                                wall.elapsed().as_secs_f64(),
+                                fault_span,
+                            );
+                        }
                     } else {
                         self.last.tier = Some(self.tiers[tier].name());
+                        trace_fail(&opts.tracer, trace_mark, wall.elapsed().as_secs_f64());
                         return Err(e);
                     }
                     // Everything completed before the fault is resumed,

@@ -25,6 +25,7 @@ use crate::api::LpProgram;
 use crate::report::LpRunReport;
 use glp_graph::{Graph, Label, VertexId};
 use glp_sketch::{BoundedHashTable, InsertOutcome};
+use glp_trace::{Category, Clock};
 use std::time::Instant;
 
 /// The sequential host engine. Stateless — sweep order and iteration cap
@@ -102,8 +103,22 @@ impl Engine for SequentialEngine {
         let sparse = opts.frontier.sparse(prog.sparse_activation());
         let mut active = initial_active(n, sparse, opts);
         let mut report = LpRunReport::default();
+        // Host engines have no modeled clock: spans use wall seconds
+        // relative to the run start.
+        if let Some(t) = &opts.tracer {
+            t.begin(Category::Run, self.name(), Clock::Wall, 0.0);
+        }
 
         for iteration in opts.start_iteration..opts.max_iterations {
+            if let Some(t) = &opts.tracer {
+                t.begin_arg(
+                    Category::Iteration,
+                    "iteration",
+                    Clock::Wall,
+                    wall_start.elapsed().as_secs_f64(),
+                    u64::from(iteration),
+                );
+            }
             prog.begin_iteration(iteration);
             let mut changed = 0u64;
             let mut visited = 0u64;
@@ -162,11 +177,17 @@ impl Engine for SequentialEngine {
             report.changed_per_iteration.push(changed);
             report.active_per_iteration.push(visited);
             report.iterations = iteration + 1;
+            if let Some(t) = &opts.tracer {
+                t.end(wall_start.elapsed().as_secs_f64());
+            }
             if prog.finished(iteration, changed) {
                 break;
             }
         }
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        if let Some(t) = &opts.tracer {
+            t.end(report.wall_seconds);
+        }
         Ok(report)
     }
 }
@@ -193,8 +214,20 @@ fn run_bsp(g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunRepor
     let mut spoken: Vec<Label> = vec![0; n];
     let mut decisions: Vec<Decision> = vec![None; n];
     let mut report = LpRunReport::default();
+    if let Some(t) = &opts.tracer {
+        t.begin(Category::Run, "Sequential-BSP", Clock::Wall, 0.0);
+    }
 
     for iteration in opts.start_iteration..opts.max_iterations {
+        if let Some(t) = &opts.tracer {
+            t.begin_arg(
+                Category::Iteration,
+                "iteration",
+                Clock::Wall,
+                wall_start.elapsed().as_secs_f64(),
+                u64::from(iteration),
+            );
+        }
         prog.begin_iteration(iteration);
         for (v, s) in spoken.iter_mut().enumerate() {
             *s = prog.pick_label(v as VertexId);
@@ -235,6 +268,14 @@ fn run_bsp(g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunRepor
         prog.end_iteration(iteration);
         if let Some(hook) = &opts.barrier_hook {
             report.snapshots_taken += 1;
+            if let Some(t) = &opts.tracer {
+                t.instant(
+                    Category::Resilience,
+                    "snapshot",
+                    Clock::Wall,
+                    wall_start.elapsed().as_secs_f64(),
+                );
+            }
             hook.fire(&BarrierEvent {
                 iteration,
                 changed,
@@ -246,11 +287,17 @@ fn run_bsp(g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunRepor
         report.changed_per_iteration.push(changed);
         report.active_per_iteration.push(scheduled);
         report.iterations = iteration + 1;
+        if let Some(t) = &opts.tracer {
+            t.end(wall_start.elapsed().as_secs_f64());
+        }
         if prog.finished(iteration, changed) {
             break;
         }
     }
     report.wall_seconds = wall_start.elapsed().as_secs_f64();
+    if let Some(t) = &opts.tracer {
+        t.end(report.wall_seconds);
+    }
     report
 }
 

@@ -1,6 +1,7 @@
 //! Run reports: what an engine hands back besides the labels themselves.
 
 use glp_gpusim::KernelCounters;
+use glp_trace::KernelProfile;
 
 /// Summary of one LP run on any engine.
 #[derive(Clone, Debug, Default)]
@@ -41,6 +42,11 @@ pub struct LpRunReport {
     /// Barrier snapshots taken (one per completed iteration when a hook
     /// is installed).
     pub snapshots_taken: u64,
+    /// Per-kernel aggregation (count / total / p50 / max modeled seconds,
+    /// keyed by engine tier and kernel name) over this run's launches.
+    /// Filled from the device's kernel log whether or not a tracer is
+    /// attached; empty for the host-only engines.
+    pub kernel_profile: KernelProfile,
 }
 
 impl LpRunReport {

@@ -421,6 +421,52 @@ mod tests {
     }
 
     #[test]
+    fn every_single_byte_corruption_yields_a_typed_error() {
+        // A small but non-trivial image: header, counters (including edge
+        // values), and a few transactions, so the sweep crosses every
+        // field boundary in the layout.
+        let ckpt = WindowCheckpoint {
+            days: 3,
+            end: 5,
+            batches_applied: 17,
+            snapshot_epoch: 4,
+            counters: vec![7, 0, u64::MAX],
+            log: vec![
+                Transaction {
+                    buyer: 1,
+                    item: 2,
+                    day: 3,
+                    amount: 4.5,
+                },
+                Transaction {
+                    buyer: 9,
+                    item: 8,
+                    day: 4,
+                    amount: -0.25,
+                },
+            ],
+        };
+        let good = ckpt.encode();
+        WindowCheckpoint::decode(&good).expect("pristine image decodes");
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            // Rotate the flipped bit so every bit lane is exercised over
+            // the sweep, not just bit 0.
+            bad[i] ^= 1 << (i % 8);
+            let err = WindowCheckpoint::decode(&bad)
+                .expect_err("single-bit corruption must never decode");
+            // CRC-32 detects every single-bit error wherever it lands —
+            // including inside the stored checksum itself — so the typed
+            // error is always the checksum mismatch, reached without any
+            // field being parsed, let alone trusted.
+            assert!(
+                matches!(err, CheckpointError::BadChecksum { .. }),
+                "byte {i}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
     fn invalid_window_shape_is_rejected() {
         // A log that decodes fine but violates the window invariants
         // (transaction beyond the declared end day).

@@ -5,6 +5,7 @@ use crate::cost::CostModel;
 use crate::counters::KernelCounters;
 use crate::error::DeviceError;
 use crate::kernel::KernelCtx;
+use glp_trace::{Category, Clock, Tracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -44,6 +45,7 @@ pub struct Device {
     resident_bytes: u64,
     lost: bool,
     kernel_log: Vec<KernelRecord>,
+    tracer: Option<Tracer>,
 }
 
 /// One entry of the per-device kernel log.
@@ -70,6 +72,7 @@ impl Device {
             resident_bytes: 0,
             lost: false,
             kernel_log: Vec::new(),
+            tracer: None,
         }
     }
 
@@ -94,6 +97,22 @@ impl Device {
     /// tests and simulations can force a loss directly).
     pub fn mark_lost(&mut self) {
         self.lost = true;
+    }
+
+    /// Attaches (or detaches, with `None`) a tracer. While attached, every
+    /// committed kernel launch and every modeled transfer records a
+    /// [`Clock::Modeled`] span whose duration is the cost model's charge —
+    /// simulated time, not wall time. Tracing only *observes* the clock:
+    /// modeled seconds, counters, and the kernel log are byte-identical
+    /// with and without a tracer.
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Rendering track for this device's spans (0 is the host/engine
+    /// thread, so devices are offset by one).
+    fn track(&self) -> u32 {
+        self.id + 1
     }
 
     /// Device configuration.
@@ -254,6 +273,19 @@ impl Device {
     fn commit(&mut self, name: &'static str, counters: KernelCounters) {
         let seconds = self.cost.kernel_seconds(&self.cfg, &counters);
         self.totals.merge(&counters);
+        if let Some(t) = &self.tracer {
+            // Commit runs once per launch on the calling thread (even for
+            // sharded launches), so span order is deterministic and the
+            // span nests under whatever the engine thread has open.
+            t.complete_on(
+                Category::Kernel,
+                name,
+                Clock::Modeled,
+                self.track(),
+                self.elapsed_s,
+                seconds,
+            );
+        }
         self.elapsed_s += seconds;
         self.kernel_log.push(KernelRecord {
             name,
@@ -294,6 +326,16 @@ impl Device {
         }
         self.resident_bytes += bytes;
         let s = self.cost.transfer_seconds(&self.cfg, bytes);
+        if let Some(t) = &self.tracer {
+            t.complete_on(
+                Category::Transfer,
+                "upload",
+                Clock::Modeled,
+                self.track(),
+                self.elapsed_s,
+                s,
+            );
+        }
         self.elapsed_s += s;
         self.transfer_s += s;
         Ok(())
@@ -302,6 +344,16 @@ impl Device {
     /// Models a device→host copy (no residency change).
     pub fn download(&mut self, bytes: u64) {
         let s = self.cost.transfer_seconds(&self.cfg, bytes);
+        if let Some(t) = &self.tracer {
+            t.complete_on(
+                Category::Transfer,
+                "download",
+                Clock::Modeled,
+                self.track(),
+                self.elapsed_s,
+                s,
+            );
+        }
         self.elapsed_s += s;
         self.transfer_s += s;
     }
@@ -502,6 +554,35 @@ mod tests {
             }
         );
         assert_eq!(d.kernel_log().len(), 0, "failed launch charges nothing");
+    }
+
+    #[test]
+    fn tracer_observes_without_changing_the_clock() {
+        let run = |tracer: Option<Tracer>| {
+            let mut d = Device::titan_v();
+            d.set_tracer(tracer);
+            d.upload(1 << 20).unwrap();
+            d.launch("k", |ctx| ctx.alu(1000)).unwrap();
+            d.download(1 << 10);
+            (
+                d.elapsed_seconds(),
+                d.transfer_seconds(),
+                d.kernel_log().len(),
+            )
+        };
+        let tracer = Tracer::new();
+        let traced = run(Some(tracer.clone()));
+        let bare = run(None);
+        assert_eq!(traced, bare, "tracing must not perturb the cost model");
+        let trace = tracer.finish();
+        assert_eq!(trace.events.len(), 3, "upload + kernel + download");
+        let spans =
+            trace.category_seconds(Category::Kernel) + trace.category_seconds(Category::Transfer);
+        assert!(
+            (spans - traced.0).abs() < 1e-12,
+            "span seconds {spans} vs clock {}",
+            traced.0
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod warp;
 pub use config::DeviceConfig;
 pub use cost::CostModel;
 pub use counters::KernelCounters;
-pub use device::Device;
+pub use device::{Device, KernelRecord};
 pub use error::DeviceError;
 pub use kernel::KernelCtx;
 pub use multi::MultiGpu;

@@ -84,5 +84,5 @@ pub use ingest::{Batcher, IngestGate, Submitted};
 pub use query::{FraudScorer, Verdict, VerdictSnapshot};
 pub use recluster::recluster;
 pub use service::{FraudService, QueryHandle, ServiceCore, ShutdownReport};
-pub use supervisor::{RestartPolicy, WorkerOutcome, WorkerStatus};
+pub use supervisor::{supervise, supervise_with, RestartPolicy, WorkerOutcome, WorkerStatus};
 pub use telemetry::{Histogram, Telemetry};

@@ -13,6 +13,7 @@ use glp_core::engine::ResilientEngine;
 use glp_core::{Engine, LpRunReport, ResilienceReport, RunOptions, WeightedLp};
 use glp_fraud::{FraudPipeline, WindowWorkload};
 use glp_graph::VertexId;
+use glp_trace::Tracer;
 use std::collections::HashMap;
 
 /// Scores `workload` from the blacklist seeds and resolves everything to
@@ -35,6 +36,7 @@ pub fn recluster(
     cfg: &ServeConfig,
     as_of_batch: u64,
     window_end: u32,
+    tracer: Option<&Tracer>,
 ) -> (VerdictSnapshot, LpRunReport, ResilienceReport) {
     // Seeds: black-listed users actually present in this window.
     let mut seeds: Vec<VertexId> = blacklist
@@ -46,10 +48,13 @@ pub fn recluster(
     let mut prog = WeightedLp::from_graph(&workload.graph, cfg.pipeline.lp_iterations)
         .with_retention(cfg.pipeline.retention);
     let mut engine = ResilientEngine::gpu_ladder();
-    let opts = RunOptions::default()
+    let mut opts = RunOptions::default()
         .with_max_iterations(cfg.pipeline.lp_iterations)
         .with_frontier(cfg.frontier)
         .with_shards(cfg.engine_shards);
+    if let Some(t) = tracer {
+        opts = opts.with_tracer(t.clone());
+    }
     let report = engine
         .run(&workload.graph, &mut prog, &opts)
         .unwrap_or_else(|e| panic!("recluster LP failed on every engine tier: {e}"));
@@ -112,7 +117,8 @@ mod tests {
         let s = stream();
         let cfg = ServeConfig::default().with_window_days(20);
         let workload = WindowWorkload::build(&s, 20);
-        let (snap, report, resilience) = recluster(&workload, &s.blacklist, &cfg, 3, s.config.days);
+        let (snap, report, resilience) =
+            recluster(&workload, &s.blacklist, &cfg, 3, s.config.days, None);
         assert_eq!(snap.as_of_batch, 3);
         assert_eq!(snap.window_end, s.config.days);
         assert!(report.iterations > 0);
@@ -143,8 +149,8 @@ mod tests {
         let s = stream();
         let cfg = ServeConfig::default().with_window_days(15);
         let workload = WindowWorkload::build(&s, 15);
-        let (a, _, _) = recluster(&workload, &s.blacklist, &cfg, 0, s.config.days);
-        let (b, _, _) = recluster(&workload, &s.blacklist, &cfg, 7, s.config.days);
+        let (a, _, _) = recluster(&workload, &s.blacklist, &cfg, 0, s.config.days, None);
+        let (b, _, _) = recluster(&workload, &s.blacklist, &cfg, 7, s.config.days, None);
         assert_eq!(a.canonical_bytes(), b.canonical_bytes());
     }
 }

@@ -45,6 +45,7 @@ use crate::telemetry::Telemetry;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use glp_fraud::checkpoint::{CheckpointError, WindowCheckpoint};
 use glp_fraud::{IncrementalWindow, Transaction};
+use glp_trace::{Category, Clock, Tracer};
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -65,6 +66,11 @@ pub struct ServiceCore {
     /// contending with apply.
     window_end: Arc<AtomicU32>,
     health: Arc<HealthMonitor>,
+    /// Optional span recorder. Serve stages record wall-clock spans
+    /// relative to `trace_epoch`; the recluster LP run nests its modeled
+    /// engine spans under the recluster span via the same handle.
+    tracer: Option<Tracer>,
+    trace_epoch: Instant,
     #[cfg(feature = "fault-injection")]
     faults: Option<Arc<FaultPlan>>,
 }
@@ -133,9 +139,32 @@ impl ServiceCore {
             telemetry,
             batches_applied: AtomicU64::new(batches_applied),
             health,
+            tracer: None,
+            trace_epoch: Instant::now(),
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
+    }
+
+    /// Attaches a span recorder: every serve stage (ingest → batch →
+    /// apply → recluster → swap → checkpoint) records wall-clock spans,
+    /// and recluster LP runs record their engine/kernel spans through the
+    /// same handle. Without one, nothing is recorded and behavior is
+    /// unchanged.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self.trace_epoch = Instant::now();
+        self
+    }
+
+    /// The attached span recorder, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Seconds since the tracer was attached (span timestamps).
+    fn trace_now(&self) -> f64 {
+        self.trace_epoch.elapsed().as_secs_f64()
     }
 
     /// Attaches a fault plan; every hook in the worker loops consults it.
@@ -208,6 +237,16 @@ impl ServiceCore {
         if batch.is_empty() {
             return self.batches_applied();
         }
+        if let Some(t) = &self.tracer {
+            t.instant(Category::Serve, "ingest", Clock::Wall, self.trace_now());
+            t.begin_arg(
+                Category::Serve,
+                "apply",
+                Clock::Wall,
+                self.trace_now(),
+                batch.len() as u64,
+            );
+        }
         let mut invalid = 0u64;
         {
             let mut w = self.window.lock().unwrap_or_else(|e| e.into_inner());
@@ -245,7 +284,11 @@ impl ServiceCore {
         }
         self.telemetry.batch_size.record(batch.len() as u64);
         self.telemetry.batches.fetch_add(1, Ordering::Relaxed);
-        self.batches_applied.fetch_add(1, Ordering::Relaxed) + 1
+        let applied_count = self.batches_applied.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(t) = &self.tracer {
+            t.end(self.trace_now());
+        }
+        applied_count
     }
 
     /// Convenience for synchronous callers: stamps and applies raw
@@ -262,6 +305,9 @@ impl ServiceCore {
     /// the private copy.
     pub fn recluster_now(&self) {
         let started = Instant::now();
+        if let Some(t) = &self.tracer {
+            t.begin(Category::Serve, "recluster", Clock::Wall, self.trace_now());
+        }
         let (workload, window_end, as_of) = {
             let w = self.window.lock().unwrap_or_else(|e| e.into_inner());
             (
@@ -278,9 +324,16 @@ impl ServiceCore {
                 ..VerdictSnapshot::default()
             }
         } else {
-            let (snapshot, report, resilience) =
-                recluster(&workload, &self.blacklist, &self.cfg, as_of, window_end);
+            let (snapshot, report, resilience) = recluster(
+                &workload,
+                &self.blacklist,
+                &self.cfg,
+                as_of,
+                window_end,
+                self.tracer.as_ref(),
+            );
             self.telemetry.merge_gpu(&report.gpu_counters);
+            self.telemetry.merge_kernel_profile(&report.kernel_profile);
             self.telemetry
                 .engine_retries
                 .fetch_add(u64::from(resilience.retries), Ordering::Relaxed);
@@ -295,11 +348,20 @@ impl ServiceCore {
             }
             snapshot
         };
+        if let Some(t) = &self.tracer {
+            t.begin(Category::Serve, "swap", Clock::Wall, self.trace_now());
+        }
         self.verdicts.publish(snapshot);
+        if let Some(t) = &self.tracer {
+            t.end(self.trace_now()); // swap
+        }
         self.telemetry.reclusters.fetch_add(1, Ordering::Relaxed);
         self.telemetry
             .recluster_wall
             .record(started.elapsed().as_nanos() as u64);
+        if let Some(t) = &self.tracer {
+            t.end(self.trace_now()); // recluster
+        }
     }
 
     /// Persists the current window (plus batch clock, snapshot epoch,
@@ -307,6 +369,9 @@ impl ServiceCore {
     /// Failures are counted (`checkpoint_failures`) and returned; the
     /// previous checkpoint on disk is never damaged by a failed write.
     pub fn checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
+        if let Some(t) = &self.tracer {
+            t.begin(Category::Serve, "checkpoint", Clock::Wall, self.trace_now());
+        }
         let ckpt = {
             let w = self.window.lock().unwrap_or_else(|e| e.into_inner());
             WindowCheckpoint::capture(
@@ -317,7 +382,7 @@ impl ServiceCore {
             )
         };
         // The write itself runs outside the window lock.
-        match ckpt.write_atomic(path) {
+        let result = match ckpt.write_atomic(path) {
             Ok(()) => {
                 self.telemetry
                     .checkpoints_written
@@ -330,7 +395,16 @@ impl ServiceCore {
                     .fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
+        };
+        if let Some(t) = &self.tracer {
+            let now = self.trace_now();
+            if result.is_ok() {
+                t.end(now);
+            } else {
+                t.end_err(now);
+            }
         }
+        result
     }
 
     /// The freshest published snapshot.
@@ -595,7 +669,19 @@ fn batch_loop(core: &ServiceCore, batcher: &Batcher, recluster_tx: &Sender<()>) 
             // applies them — recovery is lossless by construction.
             plan.maybe_panic_batcher(core.batches_applied());
         }
-        match batcher.next_batch() {
+        let next = {
+            // The batch span covers the drain wait: budget-bounded queue
+            // reads until the micro-batch fills or times out.
+            if let Some(t) = core.tracer() {
+                t.begin(Category::Serve, "batch", Clock::Wall, core.trace_now());
+            }
+            let next = batcher.next_batch();
+            if let Some(t) = core.tracer() {
+                t.end(core.trace_now());
+            }
+            next
+        };
+        match next {
             Err(Closed) => return WorkerExit::Finished,
             Ok(batch) => {
                 if batch.is_empty() {

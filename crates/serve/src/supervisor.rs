@@ -146,6 +146,24 @@ pub fn supervise<F>(
 where
     F: Fn() -> WorkerExit + Send + 'static,
 {
+    supervise_with(name, health, telemetry, policy, body, thread::sleep)
+}
+
+/// [`supervise`] with an injected sleep function. Tests observe the
+/// backoff schedule (delay per restart, cap, restart accounting) by
+/// recording the requested durations instead of waiting them out.
+pub fn supervise_with<F, S>(
+    name: &'static str,
+    health: Arc<HealthMonitor>,
+    telemetry: Arc<Telemetry>,
+    policy: RestartPolicy,
+    body: F,
+    sleep: S,
+) -> (JoinHandle<()>, Arc<WorkerStatus>)
+where
+    F: Fn() -> WorkerExit + Send + 'static,
+    S: Fn(Duration) + Send + 'static,
+{
     let status = Arc::new(WorkerStatus::new(name));
     let status_out = Arc::clone(&status);
     let handle = thread::Builder::new()
@@ -172,7 +190,7 @@ where
                     }
                     status.restarts.fetch_add(1, Ordering::AcqRel);
                     telemetry.worker_restarts.fetch_add(1, Ordering::Relaxed);
-                    thread::sleep(policy.delay(health.consecutive_crashes()));
+                    sleep(policy.delay(health.consecutive_crashes()));
                 }
             }
         })
@@ -245,6 +263,53 @@ mod tests {
         );
         assert_eq!(t.worker_panics.load(Ordering::Acquire), 1);
         assert_eq!(t.worker_restarts.load(Ordering::Acquire), 1);
+    }
+
+    #[test]
+    fn injected_clock_observes_backoff_schedule_without_sleeping() {
+        // down_after = 6: five restarts before the sixth panic abandons.
+        let h = Arc::new(HealthMonitor::new(HealthThresholds {
+            shedding_after: 3,
+            down_after: 6,
+        }));
+        let t = Arc::new(Telemetry::new());
+        let policy = RestartPolicy {
+            backoff_base: Duration::from_secs(10),
+            backoff_cap: Duration::from_secs(40),
+        };
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let slept_in = Arc::clone(&slept);
+        let started = std::time::Instant::now();
+        let (handle, status) = supervise_with(
+            "schedule",
+            Arc::clone(&h),
+            Arc::clone(&t),
+            policy,
+            || panic!("always"),
+            move |d| slept_in.lock().unwrap().push(d),
+        );
+        handle.join().expect("supervisor never panics");
+        // Multi-second delays were recorded, not actually waited out.
+        assert!(started.elapsed() < Duration::from_secs(5));
+        let secs = |s: u64| Duration::from_secs(s);
+        assert_eq!(
+            *slept.lock().unwrap(),
+            vec![secs(10), secs(20), secs(40), secs(40), secs(40)],
+            "base doubles per crash then pins at the cap"
+        );
+        assert_eq!(status.panics(), 6);
+        assert_eq!(
+            status.restarts(),
+            5,
+            "the abandoning panic is not restarted"
+        );
+        assert_eq!(t.worker_panics.load(Ordering::Acquire), 6);
+        assert_eq!(t.worker_restarts.load(Ordering::Acquire), 5);
+        assert!(h.is_down());
+        assert!(matches!(
+            status.outcome(),
+            WorkerOutcome::Abandoned { panics: 6, .. }
+        ));
     }
 
     #[test]

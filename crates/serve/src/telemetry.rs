@@ -10,6 +10,7 @@
 //! latency SLOs care about orders of magnitude, not microseconds.
 
 use glp_gpusim::KernelCounters;
+use glp_trace::KernelProfile;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -167,6 +168,9 @@ pub struct Telemetry {
     pub query_latency: Histogram,
     /// GPU event totals summed over every recluster's LP run.
     pub gpu_totals: Mutex<KernelCounters>,
+    /// Per-kernel launch aggregation (count / total / p50 / max modeled
+    /// seconds by engine tier) summed over every recluster's LP run.
+    pub kernel_profile: Mutex<KernelProfile>,
 }
 
 impl Telemetry {
@@ -183,6 +187,15 @@ impl Telemetry {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .merge(counters);
+    }
+
+    /// Folds one recluster's per-kernel profile into the running totals.
+    /// Recovers from poisoning like [`Self::merge_gpu`].
+    pub fn merge_kernel_profile(&self, profile: &KernelProfile) {
+        self.kernel_profile
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(profile);
     }
 
     /// Total transactions shed under either queue policy (validation and
@@ -238,6 +251,25 @@ impl Telemetry {
     /// noted; `batch_size` in transactions).
     pub fn to_json(&self) -> serde_json::Value {
         let gpu = self.gpu_totals.lock().unwrap_or_else(|e| e.into_inner());
+        let profile_rows: Vec<serde_json::Value> = {
+            let profile = self
+                .kernel_profile
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            profile
+                .rows()
+                .map(|(tier, kernel, row)| {
+                    serde_json::json!({
+                        "tier": tier,
+                        "kernel": kernel,
+                        "count": row.count,
+                        "total_s": row.total_s,
+                        "p50_s": row.p50_s(),
+                        "max_s": row.max_s,
+                    })
+                })
+                .collect()
+        };
         serde_json::json!({
             "ingested": self.ingested.load(Ordering::Relaxed),
             "shed_dropped_oldest": self.shed_dropped_oldest.load(Ordering::Relaxed),
@@ -267,6 +299,7 @@ impl Telemetry {
                 "warp_intrinsics": gpu.warp_intrinsics,
                 "kernel_launches": gpu.kernel_launches,
             }),
+            "kernel_profile": profile_rows,
         })
     }
 }
@@ -347,7 +380,15 @@ mod tests {
         let t = Telemetry::new();
         t.ingested.fetch_add(3, Ordering::Relaxed);
         t.query_latency.record(5_000);
+        let mut profile = KernelProfile::new();
+        profile.record("GLP", "pick_label", 1e-4);
+        profile.record("GLP", "pick_label", 3e-4);
+        t.merge_kernel_profile(&profile);
         let j = t.to_json();
+        let rows = j["kernel_profile"].as_array().expect("profile array");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["kernel"].as_str(), Some("pick_label"));
+        assert_eq!(rows[0]["count"].as_u64(), Some(2));
         for key in [
             "ingested",
             "shed_dropped_oldest",
@@ -369,6 +410,7 @@ mod tests {
             "recluster_wall_ns",
             "query_latency_ns",
             "gpu",
+            "kernel_profile",
         ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }

@@ -5,22 +5,11 @@
 //! whole serving stack — window maintenance, materialization, LP,
 //! scoring, and snapshot encoding.
 
-use glp_fraud::{Transaction, TxConfig, TxStream};
+use glp_fraud::Transaction;
 use glp_serve::{ServeConfig, ServiceCore};
-
-fn stream() -> TxStream {
-    TxStream::generate(&TxConfig {
-        num_users: 1_200,
-        num_items: 500,
-        days: 24,
-        tx_per_day: 700,
-        num_rings: 3,
-        ring_size: 10,
-        ring_tx_per_day: 30,
-        blacklist_fraction: 0.25,
-        ..Default::default()
-    })
-}
+// The workload is the standard deterministic fraud stream shared with
+// the pipeline and golden-trace suites.
+use glp_test_support::tx_stream as stream;
 
 /// Drives one core through the stream at fixed batch boundaries
 /// (`batch` transactions per apply), reclustering every 4 batches plus

@@ -1,0 +1,182 @@
+//! # glp-test-support — shared builders for the workspace test suites
+//!
+//! The integration suites (`tests/frontier_equivalence.rs`,
+//! `tests/engine_faults.rs`, `tests/golden_trace.rs`, the serve
+//! determinism tests) all need the same fixtures: a small pool of graphs
+//! with known structure, fresh program instances of every LP variant,
+//! one engine of every tier, a fault-free reference run, and a
+//! deterministic transaction stream for the fraud pipeline. This crate
+//! is the single home for those builders so the suites stay in lockstep
+//! — a new program variant or engine tier added here is exercised by
+//! every suite at once.
+//!
+//! Everything here is deterministic: fixed seeds, fixed sizes, no
+//! clocks. Builders hand out *fresh* instances per call (programs and
+//! engines are stateful), so each run owns its state.
+
+use glp_core::engine::{
+    BarrierHook, Engine, GpuEngine, HybridEngine, MultiGpuEngine, SequentialEngine,
+};
+use glp_core::{
+    CapacityLp, ClassicLp, Llp, LpProgram, RiskWeightedLp, RunOptions, SeededLp, Slp, WeightedLp,
+};
+use glp_fraud::{TxConfig, TxStream};
+use glp_gpusim::{Device, DeviceConfig};
+use glp_graph::gen::{caveman, community_powerlaw, two_cliques_bridge, CommunityPowerLawConfig};
+use glp_graph::Graph;
+use std::sync::Arc;
+
+/// Iteration budget shared by the equivalence suites: long enough for
+/// the test graphs to settle, short enough to keep the full
+/// graphs × engines × variants × modes sweep cheap.
+pub const ITERS: u32 = 12;
+
+/// The standard small-graph pool: one planted-community graph where LP
+/// converges crisply, one power-law graph that exercises every
+/// degree-bucket path (isolated through global-hash).
+pub fn graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("caveman", caveman(12, 8)),
+        (
+            "powerlaw",
+            community_powerlaw(&CommunityPowerLawConfig {
+                num_vertices: 1_500,
+                avg_degree: 8.0,
+                ..Default::default()
+            }),
+        ),
+    ]
+}
+
+/// A tiny two-community graph for tests that pin exact structure (the
+/// golden-trace suite): converges in a handful of iterations.
+pub fn tiny_graph() -> Graph {
+    two_cliques_bridge(9)
+}
+
+/// Fresh program instances of every LP variant, sized for `g`.
+/// Sparse-activation programs (classic, seeded, weighted, risk) exercise
+/// the real frontier machinery; globally-coupled ones (LLP, SLP,
+/// capacity) pin the dense fallback. Programs are stateful; each run
+/// needs its own instance.
+pub fn variants(g: &Graph) -> Vec<(&'static str, Box<dyn LpProgram>)> {
+    let n = g.num_vertices();
+    let seeds: Vec<u32> = (0..n as u32).step_by(53).collect();
+    let risk_seeds: Vec<(u32, f32)> = seeds.iter().map(|&v| (v, 1.0 + (v % 5) as f32)).collect();
+    // The generators emit unweighted graphs; give WeightedLp a synthetic
+    // deterministic weight per incoming edge so it exercises real weights.
+    let edge_weights: Arc<Vec<f32>> =
+        Arc::new((0..g.num_edges()).map(|e| 0.5 + (e % 7) as f32).collect());
+    vec![
+        (
+            "classic",
+            Box::new(ClassicLp::with_max_iterations(n, ITERS)),
+        ),
+        ("llp", Box::new(Llp::with_max_iterations(n, 2.0, ITERS))),
+        ("slp", Box::new(Slp::with_params(n, 5, 0.2, ITERS, 0x5EED))),
+        (
+            "seeded",
+            Box::new(SeededLp::with_max_iterations(n, &seeds, ITERS)),
+        ),
+        (
+            "weighted",
+            Box::new(WeightedLp::new(n, edge_weights, ITERS).with_retention(0.3)),
+        ),
+        ("risk", Box::new(RiskWeightedLp::new(n, &risk_seeds, ITERS))),
+        (
+            "capacity",
+            Box::new(CapacityLp::with_max_iterations(n, 64, ITERS)),
+        ),
+    ]
+}
+
+/// One fresh engine of every tier, sized for `g`: host sweep, in-core
+/// GPU, out-of-core hybrid (on a device too small for the graph, so
+/// streaming engages), and a two-device multi-GPU.
+pub fn engines(g: &Graph) -> Vec<(&'static str, Box<dyn Engine>)> {
+    let tiny = (g.num_vertices() as u64) * 20 + g.size_bytes() / 3;
+    vec![
+        ("sequential", Box::new(SequentialEngine::new())),
+        ("gpu", Box::new(GpuEngine::titan_v())),
+        (
+            "hybrid",
+            Box::new(HybridEngine::new(Device::new(DeviceConfig::tiny(tiny)))),
+        ),
+        ("multi", Box::new(MultiGpuEngine::titan_v(2))),
+    ]
+}
+
+/// A fault-free `ClassicLp` reference run on the plain GPU engine:
+/// `(labels, changed_per_iteration, active_per_iteration)`.
+pub fn reference(g: &Graph, opts: &RunOptions) -> (Vec<u32>, Vec<u64>, Vec<u64>) {
+    let mut prog = ClassicLp::new(g.num_vertices());
+    let report = GpuEngine::titan_v()
+        .run(g, &mut prog, opts)
+        .expect("fault-free reference");
+    (
+        prog.labels().to_vec(),
+        report.changed_per_iteration,
+        report.active_per_iteration,
+    )
+}
+
+/// Kernel launches one checkpointed iteration costs on the GPU engine
+/// for this graph (pick + bucket kernels + update + barrier snapshot),
+/// measured rather than assumed so fault-index arithmetic stays correct
+/// if the kernel schedule grows.
+pub fn launches_per_iteration(g: &Graph, opts: &RunOptions) -> u32 {
+    let mut probe = GpuEngine::titan_v();
+    let mut prog = ClassicLp::new(g.num_vertices());
+    let hooked = opts.clone().with_barrier_hook(BarrierHook::new(|_| {}));
+    let report = probe.run(g, &mut prog, &hooked).expect("healthy probe");
+    assert!(report.iterations >= 3, "test graph converges too fast");
+    (probe.device().kernel_log().len() as u64 / u64::from(report.iterations)) as u32
+}
+
+/// The standard deterministic fraud workload: three planted rings in a
+/// background of organic traffic, sized so LP flags the rings within a
+/// couple of reclusters. Shared by the serve and pipeline suites.
+pub fn tx_stream() -> TxStream {
+    TxStream::generate(&TxConfig {
+        num_users: 1_000,
+        num_items: 400,
+        days: 20,
+        tx_per_day: 600,
+        num_rings: 3,
+        ring_size: 10,
+        ring_tx_per_day: 30,
+        blacklist_fraction: 0.25,
+        ..Default::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_are_deterministic_and_sized_consistently() {
+        let pool = graphs();
+        assert_eq!(pool.len(), 2);
+        for (name, g) in &pool {
+            assert!(g.num_vertices() > 0, "{name} empty");
+            assert_eq!(variants(g).len(), 7);
+            assert_eq!(engines(g).len(), 4);
+        }
+        let a = tx_stream();
+        let b = tx_stream();
+        assert_eq!(a.blacklist, b.blacklist, "stream builder must be seeded");
+    }
+
+    #[test]
+    fn reference_run_is_reproducible() {
+        let g = tiny_graph();
+        let opts = RunOptions::default();
+        let (labels_a, changed_a, active_a) = reference(&g, &opts);
+        let (labels_b, changed_b, active_b) = reference(&g, &opts);
+        assert_eq!(labels_a, labels_b);
+        assert_eq!(changed_a, changed_b);
+        assert_eq!(active_a, active_b);
+        assert!(launches_per_iteration(&g, &opts) > 0);
+    }
+}

@@ -11,3 +11,4 @@ pub use glp_gpusim as gpusim;
 pub use glp_graph as graph;
 pub use glp_serve as serve;
 pub use glp_sketch as sketch;
+pub use glp_trace as trace;

@@ -15,47 +15,25 @@
 //!       the three survivors;
 //!   (d) with no fault armed, the injection hooks are inert: results and
 //!       modeled cost are identical run to run.
-//! Plus the property-based sweep: arbitrary transient faults across all
-//! four GLP engines and both frontier modes never perturb labels or the
-//! `changed` trace.
+//! Plus the observability side of recovery: a mid-run device loss must
+//! leave `degrade` / `repartition` events in the span trace, parented to
+//! the exact iteration the fault interrupted. And the property-based
+//! sweep: arbitrary transient faults across all four GLP engines and both
+//! frontier modes never perturb labels or the `changed` trace.
+//!
+//! Fixture builders (`reference`, `launches_per_iteration`) live in
+//! `glp-test-support`, shared with the frontier and golden-trace suites.
 
 #![cfg(feature = "fault-injection")]
 
-use glp_suite::core::engine::{
-    BarrierHook, GpuEngine, HybridEngine, MultiGpuEngine, SequentialEngine,
-};
+use glp_suite::core::engine::{GpuEngine, HybridEngine, MultiGpuEngine, SequentialEngine};
 use glp_suite::core::{ClassicLp, Engine, FrontierMode, LpProgram, ResilientEngine, RunOptions};
 use glp_suite::gpusim::faults::{self, FaultKind};
 use glp_suite::graph::gen::{caveman, two_cliques_bridge};
-use glp_suite::graph::Graph;
+use glp_suite::trace::{Category, Kind, Tracer};
+use glp_test_support::{launches_per_iteration, reference};
 use proptest::prelude::*;
 use std::time::Duration;
-
-/// A fault-free reference run on the plain GPU engine.
-fn reference(g: &Graph, opts: &RunOptions) -> (Vec<u32>, Vec<u64>, Vec<u64>) {
-    let mut prog = ClassicLp::new(g.num_vertices());
-    let report = GpuEngine::titan_v()
-        .run(g, &mut prog, opts)
-        .expect("fault-free reference");
-    (
-        prog.labels().to_vec(),
-        report.changed_per_iteration,
-        report.active_per_iteration,
-    )
-}
-
-/// Kernel launches one checkpointed iteration costs on the GPU engine for
-/// this graph (pick + bucket kernels + update + barrier snapshot), measured
-/// rather than assumed so the tests stay correct if the kernel schedule
-/// grows.
-fn launches_per_iteration(g: &Graph, opts: &RunOptions) -> u32 {
-    let mut probe = GpuEngine::titan_v();
-    let mut prog = ClassicLp::new(g.num_vertices());
-    let hooked = opts.clone().with_barrier_hook(BarrierHook::new(|_| {}));
-    let report = probe.run(g, &mut prog, &hooked).expect("healthy probe");
-    assert!(report.iterations >= 3, "test graph converges too fast");
-    (probe.device().kernel_log().len() as u64 / u64::from(report.iterations)) as u32
-}
 
 /// Acceptance (a): a transient launch failure is retried on the same tier
 /// and the retry resumes at the failed iteration — completed iterations
@@ -189,6 +167,101 @@ fn unarmed_injectors_change_nothing() {
     assert_eq!(report_a.changed_per_iteration, changed_a);
     assert_eq!(report_a.modeled_seconds, report_b.modeled_seconds);
     assert_eq!(report_a.snapshots_taken, 0, "no hook, no snapshot charge");
+}
+
+/// Recovery observability (ladder): a mid-run `DeviceLost` on the GPU
+/// tier must leave a `degrade` instant in the trace whose parent is the
+/// iteration span the fault interrupted — closed as an error span, so
+/// the breadcrumb points at exactly where recovery kicked in.
+#[test]
+fn device_loss_emits_degrade_span_under_failed_iteration() {
+    let g = caveman(6, 8);
+    let base = RunOptions::default();
+    let per_iter = launches_per_iteration(&g, &base);
+
+    let gpu = GpuEngine::titan_v();
+    let device = gpu.device().id();
+    let mut engine = ResilientEngine::new(vec![Box::new(gpu), Box::new(SequentialEngine::bsp())])
+        .with_backoff(Duration::ZERO, Duration::ZERO);
+    // Persistent loss inside iteration 1: the ladder must degrade, and
+    // the interrupted iteration is identifiable in the trace.
+    faults::inject_fault(device, FaultKind::DeviceLost, per_iter + 1);
+
+    let tracer = Tracer::new();
+    let opts = base.with_tracer(tracer.clone());
+    let mut prog = ClassicLp::new(g.num_vertices());
+    engine.run(&g, &mut prog, &opts).expect("ladder recovers");
+    faults::clear_device(device);
+    assert_eq!(engine.resilience().degradations, 1);
+
+    let trace = tracer.finish();
+    trace.check_well_formed(1e-9).unwrap();
+    let degrade = trace
+        .named("degrade")
+        .next()
+        .expect("degradation must leave a trace event");
+    assert_eq!(degrade.cat, Category::Resilience);
+    assert_eq!(degrade.kind, Kind::Instant);
+    let parent = trace
+        .event(degrade.parent)
+        .expect("degrade is parented to a recorded span");
+    assert_eq!(
+        parent.cat,
+        Category::Iteration,
+        "degrade must hang off the iteration the fault interrupted"
+    );
+    assert!(parent.err, "the interrupted iteration closes as an error");
+    assert_eq!(parent.arg, Some(1), "the fault fired inside iteration 1");
+    // The failed GPU run span is flagged too, and the host tier's clean
+    // run follows it in the same trace.
+    assert!(trace.named("GLP").any(|e| e.err));
+    assert!(trace.named("Sequential-BSP").any(|e| !e.err));
+}
+
+/// Recovery observability (multi-GPU): losing a device mid-run must leave
+/// a `repartition` instant inside the iteration that absorbed the loss,
+/// alongside the dispatch attempt that died on the victim.
+#[test]
+fn multi_gpu_repartition_emits_resilience_span_mid_iteration() {
+    let g = caveman(6, 8);
+    let base = RunOptions::default();
+    let (want_labels, _, _) = reference(&g, &base);
+
+    let mut engine = MultiGpuEngine::titan_v(4);
+    let victim = engine.gpus().device(1).id();
+    // Launch 0 is the victim's pick_label; launch 1 is its first
+    // propagate kernel, so the loss fires inside the dispatch span.
+    faults::inject_fault(victim, FaultKind::DeviceLost, 1);
+
+    let tracer = Tracer::new();
+    let opts = base.with_tracer(tracer.clone());
+    let mut prog = ClassicLp::new(g.num_vertices());
+    engine.run(&g, &mut prog, &opts).expect("survivors finish");
+    faults::clear_device(victim);
+    assert_eq!(prog.labels(), &want_labels[..], "recovery stays exact");
+
+    let trace = tracer.finish();
+    trace.check_well_formed(1e-9).unwrap();
+    let repartition = trace
+        .named("repartition")
+        .next()
+        .expect("repartition must leave a trace event");
+    assert_eq!(repartition.cat, Category::Resilience);
+    assert_eq!(repartition.kind, Kind::Instant);
+    let parent = trace
+        .event(repartition.parent)
+        .expect("repartition is parented to a recorded span");
+    assert_eq!(
+        parent.cat,
+        Category::Iteration,
+        "repartition lands inside the iteration that absorbed the loss"
+    );
+    // The dispatch attempt that died on the victim closes as an error
+    // span under the same iteration; the run itself still succeeds.
+    assert!(trace
+        .named("dispatch")
+        .any(|e| e.err && e.parent == parent.id));
+    assert!(trace.named("GLP-multi").all(|e| !e.err));
 }
 
 /// The engines under the property sweep. Sequential has no device to

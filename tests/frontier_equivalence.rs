@@ -8,79 +8,14 @@
 //! seeded, weighted, risk-weighted) exercise the real frontier machinery;
 //! globally-coupled programs (LLP, SLP, capacity) pin the silent dense
 //! fallback. Either way the assertion is the same: bits equal.
+//!
+//! Graph, engine, and program builders live in `glp-test-support` so this
+//! suite, the fault suite, and the golden-trace suite sweep the same
+//! fixture pool.
 
-use glp_suite::core::engine::{GpuEngine, HybridEngine, MultiGpuEngine, SequentialEngine};
-use glp_suite::core::{
-    CapacityLp, ClassicLp, Engine, FrontierMode, Llp, LpProgram, RiskWeightedLp, RunOptions,
-    SeededLp, Slp, WeightedLp,
-};
-use glp_suite::gpusim::{Device, DeviceConfig};
-use glp_suite::graph::gen::{caveman, community_powerlaw, CommunityPowerLawConfig};
-use glp_suite::graph::Graph;
-use std::sync::Arc;
-
-const ITERS: u32 = 12;
-
-fn graphs() -> Vec<(&'static str, Graph)> {
-    vec![
-        ("caveman", caveman(12, 8)),
-        (
-            "powerlaw",
-            community_powerlaw(&CommunityPowerLawConfig {
-                num_vertices: 1_500,
-                avg_degree: 8.0,
-                ..Default::default()
-            }),
-        ),
-    ]
-}
-
-/// Fresh program instances per run (programs are stateful; each run needs
-/// its own).
-fn variants(g: &Graph) -> Vec<(&'static str, Box<dyn LpProgram>)> {
-    let n = g.num_vertices();
-    let seeds: Vec<u32> = (0..n as u32).step_by(53).collect();
-    let risk_seeds: Vec<(u32, f32)> = seeds.iter().map(|&v| (v, 1.0 + (v % 5) as f32)).collect();
-    // The generators emit unweighted graphs; give WeightedLp a synthetic
-    // deterministic weight per incoming edge so it exercises real weights.
-    let edge_weights: Arc<Vec<f32>> =
-        Arc::new((0..g.num_edges()).map(|e| 0.5 + (e % 7) as f32).collect());
-    vec![
-        (
-            "classic",
-            Box::new(ClassicLp::with_max_iterations(n, ITERS)),
-        ),
-        ("llp", Box::new(Llp::with_max_iterations(n, 2.0, ITERS))),
-        ("slp", Box::new(Slp::with_params(n, 5, 0.2, ITERS, 0x5EED))),
-        (
-            "seeded",
-            Box::new(SeededLp::with_max_iterations(n, &seeds, ITERS)),
-        ),
-        (
-            "weighted",
-            Box::new(WeightedLp::new(n, edge_weights, ITERS).with_retention(0.3)),
-        ),
-        ("risk", Box::new(RiskWeightedLp::new(n, &risk_seeds, ITERS))),
-        (
-            "capacity",
-            Box::new(CapacityLp::with_max_iterations(n, 64, ITERS)),
-        ),
-    ]
-}
-
-fn engines(g: &Graph) -> Vec<(&'static str, Box<dyn Engine>)> {
-    // Hybrid on a device too small for the graph, so streaming engages.
-    let tiny = (g.num_vertices() as u64) * 20 + g.size_bytes() / 3;
-    vec![
-        ("sequential", Box::new(SequentialEngine::new())),
-        ("gpu", Box::new(GpuEngine::titan_v())),
-        (
-            "hybrid",
-            Box::new(HybridEngine::new(Device::new(DeviceConfig::tiny(tiny)))),
-        ),
-        ("multi", Box::new(MultiGpuEngine::titan_v(2))),
-    ]
-}
+use glp_suite::core::engine::GpuEngine;
+use glp_suite::core::{Engine, FrontierMode, RunOptions};
+use glp_test_support::{engines, graphs, variants, ITERS};
 
 #[test]
 fn frontier_is_bit_identical_to_dense_for_every_variant_and_engine() {
@@ -128,8 +63,7 @@ fn sparse_variants_do_less_work_under_auto() {
     // The frontier must actually engage for sparse-activation programs:
     // summed active counts under Auto must undercut Dense once settling
     // starts. (Non-sparse programs fall back to dense and are exempt.)
-    let g = caveman(12, 8);
-    let n = g.num_vertices();
+    let g = glp_suite::graph::gen::caveman(12, 8);
     for (vname, sparse) in [("classic", true), ("seeded", true), ("llp", false)] {
         let total_active = |frontier: FrontierMode| -> u64 {
             let opts = RunOptions::default()
@@ -154,5 +88,4 @@ fn sparse_variants_do_less_work_under_auto() {
             assert_eq!(auto, dense, "{vname}: dense fallback should be exact");
         }
     }
-    let _ = n;
 }

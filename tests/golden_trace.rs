@@ -1,0 +1,218 @@
+//! Golden-trace regression suite.
+//!
+//! Pins the *structure* of an exported trace — span names, categories,
+//! nesting, and kernel launch counts, with durations deliberately
+//! excluded ([`Trace::structure`](glp_suite::trace::Trace::structure)) —
+//! for a tiny pinned run, and checks that structure is byte-stable across
+//! scheduling knobs that must not change what work happens: kernel shard
+//! counts (1/2/4) and, for programs without sparse activation, Dense vs
+//! Auto frontier modes. Also pins the observability contract's other
+//! half: with no tracer attached, behavior is byte-identical — labels,
+//! convergence traces, modeled cost, and the device kernel log do not
+//! move.
+
+use glp_suite::core::engine::GpuEngine;
+use glp_suite::core::{ClassicLp, Engine, FrontierMode, Llp, LpProgram, RunOptions};
+use glp_suite::graph::Graph;
+use glp_suite::trace::Tracer;
+use glp_test_support::{tiny_graph, ITERS};
+
+/// The pinned structure of `ClassicLp` on [`tiny_graph`] under the Auto
+/// frontier: three iterations to converge, one warp-packed bucket, the
+/// frontier maintenance kernels live because classic LP has sparse
+/// activation. Regenerate (deliberately!) by printing
+/// `trace.structure()` if the kernel schedule changes.
+const GOLDEN_CLASSIC_AUTO: &str = "\
+run:GLP
+  transfer:upload
+  iteration:iteration
+    kernel:pick_label
+    dispatch:dispatch
+      kernel:lp_warp_packed
+    kernel:update_vertex
+    kernel:frontier_update
+    kernel:frontier_compact
+  iteration:iteration
+    kernel:pick_label
+    dispatch:dispatch
+      kernel:lp_warp_packed
+    kernel:update_vertex
+    kernel:frontier_update
+    kernel:frontier_compact
+  iteration:iteration
+    kernel:pick_label
+    dispatch:dispatch
+      kernel:lp_warp_packed
+    kernel:update_vertex
+    kernel:frontier_update
+    kernel:frontier_compact
+  transfer:download
+";
+
+/// The pinned structure of LLP on the same graph: identical shape minus
+/// the frontier kernels (LLP's global volumes force the dense fallback,
+/// so no frontier is maintained).
+const GOLDEN_LLP: &str = "\
+run:GLP
+  transfer:upload
+  iteration:iteration
+    kernel:pick_label
+    dispatch:dispatch
+      kernel:lp_warp_packed
+    kernel:update_vertex
+  iteration:iteration
+    kernel:pick_label
+    dispatch:dispatch
+      kernel:lp_warp_packed
+    kernel:update_vertex
+  iteration:iteration
+    kernel:pick_label
+    dispatch:dispatch
+      kernel:lp_warp_packed
+    kernel:update_vertex
+  transfer:download
+";
+
+fn classic(g: &Graph) -> Box<dyn LpProgram> {
+    Box::new(ClassicLp::with_max_iterations(g.num_vertices(), ITERS))
+}
+
+fn llp(g: &Graph) -> Box<dyn LpProgram> {
+    Box::new(Llp::with_max_iterations(g.num_vertices(), 2.0, ITERS))
+}
+
+/// Runs `prog` traced on the single-GPU engine and returns the
+/// durations-free structural export, after checking well-formedness.
+fn traced_structure(
+    g: &Graph,
+    mut prog: Box<dyn LpProgram>,
+    shards: usize,
+    frontier: FrontierMode,
+) -> String {
+    let tracer = Tracer::new();
+    let opts = RunOptions::default()
+        .with_max_iterations(ITERS)
+        .with_shards(shards)
+        .with_frontier(frontier)
+        .with_tracer(tracer.clone());
+    GpuEngine::titan_v()
+        .run(g, prog.as_mut(), &opts)
+        .expect("pinned run succeeds");
+    let trace = tracer.finish();
+    trace.check_well_formed(1e-9).expect("trace is well-formed");
+    assert_eq!(trace.dropped, 0, "tiny run must not hit the sink bound");
+    trace.structure()
+}
+
+/// The embedded goldens hold for the pinned tiny run. A diff here means
+/// the engine's kernel schedule (or span instrumentation) changed shape —
+/// regenerate the constants only if that was intentional.
+#[test]
+fn tiny_run_structure_matches_embedded_golden() {
+    let g = tiny_graph();
+    assert_eq!(
+        traced_structure(&g, classic(&g), 1, FrontierMode::Auto),
+        GOLDEN_CLASSIC_AUTO,
+        "classic/auto structure drifted from the golden"
+    );
+    assert_eq!(
+        traced_structure(&g, llp(&g), 1, FrontierMode::Auto),
+        GOLDEN_LLP,
+        "llp structure drifted from the golden"
+    );
+}
+
+/// Shard count is intra-launch parallelism only: one kernel span per
+/// launch regardless, so the exported structure is byte-identical across
+/// 1/2/4 shards for both a sparse-activation and a dense program.
+#[test]
+fn structure_is_byte_stable_across_shard_counts() {
+    let g = tiny_graph();
+    for shards in [1usize, 2, 4] {
+        assert_eq!(
+            traced_structure(&g, classic(&g), shards, FrontierMode::Auto),
+            GOLDEN_CLASSIC_AUTO,
+            "classic structure changed at {shards} shards"
+        );
+        assert_eq!(
+            traced_structure(&g, llp(&g), shards, FrontierMode::Auto),
+            GOLDEN_LLP,
+            "llp structure changed at {shards} shards"
+        );
+    }
+}
+
+/// For a program without sparse activation the Auto frontier silently
+/// falls back to dense, so Dense and Auto must produce byte-identical
+/// structure — at every shard count.
+#[test]
+fn dense_and_auto_structures_agree_for_non_sparse_programs() {
+    let g = tiny_graph();
+    assert!(
+        !llp(&g).sparse_activation(),
+        "golden axis requires a dense-fallback program"
+    );
+    for shards in [1usize, 2, 4] {
+        for mode in [FrontierMode::Dense, FrontierMode::Auto] {
+            assert_eq!(
+                traced_structure(&g, llp(&g), shards, mode),
+                GOLDEN_LLP,
+                "llp structure changed under {mode:?} at {shards} shards"
+            );
+        }
+    }
+}
+
+/// Tracing must only observe: running with no tracer attached is
+/// byte-identical to a traced run — labels, both convergence traces,
+/// modeled seconds, snapshot accounting, and the device's kernel log
+/// (names and bit-exact charged seconds) all match.
+#[test]
+fn disabled_tracing_is_byte_identical() {
+    let g = tiny_graph();
+    let run = |tracer: Option<Tracer>| {
+        let mut opts = RunOptions::default().with_max_iterations(ITERS);
+        if let Some(t) = tracer {
+            opts = opts.with_tracer(t);
+        }
+        let mut engine = GpuEngine::titan_v();
+        let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), ITERS);
+        let report = engine.run(&g, &mut prog, &opts).expect("run succeeds");
+        let log: Vec<(&'static str, u64)> = engine
+            .device()
+            .kernel_log()
+            .iter()
+            .map(|r| (r.name, r.seconds.to_bits()))
+            .collect();
+        (prog.labels().to_vec(), report, log)
+    };
+
+    let tracer = Tracer::new();
+    let (labels_t, report_t, log_t) = run(Some(tracer.clone()));
+    let (labels_p, report_p, log_p) = run(None);
+
+    assert!(
+        !tracer.finish().events.is_empty(),
+        "the traced run actually recorded"
+    );
+    assert_eq!(labels_t, labels_p, "tracing changed the labels");
+    assert_eq!(
+        report_t.changed_per_iteration,
+        report_p.changed_per_iteration
+    );
+    assert_eq!(report_t.active_per_iteration, report_p.active_per_iteration);
+    assert_eq!(report_t.iterations, report_p.iterations);
+    assert_eq!(
+        report_t.modeled_seconds.to_bits(),
+        report_p.modeled_seconds.to_bits(),
+        "tracing changed the modeled clock"
+    );
+    assert_eq!(report_t.snapshots_taken, report_p.snapshots_taken);
+    assert_eq!(log_t, log_p, "tracing changed the kernel log");
+    // The profile is filled from the kernel log either way.
+    assert_eq!(report_t.kernel_profile.len(), report_p.kernel_profile.len());
+    assert_eq!(
+        report_t.kernel_profile.total_seconds().to_bits(),
+        report_p.kernel_profile.total_seconds().to_bits()
+    );
+}
