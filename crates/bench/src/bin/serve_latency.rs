@@ -11,15 +11,31 @@
 //! silent — while query latency stays bounded; that is the service's
 //! contract and this binary is how it is checked.
 //!
+//! It then measures the **sharding scaling curve**: the same regional
+//! stream driven through a [`FleetCore`] at 1, 2, 4, and 8 shards with
+//! community-aware routing and full boundary exchanges at the recluster
+//! cadence. The container has one core, so shard reclusters run
+//! sequentially and each wall is measured in isolation; a parallel
+//! deployment's round cost is modeled as `max(shard walls) + exchange
+//! wall`, giving a modeled tx/s per shard count. The curve self-asserts:
+//! 4 shards must model at least `--scaling-min-speedup` (default 2×) the
+//! 1-shard throughput, or the bench exits non-zero.
+//!
 //! Usage: `cargo run -p glp-bench --release --bin serve_latency
 //!         [--loads 0.5,1,2] [--stage-ms 400] [--json BENCH_serve.json]
 //!         [--users N] [--days N] [--tx-per-day N] [--window-days N]
-//!         [--queue N] [--max-batch N] [--recluster-every N] [--burst-ms N]`
+//!         [--queue N] [--max-batch N] [--recluster-every N] [--burst-ms N]
+//!         [--no-scaling] [--scaling-shards 1,2,4,8] [--scaling-regions N]
+//!         [--scaling-users-per-region N] [--scaling-tx-per-day N]
+//!         [--scaling-days N] [--scaling-min-speedup X] [--no-scaling-assert]`
 
 use glp_bench::table::print_table;
 use glp_bench::Args;
-use glp_fraud::{Transaction, TxConfig, TxStream};
-use glp_serve::{FraudScorer, FraudService, ServeConfig, ServiceCore, Verdict};
+use glp_fraud::{RegionalStream, RegionalTxConfig, Transaction, TxConfig, TxStream};
+use glp_serve::{
+    FleetConfig, FleetCore, FraudScorer, FraudService, Partitioner, ServeConfig, ServiceCore,
+    Verdict,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -102,6 +118,12 @@ fn main() {
         &rows,
     );
 
+    let scaling = if args.has("no-scaling") {
+        serde_json::Value::Null
+    } else {
+        run_scaling(&args)
+    };
+
     let doc = serde_json::json!({
         "bench": "serve_latency",
         "transactions": all.len() as u64,
@@ -114,6 +136,7 @@ fn main() {
             "window_days": cfg.window_days,
         }),
         "rows": json_rows,
+        "scaling": scaling,
     });
     std::fs::write(
         json_path,
@@ -248,4 +271,165 @@ fn run_stage(
         "query_latency_ns": t.query_latency.to_json(),
     });
     (row, json)
+}
+
+/// Measures the sharding scaling curve: tx/s versus shard count on one
+/// regional stream with community-aware routing. Shard reclusters run
+/// sequentially here (one core), each wall measured in isolation; the
+/// modeled parallel cost of an exchange round is `max(shard walls) +
+/// exchange wall`, plus the measured routing/apply wall which is serial
+/// in the router either way. Self-asserts 4 shards >= the configured
+/// multiple of 1-shard modeled throughput.
+fn run_scaling(args: &Args) -> serde_json::Value {
+    let shard_counts: Vec<usize> = args
+        .get_str("scaling-shards")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|s| s.trim().parse().expect("--scaling-shards takes integers"))
+        .collect();
+    let window_days = args.get("window-days", 10);
+    let max_batch: usize = args.get("max-batch", 512);
+    let exchange_every: u64 = args.get("recluster-every", 8);
+    let r_cfg = RegionalTxConfig {
+        regions: args.get("scaling-regions", 8),
+        users_per_region: args.get("scaling-users-per-region", 400),
+        items_per_region: args.get("scaling-items-per-region", 150),
+        days: args.get("scaling-days", 12),
+        tx_per_day: args.get("scaling-tx-per-day", 6_000),
+        cross_rings: 8,
+        ring_size: 12,
+        ring_tx_per_day: 40,
+        blacklist_fraction: 0.25,
+        ..Default::default()
+    };
+    eprintln!(
+        "... generating regional stream ({} regions, {} days) for the scaling curve",
+        r_cfg.regions, r_cfg.days
+    );
+    let stream = RegionalStream::generate(&r_cfg);
+    let all: Vec<Transaction> = stream.window(0, r_cfg.days).copied().collect();
+    eprintln!("... {} transactions", all.len());
+
+    let mut rows = Vec::new();
+    let mut json_rows: Vec<serde_json::Value> = Vec::new();
+    let mut modeled: Vec<(usize, f64)> = Vec::new();
+    for &n in &shard_counts {
+        eprintln!("... scaling: {n} shard(s)");
+        let cfg = FleetConfig {
+            shards: n,
+            exchange_every_batches: exchange_every,
+            ..FleetConfig::default()
+        }
+        .with_window_days(window_days);
+        let core = FleetCore::new(
+            cfg,
+            Partitioner::balanced(n, 7, stream.community_map()),
+            stream.blacklist.clone(),
+        );
+        let mut apply_wall = 0.0f64;
+        let mut round_wall = 0.0f64;
+        let mut exchange_wall = 0.0f64;
+        let mut rounds = 0u64;
+        let mut batches = 0u64;
+        let mut boundary_users = 0usize;
+        let mut spanning = 0usize;
+        let mut exchange = |core: &FleetCore| {
+            let o = core.exchange_now();
+            round_wall += o.shard_walls.iter().copied().fold(0.0, f64::max) + o.exchange_wall;
+            exchange_wall += o.exchange_wall;
+            rounds += 1;
+            boundary_users = o.report.boundary_users;
+            spanning = o.report.spanning_components;
+        };
+        for chunk in all.chunks(max_batch) {
+            let t0 = Instant::now();
+            core.apply_transactions(chunk);
+            apply_wall += t0.elapsed().as_secs_f64();
+            batches += 1;
+            if batches.is_multiple_of(exchange_every) {
+                exchange(&core);
+            }
+        }
+        exchange(&core);
+        assert!(
+            core.fleet_snapshot().verdicts.num_flagged() > 0,
+            "scaling run must flag the planted rings"
+        );
+        let modeled_wall = apply_wall + round_wall;
+        let tx_per_s = all.len() as f64 / modeled_wall;
+        modeled.push((n, tx_per_s));
+        let speedup = tx_per_s / modeled[0].1;
+        rows.push(vec![
+            format!("{n}"),
+            format!("{}", all.len()),
+            format!("{rounds}"),
+            format!("{:.3}s", apply_wall),
+            format!("{:.3}s", round_wall),
+            format!("{:.3}s", modeled_wall),
+            format!("{tx_per_s:.0}"),
+            format!("{speedup:.2}x"),
+            format!("{boundary_users}"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "shards": n as u64,
+            "transactions": all.len() as u64,
+            "exchange_rounds": rounds,
+            "apply_wall_s": apply_wall,
+            "modeled_round_wall_s": round_wall,
+            "exchange_wall_s": exchange_wall,
+            "modeled_wall_s": modeled_wall,
+            "modeled_tx_per_s": tx_per_s,
+            "speedup_vs_1shard": speedup,
+            "boundary_users": boundary_users as u64,
+            "spanning_components": spanning as u64,
+        }));
+    }
+
+    println!("serve_latency: sharding scaling curve (modeled-parallel rounds)");
+    print_table(
+        &[
+            "shards",
+            "txs",
+            "rounds",
+            "apply",
+            "round wall",
+            "modeled",
+            "tx/s",
+            "speedup",
+            "boundary",
+        ],
+        &rows,
+    );
+
+    let min_speedup: f64 = args.get("scaling-min-speedup", 2.0);
+    let one = modeled.iter().find(|(n, _)| *n == 1).map(|&(_, t)| t);
+    let four = modeled.iter().find(|(n, _)| *n == 4).map(|&(_, t)| t);
+    let checked = one.zip(four).map(|(t1, t4)| t4 / t1);
+    let ok = checked.map(|s| s >= min_speedup);
+    if let Some(s) = checked {
+        eprintln!("... 4-shard speedup over 1-shard: {s:.2}x (floor {min_speedup:.1}x)");
+        if !args.has("no-scaling-assert") {
+            assert!(
+                s >= min_speedup,
+                "scaling regression: 4-shard modeled throughput is only {s:.2}x the \
+                 1-shard baseline (floor {min_speedup:.1}x)"
+            );
+        }
+    }
+    serde_json::json!({
+        "stream": serde_json::json!({
+            "regions": r_cfg.regions as u64,
+            "users_per_region": r_cfg.users_per_region as u64,
+            "days": r_cfg.days,
+            "tx_per_day": r_cfg.tx_per_day as u64,
+            "transactions": all.len() as u64,
+        }),
+        "exchange_every_batches": exchange_every,
+        "rows": json_rows,
+        "assert": serde_json::json!({
+            "min_speedup_4x_over_1": min_speedup,
+            "measured_speedup_4_over_1": checked.unwrap_or(0.0),
+            "ok": ok.unwrap_or(false),
+        }),
+    })
 }

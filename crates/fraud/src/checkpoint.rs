@@ -16,7 +16,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "GLPW"
-//! 4       4     format version (le u32, currently 1)
+//! 4       4     format version (le u32, currently 2)
 //! 8       4     window days          (le u32)
 //! 12      4     window end day       (le u32, exclusive)
 //! 16      8     batches applied      (le u64)
@@ -25,8 +25,17 @@
 //! 36      8C    counters             (le u64 each, caller-defined order)
 //! 36+8C   8     transaction count T  (le u64)
 //! ...     16T   transactions         (buyer, item, day: le u32; amount: f32 bits)
+//! ...     8     sequence count S     (le u64; v2 only, S = 0 or S = T)
+//! ...     8S    sequence stamps      (le u64 each, strictly increasing)
 //! end-4   4     CRC-32 (IEEE) of every preceding byte
 //! ```
+//!
+//! Version 2 appends an optional per-transaction *sequence stamp*
+//! section: the sharded service (`glp-serve`'s shard cores) stamps every
+//! routed transaction with a fleet-global arrival sequence so that a
+//! restored fleet can reconstruct the cross-shard interleaving its
+//! label-exchange protocol merges by. Version-1 images (no stamp
+//! section) still decode, with `seqs` empty.
 //!
 //! Writes go through a temp file + atomic rename, so a crash mid-write
 //! leaves the previous checkpoint intact; reads verify magic, version,
@@ -42,10 +51,11 @@ use std::io::{self, Write};
 use std::path::Path;
 
 /// Current encoding version. Bump on any layout change; [`decode`]
-/// rejects versions it does not know.
+/// rejects versions it does not know (version 1, which lacks the
+/// sequence-stamp section, is still accepted).
 ///
 /// [`decode`]: WindowCheckpoint::decode
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 4] = *b"GLPW";
 const HEADER_BYTES: usize = 36;
@@ -116,10 +126,16 @@ pub struct WindowCheckpoint {
     pub counters: Vec<u64>,
     /// The live-transaction log in arrival order.
     pub log: Vec<Transaction>,
+    /// Fleet-global arrival sequence stamps, parallel to `log` (strictly
+    /// increasing). Empty for single-core checkpoints and version-1
+    /// images; a shard core records them so cross-shard arrival order
+    /// survives a fleet restart (see [`Self::capture_with_seqs`]).
+    pub seqs: Vec<u64>,
 }
 
 impl WindowCheckpoint {
-    /// Captures `window` together with the serving clocks and counters.
+    /// Captures `window` together with the serving clocks and counters
+    /// (no sequence stamps — the single-core path).
     pub fn capture(
         window: &IncrementalWindow,
         batches_applied: u64,
@@ -133,7 +149,27 @@ impl WindowCheckpoint {
             snapshot_epoch,
             counters,
             log: window.transactions().copied().collect(),
+            seqs: Vec::new(),
         }
+    }
+
+    /// [`Self::capture`] plus the shard's fleet-global sequence stamps,
+    /// which must parallel the window's live log one-to-one.
+    pub fn capture_with_seqs(
+        window: &IncrementalWindow,
+        batches_applied: u64,
+        snapshot_epoch: u64,
+        counters: Vec<u64>,
+        seqs: Vec<u64>,
+    ) -> Self {
+        assert_eq!(
+            seqs.len(),
+            window.num_transactions(),
+            "sequence stamps must parallel the live log"
+        );
+        let mut ckpt = Self::capture(window, batches_applied, snapshot_epoch, counters);
+        ckpt.seqs = seqs;
+        ckpt
     }
 
     /// Reconstructs the window this checkpoint captured. Validates the
@@ -146,7 +182,13 @@ impl WindowCheckpoint {
     /// Serializes to the versioned, CRC-trailed byte layout.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(
-            HEADER_BYTES + 8 * self.counters.len() + 8 + TX_BYTES * self.log.len() + 4,
+            HEADER_BYTES
+                + 8 * self.counters.len()
+                + 8
+                + TX_BYTES * self.log.len()
+                + 8
+                + 8 * self.seqs.len()
+                + 4,
         );
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
@@ -164,6 +206,10 @@ impl WindowCheckpoint {
             out.extend_from_slice(&t.item.to_le_bytes());
             out.extend_from_slice(&t.day.to_le_bytes());
             out.extend_from_slice(&t.amount.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(self.seqs.len() as u64).to_le_bytes());
+        for s in &self.seqs {
+            out.extend_from_slice(&s.to_le_bytes());
         }
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
@@ -185,7 +231,7 @@ impl WindowCheckpoint {
             return Err(CheckpointError::BadMagic);
         }
         let version = read_u32(payload, 4);
-        if version != CHECKPOINT_VERSION {
+        if version != 1 && version != CHECKPOINT_VERSION {
             return Err(CheckpointError::BadVersion(version));
         }
         let days = read_u32(payload, 8);
@@ -202,8 +248,28 @@ impl WindowCheckpoint {
             .collect();
         let n_txs = read_u64(payload, counters_end) as usize;
         let txs_start = counters_end + 8;
-        if payload.len() != txs_start + TX_BYTES * n_txs {
-            return Err(CheckpointError::Truncated);
+        let txs_end = txs_start + TX_BYTES * n_txs;
+        // Version 1 ends at the transaction section; version 2 appends
+        // the sequence-stamp section (count + stamps).
+        let n_seqs = if version == 1 {
+            if payload.len() != txs_end {
+                return Err(CheckpointError::Truncated);
+            }
+            0
+        } else {
+            if payload.len() < txs_end + 8 {
+                return Err(CheckpointError::Truncated);
+            }
+            let n_seqs = read_u64(payload, txs_end) as usize;
+            if payload.len() != txs_end + 8 + 8 * n_seqs {
+                return Err(CheckpointError::Truncated);
+            }
+            n_seqs
+        };
+        if n_seqs != 0 && n_seqs != n_txs {
+            return Err(CheckpointError::Invalid(
+                "sequence stamps must be empty or parallel the log",
+            ));
         }
         let log: Vec<Transaction> = (0..n_txs)
             .map(|i| {
@@ -216,6 +282,14 @@ impl WindowCheckpoint {
                 }
             })
             .collect();
+        let seqs: Vec<u64> = (0..n_seqs)
+            .map(|i| read_u64(payload, txs_end + 8 + 8 * i))
+            .collect();
+        if seqs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CheckpointError::Invalid(
+                "sequence stamps must be strictly increasing",
+            ));
+        }
         let ckpt = Self {
             days,
             end,
@@ -223,6 +297,7 @@ impl WindowCheckpoint {
             snapshot_epoch,
             counters,
             log,
+            seqs,
         };
         // Reject images that decode but describe an impossible window.
         ckpt.restore_window()?;
@@ -445,6 +520,9 @@ mod tests {
                     amount: -0.25,
                 },
             ],
+            // Non-empty so the corruption sweep crosses the v2
+            // sequence-stamp section too.
+            seqs: vec![3, 12],
         };
         let good = ckpt.encode();
         WindowCheckpoint::decode(&good).expect("pristine image decodes");
@@ -482,9 +560,78 @@ mod tests {
                 day: 11,
                 amount: 1.0,
             }],
+            seqs: vec![],
         };
         assert!(matches!(
             WindowCheckpoint::decode(&ckpt.encode()),
+            Err(CheckpointError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn sequence_stamps_roundtrip() {
+        let s = stream();
+        let w = IncrementalWindow::new(&s, 7, s.config.days);
+        let seqs: Vec<u64> = (0..w.num_transactions() as u64)
+            .map(|i| i * 3 + 5)
+            .collect();
+        let ckpt = WindowCheckpoint::capture_with_seqs(&w, 11, 2, vec![4], seqs.clone());
+        let decoded = WindowCheckpoint::decode(&ckpt.encode()).expect("roundtrip");
+        assert_eq!(decoded.seqs, seqs);
+        assert_eq!(decoded.log.len(), decoded.seqs.len());
+    }
+
+    #[test]
+    fn version_1_images_decode_with_empty_seqs() {
+        // Hand-build a v1 image: same layout minus the sequence section,
+        // version field 1, CRC recomputed — what an old build wrote.
+        let ckpt = WindowCheckpoint {
+            days: 3,
+            end: 5,
+            batches_applied: 1,
+            snapshot_epoch: 0,
+            counters: vec![6],
+            log: vec![Transaction {
+                buyer: 1,
+                item: 2,
+                day: 4,
+                amount: 2.0,
+            }],
+            seqs: vec![],
+        };
+        let v2 = ckpt.encode();
+        // Strip CRC (4) and the empty sequence section (8), rewrite the
+        // version field, re-CRC.
+        let mut v1 = v2[..v2.len() - 12].to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let crc = crc32(&v1).to_le_bytes();
+        v1.extend_from_slice(&crc);
+        let decoded = WindowCheckpoint::decode(&v1).expect("v1 image decodes");
+        assert!(decoded.seqs.is_empty());
+        assert_eq!(decoded.log.len(), 1);
+        assert_eq!(decoded.counters, vec![6]);
+    }
+
+    #[test]
+    fn malformed_sequence_sections_are_rejected() {
+        let s = stream();
+        let w = IncrementalWindow::new(&s, 7, s.config.days);
+        let n = w.num_transactions();
+        assert!(n > 2, "test stream too small");
+
+        // Stamp count that is neither 0 nor T.
+        let mut short = WindowCheckpoint::capture(&w, 0, 0, vec![]);
+        short.seqs = vec![1, 2];
+        assert!(matches!(
+            WindowCheckpoint::decode(&short.encode()),
+            Err(CheckpointError::Invalid(_))
+        ));
+
+        // Non-increasing stamps.
+        let mut flat = WindowCheckpoint::capture(&w, 0, 0, vec![]);
+        flat.seqs = vec![7; n];
+        assert!(matches!(
+            WindowCheckpoint::decode(&flat.encode()),
             Err(CheckpointError::Invalid(_))
         ));
     }

@@ -188,6 +188,35 @@ impl IncrementalWindow {
         }
     }
 
+    /// Splits the window into `shards` sub-windows by routing each
+    /// transaction through `route` on its buyer — the fleet-migration
+    /// path, which carves a single-core window into per-shard windows
+    /// without re-reading any stream. Each sub-window shares this
+    /// window's length and end day, and its log is the order-preserving
+    /// subsequence of this window's log routed to it, so every
+    /// sub-window satisfies the day-order invariant by construction.
+    pub fn partition_by(
+        &self,
+        shards: usize,
+        route: impl Fn(u32) -> usize,
+    ) -> Vec<IncrementalWindow> {
+        assert!(shards >= 1, "need at least one shard");
+        let mut parts: Vec<IncrementalWindow> = (0..shards)
+            .map(|_| Self {
+                days: self.days,
+                end: self.end,
+                counts: HashMap::new(),
+                log: VecDeque::new(),
+            })
+            .collect();
+        for t in &self.log {
+            let shard = route(t.buyer);
+            assert!(shard < shards, "route returned shard {shard} of {shards}");
+            parts[shard].push(*t);
+        }
+        parts
+    }
+
     /// Materializes the current window as a [`WindowWorkload`] by
     /// replaying the live-transaction log through the shared single-pass
     /// construction — bit-identical to a from-scratch build of the same
@@ -307,6 +336,42 @@ mod tests {
         inc.advance(&s); // now exactly day 1
         let reference = IncrementalWindow::new(&s, 1, 2);
         assert_eq!(inc.num_pairs(), reference.num_pairs());
+    }
+
+    #[test]
+    fn partition_by_preserves_and_covers_the_log() {
+        let s = stream();
+        let inc = IncrementalWindow::new(&s, 7, s.config.days);
+
+        // One shard: identity.
+        let whole = inc.partition_by(1, |_| 0);
+        assert_eq!(whole.len(), 1);
+        assert!(graphs_equal(&whole[0].graph(), &inc.graph()));
+        assert_eq!(whole[0].end(), inc.end());
+
+        // Three shards: disjoint cover, each a valid window.
+        let parts = inc.partition_by(3, |buyer| buyer as usize % 3);
+        let total: usize = parts.iter().map(|p| p.num_transactions()).sum();
+        assert_eq!(total, inc.num_transactions());
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.end(), inc.end());
+            assert_eq!(p.days(), inc.days());
+            assert!(p.num_transactions() > 0, "shard {i} unexpectedly empty");
+            assert!(p.transactions().all(|t| t.buyer as usize % 3 == i));
+            p.materialize(); // must not violate window invariants
+        }
+
+        // Reuniting the sub-logs in arrival order rebuilds the original
+        // window bit for bit (stable partition = order-preserving).
+        let mut merged: Vec<Transaction> = Vec::new();
+        let mut iters: Vec<_> = parts.iter().map(|p| p.transactions().peekable()).collect();
+        for t in inc.transactions() {
+            let shard = t.buyer as usize % 3;
+            merged.push(*iters[shard].next().expect("sub-log exhausted early"));
+            assert_eq!(merged.last().map(|m| m.buyer), Some(t.buyer));
+        }
+        let rebuilt = IncrementalWindow::from_parts(7, inc.end(), merged).expect("valid merge");
+        assert!(graphs_equal(&rebuilt.graph(), &inc.graph()));
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub use checkpoint::{CheckpointError, WindowCheckpoint, CHECKPOINT_VERSION};
 pub use incremental::IncrementalWindow;
 pub use inhouse::InHouseLp;
 pub use pipeline::{FlaggedCluster, FraudPipeline, PipelineConfig, PipelineReport};
-pub use transactions::{Transaction, TxConfig, TxStream};
+pub use transactions::{RegionalStream, RegionalTxConfig, Transaction, TxConfig, TxStream};
 pub use window::{WindowSpec, WindowWorkload};

@@ -186,6 +186,221 @@ impl TxStream {
     }
 }
 
+/// Configuration for [`RegionalStream`]: a population organized into
+/// geographic regions whose organic traffic is strictly region-local,
+/// with a configurable number of fraud rings deliberately straddling
+/// *adjacent region pairs*. The regions are the natural communities a
+/// community-aware partitioner co-locates, and the cross rings are the
+/// boundary structure a sharded service's label exchange must reconcile
+/// — which is exactly what the fleet determinism tests need engineered
+/// into the graph.
+#[derive(Clone, Debug)]
+pub struct RegionalTxConfig {
+    /// Number of regions (communities).
+    pub regions: u32,
+    /// Users per region; user ids are region-major
+    /// (`region r` owns `[r*users_per_region, (r+1)*users_per_region)`).
+    pub users_per_region: u32,
+    /// Items per region, region-major like users.
+    pub items_per_region: u32,
+    /// Days of history to generate.
+    pub days: u32,
+    /// Organic (region-local) transactions per day across all regions.
+    pub tx_per_day: u32,
+    /// Fraud rings whose membership straddles two adjacent regions.
+    pub cross_rings: u32,
+    /// Members per ring (half per side of the region cut).
+    pub ring_size: u32,
+    /// Ring transactions per ring per day.
+    pub ring_tx_per_day: u32,
+    /// Fraction of each ring already black-listed (the LP seeds).
+    pub blacklist_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RegionalTxConfig {
+    fn default() -> Self {
+        Self {
+            regions: 8,
+            users_per_region: 1_000,
+            items_per_region: 400,
+            days: 15,
+            tx_per_day: 4_000,
+            cross_rings: 8,
+            ring_size: 10,
+            ring_tx_per_day: 30,
+            blacklist_fraction: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated regional stream plus ground truth — the sharded-serving
+/// analogue of [`TxStream`]. Organic purchases never leave their region,
+/// so with a region-respecting partition the *only* cross-shard edges
+/// are the injected cross rings.
+#[derive(Clone, Debug)]
+pub struct RegionalStream {
+    /// All transactions, sorted by day.
+    pub transactions: Vec<Transaction>,
+    /// Black-listed users (subset of ring members), ascending.
+    pub blacklist: Vec<u32>,
+    /// Ring membership ground truth: `ring_of[user] = Some(ring index)`.
+    pub ring_of: Vec<Option<u32>>,
+    /// The configuration that produced this stream.
+    pub config: RegionalTxConfig,
+}
+
+impl RegionalStream {
+    /// Generates the stream for `cfg`.
+    ///
+    /// Ring `k` straddles regions `k % regions` and `(k + 1) % regions`:
+    /// half its members come from the top of the first region's id range,
+    /// half from just below the top of the second's, so each region hosts
+    /// at most one ring's "A side" and one ring's "B side" in disjoint
+    /// id slots. Ring targets are items from the first region's catalog
+    /// tail — every ring transaction therefore crosses the region cut
+    /// whenever the buyer sits on the B side.
+    ///
+    /// The top `ring_size` user slots and top ring-target item slots of
+    /// every region are *reserved*: organic traffic never draws them.
+    /// Rings are dedicated mule accounts washing dedicated listings, so
+    /// each ring forms its own small connected component bridging a
+    /// region cut instead of transitively merging both regions' organic
+    /// graphs — cross-shard reconciliation work stays proportional to
+    /// the fraud, which is what makes community-aware sharding pay.
+    pub fn generate(cfg: &RegionalTxConfig) -> Self {
+        assert!(cfg.regions > 0 && cfg.users_per_region > 0, "need users");
+        assert!(cfg.items_per_region > 0, "need items");
+        assert!(
+            cfg.cross_rings <= cfg.regions,
+            "at most one cross ring per region pair"
+        );
+        assert!(cfg.ring_size >= 2, "a cross ring needs both sides");
+        assert!(
+            cfg.users_per_region >= 2 * cfg.ring_size,
+            "regions too small for disjoint ring slots"
+        );
+        assert!(
+            cfg.items_per_region > RING_ITEMS,
+            "regions too small for ring target items"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.blacklist_fraction),
+            "blacklist fraction is a probability"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let upr = cfg.users_per_region;
+        let ipr = cfg.items_per_region;
+        let num_users = cfg.regions * upr;
+
+        // Ring membership: side A takes the top `half` id slots of its
+        // region, side B the `half` slots directly below its region's
+        // side-A slots — disjoint because upr >= 2*ring_size.
+        let half = cfg.ring_size / 2;
+        let mut ring_of = vec![None; num_users as usize];
+        let mut members: Vec<Vec<u32>> = Vec::with_capacity(cfg.cross_rings as usize);
+        let mut blacklist = Vec::new();
+        for k in 0..cfg.cross_rings {
+            let (a, b) = (k % cfg.regions, (k + 1) % cfg.regions);
+            let mut ring = Vec::with_capacity(cfg.ring_size as usize);
+            for i in 0..half {
+                ring.push(a * upr + upr - 1 - i);
+            }
+            for i in 0..(cfg.ring_size - half) {
+                ring.push(b * upr + upr - 1 - half - i);
+            }
+            for (pos, &u) in ring.iter().enumerate() {
+                ring_of[u as usize] = Some(k);
+                if (pos as f64) < cfg.blacklist_fraction * f64::from(cfg.ring_size) {
+                    blacklist.push(u);
+                }
+            }
+            members.push(ring);
+        }
+        blacklist.sort_unstable();
+
+        // Ring targets: RING_ITEMS from the A-side region's catalog tail.
+        let ring_items: Vec<Vec<u32>> = (0..cfg.cross_rings)
+            .map(|k| {
+                let a = k % cfg.regions;
+                (0..RING_ITEMS).map(|j| a * ipr + ipr - 1 - j).collect()
+            })
+            .collect();
+
+        let total = (u64::from(cfg.days)
+            * (u64::from(cfg.tx_per_day)
+                + u64::from(cfg.cross_rings) * u64::from(cfg.ring_tx_per_day)))
+            as usize;
+        let mut transactions = Vec::with_capacity(total);
+        for day in 0..cfg.days {
+            for _ in 0..cfg.tx_per_day {
+                // Organic traffic is strictly region-local: buyer and item
+                // are drawn uniformly from the *same* region, excluding
+                // the reserved mule and ring-target slots at the top of
+                // each range. Rings are dedicated mule accounts washing
+                // dedicated listings, so each ring is its own small
+                // connected component straddling a region cut — the
+                // boundary set a community-aware partitioner must
+                // reconcile stays proportional to the fraud, not to the
+                // organic population.
+                let region = rng.gen_range(0..cfg.regions);
+                transactions.push(Transaction {
+                    buyer: region * upr + rng.gen_range(0..upr - cfg.ring_size),
+                    item: region * ipr + rng.gen_range(0..ipr - RING_ITEMS),
+                    day,
+                    amount: rng.gen_range(1.0..500.0),
+                });
+            }
+            for (k, ring) in members.iter().enumerate() {
+                for _ in 0..cfg.ring_tx_per_day {
+                    let buyer = ring[rng.gen_range(0..ring.len())];
+                    let item = ring_items[k][rng.gen_range(0..RING_ITEMS as usize)];
+                    transactions.push(Transaction {
+                        buyer,
+                        item,
+                        day,
+                        amount: rng.gen_range(1.0..20.0), // small wash trades
+                    });
+                }
+            }
+        }
+        Self {
+            transactions,
+            blacklist,
+            ring_of,
+            config: cfg.clone(),
+        }
+    }
+
+    /// The region (community) owning `user`.
+    pub fn region_of(&self, user: u32) -> u32 {
+        user / self.config.users_per_region
+    }
+
+    /// Total user population.
+    pub fn num_users(&self) -> u32 {
+        self.config.regions * self.config.users_per_region
+    }
+
+    /// Transactions with `day` in `[from, to)`.
+    pub fn window(&self, from: u32, to: u32) -> impl Iterator<Item = &Transaction> {
+        self.transactions
+            .iter()
+            .filter(move |t| t.day >= from && t.day < to)
+    }
+
+    /// `user → region` for every user — the community map a
+    /// community-aware partitioner consumes.
+    pub fn community_map(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_users()).map(|u| (u, self.region_of(u)))
+    }
+}
+
+/// Target items per fraud ring (both generators).
+const RING_ITEMS: u32 = 4;
+
 /// Prefix sums of Zipf weights `1/(i+1)^skew`.
 fn zipf_prefix(n: u32, skew: f64) -> Vec<f64> {
     let mut acc = 0.0;
@@ -255,6 +470,88 @@ mod tests {
         assert!(s.window(2, 5).all(|t| (2..5).contains(&t.day)));
         let w: usize = s.window(0, 10).count();
         assert_eq!(w, s.transactions.len());
+    }
+
+    #[test]
+    fn regional_stream_is_deterministic_and_day_sorted() {
+        let cfg = RegionalTxConfig {
+            regions: 4,
+            users_per_region: 100,
+            items_per_region: 40,
+            days: 6,
+            tx_per_day: 400,
+            cross_rings: 4,
+            ring_size: 8,
+            ring_tx_per_day: 12,
+            ..Default::default()
+        };
+        let a = RegionalStream::generate(&cfg);
+        let b = RegionalStream::generate(&cfg);
+        assert_eq!(a.transactions, b.transactions);
+        assert_eq!(a.blacklist, b.blacklist);
+        assert!(a.transactions.windows(2).all(|w| w[0].day <= w[1].day));
+        let expect = (cfg.days * (cfg.tx_per_day + cfg.cross_rings * cfg.ring_tx_per_day)) as usize;
+        assert_eq!(a.transactions.len(), expect);
+    }
+
+    #[test]
+    fn regional_organic_traffic_never_leaves_its_region() {
+        let s = RegionalStream::generate(&RegionalTxConfig {
+            regions: 4,
+            users_per_region: 100,
+            items_per_region: 40,
+            days: 6,
+            tx_per_day: 400,
+            cross_rings: 4,
+            ring_size: 8,
+            ring_tx_per_day: 12,
+            ..Default::default()
+        });
+        for t in &s.transactions {
+            if s.ring_of[t.buyer as usize].is_none() {
+                assert_eq!(
+                    s.region_of(t.buyer),
+                    t.item / s.config.items_per_region,
+                    "organic purchase crossed a region"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_rings_straddle_adjacent_regions() {
+        let s = RegionalStream::generate(&RegionalTxConfig {
+            regions: 4,
+            users_per_region: 100,
+            items_per_region: 40,
+            days: 6,
+            tx_per_day: 400,
+            cross_rings: 4,
+            ring_size: 8,
+            ring_tx_per_day: 12,
+            blacklist_fraction: 0.25,
+            ..Default::default()
+        });
+        for k in 0..4u32 {
+            let members: Vec<u32> = (0..s.num_users())
+                .filter(|&u| s.ring_of[u as usize] == Some(k))
+                .collect();
+            assert_eq!(members.len(), 8);
+            let regions: std::collections::BTreeSet<u32> =
+                members.iter().map(|&u| s.region_of(u)).collect();
+            let mut expect = vec![k % 4, (k + 1) % 4];
+            expect.sort_unstable();
+            assert_eq!(
+                regions.into_iter().collect::<Vec<_>>(),
+                expect,
+                "ring {k} does not straddle its region pair"
+            );
+        }
+        // 25% of each ring of 8 = 2 seeds per ring.
+        assert_eq!(s.blacklist.len(), 8);
+        for &u in &s.blacklist {
+            assert!(s.ring_of[u as usize].is_some());
+        }
     }
 
     #[test]

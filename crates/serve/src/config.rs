@@ -118,9 +118,71 @@ impl ServeConfig {
     }
 }
 
+/// Tuning knobs for the sharded fleet
+/// ([`FleetCore`](crate::router::FleetCore) /
+/// [`ShardRouter`](crate::router::ShardRouter)).
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Per-shard configuration, applied to every shard core. The
+    /// `checkpoint_path`, if set, is the fleet's *base* path — each
+    /// shard writes `<base>.shard<i>` (see
+    /// [`Self::shard_checkpoint_path`]).
+    pub shard: ServeConfig,
+    /// Number of shard cores.
+    pub shards: usize,
+    /// Run the cross-shard label exchange after this many fleet batches
+    /// (the boundary-freshness cadence; local per-shard reclusters run
+    /// at the shard's own `recluster_every_batches`).
+    pub exchange_every_batches: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shard: ServeConfig::default(),
+            shards: 2,
+            exchange_every_batches: 16,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Sets the window length on the embedded shard configuration.
+    pub fn with_window_days(mut self, days: u32) -> Self {
+        self.shard = self.shard.with_window_days(days);
+        self
+    }
+
+    /// The checkpoint path for shard `i`: the base path with `.shard<i>`
+    /// appended to the file name (`None` when checkpointing is off).
+    pub fn shard_checkpoint_path(&self, i: usize) -> Option<PathBuf> {
+        self.shard.checkpoint_path.as_ref().map(|base| {
+            let name = base
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            base.with_file_name(format!("{name}.shard{i}"))
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_defaults_and_shard_paths() {
+        let cfg = FleetConfig::default();
+        assert!(cfg.shards >= 1);
+        assert!(cfg.exchange_every_batches >= 1);
+        assert_eq!(cfg.shard_checkpoint_path(0), None, "checkpointing opt-in");
+        let mut cfg = cfg;
+        cfg.shard.checkpoint_path = Some(PathBuf::from("/tmp/fleet.ckpt"));
+        assert_eq!(
+            cfg.shard_checkpoint_path(3),
+            Some(PathBuf::from("/tmp/fleet.ckpt.shard3"))
+        );
+    }
 
     #[test]
     fn defaults_are_consistent() {

@@ -1,0 +1,413 @@
+//! The cross-shard label exchange: reconciling boundary vertices so a
+//! sharded fleet's verdicts are byte-identical to a single core's.
+//!
+//! Sharding partitions the *buyers*; items cannot be partitioned (any
+//! buyer can touch any item), so an item purchased from two shards
+//! creates a **boundary component** — a connected piece of the
+//! user–item graph whose user set spans shards. Label propagation on
+//! one shard alone would under-propagate through such components.
+//!
+//! The exchange fixes exactly those components, and nothing else:
+//!
+//! 1. Each shard contributes a [`ShardFrame`]: its window log with the
+//!    router's fleet-wide sequence stamps.
+//! 2. A union-find over every frame's `(buyer, item)` edges finds the
+//!    connected components of the union graph, and a component is
+//!    *spanning* when its users live on two or more shards.
+//! 3. The spanning components' transactions are merged back into global
+//!    arrival order by sequence stamp and reclustered as one graph —
+//!    the same seeded/weighted LP + scoring as everywhere else.
+//! 4. The fleet snapshot keeps every shard's *local* verdict for users
+//!    of non-spanning components (those components are wholly contained
+//!    in one shard, where local LP already equals the reference) and
+//!    replaces the verdicts of boundary users with the merged run's.
+//!
+//! Correctness leans on three invariants established elsewhere: shard
+//! windows expire on the fleet watermark (so each shard log is exactly
+//! the reference log restricted to its keyspace), LP grouping is
+//! invariant under order-preserving vertex relabeling (so a sub-log
+//! containing *all* of a component's transactions clusters it exactly
+//! as the full log does), and published cluster labels are the minimum
+//! member user id (canonical across any window numbering). Together:
+//! `reconcile` over N shards is byte-identical to one
+//! [`ServiceCore`](crate::service::ServiceCore) over the same stream —
+//! pinned end to end in `tests/determinism.rs`.
+
+use crate::config::ServeConfig;
+use crate::query::VerdictSnapshot;
+use crate::recluster::recluster;
+use glp_core::{LpRunReport, ResilienceReport};
+use glp_fraud::{Transaction, WindowWorkload};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// One shard's contribution to an exchange round: its window log in
+/// order, each transaction with its fleet-wide sequence stamp.
+#[derive(Clone, Debug)]
+pub struct ShardFrame {
+    /// Shard index in the fleet.
+    pub shard: usize,
+    /// Window length in days (equal across the fleet).
+    pub days: u32,
+    /// The shard's window end (the fleet watermark).
+    pub end: u32,
+    /// `(sequence stamp, transaction)` in log order; stamps ascend.
+    pub txs: Vec<(u64, Transaction)>,
+}
+
+/// What one exchange round found and did.
+#[derive(Clone, Debug, Default)]
+pub struct ExchangeReport {
+    /// Connected components whose users span two or more shards.
+    pub spanning_components: usize,
+    /// Users in spanning components (their verdicts came from the
+    /// merged boundary run, not their home shard).
+    pub boundary_users: usize,
+    /// Items shared by spanning components.
+    pub boundary_items: usize,
+    /// Transactions merged into the boundary recluster.
+    pub boundary_txs: usize,
+}
+
+impl ExchangeReport {
+    /// The report as JSON (for fleet telemetry export).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "spanning_components": self.spanning_components,
+            "boundary_users": self.boundary_users,
+            "boundary_items": self.boundary_items,
+            "boundary_txs": self.boundary_txs,
+        })
+    }
+}
+
+/// The fleet-wide scoring an exchange round publishes: one merged
+/// snapshot covering every shard's keyspace, plus the boundary user set
+/// (sorted) so the query path knows which users *must* be answered from
+/// here rather than from their home shard.
+#[derive(Clone, Debug, Default)]
+pub struct FleetSnapshot {
+    /// The reconciled, fleet-wide verdict snapshot.
+    pub verdicts: Arc<VerdictSnapshot>,
+    /// Users of spanning components, ascending.
+    pub boundary_users: Vec<u32>,
+}
+
+/// The full outcome of [`reconcile`].
+pub struct Reconciled {
+    /// The fleet-wide snapshot (all shards' keyspaces merged).
+    pub snapshot: VerdictSnapshot,
+    /// Users of spanning components, ascending.
+    pub boundary_users: Vec<u32>,
+    /// What the round found.
+    pub report: ExchangeReport,
+    /// The boundary recluster's LP run, when one was needed (`None`
+    /// when no component spans shards).
+    pub lp: Option<(LpRunReport, ResilienceReport)>,
+}
+
+/// Union-find keys: users and items share one id space, disjoint by a
+/// high tag bit.
+fn user_key(u: u32) -> u64 {
+    u64::from(u)
+}
+fn item_key(i: u32) -> u64 {
+    (1u64 << 32) | u64::from(i)
+}
+
+/// Plain iterative union-find with path halving.
+struct Dsu {
+    index: HashMap<u64, usize>,
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new() -> Self {
+        Self {
+            index: HashMap::new(),
+            parent: Vec::new(),
+        }
+    }
+
+    fn id(&mut self, key: u64) -> usize {
+        let next = self.parent.len();
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(next);
+                self.parent.push(next);
+                next
+            }
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+/// Reconciles one exchange round (see module docs). `locals` is each
+/// shard's freshest local snapshot, indexed like `frames`; both must
+/// describe the same quiesced window state (the callers —
+/// [`FleetCore::exchange_now`](crate::router::FleetCore::exchange_now)
+/// and shutdown — recluster every live shard immediately before
+/// framing). `global_end` is the fleet watermark and `as_of` the fleet
+/// batch clock, stamped into the snapshot.
+pub fn reconcile(
+    frames: &[ShardFrame],
+    locals: &[Arc<VerdictSnapshot>],
+    cfg: &ServeConfig,
+    blacklist: &[u32],
+    global_end: u32,
+    as_of: u64,
+) -> Reconciled {
+    assert_eq!(frames.len(), locals.len(), "one local snapshot per frame");
+
+    // Pass 1: connected components of the union graph.
+    let mut dsu = Dsu::new();
+    for f in frames {
+        for &(_, t) in &f.txs {
+            let (u, i) = (dsu.id(user_key(t.buyer)), dsu.id(item_key(t.item)));
+            dsu.union(u, i);
+        }
+    }
+
+    // Pass 2: which components' users span two or more shards. A user
+    // appears only on the shard that owns it, so the user's frame is
+    // its shard.
+    let mut shards_of_root: HashMap<usize, (usize, bool)> = HashMap::new();
+    for f in frames {
+        for &(_, t) in &f.txs {
+            let id = dsu.id(user_key(t.buyer));
+            let root = dsu.find(id);
+            let e = shards_of_root.entry(root).or_insert((f.shard, false));
+            if e.0 != f.shard {
+                e.1 = true; // a second shard touched this component
+            }
+        }
+    }
+    let spanning: HashSet<usize> = shards_of_root
+        .iter()
+        .filter(|(_, &(_, multi))| multi)
+        .map(|(&root, _)| root)
+        .collect();
+
+    // Pass 3: collect the spanning components' transactions and merge
+    // them back into global arrival order by sequence stamp. The
+    // day-monotone apply filter made accepted days non-decreasing in
+    // stamp order, so the merged log is day-sorted like any real log.
+    let mut boundary_users: HashSet<u32> = HashSet::new();
+    let mut boundary_items: HashSet<u32> = HashSet::new();
+    let mut merged: Vec<(u64, Transaction)> = Vec::new();
+    for f in frames {
+        for &(seq, t) in &f.txs {
+            let id = dsu.id(user_key(t.buyer));
+            if spanning.contains(&dsu.find(id)) {
+                boundary_users.insert(t.buyer);
+                boundary_items.insert(t.item);
+                merged.push((seq, t));
+            }
+        }
+    }
+    merged.sort_unstable_by_key(|&(seq, _)| seq);
+
+    let report = ExchangeReport {
+        spanning_components: spanning.len(),
+        boundary_users: boundary_users.len(),
+        boundary_items: boundary_items.len(),
+        boundary_txs: merged.len(),
+    };
+
+    // Pass 4: recluster the merged boundary graph (when there is one).
+    let days = frames.first().map_or(cfg.window_days, |f| f.days);
+    let (boundary_snapshot, lp) = if merged.is_empty() {
+        (None, None)
+    } else {
+        let txs: Vec<Transaction> = merged.iter().map(|&(_, t)| t).collect();
+        let workload = WindowWorkload::from_transactions(days, txs.iter());
+        let (snap, run, resilience) = recluster(&workload, blacklist, cfg, as_of, global_end, None);
+        (Some(snap), Some((run, resilience)))
+    };
+
+    // Pass 5: assemble the fleet snapshot. Locals keep their interior
+    // verdicts; boundary users get the merged run's.
+    let mut known_users: Vec<u32> = locals
+        .iter()
+        .flat_map(|l| l.known_users.iter().copied())
+        .collect();
+    known_users.sort_unstable();
+    known_users.dedup();
+
+    let mut flagged: Vec<(u32, u32, f64)> = locals
+        .iter()
+        .flat_map(|l| l.flagged.iter().copied())
+        .filter(|&(u, _, _)| !boundary_users.contains(&u))
+        .collect();
+    let mut graph_vertices = locals.iter().map(|l| l.graph_vertices).sum::<usize>();
+    let mut graph_edges = locals.iter().map(|l| l.graph_edges).sum::<u64>();
+    let mut lp_iterations = locals.iter().map(|l| l.lp_iterations).max().unwrap_or(0);
+    let mut gpu_counters = Default::default();
+    if let Some(b) = &boundary_snapshot {
+        flagged.extend_from_slice(&b.flagged);
+        graph_vertices = graph_vertices.max(b.graph_vertices);
+        graph_edges = graph_edges.max(b.graph_edges);
+        lp_iterations = lp_iterations.max(b.lp_iterations);
+        gpu_counters = b.gpu_counters;
+    }
+    flagged.sort_unstable_by_key(|a| a.0);
+
+    let mut boundary: Vec<u32> = boundary_users.into_iter().collect();
+    boundary.sort_unstable();
+
+    Reconciled {
+        snapshot: VerdictSnapshot {
+            window_end: global_end,
+            as_of_batch: as_of,
+            known_users,
+            flagged,
+            graph_vertices,
+            graph_edges,
+            lp_iterations,
+            gpu_counters,
+        },
+        boundary_users: boundary,
+        report,
+        lp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceCore;
+    use glp_fraud::{RegionalStream, RegionalTxConfig, Transaction};
+
+    fn stream() -> RegionalStream {
+        RegionalStream::generate(&RegionalTxConfig {
+            regions: 4,
+            users_per_region: 250,
+            items_per_region: 100,
+            days: 10,
+            tx_per_day: 1_200,
+            cross_rings: 4,
+            ring_size: 10,
+            ring_tx_per_day: 30,
+            blacklist_fraction: 0.3,
+            ..Default::default()
+        })
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            engine_shards: 2,
+            ..ServeConfig::default()
+        }
+        .with_window_days(8)
+    }
+
+    /// Drives `shards` one-region-per-shard sub-logs plus the reference
+    /// single core, then reconciles and compares byte-for-byte.
+    #[test]
+    fn reconcile_matches_the_single_core_reference() {
+        let s = stream();
+        let route = |u: u32| (s.region_of(u) as usize) % 2;
+
+        // Reference: every transaction through one core.
+        let reference = ServiceCore::new(cfg(), s.blacklist.clone());
+        // Shards: the same stream routed by buyer region onto 2 shards.
+        let shards: Vec<crate::shard::ShardCore> = (0..2)
+            .map(|i| crate::shard::ShardCore::new(i, cfg(), s.blacklist.clone()))
+            .collect();
+        let mut seq = 0u64;
+        for day in 0..s.config.days {
+            let txs: Vec<Transaction> = s.window(day, day + 1).copied().collect();
+            reference.apply_transactions(&txs);
+            let mut routed: Vec<Vec<(u64, Transaction)>> = vec![Vec::new(); 2];
+            for &t in &txs {
+                routed[route(t.buyer)].push((seq, t));
+                seq += 1;
+            }
+            for (i, shard) in shards.iter().enumerate() {
+                shard.apply(&routed[i], day + 1);
+            }
+        }
+        reference.recluster_now();
+        for shard in &shards {
+            shard.recluster_now();
+        }
+        let frames: Vec<ShardFrame> = shards.iter().map(|s| s.frame()).collect();
+        let locals: Vec<Arc<VerdictSnapshot>> = shards.iter().map(|s| s.snapshot()).collect();
+        let r = reconcile(&frames, &locals, &cfg(), &s.blacklist, s.config.days, 0);
+
+        // The cross-region rings straddle shard boundaries, so the
+        // exchange had real work to do.
+        assert!(r.report.spanning_components > 0, "no spanning components");
+        assert!(r.report.boundary_users > 0);
+        assert!(r.lp.is_some());
+        assert_eq!(
+            r.snapshot.canonical_bytes(),
+            reference.snapshot().canonical_bytes(),
+            "2-shard reconciled snapshot must equal the 1-core reference"
+        );
+        // Every boundary user is known to the fleet snapshot.
+        for &u in &r.boundary_users {
+            assert!(r.snapshot.known_users.binary_search(&u).is_ok());
+        }
+    }
+
+    #[test]
+    fn no_spanning_components_skips_the_boundary_run() {
+        // Strictly regional traffic, one region per shard: nothing
+        // spans, the exchange is a cheap merge.
+        let s = RegionalStream::generate(&RegionalTxConfig {
+            regions: 2,
+            users_per_region: 200,
+            items_per_region: 80,
+            days: 6,
+            tx_per_day: 400,
+            cross_rings: 0,
+            ring_size: 2,
+            ring_tx_per_day: 0,
+            blacklist_fraction: 0.25,
+            ..Default::default()
+        });
+        let shards: Vec<crate::shard::ShardCore> = (0..2)
+            .map(|i| crate::shard::ShardCore::new(i, cfg(), s.blacklist.clone()))
+            .collect();
+        let mut seq = 0u64;
+        for day in 0..s.config.days {
+            let mut routed: Vec<Vec<(u64, Transaction)>> = vec![Vec::new(); 2];
+            for &t in s.window(day, day + 1) {
+                routed[s.region_of(t.buyer) as usize].push((seq, t));
+                seq += 1;
+            }
+            for (i, shard) in shards.iter().enumerate() {
+                shard.apply(&routed[i], day + 1);
+            }
+        }
+        for shard in &shards {
+            shard.recluster_now();
+        }
+        let frames: Vec<ShardFrame> = shards.iter().map(|s| s.frame()).collect();
+        let locals: Vec<Arc<VerdictSnapshot>> = shards.iter().map(|s| s.snapshot()).collect();
+        let r = reconcile(&frames, &locals, &cfg(), &s.blacklist, s.config.days, 0);
+        assert_eq!(r.report.spanning_components, 0);
+        assert_eq!(r.report.boundary_txs, 0);
+        assert!(r.lp.is_none(), "no boundary LP when nothing spans");
+        assert!(r.boundary_users.is_empty());
+        // The merged snapshot still covers every user.
+        let total: usize = locals.iter().map(|l| l.known_users.len()).sum();
+        assert_eq!(r.snapshot.known_users.len(), total);
+    }
+}

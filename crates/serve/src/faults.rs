@@ -70,6 +70,17 @@ pub enum Fault {
         /// Batch index to fire at.
         at_batch: u64,
     },
+    /// Panic shard `shard`'s apply path while the router fans out fleet
+    /// batch `at_batch` — the sharded service's "one machine dies"
+    /// scenario. The router catches it, records the crash against that
+    /// shard's health, and keeps serving the surviving keyspace; list
+    /// the same shard several times to walk it all the way to Down.
+    ShardPanic {
+        /// Shard index to kill.
+        shard: usize,
+        /// Fleet batch index (= fleet batches applied so far) to fire at.
+        at_batch: u64,
+    },
 }
 
 impl Fault {
@@ -88,6 +99,9 @@ impl Fault {
             }
             Self::CorruptTx { at_batch } => format!("corrupt-tx@batch{at_batch}"),
             Self::CheckpointFail { at_batch } => format!("checkpoint-fail@batch{at_batch}"),
+            Self::ShardPanic { shard, at_batch } => {
+                format!("shard{shard}-panic@batch{at_batch}")
+            }
         }
     }
 }
@@ -289,6 +303,17 @@ impl FaultPlan {
         if let Some(f) = self
             .take(|f| matches!(f, Fault::ReclusterPanic { at_recluster } if *at_recluster == next))
         {
+            panic!("fault-injection: {}", f.describe());
+        }
+    }
+
+    /// Router hook, while fanning out fleet batch `batch` to shard
+    /// `shard`: panics if a [`Fault::ShardPanic`] is due for this shard
+    /// at this batch.
+    pub fn maybe_panic_shard(&self, shard: usize, batch: u64) {
+        if let Some(f) = self.take(|f| {
+            matches!(f, Fault::ShardPanic { shard: s, at_batch } if *s == shard && *at_batch == batch)
+        }) {
             panic!("fault-injection: {}", f.describe());
         }
     }

@@ -256,6 +256,84 @@ impl HealthReport {
     }
 }
 
+/// Combines the router's own state with per-shard states into the
+/// fleet-level state the sharded service reports (see
+/// [`FleetCore::health`](crate::router::FleetCore::health)).
+///
+/// The ladder is deliberately asymmetric: a single sick or dead shard
+/// only *degrades* the fleet — its keyspace sheds while the surviving
+/// shards keep serving theirs — because partial answers from a
+/// partitioned keyspace are the whole point of sharding. The fleet is
+/// `Down` only when the router itself is down or *every* shard is, i.e.
+/// when no keyspace is served at all.
+pub fn fleet_state(router: HealthState, shards: &[HealthState]) -> HealthState {
+    let overlay = if !shards.is_empty() && shards.iter().all(|&s| s == HealthState::Down) {
+        HealthState::Down
+    } else if shards.iter().any(|&s| s > HealthState::Healthy) {
+        HealthState::Degraded
+    } else {
+        HealthState::Healthy
+    };
+    router.max(overlay)
+}
+
+/// One shard core's health, as seen in a [`FleetHealthReport`].
+#[derive(Clone, Debug)]
+pub struct ShardHealthReport {
+    /// Shard index in the fleet.
+    pub shard: usize,
+    /// The shard's own crash-driven state.
+    pub state: HealthState,
+    /// The shard's worst current crash streak.
+    pub consecutive_crashes: u32,
+    /// Panics of this shard's workers caught by supervision.
+    pub worker_panics: u64,
+    /// Restarts of this shard's workers performed by supervision.
+    pub worker_restarts: u64,
+    /// Panic message of this shard's most recent crash, if any.
+    pub last_panic: Option<String>,
+}
+
+impl ShardHealthReport {
+    /// One JSON row per shard for the fleet health document.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "shard": self.shard,
+            "state": self.state.as_str(),
+            "consecutive_crashes": self.consecutive_crashes,
+            "worker_panics": self.worker_panics,
+            "worker_restarts": self.worker_restarts,
+            "last_panic": self.last_panic.clone().unwrap_or_default(),
+        })
+    }
+}
+
+/// Fleet-level health: the service state plus one row per shard, so an
+/// operator can tell *which* shard is sick and how it got there.
+#[derive(Clone, Debug)]
+pub struct FleetHealthReport {
+    /// Effective fleet state (see [`fleet_state`]).
+    pub state: HealthState,
+    /// The router's own crash-driven state.
+    pub router: HealthState,
+    /// Per-shard health rows, indexed by shard id.
+    pub shards: Vec<ShardHealthReport>,
+    /// Epoch of the fleet snapshot queries are served from.
+    pub snapshot_epoch: u64,
+}
+
+impl FleetHealthReport {
+    /// `{state, router, shards: [...], snapshot_epoch}` as JSON.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "state": self.state.as_str(),
+            "router": self.router.as_str(),
+            "shards": self.shards.iter().map(|s| s.to_json()).collect::<Vec<_>>(),
+            "snapshot_epoch": self.snapshot_epoch,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +389,24 @@ mod tests {
         assert!(m.is_down());
         m.record_progress("w");
         assert!(m.is_down(), "progress must not resurrect a Down service");
+    }
+
+    #[test]
+    fn fleet_state_degrades_on_one_dead_shard_downs_on_all() {
+        use HealthState::*;
+        // All healthy.
+        assert_eq!(fleet_state(Healthy, &[Healthy, Healthy]), Healthy);
+        // One sick or dead shard: Degraded, never Down.
+        assert_eq!(fleet_state(Healthy, &[Healthy, Degraded]), Degraded);
+        assert_eq!(fleet_state(Healthy, &[Down, Healthy, Healthy]), Degraded);
+        assert_eq!(fleet_state(Healthy, &[Down, Shedding, Healthy]), Degraded);
+        // Every shard dead: nothing served, Down.
+        assert_eq!(fleet_state(Healthy, &[Down, Down]), Down);
+        // The router's own state always floors the result.
+        assert_eq!(fleet_state(Shedding, &[Healthy, Healthy]), Shedding);
+        assert_eq!(fleet_state(Down, &[Healthy, Healthy]), Down);
+        // No shards (degenerate): router state alone.
+        assert_eq!(fleet_state(Healthy, &[]), Healthy);
     }
 
     #[test]

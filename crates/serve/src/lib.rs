@@ -63,26 +63,70 @@
 //!   worker panics, kernel stalls, corrupt transactions, and checkpoint
 //!   failures at chosen batch indices, for the chaos tests and the
 //!   `chaos_serve` bench bin.
+//!
+//! ## Sharded serving
+//!
+//! For keyspaces one core cannot hold, the fleet layer shards the
+//! service horizontally:
+//!
+//! ```text
+//!  producers ─▶ [queue] ─▶ router ──▶ shard 0 (window+recluster+ckpt)
+//!                 │ validate, stamp ▶ shard 1       …
+//!                 │ seqs, fan out  ▶ shard N-1
+//!                 ▼ watermark to all shards, every batch
+//!      exchange worker: union-find boundary components across frames,
+//!      merge spanning txs by seq, recluster once ─▶ FleetSnapshot
+//! ```
+//!
+//! * **Routing** ([`partition`]) — a deterministic, community-aware
+//!   [`Partitioner`]: users with a known community hash by community
+//!   (co-locating fraud rings), unknown users by id, with explicit
+//!   placement overrides for rebalancing.
+//! * **Shard cores** ([`shard`]) — each [`ShardCore`] owns its slice of
+//!   the keyspace: window, local verdicts, telemetry, health, and a
+//!   per-shard checkpoint (`<base>.shard<i>`) that persists the
+//!   router's sequence stamps.
+//! * **Label exchange** ([`exchange`]) — components whose users span
+//!   shards are merged back into arrival order and reclustered once;
+//!   everything else keeps its local verdict. N-shard fleet output is
+//!   **byte-identical** to the 1-core reference (pinned in
+//!   `tests/determinism.rs`).
+//! * **Partial failure** ([`router`]) — a dead shard only degrades the
+//!   fleet: its keyspace sheds (counted) while every other shard keeps
+//!   serving, and [`FleetCore::restore`](router::FleetCore::restore) /
+//!   [`ShardRouter::recover`](router::ShardRouter::recover) bring the
+//!   whole fleet back from per-shard checkpoints.
 
 pub mod config;
+pub mod exchange;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
 pub mod health;
 pub mod ingest;
+pub mod partition;
 pub mod query;
 pub mod recluster;
+pub mod router;
 pub mod service;
+pub mod shard;
 pub mod supervisor;
 pub mod swap;
 pub mod telemetry;
 
-pub use config::{ServeConfig, ShedPolicy};
+pub use config::{FleetConfig, ServeConfig, ShedPolicy};
+pub use exchange::{ExchangeReport, FleetSnapshot, ShardFrame};
 #[cfg(feature = "fault-injection")]
 pub use faults::{Fault, FaultPlan, FaultSpec, FiredFault};
-pub use health::{HealthMonitor, HealthReport, HealthState, HealthThresholds};
+pub use health::{
+    fleet_state, FleetHealthReport, HealthMonitor, HealthReport, HealthState, HealthThresholds,
+    ShardHealthReport,
+};
 pub use ingest::{Batcher, IngestGate, Submitted};
+pub use partition::Partitioner;
 pub use query::{FraudScorer, Verdict, VerdictSnapshot};
 pub use recluster::recluster;
+pub use router::{ExchangeOutcome, FleetCore, FleetHandle, FleetShutdownReport, ShardRouter};
 pub use service::{FraudService, QueryHandle, ServiceCore, ShutdownReport};
+pub use shard::ShardCore;
 pub use supervisor::{supervise, supervise_with, RestartPolicy, WorkerOutcome, WorkerStatus};
-pub use telemetry::{Histogram, Telemetry};
+pub use telemetry::{Histogram, Telemetry, TelemetrySnapshot};

@@ -18,7 +18,10 @@ pub enum Verdict {
     Flagged {
         /// Suspicion score in [0, 1] of the user's cluster.
         score: f64,
-        /// LP label of the cluster (stable within a snapshot only).
+        /// Canonical cluster label: the minimum user id among the
+        /// cluster's members, a property of the cluster's user set alone
+        /// (independent of vertex numbering, engine shard count, and
+        /// service shard count).
         cluster: u32,
     },
     /// Present in the window, not in any flagged cluster.
@@ -38,7 +41,9 @@ pub struct VerdictSnapshot {
     pub as_of_batch: u64,
     /// Users present in the scored window, ascending.
     pub known_users: Vec<u32>,
-    /// Flagged users as `(user, cluster label, score)`, ascending by user.
+    /// Flagged users as `(user, canonical cluster label, score)`,
+    /// ascending by user; the label is the cluster's minimum member
+    /// user id (see [`Verdict::Flagged`]).
     pub flagged: Vec<(u32, u32, f64)>,
     /// Window graph size at scoring time.
     pub graph_vertices: usize,

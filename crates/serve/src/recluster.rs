@@ -64,14 +64,28 @@ pub fn recluster(
 
     let vertex_user: HashMap<VertexId, u32> =
         workload.user_vertex.iter().map(|(&u, &v)| (v, u)).collect();
-    let mut flagged: Vec<(u32, u32, f64)> = clusters
-        .iter()
-        .flat_map(|c| {
-            c.users
-                .iter()
-                .filter_map(|v| vertex_user.get(v).map(|&u| (u, c.label, c.score)))
-        })
-        .collect();
+    // Publish each cluster under the *minimum member user id* rather
+    // than the raw LP label: LP labels are vertex ids, which depend on
+    // how the window mapped users to vertices, while the min member is a
+    // property of the cluster's user set alone. This makes snapshots
+    // canonical across any order-preserving re-indexing of the window —
+    // in particular, a shard's sub-window and the whole window assign
+    // the same published label to the same cluster, which is what lets
+    // the sharded fleet's verdicts be compared byte-for-byte against the
+    // single-core reference (see `crate::exchange`).
+    let mut flagged: Vec<(u32, u32, f64)> = Vec::new();
+    for c in &clusters {
+        let users: Vec<u32> = c
+            .users
+            .iter()
+            .filter_map(|v| vertex_user.get(v).copied())
+            .collect();
+        if let Some(&canon) = users.iter().min() {
+            for &u in &users {
+                flagged.push((u, canon, c.score));
+            }
+        }
+    }
     // Clusters partition users by label, so users are unique; sorting by
     // user id makes the snapshot canonical regardless of cluster
     // iteration order.

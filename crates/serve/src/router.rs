@@ -1,0 +1,958 @@
+//! The sharded fleet: a community-aware router fanning micro-batches to
+//! N shard cores, with periodic cross-shard label exchange.
+//!
+//! Two layers, mirroring [`service`](crate::service):
+//!
+//! * [`FleetCore`] — the synchronous heart: validate and stamp a
+//!   micro-batch, fan it out by
+//!   [`Partitioner`](crate::partition::Partitioner), recluster shards,
+//!   run an exchange round, look up a verdict, checkpoint/restore the
+//!   whole fleet. No threads; the determinism suite and the scaling
+//!   bench drive it step by step.
+//! * [`ShardRouter`] — the threaded shell: one supervised **router**
+//!   worker drains the ingest queue and fans batches out, one supervised
+//!   **recluster** worker per shard refreshes that shard's local
+//!   verdicts, and one supervised **exchange** worker reconciles
+//!   boundary components into the fleet snapshot.
+//!
+//! **Routing and validation.** The router is the fleet's single
+//! authority on validity and ordering: it filters non-finite amounts and
+//! day regressions against the running global watermark, stamps each
+//! accepted transaction with a fleet-wide monotone sequence number, and
+//! hands every shard its sub-batch *plus* the new watermark — so all
+//! shard windows expire in lockstep even on batches where they receive
+//! nothing.
+//!
+//! **Partial failure.** A shard whose apply panics is crash-tracked by
+//! its own [`HealthMonitor`]; until its streak reaches `Down` the next
+//! routed batch simply retries it, and after that its keyspace is shed
+//! (counted in `shed_unhealthy`) while every other shard keeps serving —
+//! the fleet reports [`Degraded`](HealthState::Degraded), not `Down`
+//! (see [`fleet_state`]). Queries for a dead shard's users fall back to
+//! the last reconciled fleet snapshot.
+//!
+//! **Durability.** Each shard checkpoints its own window (with sequence
+//! stamps) to `<base>.shard<i>`; [`FleetCore::restore`] brings the whole
+//! fleet back and [`FleetCore::migrate_from_single`] splits a
+//! single-core checkpoint across a fleet — both ending with an exchange
+//! round so the first query already sees reconciled verdicts.
+
+use crate::config::FleetConfig;
+use crate::exchange::{reconcile, ExchangeReport, FleetSnapshot};
+#[cfg(feature = "fault-injection")]
+use crate::faults::FaultPlan;
+use crate::health::{
+    fleet_state, FleetHealthReport, HealthMonitor, HealthState, HealthThresholds, ShardHealthReport,
+};
+use crate::ingest::{ingest_pair, Batcher, Closed, IngestGate, Submitted};
+use crate::partition::Partitioner;
+use crate::query::{FraudScorer, Verdict, VerdictSnapshot};
+use crate::shard::ShardCore;
+use crate::supervisor::{
+    panic_message, supervise, RestartPolicy, WorkerExit, WorkerOutcome, WorkerStatus,
+};
+use crate::swap::EpochCell;
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use glp_fraud::checkpoint::{CheckpointError, WindowCheckpoint};
+use glp_fraud::Transaction;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What one [`FleetCore::exchange_now`] round cost and found.
+#[derive(Clone, Debug)]
+pub struct ExchangeOutcome {
+    /// Wall seconds of each shard's pre-exchange local recluster (0 for
+    /// a down shard). On real hardware the shards recluster in
+    /// parallel, so the modeled parallel cost of the round is
+    /// `max(shard_walls)` — the accounting the scaling bench uses.
+    pub shard_walls: Vec<f64>,
+    /// Wall seconds of the boundary reconciliation itself (union-find,
+    /// merge, boundary LP, assembly).
+    pub exchange_wall: f64,
+    /// What the round found.
+    pub report: ExchangeReport,
+}
+
+/// The synchronous sharded fleet (see module docs).
+pub struct FleetCore {
+    cfg: FleetConfig,
+    partitioner: Partitioner,
+    blacklist: Vec<u32>,
+    shards: Vec<Arc<ShardCore>>,
+    fleet: EpochCell<FleetSnapshot>,
+    /// Router-level telemetry (ingest, routing, exchange); shard cores
+    /// have their own blocks, merged by [`Self::fleet_telemetry`].
+    telemetry: Arc<Telemetry>,
+    /// Router-level health; per-shard monitors live in the shard cores.
+    health: Arc<HealthMonitor>,
+    batches_applied: AtomicU64,
+    /// Global day watermark, mirrored for the ingest gate.
+    window_end: Arc<AtomicU32>,
+    /// Next fleet-wide sequence stamp.
+    next_seq: AtomicU64,
+    #[cfg(feature = "fault-injection")]
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl FleetCore {
+    /// A fleet of `cfg.shards` empty shard cores.
+    pub fn new(cfg: FleetConfig, partitioner: Partitioner, blacklist: Vec<u32>) -> Self {
+        assert_eq!(
+            partitioner.shards(),
+            cfg.shards,
+            "partitioner and fleet disagree on shard count"
+        );
+        let shards = (0..cfg.shards)
+            .map(|i| Arc::new(ShardCore::new(i, cfg.shard.clone(), blacklist.clone())))
+            .collect();
+        Self::assemble(cfg, partitioner, blacklist, shards)
+    }
+
+    /// Restores a whole fleet from its per-shard checkpoints
+    /// (`<base>.shard<i>` for every `i`), then runs one exchange round
+    /// so queries see reconciled verdicts before any new traffic.
+    pub fn restore(
+        cfg: FleetConfig,
+        partitioner: Partitioner,
+        blacklist: Vec<u32>,
+    ) -> Result<Self, CheckpointError> {
+        assert_eq!(partitioner.shards(), cfg.shards);
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for i in 0..cfg.shards {
+            let path = cfg
+                .shard_checkpoint_path(i)
+                .ok_or(CheckpointError::Invalid("no checkpoint path configured"))?;
+            let ckpt = WindowCheckpoint::read(&path)?;
+            shards.push(Arc::new(ShardCore::restore(
+                i,
+                cfg.shard.clone(),
+                blacklist.clone(),
+                &ckpt,
+            )?));
+        }
+        let core = Self::assemble(cfg, partitioner, blacklist, shards);
+        core.exchange_now();
+        Ok(core)
+    }
+
+    /// Splits one single-core checkpoint (written by
+    /// [`ServiceCore`](crate::service::ServiceCore)) across a fleet: the
+    /// window partitions by routed buyer, sequence stamps fall back to
+    /// log positions when the image predates stamps (a single log is
+    /// already in arrival order), and an exchange round reconciles
+    /// before anything is served — the scale-out migration path.
+    pub fn migrate_from_single(
+        cfg: FleetConfig,
+        partitioner: Partitioner,
+        blacklist: Vec<u32>,
+        ckpt: &WindowCheckpoint,
+    ) -> Result<Self, CheckpointError> {
+        assert_eq!(partitioner.shards(), cfg.shards);
+        if ckpt.days != cfg.shard.window_days {
+            return Err(CheckpointError::Invalid(
+                "checkpoint window length disagrees with the configuration",
+            ));
+        }
+        let window = ckpt.restore_window()?;
+        let seqs: Vec<u64> = if ckpt.seqs.is_empty() {
+            (0..window.num_transactions() as u64).collect()
+        } else {
+            ckpt.seqs.clone()
+        };
+        let parts = window.partition_by(cfg.shards, |u| partitioner.shard_of(u));
+        let mut seqs_per: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.shards];
+        for (pos, t) in window.transactions().enumerate() {
+            seqs_per[partitioner.shard_of(t.buyer)].push_back(seqs[pos]);
+        }
+        let shards: Vec<Arc<ShardCore>> = parts
+            .into_iter()
+            .zip(seqs_per)
+            .enumerate()
+            .map(|(i, (w, sq))| {
+                // Monotonic counters describe the single core's whole
+                // history; shard 0 inherits them so the fleet total is
+                // continuous rather than N-fold.
+                let counters: &[u64] = if i == 0 { &ckpt.counters } else { &[] };
+                Arc::new(ShardCore::from_state(
+                    i,
+                    cfg.shard.clone(),
+                    blacklist.clone(),
+                    w,
+                    sq,
+                    ckpt.batches_applied,
+                    ckpt.snapshot_epoch,
+                    counters,
+                ))
+            })
+            .collect();
+        let core = Self::assemble(cfg, partitioner, blacklist, shards);
+        core.exchange_now();
+        Ok(core)
+    }
+
+    fn assemble(
+        cfg: FleetConfig,
+        partitioner: Partitioner,
+        blacklist: Vec<u32>,
+        shards: Vec<Arc<ShardCore>>,
+    ) -> Self {
+        let window_end = shards.iter().map(|s| s.window_end()).max().unwrap_or(0);
+        let batches = shards
+            .iter()
+            .map(|s| s.batches_applied())
+            .max()
+            .unwrap_or(0);
+        let next_seq = shards
+            .iter()
+            .filter_map(|s| s.last_seq())
+            .max()
+            .map_or(0, |m| m + 1);
+        let health = Arc::new(HealthMonitor::new(HealthThresholds {
+            shedding_after: cfg.shard.shedding_after_crashes,
+            down_after: cfg.shard.down_after_crashes,
+        }));
+        Self {
+            cfg,
+            partitioner,
+            blacklist,
+            shards,
+            fleet: EpochCell::new(FleetSnapshot::default()),
+            telemetry: Arc::new(Telemetry::new()),
+            health,
+            batches_applied: AtomicU64::new(batches),
+            window_end: Arc::new(AtomicU32::new(window_end)),
+            next_seq: AtomicU64::new(next_seq),
+            #[cfg(feature = "fault-injection")]
+            faults: None,
+        }
+    }
+
+    /// Attaches a fault plan (feature `fault-injection`): the routed
+    /// apply consults [`FaultPlan::maybe_panic_shard`] per shard per
+    /// fleet batch.
+    #[cfg(feature = "fault-injection")]
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// The shard cores, indexed by shard id.
+    pub fn shards(&self) -> &[Arc<ShardCore>] {
+        &self.shards
+    }
+
+    /// The router's partitioner.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// The router's own telemetry block (see [`Self::fleet_telemetry`]
+    /// for the merged fleet view).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Fleet micro-batches applied so far.
+    pub fn batches_applied(&self) -> u64 {
+        self.batches_applied.load(Ordering::Relaxed)
+    }
+
+    /// The global day watermark.
+    pub fn window_end(&self) -> u32 {
+        self.window_end.load(Ordering::Acquire)
+    }
+
+    /// The last reconciled fleet snapshot (empty before the first
+    /// exchange round).
+    pub fn fleet_snapshot(&self) -> Arc<FleetSnapshot> {
+        self.fleet.load()
+    }
+
+    /// Validates, stamps, routes, and fans out one micro-batch. The
+    /// router is authoritative: shards receive only pre-validated
+    /// transactions in global arrival order, plus the new watermark.
+    /// A sub-batch routed to a down shard is shed (counted); a shard
+    /// that panics mid-apply loses that sub-batch the same way, with the
+    /// crash recorded on *its* monitor. Returns the fleet batch count.
+    pub fn apply(&self, batch: &[Submitted]) -> u64 {
+        if batch.is_empty() {
+            return self.batches_applied();
+        }
+        let fleet_batch = self.batches_applied();
+        let mut end = self.window_end.load(Ordering::Acquire);
+        let mut invalid = 0u64;
+        let mut routed: Vec<Vec<(u64, Transaction)>> = vec![Vec::new(); self.shards.len()];
+        for s in batch {
+            let t = s.tx;
+            // Same running-end filter as the single core's apply: days
+            // must be monotone per accepted transaction, which is also
+            // what keeps every shard sub-log day-sorted.
+            if t.amount.is_finite() && t.day + 1 >= end {
+                end = end.max(t.day + 1);
+                let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+                routed[self.partitioner.shard_of(t.buyer)].push((seq, t));
+            } else {
+                invalid += 1;
+            }
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            let sub = std::mem::take(&mut routed[i]);
+            if shard.health().is_down() {
+                if !sub.is_empty() {
+                    self.telemetry
+                        .shed_unhealthy
+                        .fetch_add(sub.len() as u64, Ordering::Relaxed);
+                }
+                continue;
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-injection")]
+                if let Some(plan) = &self.faults {
+                    // Fires before the sub-batch lands: the shard window
+                    // is untouched, the sub-batch is what's lost.
+                    plan.maybe_panic_shard(i, fleet_batch);
+                }
+                shard.apply(&sub, end);
+            }));
+            match outcome {
+                Ok(()) => shard.health().record_progress(shard.apply_worker()),
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    shard
+                        .telemetry()
+                        .worker_panics
+                        .fetch_add(1, Ordering::Relaxed);
+                    let state = shard.health().record_crash(shard.apply_worker(), &msg);
+                    if state != HealthState::Down {
+                        // The next routed batch retries this shard —
+                        // count it like a supervisor restart.
+                        shard
+                            .telemetry()
+                            .worker_restarts
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.telemetry
+                        .shed_unhealthy
+                        .fetch_add(sub.len() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        let _ = fleet_batch;
+        self.window_end.store(end, Ordering::Release);
+        if invalid > 0 {
+            self.telemetry
+                .rejected_invalid
+                .fetch_add(invalid, Ordering::Relaxed);
+        }
+        let applied = Instant::now();
+        for s in batch {
+            let lag = applied.duration_since(s.at).as_nanos() as u64;
+            self.telemetry.ingest_lag.record(lag);
+        }
+        self.telemetry.batch_size.record(batch.len() as u64);
+        self.telemetry.batches.fetch_add(1, Ordering::Relaxed);
+        self.batches_applied.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Stamps and applies raw transactions as one micro-batch
+    /// (synchronous drivers: tests, the determinism suite, the bench).
+    pub fn apply_transactions(&self, txs: &[Transaction]) -> u64 {
+        let now = Instant::now();
+        let batch: Vec<Submitted> = txs.iter().map(|&tx| Submitted { tx, at: now }).collect();
+        self.apply(&batch)
+    }
+
+    /// Runs every live shard's local recluster, returning each wall
+    /// time in seconds (0 for a down shard). Shards run sequentially on
+    /// this thread — each wall is measured in isolation, so a parallel
+    /// deployment's round cost is modeled as `max` of the returned
+    /// walls (the scaling bench's accounting).
+    pub fn recluster_shards_now(&self) -> Vec<f64> {
+        self.shards
+            .iter()
+            .map(|s| {
+                if s.health().is_down() {
+                    0.0
+                } else {
+                    s.recluster_now()
+                }
+            })
+            .collect()
+    }
+
+    /// One full exchange round: fresh local reclusters on every live
+    /// shard, then boundary reconciliation, then publication of the
+    /// fleet snapshot. Down shards contribute nothing — their keyspace
+    /// is missing from the fleet snapshot until they are restored.
+    pub fn exchange_now(&self) -> ExchangeOutcome {
+        let shard_walls = self.recluster_shards_now();
+        let started = Instant::now();
+        let mut frames = Vec::new();
+        let mut locals: Vec<Arc<VerdictSnapshot>> = Vec::new();
+        for s in &self.shards {
+            if s.health().is_down() {
+                continue;
+            }
+            frames.push(s.frame());
+            locals.push(s.snapshot());
+        }
+        let end = self.window_end.load(Ordering::Acquire);
+        let as_of = self.batches_applied();
+        let r = reconcile(
+            &frames,
+            &locals,
+            &self.cfg.shard,
+            &self.blacklist,
+            end,
+            as_of,
+        );
+        if let Some((run, resilience)) = &r.lp {
+            self.telemetry.merge_gpu(&run.gpu_counters);
+            self.telemetry.merge_kernel_profile(&run.kernel_profile);
+            self.telemetry
+                .engine_retries
+                .fetch_add(u64::from(resilience.retries), Ordering::Relaxed);
+            self.telemetry
+                .engine_degradations
+                .fetch_add(u64::from(resilience.degradations), Ordering::Relaxed);
+            self.telemetry
+                .iterations_salvaged
+                .fetch_add(resilience.iterations_salvaged, Ordering::Relaxed);
+            if let Some(tier) = resilience.tier {
+                self.health.set_engine_tier(tier);
+            }
+        }
+        self.fleet.publish(FleetSnapshot {
+            verdicts: Arc::new(r.snapshot),
+            boundary_users: r.boundary_users,
+        });
+        self.telemetry.reclusters.fetch_add(1, Ordering::Relaxed);
+        let exchange_wall = started.elapsed();
+        self.telemetry
+            .recluster_wall
+            .record(exchange_wall.as_nanos() as u64);
+        self.health.record_progress("exchange");
+        ExchangeOutcome {
+            shard_walls,
+            exchange_wall: exchange_wall.as_secs_f64(),
+            report: r.report,
+        }
+    }
+
+    /// One verdict lookup, routed: boundary users answer from the
+    /// reconciled fleet snapshot (their home shard's local view is
+    /// incomplete by definition), interior users from their home
+    /// shard's freshest local snapshot, and a down shard's users fall
+    /// back to the last fleet snapshot.
+    pub fn verdict(&self, user: u32) -> Verdict {
+        let fleet = self.fleet.load();
+        if fleet.boundary_users.binary_search(&user).is_ok() {
+            return fleet.verdicts.verdict(user);
+        }
+        let shard = &self.shards[self.partitioner.shard_of(user)];
+        if shard.health().is_down() {
+            fleet.verdicts.verdict(user)
+        } else {
+            shard.snapshot().verdict(user)
+        }
+    }
+
+    /// The fleet health document: effective state (see [`fleet_state`]),
+    /// the router's own state, and one row per shard.
+    pub fn health(&self) -> FleetHealthReport {
+        let shards: Vec<ShardHealthReport> = self
+            .shards
+            .iter()
+            .map(|s| ShardHealthReport {
+                shard: s.id(),
+                state: s.health().state(),
+                consecutive_crashes: s.health().consecutive_crashes(),
+                worker_panics: s.telemetry().worker_panics.load(Ordering::Relaxed),
+                worker_restarts: s.telemetry().worker_restarts.load(Ordering::Relaxed),
+                last_panic: s.health().last_panic(),
+            })
+            .collect();
+        let states: Vec<HealthState> = shards.iter().map(|r| r.state).collect();
+        FleetHealthReport {
+            state: fleet_state(self.health.state(), &states),
+            router: self.health.state(),
+            shards,
+            snapshot_epoch: self.fleet.epoch(),
+        }
+    }
+
+    /// One merged telemetry block for the whole fleet: the router's own
+    /// plus every shard's, counters summed and histograms merged
+    /// bucket-wise — one JSON document per fleet.
+    pub fn fleet_telemetry(&self) -> TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot();
+        for s in &self.shards {
+            snap.merge(&s.telemetry().snapshot());
+        }
+        snap
+    }
+
+    /// Checkpoints every live shard to its `<base>.shard<i>` path. A
+    /// down shard is skipped — its last good image on disk *is* its
+    /// recovery point. Returns the first error after attempting all.
+    pub fn checkpoint_all(&self) -> Result<(), CheckpointError> {
+        let mut first_err = None;
+        for (i, s) in self.shards.iter().enumerate() {
+            let Some(path) = self.cfg.shard_checkpoint_path(i) else {
+                return Err(CheckpointError::Invalid("no checkpoint path configured"));
+            };
+            if s.health().is_down() {
+                continue;
+            }
+            if let Err(e) = s.checkpoint(&path) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn restart_policy(&self) -> RestartPolicy {
+        RestartPolicy {
+            backoff_base: self.cfg.shard.restart_backoff,
+            backoff_cap: self.cfg.shard.restart_backoff_cap,
+        }
+    }
+}
+
+/// A cloneable fleet-wide scoring handle (the sharded analogue of
+/// [`QueryHandle`](crate::service::QueryHandle)).
+#[derive(Clone)]
+pub struct FleetHandle {
+    core: Arc<FleetCore>,
+}
+
+impl FleetHandle {
+    /// The current fleet health document.
+    pub fn health(&self) -> FleetHealthReport {
+        self.core.health()
+    }
+}
+
+impl FraudScorer for FleetHandle {
+    fn score(&self, user: u32) -> Verdict {
+        let t0 = Instant::now();
+        let v = self.core.verdict(user);
+        self.core
+            .telemetry
+            .query_latency
+            .record(t0.elapsed().as_nanos() as u64);
+        self.core.telemetry.queries.fetch_add(1, Ordering::Relaxed);
+        v
+    }
+
+    fn snapshot(&self) -> Arc<VerdictSnapshot> {
+        Arc::clone(&self.core.fleet.load().verdicts)
+    }
+}
+
+/// How [`ShardRouter::shutdown`] went.
+pub struct FleetShutdownReport {
+    /// The fleet core after the final exchange round.
+    pub core: Arc<FleetCore>,
+    /// How the router worker ended.
+    pub router: WorkerOutcome,
+    /// How each shard's recluster worker ended, by shard id.
+    pub shards: Vec<WorkerOutcome>,
+    /// How the exchange worker ended.
+    pub exchange: WorkerOutcome,
+    /// Fleet state at shutdown.
+    pub state: HealthState,
+}
+
+impl FleetShutdownReport {
+    /// Whether every worker exited cleanly without ever panicking.
+    pub fn clean(&self) -> bool {
+        let clean = WorkerOutcome::Clean { panics: 0 };
+        self.router == clean && self.exchange == clean && self.shards.iter().all(|o| *o == clean)
+    }
+}
+
+/// The threaded sharded service (see module docs).
+pub struct ShardRouter {
+    core: Arc<FleetCore>,
+    gate: IngestGate,
+    recluster_txs: Vec<Sender<()>>,
+    exchange_tx: Sender<()>,
+    router_worker: Option<JoinHandle<()>>,
+    router_status: Arc<WorkerStatus>,
+    shard_workers: Vec<Option<JoinHandle<()>>>,
+    shard_statuses: Vec<Arc<WorkerStatus>>,
+    exchange_worker: Option<JoinHandle<()>>,
+    exchange_status: Arc<WorkerStatus>,
+}
+
+impl ShardRouter {
+    /// Starts the fleet: one supervised router worker, one supervised
+    /// recluster worker per shard, one supervised exchange worker.
+    pub fn start(cfg: FleetConfig, partitioner: Partitioner, blacklist: Vec<u32>) -> Self {
+        Self::start_on(Arc::new(FleetCore::new(cfg, partitioner, blacklist)))
+    }
+
+    /// Starts the fleet with a fault plan attached (feature
+    /// `fault-injection`).
+    #[cfg(feature = "fault-injection")]
+    pub fn start_with_faults(
+        cfg: FleetConfig,
+        partitioner: Partitioner,
+        blacklist: Vec<u32>,
+        plan: Arc<FaultPlan>,
+    ) -> Self {
+        Self::start_on(Arc::new(
+            FleetCore::new(cfg, partitioner, blacklist).with_faults(plan),
+        ))
+    }
+
+    /// Resumes a fleet from its per-shard checkpoints (see
+    /// [`FleetCore::restore`]).
+    pub fn recover(
+        cfg: FleetConfig,
+        partitioner: Partitioner,
+        blacklist: Vec<u32>,
+    ) -> Result<Self, CheckpointError> {
+        Ok(Self::start_on(Arc::new(FleetCore::restore(
+            cfg,
+            partitioner,
+            blacklist,
+        )?)))
+    }
+
+    fn start_on(core: Arc<FleetCore>) -> Self {
+        let cfg = core.cfg.clone();
+        let (gate, batch_rx) = ingest_pair(
+            cfg.shard.queue_capacity,
+            cfg.shard.shed_policy,
+            cfg.shard.window_days,
+            Arc::clone(&core.window_end),
+            Arc::clone(&core.health),
+            Arc::clone(&core.telemetry),
+        );
+
+        // One capacity-1 poke channel per shard recluster worker plus
+        // one for the exchange worker; requests coalesce (counted) like
+        // the single service's.
+        let mut recluster_txs = Vec::with_capacity(core.shards.len());
+        let mut shard_workers = Vec::with_capacity(core.shards.len());
+        let mut shard_statuses = Vec::with_capacity(core.shards.len());
+        for shard in &core.shards {
+            let (tx, rx): (Sender<()>, Receiver<()>) = bounded(1);
+            recluster_txs.push(tx);
+            let name: &'static str =
+                Box::leak(format!("shard{}-recluster", shard.id()).into_boxed_str());
+            let policy = core.restart_policy();
+            let shard = Arc::clone(shard);
+            let (worker, status) = supervise(
+                name,
+                Arc::clone(shard.health()),
+                Arc::clone(shard.telemetry()),
+                policy,
+                move || shard_recluster_loop(&shard, &rx, name),
+            );
+            shard_workers.push(Some(worker));
+            shard_statuses.push(status);
+        }
+
+        let (exchange_tx, exchange_rx): (Sender<()>, Receiver<()>) = bounded(1);
+        let (exchange_worker, exchange_status) = {
+            let core = Arc::clone(&core);
+            let policy = core.restart_policy();
+            let health = Arc::clone(&core.health);
+            let telemetry = Arc::clone(&core.telemetry);
+            supervise("exchange", health, telemetry, policy, move || {
+                exchange_loop(&core, &exchange_rx)
+            })
+        };
+
+        let (router_worker, router_status) = {
+            let core = Arc::clone(&core);
+            let policy = core.restart_policy();
+            let health = Arc::clone(&core.health);
+            let telemetry = Arc::clone(&core.telemetry);
+            let recluster_txs = recluster_txs.clone();
+            let exchange_tx = exchange_tx.clone();
+            supervise("router", health, telemetry, policy, move || {
+                let batcher = Batcher::new(
+                    batch_rx.clone(),
+                    cfg.shard.max_batch,
+                    cfg.shard.batch_budget,
+                );
+                router_loop(&core, &batcher, &recluster_txs, &exchange_tx)
+            })
+        };
+
+        Self {
+            core,
+            gate,
+            recluster_txs,
+            exchange_tx,
+            router_worker: Some(router_worker),
+            router_status,
+            shard_workers,
+            shard_statuses,
+            exchange_worker: Some(exchange_worker),
+            exchange_status,
+        }
+    }
+
+    /// A producer-side submission gate (cloneable).
+    pub fn gate(&self) -> IngestGate {
+        self.gate.clone()
+    }
+
+    /// Submits one transaction through the fleet's gate.
+    pub fn submit(&self, tx: Transaction) -> Result<(), Transaction> {
+        self.gate.submit(tx)
+    }
+
+    /// A fleet-wide query handle (cloneable).
+    pub fn handle(&self) -> FleetHandle {
+        FleetHandle {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// The synchronous fleet core.
+    pub fn core(&self) -> &Arc<FleetCore> {
+        &self.core
+    }
+
+    /// The current fleet health document.
+    pub fn health(&self) -> FleetHealthReport {
+        self.core.health()
+    }
+
+    /// Asks the exchange worker for a reconciliation round now
+    /// (coalesces if one is pending).
+    pub fn force_exchange(&self) {
+        request(&self.core, &self.exchange_tx);
+    }
+
+    /// Stops the fleet: closes the ingest queue, drains the router,
+    /// joins every worker, runs one final exchange round so the last
+    /// batches are scored fleet-wide, and writes final checkpoints when
+    /// configured. Worker panics are reported, not re-thrown.
+    pub fn shutdown(mut self) -> FleetShutdownReport {
+        drop(self.gate);
+        if let Some(h) = self.router_worker.take() {
+            h.join().expect("supervisor threads do not panic");
+        }
+        drop(std::mem::take(&mut self.recluster_txs));
+        for w in &mut self.shard_workers {
+            if let Some(h) = w.take() {
+                h.join().expect("supervisor threads do not panic");
+            }
+        }
+        drop(self.exchange_tx);
+        if let Some(h) = self.exchange_worker.take() {
+            h.join().expect("supervisor threads do not panic");
+        }
+        self.core.exchange_now();
+        if self.core.cfg.shard.checkpoint_path.is_some() {
+            let _ = self.core.checkpoint_all();
+        }
+        FleetShutdownReport {
+            state: self.core.health().state,
+            router: self.router_status.outcome(),
+            shards: self.shard_statuses.iter().map(|s| s.outcome()).collect(),
+            exchange: self.exchange_status.outcome(),
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+fn request(core: &FleetCore, tx: &Sender<()>) {
+    match tx.try_send(()) {
+        Ok(()) | Err(TrySendError::Disconnected(())) => {}
+        Err(TrySendError::Full(())) => {
+            core.telemetry
+                .reclusters_coalesced
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn router_loop(
+    core: &FleetCore,
+    batcher: &Batcher,
+    recluster_txs: &[Sender<()>],
+    exchange_tx: &Sender<()>,
+) -> WorkerExit {
+    loop {
+        match batcher.next_batch() {
+            Err(Closed) => return WorkerExit::Finished,
+            Ok(batch) => {
+                if batch.is_empty() {
+                    continue; // idle tick
+                }
+                let applied = core.apply(&batch);
+                core.health.record_progress("router");
+                if applied.is_multiple_of(core.cfg.shard.recluster_every_batches) {
+                    for (i, tx) in recluster_txs.iter().enumerate() {
+                        if !core.shards[i].health().is_down() {
+                            request(core, tx);
+                        }
+                    }
+                }
+                if applied.is_multiple_of(core.cfg.exchange_every_batches) {
+                    request(core, exchange_tx);
+                }
+                if core.cfg.shard.checkpoint_path.is_some()
+                    && applied.is_multiple_of(core.cfg.shard.checkpoint_every_batches)
+                {
+                    // Failures are counted per shard; the fleet keeps
+                    // serving and previous images stay intact.
+                    let _ = core.checkpoint_all();
+                }
+            }
+        }
+    }
+}
+
+fn shard_recluster_loop(shard: &ShardCore, rx: &Receiver<()>, name: &'static str) -> WorkerExit {
+    while rx.recv().is_ok() {
+        if shard.health().is_down() {
+            return WorkerExit::Finished;
+        }
+        shard.recluster_now();
+        shard.health().record_progress(name);
+    }
+    WorkerExit::Finished
+}
+
+fn exchange_loop(core: &FleetCore, rx: &Receiver<()>) -> WorkerExit {
+    while rx.recv().is_ok() {
+        if core.health.is_down() {
+            return WorkerExit::Finished;
+        }
+        core.exchange_now();
+    }
+    WorkerExit::Finished
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glp_fraud::{RegionalStream, RegionalTxConfig};
+
+    fn stream() -> RegionalStream {
+        RegionalStream::generate(&RegionalTxConfig {
+            regions: 4,
+            users_per_region: 250,
+            items_per_region: 100,
+            days: 10,
+            tx_per_day: 1_000,
+            cross_rings: 4,
+            ring_size: 10,
+            ring_tx_per_day: 30,
+            blacklist_fraction: 0.3,
+            ..Default::default()
+        })
+    }
+
+    fn fleet_cfg(shards: usize) -> FleetConfig {
+        FleetConfig {
+            shards,
+            exchange_every_batches: 8,
+            ..FleetConfig::default()
+        }
+        .with_window_days(8)
+    }
+
+    fn partitioner(s: &RegionalStream, shards: usize) -> Partitioner {
+        Partitioner::with_communities(shards, 7, s.community_map())
+    }
+
+    #[test]
+    fn fleet_core_routes_reclusters_and_answers() {
+        let s = stream();
+        let cfg = fleet_cfg(2);
+        let core = FleetCore::new(cfg, partitioner(&s, 2), s.blacklist.clone());
+        for day in 0..s.config.days {
+            let txs: Vec<Transaction> = s.window(day, day + 1).copied().collect();
+            core.apply_transactions(&txs);
+        }
+        let outcome = core.exchange_now();
+        assert!(outcome.report.spanning_components > 0);
+        assert_eq!(outcome.shard_walls.len(), 2);
+        let snap = core.fleet_snapshot();
+        assert_eq!(snap.verdicts.window_end, s.config.days);
+        assert!(snap.verdicts.num_flagged() > 0, "rings should be flagged");
+        // Every flagged user answers Flagged through the routed path.
+        for &(u, _, _) in &snap.verdicts.flagged {
+            assert!(matches!(core.verdict(u), Verdict::Flagged { .. }));
+        }
+        let h = core.health();
+        assert_eq!(h.state, HealthState::Healthy);
+        assert_eq!(h.shards.len(), 2);
+        // The merged telemetry sees the routed batches and both shards'
+        // reclusters.
+        let t = core.fleet_telemetry();
+        assert!(t.counter("batches") > 0);
+        assert!(t.counter("reclusters") >= 3, "2 shards + exchange");
+    }
+
+    #[test]
+    fn threaded_router_end_to_end() {
+        let s = stream();
+        let router = ShardRouter::start(fleet_cfg(2), partitioner(&s, 2), s.blacklist.clone());
+        let handle = router.handle();
+        for t in s.window(0, s.config.days) {
+            router.submit(*t).expect("fleet accepts while running");
+        }
+        let report = router.shutdown();
+        assert!(report.clean(), "no faults injected: clean outcomes");
+        assert_eq!(report.state, HealthState::Healthy);
+        let core = report.core;
+        let snap = core.fleet_snapshot();
+        assert_eq!(snap.verdicts.window_end, s.config.days);
+        assert!(snap.verdicts.num_flagged() > 0);
+        let flagged_user = snap.verdicts.flagged[0].0;
+        assert!(matches!(
+            handle.score(flagged_user),
+            Verdict::Flagged { .. }
+        ));
+        let t = core.fleet_telemetry();
+        assert_eq!(t.worker_panics, 0);
+        assert!(t.counter("batches") > 0);
+    }
+
+    #[test]
+    fn invalid_traffic_is_shed_by_the_router() {
+        let s = stream();
+        let core = FleetCore::new(fleet_cfg(2), partitioner(&s, 2), s.blacklist.clone());
+        let day0: Vec<Transaction> = s.window(0, 1).copied().collect();
+        core.apply_transactions(&day0);
+        let nan = Transaction {
+            buyer: 1,
+            item: 2,
+            day: 0,
+            amount: f32::NAN,
+        };
+        core.apply_transactions(&[nan]);
+        assert_eq!(core.telemetry().rejected_invalid.load(Ordering::Relaxed), 1);
+        // Shards only ever saw validated traffic.
+        for shard in core.shards() {
+            assert_eq!(
+                shard.telemetry().rejected_invalid.load(Ordering::Relaxed),
+                0
+            );
+        }
+    }
+}

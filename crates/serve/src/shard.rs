@@ -1,0 +1,425 @@
+//! One shard of the horizontally sharded fleet: a self-contained scoring
+//! core owning a *slice* of the keyspace.
+//!
+//! A [`ShardCore`] is the sharded analogue of
+//! [`ServiceCore`](crate::service::ServiceCore): its own incremental
+//! window, verdict snapshot cell, telemetry block, health monitor, and
+//! checkpoint — but fed only the transactions whose buyer the
+//! [`Partitioner`](crate::partition::Partitioner) routes to it, and
+//! synchronized to the *fleet's* day watermark rather than its own.
+//!
+//! Two things distinguish a shard window from a standalone one:
+//!
+//! * **Watermark sync.** Every routed micro-batch carries the fleet's
+//!   global end-of-window watermark, and the shard advances to it even
+//!   when its own sub-batch is empty. All shard windows therefore expire
+//!   in lockstep, which is what makes a shard's log exactly the
+//!   restriction of the reference log to its keyspace — the foundation
+//!   of the fleet's byte-identity guarantee (see [`crate::exchange`]).
+//! * **Sequence stamps.** The router stamps each transaction with a
+//!   fleet-wide monotone sequence number before fan-out. The shard keeps
+//!   the stamps aligned with its log (expiry pops both from the front)
+//!   so the exchange can merge several shards' logs back into global
+//!   arrival order, and checkpoints persist them
+//!   ([`WindowCheckpoint::capture_with_seqs`]) so a restored fleet can
+//!   still exchange correctly.
+
+use crate::config::ServeConfig;
+use crate::exchange::ShardFrame;
+use crate::health::{HealthMonitor, HealthThresholds};
+use crate::query::VerdictSnapshot;
+use crate::recluster::recluster;
+use crate::swap::EpochCell;
+use crate::telemetry::Telemetry;
+use glp_fraud::checkpoint::{CheckpointError, WindowCheckpoint};
+use glp_fraud::{IncrementalWindow, Transaction};
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The window and its parallel sequence stamps, guarded together: the
+/// invariant `seqs.len() == window.num_transactions()` with
+/// `seqs[i]` stamping `window.transactions()[i]` must hold at every
+/// lock release.
+struct ShardState {
+    window: IncrementalWindow,
+    seqs: VecDeque<u64>,
+}
+
+/// One shard's synchronous scoring core (see module docs).
+pub struct ShardCore {
+    id: usize,
+    /// Leaked once per shard at construction so crash bookkeeping can
+    /// use the supervisor's `&'static str` worker-name convention.
+    apply_worker: &'static str,
+    cfg: ServeConfig,
+    blacklist: Vec<u32>,
+    state: Mutex<ShardState>,
+    verdicts: EpochCell<VerdictSnapshot>,
+    telemetry: Arc<Telemetry>,
+    health: Arc<HealthMonitor>,
+    batches_applied: AtomicU64,
+}
+
+impl ShardCore {
+    /// A shard with an empty window.
+    pub fn new(id: usize, cfg: ServeConfig, blacklist: Vec<u32>) -> Self {
+        let window = IncrementalWindow::empty(cfg.window_days);
+        Self::from_state(id, cfg, blacklist, window, VecDeque::new(), 0, 0, &[])
+    }
+
+    /// A shard resuming from its per-shard checkpoint. Version-1 images
+    /// (and single-core images being migrated into a fleet) carry no
+    /// sequence stamps; their log positions stand in — correct because a
+    /// single log *is* in global arrival order.
+    pub fn restore(
+        id: usize,
+        cfg: ServeConfig,
+        blacklist: Vec<u32>,
+        ckpt: &WindowCheckpoint,
+    ) -> Result<Self, CheckpointError> {
+        if ckpt.days != cfg.window_days {
+            return Err(CheckpointError::Invalid(
+                "checkpoint window length disagrees with the configuration",
+            ));
+        }
+        let window = ckpt.restore_window()?;
+        let seqs: VecDeque<u64> = if ckpt.seqs.is_empty() {
+            (0..window.num_transactions() as u64).collect()
+        } else {
+            ckpt.seqs.iter().copied().collect()
+        };
+        let core = Self::from_state(
+            id,
+            cfg,
+            blacklist,
+            window,
+            seqs,
+            ckpt.batches_applied,
+            ckpt.snapshot_epoch,
+            &ckpt.counters,
+        );
+        // Rebuild local verdicts before anything is served from this
+        // shard (the fleet-level exchange follows once every shard is
+        // up — see `FleetCore::restore`).
+        core.recluster_now();
+        Ok(core)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_state(
+        id: usize,
+        cfg: ServeConfig,
+        blacklist: Vec<u32>,
+        window: IncrementalWindow,
+        seqs: VecDeque<u64>,
+        batches_applied: u64,
+        snapshot_epoch: u64,
+        counters: &[u64],
+    ) -> Self {
+        assert_eq!(
+            seqs.len(),
+            window.num_transactions(),
+            "sequence stamps must parallel the log"
+        );
+        let telemetry = Arc::new(Telemetry::new());
+        telemetry.restore_counters(counters);
+        let health = Arc::new(HealthMonitor::new(HealthThresholds {
+            shedding_after: cfg.shedding_after_crashes,
+            down_after: cfg.down_after_crashes,
+        }));
+        let initial = VerdictSnapshot {
+            as_of_batch: batches_applied,
+            ..VerdictSnapshot::default()
+        };
+        Self {
+            id,
+            apply_worker: Box::leak(format!("shard{id}-apply").into_boxed_str()),
+            cfg,
+            blacklist,
+            state: Mutex::new(ShardState { window, seqs }),
+            verdicts: EpochCell::with_epoch(initial, snapshot_epoch),
+            telemetry,
+            health,
+            batches_applied: AtomicU64::new(batches_applied),
+        }
+    }
+
+    /// Shard index in the fleet.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Worker name used for this shard's apply-side crash bookkeeping.
+    pub fn apply_worker(&self) -> &'static str {
+        self.apply_worker
+    }
+
+    /// This shard's telemetry block.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// This shard's health monitor.
+    pub fn health(&self) -> &Arc<HealthMonitor> {
+        &self.health
+    }
+
+    /// Fleet micro-batches this shard has absorbed (empty sub-batches
+    /// count: the watermark still advanced).
+    pub fn batches_applied(&self) -> u64 {
+        self.batches_applied.load(Ordering::Relaxed)
+    }
+
+    /// The freshest locally published snapshot (shard keyspace only).
+    pub fn snapshot(&self) -> Arc<VerdictSnapshot> {
+        self.verdicts.load()
+    }
+
+    /// Local snapshots published so far.
+    pub fn epoch(&self) -> u64 {
+        self.verdicts.epoch()
+    }
+
+    /// The highest sequence stamp currently in the window, if any —
+    /// what a restored fleet resumes its stamp counter from.
+    pub fn last_seq(&self) -> Option<u64> {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.seqs.back().copied()
+    }
+
+    /// This shard's window end (equals the fleet watermark after every
+    /// routed batch).
+    pub fn window_end(&self) -> u32 {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.window.end()
+    }
+
+    /// Applies one routed, *pre-validated* sub-batch and advances the
+    /// window to the fleet watermark. The router has already filtered
+    /// non-finite amounts and day regressions against the running global
+    /// end, and the sub-batch preserves global arrival order, so the
+    /// day-monotonicity invariant of `apply_batch` holds by
+    /// construction. Returns the shard's new batch count.
+    pub fn apply(&self, batch: &[(u64, Transaction)], watermark: u32) -> u64 {
+        {
+            let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            let txs: Vec<Transaction> = batch.iter().map(|&(_, t)| t).collect();
+            s.window.apply_batch(&txs);
+            s.window.advance_to(watermark);
+            for &(seq, _) in batch {
+                s.seqs.push_back(seq);
+            }
+            // Expiry only ever pops the log's front, and the log shares
+            // the stamps' order — so realign by popping stamps of
+            // expired transactions from the front.
+            while s.seqs.len() > s.window.num_transactions() {
+                s.seqs.pop_front();
+            }
+            debug_assert_eq!(s.seqs.len(), s.window.num_transactions());
+        }
+        if !batch.is_empty() {
+            self.telemetry.batch_size.record(batch.len() as u64);
+            self.telemetry.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.batches_applied.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Materializes this shard's window, reclusters it, and publishes
+    /// the shard-local snapshot. Returns the wall seconds the recluster
+    /// took — the quantity the scaling bench combines as
+    /// `max(shard walls)` to model shards running in parallel on
+    /// hardware this container does not have.
+    pub fn recluster_now(&self) -> f64 {
+        let started = Instant::now();
+        let (workload, window_end, as_of) = {
+            let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            (
+                s.window.materialize(),
+                s.window.end(),
+                self.batches_applied.load(Ordering::Relaxed),
+            )
+        };
+        let snapshot = if workload.graph.num_vertices() == 0 {
+            VerdictSnapshot {
+                window_end,
+                as_of_batch: as_of,
+                ..VerdictSnapshot::default()
+            }
+        } else {
+            let (snapshot, report, resilience) = recluster(
+                &workload,
+                &self.blacklist,
+                &self.cfg,
+                as_of,
+                window_end,
+                None,
+            );
+            self.telemetry.merge_gpu(&report.gpu_counters);
+            self.telemetry.merge_kernel_profile(&report.kernel_profile);
+            self.telemetry
+                .engine_retries
+                .fetch_add(u64::from(resilience.retries), Ordering::Relaxed);
+            self.telemetry
+                .engine_degradations
+                .fetch_add(u64::from(resilience.degradations), Ordering::Relaxed);
+            self.telemetry
+                .iterations_salvaged
+                .fetch_add(resilience.iterations_salvaged, Ordering::Relaxed);
+            if let Some(tier) = resilience.tier {
+                self.health.set_engine_tier(tier);
+            }
+            snapshot
+        };
+        self.verdicts.publish(snapshot);
+        self.telemetry.reclusters.fetch_add(1, Ordering::Relaxed);
+        let wall = started.elapsed();
+        self.telemetry.recluster_wall.record(wall.as_nanos() as u64);
+        wall.as_secs_f64()
+    }
+
+    /// A consistent copy of this shard's log with its sequence stamps —
+    /// the shard's contribution to the cross-shard exchange.
+    pub fn frame(&self) -> ShardFrame {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        ShardFrame {
+            shard: self.id,
+            days: s.window.days(),
+            end: s.window.end(),
+            txs: s
+                .seqs
+                .iter()
+                .copied()
+                .zip(s.window.transactions().copied())
+                .collect(),
+        }
+    }
+
+    /// Persists this shard's window *with* its sequence stamps to
+    /// `path` (atomic temp-file write; failures counted, previous image
+    /// preserved).
+    pub fn checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
+        let ckpt = {
+            let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            WindowCheckpoint::capture_with_seqs(
+                &s.window,
+                self.batches_applied.load(Ordering::Relaxed),
+                self.verdicts.epoch(),
+                self.telemetry.counters_snapshot(),
+                s.seqs.iter().copied().collect(),
+            )
+        };
+        match ckpt.write_atomic(path) {
+            Ok(()) => {
+                self.telemetry
+                    .checkpoints_written
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.telemetry
+                    .checkpoint_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glp_fraud::{TxConfig, TxStream};
+
+    fn stream() -> TxStream {
+        TxStream::generate(&TxConfig {
+            num_users: 800,
+            num_items: 300,
+            days: 12,
+            tx_per_day: 500,
+            num_rings: 2,
+            ring_size: 10,
+            ring_tx_per_day: 25,
+            blacklist_fraction: 0.3,
+            ..Default::default()
+        })
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            engine_shards: 2,
+            ..ServeConfig::default()
+        }
+        .with_window_days(8)
+    }
+
+    #[test]
+    fn shard_window_tracks_the_fleet_watermark() {
+        let s = stream();
+        let shard = ShardCore::new(1, cfg(), s.blacklist.clone());
+        let mut seq = 0u64;
+        for day in 0..s.config.days {
+            // Route only even buyers here; the watermark still advances
+            // on days where this shard sees nothing.
+            let batch: Vec<(u64, Transaction)> = s
+                .window(day, day + 1)
+                .filter(|t| t.buyer % 2 == 0)
+                .map(|&t| {
+                    seq += 1;
+                    (seq, t)
+                })
+                .collect();
+            shard.apply(&batch, day + 1);
+            assert_eq!(shard.window_end(), day + 1);
+        }
+        assert_eq!(shard.batches_applied(), u64::from(s.config.days));
+        let frame = shard.frame();
+        assert_eq!(frame.shard, 1);
+        assert_eq!(frame.end, s.config.days);
+        assert!(frame.txs.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(frame.txs.iter().all(|(_, t)| t.buyer % 2 == 0));
+        // Expiry kept stamps parallel to the log: only the last
+        // `window_days` days remain.
+        assert!(frame.txs.iter().all(|(_, t)| t.day + 8 >= s.config.days));
+        shard.recluster_now();
+        assert_eq!(shard.snapshot().window_end, s.config.days);
+    }
+
+    #[test]
+    fn shard_checkpoint_roundtrips_with_stamps() {
+        let s = stream();
+        let dir = std::env::temp_dir().join(format!("glp-shard-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard0.ckpt");
+        let shard = ShardCore::new(0, cfg(), s.blacklist.clone());
+        let mut seq = 10u64;
+        for day in 0..s.config.days {
+            let batch: Vec<(u64, Transaction)> = s
+                .window(day, day + 1)
+                .filter(|t| t.buyer % 2 == 1)
+                .map(|&t| {
+                    seq += 3; // sparse, non-contiguous stamps survive
+                    (seq, t)
+                })
+                .collect();
+            shard.apply(&batch, day + 1);
+        }
+        shard.recluster_now();
+        shard.checkpoint(&path).unwrap();
+        let ckpt = WindowCheckpoint::read(&path).unwrap();
+        let restored = ShardCore::restore(0, cfg(), s.blacklist.clone(), &ckpt).unwrap();
+        assert_eq!(restored.batches_applied(), shard.batches_applied());
+        assert_eq!(restored.last_seq(), shard.last_seq());
+        let (a, b) = (shard.frame(), restored.frame());
+        assert_eq!(a.txs.len(), b.txs.len());
+        assert!(a.txs.iter().zip(&b.txs).all(|(x, y)| x.0 == y.0));
+        assert_eq!(
+            shard.snapshot().canonical_bytes(),
+            restored.snapshot().canonical_bytes(),
+            "restored shard must score byte-identically"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -108,6 +108,91 @@ impl Histogram {
             "max": self.max(),
         })
     }
+
+    /// A plain-value copy of this histogram, mergeable with others — the
+    /// building block of fleet-wide telemetry aggregation.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time, plain-value copy of a [`Histogram`]. Because the
+/// buckets are counts, two snapshots merge exactly (bucket-wise sums) —
+/// the merged quantiles are precisely what one histogram recording both
+/// sample sets would report.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`floor(log2(value))` indexing).
+    pub buckets: Vec<u64>,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample recorded.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into this snapshot (bucket-wise exact).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile, same bucket-midpoint semantics as
+    /// [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                let mid = (1u64 << i) + (1u64 << i) / 2;
+                return mid.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Same JSON shape as [`Histogram::to_json`].
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        })
+    }
 }
 
 /// All counters and histograms of one [`FraudService`](crate::FraudService).
@@ -302,6 +387,162 @@ impl Telemetry {
             "kernel_profile": profile_rows,
         })
     }
+
+    /// A plain-value copy of the whole telemetry block, mergeable with
+    /// other cores' snapshots into one fleet-wide view.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self.counters_snapshot(),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            ingest_lag: self.ingest_lag.snapshot(),
+            batch_size: self.batch_size.snapshot(),
+            recluster_wall: self.recluster_wall.snapshot(),
+            query_latency: self.query_latency.snapshot(),
+            gpu_totals: *self.gpu_totals.lock().unwrap_or_else(|e| e.into_inner()),
+            kernel_profile: self
+                .kernel_profile
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+        }
+    }
+}
+
+/// Checkpoint-order counter names, parallel to
+/// `Telemetry::counter_cells` (append-only, like the cells).
+const COUNTER_NAMES: [&str; 14] = [
+    "ingested",
+    "shed_dropped_oldest",
+    "shed_rejected_new",
+    "rejected_invalid",
+    "shed_unhealthy",
+    "batches",
+    "reclusters",
+    "reclusters_coalesced",
+    "queries",
+    "checkpoints_written",
+    "checkpoint_failures",
+    "engine_retries",
+    "engine_degradations",
+    "iterations_salvaged",
+];
+
+/// A point-in-time, plain-value copy of one core's [`Telemetry`]. The
+/// sharded router merges the snapshots of every shard core plus its own
+/// into a single fleet-wide block — counters sum, histograms merge
+/// bucket-wise exactly, GPU totals and kernel profiles fold through
+/// their own `merge` — so operators read one JSON document per fleet,
+/// not N disjoint blobs.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// Monotonic counters in checkpoint order (see [`COUNTER_NAMES`]).
+    pub counters: Vec<u64>,
+    /// Worker panics caught by supervisors.
+    pub worker_panics: u64,
+    /// Worker restarts performed by supervisors.
+    pub worker_restarts: u64,
+    /// Submit → batch-apply latency per transaction (ns).
+    pub ingest_lag: HistogramSnapshot,
+    /// Applied micro-batch sizes (transactions).
+    pub batch_size: HistogramSnapshot,
+    /// Wall time per recluster (ns).
+    pub recluster_wall: HistogramSnapshot,
+    /// Query latency (ns).
+    pub query_latency: HistogramSnapshot,
+    /// GPU event totals summed over every recluster's LP run.
+    pub gpu_totals: KernelCounters,
+    /// Per-kernel launch aggregation summed over every recluster.
+    pub kernel_profile: KernelProfile,
+}
+
+impl TelemetrySnapshot {
+    /// Folds `other` into this snapshot.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        if self.counters.len() < other.counters.len() {
+            self.counters.resize(other.counters.len(), 0);
+        }
+        for (c, &o) in self.counters.iter_mut().zip(&other.counters) {
+            *c += o;
+        }
+        self.worker_panics += other.worker_panics;
+        self.worker_restarts += other.worker_restarts;
+        self.ingest_lag.merge(&other.ingest_lag);
+        self.batch_size.merge(&other.batch_size);
+        self.recluster_wall.merge(&other.recluster_wall);
+        self.query_latency.merge(&other.query_latency);
+        self.gpu_totals.merge(&other.gpu_totals);
+        self.kernel_profile.merge(&other.kernel_profile);
+    }
+
+    /// The named counter's value (0 if this snapshot predates it).
+    pub fn counter(&self, name: &str) -> u64 {
+        COUNTER_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .and_then(|i| self.counters.get(i).copied())
+            .unwrap_or(0)
+    }
+
+    /// Same JSON shape as [`Telemetry::to_json`], so fleet-wide and
+    /// single-core exports are drop-in interchangeable for dashboards.
+    pub fn to_json(&self) -> serde_json::Value {
+        // The vendored serde_json keeps objects as insertion-ordered
+        // pairs; build the document in the same key order as
+        // [`Telemetry::to_json`] so the two serialize identically.
+        let mut doc: Vec<(String, serde_json::Value)> = Vec::new();
+        for (i, name) in COUNTER_NAMES.iter().enumerate() {
+            doc.push((
+                (*name).to_string(),
+                serde_json::json!(self.counters.get(i).copied().unwrap_or(0)),
+            ));
+        }
+        doc.push((
+            "worker_panics".to_string(),
+            serde_json::json!(self.worker_panics),
+        ));
+        doc.push((
+            "worker_restarts".to_string(),
+            serde_json::json!(self.worker_restarts),
+        ));
+        doc.push(("ingest_lag_ns".to_string(), self.ingest_lag.to_json()));
+        doc.push(("batch_size".to_string(), self.batch_size.to_json()));
+        doc.push((
+            "recluster_wall_ns".to_string(),
+            self.recluster_wall.to_json(),
+        ));
+        doc.push(("query_latency_ns".to_string(), self.query_latency.to_json()));
+        doc.push((
+            "gpu".to_string(),
+            serde_json::json!({
+                "global_read_sectors": self.gpu_totals.global_read_sectors,
+                "global_write_sectors": self.gpu_totals.global_write_sectors,
+                "global_atomics": self.gpu_totals.global_atomics,
+                "shared_accesses": self.gpu_totals.shared_accesses,
+                "warp_intrinsics": self.gpu_totals.warp_intrinsics,
+                "kernel_launches": self.gpu_totals.kernel_launches,
+            }),
+        ));
+        let profile_rows: Vec<serde_json::Value> = self
+            .kernel_profile
+            .rows()
+            .map(|(tier, kernel, row)| {
+                serde_json::json!({
+                    "tier": tier,
+                    "kernel": kernel,
+                    "count": row.count,
+                    "total_s": row.total_s,
+                    "p50_s": row.p50_s(),
+                    "max_s": row.max_s,
+                })
+            })
+            .collect();
+        doc.push((
+            "kernel_profile".to_string(),
+            serde_json::Value::Array(profile_rows),
+        ));
+        serde_json::Value::Object(doc)
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +614,78 @@ mod tests {
         partial.restore_counters(&snap[..3]);
         assert_eq!(partial.ingested.load(Ordering::Relaxed), 11);
         assert_eq!(partial.batches.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_equals_one_combined_block() {
+        // Two cores record disjoint sample sets; merging their snapshots
+        // must equal one telemetry block that recorded everything.
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        let combined = Telemetry::new();
+        for v in [100u64, 5_000, 90_000] {
+            a.ingest_lag.record(v);
+            combined.ingest_lag.record(v);
+        }
+        for v in [7u64, 2_000_000] {
+            b.ingest_lag.record(v);
+            combined.ingest_lag.record(v);
+        }
+        a.ingested.fetch_add(10, Ordering::Relaxed);
+        b.ingested.fetch_add(32, Ordering::Relaxed);
+        combined.ingested.fetch_add(42, Ordering::Relaxed);
+        b.worker_panics.fetch_add(2, Ordering::Relaxed);
+        combined.worker_panics.fetch_add(2, Ordering::Relaxed);
+        let mut profile = KernelProfile::new();
+        profile.record("GLP", "pick_label", 2e-4);
+        b.merge_kernel_profile(&profile);
+        combined.merge_kernel_profile(&profile);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let reference = combined.snapshot();
+        assert_eq!(merged.counters, reference.counters);
+        assert_eq!(merged.counter("ingested"), 42);
+        assert_eq!(merged.worker_panics, 2);
+        assert_eq!(merged.ingest_lag.count, reference.ingest_lag.count);
+        assert_eq!(merged.ingest_lag.sum, reference.ingest_lag.sum);
+        assert_eq!(merged.ingest_lag.max, reference.ingest_lag.max);
+        for q in [0.1, 0.5, 0.95, 0.99] {
+            assert_eq!(
+                merged.ingest_lag.quantile(q),
+                reference.ingest_lag.quantile(q)
+            );
+        }
+        assert_eq!(
+            serde_json::to_string(&merged.to_json()).unwrap(),
+            serde_json::to_string(&reference.to_json()).unwrap(),
+            "merged fleet JSON must equal the single-block reference"
+        );
+    }
+
+    #[test]
+    fn snapshot_json_matches_live_json_keys() {
+        let t = Telemetry::new();
+        t.ingested.fetch_add(3, Ordering::Relaxed);
+        t.query_latency.record(5_000);
+        let live = t.to_json();
+        let snap = t.snapshot().to_json();
+        fn keys(v: &serde_json::Value) -> Vec<String> {
+            match v {
+                serde_json::Value::Object(pairs) => pairs.iter().map(|(k, _)| k.clone()).collect(),
+                _ => panic!("expected an object"),
+            }
+        }
+        let live_keys = keys(&live);
+        let snap_keys = keys(&snap);
+        for k in &live_keys {
+            assert!(snap_keys.contains(k), "snapshot JSON missing key {k}");
+        }
+        for k in &snap_keys {
+            assert!(live_keys.contains(k), "snapshot JSON has extra key {k}");
+        }
+        assert_eq!(live["ingested"], snap["ingested"]);
+        assert_eq!(live["query_latency_ns"], snap["query_latency_ns"]);
     }
 
     #[test]

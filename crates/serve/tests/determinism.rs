@@ -6,10 +6,10 @@
 //! scoring, and snapshot encoding.
 
 use glp_fraud::Transaction;
-use glp_serve::{ServeConfig, ServiceCore};
+use glp_serve::{FleetConfig, FleetCore, Partitioner, ServeConfig, ServiceCore};
 // The workload is the standard deterministic fraud stream shared with
 // the pipeline and golden-trace suites.
-use glp_test_support::tx_stream as stream;
+use glp_test_support::{regional_stream, tx_stream as stream};
 
 /// Drives one core through the stream at fixed batch boundaries
 /// (`batch` transactions per apply), reclustering every 4 batches plus
@@ -50,4 +50,78 @@ fn verdicts_identical_across_1_2_4_worker_threads() {
 #[test]
 fn repeated_runs_are_identical() {
     assert_eq!(run(2, 500), run(2, 500));
+}
+
+// ---------------------------------------------------------------------
+// Router-level determinism: the same stream routed across N shard cores
+// (with community-aware placement and cross-shard rings forcing real
+// boundary exchanges) must publish byte-identical fleet snapshots for
+// every N — and identical to a single unsharded ServiceCore.
+// ---------------------------------------------------------------------
+
+/// Drives the whole regional stream through a sharded [`FleetCore`] at
+/// fixed batch boundaries, running a full exchange round every 4
+/// batches plus once at the end, and returns every published fleet
+/// snapshot's canonical bytes.
+fn fleet_run(shards: usize, batch: usize) -> Vec<Vec<u8>> {
+    let s = regional_stream();
+    let cfg = FleetConfig {
+        shards,
+        ..FleetConfig::default()
+    }
+    .with_window_days(10);
+    let partitioner = Partitioner::with_communities(shards, 7, s.community_map());
+    let core = FleetCore::new(cfg, partitioner, s.blacklist.clone());
+    let all: Vec<Transaction> = s.window(0, s.config.days).copied().collect();
+    let mut snapshots = Vec::new();
+    for (i, chunk) in all.chunks(batch).enumerate() {
+        core.apply_transactions(chunk);
+        if (i + 1) % 4 == 0 {
+            core.exchange_now();
+            snapshots.push(core.fleet_snapshot().verdicts.canonical_bytes());
+        }
+    }
+    core.exchange_now();
+    snapshots.push(core.fleet_snapshot().verdicts.canonical_bytes());
+    snapshots
+}
+
+/// The unsharded reference: one ServiceCore over the same stream at the
+/// same batch and recluster boundaries.
+fn single_core_reference(batch: usize) -> Vec<Vec<u8>> {
+    let s = regional_stream();
+    let cfg = ServeConfig::default().with_window_days(10);
+    let core = ServiceCore::new(cfg, s.blacklist.clone());
+    let all: Vec<Transaction> = s.window(0, s.config.days).copied().collect();
+    let mut snapshots = Vec::new();
+    for (i, chunk) in all.chunks(batch).enumerate() {
+        core.apply_transactions(chunk);
+        if (i + 1) % 4 == 0 {
+            core.recluster_now();
+            snapshots.push(core.snapshot().canonical_bytes());
+        }
+    }
+    core.recluster_now();
+    snapshots.push(core.snapshot().canonical_bytes());
+    snapshots
+}
+
+#[test]
+fn fleet_verdicts_identical_across_1_2_4_shards() {
+    let reference = single_core_reference(500);
+    let one = fleet_run(1, 500);
+    let two = fleet_run(2, 500);
+    let four = fleet_run(4, 500);
+    assert!(reference.len() > 3, "expected several published snapshots");
+    assert_eq!(
+        reference, one,
+        "1-shard fleet differs from the unsharded reference"
+    );
+    assert_eq!(reference, two, "2-shard fleet differs from the reference");
+    assert_eq!(reference, four, "4-shard fleet differs from the reference");
+}
+
+#[test]
+fn repeated_fleet_runs_are_identical() {
+    assert_eq!(fleet_run(2, 500), fleet_run(2, 500));
 }

@@ -1,0 +1,147 @@
+//! Fleet checkpoint/restore pins: a sharded fleet interrupted mid-stream
+//! and restored from its per-shard `<base>.shard<i>` images must resume
+//! **byte-identical** to the uninterrupted run, and a single-core
+//! checkpoint must migrate onto a fleet (the scale-out path) without
+//! changing a single verdict byte.
+
+use glp_fraud::checkpoint::WindowCheckpoint;
+use glp_fraud::Transaction;
+use glp_serve::{
+    FleetConfig, FleetCore, HealthState, Partitioner, ServeConfig, ServiceCore, ShardRouter,
+};
+use glp_test_support::regional_stream;
+use std::path::{Path, PathBuf};
+
+const SHARDS: usize = 2;
+
+fn temp_base(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("glp_fleet_{}_{}.ckpt", name, std::process::id()))
+}
+
+fn fleet_cfg(base: &Path) -> FleetConfig {
+    let mut cfg = FleetConfig {
+        shards: SHARDS,
+        exchange_every_batches: 8,
+        ..FleetConfig::default()
+    }
+    .with_window_days(10);
+    cfg.shard.checkpoint_path = Some(base.to_path_buf());
+    cfg
+}
+
+fn cleanup(base: &Path) {
+    for i in 0..SHARDS {
+        let mut p = base.as_os_str().to_owned();
+        p.push(format!(".shard{i}"));
+        let _ = std::fs::remove_file(PathBuf::from(p));
+    }
+    let _ = std::fs::remove_file(base);
+}
+
+#[test]
+fn interrupted_fleet_resumes_byte_identical() {
+    let s = regional_stream();
+    let all: Vec<Transaction> = s.window(0, s.config.days).copied().collect();
+    let split = all.len() / 2;
+    let base = temp_base("resume");
+    let partitioner = || Partitioner::with_communities(SHARDS, 7, s.community_map());
+
+    // Uninterrupted reference.
+    let reference = FleetCore::new(fleet_cfg(&base), partitioner(), s.blacklist.clone());
+    for chunk in all.chunks(500) {
+        reference.apply_transactions(chunk);
+    }
+    reference.exchange_now();
+
+    // Interrupted run: checkpoint every shard at the split, drop the
+    // fleet, restore, and replay the rest.
+    {
+        let first = FleetCore::new(fleet_cfg(&base), partitioner(), s.blacklist.clone());
+        for chunk in all[..split].chunks(500) {
+            first.apply_transactions(chunk);
+        }
+        first.checkpoint_all().expect("fleet checkpoint");
+    }
+    let resumed = FleetCore::restore(fleet_cfg(&base), partitioner(), s.blacklist.clone())
+        .expect("fleet restore");
+    for chunk in all[split..].chunks(500) {
+        resumed.apply_transactions(chunk);
+    }
+    resumed.exchange_now();
+
+    assert_eq!(
+        resumed.fleet_snapshot().verdicts.canonical_bytes(),
+        reference.fleet_snapshot().verdicts.canonical_bytes(),
+        "restored fleet diverged from the uninterrupted run"
+    );
+    // Per-shard local state restored exactly, not just the merged view.
+    for i in 0..SHARDS {
+        assert_eq!(
+            resumed.shards()[i].snapshot().canonical_bytes(),
+            reference.shards()[i].snapshot().canonical_bytes(),
+            "shard {i} local snapshot diverged after restore"
+        );
+    }
+    cleanup(&base);
+}
+
+#[test]
+fn single_core_checkpoint_migrates_onto_a_fleet() {
+    let s = regional_stream();
+    let all: Vec<Transaction> = s.window(0, s.config.days).copied().collect();
+    let base = temp_base("migrate");
+
+    // A single unsharded core serves the whole stream, then snapshots.
+    let single_cfg = ServeConfig::default().with_window_days(10);
+    let single = ServiceCore::new(single_cfg, s.blacklist.clone());
+    for chunk in all.chunks(500) {
+        single.apply_transactions(chunk);
+    }
+    single.recluster_now();
+    single.checkpoint(&base).expect("single-core checkpoint");
+
+    // Scale out: split the image across a fleet and reconcile.
+    let ckpt = WindowCheckpoint::read(&base).expect("read image");
+    let fleet = FleetCore::migrate_from_single(
+        fleet_cfg(&base),
+        Partitioner::with_communities(SHARDS, 7, s.community_map()),
+        s.blacklist.clone(),
+        &ckpt,
+    )
+    .expect("migrate");
+
+    assert_eq!(
+        fleet.fleet_snapshot().verdicts.canonical_bytes(),
+        single.snapshot().canonical_bytes(),
+        "migration changed verdicts"
+    );
+    assert_eq!(fleet.window_end(), s.config.days);
+    cleanup(&base);
+}
+
+#[test]
+fn threaded_fleet_recovers_from_its_shutdown_checkpoints() {
+    let s = regional_stream();
+    let base = temp_base("recover");
+    let partitioner = || Partitioner::with_communities(SHARDS, 7, s.community_map());
+
+    let router = ShardRouter::start(fleet_cfg(&base), partitioner(), s.blacklist.clone());
+    for t in s.window(0, s.config.days) {
+        router.submit(*t).expect("fleet accepts while running");
+    }
+    let report = router.shutdown();
+    assert!(report.clean());
+    let before = report.core.fleet_snapshot().verdicts.canonical_bytes();
+
+    let recovered = ShardRouter::recover(fleet_cfg(&base), partitioner(), s.blacklist.clone())
+        .expect("fleet recover");
+    assert_eq!(recovered.health().state, HealthState::Healthy);
+    assert_eq!(
+        recovered.core().fleet_snapshot().verdicts.canonical_bytes(),
+        before,
+        "recovered fleet diverged from the pre-shutdown snapshot"
+    );
+    let report = recovered.shutdown();
+    assert!(report.clean());
+    cleanup(&base);
+}

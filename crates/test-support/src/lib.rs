@@ -20,7 +20,7 @@ use glp_core::engine::{
 use glp_core::{
     CapacityLp, ClassicLp, Llp, LpProgram, RiskWeightedLp, RunOptions, SeededLp, Slp, WeightedLp,
 };
-use glp_fraud::{TxConfig, TxStream};
+use glp_fraud::{RegionalStream, RegionalTxConfig, TxConfig, TxStream};
 use glp_gpusim::{Device, DeviceConfig};
 use glp_graph::gen::{caveman, community_powerlaw, two_cliques_bridge, CommunityPowerLawConfig};
 use glp_graph::Graph;
@@ -150,6 +150,27 @@ pub fn tx_stream() -> TxStream {
     })
 }
 
+/// The standard deterministic *regional* fraud workload for the sharded
+/// fleet suites: organic traffic strictly region-local (communities the
+/// partitioner can co-locate), with fraud rings straddling adjacent
+/// region pairs so the cross-shard label exchange always has real
+/// boundary components to reconcile. Shared by the fleet determinism,
+/// shard-loss, and recovery suites.
+pub fn regional_stream() -> RegionalStream {
+    RegionalStream::generate(&RegionalTxConfig {
+        regions: 8,
+        users_per_region: 200,
+        items_per_region: 80,
+        days: 12,
+        tx_per_day: 800,
+        cross_rings: 8,
+        ring_size: 10,
+        ring_tx_per_day: 30,
+        blacklist_fraction: 0.3,
+        ..Default::default()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +187,10 @@ mod tests {
         let a = tx_stream();
         let b = tx_stream();
         assert_eq!(a.blacklist, b.blacklist, "stream builder must be seeded");
+        let r = regional_stream();
+        let r2 = regional_stream();
+        assert_eq!(r.blacklist, r2.blacklist, "regional builder must be seeded");
+        assert!(!r.blacklist.is_empty(), "rings must seed a blacklist");
     }
 
     #[test]
