@@ -11,6 +11,11 @@
 //! panics, supervisor restarts, shed counts, and the final health state,
 //! as a table and as `BENCH_chaos.json`.
 //!
+//! A final fleet scenario kills one shard of a journaled fleet to Down,
+//! repeatedly, and reports MTTR (kill → shard re-admitted after the
+//! checkpoint + write-ahead-journal rebuild) — self-asserting that the
+//! healed fleet is byte-identical to a fault-free run.
+//!
 //! Usage: `cargo run -p glp-bench --release --features fault-injection
 //!         --bin chaos_serve [--json BENCH_chaos.json] [--users N]
 //!         [--days N] [--tx-per-day N] [--seed N]`
@@ -18,7 +23,10 @@
 use glp_bench::table::print_table;
 use glp_bench::Args;
 use glp_fraud::{Transaction, TxConfig, TxStream};
-use glp_serve::{Fault, FaultPlan, FraudService, HealthState, ServeConfig, ShedPolicy};
+use glp_serve::{
+    Fault, FaultPlan, FleetConfig, FleetCore, FraudService, HealthState, Partitioner, ServeConfig,
+    ShedPolicy,
+};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -111,6 +119,116 @@ fn run_scenario(
         shed_unhealthy: t.shed_unhealthy.load(Ordering::Relaxed),
         checkpoint_failures: t.checkpoint_failures.load(Ordering::Relaxed),
         final_state: report.state,
+    }
+}
+
+struct FailoverStats {
+    shards: usize,
+    victim: usize,
+    runs: usize,
+    mttr: Vec<Duration>,
+    rebuild_wall: Vec<Duration>,
+    replayed_total: u64,
+    byte_identical: bool,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// (min, mean, max) in milliseconds.
+fn duration_stats(v: &[Duration]) -> (f64, f64, f64) {
+    let min = v.iter().min().copied().unwrap_or_default();
+    let max = v.iter().max().copied().unwrap_or_default();
+    let mean = v.iter().sum::<Duration>().as_secs_f64() * 1e3 / v.len().max(1) as f64;
+    (ms(min), mean, ms(max))
+}
+
+/// The fleet scenario: walk one shard of a journaled fleet to `Down`
+/// with consecutive panics, let the router rebuild it from the
+/// mid-stream checkpoint + journal replay, and measure MTTR — last kill
+/// fired → shard re-admitted. Repeated `runs` times for a distribution;
+/// every healed run must end byte-identical to the fault-free reference.
+fn run_failover(all: &[Transaction], blacklist: &[u32], seed: u64, runs: usize) -> FailoverStats {
+    let shards = 3usize;
+    let victim = (seed as usize) % shards;
+    let fleet_cfg = || {
+        FleetConfig {
+            shards,
+            exchange_every_batches: 8,
+            ..FleetConfig::default()
+        }
+        .with_window_days(20)
+    };
+    let chunk = all.len().div_ceil(24).max(1);
+    let chunks: Vec<&[Transaction]> = all.chunks(chunk).collect();
+
+    let reference = FleetCore::new(
+        fleet_cfg(),
+        Partitioner::hashed(shards, seed),
+        blacklist.to_vec(),
+    );
+    for c in &chunks {
+        reference.apply_transactions(c);
+    }
+    reference.exchange_now();
+    let want = reference.fleet_snapshot().verdicts.canonical_bytes();
+
+    let down_after = u64::from(fleet_cfg().shard.down_after_crashes);
+    let kill_from = 10u64;
+    let mut mttr = Vec::new();
+    let mut rebuild_wall = Vec::new();
+    let mut replayed_total = 0u64;
+    let mut byte_identical = true;
+    for run in 0..runs {
+        let base =
+            std::env::temp_dir().join(format!("glp_chaos_fo_{}_{run}.ckpt", std::process::id()));
+        let wal =
+            std::env::temp_dir().join(format!("glp_chaos_fo_{}_{run}.wal", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal);
+        let mut cfg = fleet_cfg();
+        cfg.shard.checkpoint_path = Some(base.clone());
+        cfg.wal_dir = Some(wal.clone());
+        let plan = Arc::new(FaultPlan::new((0..down_after).map(|j| Fault::ShardPanic {
+            shard: victim,
+            at_batch: kill_from + j,
+        })));
+        let fleet = FleetCore::new(cfg, Partitioner::hashed(shards, seed), blacklist.to_vec())
+            .with_faults(Arc::clone(&plan));
+        for (j, c) in chunks.iter().enumerate() {
+            fleet.apply_transactions(c);
+            if j as u64 == 5 {
+                fleet.checkpoint_all().expect("mid-stream checkpoint");
+            }
+        }
+        fleet.exchange_now();
+        assert!(plan.all_fired(), "failover: kill schedule never completed");
+        let event = fleet
+            .failover_events()
+            .into_iter()
+            .next()
+            .expect("failover: the dead shard was never rebuilt");
+        let killed_at = plan.fired().last().expect("fired faults recorded").at;
+        mttr.push(event.completed_at.duration_since(killed_at));
+        rebuild_wall.push(event.wall);
+        replayed_total += event.replayed_batches;
+        byte_identical &= fleet.fleet_snapshot().verdicts.canonical_bytes() == want
+            && fleet.health().state == HealthState::Healthy;
+        for i in 0..shards {
+            let mut p = base.as_os_str().to_owned();
+            p.push(format!(".shard{i}"));
+            let _ = std::fs::remove_file(std::path::PathBuf::from(p));
+        }
+        let _ = std::fs::remove_dir_all(&wal);
+    }
+    FailoverStats {
+        shards,
+        victim,
+        runs,
+        mttr,
+        rebuild_wall,
+        replayed_total,
+        byte_identical,
     }
 }
 
@@ -208,6 +326,10 @@ fn main() {
     }
     std::fs::remove_file(&ckpt_path).ok();
 
+    let failover_runs: usize = args.get("failover-runs", 5);
+    eprintln!("... scenario shard-failover: {failover_runs} killed-shard rebuilds");
+    let failover = run_failover(&all, &stream.blacklist, seed, failover_runs);
+
     let rows: Vec<Vec<String>> = outcomes
         .iter()
         .map(|o| {
@@ -243,6 +365,45 @@ fn main() {
         &rows,
     );
 
+    let (mttr_min, mttr_mean, mttr_max) = duration_stats(&failover.mttr);
+    let (_, wall_mean, _) = duration_stats(&failover.rebuild_wall);
+    println!(
+        "\nshard-failover — kill one of {} shards to Down, rebuild from checkpoint + journal ({} runs, victim {})\n",
+        failover.shards, failover.runs, failover.victim
+    );
+    print_table(
+        &[
+            "mttr-min",
+            "mttr-mean",
+            "mttr-max",
+            "rebuild-wall-mean",
+            "replayed-batches",
+            "byte-identical",
+        ],
+        &[vec![
+            format!("{mttr_min:.2} ms"),
+            format!("{mttr_mean:.2} ms"),
+            format!("{mttr_max:.2} ms"),
+            format!("{wall_mean:.2} ms"),
+            failover.replayed_total.to_string(),
+            failover.byte_identical.to_string(),
+        ]],
+    );
+
+    let mttr_json = serde_json::json!({
+        "min": mttr_min,
+        "mean": mttr_mean,
+        "max": mttr_max,
+    });
+    let failover_json = serde_json::json!({
+        "shards": failover.shards,
+        "victim": failover.victim,
+        "runs": failover.runs,
+        "mttr_ms": mttr_json,
+        "rebuild_wall_ms_mean": wall_mean,
+        "replayed_batches_total": failover.replayed_total,
+        "byte_identical": failover.byte_identical,
+    });
     let json = serde_json::json!({
         "bench": "chaos_serve",
         "seed": seed,
@@ -259,6 +420,7 @@ fn main() {
             "checkpoint_failures": o.checkpoint_failures,
             "final_state": o.final_state.as_str(),
         })).collect::<Vec<_>>(),
+        "failover": failover_json,
     });
     std::fs::write(
         json_path,
@@ -281,5 +443,10 @@ fn main() {
             );
         }
     }
+    assert!(
+        failover.byte_identical,
+        "a healed fleet diverged from the fault-free reference"
+    );
+    assert_eq!(failover.mttr.len(), failover.runs, "every run must heal");
     eprintln!("... all scenarios behaved as specified");
 }

@@ -134,6 +134,20 @@ pub struct FleetConfig {
     /// (the boundary-freshness cadence; local per-shard reclusters run
     /// at the shard's own `recluster_every_batches`).
     pub exchange_every_batches: u64,
+    /// Directory of the fleet's write-ahead batch journal (None =
+    /// journaling off). With a journal, every validated batch is
+    /// persisted *before* fan-out, which enables automatic shard
+    /// failover (a Down shard rebuilds from checkpoint + journal replay
+    /// and re-admits itself) and zero-loss whole-fleet crash-restart.
+    pub wal_dir: Option<PathBuf>,
+    /// Journal segment size in bytes; the writer rotates to a fresh
+    /// segment once the current one would exceed this.
+    pub wal_segment_bytes: u64,
+    /// Delete journal segments made fully redundant by per-shard
+    /// checkpoints (bounded disk). Turn off to retain the full journal —
+    /// required if shard checkpoints may be lost and the fleet must
+    /// still rebuild them from the journal alone.
+    pub wal_truncate_on_checkpoint: bool,
 }
 
 impl Default for FleetConfig {
@@ -142,6 +156,9 @@ impl Default for FleetConfig {
             shard: ServeConfig::default(),
             shards: 2,
             exchange_every_batches: 16,
+            wal_dir: None,
+            wal_segment_bytes: 4 << 20,
+            wal_truncate_on_checkpoint: true,
         }
     }
 }
@@ -176,6 +193,9 @@ mod tests {
         assert!(cfg.shards >= 1);
         assert!(cfg.exchange_every_batches >= 1);
         assert_eq!(cfg.shard_checkpoint_path(0), None, "checkpointing opt-in");
+        assert!(cfg.wal_dir.is_none(), "journaling is opt-in");
+        assert!(cfg.wal_segment_bytes >= 1 << 12);
+        assert!(cfg.wal_truncate_on_checkpoint, "bounded disk by default");
         let mut cfg = cfg;
         cfg.shard.checkpoint_path = Some(PathBuf::from("/tmp/fleet.ckpt"));
         assert_eq!(

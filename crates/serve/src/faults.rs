@@ -81,6 +81,23 @@ pub enum Fault {
         /// Fleet batch index (= fleet batches applied so far) to fire at.
         at_batch: u64,
     },
+    /// Make the journal append for fleet batch `at_batch` fail with an
+    /// injected I/O error — the durability path breaks while the scoring
+    /// path keeps working. The router records the failure against its
+    /// `wal-journal` worker (degrading the fleet, loudly) and still fans
+    /// the batch out: availability over durability.
+    WalAppendFail {
+        /// Fleet batch index to fire at.
+        at_batch: u64,
+    },
+    /// Panic the router *between* journaling fleet batch `at_batch` and
+    /// fanning it out — the canonical write-ahead crash window. The batch
+    /// is durable but no shard ever saw it; recovery must replay it from
+    /// the journal exactly once.
+    CrashAfterJournal {
+        /// Fleet batch index to fire at.
+        at_batch: u64,
+    },
 }
 
 impl Fault {
@@ -101,6 +118,10 @@ impl Fault {
             Self::CheckpointFail { at_batch } => format!("checkpoint-fail@batch{at_batch}"),
             Self::ShardPanic { shard, at_batch } => {
                 format!("shard{shard}-panic@batch{at_batch}")
+            }
+            Self::WalAppendFail { at_batch } => format!("wal-append-fail@batch{at_batch}"),
+            Self::CrashAfterJournal { at_batch } => {
+                format!("crash-after-journal@batch{at_batch}")
             }
         }
     }
@@ -139,6 +160,10 @@ pub struct FaultSpec {
     pub corrupt_txs: u32,
     /// Checkpoint-write failures.
     pub checkpoint_fails: u32,
+    /// Journal-append failures ([`Fault::WalAppendFail`]).
+    pub wal_append_fails: u32,
+    /// Crashes in the journal→fan-out window ([`Fault::CrashAfterJournal`]).
+    pub journal_crashes: u32,
     /// Batch indices are drawn uniformly from `1..batch_horizon`.
     pub batch_horizon: u64,
     /// Recluster indices are drawn uniformly from `1..recluster_horizon`.
@@ -155,6 +180,8 @@ impl Default for FaultSpec {
             stall_millis: 50,
             corrupt_txs: 0,
             checkpoint_fails: 0,
+            wal_append_fails: 0,
+            journal_crashes: 0,
             batch_horizon: 16,
             recluster_horizon: 4,
         }
@@ -220,6 +247,16 @@ impl FaultPlan {
         }
         for _ in 0..spec.checkpoint_fails {
             faults.push(Fault::CheckpointFail {
+                at_batch: batch_at(&mut rng),
+            });
+        }
+        for _ in 0..spec.wal_append_fails {
+            faults.push(Fault::WalAppendFail {
+                at_batch: batch_at(&mut rng),
+            });
+        }
+        for _ in 0..spec.journal_crashes {
+            faults.push(Fault::CrashAfterJournal {
                 at_batch: batch_at(&mut rng),
             });
         }
@@ -314,6 +351,24 @@ impl FaultPlan {
         if let Some(f) = self.take(|f| {
             matches!(f, Fault::ShardPanic { shard: s, at_batch } if *s == shard && *at_batch == batch)
         }) {
+            panic!("fault-injection: {}", f.describe());
+        }
+    }
+
+    /// Router hook, before journaling fleet batch `batch`: whether the
+    /// journal append should be made to fail.
+    pub fn wal_append_fail_due(&self, batch: u64) -> bool {
+        self.take(|f| matches!(f, Fault::WalAppendFail { at_batch } if *at_batch == batch))
+            .is_some()
+    }
+
+    /// Router hook, after journaling fleet batch `batch` but before
+    /// fan-out: panics if a [`Fault::CrashAfterJournal`] is due — the
+    /// batch is durable on disk, no shard has applied it.
+    pub fn maybe_crash_after_journal(&self, batch: u64) {
+        if let Some(f) =
+            self.take(|f| matches!(f, Fault::CrashAfterJournal { at_batch } if *at_batch == batch))
+        {
             panic!("fault-injection: {}", f.describe());
         }
     }

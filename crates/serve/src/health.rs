@@ -217,6 +217,23 @@ impl HealthMonitor {
             cur = self.state.load(Ordering::Acquire);
         }
     }
+
+    /// Re-admits a service after failover: clears every crash streak and
+    /// forces the state back to `Healthy`. This is the *only* exit from
+    /// [`HealthState::Down`] short of a process restart, and it is
+    /// reserved for the fleet's failover path
+    /// ([`FleetCore::failover_shard`](crate::router::FleetCore::failover_shard)),
+    /// which calls it strictly *after* the shard's state has been rebuilt
+    /// from its checkpoint plus journal replay — reviving a shard whose
+    /// window is still wrong would serve bad verdicts, not heal anything.
+    pub fn revive(&self) {
+        self.streaks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.state
+            .store(HealthState::Healthy as u8, Ordering::Release);
+    }
 }
 
 /// One observation of service health, as returned by
@@ -389,6 +406,20 @@ mod tests {
         assert!(m.is_down());
         m.record_progress("w");
         assert!(m.is_down(), "progress must not resurrect a Down service");
+    }
+
+    #[test]
+    fn revive_is_the_one_exit_from_down() {
+        let m = monitor();
+        for _ in 0..5 {
+            m.record_crash("w", "loop");
+        }
+        assert!(m.is_down());
+        m.revive();
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.consecutive_crashes(), 0, "streaks cleared");
+        // The ladder works again from scratch after re-admission.
+        assert_eq!(m.record_crash("w", "p"), HealthState::Degraded);
     }
 
     #[test]

@@ -96,6 +96,16 @@
 //!   serving, and [`FleetCore::restore`](router::FleetCore::restore) /
 //!   [`ShardRouter::recover`](router::ShardRouter::recover) bring the
 //!   whole fleet back from per-shard checkpoints.
+//! * **Journal + failover** ([`wal`], [`router`]) — with
+//!   [`FleetConfig::wal_dir`] set, the router journals every validated
+//!   batch to a segmented, CRC-framed write-ahead log *before* fan-out.
+//!   A shard that dies is then rebuilt automatically — last checkpoint
+//!   plus journal replay of its keyspace — and re-admitted,
+//!   byte-identical to a fleet that never lost it; whole-fleet
+//!   crash-restart replays journaled batches the checkpoints missed
+//!   (zero loss), tolerating a missing or corrupt shard checkpoint by
+//!   rebuilding that shard from the journal alone (pinned in
+//!   `tests/shard_failover.rs`).
 
 pub mod config;
 pub mod exchange;
@@ -112,6 +122,7 @@ pub mod shard;
 pub mod supervisor;
 pub mod swap;
 pub mod telemetry;
+pub mod wal;
 
 pub use config::{FleetConfig, ServeConfig, ShedPolicy};
 pub use exchange::{ExchangeReport, FleetSnapshot, ShardFrame};
@@ -125,8 +136,12 @@ pub use ingest::{Batcher, IngestGate, Submitted};
 pub use partition::Partitioner;
 pub use query::{FraudScorer, Verdict, VerdictSnapshot};
 pub use recluster::recluster;
-pub use router::{ExchangeOutcome, FleetCore, FleetHandle, FleetShutdownReport, ShardRouter};
+pub use router::{
+    ExchangeOutcome, FailoverError, FailoverEvent, FleetCore, FleetHandle, FleetRecoveryError,
+    FleetShutdownReport, FleetTelemetry, ShardRouter,
+};
 pub use service::{FraudService, QueryHandle, ServiceCore, ShutdownReport};
 pub use shard::ShardCore;
 pub use supervisor::{supervise, supervise_with, RestartPolicy, WorkerOutcome, WorkerStatus};
 pub use telemetry::{Histogram, Telemetry, TelemetrySnapshot};
+pub use wal::{FleetWal, WalError, WalRecord};

@@ -36,6 +36,32 @@
 //! fleet back and [`FleetCore::migrate_from_single`] splits a
 //! single-core checkpoint across a fleet — both ending with an exchange
 //! round so the first query already sees reconciled verdicts.
+//!
+//! **Journal + failover.** With `wal_dir` configured, the router
+//! journals every validated, seq-stamped micro-batch to a write-ahead
+//! log ([`crate::wal`]) *before* fan-out. That single ordering decision
+//! buys three recovery paths:
+//!
+//! * **Automatic shard failover** — a shard that reaches `Down` is no
+//!   longer shed forever: the next batch routed its way triggers
+//!   [`FleetCore::failover_shard`], which rebuilds the shard's window
+//!   from its last checkpoint plus journal replay of the batches after
+//!   it (restricted to its keyspace, in router sequence order),
+//!   re-admits it via [`HealthMonitor::revive`], and resumes serving —
+//!   byte-identical to a fleet that never lost the shard.
+//! * **Zero-loss crash-restart** — [`FleetCore::restore`] follows the
+//!   checkpoints with [`FleetCore::sync_from_wal`], so every journaled
+//!   batch the crash interrupted lands exactly once; a missing or
+//!   corrupt shard checkpoint downgrades to a journal-only rebuild of
+//!   that shard instead of failing the whole restore.
+//! * **The write-ahead crash window** — a crash *between* journal
+//!   append and fan-out leaves a batch durable but unapplied;
+//!   `router_loop` replays it on worker restart before accepting new
+//!   traffic, again exactly once.
+//!
+//! Checkpoints bound the journal: after each fleet checkpoint the
+//! segments every shard's durable image already covers are deleted
+//! (`wal_truncate_on_checkpoint`).
 
 use crate::config::FleetConfig;
 use crate::exchange::{reconcile, ExchangeReport, FleetSnapshot};
@@ -53,15 +79,16 @@ use crate::supervisor::{
 };
 use crate::swap::EpochCell;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use crate::wal::{FleetWal, WalError};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use glp_fraud::checkpoint::{CheckpointError, WindowCheckpoint};
-use glp_fraud::Transaction;
+use glp_fraud::{IncrementalWindow, Transaction};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What one [`FleetCore::exchange_now`] round cost and found.
 #[derive(Clone, Debug)]
@@ -76,6 +103,127 @@ pub struct ExchangeOutcome {
     pub exchange_wall: f64,
     /// What the round found.
     pub report: ExchangeReport,
+}
+
+/// Why a whole-fleet recovery ([`FleetCore::restore`] /
+/// [`ShardRouter::recover`]) failed.
+#[derive(Debug)]
+pub enum FleetRecoveryError {
+    /// A shard checkpoint was unreadable and no journal was configured
+    /// to rebuild that shard from.
+    Checkpoint(CheckpointError),
+    /// The write-ahead journal itself was unreadable, or replay hit a
+    /// gap (e.g. a checkpoint was deleted *and* the covering segments
+    /// were already truncated).
+    Wal(WalError),
+}
+
+impl std::fmt::Display for FleetRecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Checkpoint(e) => write!(f, "fleet recovery: checkpoint: {e}"),
+            Self::Wal(e) => write!(f, "fleet recovery: journal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetRecoveryError {}
+
+impl From<CheckpointError> for FleetRecoveryError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+impl From<WalError> for FleetRecoveryError {
+    fn from(e: WalError) -> Self {
+        Self::Wal(e)
+    }
+}
+
+/// Why a shard failover ([`FleetCore::failover_shard`]) failed.
+#[derive(Debug)]
+pub enum FailoverError {
+    /// The fleet has no write-ahead journal configured; a dead shard's
+    /// post-checkpoint history is unrecoverable and its keyspace stays
+    /// shed (the pre-journal behaviour).
+    NoJournal,
+    /// The journal could not supply the shard's missing history.
+    Wal(WalError),
+}
+
+impl std::fmt::Display for FailoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoJournal => write!(f, "failover: no write-ahead journal configured"),
+            Self::Wal(e) => write!(f, "failover: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FailoverError {}
+
+/// One completed shard failover, as recorded in
+/// [`FleetCore::failover_events`] — the chaos bench derives MTTR
+/// (kill → re-admitted) from these.
+#[derive(Clone, Debug)]
+pub struct FailoverEvent {
+    /// Which shard was rebuilt.
+    pub shard: usize,
+    /// Journal records replayed on top of the base image.
+    pub replayed_batches: u64,
+    /// Whether a checkpoint supplied the base image (`false` = the
+    /// shard was rebuilt from the journal alone).
+    pub from_checkpoint: bool,
+    /// Wall time of the rebuild (checkpoint read + replay + swap +
+    /// recluster).
+    pub wall: Duration,
+    /// When the shard was re-admitted.
+    pub completed_at: Instant,
+}
+
+/// The merged fleet telemetry document: every core's counters and
+/// histograms folded into one [`TelemetrySnapshot`], plus the
+/// fleet-level facts no single core owns.
+#[derive(Clone, Debug)]
+pub struct FleetTelemetry {
+    /// Router telemetry plus every shard's, counters summed and
+    /// histograms merged bucket-wise.
+    pub merged: TelemetrySnapshot,
+    /// Effective fleet health state at snapshot time.
+    pub fleet_state: HealthState,
+    /// Completed failovers per shard, indexed by shard id.
+    pub shard_failovers: Vec<u64>,
+}
+
+impl FleetTelemetry {
+    /// The named merged counter's value (see [`TelemetrySnapshot::counter`]).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.merged.counter(name)
+    }
+
+    /// The merged snapshot's JSON document extended with `fleet_state`
+    /// and `shard_failovers` keys.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut doc = match self.merged.to_json() {
+            serde_json::Value::Object(pairs) => pairs,
+            _ => unreachable!("snapshot JSON is always an object"),
+        };
+        doc.push((
+            "fleet_state".to_string(),
+            serde_json::json!(self.fleet_state.as_str()),
+        ));
+        doc.push((
+            "shard_failovers".to_string(),
+            serde_json::Value::Array(
+                self.shard_failovers
+                    .iter()
+                    .map(|&v| serde_json::json!(v))
+                    .collect(),
+            ),
+        ));
+        serde_json::Value::Object(doc)
+    }
 }
 
 /// The synchronous sharded fleet (see module docs).
@@ -95,8 +243,32 @@ pub struct FleetCore {
     window_end: Arc<AtomicU32>,
     /// Next fleet-wide sequence stamp.
     next_seq: AtomicU64,
+    /// The write-ahead batch journal (None = journaling off). Locked
+    /// only on the router thread's append and the (rare) recovery
+    /// reads; never on the query path.
+    wal: Option<Mutex<FleetWal>>,
+    /// Per-shard durable progress: the `batches_applied` of each
+    /// shard's newest on-disk checkpoint. `min` over these is the
+    /// journal-truncation watermark — a Down shard pins its last good
+    /// image here, so the journal retains exactly what its failover
+    /// will need.
+    durable: Vec<AtomicU64>,
+    /// Completed failovers, in completion order.
+    failover_log: Mutex<Vec<FailoverEvent>>,
+    /// Set when a shard's failover hit a permanent journal gap: retrying
+    /// every batch would fail identically, so the shard stays shed until
+    /// a process-level recovery.
+    failover_blocked: Vec<AtomicBool>,
     #[cfg(feature = "fault-injection")]
     faults: Option<Arc<FaultPlan>>,
+}
+
+/// Opens the configured journal, if any.
+fn open_wal(cfg: &FleetConfig) -> Result<Option<FleetWal>, WalError> {
+    cfg.wal_dir
+        .as_ref()
+        .map(|dir| FleetWal::open(dir, cfg.wal_segment_bytes))
+        .transpose()
 }
 
 impl FleetCore {
@@ -107,35 +279,64 @@ impl FleetCore {
             cfg.shards,
             "partitioner and fleet disagree on shard count"
         );
+        let wal = open_wal(&cfg).expect("the configured journal directory must be openable");
         let shards = (0..cfg.shards)
             .map(|i| Arc::new(ShardCore::new(i, cfg.shard.clone(), blacklist.clone())))
             .collect();
-        Self::assemble(cfg, partitioner, blacklist, shards)
+        Self::assemble(cfg, partitioner, blacklist, shards, wal)
     }
 
     /// Restores a whole fleet from its per-shard checkpoints
-    /// (`<base>.shard<i>` for every `i`), then runs one exchange round
-    /// so queries see reconciled verdicts before any new traffic.
+    /// (`<base>.shard<i>` for every `i`) plus, when a journal is
+    /// configured, a replay of every journaled batch the checkpoints
+    /// don't cover — so a crash loses nothing that reached the journal.
+    /// With a journal, a missing or corrupt shard checkpoint downgrades
+    /// to rebuilding that shard from the journal alone (which requires
+    /// the journal to still hold its full history — see
+    /// `wal_truncate_on_checkpoint`). Ends with one exchange round so
+    /// queries see reconciled verdicts before any new traffic.
     pub fn restore(
         cfg: FleetConfig,
         partitioner: Partitioner,
         blacklist: Vec<u32>,
-    ) -> Result<Self, CheckpointError> {
+    ) -> Result<Self, FleetRecoveryError> {
         assert_eq!(partitioner.shards(), cfg.shards);
+        let wal = open_wal(&cfg)?;
         let mut shards = Vec::with_capacity(cfg.shards);
+        let mut durables = Vec::with_capacity(cfg.shards);
         for i in 0..cfg.shards {
-            let path = cfg
-                .shard_checkpoint_path(i)
-                .ok_or(CheckpointError::Invalid("no checkpoint path configured"))?;
-            let ckpt = WindowCheckpoint::read(&path)?;
-            shards.push(Arc::new(ShardCore::restore(
-                i,
-                cfg.shard.clone(),
-                blacklist.clone(),
-                &ckpt,
-            )?));
+            let restored = match cfg.shard_checkpoint_path(i) {
+                None => Err(CheckpointError::Invalid("no checkpoint path configured")),
+                Some(path) => WindowCheckpoint::read(&path).and_then(|ckpt| {
+                    let durable = ckpt.batches_applied;
+                    ShardCore::restore(i, cfg.shard.clone(), blacklist.clone(), &ckpt)
+                        .map(|core| (core, durable))
+                }),
+            };
+            match restored {
+                Ok((core, durable)) => {
+                    shards.push(Arc::new(core));
+                    durables.push(durable);
+                }
+                Err(e) if wal.is_none() => return Err(e.into()),
+                Err(_) => {
+                    // Unreadable image, journal available: start this
+                    // shard empty and let `sync_from_wal` replay its
+                    // entire history from the journal.
+                    shards.push(Arc::new(ShardCore::new(
+                        i,
+                        cfg.shard.clone(),
+                        blacklist.clone(),
+                    )));
+                    durables.push(0);
+                }
+            }
         }
-        let core = Self::assemble(cfg, partitioner, blacklist, shards);
+        let core = Self::assemble(cfg, partitioner, blacklist, shards, wal);
+        for (cell, durable) in core.durable.iter().zip(durables) {
+            cell.store(durable, Ordering::Relaxed);
+        }
+        core.sync_from_wal()?;
         core.exchange_now();
         Ok(core)
     }
@@ -153,6 +354,7 @@ impl FleetCore {
         ckpt: &WindowCheckpoint,
     ) -> Result<Self, CheckpointError> {
         assert_eq!(partitioner.shards(), cfg.shards);
+        let wal = open_wal(&cfg).expect("the configured journal directory must be openable");
         if ckpt.days != cfg.shard.window_days {
             return Err(CheckpointError::Invalid(
                 "checkpoint window length disagrees with the configuration",
@@ -190,7 +392,7 @@ impl FleetCore {
                 ))
             })
             .collect();
-        let core = Self::assemble(cfg, partitioner, blacklist, shards);
+        let core = Self::assemble(cfg, partitioner, blacklist, shards, wal);
         core.exchange_now();
         Ok(core)
     }
@@ -200,6 +402,7 @@ impl FleetCore {
         partitioner: Partitioner,
         blacklist: Vec<u32>,
         shards: Vec<Arc<ShardCore>>,
+        wal: Option<FleetWal>,
     ) -> Self {
         let window_end = shards.iter().map(|s| s.window_end()).max().unwrap_or(0);
         let batches = shards
@@ -216,6 +419,8 @@ impl FleetCore {
             shedding_after: cfg.shard.shedding_after_crashes,
             down_after: cfg.shard.down_after_crashes,
         }));
+        let durable = (0..shards.len()).map(|_| AtomicU64::new(0)).collect();
+        let failover_blocked = (0..shards.len()).map(|_| AtomicBool::new(false)).collect();
         Self {
             cfg,
             partitioner,
@@ -227,6 +432,10 @@ impl FleetCore {
             batches_applied: AtomicU64::new(batches),
             window_end: Arc::new(AtomicU32::new(window_end)),
             next_seq: AtomicU64::new(next_seq),
+            wal: wal.map(Mutex::new),
+            durable,
+            failover_log: Mutex::new(Vec::new()),
+            failover_blocked,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -281,9 +490,13 @@ impl FleetCore {
     /// Validates, stamps, routes, and fans out one micro-batch. The
     /// router is authoritative: shards receive only pre-validated
     /// transactions in global arrival order, plus the new watermark.
-    /// A sub-batch routed to a down shard is shed (counted); a shard
-    /// that panics mid-apply loses that sub-batch the same way, with the
-    /// crash recorded on *its* monitor. Returns the fleet batch count.
+    /// With a journal configured the accepted batch is journaled
+    /// *before* fan-out, and a down shard triggers an automatic
+    /// failover ([`Self::failover_shard`]) instead of shedding; without
+    /// one, a sub-batch routed to a down shard is shed (counted). A
+    /// shard that panics mid-apply loses that sub-batch the same way,
+    /// with the crash recorded on *its* monitor. Returns the fleet
+    /// batch count.
     pub fn apply(&self, batch: &[Submitted]) -> u64 {
         if batch.is_empty() {
             return self.batches_applied();
@@ -291,7 +504,7 @@ impl FleetCore {
         let fleet_batch = self.batches_applied();
         let mut end = self.window_end.load(Ordering::Acquire);
         let mut invalid = 0u64;
-        let mut routed: Vec<Vec<(u64, Transaction)>> = vec![Vec::new(); self.shards.len()];
+        let mut accepted: Vec<(u64, Transaction)> = Vec::with_capacity(batch.len());
         for s in batch {
             let t = s.tx;
             // Same running-end filter as the single core's apply: days
@@ -300,14 +513,32 @@ impl FleetCore {
             if t.amount.is_finite() && t.day + 1 >= end {
                 end = end.max(t.day + 1);
                 let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-                routed[self.partitioner.shard_of(t.buyer)].push((seq, t));
+                accepted.push((seq, t));
             } else {
                 invalid += 1;
             }
         }
+        // Journal first (even an all-invalid batch: record indices must
+        // stay dense for replay), then fan out — a crash from here on
+        // loses nothing that was accepted.
+        self.journal(fleet_batch, end, &accepted);
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &self.faults {
+            plan.maybe_crash_after_journal(fleet_batch);
+        }
+        let mut routed: Vec<Vec<(u64, Transaction)>> = vec![Vec::new(); self.shards.len()];
+        for &(seq, t) in &accepted {
+            routed[self.partitioner.shard_of(t.buyer)].push((seq, t));
+        }
         for (i, shard) in self.shards.iter().enumerate() {
             let sub = std::mem::take(&mut routed[i]);
             if shard.health().is_down() {
+                if self.try_auto_failover(i) {
+                    // The rebuild replayed the journal through this very
+                    // batch (journaled above, before fan-out) — applying
+                    // `sub` now would double-count it.
+                    continue;
+                }
                 if !sub.is_empty() {
                     self.telemetry
                         .shed_unhealthy
@@ -333,6 +564,11 @@ impl FleetCore {
                         .worker_panics
                         .fetch_add(1, Ordering::Relaxed);
                     let state = shard.health().record_crash(shard.apply_worker(), &msg);
+                    if state == HealthState::Down && self.try_auto_failover(i) {
+                        // Rebuilt through this batch, crash and all —
+                        // nothing was lost, nothing to shed.
+                        continue;
+                    }
                     if state != HealthState::Down {
                         // The next routed batch retries this shard —
                         // count it like a supervisor restart.
@@ -347,7 +583,6 @@ impl FleetCore {
                 }
             }
         }
-        let _ = fleet_batch;
         self.window_end.store(end, Ordering::Release);
         if invalid > 0 {
             self.telemetry
@@ -491,20 +726,29 @@ impl FleetCore {
         }
     }
 
-    /// One merged telemetry block for the whole fleet: the router's own
-    /// plus every shard's, counters summed and histograms merged
-    /// bucket-wise — one JSON document per fleet.
-    pub fn fleet_telemetry(&self) -> TelemetrySnapshot {
-        let mut snap = self.telemetry.snapshot();
+    /// One merged telemetry document for the whole fleet: the router's
+    /// own block plus every shard's, counters summed and histograms
+    /// merged bucket-wise, extended with the effective fleet state and
+    /// per-shard failover counts — one JSON document per fleet.
+    pub fn fleet_telemetry(&self) -> FleetTelemetry {
+        let mut merged = self.telemetry.snapshot();
+        let mut shard_failovers = Vec::with_capacity(self.shards.len());
         for s in &self.shards {
-            snap.merge(&s.telemetry().snapshot());
+            merged.merge(&s.telemetry().snapshot());
+            shard_failovers.push(s.telemetry().failovers.load(Ordering::Relaxed));
         }
-        snap
+        FleetTelemetry {
+            merged,
+            fleet_state: self.health().state,
+            shard_failovers,
+        }
     }
 
     /// Checkpoints every live shard to its `<base>.shard<i>` path. A
     /// down shard is skipped — its last good image on disk *is* its
-    /// recovery point. Returns the first error after attempting all.
+    /// recovery point. Successful images advance the journal-truncation
+    /// watermark and truncate the journal when configured. Returns the
+    /// first error after attempting all.
     pub fn checkpoint_all(&self) -> Result<(), CheckpointError> {
         let mut first_err = None;
         for (i, s) in self.shards.iter().enumerate() {
@@ -514,14 +758,284 @@ impl FleetCore {
             if s.health().is_down() {
                 continue;
             }
-            if let Err(e) = s.checkpoint(&path) {
-                first_err.get_or_insert(e);
+            match s.checkpoint(&path) {
+                Ok(durable) => self.durable[i].store(durable, Ordering::Relaxed),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
             }
         }
+        self.truncate_journal();
         match first_err {
             None => Ok(()),
             Some(e) => Err(e),
         }
+    }
+
+    /// Journals one validated fleet batch before fan-out. An append
+    /// failure (injected or real) is loud — crash-tracked against the
+    /// router's `wal-journal` worker, degrading the fleet — but does
+    /// not stop the batch from being scored: availability over
+    /// durability, never silently.
+    fn journal(&self, fleet_batch: u64, watermark: u32, accepted: &[(u64, Transaction)]) {
+        let Some(wal) = &self.wal else { return };
+        #[cfg(feature = "fault-injection")]
+        let injected = self
+            .faults
+            .as_ref()
+            .is_some_and(|plan| plan.wal_append_fail_due(fleet_batch));
+        #[cfg(not(feature = "fault-injection"))]
+        let injected = false;
+        let result = if injected {
+            Err(WalError::Io(std::io::Error::other(
+                "fault-injection: wal-append-fail",
+            )))
+        } else {
+            wal.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .append(fleet_batch, watermark, accepted)
+        };
+        match result {
+            Ok(()) => {
+                self.telemetry
+                    .wal_appended_batches
+                    .fetch_add(1, Ordering::Relaxed);
+                self.health.record_progress("wal-journal");
+            }
+            Err(e) => {
+                self.health.record_crash("wal-journal", &e.to_string());
+            }
+        }
+    }
+
+    /// Drops journal segments every shard's durable checkpoint already
+    /// covers (no-op when journaling or truncation is off).
+    fn truncate_journal(&self) {
+        if !self.cfg.wal_truncate_on_checkpoint {
+            return;
+        }
+        let Some(wal) = &self.wal else { return };
+        let durable = self
+            .durable
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(0);
+        if durable == 0 {
+            return;
+        }
+        match wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .truncate_covered(durable)
+        {
+            Ok(removed) => {
+                if removed > 0 {
+                    self.telemetry
+                        .wal_truncations
+                        .fetch_add(removed, Ordering::Relaxed);
+                }
+            }
+            Err(e) => {
+                self.health.record_crash("wal-journal", &e.to_string());
+            }
+        }
+    }
+
+    /// Rebuilds shard `i` from its last checkpoint (if readable; from
+    /// the journal alone otherwise) plus a replay of every journaled
+    /// batch past it, restricted to its keyspace in router sequence
+    /// order, then re-admits it ([`HealthMonitor::revive`]) and
+    /// publishes a fresh local snapshot. The rebuild happens entirely
+    /// off the shard's lock on a scratch window; the installed state is
+    /// byte-identical to a shard that never died, because the journal
+    /// holds exactly what the router would have fanned out.
+    pub fn failover_shard(&self, i: usize) -> Result<FailoverEvent, FailoverError> {
+        let Some(wal) = &self.wal else {
+            return Err(FailoverError::NoJournal);
+        };
+        let started = Instant::now();
+        let shard = &self.shards[i];
+        let mut window = IncrementalWindow::empty(self.cfg.shard.window_days);
+        let mut seqs: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        let mut from_checkpoint = false;
+        if let Some(path) = self.cfg.shard_checkpoint_path(i) {
+            // A missing, corrupt, or mismatched image is not fatal here:
+            // the journal-alone path below covers it (and the journal
+            // will be missing history only if truncation already deleted
+            // it, which the gap check turns into a typed error).
+            if let Ok(ckpt) = WindowCheckpoint::read(&path) {
+                if ckpt.days == self.cfg.shard.window_days {
+                    if let Ok(w) = ckpt.restore_window() {
+                        seqs = if ckpt.seqs.is_empty() {
+                            (0..w.num_transactions() as u64).collect()
+                        } else {
+                            ckpt.seqs.iter().copied().collect()
+                        };
+                        window = w;
+                        next = ckpt.batches_applied;
+                        from_checkpoint = true;
+                    }
+                }
+            }
+        }
+        let records = wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .records()
+            .map_err(FailoverError::Wal)?;
+        let mut replayed = 0u64;
+        for rec in &records {
+            if rec.batch < next {
+                continue;
+            }
+            if rec.batch != next {
+                return Err(FailoverError::Wal(WalError::Gap {
+                    needed: next,
+                    first: rec.batch,
+                }));
+            }
+            let sub: Vec<(u64, Transaction)> = rec
+                .txs
+                .iter()
+                .copied()
+                .filter(|&(_, t)| self.partitioner.shard_of(t.buyer) == i)
+                .collect();
+            let txs: Vec<Transaction> = sub.iter().map(|&(_, t)| t).collect();
+            window.apply_batch(&txs);
+            window.advance_to(rec.watermark);
+            for &(seq, _) in &sub {
+                seqs.push_back(seq);
+            }
+            while seqs.len() > window.num_transactions() {
+                seqs.pop_front();
+            }
+            next = rec.batch + 1;
+            replayed += 1;
+        }
+        shard.rebuild_from(window, seqs, next);
+        shard
+            .telemetry()
+            .wal_replayed_batches
+            .fetch_add(replayed, Ordering::Relaxed);
+        shard.telemetry().failovers.fetch_add(1, Ordering::Relaxed);
+        shard.health().revive();
+        shard.recluster_now();
+        let event = FailoverEvent {
+            shard: i,
+            replayed_batches: replayed,
+            from_checkpoint,
+            wall: started.elapsed(),
+            completed_at: Instant::now(),
+        };
+        self.failover_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+        Ok(event)
+    }
+
+    /// Completed failovers, in completion order.
+    pub fn failover_events(&self) -> Vec<FailoverEvent> {
+        self.failover_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The fan-out's failover trigger: false without a journal (the
+    /// shard stays shed, the pre-journal contract) or after a permanent
+    /// replay gap; otherwise attempts the rebuild, crash-tracking a
+    /// failed attempt so the next batch retries it.
+    fn try_auto_failover(&self, i: usize) -> bool {
+        if self.wal.is_none() || self.failover_blocked[i].load(Ordering::Relaxed) {
+            return false;
+        }
+        match self.failover_shard(i) {
+            Ok(_) => true,
+            Err(e) => {
+                if matches!(e, FailoverError::Wal(WalError::Gap { .. })) {
+                    // The journal will never grow the missing history
+                    // back; retrying per batch would fail identically.
+                    self.failover_blocked[i].store(true, Ordering::Relaxed);
+                }
+                self.shards[i]
+                    .health()
+                    .record_crash("failover", &e.to_string());
+                false
+            }
+        }
+    }
+
+    /// Replays journaled batches that never reached the live shards —
+    /// the crash-restart catch-up ([`Self::restore`] calls this after
+    /// loading checkpoints) and the healer of the write-ahead crash
+    /// window (the router worker calls it on every (re)start). Each live
+    /// shard independently replays the records past its own progress
+    /// cursor, so a batch lands exactly once however the crash
+    /// interleaved with fan-out. Fleet-level cursors (batch count,
+    /// watermark, next sequence stamp) advance past everything
+    /// journaled. Returns the number of per-shard record applications.
+    pub fn sync_from_wal(&self) -> Result<u64, WalError> {
+        let Some(wal) = &self.wal else { return Ok(0) };
+        let tail = wal.lock().unwrap_or_else(|e| e.into_inner()).tail_batch();
+        let Some(tail) = tail else { return Ok(0) };
+        let caught_up = |count: u64| count > tail;
+        if caught_up(self.batches_applied())
+            && self
+                .shards
+                .iter()
+                .filter(|s| !s.health().is_down())
+                .all(|s| caught_up(s.batches_applied()))
+        {
+            return Ok(0);
+        }
+        let records = wal.lock().unwrap_or_else(|e| e.into_inner()).records()?;
+        let mut replayed = 0u64;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if shard.health().is_down() {
+                continue;
+            }
+            let mut next = shard.batches_applied();
+            for rec in &records {
+                if rec.batch < next {
+                    continue;
+                }
+                if rec.batch != next {
+                    return Err(WalError::Gap {
+                        needed: next,
+                        first: rec.batch,
+                    });
+                }
+                let sub: Vec<(u64, Transaction)> = rec
+                    .txs
+                    .iter()
+                    .copied()
+                    .filter(|&(_, t)| self.partitioner.shard_of(t.buyer) == i)
+                    .collect();
+                shard.apply(&sub, rec.watermark);
+                shard
+                    .telemetry()
+                    .wal_replayed_batches
+                    .fetch_add(1, Ordering::Relaxed);
+                next = rec.batch + 1;
+                replayed += 1;
+            }
+        }
+        if let Some(last) = records.last() {
+            self.batches_applied
+                .fetch_max(last.batch + 1, Ordering::Relaxed);
+            self.window_end.fetch_max(last.watermark, Ordering::AcqRel);
+            if let Some(max_seq) = records
+                .iter()
+                .flat_map(|r| r.txs.iter().map(|&(seq, _)| seq))
+                .max()
+            {
+                self.next_seq.fetch_max(max_seq + 1, Ordering::Relaxed);
+            }
+        }
+        Ok(replayed)
     }
 
     fn restart_policy(&self) -> RestartPolicy {
@@ -620,13 +1134,13 @@ impl ShardRouter {
         ))
     }
 
-    /// Resumes a fleet from its per-shard checkpoints (see
-    /// [`FleetCore::restore`]).
+    /// Resumes a fleet from its per-shard checkpoints plus journal
+    /// replay (see [`FleetCore::restore`]).
     pub fn recover(
         cfg: FleetConfig,
         partitioner: Partitioner,
         blacklist: Vec<u32>,
-    ) -> Result<Self, CheckpointError> {
+    ) -> Result<Self, FleetRecoveryError> {
         Ok(Self::start_on(Arc::new(FleetCore::restore(
             cfg,
             partitioner,
@@ -794,6 +1308,13 @@ fn router_loop(
     recluster_txs: &[Sender<()>],
     exchange_tx: &Sender<()>,
 ) -> WorkerExit {
+    // Heal the write-ahead crash window first: a batch journaled by a
+    // previous incarnation of this worker but never fanned out (the
+    // crash hit between append and fan-out) replays exactly once before
+    // any new traffic is drained.
+    if let Err(e) = core.sync_from_wal() {
+        core.health.record_crash("wal-journal", &e.to_string());
+    }
     loop {
         match batcher.next_batch() {
             Err(Closed) => return WorkerExit::Finished,
@@ -828,7 +1349,9 @@ fn router_loop(
 fn shard_recluster_loop(shard: &ShardCore, rx: &Receiver<()>, name: &'static str) -> WorkerExit {
     while rx.recv().is_ok() {
         if shard.health().is_down() {
-            return WorkerExit::Finished;
+            // Skip, don't exit: a failover may revive this shard, and
+            // its recluster worker must still be here when it does.
+            continue;
         }
         shard.recluster_now();
         shard.health().record_progress(name);
@@ -929,7 +1452,9 @@ mod tests {
             Verdict::Flagged { .. }
         ));
         let t = core.fleet_telemetry();
-        assert_eq!(t.worker_panics, 0);
+        assert_eq!(t.merged.worker_panics, 0);
+        assert_eq!(t.fleet_state, HealthState::Healthy);
+        assert_eq!(t.shard_failovers, vec![0, 0]);
         assert!(t.counter("batches") > 0);
     }
 

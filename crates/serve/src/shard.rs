@@ -299,8 +299,10 @@ impl ShardCore {
 
     /// Persists this shard's window *with* its sequence stamps to
     /// `path` (atomic temp-file write; failures counted, previous image
-    /// preserved).
-    pub fn checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
+    /// preserved). Returns the batch count the persisted image carries —
+    /// the shard's *durable* progress, which the router uses as the
+    /// journal-truncation watermark.
+    pub fn checkpoint(&self, path: &Path) -> Result<u64, CheckpointError> {
         let ckpt = {
             let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
             WindowCheckpoint::capture_with_seqs(
@@ -311,12 +313,13 @@ impl ShardCore {
                 s.seqs.iter().copied().collect(),
             )
         };
+        let durable = ckpt.batches_applied;
         match ckpt.write_atomic(path) {
             Ok(()) => {
                 self.telemetry
                     .checkpoints_written
                     .fetch_add(1, Ordering::Relaxed);
-                Ok(())
+                Ok(durable)
             }
             Err(e) => {
                 self.telemetry
@@ -325,6 +328,33 @@ impl ShardCore {
                 Err(e)
             }
         }
+    }
+
+    /// Replaces this shard's entire window state in one swap — the
+    /// failover path: the caller has reconstructed the window and its
+    /// stamps offline (checkpoint image + journal replay) and installs
+    /// the result here before [`HealthMonitor::revive`]-ing the shard.
+    /// Clears a poison left by the crash that killed the shard: the dying
+    /// apply is the reason this rebuild exists, and its partial state is
+    /// discarded wholesale by the swap.
+    pub(crate) fn rebuild_from(
+        &self,
+        window: IncrementalWindow,
+        seqs: VecDeque<u64>,
+        batches_applied: u64,
+    ) {
+        assert_eq!(
+            seqs.len(),
+            window.num_transactions(),
+            "rebuilt stamps must parallel the rebuilt log"
+        );
+        self.state.clear_poison();
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.window = window;
+        s.seqs = seqs;
+        drop(s);
+        self.batches_applied
+            .store(batches_applied, Ordering::Relaxed);
     }
 }
 

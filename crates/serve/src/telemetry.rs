@@ -243,6 +243,17 @@ pub struct Telemetry {
     /// Completed LP iterations resumed instead of recomputed after a
     /// fault (see [`ResilienceReport`](glp_core::ResilienceReport)).
     pub iterations_salvaged: AtomicU64,
+    /// Automatic shard failovers completed (checkpoint + journal replay
+    /// rebuilt a Down shard and re-admitted it).
+    pub failovers: AtomicU64,
+    /// Validated micro-batches journaled to the write-ahead log before
+    /// fan-out.
+    pub wal_appended_batches: AtomicU64,
+    /// Micro-batches replayed from the journal into a shard (failover
+    /// rebuild or crash-restart catch-up).
+    pub wal_replayed_batches: AtomicU64,
+    /// Journal segments deleted because checkpoints made them redundant.
+    pub wal_truncations: AtomicU64,
     /// Submit → batch-apply latency per transaction (ns).
     pub ingest_lag: Histogram,
     /// Applied micro-batch sizes (transactions).
@@ -313,7 +324,7 @@ impl Telemetry {
 
     /// Checkpoint counter order. Append-only: new counters go at the
     /// end so old checkpoints keep restoring.
-    fn counter_cells(&self) -> [&AtomicU64; 14] {
+    fn counter_cells(&self) -> [&AtomicU64; 18] {
         [
             &self.ingested,
             &self.shed_dropped_oldest,
@@ -329,6 +340,10 @@ impl Telemetry {
             &self.engine_retries,
             &self.engine_degradations,
             &self.iterations_salvaged,
+            &self.failovers,
+            &self.wal_appended_batches,
+            &self.wal_replayed_batches,
+            &self.wal_truncations,
         ]
     }
 
@@ -372,6 +387,10 @@ impl Telemetry {
             "engine_retries": self.engine_retries.load(Ordering::Relaxed),
             "engine_degradations": self.engine_degradations.load(Ordering::Relaxed),
             "iterations_salvaged": self.iterations_salvaged.load(Ordering::Relaxed),
+            "failovers": self.failovers.load(Ordering::Relaxed),
+            "wal_appended_batches": self.wal_appended_batches.load(Ordering::Relaxed),
+            "wal_replayed_batches": self.wal_replayed_batches.load(Ordering::Relaxed),
+            "wal_truncations": self.wal_truncations.load(Ordering::Relaxed),
             "ingest_lag_ns": self.ingest_lag.to_json(),
             "batch_size": self.batch_size.to_json(),
             "recluster_wall_ns": self.recluster_wall.to_json(),
@@ -411,7 +430,7 @@ impl Telemetry {
 
 /// Checkpoint-order counter names, parallel to
 /// `Telemetry::counter_cells` (append-only, like the cells).
-const COUNTER_NAMES: [&str; 14] = [
+const COUNTER_NAMES: [&str; 18] = [
     "ingested",
     "shed_dropped_oldest",
     "shed_rejected_new",
@@ -426,6 +445,10 @@ const COUNTER_NAMES: [&str; 14] = [
     "engine_retries",
     "engine_degradations",
     "iterations_salvaged",
+    "failovers",
+    "wal_appended_batches",
+    "wal_replayed_batches",
+    "wal_truncations",
 ];
 
 /// A point-in-time, plain-value copy of one core's [`Telemetry`]. The
@@ -715,6 +738,10 @@ mod tests {
             "engine_retries",
             "engine_degradations",
             "iterations_salvaged",
+            "failovers",
+            "wal_appended_batches",
+            "wal_replayed_batches",
+            "wal_truncations",
             "batches",
             "reclusters",
             "queries",
