@@ -98,8 +98,8 @@ fn run_scenario(
             break;
         }
         // The tail of the stream may not land on the recluster cadence:
-        // ask for one (coalesced, counted) so staleness can reach 0.
-        service.force_recluster();
+        // run one synchronously so staleness can reach 0.
+        service.recluster_now();
         std::thread::sleep(Duration::from_micros(500));
     }
     let recovery = match (recovered_at, plan.fired().first()) {

@@ -21,13 +21,22 @@
 //! 4 shards must model at least `--scaling-min-speedup` (default 2×) the
 //! 1-shard throughput, or the bench exits non-zero.
 //!
+//! Finally it measures the **incremental delta recluster** win: the same
+//! warm window extended by small same-day micro-batches through two
+//! service cores — one replaying incrementally, one pinned to
+//! from-scratch reclusters — cross-checking every published snapshot
+//! byte-for-byte and self-asserting the p50 speedup floor (default 3×).
+//!
 //! Usage: `cargo run -p glp-bench --release --bin serve_latency
 //!         [--loads 0.5,1,2] [--stage-ms 400] [--json BENCH_serve.json]
 //!         [--users N] [--days N] [--tx-per-day N] [--window-days N]
 //!         [--queue N] [--max-batch N] [--recluster-every N] [--burst-ms N]
 //!         [--no-scaling] [--scaling-shards 1,2,4,8] [--scaling-regions N]
 //!         [--scaling-users-per-region N] [--scaling-tx-per-day N]
-//!         [--scaling-days N] [--scaling-min-speedup X] [--no-scaling-assert]`
+//!         [--scaling-days N] [--scaling-min-speedup X] [--no-scaling-assert]
+//!         [--no-delta] [--delta-rounds N] [--delta-batch N]
+//!         [--delta-warm-days N] [--delta-users N] [--delta-tx-per-day N]
+//!         [--delta-min-speedup X] [--no-delta-assert]`
 
 use glp_bench::table::print_table;
 use glp_bench::Args;
@@ -124,6 +133,12 @@ fn main() {
         run_scaling(&args)
     };
 
+    let delta = if args.has("no-delta") {
+        serde_json::Value::Null
+    } else {
+        run_delta(&args)
+    };
+
     let doc = serde_json::json!({
         "bench": "serve_latency",
         "transactions": all.len() as u64,
@@ -137,6 +152,7 @@ fn main() {
         }),
         "rows": json_rows,
         "scaling": scaling,
+        "delta_recluster": delta,
     });
     std::fs::write(
         json_path,
@@ -273,6 +289,151 @@ fn run_stage(
     (row, json)
 }
 
+/// Measures the steady-state win of incremental delta reclustering: two
+/// identical service cores consume the same warm window and then the
+/// same stream of small same-day micro-batches, one allowed to replay
+/// incrementally (`delta_fraction_max` wide open, never forced full)
+/// and one pinned to from-scratch reclusters (`delta_fraction_max =
+/// 0.0`). Every round cross-checks the two published snapshots
+/// byte-for-byte — the incremental path's whole contract — and the
+/// section self-asserts the p50 speedup floor (default 3×) unless
+/// `--no-delta-assert`.
+fn run_delta(args: &Args) -> serde_json::Value {
+    let rounds: usize = args.get("delta-rounds", 16);
+    let batch: usize = args.get("delta-batch", 128);
+    let warm_days = args.get("delta-warm-days", 8u32);
+    let tx_cfg = TxConfig {
+        num_users: args.get("delta-users", 4_000),
+        num_items: args.get("delta-items", 1_500),
+        days: warm_days + 2,
+        tx_per_day: args.get("delta-tx-per-day", 4_000),
+        num_rings: 5,
+        ring_size: 12,
+        ring_tx_per_day: 40,
+        blacklist_fraction: 0.25,
+        ..Default::default()
+    };
+    eprintln!(
+        "... delta: generating stream ({} warm days + steady-state tail)",
+        warm_days
+    );
+    let stream = TxStream::generate(&tx_cfg);
+    let warm: Vec<Transaction> = stream.window(0, warm_days).copied().collect();
+    // The steady-state feed: the tail days' transactions in small
+    // chunks. The window outlives the whole feed, so no round crosses
+    // an expiry boundary — each delta is a pure same-window extension.
+    let tail: Vec<Transaction> = stream.window(warm_days, tx_cfg.days).copied().collect();
+    assert!(
+        tail.len() >= rounds * batch,
+        "not enough tail transactions: lower --delta-rounds or --delta-batch"
+    );
+
+    let base = ServeConfig {
+        delta_fraction_max: 1.0,
+        full_recluster_every: 0,
+        ..ServeConfig::default()
+    }
+    .with_window_days(warm_days + 4);
+    let full_cfg = ServeConfig {
+        delta_fraction_max: 0.0,
+        ..base.clone()
+    };
+    let inc = ServiceCore::new(base, stream.blacklist.clone());
+    let full = ServiceCore::new(full_cfg, stream.blacklist.clone());
+    for chunk in warm.chunks(512) {
+        inc.apply_transactions(chunk);
+        full.apply_transactions(chunk);
+    }
+    // Both warm-up reclusters run from scratch; the incremental core
+    // additionally captures the memo every later round replays from.
+    inc.recluster_now();
+    full.recluster_now();
+    assert_eq!(
+        inc.snapshot().canonical_bytes(),
+        full.snapshot().canonical_bytes(),
+        "warm-up snapshots must agree before the steady-state rounds"
+    );
+
+    let mut inc_walls = Vec::with_capacity(rounds);
+    let mut full_walls = Vec::with_capacity(rounds);
+    let mut frontiers = Vec::with_capacity(rounds);
+    let mut incremental_rounds = 0u64;
+    let mut identical = true;
+    for chunk in tail.chunks(batch).take(rounds) {
+        inc.apply_transactions(chunk);
+        full.apply_transactions(chunk);
+        let ri = inc.recluster_now();
+        let rf = full.recluster_now();
+        inc_walls.push(ri.wall_seconds);
+        full_walls.push(rf.wall_seconds);
+        frontiers.push(ri.frontier as u64);
+        if ri.mode == glp_serve::ReclusterMode::Incremental {
+            incremental_rounds += 1;
+        }
+        identical &= inc.snapshot().canonical_bytes() == full.snapshot().canonical_bytes();
+    }
+    let p50 = |walls: &[f64]| {
+        let mut sorted = walls.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        sorted[sorted.len() / 2]
+    };
+    let (inc_p50, full_p50) = (p50(&inc_walls), p50(&full_walls));
+    let speedup = full_p50 / inc_p50;
+    let mut fr = frontiers.clone();
+    fr.sort_unstable();
+    let frontier_p50 = fr[fr.len() / 2];
+
+    println!("serve_latency: incremental delta recluster (steady state)");
+    print_table(
+        &[
+            "rounds",
+            "incremental",
+            "identical",
+            "p50 incr",
+            "p50 full",
+            "speedup",
+            "frontier p50",
+        ],
+        &[vec![
+            format!("{rounds}"),
+            format!("{incremental_rounds}"),
+            format!("{identical}"),
+            format!("{:.2}ms", inc_p50 * 1_000.0),
+            format!("{:.2}ms", full_p50 * 1_000.0),
+            format!("{speedup:.1}x"),
+            format!("{frontier_p50}"),
+        ]],
+    );
+
+    let min_speedup: f64 = args.get("delta-min-speedup", 3.0);
+    assert!(identical, "incremental snapshots diverged from full ones");
+    assert!(
+        incremental_rounds > 0,
+        "steady-state rounds never went incremental"
+    );
+    if !args.has("no-delta-assert") {
+        assert!(
+            speedup >= min_speedup,
+            "delta regression: incremental recluster p50 is only {speedup:.2}x faster \
+             than from-scratch (floor {min_speedup:.1}x)"
+        );
+    }
+    serde_json::json!({
+        "rounds": rounds as u64,
+        "batch": batch as u64,
+        "incremental_rounds": incremental_rounds,
+        "identical": identical,
+        "p50_incremental_ms": inc_p50 * 1_000.0,
+        "p50_full_ms": full_p50 * 1_000.0,
+        "speedup_p50": speedup,
+        "frontier_p50": frontier_p50,
+        "assert": serde_json::json!({
+            "min_speedup_p50": min_speedup,
+            "ok": speedup >= min_speedup,
+        }),
+    })
+}
+
 /// Measures the sharding scaling curve: tx/s versus shard count on one
 /// regional stream with community-aware routing. Shard reclusters run
 /// sequentially here (one core), each wall measured in isolation; the
@@ -335,7 +496,12 @@ fn run_scaling(args: &Args) -> serde_json::Value {
         let mut spanning = 0usize;
         let mut exchange = |core: &FleetCore| {
             let o = core.exchange_now();
-            round_wall += o.shard_walls.iter().copied().fold(0.0, f64::max) + o.exchange_wall;
+            round_wall += o
+                .shard_runs
+                .iter()
+                .map(|r| r.wall_seconds)
+                .fold(0.0, f64::max)
+                + o.exchange_wall;
             exchange_wall += o.exchange_wall;
             rounds += 1;
             boundary_users = o.report.boundary_users;

@@ -248,10 +248,13 @@ pub(crate) fn profile_from_log(tier: &'static str, log: &[KernelRecord]) -> Kern
 }
 
 /// The frontier a run starts from: saturated for a fresh run, the caller's
-/// captured bitmap for an iteration-granular resume of a sparse run.
+/// captured bitmap when one is supplied to a sparse run — either an
+/// iteration-granular resume (`start_iteration > 0`) or a warm start from
+/// iteration 0, where the caller warrants the bitmap covers every vertex
+/// whose decision could differ from its current state.
 pub(crate) fn initial_active(n: usize, sparse: bool, opts: &RunOptions) -> Vec<bool> {
     match &opts.initial_frontier {
-        Some(f) if sparse && opts.start_iteration > 0 => {
+        Some(f) if sparse => {
             assert_eq!(f.len(), n, "resume frontier sized for a different graph");
             f.clone()
         }

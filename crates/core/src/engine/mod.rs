@@ -14,6 +14,7 @@
 //! trait with a shared [`RunOptions`], so callers swap engines without
 //! touching per-engine config types.
 
+mod delta;
 mod dispatch;
 mod error;
 mod gpu;
@@ -24,6 +25,7 @@ mod options;
 mod resilient;
 mod sequential;
 
+pub use delta::{replay_delta, DeltaReplay, MemoRecorder};
 pub use dispatch::{Buckets, DegreeThresholds};
 pub use error::EngineError;
 pub use gpu::GpuEngine;

@@ -139,9 +139,11 @@ pub struct RunOptions {
     /// barrier; the engine's iteration counter, traces, and termination
     /// checks all use the absolute number.
     pub start_iteration: u32,
-    /// The activation bitmap the resumed iteration should consume, as
-    /// captured by a [`BarrierEvent`]. Ignored when the run schedules
-    /// densely or `start_iteration` is 0.
+    /// The activation bitmap the first executed iteration should consume
+    /// — a resume bitmap captured by a [`BarrierEvent`], or a warm-start
+    /// frontier for `start_iteration == 0`, where the caller warrants it
+    /// covers every vertex whose decision could differ from the program's
+    /// current state. Ignored when the run schedules densely.
     pub initial_frontier: Option<Vec<bool>>,
     /// Checkpoint callback fired after each completed barrier (BSP
     /// engines only; the asynchronous sequential sweep has no barrier).

@@ -181,7 +181,7 @@ impl Engine for ResilientEngine {
             blob: Some(initial_blob),
             ..Default::default()
         }));
-        let hook = {
+        let salvage_hook = {
             let salvage = Arc::clone(&salvage);
             BarrierHook::new(move |ev| {
                 let mut s = salvage.lock().expect("salvage lock");
@@ -200,6 +200,20 @@ impl Engine for ResilientEngine {
                     s.next = ev.iteration + 1;
                 }
             })
+        };
+        // The wrapper needs the barrier for its salvage state, but a
+        // caller's own hook (e.g. a memo-capturing recluster) must keep
+        // firing too — chain rather than replace. Both observe the same
+        // barrier; the single `barrier_snapshot` charge already covers it.
+        let hook = match &opts.barrier_hook {
+            Some(user) => {
+                let (salvage_hook, user) = (salvage_hook.clone(), user.clone());
+                BarrierHook::new(move |ev| {
+                    salvage_hook.fire(ev);
+                    user.fire(ev);
+                })
+            }
+            None => salvage_hook,
         };
 
         let mut tier = 0usize;

@@ -14,13 +14,56 @@
 //! [`apply_batch`] appends arbitrary micro-batches (the serving ingest
 //! path, which has no stream to re-read — hence the log).
 //!
+//! For incremental reclustering the window additionally tracks the
+//! **delta** between materializations: which raw users/items the batches
+//! since the last [`materialize_delta`] touched, and whether any
+//! transaction expired (expiry reshuffles first-appearance vertex ids, so
+//! the previous LP state no longer maps onto the new graph).
+//! [`materialize_delta`] reuses a cached first-appearance vertex mapping
+//! and builds the graph straight from the pair-count index — one weighted
+//! edge per live pair — which the builder's sort + dedup makes
+//! bit-identical to the per-transaction replay of [`materialize`]
+//! (integer `f32` sums are exact; pinned by the tests).
+//!
 //! [`advance`]: IncrementalWindow::advance
 //! [`apply_batch`]: IncrementalWindow::apply_batch
+//! [`materialize`]: IncrementalWindow::materialize
+//! [`materialize_delta`]: IncrementalWindow::materialize_delta
 
 use crate::transactions::{Transaction, TxStream};
 use crate::window::WindowWorkload;
-use glp_graph::Graph;
-use std::collections::{HashMap, VecDeque};
+use glp_graph::{Graph, GraphBuilder, VertexId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// What changed between two [`materialize_delta`] calls — everything an
+/// incremental recluster needs to decide eligibility and seed its
+/// frontier.
+///
+/// `prev_*` identify the window state of the *previous* materialization
+/// (the one whose LP memo the caller holds); a memo stamped with
+/// different values belongs to some other window and must not seed a
+/// replay. `touched` is in the **new** graph's vertex id space.
+///
+/// [`materialize_delta`]: IncrementalWindow::materialize_delta
+#[derive(Clone, Debug, Default)]
+pub struct WindowDelta {
+    /// Transactions in the window at the previous materialization.
+    pub prev_transactions: u64,
+    /// User-vertex count at the previous materialization.
+    pub prev_users: usize,
+    /// Total vertex count at the previous materialization.
+    pub prev_vertices: usize,
+    /// Transactions in the window now.
+    pub transactions: u64,
+    /// Whether the delta cannot seed an incremental recluster: no
+    /// previous materialization exists, or expiry invalidated the vertex
+    /// mapping since (aged-out edges are *removals*, which the
+    /// grow-only frontier replay does not model).
+    pub expired: bool,
+    /// Vertices (new id space, sorted ascending) whose neighborhoods the
+    /// delta changed — both endpoints of every added edge.
+    pub touched: Vec<VertexId>,
+}
 
 /// Maintains one sliding window over a transaction stream.
 #[derive(Clone, Debug)]
@@ -33,6 +76,24 @@ pub struct IncrementalWindow {
     counts: HashMap<(u32, u32), f32>,
     /// Live transactions in arrival order (day-sorted by construction).
     log: VecDeque<Transaction>,
+    /// Cached first-appearance user → vertex id mapping (valid while
+    /// `mapping_valid`; kept current by `push`).
+    user_vertex: HashMap<u32, VertexId>,
+    /// Cached first-appearance item → slot mapping (vertex id is
+    /// `num_users + slot`).
+    item_slot: HashMap<u32, u32>,
+    /// Whether the cached mappings reflect the log. Expiry invalidates
+    /// them (a vanished user renumbers everyone after it).
+    mapping_valid: bool,
+    /// Raw buyer ids batches touched since the last `materialize_delta`.
+    pending_users: HashSet<u32>,
+    /// Raw item ids batches touched since the last `materialize_delta`.
+    pending_items: HashSet<u32>,
+    /// Whether any transaction expired since the last `materialize_delta`.
+    delta_expired: bool,
+    /// (transactions, users, vertices) stamped at the last
+    /// `materialize_delta` — the identity the next delta's `prev_*` carry.
+    baseline: Option<(u64, usize, usize)>,
 }
 
 impl IncrementalWindow {
@@ -40,12 +101,7 @@ impl IncrementalWindow {
     /// by one pass over the stream.
     pub fn new(stream: &TxStream, days: u32, end: u32) -> Self {
         assert!(days >= 1, "window needs at least one day");
-        let mut w = Self {
-            days,
-            end,
-            counts: HashMap::new(),
-            log: VecDeque::new(),
-        };
+        let mut w = Self::bare(days, end);
         for t in stream.window(end.saturating_sub(days), end) {
             w.push(*t);
         }
@@ -56,11 +112,23 @@ impl IncrementalWindow {
     /// the serving path's starting state before any batch arrives.
     pub fn empty(days: u32) -> Self {
         assert!(days >= 1, "window needs at least one day");
+        Self::bare(days, 0)
+    }
+
+    /// A window with no transactions and no delta history.
+    fn bare(days: u32, end: u32) -> Self {
         Self {
             days,
-            end: 0,
+            end,
             counts: HashMap::new(),
             log: VecDeque::new(),
+            user_vertex: HashMap::new(),
+            item_slot: HashMap::new(),
+            mapping_valid: false,
+            pending_users: HashSet::new(),
+            pending_items: HashSet::new(),
+            delta_expired: false,
+            baseline: None,
         }
     }
 
@@ -114,12 +182,7 @@ impl IncrementalWindow {
             }
             prev_day = t.day;
         }
-        let mut w = Self {
-            days,
-            end,
-            counts: HashMap::new(),
-            log: VecDeque::new(),
-        };
+        let mut w = Self::bare(days, end);
         for t in log {
             w.push(t);
         }
@@ -128,14 +191,24 @@ impl IncrementalWindow {
 
     fn push(&mut self, t: Transaction) {
         *self.counts.entry((t.buyer, t.item)).or_default() += 1.0;
+        if self.mapping_valid {
+            let next = self.user_vertex.len() as VertexId;
+            self.user_vertex.entry(t.buyer).or_insert(next);
+            let next_item = self.item_slot.len() as u32;
+            self.item_slot.entry(t.item).or_insert(next_item);
+        }
+        self.pending_users.insert(t.buyer);
+        self.pending_items.insert(t.item);
         self.log.push_back(t);
     }
 
     /// Drops transactions that have slid out of `[end - days, end)`.
     fn expire(&mut self) {
         let start = self.end.saturating_sub(self.days);
+        let mut expired_any = false;
         while self.log.front().is_some_and(|t| t.day < start) {
             let t = self.log.pop_front().expect("front checked");
+            expired_any = true;
             let key = (t.buyer, t.item);
             match self.counts.get_mut(&key) {
                 Some(c) if *c > 1.0 => *c -= 1.0,
@@ -144,6 +217,15 @@ impl IncrementalWindow {
                 }
                 None => unreachable!("expiring a transaction never added"),
             }
+        }
+        if expired_any {
+            // A vanished first appearance renumbers every later vertex;
+            // the cached mapping and any delta accumulated over it are
+            // dead. The next materialization rebuilds from the log.
+            self.user_vertex.clear();
+            self.item_slot.clear();
+            self.mapping_valid = false;
+            self.delta_expired = true;
         }
     }
 
@@ -202,12 +284,7 @@ impl IncrementalWindow {
     ) -> Vec<IncrementalWindow> {
         assert!(shards >= 1, "need at least one shard");
         let mut parts: Vec<IncrementalWindow> = (0..shards)
-            .map(|_| Self {
-                days: self.days,
-                end: self.end,
-                counts: HashMap::new(),
-                log: VecDeque::new(),
-            })
+            .map(|_| Self::bare(self.days, self.end))
             .collect();
         for t in &self.log {
             let shard = route(t.buyer);
@@ -224,6 +301,79 @@ impl IncrementalWindow {
     /// requirement).
     pub fn materialize(&self) -> WindowWorkload {
         WindowWorkload::from_transactions(self.days, self.log.iter())
+    }
+
+    /// Materializes the window *and* reports the delta accumulated since
+    /// the previous `materialize_delta` call — the serving recluster
+    /// entry point.
+    ///
+    /// The workload is bit-identical to [`Self::materialize`]'s (pinned
+    /// by the tests) but built from the pair-count index through a cached
+    /// first-appearance vertex mapping, so steady-state materialization
+    /// costs O(pairs) instead of O(transactions). The returned
+    /// [`WindowDelta`] carries the touched-vertex frontier and the
+    /// previous materialization's identity stamp; `expired` is set when
+    /// no previous materialization exists or expiry invalidated the
+    /// mapping in between (the caller must then recluster from scratch).
+    /// Calling this resets the delta: the *next* call reports changes
+    /// relative to this one.
+    pub fn materialize_delta(&mut self) -> (WindowWorkload, WindowDelta) {
+        if !self.mapping_valid {
+            self.user_vertex.clear();
+            self.item_slot.clear();
+            for t in &self.log {
+                let next = self.user_vertex.len() as VertexId;
+                self.user_vertex.entry(t.buyer).or_insert(next);
+                let next_item = self.item_slot.len() as u32;
+                self.item_slot.entry(t.item).or_insert(next_item);
+            }
+            self.mapping_valid = true;
+        }
+        let num_users = self.user_vertex.len();
+        let n = num_users + self.item_slot.len();
+        let mut b = GraphBuilder::with_capacity(n, self.counts.len());
+        for (&(buyer, item), &w) in &self.counts {
+            let u = self.user_vertex[&buyer];
+            let i = self.item_slot[&item];
+            b.add_weighted_edge(u, num_users as VertexId + i, w);
+        }
+        b.symmetrize(true).dedup(true);
+        let workload = WindowWorkload {
+            days: self.days,
+            graph: b.build(),
+            user_vertex: self.user_vertex.clone(),
+            num_user_vertices: num_users,
+            num_transactions: self.log.len() as u64,
+        };
+        // A touched user/item may have vanished entirely if expiry took
+        // its last transaction since the previous materialization — it
+        // has no vertex in the new graph (and such a delta is `expired`
+        // anyway, so the frontier will not seed a replay).
+        let mut touched: Vec<VertexId> = self
+            .pending_users
+            .iter()
+            .filter_map(|u| self.user_vertex.get(u).copied())
+            .collect();
+        touched.extend(
+            self.pending_items
+                .iter()
+                .filter_map(|i| self.item_slot.get(i).map(|&s| num_users as VertexId + s)),
+        );
+        touched.sort_unstable();
+        let (prev_transactions, prev_users, prev_vertices) = self.baseline.unwrap_or((0, 0, 0));
+        let delta = WindowDelta {
+            prev_transactions,
+            prev_users,
+            prev_vertices,
+            transactions: self.log.len() as u64,
+            expired: self.delta_expired || self.baseline.is_none(),
+            touched,
+        };
+        self.baseline = Some((self.log.len() as u64, num_users, n));
+        self.pending_users.clear();
+        self.pending_items.clear();
+        self.delta_expired = false;
+        (workload, delta)
     }
 
     /// The current window's graph alone (see [`Self::materialize`]).
@@ -372,6 +522,96 @@ mod tests {
         }
         let rebuilt = IncrementalWindow::from_parts(7, inc.end(), merged).expect("valid merge");
         assert!(graphs_equal(&rebuilt.graph(), &inc.graph()));
+    }
+
+    #[test]
+    fn delta_materialization_matches_replay_build_batch_by_batch() {
+        let s = stream();
+        let mut inc = IncrementalWindow::empty(7);
+        for day in 0..20u32 {
+            let txs: Vec<Transaction> = s.window(day, day + 1).copied().collect();
+            for chunk in txs.chunks(txs.len().div_ceil(3).max(1)) {
+                inc.apply_batch(chunk);
+                let reference = inc.materialize();
+                let (w, delta) = inc.materialize_delta();
+                assert!(
+                    graphs_equal(&w.graph, &reference.graph),
+                    "fast build diverged at day {day}"
+                );
+                assert_eq!(w.user_vertex, reference.user_vertex);
+                assert_eq!(w.num_user_vertices, reference.num_user_vertices);
+                assert_eq!(w.num_transactions, reference.num_transactions);
+                assert_eq!(delta.transactions, inc.num_transactions() as u64);
+                // The frontier covers both endpoints of every batch tx
+                // and stays inside the new graph.
+                assert!(delta.touched.windows(2).all(|p| p[0] < p[1]));
+                assert!(delta
+                    .touched
+                    .iter()
+                    .all(|&v| (v as usize) < w.graph.num_vertices()));
+                for t in chunk {
+                    let u = w.user_vertex[&t.buyer];
+                    assert!(delta.touched.binary_search(&u).is_ok());
+                }
+            }
+            inc.advance_to(day + 1);
+        }
+    }
+
+    #[test]
+    fn delta_tracks_baseline_and_flags_expiry() {
+        let s = stream();
+        let mut inc = IncrementalWindow::empty(3);
+        let day0: Vec<Transaction> = s.window(0, 1).copied().collect();
+        inc.apply_batch(&day0);
+
+        // First materialization: no baseline yet, so not incremental.
+        let (w0, d0) = inc.materialize_delta();
+        assert!(d0.expired);
+        assert_eq!(d0.prev_transactions, 0);
+
+        // Same-day growth: clean delta against the recorded baseline.
+        let day1: Vec<Transaction> = s.window(1, 2).copied().collect();
+        inc.apply_batch(&day1);
+        let (w1, d1) = inc.materialize_delta();
+        assert!(!d1.expired);
+        assert_eq!(d1.prev_transactions, w0.num_transactions);
+        assert_eq!(d1.prev_users, w0.num_user_vertices);
+        assert_eq!(d1.prev_vertices, w0.graph.num_vertices());
+        assert_eq!(d1.transactions, w1.num_transactions);
+        assert!(!d1.touched.is_empty());
+        // Old user ids survive a clean (expiry-free) delta verbatim.
+        for (u, &v) in &w0.user_vertex {
+            assert_eq!(w1.user_vertex[u], v);
+        }
+
+        // Quiet delta: nothing pushed, nothing touched, still valid.
+        let (_, dq) = inc.materialize_delta();
+        assert!(!dq.expired);
+        assert!(dq.touched.is_empty());
+
+        // Slide past the window length: expiry poisons the delta once,
+        // then the next one is clean again.
+        for day in 2..5u32 {
+            let txs: Vec<Transaction> = s.window(day, day + 1).copied().collect();
+            inc.apply_batch(&txs);
+        }
+        assert!(inc.num_transactions() < day0.len() + day1.len() + 3 * day0.len());
+        let (_, dx) = inc.materialize_delta();
+        assert!(dx.expired, "expiry must invalidate the delta");
+
+        // A day advance over a short window expires again, but a second
+        // batch for the *same* day rides on the rebuilt mapping cleanly.
+        let day5: Vec<Transaction> = s.window(5, 6).copied().collect();
+        let (first, second) = day5.split_at(day5.len() / 2);
+        assert!(!second.is_empty());
+        inc.apply_batch(first);
+        let (_, da) = inc.materialize_delta();
+        assert!(da.expired, "the day advance aged day 2 out");
+        inc.apply_batch(second);
+        let (_, d5) = inc.materialize_delta();
+        assert!(!d5.expired);
+        assert!(!d5.touched.is_empty());
     }
 
     #[test]

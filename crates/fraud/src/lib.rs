@@ -30,7 +30,7 @@ pub mod transactions;
 pub mod window;
 
 pub use checkpoint::{CheckpointError, WindowCheckpoint, CHECKPOINT_VERSION};
-pub use incremental::IncrementalWindow;
+pub use incremental::{IncrementalWindow, WindowDelta};
 pub use inhouse::InHouseLp;
 pub use pipeline::{FlaggedCluster, FraudPipeline, PipelineConfig, PipelineReport};
 pub use transactions::{RegionalStream, RegionalTxConfig, Transaction, TxConfig, TxStream};

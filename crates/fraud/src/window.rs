@@ -23,6 +23,10 @@ pub struct WindowWorkload {
     pub user_vertex: HashMap<u32, VertexId>,
     /// Number of user vertices (items follow them in the id space).
     pub num_user_vertices: usize,
+    /// Transactions the window was built from — an identity stamp that
+    /// lets incremental reclustering verify a memoized LP state belongs
+    /// to the window a delta extends.
+    pub num_transactions: u64,
 }
 
 impl WindowWorkload {
@@ -57,6 +61,7 @@ impl WindowWorkload {
         }
         let num_users = user_vertex.len();
         let n = num_users + item_slot.len();
+        let num_transactions = pairs.len() as u64;
         let mut b = GraphBuilder::with_capacity(n, pairs.len());
         for (u, i) in pairs {
             b.add_weighted_edge(u, num_users as VertexId + i, 1.0);
@@ -67,6 +72,7 @@ impl WindowWorkload {
             graph: b.build(),
             user_vertex,
             num_user_vertices: num_users,
+            num_transactions,
         }
     }
 

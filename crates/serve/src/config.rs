@@ -82,6 +82,20 @@ pub struct ServeConfig {
     pub checkpoint_path: Option<PathBuf>,
     /// Write a checkpoint after every this many applied batches.
     pub checkpoint_every_batches: u64,
+    /// Largest delta frontier an incremental recluster will accept, as a
+    /// fraction of the window graph's vertices. A delta that touched
+    /// more than `delta_fraction_max * |V|` vertices falls back to a
+    /// full recluster — past that point the replay recomputes most of
+    /// the graph anyway, so from-scratch LP (with its engine ladder and
+    /// frontier scheduling) is the better buy. `0.0` disables
+    /// incremental reclustering outright.
+    pub delta_fraction_max: f64,
+    /// Force a from-scratch recluster after this many consecutive
+    /// incremental ones (0 = never force). Incremental runs are pinned
+    /// byte-identical to full ones, so this bounds *memo lineage length*
+    /// — the number of replays any published snapshot's provenance
+    /// chains through — not correctness drift.
+    pub full_recluster_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +118,8 @@ impl Default for ServeConfig {
             restart_backoff_cap: Duration::from_secs(2),
             checkpoint_path: None,
             checkpoint_every_batches: 64,
+            delta_fraction_max: 0.25,
+            full_recluster_every: 32,
         }
     }
 }
@@ -216,6 +232,14 @@ mod tests {
         assert!(cfg.restart_backoff <= cfg.restart_backoff_cap);
         assert!(cfg.checkpoint_every_batches >= 1);
         assert!(cfg.checkpoint_path.is_none(), "checkpointing is opt-in");
+        assert!(
+            cfg.delta_fraction_max > 0.0 && cfg.delta_fraction_max <= 1.0,
+            "incremental reclustering on by default, bounded by |V|"
+        );
+        assert!(
+            cfg.full_recluster_every >= 1,
+            "memo lineage is bounded by default"
+        );
     }
 
     #[test]

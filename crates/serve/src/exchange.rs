@@ -35,11 +35,12 @@
 
 use crate::config::ServeConfig;
 use crate::query::VerdictSnapshot;
-use crate::recluster::recluster;
+use crate::recluster::{ReclusterOutcome, ReclusterRequest, ReclusterRun, WarmState};
 use glp_core::{LpRunReport, ResilienceReport};
-use glp_fraud::{Transaction, WindowWorkload};
-use std::collections::{HashMap, HashSet};
+use glp_fraud::{IncrementalWindow, Transaction, WindowWorkload};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One shard's contribution to an exchange round: its window log in
 /// order, each transaction with its fleet-wide sequence stamp.
@@ -93,7 +94,7 @@ pub struct FleetSnapshot {
     pub boundary_users: Vec<u32>,
 }
 
-/// The full outcome of [`reconcile`].
+/// The full outcome of [`reconcile`] / [`reconcile_with`].
 pub struct Reconciled {
     /// The fleet-wide snapshot (all shards' keyspaces merged).
     pub snapshot: VerdictSnapshot,
@@ -101,9 +102,100 @@ pub struct Reconciled {
     pub boundary_users: Vec<u32>,
     /// What the round found.
     pub report: ExchangeReport,
+    /// What the boundary recluster ran (mode, wall, frontier), when one
+    /// was needed (`None` when no component spans shards).
+    pub boundary_run: Option<ReclusterRun>,
     /// The boundary recluster's LP run, when one was needed (`None`
     /// when no component spans shards).
     pub lp: Option<(LpRunReport, ResilienceReport)>,
+}
+
+/// Carry-over state that lets consecutive exchange rounds recluster the
+/// boundary graph *incrementally*: a shadow [`IncrementalWindow`] fed
+/// exactly the merged spanning transactions (with their sequence stamps
+/// mirrored, expiry-aligned like a shard's), plus the warm-start memo of
+/// the previous boundary run. [`reconcile_with`] goes incremental only
+/// when the previous round's stamps are a strict prefix of this round's
+/// merged log — membership changes (a component newly spanning shards
+/// injects *old* stamps) or expiry break the prefix and force a cache
+/// rebuild plus a full boundary recluster, keeping the published bytes
+/// identical to the uncached path.
+pub struct BoundaryCache {
+    seqs: VecDeque<u64>,
+    window: IncrementalWindow,
+    warm: WarmState,
+}
+
+impl BoundaryCache {
+    /// An empty cache for a fleet with `days`-day windows: the first
+    /// exchange through it reclusters the boundary from scratch.
+    pub fn new(days: u32) -> Self {
+        Self {
+            seqs: VecDeque::new(),
+            window: IncrementalWindow::empty(days),
+            warm: WarmState::default(),
+        }
+    }
+
+    /// Runs the boundary recluster over `merged` (seq-sorted spanning
+    /// transactions; `txs` is its transaction column), incrementally
+    /// when this cache's previous round is a prefix of it.
+    #[allow(clippy::too_many_arguments)]
+    fn recluster(
+        &mut self,
+        merged: &[(u64, Transaction)],
+        txs: &[Transaction],
+        days: u32,
+        cfg: &ServeConfig,
+        blacklist: &[u32],
+        global_end: u32,
+        as_of: u64,
+    ) -> ReclusterOutcome {
+        // Stamps are unique fleet-wide, so a matching stamp is the same
+        // transaction: prefix equality means this round's merged log
+        // extends last round's cached log verbatim. The day check keeps
+        // `apply_batch`'s monotonicity invariant (a violating suffix can
+        // only come from a membership change the stamp check missed —
+        // e.g. a rebuilt cache mid-history).
+        let prefix_ok = self.window.days() == days
+            && self.seqs.len() <= merged.len()
+            && self.seqs.iter().zip(merged).all(|(&a, &(b, _))| a == b)
+            && merged[self.seqs.len()..]
+                .iter()
+                .all(|&(_, t)| t.day + 1 >= self.window.end());
+        if prefix_ok {
+            let suffix = &merged[self.seqs.len()..];
+            let add: Vec<Transaction> = suffix.iter().map(|&(_, t)| t).collect();
+            self.window.apply_batch(&add);
+            self.window.advance_to(global_end);
+            for &(s, _) in suffix {
+                self.seqs.push_back(s);
+            }
+            while self.seqs.len() > self.window.num_transactions() {
+                self.seqs.pop_front();
+            }
+        } else {
+            match IncrementalWindow::from_parts(days, global_end, txs.to_vec()) {
+                Ok(w) => {
+                    self.window = w;
+                    self.seqs = merged.iter().map(|&(s, _)| s).collect();
+                    self.warm = WarmState::default();
+                }
+                Err(_) => {
+                    // A merged log violating the window invariants cannot
+                    // be cached; recluster from scratch without one.
+                    *self = Self::new(days);
+                    let workload = WindowWorkload::from_transactions(days, txs.iter());
+                    return ReclusterRequest::full(&workload, blacklist, cfg)
+                        .stamped(as_of, global_end)
+                        .run();
+                }
+            }
+        }
+        let (workload, delta) = self.window.materialize_delta();
+        self.warm
+            .run(&workload, blacklist, cfg, &delta, as_of, global_end, None)
+    }
 }
 
 /// Union-find keys: users and items share one id space, disjoint by a
@@ -172,6 +264,23 @@ pub fn reconcile(
     global_end: u32,
     as_of: u64,
 ) -> Reconciled {
+    reconcile_with(frames, locals, cfg, blacklist, global_end, as_of, None)
+}
+
+/// [`reconcile`] with an optional [`BoundaryCache`]: when the cache's
+/// previous round is a prefix of this one, the boundary recluster runs
+/// incrementally from the cached memo — byte-identical to the uncached
+/// round by the same replay guarantee as everywhere else.
+#[allow(clippy::too_many_arguments)]
+pub fn reconcile_with(
+    frames: &[ShardFrame],
+    locals: &[Arc<VerdictSnapshot>],
+    cfg: &ServeConfig,
+    blacklist: &[u32],
+    global_end: u32,
+    as_of: u64,
+    cache: Option<&mut BoundaryCache>,
+) -> Reconciled {
     assert_eq!(frames.len(), locals.len(), "one local snapshot per frame");
 
     // Pass 1: connected components of the union graph.
@@ -231,13 +340,26 @@ pub fn reconcile(
 
     // Pass 4: recluster the merged boundary graph (when there is one).
     let days = frames.first().map_or(cfg.window_days, |f| f.days);
-    let (boundary_snapshot, lp) = if merged.is_empty() {
-        (None, None)
+    let (boundary_snapshot, boundary_run, lp) = if merged.is_empty() {
+        (None, None, None)
     } else {
+        let started = Instant::now();
         let txs: Vec<Transaction> = merged.iter().map(|&(_, t)| t).collect();
-        let workload = WindowWorkload::from_transactions(days, txs.iter());
-        let (snap, run, resilience) = recluster(&workload, blacklist, cfg, as_of, global_end, None);
-        (Some(snap), Some((run, resilience)))
+        let outcome = match cache {
+            Some(c) => c.recluster(&merged, &txs, days, cfg, blacklist, global_end, as_of),
+            None => {
+                let workload = WindowWorkload::from_transactions(days, txs.iter());
+                ReclusterRequest::full(&workload, blacklist, cfg)
+                    .stamped(as_of, global_end)
+                    .run()
+            }
+        };
+        let run = outcome.as_run(started.elapsed().as_secs_f64());
+        (
+            Some(outcome.snapshot),
+            Some(run),
+            Some((outcome.report, outcome.resilience)),
+        )
     };
 
     // Pass 5: assemble the fleet snapshot. Locals keep their interior
@@ -283,6 +405,7 @@ pub fn reconcile(
         },
         boundary_users: boundary,
         report,
+        boundary_run,
         lp,
     }
 }
@@ -364,6 +487,68 @@ mod tests {
         for &u in &r.boundary_users {
             assert!(r.snapshot.known_users.binary_search(&u).is_ok());
         }
+    }
+
+    #[test]
+    fn cached_boundary_rounds_match_uncached_byte_for_byte() {
+        // Two exchange rounds in the same day window: the second round's
+        // merged log extends the first's, so the cached path replays
+        // incrementally — and must publish exactly the uncached bytes.
+        let s = stream();
+        let route = |u: u32| (s.region_of(u) as usize) % 2;
+        let mut cfg = cfg();
+        cfg.delta_fraction_max = 1.0; // small boundary graphs: always eligible
+        let shards: Vec<crate::shard::ShardCore> = (0..2)
+            .map(|i| crate::shard::ShardCore::new(i, cfg.clone(), s.blacklist.clone()))
+            .collect();
+        let mut cache = BoundaryCache::new(cfg.window_days);
+        let mut seq = 0u64;
+        let mut modes = Vec::new();
+        for day in 0..4u32 {
+            let txs: Vec<Transaction> = s.window(day, day + 1).copied().collect();
+            // Two half-day rounds per day: the second extends the first.
+            for chunk in txs.chunks(txs.len().div_ceil(2)) {
+                let mut routed: Vec<Vec<(u64, Transaction)>> = vec![Vec::new(); 2];
+                for &t in chunk {
+                    routed[route(t.buyer)].push((seq, t));
+                    seq += 1;
+                }
+                for (i, shard) in shards.iter().enumerate() {
+                    shard.apply(&routed[i], day + 1);
+                }
+                for shard in &shards {
+                    shard.recluster_now();
+                }
+                let frames: Vec<ShardFrame> = shards.iter().map(|s| s.frame()).collect();
+                let locals: Vec<Arc<VerdictSnapshot>> =
+                    shards.iter().map(|s| s.snapshot()).collect();
+                let cached = reconcile_with(
+                    &frames,
+                    &locals,
+                    &cfg,
+                    &s.blacklist,
+                    day + 1,
+                    0,
+                    Some(&mut cache),
+                );
+                let plain = reconcile(&frames, &locals, &cfg, &s.blacklist, day + 1, 0);
+                assert_eq!(
+                    cached.snapshot.canonical_bytes(),
+                    plain.snapshot.canonical_bytes(),
+                    "cached boundary round diverged at day {day}"
+                );
+                modes.extend(cached.boundary_run.map(|r| r.mode));
+            }
+        }
+        use crate::recluster::ReclusterMode;
+        assert!(
+            modes.contains(&ReclusterMode::Incremental),
+            "same-day extension rounds should replay incrementally: {modes:?}"
+        );
+        assert!(
+            modes.contains(&ReclusterMode::Full),
+            "first/rebuilt rounds run full: {modes:?}"
+        );
     }
 
     #[test]

@@ -24,11 +24,16 @@
 //!   `apply_batch`. Overload is explicit: the [`ShedPolicy`] either
 //!   drops the oldest queued transaction or rejects the new one, always
 //!   counted in [`Telemetry`], never silent, never blocking producers.
-//! * **Recluster** ([`recluster`]) — seeded/weighted LP through the
-//!   existing [`GpuEngine`](glp_core::engine::GpuEngine) dispatch on a
-//!   materialized snapshot, publishing verdicts through an epoch-swapped
-//!   double buffer ([`swap::EpochCell`]). Queries observe LP results;
-//!   they never wait on LP.
+//! * **Recluster** ([`recluster`]) — every recluster is described by a
+//!   [`ReclusterRequest`] (`::full` or `::incremental`) and answered
+//!   with a [`ReclusterOutcome`]. Full requests run seeded/weighted LP
+//!   through the existing [`GpuEngine`](glp_core::engine::GpuEngine)
+//!   dispatch on a materialized snapshot; incremental requests replay
+//!   the previous run's memoized trajectory over the delta frontier and
+//!   publish **byte-identical** snapshots at a fraction of the cost.
+//!   Verdicts go out through an epoch-swapped double buffer
+//!   ([`swap::EpochCell`]). Queries observe LP results; they never wait
+//!   on LP.
 //! * **Query** ([`query`]) — a plain in-process trait ([`FraudScorer`])
 //!   over immutable [`VerdictSnapshot`]s; no network, no async runtime,
 //!   just threads and channels.
@@ -125,7 +130,7 @@ pub mod telemetry;
 pub mod wal;
 
 pub use config::{FleetConfig, ServeConfig, ShedPolicy};
-pub use exchange::{ExchangeReport, FleetSnapshot, ShardFrame};
+pub use exchange::{BoundaryCache, ExchangeReport, FleetSnapshot, ShardFrame};
 #[cfg(feature = "fault-injection")]
 pub use faults::{Fault, FaultPlan, FaultSpec, FiredFault};
 pub use health::{
@@ -135,7 +140,7 @@ pub use health::{
 pub use ingest::{Batcher, IngestGate, Submitted};
 pub use partition::Partitioner;
 pub use query::{FraudScorer, Verdict, VerdictSnapshot};
-pub use recluster::recluster;
+pub use recluster::{LpMemo, ReclusterMode, ReclusterOutcome, ReclusterRequest, ReclusterRun};
 pub use router::{
     ExchangeOutcome, FailoverError, FailoverEvent, FleetCore, FleetHandle, FleetRecoveryError,
     FleetShutdownReport, FleetTelemetry, ShardRouter,

@@ -6,61 +6,472 @@
 //! scoring reuse the offline pipeline's stages 2–3 verbatim via
 //! [`FraudPipeline::score`], so a verdict served online is the same
 //! verdict the nightly batch job would have produced for the same window.
+//!
+//! ## The request API
+//!
+//! Every recluster is described by a [`ReclusterRequest`] — built with
+//! [`ReclusterRequest::full`] or [`ReclusterRequest::incremental`],
+//! stamped with the serving clocks, and executed with
+//! [`ReclusterRequest::run`] — and every recluster answers with a
+//! [`ReclusterOutcome`]: the snapshot to publish, the LP run report, the
+//! engine resilience report, which [`ReclusterMode`] actually ran, the
+//! frontier it consumed, and the [`LpMemo`] a *later* incremental
+//! request can warm-start from.
+//!
+//! ## Incremental reclustering
+//!
+//! An incremental request carries the previous recluster's [`LpMemo`]
+//! (its per-iteration label trajectory plus the identity stamp of the
+//! window it described) and the [`WindowDelta`] the live window
+//! accumulated since. When the delta is eligible — no expiry
+//! invalidated the vertex mapping, the memo's stamp matches the delta's
+//! `prev_*` identity, iteration caps agree, and the touched frontier is
+//! under [`ServeConfig::delta_fraction_max`] — the previous trajectory
+//! is remapped into the grown graph's id space and *replayed* through
+//! [`glp_core::replay_delta`], recomputing decisions only on the delta
+//! frontier. LP is not confluent, so merely warm-starting from the old
+//! fixpoint could settle elsewhere; the replay re-executes the exact
+//! from-scratch trajectory instead, which is why the published snapshot
+//! is **byte-identical** to a from-scratch recluster of the same window
+//! (pinned in `tests/delta_identity.rs`). An ineligible delta silently
+//! falls back to a full recluster — the mode in the outcome says which
+//! path ran.
 
 use crate::config::ServeConfig;
+use crate::health::HealthMonitor;
 use crate::query::VerdictSnapshot;
+use crate::telemetry::Telemetry;
 use glp_core::engine::ResilientEngine;
-use glp_core::{Engine, LpRunReport, ResilienceReport, RunOptions, WeightedLp};
-use glp_fraud::{FraudPipeline, WindowWorkload};
-use glp_graph::VertexId;
+use glp_core::{
+    replay_delta, Engine, LpRunReport, MemoRecorder, ResilienceReport, RunOptions, WeightedLp,
+};
+use glp_fraud::{FraudPipeline, WindowDelta, WindowWorkload};
+use glp_graph::{Label, VertexId};
 use glp_trace::Tracer;
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 
-/// Scores `workload` from the blacklist seeds and resolves everything to
-/// plain user ids. `as_of_batch` is bookkeeping stamped into the
-/// snapshot (how many micro-batches the window had absorbed when it was
-/// materialized).
-///
-/// LP runs behind [`ResilientEngine::gpu_ladder`], so a device fault
-/// mid-recluster retries from the failed iteration and a dead device
-/// degrades to the hybrid or host tier instead of losing the window —
-/// the returned [`ResilienceReport`] says what recovery work was done.
-/// Labels are engine-independent, so a degraded snapshot is byte-
-/// identical to the one the GPU would have published. `WeightedLp`
-/// checkpoints its label state, so every ladder rung is reachable; if
-/// every tier fails the recluster panics and the supervisor's
-/// crash/restart machinery takes over (see [`crate::supervisor`]).
-pub fn recluster(
-    workload: &WindowWorkload,
-    blacklist: &[u32],
-    cfg: &ServeConfig,
+/// Which recluster path actually executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReclusterMode {
+    /// From-scratch seeded LP over the whole window graph.
+    Full,
+    /// Memoized delta replay seeded from the changed-vertex frontier.
+    Incremental,
+}
+
+impl ReclusterMode {
+    /// Stable lowercase name (telemetry, logs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Full => "full",
+            Self::Incremental => "incremental",
+        }
+    }
+}
+
+/// The memoized per-iteration label trajectory of one recluster, plus
+/// the identity stamp of the window it described. A later
+/// [`ReclusterRequest::incremental`] presents this together with the
+/// [`WindowDelta`] that grew the window; [`ReclusterRequest::run`]
+/// accepts the warm start only when the stamp matches the delta's
+/// `prev_*` identity — a memo can never silently seed a replay over a
+/// window it does not describe.
+#[derive(Clone, Debug)]
+pub struct LpMemo {
+    /// Labels after each LP iteration, in the stamped window's vertex
+    /// id space.
+    per_iteration: Vec<Vec<Label>>,
+    /// Iteration cap the memoized run executed under. A replay under a
+    /// different cap could extend a non-converged trajectory, so caps
+    /// must agree.
+    max_iterations: u32,
+    /// Transactions in the stamped window.
+    transactions: u64,
+    /// User-vertex count of the stamped window.
+    num_users: usize,
+    /// Total vertex count of the stamped window.
+    num_vertices: usize,
+}
+
+impl LpMemo {
+    /// Whether `delta` extends exactly the window this memo describes,
+    /// under the iteration cap `cfg` would run with.
+    fn covers(&self, delta: &WindowDelta, cfg: &ServeConfig) -> bool {
+        !delta.expired
+            && !self.per_iteration.is_empty()
+            && self.max_iterations == cfg.pipeline.lp_iterations
+            && self.transactions == delta.prev_transactions
+            && self.num_users == delta.prev_users
+            && self.num_vertices == delta.prev_vertices
+    }
+}
+
+/// What one trigger entry point reports back — the shared return type
+/// of [`ServiceCore::recluster_now`](crate::service::ServiceCore::recluster_now),
+/// [`ShardCore::recluster_now`](crate::shard::ShardCore::recluster_now),
+/// [`FleetCore::recluster_now`](crate::router::FleetCore::recluster_now),
+/// and their threaded wrappers.
+#[derive(Clone, Copy, Debug)]
+pub struct ReclusterRun {
+    /// Which path ran.
+    pub mode: ReclusterMode,
+    /// Wall seconds of the whole recluster (materialize + LP + scoring
+    /// + publish).
+    pub wall_seconds: f64,
+    /// Vertices the LP recomputed decisions for at iteration 0: the
+    /// delta frontier for an incremental run, the whole graph for a
+    /// full one, 0 when the window was empty (or a fleet shard was
+    /// down).
+    pub frontier: usize,
+}
+
+/// Everything one executed [`ReclusterRequest`] produced.
+pub struct ReclusterOutcome {
+    /// The verdict snapshot to publish.
+    pub snapshot: VerdictSnapshot,
+    /// The LP run report (host wall clock only for incremental runs —
+    /// the replay involves no device).
+    pub report: LpRunReport,
+    /// What the engine's recovery machinery did. An incremental run
+    /// reports tier `"DeltaReplay"` with no faults — the replay is
+    /// host-side and deterministic.
+    pub resilience: ResilienceReport,
+    /// Which path actually ran (an ineligible incremental request falls
+    /// back to [`ReclusterMode::Full`]).
+    pub mode: ReclusterMode,
+    /// Vertices whose decisions were recomputed at iteration 0 (see
+    /// [`ReclusterRun::frontier`]).
+    pub frontier: usize,
+    /// The memo a later incremental request can warm-start from.
+    /// `None` when the per-iteration capture was incomplete (a program
+    /// that refuses mid-run saves); the caller then falls back to full
+    /// next time.
+    pub memo: Option<LpMemo>,
+}
+
+impl ReclusterOutcome {
+    /// This outcome as a [`ReclusterRun`] with the given wall time.
+    pub fn as_run(&self, wall_seconds: f64) -> ReclusterRun {
+        ReclusterRun {
+            mode: self.mode,
+            wall_seconds,
+            frontier: self.frontier,
+        }
+    }
+}
+
+/// One recluster, described before it runs: the materialized window,
+/// the blacklist seeds, the configuration, the serving clocks to stamp
+/// into the snapshot, an optional span recorder, and an optional warm
+/// start. Build with [`Self::full`] or [`Self::incremental`], refine
+/// with [`Self::stamped`] / [`Self::with_tracer`], execute with
+/// [`Self::run`].
+pub struct ReclusterRequest<'a> {
+    workload: &'a WindowWorkload,
+    blacklist: &'a [u32],
+    cfg: &'a ServeConfig,
     as_of_batch: u64,
     window_end: u32,
-    tracer: Option<&Tracer>,
-) -> (VerdictSnapshot, LpRunReport, ResilienceReport) {
-    // Seeds: black-listed users actually present in this window.
-    let mut seeds: Vec<VertexId> = blacklist
-        .iter()
-        .filter_map(|u| workload.user_vertex.get(u).copied())
-        .collect();
-    seeds.sort_unstable();
+    tracer: Option<&'a Tracer>,
+    warm: Option<(&'a LpMemo, &'a WindowDelta)>,
+}
 
-    let mut prog = WeightedLp::from_graph(&workload.graph, cfg.pipeline.lp_iterations)
-        .with_retention(cfg.pipeline.retention);
-    let mut engine = ResilientEngine::gpu_ladder();
-    let mut opts = RunOptions::default()
-        .with_max_iterations(cfg.pipeline.lp_iterations)
-        .with_frontier(cfg.frontier)
-        .with_shards(cfg.engine_shards);
-    if let Some(t) = tracer {
-        opts = opts.with_tracer(t.clone());
+impl<'a> ReclusterRequest<'a> {
+    /// A from-scratch recluster of `workload`.
+    pub fn full(workload: &'a WindowWorkload, blacklist: &'a [u32], cfg: &'a ServeConfig) -> Self {
+        Self {
+            workload,
+            blacklist,
+            cfg,
+            as_of_batch: 0,
+            window_end: 0,
+            tracer: None,
+            warm: None,
+        }
     }
-    let report = engine
-        .run(&workload.graph, &mut prog, &opts)
-        .unwrap_or_else(|e| panic!("recluster LP failed on every engine tier: {e}"));
 
+    /// An incremental recluster: replay `prev`'s trajectory over the
+    /// grown `workload`, recomputing only the frontier `delta` touched.
+    /// [`Self::run`] checks eligibility (memo stamp, expiry, frontier
+    /// fraction) and silently falls back to a full recluster when the
+    /// warm start cannot be honored — the outcome's
+    /// [`mode`](ReclusterOutcome::mode) says which path ran.
+    pub fn incremental(
+        workload: &'a WindowWorkload,
+        blacklist: &'a [u32],
+        cfg: &'a ServeConfig,
+        prev: &'a LpMemo,
+        delta: &'a WindowDelta,
+    ) -> Self {
+        Self {
+            warm: Some((prev, delta)),
+            ..Self::full(workload, blacklist, cfg)
+        }
+    }
+
+    /// Stamps the serving clocks into the published snapshot:
+    /// `as_of_batch` is how many micro-batches the window had absorbed
+    /// when it was materialized, `window_end` its exclusive end day.
+    pub fn stamped(mut self, as_of_batch: u64, window_end: u32) -> Self {
+        self.as_of_batch = as_of_batch;
+        self.window_end = window_end;
+        self
+    }
+
+    /// Attaches (or detaches) a span recorder for the LP run. Only a
+    /// full recluster records engine spans — the incremental replay is
+    /// a host loop with no modeled kernels.
+    pub fn with_tracer(mut self, tracer: Option<&'a Tracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Whether the warm start is honorable: the memo must cover exactly
+    /// the window the delta extends, the window must have grown
+    /// monotonically (no expiry renumbering), and the touched frontier
+    /// must be under `delta_fraction_max` of the graph.
+    fn eligible_warm(&self) -> Option<(&'a LpMemo, &'a WindowDelta)> {
+        let (memo, delta) = self.warm?;
+        let n = self.workload.graph.num_vertices();
+        let monotone = delta.prev_users <= self.workload.num_user_vertices
+            && delta.prev_vertices <= n
+            && delta.prev_transactions <= self.workload.num_transactions;
+        // `> 0.0` and not just the product: a zero-touched delta (a
+        // recluster with no new transactions) must still honor
+        // `delta_fraction_max = 0.0` as "incremental off".
+        let small_enough = self.cfg.delta_fraction_max > 0.0
+            && (delta.touched.len() as f64) <= self.cfg.delta_fraction_max * n as f64;
+        (memo.covers(delta, self.cfg) && monotone && small_enough).then_some((memo, delta))
+    }
+
+    /// Executes the recluster. LP runs behind
+    /// [`ResilientEngine::gpu_ladder`] on the full path (device faults
+    /// retry/degrade without losing the window; labels are
+    /// engine-independent, so a degraded snapshot is byte-identical to
+    /// the GPU's) and through [`replay_delta`] on the incremental path.
+    /// If every ladder tier fails the recluster panics and the
+    /// supervisor's crash/restart machinery takes over (see
+    /// [`crate::supervisor`]).
+    pub fn run(self) -> ReclusterOutcome {
+        let workload = self.workload;
+        let cfg = self.cfg;
+        let n = workload.graph.num_vertices();
+
+        // Seeds: black-listed users actually present in this window.
+        let mut seeds: Vec<VertexId> = self
+            .blacklist
+            .iter()
+            .filter_map(|u| workload.user_vertex.get(u).copied())
+            .collect();
+        seeds.sort_unstable();
+
+        if let Some((memo, delta)) = self.eligible_warm() {
+            // Incremental: remap the previous trajectory into the grown
+            // id space and replay it. First-appearance ids make growth
+            // an order-preserving insertion: old users keep their ids,
+            // old items shift up by the number of new users, and new
+            // vertices take the freed/appended positions.
+            let shift = workload.num_user_vertices - delta.prev_users;
+            let phi = |x: usize| if x < delta.prev_users { x } else { x + shift };
+            let remapped: Vec<Vec<Label>> = memo
+                .per_iteration
+                .iter()
+                .map(|entry| {
+                    // New positions get identity placeholders; they are
+                    // always in the seed frontier (all their edges are
+                    // new), so the placeholder never feeds a decision.
+                    let mut m: Vec<Label> = (0..n as Label).collect();
+                    for (old_v, &l) in entry.iter().enumerate() {
+                        m[phi(old_v)] = phi(l as usize) as Label;
+                    }
+                    m
+                })
+                .collect();
+            let mut frontier = vec![false; n];
+            for &v in &delta.touched {
+                frontier[v as usize] = true;
+            }
+            let mut prog = WeightedLp::from_graph(&workload.graph, cfg.pipeline.lp_iterations)
+                .with_retention(cfg.pipeline.retention);
+            let replay = replay_delta(
+                &workload.graph,
+                &mut prog,
+                &remapped,
+                &frontier,
+                cfg.pipeline.lp_iterations,
+            );
+            let snapshot = assemble_snapshot(
+                workload,
+                cfg,
+                &prog,
+                &seeds,
+                &replay.report,
+                self.as_of_batch,
+                self.window_end,
+            );
+            return ReclusterOutcome {
+                snapshot,
+                resilience: ResilienceReport {
+                    tier: Some("DeltaReplay"),
+                    ..ResilienceReport::default()
+                },
+                mode: ReclusterMode::Incremental,
+                frontier: replay.initial_frontier,
+                memo: Some(LpMemo {
+                    per_iteration: replay.memo,
+                    max_iterations: cfg.pipeline.lp_iterations,
+                    transactions: workload.num_transactions,
+                    num_users: workload.num_user_vertices,
+                    num_vertices: n,
+                }),
+                report: replay.report,
+            };
+        }
+
+        // Full: from-scratch seeded LP, recording the per-iteration
+        // memo so the next recluster can go incremental.
+        let mut prog = WeightedLp::from_graph(&workload.graph, cfg.pipeline.lp_iterations)
+            .with_retention(cfg.pipeline.retention);
+        let mut engine = ResilientEngine::gpu_ladder();
+        let recorder = MemoRecorder::new();
+        let mut opts = RunOptions::default()
+            .with_max_iterations(cfg.pipeline.lp_iterations)
+            .with_frontier(cfg.frontier)
+            .with_shards(cfg.engine_shards)
+            .with_barrier_hook(recorder.hook(n));
+        if let Some(t) = self.tracer {
+            opts = opts.with_tracer(t.clone());
+        }
+        let report = engine
+            .run(&workload.graph, &mut prog, &opts)
+            .unwrap_or_else(|e| panic!("recluster LP failed on every engine tier: {e}"));
+        let captured = recorder.into_memo();
+        let memo = (captured.len() == report.iterations as usize && !captured.is_empty())
+            .then_some(LpMemo {
+                per_iteration: captured,
+                max_iterations: cfg.pipeline.lp_iterations,
+                transactions: workload.num_transactions,
+                num_users: workload.num_user_vertices,
+                num_vertices: n,
+            });
+        let snapshot = assemble_snapshot(
+            workload,
+            cfg,
+            &prog,
+            &seeds,
+            &report,
+            self.as_of_batch,
+            self.window_end,
+        );
+        ReclusterOutcome {
+            snapshot,
+            resilience: engine.resilience().clone(),
+            mode: ReclusterMode::Full,
+            frontier: n,
+            memo,
+            report,
+        }
+    }
+}
+
+/// Warm-start state carried between reclusters by every trigger owner
+/// ([`ServiceCore`](crate::service::ServiceCore), each
+/// [`ShardCore`](crate::shard::ShardCore), the fleet's boundary cache):
+/// the previous run's memo plus how many incremental runs have stacked
+/// on it since the last full one (the drift cap
+/// [`ServeConfig::full_recluster_every`] counts these).
+#[derive(Default)]
+pub(crate) struct WarmState {
+    memo: Option<LpMemo>,
+    increments: u64,
+}
+
+impl WarmState {
+    /// Forgets the warm start (empty window, failover rebuild): the next
+    /// recluster runs full.
+    pub(crate) fn reset(&mut self) {
+        self.memo = None;
+        self.increments = 0;
+    }
+
+    /// Runs the next recluster through this state: incremental when a
+    /// memo exists and the drift cap has not been hit, full otherwise —
+    /// then absorbs the new memo and advances/resets the increment
+    /// counter by what actually ran. The returned outcome's `memo` is
+    /// `None` (it lives here now).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run(
+        &mut self,
+        workload: &WindowWorkload,
+        blacklist: &[u32],
+        cfg: &ServeConfig,
+        delta: &WindowDelta,
+        as_of_batch: u64,
+        window_end: u32,
+        tracer: Option<&Tracer>,
+    ) -> ReclusterOutcome {
+        let force_full =
+            cfg.full_recluster_every > 0 && self.increments >= cfg.full_recluster_every;
+        let request = match (&self.memo, force_full) {
+            (Some(memo), false) => {
+                ReclusterRequest::incremental(workload, blacklist, cfg, memo, delta)
+            }
+            _ => ReclusterRequest::full(workload, blacklist, cfg),
+        }
+        .stamped(as_of_batch, window_end)
+        .with_tracer(tracer);
+        let mut outcome = request.run();
+        match outcome.mode {
+            ReclusterMode::Incremental => self.increments += 1,
+            ReclusterMode::Full => self.increments = 0,
+        }
+        self.memo = outcome.memo.take();
+        outcome
+    }
+}
+
+/// Merges one outcome's engine-side reports into a telemetry block and
+/// health monitor — the bookkeeping tail shared by every trigger owner.
+pub(crate) fn absorb_outcome(
+    telemetry: &Telemetry,
+    health: &HealthMonitor,
+    outcome: &ReclusterOutcome,
+) {
+    telemetry.merge_gpu(&outcome.report.gpu_counters);
+    telemetry.merge_kernel_profile(&outcome.report.kernel_profile);
+    telemetry
+        .engine_retries
+        .fetch_add(u64::from(outcome.resilience.retries), Ordering::Relaxed);
+    telemetry.engine_degradations.fetch_add(
+        u64::from(outcome.resilience.degradations),
+        Ordering::Relaxed,
+    );
+    telemetry
+        .iterations_salvaged
+        .fetch_add(outcome.resilience.iterations_salvaged, Ordering::Relaxed);
+    if let Some(tier) = outcome.resilience.tier {
+        health.set_engine_tier(tier);
+    }
+    telemetry.record_recluster_outcome(
+        outcome.mode == ReclusterMode::Incremental,
+        outcome.frontier as u64,
+    );
+}
+
+/// Scores the converged program and resolves everything to plain user
+/// ids — the snapshot-assembly tail shared by both recluster paths.
+fn assemble_snapshot(
+    workload: &WindowWorkload,
+    cfg: &ServeConfig,
+    prog: &WeightedLp,
+    seeds: &[VertexId],
+    report: &LpRunReport,
+    as_of_batch: u64,
+    window_end: u32,
+) -> VerdictSnapshot {
     let pipe = FraudPipeline::new(cfg.pipeline.clone());
-    let clusters = pipe.score(workload, &prog, &seeds);
+    let clusters = pipe.score(workload, prog, seeds);
 
     let vertex_user: HashMap<VertexId, u32> =
         workload.user_vertex.iter().map(|(&u, &v)| (v, u)).collect();
@@ -93,7 +504,7 @@ pub fn recluster(
     let mut known_users: Vec<u32> = workload.user_vertex.keys().copied().collect();
     known_users.sort_unstable();
 
-    let snapshot = VerdictSnapshot {
+    VerdictSnapshot {
         window_end,
         as_of_batch,
         known_users,
@@ -102,15 +513,14 @@ pub fn recluster(
         graph_edges: workload.graph.num_edges(),
         lp_iterations: report.iterations,
         gpu_counters: report.gpu_counters,
-    };
-    (snapshot, report, engine.resilience().clone())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::query::Verdict;
-    use glp_fraud::{TxConfig, TxStream};
+    use glp_fraud::{IncrementalWindow, Transaction, TxConfig, TxStream};
 
     fn stream() -> TxStream {
         TxStream::generate(&TxConfig {
@@ -131,15 +541,20 @@ mod tests {
         let s = stream();
         let cfg = ServeConfig::default().with_window_days(20);
         let workload = WindowWorkload::build(&s, 20);
-        let (snap, report, resilience) =
-            recluster(&workload, &s.blacklist, &cfg, 3, s.config.days, None);
+        let outcome = ReclusterRequest::full(&workload, &s.blacklist, &cfg)
+            .stamped(3, s.config.days)
+            .run();
+        let snap = &outcome.snapshot;
         assert_eq!(snap.as_of_batch, 3);
         assert_eq!(snap.window_end, s.config.days);
-        assert!(report.iterations > 0);
+        assert!(outcome.report.iterations > 0);
+        assert_eq!(outcome.mode, ReclusterMode::Full);
+        assert_eq!(outcome.frontier, workload.graph.num_vertices());
+        assert!(outcome.memo.is_some(), "full runs capture a memo");
         // No faults injected: the run stays on the GPU tier untouched.
-        assert_eq!(resilience.tier, Some("GLP"));
-        assert_eq!(resilience.retries, 0);
-        assert_eq!(resilience.degradations, 0);
+        assert_eq!(outcome.resilience.tier, Some("GLP"));
+        assert_eq!(outcome.resilience.retries, 0);
+        assert_eq!(outcome.resilience.degradations, 0);
         assert!(snap.num_flagged() > 0, "rings should be flagged");
         // Flagged users are real ring members far more often than not.
         let hits = snap
@@ -163,8 +578,78 @@ mod tests {
         let s = stream();
         let cfg = ServeConfig::default().with_window_days(15);
         let workload = WindowWorkload::build(&s, 15);
-        let (a, _, _) = recluster(&workload, &s.blacklist, &cfg, 0, s.config.days, None);
-        let (b, _, _) = recluster(&workload, &s.blacklist, &cfg, 7, s.config.days, None);
-        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        let a = ReclusterRequest::full(&workload, &s.blacklist, &cfg)
+            .stamped(0, s.config.days)
+            .run();
+        let b = ReclusterRequest::full(&workload, &s.blacklist, &cfg)
+            .stamped(7, s.config.days)
+            .run();
+        assert_eq!(a.snapshot.canonical_bytes(), b.snapshot.canonical_bytes());
+    }
+
+    #[test]
+    fn incremental_replay_matches_full_byte_for_byte() {
+        let s = stream();
+        // Frontier cap wide open: this test pins byte-identity, and a
+        // third-of-a-day chunk can touch more than the default fraction.
+        let mut cfg = ServeConfig::default().with_window_days(10);
+        cfg.delta_fraction_max = 1.0;
+        let mut window = IncrementalWindow::empty(10);
+        let day0: Vec<Transaction> = s.window(0, 1).copied().collect();
+        window.apply_batch(&day0);
+        let (w0, _) = window.materialize_delta();
+        let first = ReclusterRequest::full(&w0, &s.blacklist, &cfg)
+            .stamped(1, window.end())
+            .run();
+        let mut memo = first.memo.expect("full run captures a memo");
+
+        // Grow the window batch by batch within the same day range and
+        // recluster incrementally each time; a forced-full request over
+        // the identical workload must publish identical bytes.
+        let day1: Vec<Transaction> = s.window(1, 2).copied().collect();
+        for (i, chunk) in day1.chunks(day1.len().div_ceil(3)).enumerate() {
+            window.apply_batch(chunk);
+            let (w, delta) = window.materialize_delta();
+            let inc = ReclusterRequest::incremental(&w, &s.blacklist, &cfg, &memo, &delta)
+                .stamped(2 + i as u64, window.end())
+                .run();
+            assert_eq!(inc.mode, ReclusterMode::Incremental, "chunk {i}");
+            assert_eq!(inc.resilience.tier, Some("DeltaReplay"));
+            assert!(inc.frontier > 0 && inc.frontier < w.graph.num_vertices());
+            let full = ReclusterRequest::full(&w, &s.blacklist, &cfg)
+                .stamped(2 + i as u64, window.end())
+                .run();
+            assert_eq!(
+                inc.snapshot.canonical_bytes(),
+                full.snapshot.canonical_bytes(),
+                "incremental != full at chunk {i}"
+            );
+            assert_eq!(inc.report.iterations, full.report.iterations);
+            memo = inc.memo.expect("replay always yields a memo");
+        }
+    }
+
+    #[test]
+    fn ineligible_warm_starts_fall_back_to_full() {
+        let s = stream();
+        let cfg = ServeConfig::default().with_window_days(10);
+        let mut window = IncrementalWindow::empty(10);
+        window.apply_batch(&s.window(0, 1).copied().collect::<Vec<_>>());
+        let (w0, d0) = window.materialize_delta();
+        assert!(d0.expired, "first delta has no baseline");
+        // An expired delta must not seed a replay even with a memo.
+        let full = ReclusterRequest::full(&w0, &s.blacklist, &cfg).run();
+        let memo = full.memo.unwrap();
+        let out = ReclusterRequest::incremental(&w0, &s.blacklist, &cfg, &memo, &d0).run();
+        assert_eq!(out.mode, ReclusterMode::Full);
+
+        // A frontier over delta_fraction_max forces full too.
+        window.apply_batch(&s.window(1, 2).copied().collect::<Vec<_>>());
+        let (w1, d1) = window.materialize_delta();
+        assert!(!d1.expired);
+        let mut strict = cfg.clone();
+        strict.delta_fraction_max = 0.0;
+        let out = ReclusterRequest::incremental(&w1, &s.blacklist, &strict, &memo, &d1).run();
+        assert_eq!(out.mode, ReclusterMode::Full);
     }
 }

@@ -64,7 +64,7 @@
 //! (`wal_truncate_on_checkpoint`).
 
 use crate::config::FleetConfig;
-use crate::exchange::{reconcile, ExchangeReport, FleetSnapshot};
+use crate::exchange::{reconcile_with, BoundaryCache, ExchangeReport, FleetSnapshot};
 #[cfg(feature = "fault-injection")]
 use crate::faults::FaultPlan;
 use crate::health::{
@@ -73,6 +73,7 @@ use crate::health::{
 use crate::ingest::{ingest_pair, Batcher, Closed, IngestGate, Submitted};
 use crate::partition::Partitioner;
 use crate::query::{FraudScorer, Verdict, VerdictSnapshot};
+use crate::recluster::{ReclusterMode, ReclusterRun};
 use crate::shard::ShardCore;
 use crate::supervisor::{
     panic_message, supervise, RestartPolicy, WorkerExit, WorkerOutcome, WorkerStatus,
@@ -93,11 +94,15 @@ use std::time::{Duration, Instant};
 /// What one [`FleetCore::exchange_now`] round cost and found.
 #[derive(Clone, Debug)]
 pub struct ExchangeOutcome {
-    /// Wall seconds of each shard's pre-exchange local recluster (0 for
-    /// a down shard). On real hardware the shards recluster in
-    /// parallel, so the modeled parallel cost of the round is
-    /// `max(shard_walls)` — the accounting the scaling bench uses.
-    pub shard_walls: Vec<f64>,
+    /// What each shard's pre-exchange local recluster ran (a down shard
+    /// contributes a zero-wall, zero-frontier `Full` placeholder). On
+    /// real hardware the shards recluster in parallel, so the modeled
+    /// parallel cost of the round is the max of the shard walls — the
+    /// accounting the scaling bench uses.
+    pub shard_runs: Vec<ReclusterRun>,
+    /// What the boundary recluster ran, when one was needed (`None`
+    /// when no component spans shards).
+    pub boundary_run: Option<ReclusterRun>,
     /// Wall seconds of the boundary reconciliation itself (union-find,
     /// merge, boundary LP, assembly).
     pub exchange_wall: f64,
@@ -259,6 +264,12 @@ pub struct FleetCore {
     /// every batch would fail identically, so the shard stays shed until
     /// a process-level recovery.
     failover_blocked: Vec<AtomicBool>,
+    /// Carry-over state of the boundary recluster, letting consecutive
+    /// exchange rounds go incremental when the spanning set only grew
+    /// (see [`BoundaryCache`]). A stale cache is safe — its prefix check
+    /// falls back to a full boundary recluster — so recovery paths never
+    /// need to reset it.
+    boundary: Mutex<BoundaryCache>,
     #[cfg(feature = "fault-injection")]
     faults: Option<Arc<FaultPlan>>,
 }
@@ -421,6 +432,7 @@ impl FleetCore {
         }));
         let durable = (0..shards.len()).map(|_| AtomicU64::new(0)).collect();
         let failover_blocked = (0..shards.len()).map(|_| AtomicBool::new(false)).collect();
+        let boundary = Mutex::new(BoundaryCache::new(cfg.shard.window_days));
         Self {
             cfg,
             partitioner,
@@ -436,6 +448,7 @@ impl FleetCore {
             durable,
             failover_log: Mutex::new(Vec::new()),
             failover_blocked,
+            boundary,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -607,17 +620,24 @@ impl FleetCore {
         self.apply(&batch)
     }
 
-    /// Runs every live shard's local recluster, returning each wall
-    /// time in seconds (0 for a down shard). Shards run sequentially on
-    /// this thread — each wall is measured in isolation, so a parallel
-    /// deployment's round cost is modeled as `max` of the returned
-    /// walls (the scaling bench's accounting).
-    pub fn recluster_shards_now(&self) -> Vec<f64> {
+    /// Triggers every live shard's local recluster synchronously,
+    /// returning one [`ReclusterRun`] per shard — the fleet's analogue
+    /// of [`ServiceCore::recluster_now`](crate::service::ServiceCore::recluster_now),
+    /// sharing its name and per-run shape. A down shard contributes a
+    /// zero-wall, zero-frontier `Full` placeholder. Shards run
+    /// sequentially on this thread — each wall is measured in
+    /// isolation, so a parallel deployment's round cost is modeled as
+    /// `max` of the returned walls (the scaling bench's accounting).
+    pub fn recluster_now(&self) -> Vec<ReclusterRun> {
         self.shards
             .iter()
             .map(|s| {
                 if s.health().is_down() {
-                    0.0
+                    ReclusterRun {
+                        mode: ReclusterMode::Full,
+                        wall_seconds: 0.0,
+                        frontier: 0,
+                    }
                 } else {
                     s.recluster_now()
                 }
@@ -630,7 +650,7 @@ impl FleetCore {
     /// fleet snapshot. Down shards contribute nothing — their keyspace
     /// is missing from the fleet snapshot until they are restored.
     pub fn exchange_now(&self) -> ExchangeOutcome {
-        let shard_walls = self.recluster_shards_now();
+        let shard_runs = self.recluster_now();
         let started = Instant::now();
         let mut frames = Vec::new();
         let mut locals: Vec<Arc<VerdictSnapshot>> = Vec::new();
@@ -643,14 +663,23 @@ impl FleetCore {
         }
         let end = self.window_end.load(Ordering::Acquire);
         let as_of = self.batches_applied();
-        let r = reconcile(
+        let mut boundary = self.boundary.lock().unwrap_or_else(|e| e.into_inner());
+        let r = reconcile_with(
             &frames,
             &locals,
             &self.cfg.shard,
             &self.blacklist,
             end,
             as_of,
+            Some(&mut boundary),
         );
+        drop(boundary);
+        if let Some(run) = &r.boundary_run {
+            self.telemetry.record_recluster_outcome(
+                run.mode == ReclusterMode::Incremental,
+                run.frontier as u64,
+            );
+        }
         if let Some((run, resilience)) = &r.lp {
             self.telemetry.merge_gpu(&run.gpu_counters);
             self.telemetry.merge_kernel_profile(&run.kernel_profile);
@@ -678,7 +707,8 @@ impl FleetCore {
             .record(exchange_wall.as_nanos() as u64);
         self.health.record_progress("exchange");
         ExchangeOutcome {
-            shard_walls,
+            shard_runs,
+            boundary_run: r.boundary_run,
             exchange_wall: exchange_wall.as_secs_f64(),
             report: r.report,
         }
@@ -1252,6 +1282,16 @@ impl ShardRouter {
         self.core.health()
     }
 
+    /// Triggers every live shard's local recluster synchronously,
+    /// returning one [`ReclusterRun`] per shard — the threaded shell's
+    /// spelling of [`FleetCore::recluster_now`], sharing the fleet-wide
+    /// trigger name and return shape. Each shard's warm-state lock
+    /// serializes this with its recluster worker, so a forced run never
+    /// races a scheduled one.
+    pub fn recluster_now(&self) -> Vec<ReclusterRun> {
+        self.core.recluster_now()
+    }
+
     /// Asks the exchange worker for a reconciliation round now
     /// (coalesces if one is pending).
     pub fn force_exchange(&self) {
@@ -1413,7 +1453,11 @@ mod tests {
         }
         let outcome = core.exchange_now();
         assert!(outcome.report.spanning_components > 0);
-        assert_eq!(outcome.shard_walls.len(), 2);
+        assert_eq!(outcome.shard_runs.len(), 2);
+        assert!(
+            outcome.boundary_run.is_some(),
+            "spanning components need a boundary recluster"
+        );
         let snap = core.fleet_snapshot();
         assert_eq!(snap.verdicts.window_end, s.config.days);
         assert!(snap.verdicts.num_flagged() > 0, "rings should be flagged");

@@ -38,7 +38,7 @@ use crate::faults::FaultPlan;
 use crate::health::{HealthMonitor, HealthReport, HealthState, HealthThresholds};
 use crate::ingest::{ingest_pair, Batcher, Closed, IngestGate, Submitted};
 use crate::query::{FraudScorer, Verdict, VerdictSnapshot};
-use crate::recluster::recluster;
+use crate::recluster::{absorb_outcome, ReclusterMode, ReclusterRun, WarmState};
 use crate::supervisor::{supervise, RestartPolicy, WorkerExit, WorkerOutcome, WorkerStatus};
 use crate::swap::EpochCell;
 use crate::telemetry::Telemetry;
@@ -57,6 +57,9 @@ use std::time::Instant;
 pub struct ServiceCore {
     cfg: ServeConfig,
     window: Mutex<IncrementalWindow>,
+    /// Warm-start state; the lock also serializes reclusters, so at most
+    /// one LP run consumes/produces the memo at a time.
+    recluster: Mutex<WarmState>,
     blacklist: Vec<u32>,
     verdicts: EpochCell<VerdictSnapshot>,
     telemetry: Arc<Telemetry>,
@@ -133,6 +136,7 @@ impl ServiceCore {
         Self {
             window_end: Arc::new(AtomicU32::new(window.end())),
             window: Mutex::new(window),
+            recluster: Mutex::new(WarmState::default()),
             cfg,
             blacklist,
             verdicts: EpochCell::with_epoch(initial, snapshot_epoch),
@@ -299,54 +303,57 @@ impl ServiceCore {
         self.apply(&batch)
     }
 
-    /// Materializes the current window, reclusters it, and publishes the
-    /// verdict snapshot. The window lock is held only for the
-    /// materialization (a replay of the live log); LP and scoring run on
-    /// the private copy.
-    pub fn recluster_now(&self) {
+    /// Materializes the current window (with its delta), reclusters it —
+    /// incrementally when the previous run's memo covers the delta, from
+    /// scratch otherwise or every [`ServeConfig::full_recluster_every`]
+    /// incremental runs — and publishes the verdict snapshot. The window
+    /// lock is held only for the materialization (a replay of the live
+    /// log); LP and scoring run on the private copy. Returns what ran:
+    /// the mode, the wall seconds, and the frontier the LP consumed.
+    pub fn recluster_now(&self) -> ReclusterRun {
         let started = Instant::now();
         if let Some(t) = &self.tracer {
             t.begin(Category::Serve, "recluster", Clock::Wall, self.trace_now());
         }
-        let (workload, window_end, as_of) = {
-            let w = self.window.lock().unwrap_or_else(|e| e.into_inner());
+        // The warm-start lock is held across the whole run: concurrent
+        // reclusters serialize, so each consumes the memo of the run
+        // directly before it.
+        let mut st = self.recluster.lock().unwrap_or_else(|e| e.into_inner());
+        let (workload, delta, window_end, as_of) = {
+            let mut w = self.window.lock().unwrap_or_else(|e| e.into_inner());
+            let (workload, delta) = w.materialize_delta();
             (
-                w.materialize(),
+                workload,
+                delta,
                 w.end(),
                 self.batches_applied.load(Ordering::Relaxed),
             )
         };
+        let mut mode = ReclusterMode::Full;
+        let mut frontier = 0usize;
         let snapshot = if workload.graph.num_vertices() == 0 {
-            // Nothing to cluster yet: publish the empty scoring.
+            // Nothing to cluster yet: publish the empty scoring. No LP
+            // ran, so no memo and no incremental/full decision recorded.
+            st.reset();
             VerdictSnapshot {
                 window_end,
                 as_of_batch: as_of,
                 ..VerdictSnapshot::default()
             }
         } else {
-            let (snapshot, report, resilience) = recluster(
+            let outcome = st.run(
                 &workload,
                 &self.blacklist,
                 &self.cfg,
+                &delta,
                 as_of,
                 window_end,
                 self.tracer.as_ref(),
             );
-            self.telemetry.merge_gpu(&report.gpu_counters);
-            self.telemetry.merge_kernel_profile(&report.kernel_profile);
-            self.telemetry
-                .engine_retries
-                .fetch_add(u64::from(resilience.retries), Ordering::Relaxed);
-            self.telemetry
-                .engine_degradations
-                .fetch_add(u64::from(resilience.degradations), Ordering::Relaxed);
-            self.telemetry
-                .iterations_salvaged
-                .fetch_add(resilience.iterations_salvaged, Ordering::Relaxed);
-            if let Some(tier) = resilience.tier {
-                self.health.set_engine_tier(tier);
-            }
-            snapshot
+            absorb_outcome(&self.telemetry, &self.health, &outcome);
+            mode = outcome.mode;
+            frontier = outcome.frontier;
+            outcome.snapshot
         };
         if let Some(t) = &self.tracer {
             t.begin(Category::Serve, "swap", Clock::Wall, self.trace_now());
@@ -361,6 +368,11 @@ impl ServiceCore {
             .record(started.elapsed().as_nanos() as u64);
         if let Some(t) = &self.tracer {
             t.end(self.trace_now()); // recluster
+        }
+        ReclusterRun {
+            mode,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            frontier,
         }
     }
 
@@ -598,10 +610,14 @@ impl FraudService {
         self.core.health()
     }
 
-    /// Asks the recluster thread for a fresh snapshot now. Coalesces
-    /// (counted) if one is already pending.
-    pub fn force_recluster(&self) {
-        request_recluster(&self.core, &self.recluster_tx);
+    /// Runs a recluster on the caller's thread right now and reports
+    /// what ran — the same trigger name and return type as
+    /// [`ServiceCore::recluster_now`] and the fleet's
+    /// [`FleetCore::recluster_now`](crate::router::FleetCore::recluster_now).
+    /// The warm-start lock serializes this with the recluster worker, so
+    /// a forced run never races a scheduled one.
+    pub fn recluster_now(&self) -> ReclusterRun {
+        self.core.recluster_now()
     }
 
     /// Stops the service: closes the ingest queue, lets the batcher

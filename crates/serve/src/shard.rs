@@ -28,7 +28,7 @@ use crate::config::ServeConfig;
 use crate::exchange::ShardFrame;
 use crate::health::{HealthMonitor, HealthThresholds};
 use crate::query::VerdictSnapshot;
-use crate::recluster::recluster;
+use crate::recluster::{absorb_outcome, ReclusterMode, ReclusterRun, WarmState};
 use crate::swap::EpochCell;
 use crate::telemetry::Telemetry;
 use glp_fraud::checkpoint::{CheckpointError, WindowCheckpoint};
@@ -57,6 +57,9 @@ pub struct ShardCore {
     cfg: ServeConfig,
     blacklist: Vec<u32>,
     state: Mutex<ShardState>,
+    /// Warm-start state for this shard's sub-window reclusters; the lock
+    /// serializes them (scheduled cadence vs failover rebuild).
+    recluster: Mutex<WarmState>,
     verdicts: EpochCell<VerdictSnapshot>,
     telemetry: Arc<Telemetry>,
     health: Arc<HealthMonitor>,
@@ -140,6 +143,7 @@ impl ShardCore {
             cfg,
             blacklist,
             state: Mutex::new(ShardState { window, seqs }),
+            recluster: Mutex::new(WarmState::default()),
             verdicts: EpochCell::with_epoch(initial, snapshot_epoch),
             telemetry,
             health,
@@ -227,57 +231,59 @@ impl ShardCore {
         self.batches_applied.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Materializes this shard's window, reclusters it, and publishes
-    /// the shard-local snapshot. Returns the wall seconds the recluster
-    /// took — the quantity the scaling bench combines as
-    /// `max(shard walls)` to model shards running in parallel on
-    /// hardware this container does not have.
-    pub fn recluster_now(&self) -> f64 {
+    /// Materializes this shard's window (with its delta), reclusters it
+    /// — incrementally when the shard's previous memo covers the delta —
+    /// and publishes the shard-local snapshot. Returns what ran; the
+    /// run's `wall_seconds` replaces the old bare-`f64` return and is
+    /// the quantity the scaling bench combines as `max(shard walls)` to
+    /// model shards running in parallel on hardware this container does
+    /// not have.
+    pub fn recluster_now(&self) -> ReclusterRun {
         let started = Instant::now();
-        let (workload, window_end, as_of) = {
-            let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.recluster.lock().unwrap_or_else(|e| e.into_inner());
+        let (workload, delta, window_end, as_of) = {
+            let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            let (workload, delta) = s.window.materialize_delta();
             (
-                s.window.materialize(),
+                workload,
+                delta,
                 s.window.end(),
                 self.batches_applied.load(Ordering::Relaxed),
             )
         };
+        let mut mode = ReclusterMode::Full;
+        let mut frontier = 0usize;
         let snapshot = if workload.graph.num_vertices() == 0 {
+            st.reset();
             VerdictSnapshot {
                 window_end,
                 as_of_batch: as_of,
                 ..VerdictSnapshot::default()
             }
         } else {
-            let (snapshot, report, resilience) = recluster(
+            let outcome = st.run(
                 &workload,
                 &self.blacklist,
                 &self.cfg,
+                &delta,
                 as_of,
                 window_end,
                 None,
             );
-            self.telemetry.merge_gpu(&report.gpu_counters);
-            self.telemetry.merge_kernel_profile(&report.kernel_profile);
-            self.telemetry
-                .engine_retries
-                .fetch_add(u64::from(resilience.retries), Ordering::Relaxed);
-            self.telemetry
-                .engine_degradations
-                .fetch_add(u64::from(resilience.degradations), Ordering::Relaxed);
-            self.telemetry
-                .iterations_salvaged
-                .fetch_add(resilience.iterations_salvaged, Ordering::Relaxed);
-            if let Some(tier) = resilience.tier {
-                self.health.set_engine_tier(tier);
-            }
-            snapshot
+            absorb_outcome(&self.telemetry, &self.health, &outcome);
+            mode = outcome.mode;
+            frontier = outcome.frontier;
+            outcome.snapshot
         };
         self.verdicts.publish(snapshot);
         self.telemetry.reclusters.fetch_add(1, Ordering::Relaxed);
         let wall = started.elapsed();
         self.telemetry.recluster_wall.record(wall.as_nanos() as u64);
-        wall.as_secs_f64()
+        ReclusterRun {
+            mode,
+            wall_seconds: wall.as_secs_f64(),
+            frontier,
+        }
     }
 
     /// A consistent copy of this shard's log with its sequence stamps —
@@ -353,6 +359,14 @@ impl ShardCore {
         s.window = window;
         s.seqs = seqs;
         drop(s);
+        // The old memo describes the discarded window; the next
+        // recluster must run full. (The rebuilt window's first delta
+        // reports `expired` anyway — this keeps the drift counter honest
+        // too.)
+        self.recluster
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .reset();
         self.batches_applied
             .store(batches_applied, Ordering::Relaxed);
     }

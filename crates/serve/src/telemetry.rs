@@ -254,6 +254,11 @@ pub struct Telemetry {
     pub wal_replayed_batches: AtomicU64,
     /// Journal segments deleted because checkpoints made them redundant.
     pub wal_truncations: AtomicU64,
+    /// Reclusters that ran the incremental delta-replay path.
+    pub reclusters_incremental: AtomicU64,
+    /// Reclusters that ran from scratch (ineligible delta, drift cap, or
+    /// no warm start available).
+    pub reclusters_full: AtomicU64,
     /// Submit → batch-apply latency per transaction (ns).
     pub ingest_lag: Histogram,
     /// Applied micro-batch sizes (transactions).
@@ -262,6 +267,10 @@ pub struct Telemetry {
     pub recluster_wall: Histogram,
     /// Query latency (ns).
     pub query_latency: Histogram,
+    /// Delta-frontier sizes (vertices recomputed at iteration 0) of
+    /// every recluster that ran LP — the whole graph for full runs, the
+    /// touched set for incremental ones.
+    pub delta_frontier: Histogram,
     /// GPU event totals summed over every recluster's LP run.
     pub gpu_totals: Mutex<KernelCounters>,
     /// Per-kernel launch aggregation (count / total / p50 / max modeled
@@ -294,6 +303,18 @@ impl Telemetry {
             .merge(profile);
     }
 
+    /// Records one recluster's path decision and the frontier it
+    /// consumed — called once per recluster that actually ran LP (the
+    /// empty-window shortcut records nothing).
+    pub fn record_recluster_outcome(&self, incremental: bool, frontier: u64) {
+        if incremental {
+            self.reclusters_incremental.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.reclusters_full.fetch_add(1, Ordering::Relaxed);
+        }
+        self.delta_frontier.record(frontier);
+    }
+
     /// Total transactions shed under either queue policy (validation and
     /// health shedding are counted separately — see
     /// [`Self::rejected_invalid`] and [`Self::shed_unhealthy`]).
@@ -324,7 +345,7 @@ impl Telemetry {
 
     /// Checkpoint counter order. Append-only: new counters go at the
     /// end so old checkpoints keep restoring.
-    fn counter_cells(&self) -> [&AtomicU64; 18] {
+    fn counter_cells(&self) -> [&AtomicU64; 20] {
         [
             &self.ingested,
             &self.shed_dropped_oldest,
@@ -344,6 +365,8 @@ impl Telemetry {
             &self.wal_appended_batches,
             &self.wal_replayed_batches,
             &self.wal_truncations,
+            &self.reclusters_incremental,
+            &self.reclusters_full,
         ]
     }
 
@@ -391,10 +414,13 @@ impl Telemetry {
             "wal_appended_batches": self.wal_appended_batches.load(Ordering::Relaxed),
             "wal_replayed_batches": self.wal_replayed_batches.load(Ordering::Relaxed),
             "wal_truncations": self.wal_truncations.load(Ordering::Relaxed),
+            "reclusters_incremental": self.reclusters_incremental.load(Ordering::Relaxed),
+            "reclusters_full": self.reclusters_full.load(Ordering::Relaxed),
             "ingest_lag_ns": self.ingest_lag.to_json(),
             "batch_size": self.batch_size.to_json(),
             "recluster_wall_ns": self.recluster_wall.to_json(),
             "query_latency_ns": self.query_latency.to_json(),
+            "delta_frontier": self.delta_frontier.to_json(),
             "gpu": serde_json::json!({
                 "global_read_sectors": gpu.global_read_sectors,
                 "global_write_sectors": gpu.global_write_sectors,
@@ -418,6 +444,7 @@ impl Telemetry {
             batch_size: self.batch_size.snapshot(),
             recluster_wall: self.recluster_wall.snapshot(),
             query_latency: self.query_latency.snapshot(),
+            delta_frontier: self.delta_frontier.snapshot(),
             gpu_totals: *self.gpu_totals.lock().unwrap_or_else(|e| e.into_inner()),
             kernel_profile: self
                 .kernel_profile
@@ -430,7 +457,7 @@ impl Telemetry {
 
 /// Checkpoint-order counter names, parallel to
 /// `Telemetry::counter_cells` (append-only, like the cells).
-const COUNTER_NAMES: [&str; 18] = [
+const COUNTER_NAMES: [&str; 20] = [
     "ingested",
     "shed_dropped_oldest",
     "shed_rejected_new",
@@ -449,6 +476,8 @@ const COUNTER_NAMES: [&str; 18] = [
     "wal_appended_batches",
     "wal_replayed_batches",
     "wal_truncations",
+    "reclusters_incremental",
+    "reclusters_full",
 ];
 
 /// A point-in-time, plain-value copy of one core's [`Telemetry`]. The
@@ -473,6 +502,8 @@ pub struct TelemetrySnapshot {
     pub recluster_wall: HistogramSnapshot,
     /// Query latency (ns).
     pub query_latency: HistogramSnapshot,
+    /// Delta-frontier sizes of every recluster that ran LP.
+    pub delta_frontier: HistogramSnapshot,
     /// GPU event totals summed over every recluster's LP run.
     pub gpu_totals: KernelCounters,
     /// Per-kernel launch aggregation summed over every recluster.
@@ -494,6 +525,7 @@ impl TelemetrySnapshot {
         self.batch_size.merge(&other.batch_size);
         self.recluster_wall.merge(&other.recluster_wall);
         self.query_latency.merge(&other.query_latency);
+        self.delta_frontier.merge(&other.delta_frontier);
         self.gpu_totals.merge(&other.gpu_totals);
         self.kernel_profile.merge(&other.kernel_profile);
     }
@@ -535,6 +567,7 @@ impl TelemetrySnapshot {
             self.recluster_wall.to_json(),
         ));
         doc.push(("query_latency_ns".to_string(), self.query_latency.to_json()));
+        doc.push(("delta_frontier".to_string(), self.delta_frontier.to_json()));
         doc.push((
             "gpu".to_string(),
             serde_json::json!({
@@ -742,6 +775,8 @@ mod tests {
             "wal_appended_batches",
             "wal_replayed_batches",
             "wal_truncations",
+            "reclusters_incremental",
+            "reclusters_full",
             "batches",
             "reclusters",
             "queries",
@@ -749,6 +784,7 @@ mod tests {
             "batch_size",
             "recluster_wall_ns",
             "query_latency_ns",
+            "delta_frontier",
             "gpu",
             "kernel_profile",
         ] {

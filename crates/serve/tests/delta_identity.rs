@@ -1,0 +1,216 @@
+//! Incremental ≡ full, pinned under randomized serving schedules.
+//!
+//! The incremental recluster path's whole contract is that every
+//! published snapshot is **byte-identical** to what a from-scratch
+//! recluster of the same window would publish. This suite drives
+//! seeded-random batch sequences — random micro-batch sizes, random
+//! recluster points, day advances that cross expiry boundaries, drift
+//! caps that force full runs mid-stream — through paired cores: one
+//! allowed to replay incrementally, one pinned to from-scratch
+//! reclusters (`delta_fraction_max = 0.0`). Every published snapshot of
+//! the pair must agree byte for byte, including at every forced-fallback
+//! boundary, and the incremental core must have actually gone
+//! incremental (the counters prove it).
+//!
+//! No external property-testing crate: a splitmix64 generator seeds the
+//! schedules, so every failure reproduces from its printed seed.
+
+use glp_fraud::Transaction;
+use glp_serve::{FleetConfig, FleetCore, Partitioner, ReclusterMode, ServeConfig, ServiceCore};
+use glp_test_support::{regional_stream, tx_stream};
+
+/// Deterministic splitmix64 — enough randomness to vary schedules,
+/// seeded so failures replay exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo)
+    }
+}
+
+/// One seeded schedule: micro-batch sizes in `[50, 550)` and whether to
+/// recluster after each batch (~1 in 3), identical for both cores of a
+/// pair.
+fn schedule(seed: u64, total: usize) -> Vec<(usize, bool)> {
+    let mut rng = Rng(seed);
+    let mut plan = Vec::new();
+    let mut used = 0;
+    while used < total {
+        let size = rng.range(50, 550).min(total - used);
+        used += size;
+        plan.push((size, rng.range(0, 3) == 0));
+    }
+    plan
+}
+
+/// Drives one `ServiceCore` through the shared fraud stream under the
+/// seeded schedule, returning every published snapshot's canonical
+/// bytes plus how many runs went incremental/full.
+fn run_single(seed: u64, cfg: ServeConfig) -> (Vec<Vec<u8>>, u64, u64) {
+    let s = tx_stream();
+    let core = ServiceCore::new(cfg, s.blacklist.clone());
+    let all: Vec<Transaction> = s.window(0, s.config.days).copied().collect();
+    let mut snapshots = Vec::new();
+    let (mut incremental, mut full) = (0u64, 0u64);
+    let mut offset = 0;
+    for (size, recluster) in schedule(seed, all.len()) {
+        core.apply_transactions(&all[offset..offset + size]);
+        offset += size;
+        if recluster {
+            match core.recluster_now().mode {
+                ReclusterMode::Incremental => incremental += 1,
+                ReclusterMode::Full => full += 1,
+            }
+            snapshots.push(core.snapshot().canonical_bytes());
+        }
+    }
+    core.recluster_now();
+    snapshots.push(core.snapshot().canonical_bytes());
+    (snapshots, incremental, full)
+}
+
+/// The paired configs: the incremental core accepts any frontier, the
+/// reference core is pinned to from-scratch reclusters.
+fn pair(mutate: impl Fn(&mut ServeConfig)) -> (ServeConfig, ServeConfig) {
+    // A 6-day window over the 20-day stream crosses many expiry
+    // boundaries, each a forced-fallback point the identity must survive.
+    let mut inc = ServeConfig::default().with_window_days(6);
+    inc.delta_fraction_max = 1.0;
+    mutate(&mut inc);
+    let mut full = inc.clone();
+    full.delta_fraction_max = 0.0;
+    (inc, full)
+}
+
+#[test]
+fn random_schedules_publish_identical_bytes() {
+    for seed in [0x5EED_0001u64, 0x5EED_0002, 0x5EED_0003] {
+        let (inc_cfg, full_cfg) = pair(|_| {});
+        let (inc_snaps, incremental, _) = run_single(seed, inc_cfg);
+        let (full_snaps, went_incremental, _) = run_single(seed, full_cfg);
+        assert!(inc_snaps.len() > 3, "seed {seed:#x}: too few snapshots");
+        assert_eq!(
+            inc_snaps, full_snaps,
+            "seed {seed:#x}: incremental and from-scratch snapshots diverged"
+        );
+        assert!(
+            incremental > 0,
+            "seed {seed:#x}: schedule never went incremental"
+        );
+        assert_eq!(
+            went_incremental, 0,
+            "seed {seed:#x}: the pinned core must never replay"
+        );
+    }
+}
+
+#[test]
+fn drift_cap_fallbacks_stay_identical() {
+    // full_recluster_every = 2 forces a from-scratch run after every
+    // second replay — the drift-cap boundary must be invisible in the
+    // published bytes, and both modes must actually occur.
+    let seed = 0x5EED_00CAu64;
+    let (inc_cfg, full_cfg) = pair(|c| c.full_recluster_every = 2);
+    let (inc_snaps, incremental, full) = run_single(seed, inc_cfg);
+    let (full_snaps, _, _) = run_single(seed, full_cfg);
+    assert_eq!(inc_snaps, full_snaps, "drift-cap fallback changed bytes");
+    assert!(incremental > 0 && full > 0, "both modes must occur");
+}
+
+#[test]
+fn telemetry_counts_the_decisions() {
+    let (inc_cfg, _) = pair(|_| {});
+    let s = tx_stream();
+    let core = ServiceCore::new(inc_cfg, s.blacklist.clone());
+    let all: Vec<Transaction> = s.window(0, s.config.days).copied().collect();
+    for chunk in all.chunks(400) {
+        core.apply_transactions(chunk);
+        core.recluster_now();
+    }
+    let t = core.telemetry().snapshot();
+    assert!(
+        t.counter("reclusters_incremental") > 0,
+        "steady small batches must replay incrementally"
+    );
+    assert!(
+        t.counter("reclusters_full") > 0,
+        "expiry boundaries must fall back to full"
+    );
+    assert_eq!(
+        t.counter("reclusters_incremental") + t.counter("reclusters_full"),
+        (all.len() as u64).div_ceil(400),
+        "every recluster records exactly one mode decision"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fleet-level identity: the same randomized schedules through sharded
+// fleets at 1, 2, and 4 shards, incremental against pinned-full — the
+// delta path must also hold through routing, per-shard windows, and the
+// cached boundary recluster.
+// ---------------------------------------------------------------------
+
+/// Drives one fleet through the regional stream under the seeded
+/// schedule (exchange rounds at the schedule's recluster points),
+/// returning every published fleet snapshot's canonical bytes plus the
+/// fleet-wide incremental-recluster count.
+fn run_fleet(seed: u64, shards: usize, shard_cfg: ServeConfig) -> (Vec<Vec<u8>>, u64) {
+    let s = regional_stream();
+    let cfg = FleetConfig {
+        shards,
+        shard: shard_cfg,
+        ..FleetConfig::default()
+    };
+    let partitioner = Partitioner::with_communities(shards, 7, s.community_map());
+    let core = FleetCore::new(cfg, partitioner, s.blacklist.clone());
+    let all: Vec<Transaction> = s.window(0, s.config.days).copied().collect();
+    let mut snapshots = Vec::new();
+    let mut offset = 0;
+    for (size, exchange) in schedule(seed, all.len()) {
+        core.apply_transactions(&all[offset..offset + size]);
+        offset += size;
+        if exchange {
+            core.exchange_now();
+            snapshots.push(core.fleet_snapshot().verdicts.canonical_bytes());
+        }
+    }
+    core.exchange_now();
+    snapshots.push(core.fleet_snapshot().verdicts.canonical_bytes());
+    (
+        snapshots,
+        core.fleet_telemetry().counter("reclusters_incremental"),
+    )
+}
+
+#[test]
+fn fleet_random_schedules_publish_identical_bytes() {
+    let seed = 0x5EED_F1EEu64;
+    let mut inc = ServeConfig::default().with_window_days(8);
+    inc.delta_fraction_max = 1.0;
+    let mut full = inc.clone();
+    full.delta_fraction_max = 0.0;
+    for shards in [1usize, 2, 4] {
+        let (inc_snaps, incremental) = run_fleet(seed, shards, inc.clone());
+        let (full_snaps, pinned) = run_fleet(seed, shards, full.clone());
+        assert!(inc_snaps.len() > 2, "{shards} shards: too few snapshots");
+        assert_eq!(
+            inc_snaps, full_snaps,
+            "{shards} shards: incremental fleet diverged from pinned-full"
+        );
+        assert!(
+            incremental > 0,
+            "{shards} shards: fleet never went incremental"
+        );
+        assert_eq!(pinned, 0, "{shards} shards: pinned fleet must never replay");
+    }
+}
