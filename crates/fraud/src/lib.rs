@@ -10,6 +10,10 @@
 //! * [`transactions`] — a seeded e-commerce transaction generator with
 //!   injected fraud rings (the ground truth) and a partial blacklist (the
 //!   seeds).
+//! * [`adversary`] — an adversarial generator on top of the regional
+//!   stream: rings that rotate members per day, camouflage purchases,
+//!   timed burst floods, and blacklist label noise, each with per-day
+//!   ground truth.
 //! * [`window`] — sliding-window graph construction matching Table 4's
 //!   V/E growth shape at a configurable scale.
 //! * [`pipeline`] — the end-to-end pipeline with per-stage timing and
@@ -22,6 +26,7 @@
 //!   window (plus serving clocks), so a restarted service resumes from
 //!   its last checkpoint instead of an empty window.
 
+pub mod adversary;
 pub mod checkpoint;
 pub mod incremental;
 pub mod inhouse;
@@ -29,9 +34,12 @@ pub mod pipeline;
 pub mod transactions;
 pub mod window;
 
+pub use adversary::{AdversarialStream, AdversaryConfig};
 pub use checkpoint::{CheckpointError, WindowCheckpoint, CHECKPOINT_VERSION};
 pub use incremental::{IncrementalWindow, WindowDelta};
 pub use inhouse::InHouseLp;
-pub use pipeline::{FlaggedCluster, FraudPipeline, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    precision_recall, FlaggedCluster, FraudPipeline, PipelineConfig, PipelineReport,
+};
 pub use transactions::{RegionalStream, RegionalTxConfig, Transaction, TxConfig, TxStream};
 pub use window::{WindowSpec, WindowWorkload};

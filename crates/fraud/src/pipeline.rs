@@ -117,6 +117,35 @@ pub struct PipelineReport {
     pub lp_report: LpRunReport,
 }
 
+/// Precision and recall of a flagged user set against ground-truth
+/// positives (`truth`, ascending). Both sides are treated as sets
+/// (duplicates count once). Conservative empty-set conventions: no
+/// flagged users scores precision 0, no truth scores recall 0 — a
+/// detector that flags nothing, or a window with nothing to find,
+/// never reads as perfect. Shared by the offline [`PipelineReport`]
+/// and the serving detection probe.
+pub fn precision_recall(flagged: &[u32], truth: &[u32]) -> (f64, f64) {
+    let mut flagged: Vec<u32> = flagged.to_vec();
+    flagged.sort_unstable();
+    flagged.dedup();
+    debug_assert!(truth.windows(2).all(|w| w[0] < w[1]), "truth must ascend");
+    let true_pos = flagged
+        .iter()
+        .filter(|u| truth.binary_search(u).is_ok())
+        .count();
+    let precision = if flagged.is_empty() {
+        0.0
+    } else {
+        true_pos as f64 / flagged.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        0.0
+    } else {
+        true_pos as f64 / truth.len() as f64
+    };
+    (precision, recall)
+}
+
 /// The pipeline runner.
 #[derive(Clone, Debug)]
 pub struct FraudPipeline {
@@ -186,21 +215,7 @@ impl FraudPipeline {
             .iter()
             .flat_map(|c| c.users.iter().filter_map(|v| vertex_user.get(v).copied()))
             .collect();
-        let true_pos = flagged_users
-            .iter()
-            .filter(|&&u| stream.ring_of[u as usize].is_some())
-            .count();
-        let total_ring: usize = stream.fraudulent_users().len();
-        let precision = if flagged_users.is_empty() {
-            0.0
-        } else {
-            true_pos as f64 / flagged_users.len() as f64
-        };
-        let recall = if total_ring == 0 {
-            0.0
-        } else {
-            true_pos as f64 / total_ring as f64
-        };
+        let (precision, recall) = precision_recall(&flagged_users, &stream.fraudulent_users());
 
         Ok(PipelineReport {
             window_days: self.cfg.window_days,
@@ -381,6 +396,20 @@ mod tests {
             report.flagged.len()
         );
         assert!(report.precision > 0.6, "precision {}", report.precision);
+    }
+
+    #[test]
+    fn precision_recall_conventions() {
+        let truth = vec![2, 5, 9];
+        assert_eq!(precision_recall(&[], &truth), (0.0, 0.0));
+        assert_eq!(precision_recall(&[2, 5, 9], &truth), (1.0, 1.0));
+        let (p, r) = precision_recall(&[2, 3], &truth);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((r - 1.0 / 3.0).abs() < 1e-12);
+        // Sets, not lists: duplicates count once.
+        assert_eq!(precision_recall(&[2, 2, 2], &truth), (1.0, 1.0 / 3.0));
+        // Nothing to find: recall stays 0, not 1.
+        assert_eq!(precision_recall(&[1], &[]), (0.0, 0.0));
     }
 
     #[test]

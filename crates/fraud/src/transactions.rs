@@ -398,8 +398,9 @@ impl RegionalStream {
     }
 }
 
-/// Target items per fraud ring (both generators).
-const RING_ITEMS: u32 = 4;
+/// Target items per fraud ring (all generators, including
+/// [`crate::adversary`]).
+pub(crate) const RING_ITEMS: u32 = 4;
 
 /// Prefix sums of Zipf weights `1/(i+1)^skew`.
 fn zipf_prefix(n: u32, skew: f64) -> Vec<f64> {

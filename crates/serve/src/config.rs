@@ -96,6 +96,28 @@ pub struct ServeConfig {
     /// — the number of replays any published snapshot's provenance
     /// chains through — not correctness drift.
     pub full_recluster_every: u64,
+    /// Burst-detector evaluation window: the shed rate is evaluated once
+    /// per this many gate submissions (accepted or shed). 0 disables
+    /// burst detection.
+    pub burst_window: u64,
+    /// Shed rate (sheds / submissions over one evaluation window) at or
+    /// above which the detector enters *burst* mode: batching tightens
+    /// by [`Self::burst_batch_divisor`] and the health overlay reports
+    /// at least [`Degraded`](crate::HealthState::Degraded).
+    pub burst_shed_threshold: f64,
+    /// Shed rate below which an evaluation window counts as *calm*.
+    /// Strictly below [`Self::burst_shed_threshold`] — the gap is the
+    /// hysteresis band that stops the detector flapping on a load
+    /// hovering at the threshold.
+    pub burst_recover_threshold: f64,
+    /// Consecutive calm windows required to leave burst mode.
+    pub burst_recovery_windows: u32,
+    /// How much batching tightens during a burst: the effective batch
+    /// size cap and time budget are divided by this (floor 1
+    /// transaction / 1 ms), so the window drains in smaller, faster
+    /// batches while the flood lasts. Admission is *not* affected —
+    /// accepted-transaction sequences stay deterministic.
+    pub burst_batch_divisor: u32,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +142,11 @@ impl Default for ServeConfig {
             checkpoint_every_batches: 64,
             delta_fraction_max: 0.25,
             full_recluster_every: 32,
+            burst_window: 512,
+            burst_shed_threshold: 0.10,
+            burst_recover_threshold: 0.02,
+            burst_recovery_windows: 2,
+            burst_batch_divisor: 4,
         }
     }
 }
@@ -240,6 +267,14 @@ mod tests {
             cfg.full_recluster_every >= 1,
             "memo lineage is bounded by default"
         );
+        assert!(cfg.burst_window >= 1, "burst detection on by default");
+        assert!(
+            cfg.burst_recover_threshold < cfg.burst_shed_threshold,
+            "recovery threshold must sit below the entry threshold (hysteresis)"
+        );
+        assert!((0.0..=1.0).contains(&cfg.burst_shed_threshold));
+        assert!(cfg.burst_recovery_windows >= 1);
+        assert!(cfg.burst_batch_divisor >= 1);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! so the machine is trivially deterministic under fault injection.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Mutex;
 
 /// The four operational states, ordered by severity.
@@ -95,6 +95,7 @@ pub struct HealthMonitor {
     thresholds: HealthThresholds,
     last_panic: Mutex<Option<String>>,
     engine_tier: Mutex<Option<&'static str>>,
+    burst: AtomicBool,
 }
 
 impl HealthMonitor {
@@ -110,6 +111,7 @@ impl HealthMonitor {
             thresholds,
             last_panic: Mutex::new(None),
             engine_tier: Mutex::new(None),
+            burst: AtomicBool::new(false),
         }
     }
 
@@ -148,6 +150,21 @@ impl HealthMonitor {
     /// first snapshot is published).
     pub fn engine_tier(&self) -> Option<&'static str> {
         *self.engine_tier.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Raised and cleared by the burst detector (see
+    /// [`BurstState`](crate::ingest::BurstState)): while set, `health()`
+    /// overlays the crash-driven state to at least
+    /// [`HealthState::Degraded`] — the service is serving, but shedding
+    /// a burst flood and draining in tightened batches. The overlay never
+    /// reaches `Shedding`, so it cannot feed back into admission.
+    pub fn set_burst(&self, active: bool) {
+        self.burst.store(active, Ordering::Release);
+    }
+
+    /// Whether the burst overlay is currently raised.
+    pub fn burst_overlay(&self) -> bool {
+        self.burst.load(Ordering::Acquire)
     }
 
     /// The panic message of the most recent worker crash, if any.
@@ -395,6 +412,19 @@ mod tests {
         assert_eq!(m.engine_tier(), Some("GLP"));
         m.set_engine_tier("Sequential-BSP");
         assert_eq!(m.engine_tier(), Some("Sequential-BSP"));
+    }
+
+    #[test]
+    fn burst_overlay_flag_raises_and_clears() {
+        let m = monitor();
+        assert!(!m.burst_overlay());
+        m.set_burst(true);
+        assert!(m.burst_overlay());
+        // The crash-driven state is untouched — the overlay is applied by
+        // the core's `health()`, not stored in the machine.
+        assert_eq!(m.state(), HealthState::Healthy);
+        m.set_burst(false);
+        assert!(!m.burst_overlay());
     }
 
     #[test]

@@ -9,13 +9,23 @@
 //! time budget: under load batches fill to `max_batch` (amortizing the
 //! window lock), when traffic is thin the budget bounds how long a lone
 //! transaction waits before it is applied.
+//!
+//! A [`BurstState`] detector watches the gate's shed rate over fixed
+//! evaluation windows. When the rate crosses the configured threshold
+//! the service enters *burst* mode: the batcher tightens (smaller
+//! batches, shorter budgets, so the queue drains faster) and the health
+//! overlay reports at least `Degraded`; the detector leaves burst mode
+//! only after a configurable run of calm windows (hysteresis).
+//! Crucially, burst mode never changes *admission* decisions — the
+//! accepted-transaction sequence stays a pure function of the offered
+//! schedule, which the overload determinism test pins.
 
-use crate::config::ShedPolicy;
+use crate::config::{ServeConfig, ShedPolicy};
 use crate::health::{HealthMonitor, HealthState};
 use crate::telemetry::Telemetry;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use glp_fraud::Transaction;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,11 +39,160 @@ pub struct Submitted {
     pub at: Instant,
 }
 
+/// Shed-rate burst detector shared by the gate (which feeds it one
+/// observation per submit) and the batcher (which tightens while a
+/// burst is active).
+///
+/// The detector evaluates once per [`ServeConfig::burst_window`] gate
+/// submissions: a window whose shed rate reaches
+/// `burst_shed_threshold` enters burst mode (counted in
+/// `bursts_detected`, health overlay raised); only
+/// `burst_recovery_windows` consecutive windows below
+/// `burst_recover_threshold` leave it. Windows are counted in
+/// *submissions*, not wall time, so detection is a deterministic
+/// function of the offered schedule.
+#[derive(Debug)]
+pub struct BurstState {
+    window: u64,
+    enter: f64,
+    exit: f64,
+    recovery_windows: u32,
+    divisor: u32,
+    submissions: AtomicU64,
+    sheds: AtomicU64,
+    calm: AtomicU32,
+    active: AtomicBool,
+    health: Arc<HealthMonitor>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl BurstState {
+    /// A detector wired to `cfg`'s burst knobs, or `None` when
+    /// `burst_window == 0` (detection disabled).
+    pub fn from_config(
+        cfg: &ServeConfig,
+        health: Arc<HealthMonitor>,
+        telemetry: Arc<Telemetry>,
+    ) -> Option<Arc<Self>> {
+        if cfg.burst_window == 0 {
+            return None;
+        }
+        assert!(
+            cfg.burst_recover_threshold < cfg.burst_shed_threshold,
+            "burst hysteresis needs recover < shed threshold"
+        );
+        assert!(cfg.burst_recovery_windows >= 1 && cfg.burst_batch_divisor >= 1);
+        Some(Arc::new(Self {
+            window: cfg.burst_window,
+            enter: cfg.burst_shed_threshold,
+            exit: cfg.burst_recover_threshold,
+            recovery_windows: cfg.burst_recovery_windows,
+            divisor: cfg.burst_batch_divisor,
+            submissions: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            calm: AtomicU32::new(0),
+            active: AtomicBool::new(false),
+            health,
+            telemetry,
+        }))
+    }
+
+    /// Whether a burst is currently active.
+    pub fn active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// One gate observation: `shed` is true when the submit shed load
+    /// (overflow or unhealthy — invalid transactions are not an overload
+    /// signal). The submission that completes an evaluation window
+    /// evaluates the window's shed rate and drives the enter/exit
+    /// transitions.
+    fn record(&self, shed: bool) {
+        if shed {
+            self.sheds.fetch_add(1, Ordering::Relaxed);
+        }
+        let n = self.submissions.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(self.window) {
+            return;
+        }
+        // Racing producers may attribute a shed to the neighbouring
+        // window; the rate is a smoothed signal either way, and in the
+        // single-producer harnesses (benches, tests) this is exact.
+        let shed_count = self.sheds.swap(0, Ordering::AcqRel);
+        let rate = shed_count as f64 / self.window as f64;
+        if rate >= self.enter {
+            self.calm.store(0, Ordering::Relaxed);
+            if !self.active.swap(true, Ordering::AcqRel) {
+                self.telemetry
+                    .bursts_detected
+                    .fetch_add(1, Ordering::Relaxed);
+                self.health.set_burst(true);
+            }
+        } else if rate < self.exit {
+            if self.active() {
+                let calm = self.calm.fetch_add(1, Ordering::AcqRel) + 1;
+                if calm >= self.recovery_windows {
+                    self.calm.store(0, Ordering::Relaxed);
+                    self.active.store(false, Ordering::Release);
+                    self.health.set_burst(false);
+                }
+            }
+        } else {
+            // In the hysteresis band: not calm enough to recover, not
+            // loud enough to (re-)enter.
+            self.calm.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// One *calm window* worth of evidence from outside the gate: the
+    /// batcher reports an idle tick (the queue sat empty for a full
+    /// budget — a flood cannot be in progress). Walks the same
+    /// hysteresis exit as a below-threshold evaluation window, so a
+    /// burst followed by silence still recovers instead of pinning the
+    /// overlay until the next traffic arrives.
+    fn note_calm(&self) {
+        if !self.active() {
+            return;
+        }
+        let calm = self.calm.fetch_add(1, Ordering::AcqRel) + 1;
+        if calm >= self.recovery_windows {
+            self.calm.store(0, Ordering::Relaxed);
+            self.active.store(false, Ordering::Release);
+            self.health.set_burst(false);
+        }
+    }
+
+    /// Clears the detector outright — the ingest queue closed (every
+    /// gate dropped), so there is no admission left to protect and a
+    /// lingering overlay would misreport the final health.
+    fn force_clear(&self) {
+        if self.active.swap(false, Ordering::AcqRel) {
+            self.health.set_burst(false);
+        }
+        self.calm.store(0, Ordering::Relaxed);
+    }
+
+    /// The batch shape the batcher should use right now: the configured
+    /// `(max_batch, budget)` untouched when calm, divided by the burst
+    /// divisor (floor 1 transaction / 1 ms) while a burst is active.
+    fn shape(&self, max_batch: usize, budget: Duration) -> (usize, Duration) {
+        if !self.active() {
+            return (max_batch, budget);
+        }
+        let d = self.divisor as usize;
+        (
+            (max_batch / d).max(1),
+            (budget / self.divisor).max(Duration::from_millis(1)),
+        )
+    }
+}
+
 /// Creates the ingest pair: the producer-facing gate and the
 /// batcher-facing drain. `window_days` and the `window_end` watermark
 /// (maintained by the apply path) bound the day-regression check; the
 /// health monitor closes the gate while the service is
-/// [`Shedding`](HealthState::Shedding) or worse.
+/// [`Shedding`](HealthState::Shedding) or worse. `burst`, when present,
+/// receives one observation per submit (see [`BurstState`]).
 pub fn ingest_pair(
     capacity: usize,
     policy: ShedPolicy,
@@ -41,6 +200,7 @@ pub fn ingest_pair(
     window_end: Arc<AtomicU32>,
     health: Arc<HealthMonitor>,
     telemetry: Arc<Telemetry>,
+    burst: Option<Arc<BurstState>>,
 ) -> (IngestGate, Receiver<Submitted>) {
     let (tx, rx) = bounded(capacity);
     (
@@ -52,6 +212,7 @@ pub fn ingest_pair(
             window_end,
             health,
             telemetry,
+            burst,
         },
         rx,
     )
@@ -74,6 +235,7 @@ pub struct IngestGate {
     window_end: Arc<AtomicU32>,
     health: Arc<HealthMonitor>,
     telemetry: Arc<Telemetry>,
+    burst: Option<Arc<BurstState>>,
 }
 
 impl IngestGate {
@@ -97,6 +259,13 @@ impl IngestGate {
     /// `rejected_invalid`), service unhealthy (counted `shed_unhealthy`),
     /// a full queue under [`ShedPolicy::RejectNew`] (counted), or the
     /// service shut down.
+    ///
+    /// Shedding is counted under two axes: *per reason* (`shed_unhealthy`
+    /// / `rejected_invalid` / per-policy overflow counters) and, for
+    /// overflow, the policy-independent `shed_overflow` roll-up — the
+    /// counter dashboards alert on without caring which [`ShedPolicy`]
+    /// is configured. `shed_overflow` always equals
+    /// [`shed_total`](Telemetry::shed_total).
     pub fn submit(&self, tx: Transaction) -> Result<(), Transaction> {
         if self.invalid(&tx) {
             self.telemetry
@@ -108,16 +277,19 @@ impl IngestGate {
             self.telemetry
                 .shed_unhealthy
                 .fetch_add(1, Ordering::Relaxed);
+            self.observe_burst(true);
             return Err(tx);
         }
         let mut item = Submitted {
             tx,
             at: Instant::now(),
         };
+        let mut shed_any = false;
         loop {
             match self.tx.try_send(item) {
                 Ok(()) => {
                     self.telemetry.ingested.fetch_add(1, Ordering::Relaxed);
+                    self.observe_burst(shed_any);
                     return Ok(());
                 }
                 Err(TrySendError::Disconnected(s)) => return Err(s.tx),
@@ -126,6 +298,8 @@ impl IngestGate {
                         self.telemetry
                             .shed_rejected_new
                             .fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.shed_overflow.fetch_add(1, Ordering::Relaxed);
+                        self.observe_burst(true);
                         return Err(s.tx);
                     }
                     ShedPolicy::DropOldest => {
@@ -135,11 +309,21 @@ impl IngestGate {
                             self.telemetry
                                 .shed_dropped_oldest
                                 .fetch_add(1, Ordering::Relaxed);
+                            self.telemetry.shed_overflow.fetch_add(1, Ordering::Relaxed);
+                            shed_any = true;
                         }
                         item = s;
                     }
                 },
             }
+        }
+    }
+
+    /// Feeds the burst detector one observation for this submit (no-op
+    /// when detection is disabled).
+    fn observe_burst(&self, shed: bool) {
+        if let Some(b) = &self.burst {
+            b.record(shed);
         }
     }
 
@@ -154,6 +338,7 @@ pub struct Batcher {
     rx: Receiver<Submitted>,
     max_batch: usize,
     budget: Duration,
+    burst: Option<Arc<BurstState>>,
 }
 
 /// The ingest channel closed: every gate is gone and the queue drained.
@@ -168,23 +353,54 @@ impl Batcher {
             rx,
             max_batch,
             budget,
+            burst: None,
         }
+    }
+
+    /// Attaches a burst detector: while a burst is active, batches
+    /// tighten to `max_batch / divisor` and `budget / divisor` so the
+    /// flooded queue drains in smaller, faster steps.
+    pub fn with_burst(mut self, burst: Option<Arc<BurstState>>) -> Self {
+        self.burst = burst;
+        self
     }
 
     /// The next micro-batch: waits up to the budget for a first
     /// transaction (an empty batch means an idle tick — callers loop),
     /// then drains greedily until the size cap or until the budget from
-    /// the first arrival elapses with the queue empty.
+    /// the first arrival elapses with the queue empty. The shape is
+    /// re-read per batch, so burst tightening takes effect on the very
+    /// next batch after detection.
     pub fn next_batch(&self) -> Result<Vec<Submitted>, Closed> {
-        let first = match self.rx.recv_timeout(self.budget) {
-            Ok(s) => s,
-            Err(RecvTimeoutError::Timeout) => return Ok(Vec::new()),
-            Err(RecvTimeoutError::Disconnected) => return Err(Closed),
+        let (max_batch, budget) = match &self.burst {
+            Some(b) => b.shape(self.max_batch, self.budget),
+            None => (self.max_batch, self.budget),
         };
-        let deadline = Instant::now() + self.budget;
-        let mut batch = Vec::with_capacity(self.max_batch.min(64));
+        let first = match self.rx.recv_timeout(budget) {
+            Ok(s) => s,
+            Err(RecvTimeoutError::Timeout) => {
+                // The queue sat empty for a full budget: a flood cannot
+                // be in progress, so an idle tick is one calm window of
+                // evidence toward burst recovery.
+                if let Some(b) = &self.burst {
+                    b.note_calm();
+                }
+                return Ok(Vec::new());
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Every gate dropped — there is no admission left to
+                // protect, so a lingering burst overlay would only
+                // misreport the final health.
+                if let Some(b) = &self.burst {
+                    b.force_clear();
+                }
+                return Err(Closed);
+            }
+        };
+        let deadline = Instant::now() + budget;
+        let mut batch = Vec::with_capacity(max_batch.min(64));
         batch.push(first);
-        while batch.len() < self.max_batch {
+        while batch.len() < max_batch {
             match self.rx.try_recv() {
                 Ok(s) => batch.push(s),
                 Err(TryRecvError::Disconnected) => break,
@@ -234,6 +450,30 @@ mod tests {
             Arc::new(AtomicU32::new(0)),
             health,
             Arc::clone(&t),
+            None,
+        );
+        (gate, rx, t)
+    }
+
+    fn burst_pair(
+        capacity: usize,
+        policy: ShedPolicy,
+        cfg: &ServeConfig,
+    ) -> (IngestGate, Receiver<Submitted>, Arc<Telemetry>) {
+        let t = Arc::new(Telemetry::new());
+        let health = Arc::new(HealthMonitor::new(HealthThresholds {
+            shedding_after: 2,
+            down_after: 4,
+        }));
+        let burst = BurstState::from_config(cfg, Arc::clone(&health), Arc::clone(&t));
+        let (gate, rx) = ingest_pair(
+            capacity,
+            policy,
+            10,
+            Arc::new(AtomicU32::new(0)),
+            health,
+            Arc::clone(&t),
+            burst,
         );
         (gate, rx, t)
     }
@@ -313,6 +553,110 @@ mod tests {
         assert_eq!(t.ingested.load(Ordering::Relaxed), 3);
         let days: Vec<u32> = (0..2).map(|_| rx.try_recv().unwrap().tx.day).collect();
         assert_eq!(days, vec![1, 2]);
+    }
+
+    #[test]
+    fn shed_overflow_rolls_up_both_policies() {
+        // RejectNew: every overflow bumps shed_overflow with the
+        // per-policy counter.
+        let (gate, _rx, t) = pair(2, ShedPolicy::RejectNew);
+        gate.submit(tx(0)).unwrap();
+        gate.submit(tx(1)).unwrap();
+        assert!(gate.submit(tx(2)).is_err());
+        assert_eq!(t.shed_overflow.load(Ordering::Relaxed), 1);
+        assert_eq!(t.shed_overflow.load(Ordering::Relaxed), t.shed_total());
+        // DropOldest: likewise, and only when an eviction actually
+        // happened.
+        let (gate, _rx, t) = pair(2, ShedPolicy::DropOldest);
+        gate.submit(tx(0)).unwrap();
+        gate.submit(tx(1)).unwrap();
+        gate.submit(tx(2)).unwrap();
+        gate.submit(tx(3)).unwrap();
+        assert_eq!(t.shed_overflow.load(Ordering::Relaxed), 2);
+        assert_eq!(t.shed_overflow.load(Ordering::Relaxed), t.shed_total());
+    }
+
+    #[test]
+    fn burst_detector_enters_counts_and_recovers_with_hysteresis() {
+        let cfg = ServeConfig {
+            burst_window: 10,
+            burst_shed_threshold: 0.5,
+            burst_recover_threshold: 0.2,
+            burst_recovery_windows: 2,
+            burst_batch_divisor: 4,
+            ..ServeConfig::default()
+        };
+        // Capacity 2 with no consumer: the third submit onward sheds.
+        let (gate, rx, t) = burst_pair(2, ShedPolicy::DropOldest, &cfg);
+        let burst = gate.burst.as_ref().unwrap().clone();
+        assert!(!burst.active());
+        // Window 1: 2 accepts + 8 evictions = 80% shed rate -> burst.
+        for d in 0..10 {
+            gate.submit(tx(d)).unwrap();
+        }
+        assert!(burst.active(), "80% shed rate must trip the detector");
+        assert_eq!(t.bursts_detected.load(Ordering::Relaxed), 1);
+        assert!(gate.health.burst_overlay());
+        // The batcher tightens: cap 8 becomes 8/4 = 2 while active.
+        let b = Batcher::new(rx.clone(), 8, Duration::from_millis(50))
+            .with_burst(Some(Arc::clone(&burst)));
+        assert_eq!(b.next_batch().unwrap().len(), 2);
+        // One calm window is not enough to recover (hysteresis)...
+        while rx.try_recv().is_ok() {}
+        for d in 0..10 {
+            gate.submit(tx(d)).unwrap();
+            let _ = rx.try_recv(); // consumer keeps up: no sheds
+        }
+        assert!(burst.active(), "one calm window must not recover");
+        // ...the second consecutive calm window is.
+        for d in 0..10 {
+            gate.submit(tx(d)).unwrap();
+            let _ = rx.try_recv();
+        }
+        assert!(!burst.active(), "two calm windows recover");
+        assert!(!gate.health.burst_overlay());
+        assert_eq!(
+            t.bursts_detected.load(Ordering::Relaxed),
+            1,
+            "recovery does not recount"
+        );
+    }
+
+    #[test]
+    fn burst_mode_does_not_change_admission() {
+        // The same offered schedule yields the same accepted sequence
+        // with detection on and off — burst mode only reshapes batches.
+        let cfg = ServeConfig {
+            burst_window: 4,
+            burst_shed_threshold: 0.25,
+            burst_recover_threshold: 0.1,
+            burst_recovery_windows: 1,
+            burst_batch_divisor: 8,
+            ..ServeConfig::default()
+        };
+        let run = |with_burst: bool| -> Vec<u32> {
+            let (gate, rx, _t) = if with_burst {
+                burst_pair(3, ShedPolicy::DropOldest, &cfg)
+            } else {
+                pair(3, ShedPolicy::DropOldest)
+            };
+            let mut accepted = Vec::new();
+            for d in 0..9 {
+                if gate.submit(tx(d)).is_ok() {
+                    // Drain every third submit so the queue oscillates.
+                    if d % 3 == 2 {
+                        while let Ok(s) = rx.try_recv() {
+                            accepted.push(s.tx.day);
+                        }
+                    }
+                }
+            }
+            while let Ok(s) = rx.try_recv() {
+                accepted.push(s.tx.day);
+            }
+            accepted
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -111,6 +111,30 @@
 //!   (zero loss), tolerating a missing or corrupt shard checkpoint by
 //!   rebuilding that shard from the journal alone (pinned in
 //!   `tests/shard_failover.rs`).
+//!
+//! ## Adversarial robustness
+//!
+//! Against a workload that fights back (see [`glp_fraud::adversary`]),
+//! three more pieces engage:
+//!
+//! * **Burst-adaptive admission** ([`ingest::BurstState`]) — the gate's
+//!   shed rate is evaluated per [`ServeConfig::burst_window`]
+//!   submissions; a flood that pushes it past the threshold tightens
+//!   batching (smaller/faster batches drain the queue) and raises the
+//!   health overlay to `Degraded`, recovering hysteretically. Admission
+//!   decisions are untouched, so accepted sequences stay deterministic
+//!   (pinned in `tests/overload.rs`).
+//! * **Blacklist churn guard** — label noise gets retracted;
+//!   `update_blacklist` on [`ServiceCore`] / [`ShardCore`] /
+//!   [`FleetCore`](router::FleetCore) applies the change and resets the
+//!   warm-start memo (and the fleet's boundary cache), forcing the next
+//!   recluster to run full — the memo's coverage check compares window
+//!   lineage, not seed sets (pinned in `tests/label_noise.rs`).
+//! * **Detection-quality telemetry** ([`probe`]) — a [`DetectionProbe`]
+//!   scores every published snapshot against per-day ground truth into
+//!   a precision/recall time-series in the telemetry JSON, so evolving
+//!   attacks that degrade *verdict quality* (not availability) are
+//!   visible. The `adversarial_serve` bench bin drives all three.
 
 pub mod config;
 pub mod exchange;
@@ -119,6 +143,7 @@ pub mod faults;
 pub mod health;
 pub mod ingest;
 pub mod partition;
+pub mod probe;
 pub mod query;
 pub mod recluster;
 pub mod router;
@@ -137,8 +162,9 @@ pub use health::{
     fleet_state, FleetHealthReport, HealthMonitor, HealthReport, HealthState, HealthThresholds,
     ShardHealthReport,
 };
-pub use ingest::{Batcher, IngestGate, Submitted};
+pub use ingest::{Batcher, BurstState, IngestGate, Submitted};
 pub use partition::Partitioner;
+pub use probe::DetectionProbe;
 pub use query::{FraudScorer, Verdict, VerdictSnapshot};
 pub use recluster::{LpMemo, ReclusterMode, ReclusterOutcome, ReclusterRequest, ReclusterRun};
 pub use router::{
@@ -148,5 +174,5 @@ pub use router::{
 pub use service::{FraudService, QueryHandle, ServiceCore, ShutdownReport};
 pub use shard::ShardCore;
 pub use supervisor::{supervise, supervise_with, RestartPolicy, WorkerOutcome, WorkerStatus};
-pub use telemetry::{Histogram, Telemetry, TelemetrySnapshot};
+pub use telemetry::{Histogram, ProbePoint, Telemetry, TelemetrySnapshot};
 pub use wal::{FleetWal, WalError, WalRecord};

@@ -1,0 +1,170 @@
+//! Detection-quality probe: scoring published snapshots against ground
+//! truth, over time.
+//!
+//! Operational health (crash streaks, staleness, shed rates) says the
+//! service is *up*; it says nothing about whether the verdicts are any
+//! good. Against an adversarial workload that distinction is the whole
+//! game — a fraud ring rotating its members daily can walk out of a
+//! stale snapshot's flagged set while every operational signal stays
+//! green. The [`DetectionProbe`] closes that gap: built from per-day
+//! ground truth (e.g. an
+//! [`AdversarialStream`](glp_fraud::AdversarialStream)'s rotation
+//! schedule), it scores every published [`VerdictSnapshot`] /
+//! [`FleetSnapshot`] as precision/recall against the truth *for the
+//! window that snapshot covers*, and records each observation into the
+//! telemetry block's detection time-series (`probe_evaluations` counter
+//! + the `detection` section of the telemetry JSON).
+//!
+//! The probe is an offline-truth instrument: it lives in benches, tests,
+//! and shadow deployments where ground truth is known. It reads
+//! snapshots through the same `Arc` publication path queries use and
+//! never touches the write side.
+
+use crate::exchange::FleetSnapshot;
+use crate::query::VerdictSnapshot;
+use crate::telemetry::{ProbePoint, Telemetry};
+use glp_fraud::{precision_recall, AdversarialStream};
+
+/// Scores published snapshots against per-day ground truth (see module
+/// docs).
+#[derive(Clone, Debug)]
+pub struct DetectionProbe {
+    /// `truth_by_day[d]` = users truly fraudulent on day `d`, sorted
+    /// ascending.
+    truth_by_day: Vec<Vec<u32>>,
+    /// Sliding-window length the scored service runs with: a snapshot
+    /// whose `window_end` is `e` is scored against the union of truth
+    /// over days `[e - window_days, e)`.
+    window_days: u32,
+}
+
+impl DetectionProbe {
+    /// A probe over explicit per-day truth. Each day's list is sorted
+    /// and deduplicated here, so callers can pass raw membership lists.
+    pub fn new(mut truth_by_day: Vec<Vec<u32>>, window_days: u32) -> Self {
+        assert!(window_days >= 1, "a zero-day window scores nothing");
+        for day in &mut truth_by_day {
+            day.sort_unstable();
+            day.dedup();
+        }
+        Self {
+            truth_by_day,
+            window_days,
+        }
+    }
+
+    /// A probe over an adversarial stream's rotation schedule: day `d`'s
+    /// truth is exactly the members active in some ring on day `d`.
+    pub fn from_adversarial(stream: &AdversarialStream, window_days: u32) -> Self {
+        let days = stream.config.base.days;
+        Self::new(
+            (0..days).map(|d| stream.truth_in(d, d + 1)).collect(),
+            window_days,
+        )
+    }
+
+    /// The ground truth for a window ending (exclusively) at `end`: the
+    /// union of per-day truth over the window's days, sorted and
+    /// deduplicated — a user active in *any* windowed day should be
+    /// flagged by a snapshot of that window.
+    pub fn truth_for_window(&self, end: u32) -> Vec<u32> {
+        let from = end.saturating_sub(self.window_days) as usize;
+        let to = (end as usize).min(self.truth_by_day.len());
+        let mut truth: Vec<u32> = self.truth_by_day[from.min(to)..to]
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        truth.sort_unstable();
+        truth.dedup();
+        truth
+    }
+
+    /// Scores one verdict snapshot: precision and recall of its flagged
+    /// users against [`Self::truth_for_window`] of its `window_end`.
+    /// Pure — nothing is recorded; see [`Self::observe`].
+    pub fn evaluate(&self, snapshot: &VerdictSnapshot) -> ProbePoint {
+        let flagged: Vec<u32> = snapshot.flagged.iter().map(|&(u, _, _)| u).collect();
+        let truth = self.truth_for_window(snapshot.window_end);
+        let (precision, recall) = precision_recall(&flagged, &truth);
+        ProbePoint {
+            day: snapshot.window_end,
+            as_of_batch: snapshot.as_of_batch,
+            precision,
+            recall,
+            flagged: snapshot.num_flagged(),
+            truth: truth.len(),
+        }
+    }
+
+    /// Scores one snapshot and records the observation into `telemetry`
+    /// (bumps `probe_evaluations`, appends to the detection
+    /// time-series). Returns the recorded point.
+    pub fn observe(&self, snapshot: &VerdictSnapshot, telemetry: &Telemetry) -> ProbePoint {
+        let point = self.evaluate(snapshot);
+        telemetry.record_probe(point);
+        point
+    }
+
+    /// Scores a reconciled fleet snapshot — the fleet publishes the same
+    /// [`VerdictSnapshot`] shape behind its boundary bookkeeping, so the
+    /// fleet-level detection series is directly comparable to a
+    /// single-core one.
+    pub fn observe_fleet(&self, fleet: &FleetSnapshot, telemetry: &Telemetry) -> ProbePoint {
+        self.observe(&fleet.verdicts, telemetry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn snapshot(window_end: u32, as_of: u64, flagged_users: &[u32]) -> VerdictSnapshot {
+        VerdictSnapshot {
+            window_end,
+            as_of_batch: as_of,
+            known_users: flagged_users.to_vec(),
+            flagged: flagged_users.iter().map(|&u| (u, u, 1.0)).collect(),
+            ..VerdictSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn truth_unions_over_the_window() {
+        let probe = DetectionProbe::new(vec![vec![1, 2], vec![2, 3], vec![9, 9, 4]], 2);
+        assert_eq!(probe.truth_for_window(1), vec![1, 2]);
+        assert_eq!(probe.truth_for_window(2), vec![1, 2, 3]);
+        // Window [1, 3): day 0's members rotated out; dup deduped.
+        assert_eq!(probe.truth_for_window(3), vec![2, 3, 4, 9]);
+        // An end past the schedule clamps instead of panicking.
+        assert_eq!(probe.truth_for_window(10), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn evaluate_scores_against_windowed_truth() {
+        let probe = DetectionProbe::new(vec![vec![10, 11], vec![11, 12]], 2);
+        // Flags one stale member (10, rotated in-window so still truth)
+        // and one innocent (99).
+        let p = probe.evaluate(&snapshot(2, 7, &[10, 99]));
+        assert_eq!(p.day, 2);
+        assert_eq!(p.as_of_batch, 7);
+        assert_eq!(p.flagged, 2);
+        assert_eq!(p.truth, 3);
+        assert!((p.precision - 0.5).abs() < 1e-12);
+        assert!((p.recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_records_into_the_detection_series() {
+        let probe = DetectionProbe::new(vec![vec![5], vec![5]], 1);
+        let t = Telemetry::new();
+        probe.observe(&snapshot(1, 1, &[5]), &t);
+        probe.observe(&snapshot(2, 2, &[]), &t);
+        assert_eq!(t.probe_evaluations.load(Ordering::Relaxed), 2);
+        let points = t.detection_points();
+        assert_eq!(points.len(), 2);
+        assert!((points[0].recall - 1.0).abs() < 1e-12);
+        assert!((points[1].recall).abs() < 1e-12, "missed rotation shows");
+    }
+}

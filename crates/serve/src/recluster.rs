@@ -97,6 +97,17 @@ pub struct LpMemo {
 impl LpMemo {
     /// Whether `delta` extends exactly the window this memo describes,
     /// under the iteration cap `cfg` would run with.
+    ///
+    /// Note what this check does *not* compare: the blacklist. A memo
+    /// records the label trajectory of a run seeded from a specific seed
+    /// set, so blacklist churn silently invalidates it while every stamp
+    /// here still matches. The trigger owners guard that hole
+    /// structurally — `update_blacklist` on
+    /// [`ServiceCore`](crate::service::ServiceCore) /
+    /// [`ShardCore`](crate::shard::ShardCore) /
+    /// [`FleetCore`](crate::router::FleetCore) resets the warm state
+    /// (and the fleet's boundary cache) on any seed-set change, forcing
+    /// the next recluster to run full.
     fn covers(&self, delta: &WindowDelta, cfg: &ServeConfig) -> bool {
         !delta.expired
             && !self.per_iteration.is_empty()

@@ -70,7 +70,7 @@ use crate::faults::FaultPlan;
 use crate::health::{
     fleet_state, FleetHealthReport, HealthMonitor, HealthState, HealthThresholds, ShardHealthReport,
 };
-use crate::ingest::{ingest_pair, Batcher, Closed, IngestGate, Submitted};
+use crate::ingest::{ingest_pair, Batcher, BurstState, Closed, IngestGate, Submitted};
 use crate::partition::Partitioner;
 use crate::query::{FraudScorer, Verdict, VerdictSnapshot};
 use crate::recluster::{ReclusterMode, ReclusterRun};
@@ -235,7 +235,11 @@ impl FleetTelemetry {
 pub struct FleetCore {
     cfg: FleetConfig,
     partitioner: Partitioner,
-    blacklist: Vec<u32>,
+    /// The fleet's live blacklist seeds; churned via
+    /// [`Self::update_blacklist`], which fans the change out to every
+    /// shard and resets the boundary cache (its prefix check, like the
+    /// shard memo's, compares window lineage only — not seed sets).
+    blacklist: Mutex<Vec<u32>>,
     shards: Vec<Arc<ShardCore>>,
     fleet: EpochCell<FleetSnapshot>,
     /// Router-level telemetry (ingest, routing, exchange); shard cores
@@ -436,7 +440,7 @@ impl FleetCore {
         Self {
             cfg,
             partitioner,
-            blacklist,
+            blacklist: Mutex::new(blacklist),
             shards,
             fleet: EpochCell::new(FleetSnapshot::default()),
             telemetry: Arc::new(Telemetry::new()),
@@ -482,6 +486,45 @@ impl FleetCore {
     /// for the merged fleet view).
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// The fleet's current blacklist seeds (sorted, deduplicated).
+    pub fn blacklist(&self) -> Vec<u32> {
+        self.blacklist
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Applies blacklist churn fleet-wide: the fleet's own seed set
+    /// changes, every shard's does too (resetting each shard's warm
+    /// memo), and the boundary cache is reset — its prefix check
+    /// compares sequence-stamp lineage, not seed sets, so a churned
+    /// blacklist would otherwise let an exchange round go incremental
+    /// against labels a retracted seed already propagated. Returns
+    /// whether the seed set changed; counted in `blacklist_revisions`
+    /// (router block).
+    pub fn update_blacklist(&self, add: &[u32], remove: &[u32]) -> bool {
+        let changed = {
+            let mut bl = self.blacklist.lock().unwrap_or_else(|e| e.into_inner());
+            let before = bl.clone();
+            bl.extend_from_slice(add);
+            bl.sort_unstable();
+            bl.dedup();
+            bl.retain(|u| !remove.contains(u));
+            *bl != before
+        };
+        if changed {
+            self.telemetry
+                .blacklist_revisions
+                .fetch_add(1, Ordering::Relaxed);
+            for s in &self.shards {
+                s.update_blacklist(add, remove);
+            }
+            *self.boundary.lock().unwrap_or_else(|e| e.into_inner()) =
+                BoundaryCache::new(self.cfg.shard.window_days);
+        }
+        changed
     }
 
     /// Fleet micro-batches applied so far.
@@ -663,12 +706,13 @@ impl FleetCore {
         }
         let end = self.window_end.load(Ordering::Acquire);
         let as_of = self.batches_applied();
+        let blacklist = self.blacklist();
         let mut boundary = self.boundary.lock().unwrap_or_else(|e| e.into_inner());
         let r = reconcile_with(
             &frames,
             &locals,
             &self.cfg.shard,
-            &self.blacklist,
+            &blacklist,
             end,
             as_of,
             Some(&mut boundary),
@@ -748,8 +792,13 @@ impl FleetCore {
             })
             .collect();
         let states: Vec<HealthState> = shards.iter().map(|r| r.state).collect();
+        let mut state = fleet_state(self.health.state(), &states);
+        if self.health.burst_overlay() {
+            // A burst flood at the fleet's gate degrades, never downs.
+            state = state.max(HealthState::Degraded);
+        }
         FleetHealthReport {
-            state: fleet_state(self.health.state(), &states),
+            state,
             router: self.health.state(),
             shards,
             snapshot_epoch: self.fleet.epoch(),
@@ -1180,6 +1229,11 @@ impl ShardRouter {
 
     fn start_on(core: Arc<FleetCore>) -> Self {
         let cfg = core.cfg.clone();
+        let burst = BurstState::from_config(
+            &cfg.shard,
+            Arc::clone(&core.health),
+            Arc::clone(&core.telemetry),
+        );
         let (gate, batch_rx) = ingest_pair(
             cfg.shard.queue_capacity,
             cfg.shard.shed_policy,
@@ -1187,6 +1241,7 @@ impl ShardRouter {
             Arc::clone(&core.window_end),
             Arc::clone(&core.health),
             Arc::clone(&core.telemetry),
+            burst.clone(),
         );
 
         // One capacity-1 poke channel per shard recluster worker plus
@@ -1236,7 +1291,8 @@ impl ShardRouter {
                     batch_rx.clone(),
                     cfg.shard.max_batch,
                     cfg.shard.batch_budget,
-                );
+                )
+                .with_burst(burst.clone());
                 router_loop(&core, &batcher, &recluster_txs, &exchange_tx)
             })
         };

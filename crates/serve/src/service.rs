@@ -36,7 +36,7 @@ use crate::config::ServeConfig;
 #[cfg(feature = "fault-injection")]
 use crate::faults::FaultPlan;
 use crate::health::{HealthMonitor, HealthReport, HealthState, HealthThresholds};
-use crate::ingest::{ingest_pair, Batcher, Closed, IngestGate, Submitted};
+use crate::ingest::{ingest_pair, Batcher, BurstState, Closed, IngestGate, Submitted};
 use crate::query::{FraudScorer, Verdict, VerdictSnapshot};
 use crate::recluster::{absorb_outcome, ReclusterMode, ReclusterRun, WarmState};
 use crate::supervisor::{supervise, RestartPolicy, WorkerExit, WorkerOutcome, WorkerStatus};
@@ -60,7 +60,14 @@ pub struct ServiceCore {
     /// Warm-start state; the lock also serializes reclusters, so at most
     /// one LP run consumes/produces the memo at a time.
     recluster: Mutex<WarmState>,
-    blacklist: Vec<u32>,
+    /// The live blacklist seeds. Mutable because label noise is real:
+    /// entries get retracted and added while the service runs
+    /// ([`Self::update_blacklist`]). A change resets the warm-start memo
+    /// — the memo's coverage check ([`LpMemo::covers`]) compares window
+    /// lineage, not seed sets, so a churned blacklist *must* force the
+    /// next recluster to run from scratch or the delta replay would keep
+    /// propagating labels from seeds that no longer exist.
+    blacklist: Mutex<Vec<u32>>,
     verdicts: EpochCell<VerdictSnapshot>,
     telemetry: Arc<Telemetry>,
     batches_applied: AtomicU64,
@@ -138,7 +145,7 @@ impl ServiceCore {
             window: Mutex::new(window),
             recluster: Mutex::new(WarmState::default()),
             cfg,
-            blacklist,
+            blacklist: Mutex::new(blacklist),
             verdicts: EpochCell::with_epoch(initial, snapshot_epoch),
             telemetry,
             batches_applied: AtomicU64::new(batches_applied),
@@ -209,6 +216,11 @@ impl ServiceCore {
         if staleness >= self.cfg.max_staleness_batches {
             state = state.max(HealthState::Degraded);
         }
+        if self.health.burst_overlay() {
+            // A detected burst flood degrades, never downs: the service
+            // is serving and draining, just shedding loudly.
+            state = state.max(HealthState::Degraded);
+        }
         HealthReport {
             state,
             consecutive_crashes: self.health.consecutive_crashes(),
@@ -217,6 +229,45 @@ impl ServiceCore {
             last_panic: self.health.last_panic(),
             engine_tier: self.health.engine_tier(),
         }
+    }
+
+    /// The current blacklist seeds (sorted, deduplicated).
+    pub fn blacklist(&self) -> Vec<u32> {
+        self.blacklist
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Applies blacklist churn: `add` entries are inserted, `remove`
+    /// entries retracted (label noise being withdrawn). Returns whether
+    /// the effective seed set changed; when it did, the warm-start memo
+    /// is reset — the recluster-staleness guard — so the *next* recluster
+    /// runs from scratch against the new seeds instead of incrementally
+    /// replaying labels a retracted seed already propagated. Counted in
+    /// `blacklist_revisions`.
+    pub fn update_blacklist(&self, add: &[u32], remove: &[u32]) -> bool {
+        let changed = {
+            let mut bl = self.blacklist.lock().unwrap_or_else(|e| e.into_inner());
+            let before = bl.clone();
+            bl.extend_from_slice(add);
+            bl.sort_unstable();
+            bl.dedup();
+            bl.retain(|u| !remove.contains(u));
+            *bl != before
+        };
+        if changed {
+            self.telemetry
+                .blacklist_revisions
+                .fetch_add(1, Ordering::Relaxed);
+            // The memo's coverage check compares window lineage only; a
+            // churned seed set silently invalidates it, so drop it here.
+            self.recluster
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .reset();
+        }
+        changed
     }
 
     /// Micro-batches applied so far.
@@ -341,9 +392,10 @@ impl ServiceCore {
                 ..VerdictSnapshot::default()
             }
         } else {
+            let blacklist = self.blacklist();
             let outcome = st.run(
                 &workload,
-                &self.blacklist,
+                &blacklist,
                 &self.cfg,
                 &delta,
                 as_of,
@@ -540,6 +592,8 @@ impl FraudService {
 
     fn start_on(core: Arc<ServiceCore>) -> Self {
         let cfg = core.cfg.clone();
+        let burst =
+            BurstState::from_config(&cfg, Arc::clone(&core.health), Arc::clone(core.telemetry()));
         let (gate, batch_rx) = ingest_pair(
             cfg.queue_capacity,
             cfg.shed_policy,
@@ -547,6 +601,7 @@ impl FraudService {
             Arc::clone(&core.window_end),
             Arc::clone(&core.health),
             Arc::clone(core.telemetry()),
+            burst.clone(),
         );
         // Capacity 1: at most one recluster pending beyond the one in
         // flight; further requests coalesce.
@@ -559,7 +614,8 @@ impl FraudService {
             let health = Arc::clone(&core.health);
             let telemetry = Arc::clone(core.telemetry());
             supervise("batcher", health, telemetry, policy, move || {
-                let batcher = Batcher::new(batch_rx.clone(), cfg.max_batch, cfg.batch_budget);
+                let batcher = Batcher::new(batch_rx.clone(), cfg.max_batch, cfg.batch_budget)
+                    .with_burst(burst.clone());
                 batch_loop(&core, &batcher, &recluster_tx)
             })
         };

@@ -55,7 +55,11 @@ pub struct ShardCore {
     /// use the supervisor's `&'static str` worker-name convention.
     apply_worker: &'static str,
     cfg: ServeConfig,
-    blacklist: Vec<u32>,
+    /// Live blacklist seeds; churned via [`Self::update_blacklist`]
+    /// (which also resets the warm memo — see
+    /// [`ServiceCore::update_blacklist`](crate::service::ServiceCore::update_blacklist)
+    /// for why).
+    blacklist: Mutex<Vec<u32>>,
     state: Mutex<ShardState>,
     /// Warm-start state for this shard's sub-window reclusters; the lock
     /// serializes them (scheduled cadence vs failover rebuild).
@@ -141,7 +145,7 @@ impl ShardCore {
             id,
             apply_worker: Box::leak(format!("shard{id}-apply").into_boxed_str()),
             cfg,
-            blacklist,
+            blacklist: Mutex::new(blacklist),
             state: Mutex::new(ShardState { window, seqs }),
             recluster: Mutex::new(WarmState::default()),
             verdicts: EpochCell::with_epoch(initial, snapshot_epoch),
@@ -169,6 +173,34 @@ impl ShardCore {
     /// This shard's health monitor.
     pub fn health(&self) -> &Arc<HealthMonitor> {
         &self.health
+    }
+
+    /// Applies blacklist churn to this shard: same contract as
+    /// [`ServiceCore::update_blacklist`](crate::service::ServiceCore::update_blacklist)
+    /// — a changed seed set resets the shard's warm memo so the next
+    /// local recluster runs from scratch. The *fleet-level* counterpart
+    /// ([`FleetCore::update_blacklist`](crate::router::FleetCore::update_blacklist))
+    /// fans out here and additionally resets the boundary cache.
+    pub fn update_blacklist(&self, add: &[u32], remove: &[u32]) -> bool {
+        let changed = {
+            let mut bl = self.blacklist.lock().unwrap_or_else(|e| e.into_inner());
+            let before = bl.clone();
+            bl.extend_from_slice(add);
+            bl.sort_unstable();
+            bl.dedup();
+            bl.retain(|u| !remove.contains(u));
+            *bl != before
+        };
+        if changed {
+            self.telemetry
+                .blacklist_revisions
+                .fetch_add(1, Ordering::Relaxed);
+            self.recluster
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .reset();
+        }
+        changed
     }
 
     /// Fleet micro-batches this shard has absorbed (empty sub-batches
@@ -261,14 +293,13 @@ impl ShardCore {
                 ..VerdictSnapshot::default()
             }
         } else {
+            let blacklist = self
+                .blacklist
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
             let outcome = st.run(
-                &workload,
-                &self.blacklist,
-                &self.cfg,
-                &delta,
-                as_of,
-                window_end,
-                None,
+                &workload, &blacklist, &self.cfg, &delta, as_of, window_end, None,
             );
             absorb_outcome(&self.telemetry, &self.health, &outcome);
             mode = outcome.mode;

@@ -259,6 +259,20 @@ pub struct Telemetry {
     /// Reclusters that ran from scratch (ineligible delta, drift cap, or
     /// no warm start available).
     pub reclusters_full: AtomicU64,
+    /// Transactions shed because the bounded queue was full, under
+    /// either policy — the unified queue-overflow reason
+    /// (`shed_dropped_oldest + shed_rejected_new`), counted alongside
+    /// the per-policy breakdown so dashboards read one shed taxonomy:
+    /// overflow / unhealthy / invalid.
+    pub shed_overflow: AtomicU64,
+    /// Burst episodes the ingest burst detector entered (shed rate over
+    /// the configured threshold; see `BurstState`).
+    pub bursts_detected: AtomicU64,
+    /// Blacklist revisions applied (each one invalidates the warm
+    /// recluster memo — the churn guard forcing the next recluster full).
+    pub blacklist_revisions: AtomicU64,
+    /// Snapshots scored against ground truth by a `DetectionProbe`.
+    pub probe_evaluations: AtomicU64,
     /// Submit → batch-apply latency per transaction (ns).
     pub ingest_lag: Histogram,
     /// Applied micro-batch sizes (transactions).
@@ -276,6 +290,52 @@ pub struct Telemetry {
     /// Per-kernel launch aggregation (count / total / p50 / max modeled
     /// seconds by engine tier) summed over every recluster's LP run.
     pub kernel_profile: Mutex<KernelProfile>,
+    /// Detection-quality time series: one [`ProbePoint`] per snapshot a
+    /// `DetectionProbe` scored against ground truth, in scoring order.
+    pub detection: Mutex<Vec<ProbePoint>>,
+}
+
+/// One detection-quality measurement: a published verdict snapshot
+/// scored against the adversary's ground truth for the window it
+/// covers. Recorded by the serving `DetectionProbe`; exported as the
+/// `detection` time series in the telemetry JSON.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProbePoint {
+    /// Exclusive end day of the scored snapshot's window.
+    pub day: u32,
+    /// The snapshot's batch clock (`as_of_batch`).
+    pub as_of_batch: u64,
+    /// Precision of the snapshot's flagged set against the truth.
+    pub precision: f64,
+    /// Recall of the truth among the snapshot's flagged set.
+    pub recall: f64,
+    /// Users the snapshot flagged.
+    pub flagged: usize,
+    /// Ground-truth positives in the scored window.
+    pub truth: usize,
+}
+
+impl ProbePoint {
+    fn to_json(self) -> serde_json::Value {
+        serde_json::json!({
+            "day": self.day,
+            "as_of_batch": self.as_of_batch,
+            "precision": self.precision,
+            "recall": self.recall,
+            "flagged": self.flagged,
+            "truth": self.truth,
+        })
+    }
+}
+
+/// The `detection` JSON section — shared by the live and snapshot
+/// exports so the two serialize identically.
+fn detection_json(points: &[ProbePoint]) -> serde_json::Value {
+    serde_json::json!({
+        "points": points.iter().map(|p| p.to_json()).collect::<Vec<_>>(),
+        "latest_precision": points.last().map_or(0.0, |p| p.precision),
+        "latest_recall": points.last().map_or(0.0, |p| p.recall),
+    })
 }
 
 impl Telemetry {
@@ -323,6 +383,23 @@ impl Telemetry {
             + self.shed_rejected_new.load(Ordering::Relaxed)
     }
 
+    /// Records one detection-quality measurement into the time series.
+    pub fn record_probe(&self, point: ProbePoint) {
+        self.probe_evaluations.fetch_add(1, Ordering::Relaxed);
+        self.detection
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(point);
+    }
+
+    /// The detection time series recorded so far (scoring order).
+    pub fn detection_points(&self) -> Vec<ProbePoint> {
+        self.detection
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
     /// The monotonic counters in checkpoint order (see
     /// [`Self::restore_counters`]). Histograms are deliberately not
     /// checkpointed: latency distributions describe a process lifetime,
@@ -345,7 +422,7 @@ impl Telemetry {
 
     /// Checkpoint counter order. Append-only: new counters go at the
     /// end so old checkpoints keep restoring.
-    fn counter_cells(&self) -> [&AtomicU64; 20] {
+    fn counter_cells(&self) -> [&AtomicU64; 24] {
         [
             &self.ingested,
             &self.shed_dropped_oldest,
@@ -367,6 +444,10 @@ impl Telemetry {
             &self.wal_truncations,
             &self.reclusters_incremental,
             &self.reclusters_full,
+            &self.shed_overflow,
+            &self.bursts_detected,
+            &self.blacklist_revisions,
+            &self.probe_evaluations,
         ]
     }
 
@@ -416,11 +497,16 @@ impl Telemetry {
             "wal_truncations": self.wal_truncations.load(Ordering::Relaxed),
             "reclusters_incremental": self.reclusters_incremental.load(Ordering::Relaxed),
             "reclusters_full": self.reclusters_full.load(Ordering::Relaxed),
+            "shed_overflow": self.shed_overflow.load(Ordering::Relaxed),
+            "bursts_detected": self.bursts_detected.load(Ordering::Relaxed),
+            "blacklist_revisions": self.blacklist_revisions.load(Ordering::Relaxed),
+            "probe_evaluations": self.probe_evaluations.load(Ordering::Relaxed),
             "ingest_lag_ns": self.ingest_lag.to_json(),
             "batch_size": self.batch_size.to_json(),
             "recluster_wall_ns": self.recluster_wall.to_json(),
             "query_latency_ns": self.query_latency.to_json(),
             "delta_frontier": self.delta_frontier.to_json(),
+            "detection": detection_json(&self.detection_points()),
             "gpu": serde_json::json!({
                 "global_read_sectors": gpu.global_read_sectors,
                 "global_write_sectors": gpu.global_write_sectors,
@@ -451,13 +537,14 @@ impl Telemetry {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .clone(),
+            detection: self.detection_points(),
         }
     }
 }
 
 /// Checkpoint-order counter names, parallel to
 /// `Telemetry::counter_cells` (append-only, like the cells).
-const COUNTER_NAMES: [&str; 20] = [
+const COUNTER_NAMES: [&str; 24] = [
     "ingested",
     "shed_dropped_oldest",
     "shed_rejected_new",
@@ -478,6 +565,10 @@ const COUNTER_NAMES: [&str; 20] = [
     "wal_truncations",
     "reclusters_incremental",
     "reclusters_full",
+    "shed_overflow",
+    "bursts_detected",
+    "blacklist_revisions",
+    "probe_evaluations",
 ];
 
 /// A point-in-time, plain-value copy of one core's [`Telemetry`]. The
@@ -508,6 +599,8 @@ pub struct TelemetrySnapshot {
     pub gpu_totals: KernelCounters,
     /// Per-kernel launch aggregation summed over every recluster.
     pub kernel_profile: KernelProfile,
+    /// Detection-quality time series (probe scorings, scoring order).
+    pub detection: Vec<ProbePoint>,
 }
 
 impl TelemetrySnapshot {
@@ -528,6 +621,12 @@ impl TelemetrySnapshot {
         self.delta_frontier.merge(&other.delta_frontier);
         self.gpu_totals.merge(&other.gpu_totals);
         self.kernel_profile.merge(&other.kernel_profile);
+        // Interleave the series back into scoring order: a probe stamps
+        // every point with the publishing core's batch clock, so the
+        // merged fleet series reads chronologically.
+        self.detection.extend_from_slice(&other.detection);
+        self.detection
+            .sort_by_key(|p| (p.as_of_batch, p.day, p.flagged));
     }
 
     /// The named counter's value (0 if this snapshot predates it).
@@ -568,6 +667,7 @@ impl TelemetrySnapshot {
         ));
         doc.push(("query_latency_ns".to_string(), self.query_latency.to_json()));
         doc.push(("delta_frontier".to_string(), self.delta_frontier.to_json()));
+        doc.push(("detection".to_string(), detection_json(&self.detection)));
         doc.push((
             "gpu".to_string(),
             serde_json::json!({
@@ -777,6 +877,10 @@ mod tests {
             "wal_truncations",
             "reclusters_incremental",
             "reclusters_full",
+            "shed_overflow",
+            "bursts_detected",
+            "blacklist_revisions",
+            "probe_evaluations",
             "batches",
             "reclusters",
             "queries",
@@ -785,10 +889,75 @@ mod tests {
             "recluster_wall_ns",
             "query_latency_ns",
             "delta_frontier",
+            "detection",
             "gpu",
             "kernel_profile",
         ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn detection_series_records_merges_and_exports() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        a.record_probe(ProbePoint {
+            day: 5,
+            as_of_batch: 2,
+            precision: 1.0,
+            recall: 0.5,
+            flagged: 4,
+            truth: 8,
+        });
+        b.record_probe(ProbePoint {
+            day: 3,
+            as_of_batch: 1,
+            precision: 0.8,
+            recall: 0.4,
+            flagged: 5,
+            truth: 10,
+        });
+        assert_eq!(a.probe_evaluations.load(Ordering::Relaxed), 1);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        // Merged series interleaves by batch clock.
+        assert_eq!(merged.detection.len(), 2);
+        assert_eq!(merged.detection[0].day, 3);
+        assert_eq!(merged.detection[1].day, 5);
+        assert_eq!(merged.counter("probe_evaluations"), 2);
+        let j = merged.to_json();
+        assert_eq!(
+            j["detection"]["points"].as_array().map(|p| p.len()),
+            Some(2)
+        );
+        assert_eq!(j["detection"]["latest_recall"].as_f64(), Some(0.5));
+        // The live export carries the same section shape.
+        let live = a.to_json();
+        assert_eq!(live["detection"]["latest_precision"].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn shed_breakdown_covers_every_reason() {
+        // The unified overflow counter plus the health and validity
+        // reasons form the complete shed taxonomy, all present in both
+        // exports (shed_overflow also equals the per-policy sum — the
+        // gate counts both on every queue-full shed).
+        let t = Telemetry::new();
+        t.shed_dropped_oldest.fetch_add(3, Ordering::Relaxed);
+        t.shed_overflow.fetch_add(3, Ordering::Relaxed);
+        t.shed_rejected_new.fetch_add(2, Ordering::Relaxed);
+        t.shed_overflow.fetch_add(2, Ordering::Relaxed);
+        t.shed_unhealthy.fetch_add(7, Ordering::Relaxed);
+        t.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(t.shed_total(), 5);
+        assert_eq!(t.shed_overflow.load(Ordering::Relaxed), t.shed_total());
+        let j = t.to_json();
+        assert_eq!(j["shed_overflow"].as_u64(), Some(5));
+        assert_eq!(j["shed_unhealthy"].as_u64(), Some(7));
+        assert_eq!(j["rejected_invalid"].as_u64(), Some(1));
+        let s = t.snapshot();
+        assert_eq!(s.counter("shed_overflow"), 5);
+        assert_eq!(s.counter("shed_unhealthy"), 7);
+        assert_eq!(s.counter("rejected_invalid"), 1);
     }
 }

@@ -1,0 +1,217 @@
+//! Blacklist label noise and its retraction.
+//!
+//! An adversary (or a sloppy upstream feed) plants innocent accounts in
+//! the seed blacklist. Seeds steer the weighted LP, so the poison shapes
+//! verdicts — and because the incremental-recluster memo's coverage
+//! check compares *window lineage*, not seed sets, a naive retraction
+//! would keep replaying the poisoned trajectory forever. This suite pins
+//! the churn guard: `update_blacklist` applies the retraction, bumps
+//! `blacklist_revisions`, and invalidates the memo so the very next
+//! recluster runs **full** — after which the service publishes verdicts
+//! byte-identical to a service that never saw the noise. Both the
+//! single core and the sharded fleet (where the guard must also reset
+//! the cached boundary recluster) are covered.
+
+use glp_fraud::Transaction;
+use glp_serve::{
+    FleetConfig, FleetCore, Partitioner, ReclusterMode, ServeConfig, ServiceCore, Telemetry,
+};
+use glp_test_support::adversarial_stream;
+
+/// A config where incremental replay is always eligible (any frontier
+/// size accepted, no drift cap), so a full recluster after retraction
+/// can only come from the churn guard.
+fn greedy_incremental() -> ServeConfig {
+    let mut cfg = ServeConfig::default().with_window_days(10);
+    cfg.delta_fraction_max = 1.0;
+    cfg.full_recluster_every = 0;
+    cfg
+}
+
+#[test]
+fn retraction_invalidates_the_memo_and_restores_clean_verdicts() {
+    let s = adversarial_stream();
+    assert!(!s.noise.is_empty(), "stream must plant label noise");
+    let all: Vec<Transaction> = s.window(0, s.config.base.days).copied().collect();
+
+    // The reference: a core that was never poisoned.
+    let clean = ServiceCore::new(greedy_incremental(), s.clean_blacklist());
+    for chunk in all.chunks(400) {
+        clean.apply_transactions(chunk);
+    }
+    clean.recluster_now();
+    let clean_bytes = clean.snapshot().canonical_bytes();
+
+    // The victim: seeded with truth + noise, reclustering as it goes so
+    // a warm memo exists when the retraction lands.
+    let noised = ServiceCore::new(greedy_incremental(), s.blacklist.clone());
+    for chunk in all.chunks(400) {
+        noised.apply_transactions(chunk);
+    }
+    let first = noised.recluster_now();
+    assert_eq!(first.mode, ReclusterMode::Full, "cold start runs full");
+    assert_ne!(
+        noised.blacklist(),
+        s.clean_blacklist(),
+        "the victim must actually be seeded with the noise"
+    );
+
+    // Control: with a warm memo and no churn, the next recluster replays.
+    let control = noised.recluster_now();
+    assert_eq!(
+        control.mode,
+        ReclusterMode::Incremental,
+        "a warm memo must be eligible right before the retraction"
+    );
+
+    // The retraction: same window, same memo — but the seeds changed, so
+    // the guard must force the next run full.
+    assert!(noised.update_blacklist(&[], &s.noise));
+    assert!(
+        !noised.update_blacklist(&[], &s.noise),
+        "retracting twice is a no-op"
+    );
+    let after = noised.recluster_now();
+    assert_eq!(
+        after.mode,
+        ReclusterMode::Full,
+        "churn must invalidate the memo: replaying the poisoned \
+         trajectory would keep the noise alive"
+    );
+    assert_eq!(
+        noised.blacklist(),
+        s.clean_blacklist(),
+        "retraction must leave exactly the true seeds"
+    );
+    assert_eq!(
+        noised.snapshot().canonical_bytes(),
+        clean_bytes,
+        "after retraction the verdicts must match a never-poisoned run"
+    );
+    assert_eq!(
+        noised.telemetry().snapshot().counter("blacklist_revisions"),
+        1
+    );
+}
+
+#[test]
+fn additions_also_invalidate_the_memo() {
+    let s = adversarial_stream();
+    let all: Vec<Transaction> = s.window(0, s.config.base.days).copied().collect();
+    // Start from the clean truth and *add* the noise instead: the guard
+    // is symmetric in add/remove.
+    let core = ServiceCore::new(greedy_incremental(), s.clean_blacklist());
+    for chunk in all.chunks(400) {
+        core.apply_transactions(chunk);
+    }
+    core.recluster_now();
+    assert!(core.update_blacklist(&s.noise, &[]));
+    assert_eq!(core.recluster_now().mode, ReclusterMode::Full);
+
+    // And the poisoned result equals a run that was seeded noisy from
+    // the start — update_blacklist is a real seed-set transition, not a
+    // side channel.
+    let reference = ServiceCore::new(greedy_incremental(), s.blacklist.clone());
+    for chunk in all.chunks(400) {
+        reference.apply_transactions(chunk);
+    }
+    reference.recluster_now();
+    assert_eq!(
+        core.snapshot().canonical_bytes(),
+        reference.snapshot().canonical_bytes()
+    );
+}
+
+/// Drives a fleet over the stream with `blacklist` seeds, reclustering
+/// mid-run to warm the boundary cache, then applies `retract` (if any)
+/// and returns the final fleet snapshot's canonical bytes.
+fn fleet_final_bytes(s: &glp_fraud::AdversarialStream, shards: usize, retract: bool) -> Vec<u8> {
+    let cfg = FleetConfig {
+        shards,
+        shard: greedy_incremental(),
+        ..FleetConfig::default()
+    }
+    .with_window_days(10);
+    let partitioner = Partitioner::with_communities(shards, 7, s.community_map());
+    let seeds = if retract {
+        s.blacklist.clone()
+    } else {
+        s.clean_blacklist()
+    };
+    let core = FleetCore::new(cfg, partitioner, seeds);
+    let all: Vec<Transaction> = s.window(0, s.config.base.days).copied().collect();
+    for (i, chunk) in all.chunks(400).enumerate() {
+        core.apply_transactions(chunk);
+        // Exchange mid-run so the boundary cache and shard memos are
+        // warm (and poisoned) when the retraction lands.
+        if (i + 1) % 4 == 0 {
+            core.exchange_now();
+        }
+    }
+    if retract {
+        assert!(core.update_blacklist(&[], &s.noise));
+    }
+    core.exchange_now();
+    core.fleet_snapshot().verdicts.canonical_bytes()
+}
+
+#[test]
+fn fleet_retraction_matches_a_never_poisoned_fleet() {
+    let s = adversarial_stream();
+    let clean = fleet_final_bytes(&s, 2, false);
+    let retracted = fleet_final_bytes(&s, 2, true);
+    assert_eq!(
+        retracted, clean,
+        "2-shard fleet must recover byte-identically after retraction \
+         (shard memos and the boundary cache must all be invalidated)"
+    );
+    // And the retracted fleet agrees across shard counts.
+    assert_eq!(fleet_final_bytes(&s, 1, true), clean);
+    assert_eq!(fleet_final_bytes(&s, 4, true), clean);
+}
+
+#[test]
+fn probe_sees_stale_snapshots_lose_recall() {
+    // Detection-quality telemetry makes the *rotation* attack visible:
+    // a snapshot frozen early in the stream keeps flagging the mules of
+    // its day while the ring rotates fresh accounts in, so its recall
+    // against current truth decays — where a live, reclustering service
+    // keeps it high. (This is the bench bin's headline assertion, pinned
+    // here at test scale.)
+    // A 10-day window keeps the statically-seeded members inside the
+    // live window (so seeded LP still finds the ring) while the frozen
+    // snapshot's members rotate out of the current truth.
+    let s = adversarial_stream();
+    let days = s.config.base.days;
+    let window = 10;
+    let cfg = ServeConfig::default().with_window_days(window);
+    let probe = glp_serve::DetectionProbe::from_adversarial(&s, window);
+    let t = Telemetry::new();
+
+    let core = ServiceCore::new(cfg, s.clean_blacklist());
+    let day_txs = |d: u32| -> Vec<Transaction> { s.window(d, d + 1).copied().collect() };
+    for d in 0..4 {
+        core.apply_transactions(&day_txs(d));
+    }
+    core.recluster_now();
+    let stale = core.snapshot();
+    assert!(stale.num_flagged() > 0, "the early rings must be flagged");
+
+    for d in 4..days {
+        core.apply_transactions(&day_txs(d));
+    }
+    core.recluster_now();
+    let live_point = probe.observe(&core.snapshot(), &t);
+
+    // The stale snapshot, scored against *today's* truth.
+    let stale_flagged: Vec<u32> = stale.flagged.iter().map(|&(u, _, _)| u).collect();
+    let truth_now = probe.truth_for_window(core.snapshot().window_end);
+    let (_, stale_recall) = glp_fraud::precision_recall(&stale_flagged, &truth_now);
+    assert!(
+        live_point.recall > stale_recall,
+        "rotation must erode the stale snapshot: live {} vs stale {}",
+        live_point.recall,
+        stale_recall
+    );
+    assert_eq!(t.detection_points().len(), 1);
+}

@@ -20,7 +20,9 @@ use glp_core::engine::{
 use glp_core::{
     CapacityLp, ClassicLp, Llp, LpProgram, RiskWeightedLp, RunOptions, SeededLp, Slp, WeightedLp,
 };
-use glp_fraud::{RegionalStream, RegionalTxConfig, TxConfig, TxStream};
+use glp_fraud::{
+    AdversarialStream, AdversaryConfig, RegionalStream, RegionalTxConfig, TxConfig, TxStream,
+};
 use glp_gpusim::{Device, DeviceConfig};
 use glp_graph::gen::{caveman, community_powerlaw, two_cliques_bridge, CommunityPowerLawConfig};
 use glp_graph::Graph;
@@ -171,6 +173,37 @@ pub fn regional_stream() -> RegionalStream {
     })
 }
 
+/// The standard deterministic *adversarial* workload for the robustness
+/// suites: evolving rings that rotate members daily behind camouflage
+/// purchases, a mid-stream burst flood, and planted blacklist label
+/// noise — each attack with per-day ground truth. Shared by the
+/// overload/label-noise suites and the `adversarial_serve` bench.
+pub fn adversarial_stream() -> AdversarialStream {
+    AdversarialStream::generate(&AdversaryConfig {
+        base: RegionalTxConfig {
+            regions: 4,
+            users_per_region: 200,
+            items_per_region: 80,
+            days: 12,
+            tx_per_day: 800,
+            cross_rings: 4,
+            // Pools much larger than the active subset, so rotation
+            // genuinely walks the ring *away* from old snapshots
+            // (rotate 2/day never wraps within the 12-day stream).
+            ring_size: 30,
+            ring_tx_per_day: 30,
+            blacklist_fraction: 0.3,
+            ..Default::default()
+        },
+        active_members: 6,
+        rotate_per_day: 2,
+        camouflage_per_day: 10,
+        burst_day: Some(6),
+        burst_tx: 4_000,
+        label_noise: 6,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +224,23 @@ mod tests {
         let r2 = regional_stream();
         assert_eq!(r.blacklist, r2.blacklist, "regional builder must be seeded");
         assert!(!r.blacklist.is_empty(), "rings must seed a blacklist");
+        let adv = adversarial_stream();
+        let adv2 = adversarial_stream();
+        assert_eq!(
+            adv.transactions, adv2.transactions,
+            "adversarial builder must be seeded"
+        );
+        assert!(!adv.noise.is_empty(), "preset must plant label noise");
+        assert!(
+            adv.truth_by_day.windows(2).any(|w| w[0] != w[1]),
+            "preset rings must actually rotate"
+        );
+        let burst_day = adv.config.burst_day.expect("preset must flood") as usize;
+        let per_day = |s: &AdversarialStream, d: u32| s.window(d, d + 1).count();
+        assert!(
+            per_day(&adv, burst_day as u32) > 2 * per_day(&adv, burst_day as u32 - 1),
+            "burst day must dwarf a calm day"
+        );
     }
 
     #[test]
