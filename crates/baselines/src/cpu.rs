@@ -21,8 +21,8 @@
 //! Modeled time comes from [`CpuConfig`]'s roofline so it is comparable
 //! with the GPU engines' modeled time.
 
-use glp_core::engine::{BestLabel, Decision, Engine, EngineError, RunOptions};
-use glp_core::{LpProgram, LpRunReport};
+use glp_core::engine::{BestLabel, Decision, Direction, Engine, EngineError, RunOptions};
+use glp_core::{FrontierMode, LpProgram, LpRunReport};
 use glp_gpusim::host::{CpuConfig, CpuCounters};
 use glp_graph::{Graph, Label, VertexId};
 use glp_sketch::{BoundedHashTable, InsertOutcome};
@@ -145,6 +145,11 @@ impl Engine for CpuLp {
         let threads = self.cfg.threads.max(1);
         let shards = (threads as usize).clamp(1, 16);
         let use_frontier = opts.frontier.sparse(prog.sparse_activation());
+        // Direction handling mirrors the asynchronous sequential engine:
+        // forced `Pull` rebuilds by gathering over in-neighbors, everything
+        // else scatters (`Auto` has no device cost model to price a
+        // crossover against, so it keeps Ligra's native scatter).
+        let pull = use_frontier && opts.frontier == FrontierMode::Pull;
 
         let mut spoken: Vec<Label> = vec![0; n];
         let mut decisions: Vec<Decision> = vec![None; n];
@@ -242,23 +247,55 @@ impl Engine for CpuLp {
             totals.instructions += 2 * n as u64;
             totals.seq_bytes += 16 * n as u64;
             if use_frontier {
-                // Frontier maintenance is streaming work: scan the changed
-                // vertices' out-lists and set bitmap bits.
-                active.iter_mut().for_each(|a| *a = false);
-                let out = g.outgoing();
-                let mut touched = 0u64;
-                for &v in &changed_vertices {
-                    for &u in out.neighbors(v) {
-                        active[u as usize] = true;
+                if pull {
+                    // Gather: every vertex scans its in-neighbors for a
+                    // changed one (early exit). Marks exactly the vertices
+                    // the scatter path marks — see
+                    // `recompute_active_pull` in glp-core.
+                    let mut changed_flag = vec![false; n];
+                    for &v in &changed_vertices {
+                        changed_flag[v as usize] = true;
                     }
-                    touched += u64::from(out.degree(v));
+                    let inc = g.incoming();
+                    let mut scanned = 0u64;
+                    for (v, a) in active.iter_mut().enumerate() {
+                        *a = false;
+                        for &u in inc.neighbors(v as VertexId) {
+                            scanned += 1;
+                            if changed_flag[u as usize] {
+                                *a = true;
+                                break;
+                            }
+                        }
+                    }
+                    totals.instructions += 2 * scanned + n as u64;
+                    totals.seq_bytes += 4 * scanned;
+                } else {
+                    // Frontier maintenance is streaming work: scan the
+                    // changed vertices' out-lists and set bitmap bits.
+                    active.iter_mut().for_each(|a| *a = false);
+                    let out = g.outgoing();
+                    let mut touched = 0u64;
+                    for &v in &changed_vertices {
+                        for &u in out.neighbors(v) {
+                            active[u as usize] = true;
+                        }
+                        touched += u64::from(out.degree(v));
+                    }
+                    totals.instructions += 2 * touched + 4 * changed_vertices.len() as u64;
+                    totals.seq_bytes += 4 * touched;
                 }
-                totals.instructions += 2 * touched + 4 * changed_vertices.len() as u64;
-                totals.seq_bytes += 4 * touched;
             }
 
             prog.end_iteration(iteration);
             report.changed_per_iteration.push(changed);
+            report.direction_per_iteration.push(if !use_frontier {
+                Direction::Dense
+            } else if pull {
+                Direction::Pull
+            } else {
+                Direction::Push
+            });
             report.iterations = iteration + 1;
             if prog.finished(iteration, changed) {
                 break;

@@ -16,7 +16,10 @@ use glp_graph::Graph;
 /// The G-Hash engine: a thin preset over the GLP engine that pins the
 /// global-memory strategy and dense scheduling (G-Hash recomputes every
 /// vertex every iteration — exactly the waste §2.2 attributes to the
-/// existing approaches). All other [`RunOptions`] fields pass through.
+/// existing approaches). Every [`FrontierMode`] — `Push`, `Pull`, and
+/// `Auto` included — is coerced to `Dense`, so its reports record only
+/// [`Direction::Dense`](glp_core::Direction). All other [`RunOptions`]
+/// fields pass through.
 #[derive(Debug)]
 pub struct GHashLp {
     inner: GpuEngine,

@@ -16,7 +16,7 @@
 //! the workspace tie rule); the cost model charges the extra traffic that
 //! makes this approach lose to GLP.
 
-use glp_core::engine::{BestLabel, Decision, Engine, EngineError, RunOptions};
+use glp_core::engine::{BestLabel, Decision, Direction, Engine, EngineError, RunOptions};
 use glp_core::{LpProgram, LpRunReport};
 use glp_gpusim::{Device, KernelCtx, WARP_SIZE};
 use glp_graph::{Graph, Label, VertexId};
@@ -40,7 +40,9 @@ const DECISIONS: u64 = 0x4_0000_0000;
 const LABEL_STATE: u64 = 0x7_0000_0000;
 
 /// The G-Sort engine. Always dense: the original has no frontier, so the
-/// [`RunOptions::frontier`] knob is ignored (every vertex re-sorts every
+/// [`RunOptions::frontier`] knob is ignored — `Push`, `Pull`, and `Auto`
+/// all run the dense schedule, and every report iteration records
+/// [`Direction::Dense`](glp_core::Direction) (every vertex re-sorts every
 /// iteration — part of what GLP beats).
 #[derive(Debug)]
 pub struct GSortLp {
@@ -270,6 +272,7 @@ impl Engine for GSortLp {
                 prog.end_iteration(iteration);
                 report.changed_per_iteration.push(changed);
                 report.active_per_iteration.push(scheduled);
+                report.direction_per_iteration.push(Direction::Dense);
                 report.iterations = iteration + 1;
                 if let Some(t) = &opts.tracer {
                     t.end(device.elapsed_seconds());

@@ -12,6 +12,17 @@
 //! across the two modes, the frontier's active trace must be monotone
 //! non-increasing on this workload, and the written JSON must parse back.
 //!
+//! A second section compares the three sparse directions
+//! ([`FrontierMode::Push`], [`FrontierMode::Pull`],
+//! [`FrontierMode::Auto`]) on two opposed workloads: a high-degree
+//! all-clique graph whose frontier stays saturated (pull's early-exit
+//! gather beats push's scattered writes) and a clique+long-path graph
+//! with a thin long-lived tail (push's tiny touched volume beats pull's
+//! full in-neighbor scan). The section self-asserts that each workload's
+//! predicted winner actually wins and that Auto lands within 5% of the
+//! better forced mode on both — the crossover chooser must never be
+//! meaningfully worse than either static policy.
+//!
 //! Usage: `cargo run -p glp-bench --release --bin frontier_speedup
 //!         [--smoke] [--cliques N] [--clique-size K] [--path-len N]
 //!         [--iters N] [--json BENCH_frontier.json]`
@@ -21,7 +32,7 @@
 use glp_bench::table::{fmt_seconds, print_table};
 use glp_bench::Args;
 use glp_core::engine::GpuEngine;
-use glp_core::{ClassicLp, Engine, FrontierMode, LpProgram, LpRunReport, RunOptions};
+use glp_core::{ClassicLp, Direction, Engine, FrontierMode, LpProgram, LpRunReport, RunOptions};
 use glp_graph::{Graph, GraphBuilder, VertexId};
 
 /// `cliques` disjoint k-cliques (settle in ~3 BSP rounds) plus one
@@ -54,6 +65,86 @@ fn run(g: &Graph, iters: u32, frontier: FrontierMode) -> (LpRunReport, Vec<u32>)
     let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), iters);
     let report = engine.run(g, &mut prog, &opts).expect("healthy device");
     (report, prog.labels().to_vec())
+}
+
+/// One workload of the push/pull/auto three-way: `pull_wins` states the
+/// predicted winner this graph is shaped to produce.
+struct DirectionCase {
+    name: &'static str,
+    g: Graph,
+    iters: u32,
+    pull_wins: bool,
+}
+
+/// Runs the three sparse directions (plus a dense reference for the
+/// identity check) on one case and returns the JSON row, asserting the
+/// predicted winner and the Auto tolerance.
+fn run_direction_case(case: &DirectionCase) -> serde_json::Value {
+    let DirectionCase {
+        name,
+        g,
+        iters,
+        pull_wins,
+    } = case;
+    let (dense, dense_labels) = run(g, *iters, FrontierMode::Dense);
+    let (push, push_labels) = run(g, *iters, FrontierMode::Push);
+    let (pull, pull_labels) = run(g, *iters, FrontierMode::Pull);
+    let (auto, auto_labels) = run(g, *iters, FrontierMode::Auto);
+
+    for (mode, labels, report) in [
+        ("push", &push_labels, &push),
+        ("pull", &pull_labels, &pull),
+        ("auto", &auto_labels, &auto),
+    ] {
+        assert_eq!(labels, &dense_labels, "{name}/{mode}: labels diverged");
+        assert_eq!(
+            report.changed_per_iteration, dense.changed_per_iteration,
+            "{name}/{mode}: convergence diverged"
+        );
+    }
+
+    // The workload must produce its predicted winner: pull on the
+    // saturated high-degree graph, push on the thin long tail.
+    let (winner, loser, wname, lname) = if *pull_wins {
+        (&pull, &push, "pull", "push")
+    } else {
+        (&push, &pull, "push", "pull")
+    };
+    assert!(
+        winner.modeled_seconds < loser.modeled_seconds,
+        "{name}: {wname} ({}) must beat {lname} ({})",
+        fmt_seconds(winner.modeled_seconds),
+        fmt_seconds(loser.modeled_seconds),
+    );
+
+    // Auto must match the better static policy within 5% — the density
+    // probe it charges each iteration is the only overhead it is allowed.
+    let best = push.modeled_seconds.min(pull.modeled_seconds);
+    assert!(
+        auto.modeled_seconds <= 1.05 * best,
+        "{name}: auto ({}) worse than 1.05x the best forced mode ({})",
+        fmt_seconds(auto.modeled_seconds),
+        fmt_seconds(best),
+    );
+
+    let mode_doc = |r: &LpRunReport| {
+        serde_json::json!({
+            "modeled_seconds": r.modeled_seconds,
+            "iterations": r.iterations,
+        })
+    };
+    serde_json::json!({
+        "workload": *name,
+        "vertices": g.num_vertices(),
+        "edges": g.num_edges(),
+        "winner": wname,
+        "push": mode_doc(&push),
+        "pull": mode_doc(&pull),
+        "auto": mode_doc(&auto),
+        "auto_push_iterations": auto.direction_count(Direction::Push),
+        "auto_pull_iterations": auto.direction_count(Direction::Pull),
+        "auto_within_tolerance": true,
+    })
 }
 
 fn main() {
@@ -114,6 +205,45 @@ fn main() {
     let speedup = dense.modeled_seconds / frontier.modeled_seconds;
     let settled = active.last().copied().unwrap_or(0);
 
+    // -- push/pull/auto three-way on two opposed workloads --------------
+    let (a_cliques, a_k, a_iters, b_cliques, b_k, b_path, b_iters) = if smoke {
+        (60, 96, 8, 150, 32, 800, 36)
+    } else {
+        (200, 128, 10, 400, 48, 2_000, 60)
+    };
+    let cases = [
+        DirectionCase {
+            // Saturated frontier on high-degree cliques: nearly every
+            // vertex changes every round, so push's 32B scattered write
+            // per touched edge dwarfs pull's early-exit gather.
+            name: "dense_frontier_high_degree",
+            g: convergence_workload(a_cliques, a_k, 0),
+            iters: a_iters,
+            pull_wins: true,
+        },
+        DirectionCase {
+            // Thin long-lived tail: once the cliques settle only the
+            // path keeps changing, so pull re-scans nearly every in-edge
+            // for a frontier push touches in a few hundred bytes.
+            name: "sparse_tail",
+            g: convergence_workload(b_cliques, b_k, b_path),
+            iters: b_iters,
+            pull_wins: false,
+        },
+    ];
+    let direction_rows: Vec<serde_json::Value> = cases
+        .iter()
+        .map(|c| {
+            eprintln!(
+                "... direction case {}: {} vertices, {} edges",
+                c.name,
+                c.g.num_vertices(),
+                c.g.num_edges()
+            );
+            run_direction_case(c)
+        })
+        .collect();
+
     let mode_doc = |r: &LpRunReport| {
         serde_json::json!({
             "modeled_seconds": r.modeled_seconds,
@@ -135,6 +265,7 @@ fn main() {
         "frontier": mode_doc(&frontier),
         "speedup": speedup,
         "labels_identical": true,
+        "directions": direction_rows.clone(),
     });
     std::fs::write(
         json_path,
@@ -154,6 +285,14 @@ fn main() {
             .len(),
         active.len()
     );
+    let dirs = parsed["directions"].as_array().expect("directions section");
+    assert_eq!(dirs.len(), cases.len());
+    for d in dirs {
+        assert!(
+            d["auto_within_tolerance"].as_bool().unwrap_or(false),
+            "direction row lost its tolerance flag"
+        );
+    }
 
     let rows = vec![
         vec![
@@ -179,6 +318,29 @@ fn main() {
     println!(
         "\nend-to-end speedup: {speedup:.1}x (frontier settles to {settled}/{} vertices)",
         g.num_vertices()
+    );
+
+    let dir_rows: Vec<Vec<String>> = direction_rows
+        .iter()
+        .map(|d| {
+            vec![
+                d["workload"].as_str().unwrap_or("?").to_string(),
+                fmt_seconds(d["push"]["modeled_seconds"].as_f64().unwrap_or(0.0)),
+                fmt_seconds(d["pull"]["modeled_seconds"].as_f64().unwrap_or(0.0)),
+                fmt_seconds(d["auto"]["modeled_seconds"].as_f64().unwrap_or(0.0)),
+                d["winner"].as_str().unwrap_or("?").to_string(),
+                format!(
+                    "{}p/{}g",
+                    d["auto_push_iterations"].as_u64().unwrap_or(0),
+                    d["auto_pull_iterations"].as_u64().unwrap_or(0)
+                ),
+            ]
+        })
+        .collect();
+    println!("\nDirection three-way (classic LP)");
+    print_table(
+        &["workload", "push", "pull", "auto", "winner", "auto mix"],
+        &dir_rows,
     );
     println!("wrote {json_path}");
 

@@ -65,7 +65,11 @@ fn run_options(args: &Args) -> RunOptions {
     match args.get_str("frontier") {
         None | Some("auto") => opts,
         Some("dense") => opts.with_frontier(FrontierMode::Dense),
-        Some(other) => die(&format!("unknown frontier mode {other:?} (auto|dense)")),
+        Some("push") => opts.with_frontier(FrontierMode::Push),
+        Some("pull") => opts.with_frontier(FrontierMode::Pull),
+        Some(other) => die(&format!(
+            "unknown frontier mode {other:?} (auto|dense|push|pull)"
+        )),
     }
 }
 

@@ -7,10 +7,10 @@ use super::kernels::{
     ShardStats,
 };
 use super::options::BarrierEvent;
-use super::{Decision, Engine, EngineError, RunOptions};
+use super::{Decision, Direction, Engine, EngineError, FrontierMode, RunOptions};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
-use glp_gpusim::{Device, DeviceError, KernelCtx, KernelRecord};
+use glp_gpusim::{CostModel, Device, DeviceError, KernelCtx, KernelRecord};
 use glp_graph::{Graph, Label, VertexId};
 use glp_trace::{Category, Clock, KernelProfile, Tracer};
 use std::borrow::Cow;
@@ -24,6 +24,11 @@ const LABEL_STATE: u64 = 0x7_0000_0000;
 /// lists the next iteration's dispatch consumes.
 const FRONTIER_BITMAP: u64 = 0x9_0000_0000;
 const FRONTIER_LISTS: u64 = 0x9_8000_0000;
+/// The two adjacency views the frontier kernels walk: the push rebuild
+/// scatters along out-edges, the pull rebuild gathers along in-edges (the
+/// reverse view; for undirected graphs both resolve to the same CSR).
+const OUT_CSR: u64 = 0xA_0000_0000;
+const IN_CSR: u64 = 0xA_8000_0000;
 
 /// The single-GPU engine. Owns the device so modeled time accumulates
 /// across phases and can be inspected afterwards via [`GpuEngine::device`];
@@ -99,6 +104,7 @@ impl Engine for GpuEngine {
         // caller reuses this engine, and leaked residency would turn a
         // transient fault into a spurious OutOfMemory.
         let outcome = (|| -> Result<(), EngineError> {
+            let mut last_direction: Option<Direction> = None;
             for iteration in opts.start_iteration..opts.max_iterations {
                 let iter_start = device.elapsed_seconds();
                 if let Some(t) = &opts.tracer {
@@ -127,7 +133,7 @@ impl Engine for GpuEngine {
                 if let Some(t) = &opts.tracer {
                     t.begin_arg(
                         Category::Dispatch,
-                        "dispatch",
+                        dispatch_name(last_direction),
                         Clock::Modeled,
                         device.elapsed_seconds(),
                         scheduled,
@@ -149,9 +155,12 @@ impl Engine for GpuEngine {
                 report.smem_fallbacks += stats.fallbacks;
                 report.smem_vertices += stats.smem_vertices;
                 let changed = apply_updates(device, &decisions, prog)?;
-                if sparse {
-                    refresh_active(device, g, &spoken, &decisions, &mut active)?;
-                }
+                let direction = if sparse {
+                    refresh_active(device, g, &spoken, &decisions, &mut active, opts.frontier)?
+                } else {
+                    Direction::Dense
+                };
+                last_direction = Some(direction);
                 prog.end_iteration(iteration);
                 if let Some(hook) = &opts.barrier_hook {
                     let t = device.elapsed_seconds();
@@ -171,10 +180,12 @@ impl Engine for GpuEngine {
                         changed,
                         scheduled,
                         active: if sparse { Some(&active) } else { None },
+                        direction,
                         program: &*prog,
                     });
                 }
                 report.changed_per_iteration.push(changed);
+                report.direction_per_iteration.push(direction);
                 report
                     .iteration_seconds
                     .push(device.elapsed_seconds() - iter_start);
@@ -275,9 +286,11 @@ pub(crate) fn charge_snapshot(device: &mut Device, n: u64) -> Result<(), DeviceE
     })
 }
 
-/// Recomputes the active set — out-neighbors of every vertex whose spoken
-/// label changed — returning the number of marks written (host side; every
-/// engine shares this so the frontier semantics cannot diverge).
+/// Recomputes the active set in **push** direction — out-neighbors of
+/// every vertex whose spoken label changed — returning the number of
+/// scatter marks written, Σ out-degree over the changed vertices (host
+/// side; every engine shares this so the frontier semantics cannot
+/// diverge).
 pub(crate) fn recompute_active(
     g: &Graph,
     spoken: &[Label],
@@ -300,27 +313,97 @@ pub(crate) fn recompute_active(
     touched
 }
 
-/// Charges the frontier-maintenance kernel for `n` vertices with `touched`
-/// bitmap marks and `next_active` survivors: a coalesced pass over the
-/// change flags plus scattered bitmap writes, then the stream compaction
-/// that rebuilds the per-bucket vertex lists the next iteration's
-/// dispatch consumes.
-pub(crate) fn charge_frontier(
-    device: &mut Device,
-    n: u64,
-    touched: u64,
-    next_active: u64,
-) -> Result<(), DeviceError> {
-    device.launch("frontier_update", |ctx| {
-        ctx.global_read_seq(LABEL_STATE, n, 4);
-        // The frontier is a bitmap: one sector covers 256 vertices, so the
-        // scattered bit-set traffic is bounded by the bitmap's size no
-        // matter how many marks land on it.
-        ctx.global_write_scattered(touched.min(n.div_ceil(256)));
-        ctx.warps_launched(n.div_ceil(32));
-        ctx.lanes_active(n);
-        ctx.alu(2 * n.div_ceil(32) + touched / 32);
-    })?;
+/// Recomputes the active set in **pull** direction: every vertex scans its
+/// in-neighbors and activates itself at the first one whose spoken label
+/// changed. Because `v ∈ out(u) ⟺ u ∈ in(v)` (undirected graphs share one
+/// CSR; directed graphs derive the outgoing view by transposition), this
+/// marks *exactly* the vertices [`recompute_active`] marks — the
+/// bit-identity contract `direction_equivalence.rs` pins. Returns the
+/// number of in-adjacency entries actually scanned (the early exit is why
+/// a dense frontier makes this cheap).
+pub(crate) fn recompute_active_pull(
+    g: &Graph,
+    spoken: &[Label],
+    decisions: &[Decision],
+    active: &mut [bool],
+) -> u64 {
+    let changed: Vec<bool> = decisions
+        .iter()
+        .enumerate()
+        .map(|(v, &d)| matches!(d, Some((l, _)) if l != spoken[v]))
+        .collect();
+    let inc = g.incoming();
+    let mut scanned = 0u64;
+    for (v, a) in active.iter_mut().enumerate() {
+        *a = false;
+        for &u in inc.neighbors(v as VertexId) {
+            scanned += 1;
+            if changed[u as usize] {
+                *a = true;
+                break;
+            }
+        }
+    }
+    scanned
+}
+
+/// Σ out-degree over the vertices whose spoken label changed — the scatter
+/// volume a push rebuild *would* write, computed without building the
+/// frontier so [`choose_direction`] can price both directions first.
+pub(crate) fn touched_edges(g: &Graph, spoken: &[Label], decisions: &[Decision]) -> u64 {
+    let out = g.outgoing();
+    decisions
+        .iter()
+        .enumerate()
+        .filter(|&(v, &d)| matches!(d, Some((l, _)) if l != spoken[v]))
+        .map(|(v, _)| u64::from(out.degree(v as VertexId)))
+        .sum()
+}
+
+/// Resolves a [`FrontierMode`] to this iteration's rebuild [`Direction`].
+/// `Auto` prices push's scattered sectors for the actual change volume
+/// against a worst-case coalesced pull scan via
+/// [`CostModel::prefer_pull`]; host tiers pass `CostModel::default()`,
+/// which every modeled device also carries, so all engines make identical
+/// choices on identical inputs.
+pub(crate) fn choose_direction(
+    mode: FrontierMode,
+    g: &Graph,
+    spoken: &[Label],
+    decisions: &[Decision],
+    cost: &CostModel,
+) -> Direction {
+    match mode {
+        FrontierMode::Dense => Direction::Dense,
+        FrontierMode::Push => Direction::Push,
+        FrontierMode::Pull => Direction::Pull,
+        FrontierMode::Auto => {
+            let touched = touched_edges(g, spoken, decisions);
+            if cost.prefer_pull(g.num_vertices() as u64, touched, g.num_edges()) {
+                Direction::Pull
+            } else {
+                Direction::Push
+            }
+        }
+    }
+}
+
+/// Dispatch-span name tagged with the direction that built the frontier
+/// this iteration consumes (the *previous* iteration's rebuild choice).
+/// Iteration 0, resumes with no prior rebuild, and dense scheduling all
+/// keep the plain name.
+pub(crate) fn dispatch_name(prev: Option<Direction>) -> &'static str {
+    match prev {
+        Some(Direction::Push) => "dispatch:push",
+        Some(Direction::Pull) => "dispatch:pull",
+        Some(Direction::Dense) | None => "dispatch",
+    }
+}
+
+/// Charges the stream compaction that turns the frontier bitmap into the
+/// dense per-bucket vertex lists the next dispatch consumes — shared by
+/// both rebuild directions.
+fn charge_compact(device: &mut Device, n: u64, next_active: u64) -> Result<(), DeviceError> {
     device.launch("frontier_compact", |ctx| {
         // Bitmap scan + prefix-sum compaction into dense vertex lists.
         ctx.global_read_seq(FRONTIER_BITMAP, n.div_ceil(8), 1);
@@ -331,17 +414,103 @@ pub(crate) fn charge_frontier(
     })
 }
 
-/// GPU-side frontier refresh: shared recompute plus the kernel charges.
+/// Charges the **push** frontier-maintenance kernel for `n` vertices with
+/// `touched` scatter marks and `next_active` survivors: a coalesced pass
+/// over the change flags, a coalesced walk of the changed vertices'
+/// out-adjacency, and one scattered sector per mark — marks land wherever
+/// the neighbor ids point, so the coalescer almost never merges them.
+/// This traffic is exactly [`CostModel::push_frontier_bytes`], which is
+/// what makes the `Auto` crossover measurable rather than asserted.
+pub(crate) fn charge_frontier(
+    device: &mut Device,
+    n: u64,
+    touched: u64,
+    next_active: u64,
+) -> Result<(), DeviceError> {
+    device.launch("frontier_update", |ctx| {
+        ctx.global_read_seq(LABEL_STATE, n, 4);
+        ctx.global_read_seq(OUT_CSR, touched, 4);
+        ctx.global_write_scattered(touched);
+        ctx.warps_launched(n.div_ceil(32));
+        ctx.lanes_active(n);
+        ctx.alu(2 * n.div_ceil(32) + touched / 32);
+    })?;
+    charge_compact(device, n, next_active)
+}
+
+/// Charges the **pull** gather kernel for `n` vertices that scanned
+/// `scanned` in-adjacency entries before early-exiting: coalesced flag
+/// reads, coalesced CSR target reads, one sequential bitmap write — no
+/// scatter at all ([`CostModel::pull_frontier_bytes`] with the actual
+/// scanned count).
+pub(crate) fn charge_pull_gather(
+    device: &mut Device,
+    n: u64,
+    scanned: u64,
+    next_active: u64,
+) -> Result<(), DeviceError> {
+    device.launch("pull_gather", |ctx| {
+        ctx.global_read_seq(LABEL_STATE, n, 4);
+        ctx.global_read_seq(IN_CSR, scanned, 4);
+        ctx.global_write_seq(FRONTIER_BITMAP, n.div_ceil(8), 1);
+        ctx.warps_launched(n.div_ceil(32));
+        ctx.lanes_active(n);
+        ctx.alu(2 * n.div_ceil(32) + scanned / 32);
+    })?;
+    charge_compact(device, n, next_active)
+}
+
+/// Charges the frontier-density measurement `Auto` runs before choosing
+/// a direction: coalesced reads of the change flags and the out-degree
+/// array, reduced block-wise to the scatter-volume estimate the
+/// crossover consumes. The measurement is *fused* — it rides in the
+/// update pass that produced the change flags, so it pays memory and
+/// reduction cost but no dedicated launch (the standard
+/// direction-optimization trick; a 4 µs launch per iteration would eat
+/// the crossover's winnings on small frontiers). Forced `Push`/`Pull`
+/// runs skip it — the measurement only exists to pay for the decision.
+pub(crate) fn charge_frontier_density(device: &mut Device, n: u64) -> Result<(), DeviceError> {
+    device.launch_fused("frontier_density", |ctx| {
+        ctx.global_read_seq(LABEL_STATE, n, 4);
+        ctx.global_read_seq(OUT_CSR, n, 4);
+        ctx.warps_launched(n.div_ceil(32));
+        ctx.lanes_active(n);
+        ctx.alu(2 * n.div_ceil(32));
+        for _ in 0..n.div_ceil(256) {
+            ctx.block_reduce();
+        }
+    })
+}
+
+/// GPU-side frontier refresh: resolves the rebuild direction, runs the
+/// matching shared recompute, and charges the matching kernels. Returns
+/// the direction taken so the run loop can record and tag it.
 pub(crate) fn refresh_active(
     device: &mut Device,
     g: &Graph,
     spoken: &[Label],
     decisions: &[Decision],
     active: &mut [bool],
-) -> Result<(), DeviceError> {
-    let touched = recompute_active(g, spoken, decisions, active);
-    let next_active = active.iter().filter(|&&a| a).count() as u64;
-    charge_frontier(device, decisions.len() as u64, touched, next_active)
+    mode: FrontierMode,
+) -> Result<Direction, DeviceError> {
+    let n = decisions.len() as u64;
+    if mode == FrontierMode::Auto {
+        charge_frontier_density(device, n)?;
+    }
+    let dir = choose_direction(mode, g, spoken, decisions, device.cost_model());
+    match dir {
+        Direction::Pull => {
+            let scanned = recompute_active_pull(g, spoken, decisions, active);
+            let next_active = active.iter().filter(|&&a| a).count() as u64;
+            charge_pull_gather(device, n, scanned, next_active)?;
+        }
+        Direction::Push | Direction::Dense => {
+            let touched = recompute_active(g, spoken, decisions, active);
+            let next_active = active.iter().filter(|&&a| a).count() as u64;
+            charge_frontier(device, n, touched, next_active)?;
+        }
+    }
+    Ok(dir)
 }
 
 /// PickLabel (Figure 2): a trivially parallel kernel writing the
@@ -571,6 +740,67 @@ mod tests {
             "frontier {:?}",
             frontier.active_per_iteration
         );
+    }
+
+    #[test]
+    fn every_direction_matches_dense_and_is_recorded() {
+        let g = caveman(12, 8);
+        let run = |mode: FrontierMode| {
+            let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 30);
+            let report = GpuEngine::titan_v()
+                .run(&g, &mut prog, &RunOptions::default().with_frontier(mode))
+                .unwrap();
+            (prog.labels().to_vec(), report)
+        };
+        let (dense_labels, dense) = run(FrontierMode::Dense);
+        assert!(dense
+            .direction_per_iteration
+            .iter()
+            .all(|&d| d == Direction::Dense));
+        for mode in [FrontierMode::Push, FrontierMode::Pull, FrontierMode::Auto] {
+            let (labels, report) = run(mode);
+            assert_eq!(dense_labels, labels, "{mode:?} labels diverged");
+            assert_eq!(
+                dense.changed_per_iteration, report.changed_per_iteration,
+                "{mode:?} changed trace diverged"
+            );
+            assert_eq!(
+                report.direction_per_iteration.len(),
+                report.iterations as usize
+            );
+            match mode {
+                FrontierMode::Push => assert_eq!(report.direction_count(Direction::Pull), 0),
+                FrontierMode::Pull => assert_eq!(report.direction_count(Direction::Push), 0),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn pull_and_push_rebuild_identical_frontiers() {
+        let g = caveman(6, 9);
+        let n = g.num_vertices();
+        let spoken: Vec<Label> = (0..n as Label).collect();
+        // Vertex 3 changes; everything else keeps its label.
+        let mut decisions: Vec<Decision> = spoken.iter().map(|&l| Some((l, 1.0))).collect();
+        decisions[3] = Some((999, 1.0));
+        let mut push = vec![false; n];
+        let mut pull = vec![false; n];
+        let touched = recompute_active(&g, &spoken, &decisions, &mut push);
+        let scanned = recompute_active_pull(&g, &spoken, &decisions, &mut pull);
+        assert_eq!(push, pull);
+        assert_eq!(touched, u64::from(g.outgoing().degree(3)));
+        // The pull scan early-exits but still walks at least one entry per
+        // non-isolated vertex.
+        assert!(scanned >= push.iter().filter(|&&a| a).count() as u64);
+    }
+
+    #[test]
+    fn dispatch_names_follow_the_previous_rebuild() {
+        assert_eq!(dispatch_name(None), "dispatch");
+        assert_eq!(dispatch_name(Some(Direction::Dense)), "dispatch");
+        assert_eq!(dispatch_name(Some(Direction::Push)), "dispatch:push");
+        assert_eq!(dispatch_name(Some(Direction::Pull)), "dispatch:pull");
     }
 
     #[test]

@@ -12,11 +12,12 @@
 
 use super::dispatch::Buckets;
 use super::gpu::{
-    apply_updates, charge_snapshot, initial_active, pick_labels, profile_from_log, propagate,
-    recompute_active, trace_fail, trace_run_begin,
+    apply_updates, charge_snapshot, choose_direction, dispatch_name, initial_active, pick_labels,
+    profile_from_log, propagate, recompute_active, recompute_active_pull, trace_fail,
+    trace_run_begin,
 };
 use super::options::BarrierEvent;
-use super::{Decision, Engine, EngineError, RunOptions};
+use super::{Decision, Direction, Engine, EngineError, RunOptions};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
 use glp_gpusim::Device;
@@ -135,6 +136,7 @@ impl Engine for HybridEngine {
         // As in the GPU engine, the loop body runs in an immediately
         // invoked closure so the footprint is freed on the fault path.
         let outcome = (|| -> Result<(), EngineError> {
+            let mut last_direction: Option<Direction> = None;
             for iteration in opts.start_iteration..opts.max_iterations {
                 let iter_start = device.elapsed_seconds();
                 if let Some(t) = &opts.tracer {
@@ -179,7 +181,7 @@ impl Engine for HybridEngine {
                 if let Some(t) = &opts.tracer {
                     t.begin_arg(
                         Category::Dispatch,
-                        "dispatch",
+                        dispatch_name(last_direction),
                         Clock::Modeled,
                         before,
                         scheduled,
@@ -227,14 +229,32 @@ impl Engine for HybridEngine {
                 }
 
                 let changed = apply_updates(device, &decisions, prog)?;
-                if sparse {
+                let direction = if sparse {
                     // Host-side frontier maintenance (§3.1: the CPUs handle
                     // UpdateVertex and coordinate data movement in hybrid
                     // mode), so no device kernel is charged here — the shared
-                    // recompute keeps the semantics identical to the GPU
-                    // engines'.
-                    recompute_active(g, &spoken, &decisions, &mut active);
-                }
+                    // recomputes keep the semantics identical to the GPU
+                    // engines'. The direction choice still runs (priced on
+                    // this device's cost model, so `Auto` agrees with the
+                    // in-core tiers) and is recorded/tagged like everywhere
+                    // else — only the charge is absent.
+                    let dir = choose_direction(
+                        opts.frontier,
+                        g,
+                        &spoken,
+                        &decisions,
+                        device.cost_model(),
+                    );
+                    if dir == Direction::Pull {
+                        recompute_active_pull(g, &spoken, &decisions, &mut active);
+                    } else {
+                        recompute_active(g, &spoken, &decisions, &mut active);
+                    }
+                    dir
+                } else {
+                    Direction::Dense
+                };
+                last_direction = Some(direction);
                 prog.end_iteration(iteration);
                 if let Some(hook) = &opts.barrier_hook {
                     let t = device.elapsed_seconds();
@@ -254,10 +274,12 @@ impl Engine for HybridEngine {
                         changed,
                         scheduled,
                         active: if sparse { Some(&active) } else { None },
+                        direction,
                         program: &*prog,
                     });
                 }
                 report.changed_per_iteration.push(changed);
+                report.direction_per_iteration.push(direction);
                 report
                     .iteration_seconds
                     .push(device.elapsed_seconds() - iter_start);

@@ -31,7 +31,7 @@ pub use error::EngineError;
 pub use gpu::GpuEngine;
 pub use hybrid::HybridEngine;
 pub use multi::MultiGpuEngine;
-pub use options::{BarrierEvent, BarrierHook, FrontierMode, RunOptions, SweepOrder};
+pub use options::{BarrierEvent, BarrierHook, Direction, FrontierMode, RunOptions, SweepOrder};
 pub use resilient::{ResilienceReport, ResilientEngine};
 pub use sequential::SequentialEngine;
 

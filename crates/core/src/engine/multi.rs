@@ -21,12 +21,13 @@
 
 use super::dispatch::Buckets;
 use super::gpu::{
-    charge_frontier, charge_snapshot, initial_active, pick_labels, profile_from_log, propagate,
-    recompute_active, trace_fail, trace_run_begin,
+    charge_frontier, charge_frontier_density, charge_pull_gather, charge_snapshot,
+    choose_direction, dispatch_name, initial_active, pick_labels, profile_from_log, propagate,
+    recompute_active, recompute_active_pull, trace_fail, trace_run_begin,
 };
 use super::kernels::ShardStats;
 use super::options::BarrierEvent;
-use super::{Decision, Engine, EngineError, RunOptions};
+use super::{Decision, Direction, Engine, EngineError, RunOptions};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
 use glp_gpusim::{DeviceConfig, DeviceError, MultiGpu};
@@ -135,6 +136,10 @@ struct PhaseOut {
     stats: ShardStats,
     snapshot_s: f64,
     snapshots: u64,
+    /// The frontier-rebuild direction this phase took — chosen once on the
+    /// host before the per-device charges, so every device (and every
+    /// repartition re-drive) agrees.
+    direction: Direction,
 }
 
 impl Engine for MultiGpuEngine {
@@ -191,6 +196,7 @@ impl Engine for MultiGpuEngine {
         let mut report = LpRunReport::default();
 
         let outcome = (|| -> Result<(), EngineError> {
+            let mut last_direction: Option<Direction> = None;
             for iteration in opts.start_iteration..opts.max_iterations {
                 let iter_start = self.gpus.elapsed_seconds();
                 if let Some(t) = &opts.tracer {
@@ -220,6 +226,7 @@ impl Engine for MultiGpuEngine {
                         &active,
                         &mut next_active,
                         sparse,
+                        last_direction,
                         &mut transfer_s,
                     ) {
                         Ok(out) => break out,
@@ -254,6 +261,7 @@ impl Engine for MultiGpuEngine {
                 if sparse {
                     active.copy_from_slice(&next_active);
                 }
+                last_direction = Some(out.direction);
                 prog.end_iteration(iteration);
                 report.smem_fallbacks += out.stats.fallbacks;
                 report.smem_vertices += out.stats.smem_vertices;
@@ -265,11 +273,13 @@ impl Engine for MultiGpuEngine {
                         changed,
                         scheduled: out.scheduled,
                         active: if sparse { Some(&active) } else { None },
+                        direction: out.direction,
                         program: &*prog,
                     });
                 }
                 report.active_per_iteration.push(out.scheduled);
                 report.changed_per_iteration.push(changed);
+                report.direction_per_iteration.push(out.direction);
                 report
                     .iteration_seconds
                     .push(self.gpus.elapsed_seconds() - iter_start);
@@ -327,6 +337,7 @@ fn device_phase(
     active: &[bool],
     next_active: &mut [bool],
     sparse: bool,
+    prev_dir: Option<Direction>,
     transfer_s: &mut f64,
 ) -> Result<PhaseOut, DeviceError> {
     let ndev = layout.assign.len() as u64;
@@ -352,7 +363,7 @@ fn device_phase(
     if let Some(t) = &opts.tracer {
         t.begin(
             Category::Dispatch,
-            "dispatch",
+            dispatch_name(prev_dir),
             Clock::Modeled,
             gpus.elapsed_seconds(),
         );
@@ -407,26 +418,62 @@ fn device_phase(
             ctx.alu(2 * m.div_ceil(32));
         })?;
     }
-    if sparse {
+    let direction = if sparse {
+        // Direction resolved once on the host (every device carries the
+        // same cost model, so one choice serves the fleet — and a
+        // repartition re-drive makes the same choice from the same scratch
+        // inputs). Under `Auto` each device first pays the density
+        // measurement for its own range.
+        let dir = choose_direction(
+            opts.frontier,
+            g,
+            spoken,
+            decisions,
+            gpus.device(layout.assign[0]).cost_model(),
+        );
+        if opts.frontier == super::FrontierMode::Auto {
+            for (i, &d) in layout.assign.iter().enumerate() {
+                charge_frontier_density(
+                    gpus.device_mut(d),
+                    layout.ranges[i].num_vertices() as u64,
+                )?;
+            }
+        }
         // Shared host recompute into the scratch frontier (the live one
         // stays untouched until commit); each device pays the maintenance
         // kernels for its own vertex range.
-        let touched = recompute_active(g, spoken, decisions, next_active);
+        let volume = if dir == Direction::Pull {
+            recompute_active_pull(g, spoken, decisions, next_active)
+        } else {
+            recompute_active(g, spoken, decisions, next_active)
+        };
         for (i, &d) in layout.assign.iter().enumerate() {
             let r = &layout.ranges[i];
-            let share = touched / ndev;
+            let share = volume / ndev;
             let range_active = next_active[r.start as usize..r.end as usize]
                 .iter()
                 .filter(|&&a| a)
                 .count() as u64;
-            charge_frontier(
-                gpus.device_mut(d),
-                r.num_vertices() as u64,
-                share,
-                range_active,
-            )?;
+            if dir == Direction::Pull {
+                charge_pull_gather(
+                    gpus.device_mut(d),
+                    r.num_vertices() as u64,
+                    share,
+                    range_active,
+                )?;
+            } else {
+                charge_frontier(
+                    gpus.device_mut(d),
+                    r.num_vertices() as u64,
+                    share,
+                    range_active,
+                )?;
+            }
         }
-    }
+        dir
+    } else {
+        Direction::Dense
+    };
     let mut snapshot_s = 0.0;
     let mut snapshots = 0u64;
     if opts.barrier_hook.is_some() {
@@ -453,6 +500,7 @@ fn device_phase(
         stats,
         snapshot_s,
         snapshots,
+        direction,
     })
 }
 

@@ -17,29 +17,67 @@ use std::fmt;
 use std::sync::Arc;
 
 /// How an engine schedules vertices across iterations.
+///
+/// The three sparse modes compute the **same frontier** — a vertex is
+/// active at `t + 1` iff some in-neighbor's spoken label changed at `t` —
+/// they differ only in *how* it is rebuilt, and therefore in modeled
+/// cost. Labels, `changed` traces, and `active` traces are bit-identical
+/// across all four modes (the contract `tests/direction_equivalence.rs`
+/// pins).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum FrontierMode {
     /// Recompute every vertex every iteration — the waste §2.2 attributes
     /// to prior GPU LP systems ("label values ... are repeatedly loaded
     /// ... but only a subset of them have their labels updated").
     Dense,
-    /// Active-frontier scheduling: after iteration `t`, only vertices with
-    /// at least one in-neighbor whose spoken label changed at `t` are
-    /// recomputed at `t+1`. Sound only for programs that declare
-    /// [`sparse_activation`](crate::LpProgram::sparse_activation); every
-    /// other program silently gets the dense schedule — the same fallback
-    /// rule the Ligra baseline applies to LLP/SLP. The default.
+    /// Always rebuild by **scatter**: every changed vertex walks its
+    /// out-adjacency and marks the neighbors' bitmap bits. Cheap on
+    /// sparse tails, but each mark is an uncoalesced sector write, so a
+    /// saturated frontier pays ~a sector per touched edge.
+    Push,
+    /// Always rebuild by **gather**: every vertex scans its in-neighbors
+    /// (the reverse-adjacency view the graph already materializes) until
+    /// it finds a changed one. Fully coalesced and bounded by one sweep
+    /// of the edge set, so it wins when the frontier is dense or the
+    /// graph is high-degree — the Gunrock/GraphBLAST pull regime.
+    Pull,
+    /// Direction-optimized: per iteration, choose push or pull by
+    /// comparing their modeled byte volumes (frontier density × average
+    /// degree against the cost model's coalescing crossover,
+    /// [`CostModel::prefer_pull`](glp_gpusim::CostModel::prefer_pull)).
+    /// The measurement itself is charged (`frontier_density` kernel).
+    /// The default.
     #[default]
     Auto,
 }
 
 impl FrontierMode {
     /// Whether a run over a program with the given `sparse_activation`
-    /// declaration actually schedules sparsely.
+    /// declaration actually schedules sparsely. Every non-dense mode —
+    /// `Push`, `Pull`, and `Auto` — is sparse-capable; programs without
+    /// sparse activation get the dense schedule under all of them, the
+    /// same fallback rule the Ligra baseline applies to LLP/SLP.
     #[inline]
     pub fn sparse(self, program_sparse: bool) -> bool {
-        self == FrontierMode::Auto && program_sparse
+        match self {
+            FrontierMode::Dense => false,
+            FrontierMode::Push | FrontierMode::Pull | FrontierMode::Auto => program_sparse,
+        }
     }
+}
+
+/// Which way one iteration's frontier was rebuilt — recorded per
+/// iteration in
+/// [`LpRunReport::direction_per_iteration`](crate::LpRunReport::direction_per_iteration)
+/// and tagged onto the following iteration's Dispatch span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// No frontier was maintained (dense schedule).
+    Dense,
+    /// Scatter from changed vertices over out-edges.
+    Push,
+    /// Gather at every vertex from in-neighbors.
+    Pull,
 }
 
 /// What the engine saw at one completed BSP barrier, handed to the
@@ -57,6 +95,11 @@ pub struct BarrierEvent<'a> {
     /// The next iteration's activation bitmap, when the run schedules
     /// sparsely; `None` under the dense schedule.
     pub active: Option<&'a [bool]>,
+    /// How this barrier's frontier rebuild ran ([`Direction::Dense`]
+    /// under the dense schedule). A resuming caller carries it into the
+    /// stitched [`direction_per_iteration`](crate::LpRunReport::direction_per_iteration)
+    /// trace.
+    pub direction: Direction,
     /// The program, for [`save_state`](crate::LpProgram::save_state).
     pub program: &'a dyn LpProgram,
 }
@@ -68,6 +111,7 @@ impl fmt::Debug for BarrierEvent<'_> {
             .field("changed", &self.changed)
             .field("scheduled", &self.scheduled)
             .field("active", &self.active.map(<[bool]>::len))
+            .field("direction", &self.direction)
             .finish_non_exhaustive()
     }
 }
@@ -286,9 +330,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn auto_respects_program_declaration() {
-        assert!(FrontierMode::Auto.sparse(true));
-        assert!(!FrontierMode::Auto.sparse(false));
+    fn sparse_modes_respect_program_declaration() {
+        // Every non-dense mode is sparse-capable; none may override a
+        // program that did not declare sparse activation.
+        for mode in [FrontierMode::Auto, FrontierMode::Push, FrontierMode::Pull] {
+            assert!(mode.sparse(true), "{mode:?} must schedule sparsely");
+            assert!(!mode.sparse(false), "{mode:?} must fall back to dense");
+        }
         assert!(!FrontierMode::Dense.sparse(true));
         assert!(!FrontierMode::Dense.sparse(false));
     }

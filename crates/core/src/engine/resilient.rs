@@ -26,7 +26,7 @@
 
 use super::gpu::trace_fail;
 use super::options::BarrierHook;
-use super::{Engine, EngineError, RunOptions};
+use super::{Direction, Engine, EngineError, RunOptions};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
 use glp_graph::Graph;
@@ -64,6 +64,7 @@ struct Salvage {
     /// Traces for iterations `0..next`, stitched into the final report.
     changed: Vec<u64>,
     active: Vec<u64>,
+    directions: Vec<Direction>,
 }
 
 /// The fault-tolerant wrapper. See the module docs for the recovery
@@ -197,6 +198,7 @@ impl Engine for ResilientEngine {
                     s.frontier = ev.active.map(<[bool]>::to_vec);
                     s.changed.push(ev.changed);
                     s.active.push(ev.scheduled);
+                    s.directions.push(ev.direction);
                     s.next = ev.iteration + 1;
                 }
             })
@@ -254,6 +256,9 @@ impl Engine for ResilientEngine {
                         let mut active = s.active[..prefix].to_vec();
                         active.append(&mut report.active_per_iteration);
                         report.active_per_iteration = active;
+                        let mut directions = s.directions[..prefix].to_vec();
+                        directions.append(&mut report.direction_per_iteration);
+                        report.direction_per_iteration = directions;
                         report.iterations = report.iterations.max(start);
                     }
                     self.last.tier = Some(self.tiers[tier].name());
@@ -353,7 +358,12 @@ mod tests {
     #[test]
     fn bsp_sequential_tier_matches_gpu_traces() {
         let g = two_cliques_bridge(9);
-        for mode in [FrontierMode::Auto, FrontierMode::Dense] {
+        for mode in [
+            FrontierMode::Auto,
+            FrontierMode::Dense,
+            FrontierMode::Push,
+            FrontierMode::Pull,
+        ] {
             let opts = RunOptions::default().with_frontier(mode);
             let mut gpu_prog = ClassicLp::new(g.num_vertices());
             let gpu = GpuEngine::titan_v().run(&g, &mut gpu_prog, &opts).unwrap();
@@ -364,6 +374,10 @@ mod tests {
             assert_eq!(host_prog.labels(), gpu_prog.labels());
             assert_eq!(host.changed_per_iteration, gpu.changed_per_iteration);
             assert_eq!(host.active_per_iteration, gpu.active_per_iteration);
+            // The host tier prices `Auto` on `CostModel::default()`, which
+            // every modeled device also carries — so even the per-iteration
+            // push/pull choices line up across the degradation ladder.
+            assert_eq!(host.direction_per_iteration, gpu.direction_per_iteration);
         }
     }
 

@@ -18,11 +18,14 @@
 //! Not part of the paper's evaluation — no cost model is attached; only
 //! wall-clock is reported.
 
-use super::gpu::{initial_active, recompute_active};
+use super::gpu::{choose_direction, initial_active, recompute_active, recompute_active_pull};
 use super::options::BarrierEvent;
-use super::{BestLabel, Decision, Engine, EngineError, RunOptions, SweepOrder};
+use super::{
+    BestLabel, Decision, Direction, Engine, EngineError, FrontierMode, RunOptions, SweepOrder,
+};
 use crate::api::LpProgram;
 use crate::report::LpRunReport;
+use glp_gpusim::CostModel;
 use glp_graph::{Graph, Label, VertexId};
 use glp_sketch::{BoundedHashTable, InsertOutcome};
 use glp_trace::{Category, Clock};
@@ -102,6 +105,22 @@ impl Engine for SequentialEngine {
         let mut ht = BoundedHashTable::new((2 * max_deg).max(16), u32::MAX);
         let sparse = opts.frontier.sparse(prog.sparse_activation());
         let mut active = initial_active(n, sparse, opts);
+        // Pull-mode asynchronous scheduling: instead of changed vertices
+        // scattering marks, each vertex gathers over its in-neighbors'
+        // change stamps. Every visit takes a unique clock tick;
+        // `visited_at[v]` is v's last visit, `stamp[u]` is u's last
+        // *changing* visit, and v is armed iff `stamp[u] >= visited_at[v]`
+        // for some in-neighbor u — `>=` (not `>`) because equality occurs
+        // only when u == v via a self-loop, whose push analog is a vertex
+        // re-marking itself in the same visit. `active` then carries only
+        // the initial seed, consumed at first visit. This visits exactly
+        // the set of vertices the scatter path visits, hence bit-identical
+        // labels AND visit counts. There is no modeled cost on the host, so
+        // `Auto` has no crossover to price and keeps the scatter path.
+        let pull = sparse && opts.frontier == FrontierMode::Pull;
+        let mut clock: u64 = 0;
+        let mut visited_at: Vec<u64> = vec![0; if pull { n } else { 0 }];
+        let mut stamp: Vec<u64> = vec![0; if pull { n } else { 0 }];
         let mut report = LpRunReport::default();
         // Host engines have no modeled clock: spans use wall seconds
         // relative to the run start.
@@ -126,16 +145,32 @@ impl Engine for SequentialEngine {
                          prog: &mut dyn LpProgram,
                          ht: &mut BoundedHashTable,
                          active: &mut [bool],
+                         visited_at: &mut [u64],
+                         stamp: &mut [u64],
+                         clock: &mut u64,
                          visited: &mut u64| {
                 if csr.degree(v) == 0 {
                     return 0u64;
                 }
-                if sparse && !active[v as usize] {
-                    return 0u64;
+                if sparse {
+                    let armed = active[v as usize]
+                        || (pull
+                            && csr.neighbors(v).iter().any(|&u| {
+                                let s = stamp[u as usize];
+                                s != 0 && s >= visited_at[v as usize]
+                            }));
+                    if !armed {
+                        return 0u64;
+                    }
                 }
                 // Consume the mark before recomputing: a same-sweep change
-                // in an in-neighbor re-arms it.
+                // in an in-neighbor re-arms it (via scatter marks when
+                // pushing, via the stamp comparison when pulling).
                 active[v as usize] = false;
+                *clock += 1;
+                if pull {
+                    visited_at[v as usize] = *clock;
+                }
                 *visited += 1;
                 ht.clear();
                 let off = csr.offset(v);
@@ -157,8 +192,12 @@ impl Engine for SequentialEngine {
                 let d: Decision = BestLabel::into_decision(best);
                 let did_change = prog.update_vertex(v, d);
                 if did_change && sparse {
-                    for &w in out.neighbors(v) {
-                        active[w as usize] = true;
+                    if pull {
+                        stamp[v as usize] = *clock;
+                    } else {
+                        for &w in out.neighbors(v) {
+                            active[w as usize] = true;
+                        }
                     }
                 }
                 u64::from(did_change)
@@ -166,16 +205,41 @@ impl Engine for SequentialEngine {
             let descending = opts.sweep_order == SweepOrder::Alternating && iteration % 2 == 1;
             if descending {
                 for v in (0..n as VertexId).rev() {
-                    changed += visit(v, prog, &mut ht, &mut active, &mut visited);
+                    changed += visit(
+                        v,
+                        prog,
+                        &mut ht,
+                        &mut active,
+                        &mut visited_at,
+                        &mut stamp,
+                        &mut clock,
+                        &mut visited,
+                    );
                 }
             } else {
                 for v in 0..n as VertexId {
-                    changed += visit(v, prog, &mut ht, &mut active, &mut visited);
+                    changed += visit(
+                        v,
+                        prog,
+                        &mut ht,
+                        &mut active,
+                        &mut visited_at,
+                        &mut stamp,
+                        &mut clock,
+                        &mut visited,
+                    );
                 }
             }
             prog.end_iteration(iteration);
             report.changed_per_iteration.push(changed);
             report.active_per_iteration.push(visited);
+            report.direction_per_iteration.push(if !sparse {
+                Direction::Dense
+            } else if pull {
+                Direction::Pull
+            } else {
+                Direction::Push
+            });
             report.iterations = iteration + 1;
             if let Some(t) = &opts.tracer {
                 t.end(wall_start.elapsed().as_secs_f64());
@@ -213,6 +277,11 @@ fn run_bsp(g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunRepor
     let mut active = initial_active(n, sparse, opts);
     let mut spoken: Vec<Label> = vec![0; n];
     let mut decisions: Vec<Decision> = vec![None; n];
+    // No device here, but `Auto` must make the same per-iteration push/pull
+    // choices as the modeled tiers — every Device carries
+    // `CostModel::default()`, so pricing against the default model keeps
+    // the degradation ladder's traces bit-identical.
+    let cost = CostModel::default();
     let mut report = LpRunReport::default();
     if let Some(t) = &opts.tracer {
         t.begin(Category::Run, "Sequential-BSP", Clock::Wall, 0.0);
@@ -262,9 +331,17 @@ fn run_bsp(g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunRepor
                 changed += 1;
             }
         }
-        if sparse {
-            recompute_active(g, &spoken, &decisions, &mut active);
-        }
+        let direction = if sparse {
+            let dir = choose_direction(opts.frontier, g, &spoken, &decisions, &cost);
+            if dir == Direction::Pull {
+                recompute_active_pull(g, &spoken, &decisions, &mut active);
+            } else {
+                recompute_active(g, &spoken, &decisions, &mut active);
+            }
+            dir
+        } else {
+            Direction::Dense
+        };
         prog.end_iteration(iteration);
         if let Some(hook) = &opts.barrier_hook {
             report.snapshots_taken += 1;
@@ -281,11 +358,13 @@ fn run_bsp(g: &Graph, prog: &mut dyn LpProgram, opts: &RunOptions) -> LpRunRepor
                 changed,
                 scheduled,
                 active: if sparse { Some(&active) } else { None },
+                direction,
                 program: &*prog,
             });
         }
         report.changed_per_iteration.push(changed);
         report.active_per_iteration.push(scheduled);
+        report.direction_per_iteration.push(direction);
         report.iterations = iteration + 1;
         if let Some(t) = &opts.tracer {
             t.end(wall_start.elapsed().as_secs_f64());
@@ -361,6 +440,49 @@ mod tests {
         let opts = RunOptions::default().with_sweep_order(SweepOrder::Alternating);
         let report = run(&g, &mut prog, &opts);
         assert_eq!(*report.changed_per_iteration.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn pull_sweep_matches_push_visit_for_visit() {
+        // Self-loops exercise the `>=` stamp comparison (a changing vertex
+        // must re-arm itself), the bridge exercises cross-sweep arming.
+        let mut b = GraphBuilder::new(12);
+        for v in 0..6u32 {
+            for u in (v + 1)..6 {
+                b.add_edge(v, u);
+                b.add_edge(v + 6, u + 6);
+            }
+        }
+        b.add_edge(5, 6);
+        b.add_edge(0, 0);
+        b.add_edge(7, 7);
+        b.symmetrize(true);
+        let g = b.build();
+        let mut labels = Vec::new();
+        let mut traces = Vec::new();
+        for mode in [FrontierMode::Push, FrontierMode::Pull, FrontierMode::Auto] {
+            let mut prog = ClassicLp::with_max_iterations(g.num_vertices(), 50);
+            let report = run(&g, &mut prog, &RunOptions::default().with_frontier(mode));
+            labels.push(prog.labels().to_vec());
+            traces.push((
+                report.changed_per_iteration.clone(),
+                report.active_per_iteration.clone(),
+            ));
+            let expect = if mode == FrontierMode::Pull {
+                Direction::Pull
+            } else {
+                Direction::Push
+            };
+            assert!(
+                report.direction_per_iteration.iter().all(|&d| d == expect),
+                "{mode:?} recorded {:?}",
+                report.direction_per_iteration
+            );
+        }
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(traces[0], traces[1], "pull must visit exactly push's set");
+        assert_eq!(traces[1], traces[2]);
     }
 
     #[test]

@@ -61,9 +61,9 @@ pub mod variants;
 
 pub use api::{LpProgram, NeighborContribution};
 pub use engine::{
-    replay_delta, BarrierEvent, BarrierHook, DeltaReplay, Engine, EngineError, FrontierMode,
-    GpuEngine, HybridEngine, MemoRecorder, MflStrategy, MultiGpuEngine, ResilienceReport,
-    ResilientEngine, RunOptions, SequentialEngine, SweepOrder,
+    replay_delta, BarrierEvent, BarrierHook, DeltaReplay, Direction, Engine, EngineError,
+    FrontierMode, GpuEngine, HybridEngine, MemoRecorder, MflStrategy, MultiGpuEngine,
+    ResilienceReport, ResilientEngine, RunOptions, SequentialEngine, SweepOrder,
 };
 pub use report::LpRunReport;
 pub use variants::{CapacityLp, ClassicLp, Llp, RiskWeightedLp, SeededLp, Slp, WeightedLp};

@@ -1,5 +1,6 @@
 //! Run reports: what an engine hands back besides the labels themselves.
 
+use crate::engine::Direction;
 use glp_gpusim::KernelCounters;
 use glp_trace::KernelProfile;
 
@@ -26,6 +27,13 @@ pub struct LpRunReport {
     /// Modeled seconds spent in each iteration (cost-decay trace: under
     /// the frontier optimization, converging runs get cheaper per round).
     pub iteration_seconds: Vec<f64>,
+    /// How each iteration's frontier was rebuilt:
+    /// [`Direction::Dense`](crate::Direction) when no frontier is
+    /// maintained, otherwise the push/pull choice — forced by
+    /// [`FrontierMode::Push`](crate::FrontierMode)/`Pull`, or made
+    /// per-iteration by `Auto`'s cost-model crossover. Entry `t` is the
+    /// direction that built the frontier iteration `t + 1` consumes.
+    pub direction_per_iteration: Vec<Direction>,
     /// GPU event totals (zeroed for CPU engines).
     pub gpu_counters: KernelCounters,
     /// High-degree vertices that needed the global-memory fallback
@@ -71,6 +79,15 @@ impl LpRunReport {
         } else {
             self.transfer_seconds / self.modeled_seconds
         }
+    }
+
+    /// Iterations whose frontier rebuild ran in `direction` — the bench
+    /// tables summarize `Auto` runs as push/pull counts with this.
+    pub fn direction_count(&self, direction: Direction) -> usize {
+        self.direction_per_iteration
+            .iter()
+            .filter(|&&d| d == direction)
+            .count()
     }
 
     /// Share of modeled time spent on checkpoint snapshots — the price of
@@ -124,6 +141,28 @@ mod tests {
         };
         assert_eq!(r.snapshot_fraction(), 0.1);
         assert_eq!(LpRunReport::default().snapshot_fraction(), 0.0);
+    }
+
+    #[test]
+    fn direction_counts_summarize_the_trace() {
+        let r = LpRunReport {
+            iterations: 4,
+            direction_per_iteration: vec![
+                Direction::Pull,
+                Direction::Pull,
+                Direction::Push,
+                Direction::Push,
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.direction_count(Direction::Pull), 2);
+        assert_eq!(r.direction_count(Direction::Push), 2);
+        assert_eq!(r.direction_count(Direction::Dense), 0);
+        assert_eq!(
+            r.direction_per_iteration.len(),
+            r.iterations as usize,
+            "one direction recorded per iteration"
+        );
     }
 
     #[test]

@@ -19,6 +19,12 @@ use crate::config::DeviceConfig;
 use crate::counters::KernelCounters;
 use serde::{Deserialize, Serialize};
 
+/// The DRAM transaction granule: a scattered lane-sized access still moves
+/// a whole 32-byte sector (see `uncoalesced_traffic_costs_more_time`).
+/// This 32-vs-4 asymmetry is what the direction-optimized frontier
+/// crossover is derived from.
+pub const SECTOR_BYTES: u64 = 32;
+
 /// Cycle weights for each counted event class.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CostModel {
@@ -87,6 +93,39 @@ impl CostModel {
     pub fn transfer_seconds(&self, cfg: &DeviceConfig, bytes: u64) -> f64 {
         bytes as f64 / (cfg.pcie_gbps * 1e9)
     }
+
+    /// Modeled DRAM bytes of a **push**-style frontier rebuild over `n`
+    /// vertices with `touched_edges` scatter marks (Σ out-degree of the
+    /// changed vertices): one coalesced pass over the change flags, a
+    /// coalesced walk of the changed vertices' out-adjacency, and one
+    /// whole [`SECTOR_BYTES`] sector per scattered bitmap mark — marks
+    /// land wherever the neighbor ids point, so the coalescer almost
+    /// never merges them.
+    pub fn push_frontier_bytes(&self, n: u64, touched_edges: u64) -> u64 {
+        4 * n + 4 * touched_edges + SECTOR_BYTES * touched_edges
+    }
+
+    /// Modeled DRAM bytes of a **pull**-style frontier rebuild over `n`
+    /// vertices scanning `scan_edges` in-adjacency entries (worst case the
+    /// whole edge set; the kernel early-exits at the first changed
+    /// in-neighbor): coalesced flag reads, coalesced CSR target reads,
+    /// and one sequential bitmap write — no scatter at all.
+    pub fn pull_frontier_bytes(&self, n: u64, scan_edges: u64) -> u64 {
+        4 * n + 4 * scan_edges + n.div_ceil(8)
+    }
+
+    /// The direction crossover: pull wins the next frontier rebuild iff
+    /// push's scattered sectors for `touched_edges` marks outweigh a full
+    /// coalesced scan of all `total_edges` in-edges. With the default
+    /// weights this reduces to roughly `touched_edges > total_edges / 9`
+    /// — the Beamer-style density threshold, but *derived* from the same
+    /// sector accounting the kernels are charged with, so the `Auto`
+    /// switch point and the measured kernel times cannot drift apart.
+    /// Bandwidth cancels (both candidates are memory-bound passes on the
+    /// same device), which is why this needs no [`DeviceConfig`].
+    pub fn prefer_pull(&self, n: u64, touched_edges: u64, total_edges: u64) -> bool {
+        self.push_frontier_bytes(n, touched_edges) > self.pull_frontier_bytes(n, total_edges)
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +186,26 @@ mod tests {
             ..Default::default()
         };
         assert!(m.kernel_seconds(&cfg(), &sc) > 7.0 * m.kernel_seconds(&cfg(), &co));
+    }
+
+    #[test]
+    fn direction_crossover_tracks_frontier_density() {
+        let m = CostModel::default();
+        let (n, edges) = (10_000u64, 80_000u64);
+        // Sparse tail: a handful of scatter marks is far cheaper than
+        // scanning every in-edge.
+        assert!(!m.prefer_pull(n, 100, edges));
+        // Saturated frontier: scattering a sector per edge loses to one
+        // coalesced sweep of the CSR.
+        assert!(m.prefer_pull(n, edges, edges));
+        // The switch point sits near edges/9 — between edges/16 (push)
+        // and edges/4 (pull) — and is monotone in the scatter volume.
+        assert!(!m.prefer_pull(n, edges / 16, edges));
+        assert!(m.prefer_pull(n, edges / 4, edges));
+        assert!(
+            m.push_frontier_bytes(n, edges / 4) > m.push_frontier_bytes(n, edges / 16),
+            "push bytes must grow with the scatter volume"
+        );
     }
 
     #[test]

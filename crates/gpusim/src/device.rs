@@ -191,6 +191,38 @@ impl Device {
         }
     }
 
+    /// Runs a kernel *fragment* fused into an adjacent launch: `f`'s
+    /// counters are charged to the modeled clock (memory traffic, ALU,
+    /// reductions) but no per-launch overhead is added — the fragment
+    /// rides in a kernel that was already going to launch. This models
+    /// the standard direction-optimization trick of computing frontier
+    /// statistics as a byproduct of the pass that produces the frontier
+    /// flags, rather than paying a dedicated launch for a tiny
+    /// reduction. The fragment still appears in the kernel log under its
+    /// own name so traces and profiles can attribute its cost.
+    pub fn launch_fused<R>(
+        &mut self,
+        name: &'static str,
+        f: impl FnOnce(&mut KernelCtx) -> R,
+    ) -> Result<R, DeviceError> {
+        self.pre_launch(name)?;
+        let cfg = &self.cfg;
+        match catch_unwind(AssertUnwindSafe(move || {
+            let mut ctx = KernelCtx::shard(cfg);
+            let r = f(&mut ctx);
+            (ctx.counters, r)
+        })) {
+            Ok((counters, r)) => {
+                self.commit(name, counters);
+                Ok(r)
+            }
+            Err(_) => Err(DeviceError::ShardPanicked {
+                device: self.id,
+                shard: 0,
+            }),
+        }
+    }
+
     /// Runs one kernel sharded across `shards` OS threads (harness-side
     /// parallelism only — the modeled time is identical to a serial launch).
     /// `f(shard_index, ctx)` must partition work by shard index; the

@@ -46,7 +46,7 @@ pub mod shared;
 pub mod warp;
 
 pub use config::DeviceConfig;
-pub use cost::CostModel;
+pub use cost::{CostModel, SECTOR_BYTES};
 pub use counters::KernelCounters;
 pub use device::{Device, KernelRecord};
 pub use error::DeviceError;

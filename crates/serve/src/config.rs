@@ -55,11 +55,15 @@ pub struct ServeConfig {
     /// bit-deterministic across shard counts, which the determinism test
     /// pins end to end.
     pub engine_shards: usize,
-    /// Scheduling mode of the recluster LP runs. The default
-    /// ([`FrontierMode::Auto`]) engages active-frontier execution — the
-    /// weighted pipeline program declares sparse activation, so converging
-    /// reclusters do sharply less work per iteration while producing
-    /// bit-identical verdicts (pinned by the determinism test).
+    /// Scheduling mode of the recluster LP runs — every
+    /// [`ReclusterRequest`](crate::recluster::ReclusterRequest) inherits it
+    /// transparently. The default ([`FrontierMode::Auto`]) engages
+    /// direction-optimized active-frontier execution (per-iteration
+    /// push/pull switching); `Push`/`Pull` force one rebuild direction —
+    /// the weighted pipeline program declares sparse activation, so
+    /// converging reclusters do sharply less work per iteration while
+    /// producing bit-identical verdicts under every mode (pinned by the
+    /// determinism and delta-identity tests).
     pub frontier: FrontierMode,
     /// Consecutive worker crashes at which the service enters
     /// [`HealthState::Shedding`](crate::HealthState::Shedding) (the

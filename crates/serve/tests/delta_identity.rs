@@ -127,6 +127,35 @@ fn drift_cap_fallbacks_stay_identical() {
     assert!(incremental > 0 && full > 0, "both modes must occur");
 }
 
+/// Direction-optimized execution is invisible to the delta path: the
+/// incremental replay must publish byte-identical snapshots no matter
+/// which [`FrontierMode`] the memoized full runs (and the replays
+/// themselves) executed under — forced push, forced pull, per-iteration
+/// auto, or dense. Every mode is compared against the dense pinned-full
+/// reference, so this also re-proves full-run direction invariance
+/// through the serving stack.
+#[test]
+fn direction_mode_is_invisible_to_incremental_replay() {
+    use glp_core::FrontierMode;
+    let seed = 0x5EED_00D1u64;
+    let (_, dense_full) = pair(|c| c.frontier = FrontierMode::Dense);
+    let (reference, _, _) = run_single(seed, dense_full);
+    for mode in [
+        FrontierMode::Dense,
+        FrontierMode::Push,
+        FrontierMode::Pull,
+        FrontierMode::Auto,
+    ] {
+        let (inc_cfg, _) = pair(|c| c.frontier = mode);
+        let (snaps, incremental, _) = run_single(seed, inc_cfg);
+        assert_eq!(
+            snaps, reference,
+            "{mode:?}: incremental snapshots diverged from the dense pinned-full reference"
+        );
+        assert!(incremental > 0, "{mode:?}: schedule never went incremental");
+    }
+}
+
 #[test]
 fn telemetry_counts_the_decisions() {
     let (inc_cfg, _) = pair(|_| {});

@@ -6,23 +6,67 @@
 //! for a tiny pinned run, and checks that structure is byte-stable across
 //! scheduling knobs that must not change what work happens: kernel shard
 //! counts (1/2/4) and, for programs without sparse activation, Dense vs
-//! Auto frontier modes. Also pins the observability contract's other
-//! half: with no tracer attached, behavior is byte-identical — labels,
-//! convergence traces, modeled cost, and the device kernel log do not
-//! move.
+//! Auto frontier modes. Direction-optimized execution gets its own
+//! goldens: forced Push and Pull modes pin the `dispatch:push` /
+//! `dispatch:pull` span tags and the `frontier_update` / `pull_gather`
+//! kernel choice, and a dense-then-sparse synthetic graph pins a full
+//! push→pull→push Auto switch sequence. Also pins the observability
+//! contract's other half: with no tracer attached, behavior is
+//! byte-identical — labels, convergence traces, modeled cost, and the
+//! device kernel log do not move.
 
 use glp_suite::core::engine::GpuEngine;
-use glp_suite::core::{ClassicLp, Engine, FrontierMode, Llp, LpProgram, RunOptions};
-use glp_suite::graph::Graph;
+use glp_suite::core::{
+    ClassicLp, Direction, Engine, FrontierMode, Llp, LpProgram, LpRunReport, RunOptions,
+};
+use glp_suite::graph::{Graph, GraphBuilder};
 use glp_suite::trace::Tracer;
 use glp_test_support::{tiny_graph, ITERS};
 
 /// The pinned structure of `ClassicLp` on [`tiny_graph`] under the Auto
 /// frontier: three iterations to converge, one warp-packed bucket, the
 /// frontier maintenance kernels live because classic LP has sparse
-/// activation. Regenerate (deliberately!) by printing
-/// `trace.structure()` if the kernel schedule changes.
+/// activation. Auto charges `frontier_density` for its per-iteration
+/// decision, picks pull while the frontier is dense (iterations 0–1) and
+/// push for the converged tail, and tags each dispatch with the
+/// direction that built the frontier it consumes. Regenerate
+/// (deliberately!) by printing `trace.structure()` if the kernel
+/// schedule changes.
 const GOLDEN_CLASSIC_AUTO: &str = "\
+run:GLP
+  transfer:upload
+  iteration:iteration
+    kernel:pick_label
+    dispatch:dispatch
+      kernel:lp_warp_packed
+    kernel:update_vertex
+    kernel:frontier_density
+    kernel:pull_gather
+    kernel:frontier_compact
+  iteration:iteration
+    kernel:pick_label
+    dispatch:dispatch:pull
+      kernel:lp_warp_packed
+    kernel:update_vertex
+    kernel:frontier_density
+    kernel:pull_gather
+    kernel:frontier_compact
+  iteration:iteration
+    kernel:pick_label
+    dispatch:dispatch:pull
+      kernel:lp_warp_packed
+    kernel:update_vertex
+    kernel:frontier_density
+    kernel:frontier_update
+    kernel:frontier_compact
+  transfer:download
+";
+
+/// Forced-push structure on the same run: no `frontier_density` (there
+/// is no decision to price), `frontier_update` every iteration, and
+/// `dispatch:push` tags from iteration 1 on (iteration 0 consumes the
+/// mode-independent initial frontier, so its dispatch stays untagged).
+const GOLDEN_CLASSIC_PUSH: &str = "\
 run:GLP
   transfer:upload
   iteration:iteration
@@ -34,17 +78,46 @@ run:GLP
     kernel:frontier_compact
   iteration:iteration
     kernel:pick_label
-    dispatch:dispatch
+    dispatch:dispatch:push
       kernel:lp_warp_packed
     kernel:update_vertex
     kernel:frontier_update
     kernel:frontier_compact
   iteration:iteration
     kernel:pick_label
-    dispatch:dispatch
+    dispatch:dispatch:push
       kernel:lp_warp_packed
     kernel:update_vertex
     kernel:frontier_update
+    kernel:frontier_compact
+  transfer:download
+";
+
+/// Forced-pull mirror of [`GOLDEN_CLASSIC_PUSH`]: `pull_gather` every
+/// iteration and `dispatch:pull` tags from iteration 1 on.
+const GOLDEN_CLASSIC_PULL: &str = "\
+run:GLP
+  transfer:upload
+  iteration:iteration
+    kernel:pick_label
+    dispatch:dispatch
+      kernel:lp_warp_packed
+    kernel:update_vertex
+    kernel:pull_gather
+    kernel:frontier_compact
+  iteration:iteration
+    kernel:pick_label
+    dispatch:dispatch:pull
+      kernel:lp_warp_packed
+    kernel:update_vertex
+    kernel:pull_gather
+    kernel:frontier_compact
+  iteration:iteration
+    kernel:pick_label
+    dispatch:dispatch:pull
+      kernel:lp_warp_packed
+    kernel:update_vertex
+    kernel:pull_gather
     kernel:frontier_compact
   transfer:download
 ";
@@ -82,27 +155,114 @@ fn llp(g: &Graph) -> Box<dyn LpProgram> {
 }
 
 /// Runs `prog` traced on the single-GPU engine and returns the
-/// durations-free structural export, after checking well-formedness.
-fn traced_structure(
+/// durations-free structural export plus the run report, after checking
+/// well-formedness.
+fn traced_run(
     g: &Graph,
     mut prog: Box<dyn LpProgram>,
     shards: usize,
     frontier: FrontierMode,
-) -> String {
+) -> (String, LpRunReport) {
     let tracer = Tracer::new();
     let opts = RunOptions::default()
         .with_max_iterations(ITERS)
         .with_shards(shards)
         .with_frontier(frontier)
         .with_tracer(tracer.clone());
-    GpuEngine::titan_v()
+    let report = GpuEngine::titan_v()
         .run(g, prog.as_mut(), &opts)
         .expect("pinned run succeeds");
     let trace = tracer.finish();
     trace.check_well_formed(1e-9).expect("trace is well-formed");
     assert_eq!(trace.dropped, 0, "tiny run must not hit the sink bound");
-    trace.structure()
+    (trace.structure(), report)
 }
+
+fn traced_structure(
+    g: &Graph,
+    prog: Box<dyn LpProgram>,
+    shards: usize,
+    frontier: FrontierMode,
+) -> String {
+    traced_run(g, prog, shards, frontier).0
+}
+
+/// A dense-then-sparse graph built so Auto provably switches direction
+/// mid-run. A change wave starts at one loose vertex and walks a chain
+/// of vertex *pairs* toward a 16-clique "blob"; every vertex except the
+/// wave seed carries a self-loop, so its own label scores 1 and — since
+/// score ties keep the current label — the vertex only flips when two
+/// in-neighbors *agree* on a label (strict 2 > 1 majority). Each chain
+/// step flips exactly 2 low-degree vertices (tiny touched volume →
+/// push), the blob flips all 16 high-degree members at once (touched ≈
+/// k² ≫ |E|/9 → pull), and an exit chain off the blob resumes 2-vertex
+/// waves (push again). A disconnected self-frozen ballast clique
+/// inflates |E| so the chain steps sit clearly on the push side of the
+/// crossover.
+fn switch_graph() -> Graph {
+    let mut b = GraphBuilder::new(38);
+    // Wave seed: 0 (self-frozen) — 1 (free). Vertex 1 adopts label 0 at
+    // iteration 0; nothing else moves.
+    b.add_edge(0, 1);
+    // Chain pairs {2,3} and the fuse pair {4,5}: each pair sees both
+    // members of the previous stage, so it flips one iteration later.
+    for p in [2u32, 3] {
+        b.add_edge(0, p);
+        b.add_edge(1, p);
+    }
+    for (f, p) in [(4u32, 2u32), (4, 3), (5, 2), (5, 3)] {
+        b.add_edge(p, f);
+    }
+    // The blob: a 16-clique (vertices 6..=21), every member adjacent to
+    // both fuse vertices.
+    for v in 6u32..=21 {
+        for u in (v + 1)..=21 {
+            b.add_edge(v, u);
+        }
+        b.add_edge(4, v);
+        b.add_edge(5, v);
+    }
+    // Exit chain: pair {22,23} hangs off blob members 6 and 7, pair
+    // {24,25} off the first exit pair.
+    for e in [22u32, 23] {
+        b.add_edge(6, e);
+        b.add_edge(7, e);
+    }
+    for (a, e) in [(22u32, 24u32), (22, 25), (23, 24), (23, 25)] {
+        b.add_edge(a, e);
+    }
+    // Ballast: a frozen 6-clique (26..=31) plus spare frozen singletons
+    // (32..=37) that only add |E| and n — they never change.
+    for v in 26u32..=31 {
+        for u in (v + 1)..=31 {
+            b.add_edge(v, u);
+        }
+    }
+    // Self-loops freeze every vertex except the seed's neighbor: with
+    // the vertex's own label in the tally, a lone dissenting neighbor
+    // only ties — and ties keep the current label — so flipping takes an
+    // agreeing *pair* of in-neighbors.
+    for v in (0u32..=37).filter(|&v| v != 1) {
+        b.add_edge(v, v);
+    }
+    b.keep_self_loops(true);
+    b.symmetrize(true);
+    b.build()
+}
+
+/// The pinned Auto direction sequence on [`switch_graph`]: three
+/// 2-vertex push waves walking the chain, one pull iteration when the
+/// 16-clique flips en masse, then push again for the exit chain and the
+/// converged tail.
+const SWITCH_DIRECTIONS: [Direction; 7] = [
+    Direction::Push,
+    Direction::Push,
+    Direction::Push,
+    Direction::Pull,
+    Direction::Push,
+    Direction::Push,
+    Direction::Push,
+];
 
 /// The embedded goldens hold for the pinned tiny run. A diff here means
 /// the engine's kernel schedule (or span instrumentation) changed shape —
@@ -122,9 +282,29 @@ fn tiny_run_structure_matches_embedded_golden() {
     );
 }
 
+/// Forced Push and Pull modes pin the direction-tagged structure: the
+/// frontier kernel matches the mode, no decision kernel is charged, and
+/// dispatch spans are tagged with the direction that built the frontier
+/// they consume.
+#[test]
+fn forced_direction_structures_match_embedded_goldens() {
+    let g = tiny_graph();
+    assert_eq!(
+        traced_structure(&g, classic(&g), 1, FrontierMode::Push),
+        GOLDEN_CLASSIC_PUSH,
+        "classic/push structure drifted from the golden"
+    );
+    assert_eq!(
+        traced_structure(&g, classic(&g), 1, FrontierMode::Pull),
+        GOLDEN_CLASSIC_PULL,
+        "classic/pull structure drifted from the golden"
+    );
+}
+
 /// Shard count is intra-launch parallelism only: one kernel span per
 /// launch regardless, so the exported structure is byte-identical across
-/// 1/2/4 shards for both a sparse-activation and a dense program.
+/// 1/2/4 shards for both a sparse-activation and a dense program, in
+/// every direction mode.
 #[test]
 fn structure_is_byte_stable_across_shard_counts() {
     let g = tiny_graph();
@@ -135,11 +315,95 @@ fn structure_is_byte_stable_across_shard_counts() {
             "classic structure changed at {shards} shards"
         );
         assert_eq!(
+            traced_structure(&g, classic(&g), shards, FrontierMode::Push),
+            GOLDEN_CLASSIC_PUSH,
+            "classic/push structure changed at {shards} shards"
+        );
+        assert_eq!(
+            traced_structure(&g, classic(&g), shards, FrontierMode::Pull),
+            GOLDEN_CLASSIC_PULL,
+            "classic/pull structure changed at {shards} shards"
+        );
+        assert_eq!(
             traced_structure(&g, llp(&g), shards, FrontierMode::Auto),
             GOLDEN_LLP,
             "llp structure changed at {shards} shards"
         );
     }
+}
+
+/// The dense-then-sparse [`switch_graph`] makes Auto change direction
+/// twice in one run: push for the 2-vertex chain waves, pull when the
+/// 16-clique flips, push again for the exit chain. The sequence, the
+/// labels, and the exported structure are pinned — and byte-stable
+/// across 1/2/4 shards.
+#[test]
+fn auto_switches_push_pull_push_on_the_pinned_graph() {
+    let g = switch_graph();
+    let (reference_structure, reference) = traced_run(&g, classic(&g), 1, FrontierMode::Auto);
+    assert_eq!(
+        reference.direction_per_iteration, SWITCH_DIRECTIONS,
+        "auto direction sequence drifted from the pinned switch"
+    );
+    // The switch must be observable in the trace: a pull_gather rebuild
+    // in the pull iteration, a pull-tagged dispatch consuming it, and
+    // push rebuilds elsewhere.
+    assert_eq!(reference_structure.matches("kernel:pull_gather").count(), 1);
+    assert_eq!(
+        reference_structure
+            .matches("dispatch:dispatch:pull")
+            .count(),
+        1
+    );
+    assert_eq!(
+        reference_structure
+            .matches("kernel:frontier_update")
+            .count(),
+        6
+    );
+
+    // Direction choice is driven by exact integer edge counts, so the
+    // whole run — labels, per-iteration directions, structure — is
+    // byte-stable across shard counts.
+    for shards in [2usize, 4] {
+        let (structure, report) = traced_run(&g, classic(&g), shards, FrontierMode::Auto);
+        assert_eq!(
+            report.direction_per_iteration, SWITCH_DIRECTIONS,
+            "switch sequence changed at {shards} shards"
+        );
+        assert_eq!(
+            structure, reference_structure,
+            "switch structure changed at {shards} shards"
+        );
+    }
+
+    // And the switch is purely a scheduling decision: dense execution of
+    // the same run produces identical labels and convergence traces.
+    let mut dense = ClassicLp::with_max_iterations(g.num_vertices(), ITERS);
+    let dense_report = GpuEngine::titan_v()
+        .run(
+            &g,
+            &mut dense,
+            &RunOptions::default()
+                .with_max_iterations(ITERS)
+                .with_frontier(FrontierMode::Dense),
+        )
+        .expect("dense run succeeds");
+    let mut auto = ClassicLp::with_max_iterations(g.num_vertices(), ITERS);
+    GpuEngine::titan_v()
+        .run(
+            &g,
+            &mut auto,
+            &RunOptions::default()
+                .with_max_iterations(ITERS)
+                .with_frontier(FrontierMode::Auto),
+        )
+        .expect("auto run succeeds");
+    assert_eq!(auto.labels(), dense.labels());
+    assert_eq!(
+        dense_report.changed_per_iteration,
+        reference.changed_per_iteration
+    );
 }
 
 /// For a program without sparse activation the Auto frontier silently
